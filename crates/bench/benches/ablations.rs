@@ -1,0 +1,108 @@
+//! Ablations of the design decisions DESIGN.md stars:
+//!
+//! * enumeration with vs without Scpv pruning;
+//! * bitset transitive closure vs a naive pair-set closure;
+//! * the native LKMM vs the interpreted cat LKMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_cat::linux_kernel_model;
+use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+use lkmm_exec::ConsistencyModel;
+use lkmm_litmus::library;
+use lkmm_relation::Relation;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/scpv-pruning");
+    let test = library::by_name("PeterZ").unwrap().test();
+    for (label, prune) in [("pruned", true), ("raw", false)] {
+        let opts = EnumOptions { prune_scpv: prune, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for_each_execution(&test, &opts, &mut |_| n += 1).unwrap();
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Naive transitive closure over a pair set, as the baseline the bitset
+/// representation is measured against.
+fn naive_closure(pairs: &BTreeSet<(usize, usize)>) -> BTreeSet<(usize, usize)> {
+    let mut out = pairs.clone();
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &out {
+            for &(c, d) in &out {
+                if b == c && !out.contains(&(a, d)) {
+                    added.push((a, d));
+                }
+            }
+        }
+        if added.is_empty() {
+            return out;
+        }
+        out.extend(added);
+    }
+}
+
+fn bench_relation_repr(c: &mut Criterion) {
+    // A 24-event chain + random extra edges.
+    let n = 24;
+    let mut pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    pairs.extend((0..n).step_by(3).map(|i| (i, (i * 7 + 5) % n)));
+    let rel = Relation::from_pairs(n, pairs.iter().copied());
+    let set: BTreeSet<(usize, usize)> = pairs.iter().copied().collect();
+
+    let mut group = c.benchmark_group("ablation/relation-repr");
+    group.bench_function("bitset-closure", |b| {
+        b.iter(|| black_box(rel.transitive_closure().len()))
+    });
+    group.bench_function("pairset-closure", |b| {
+        b.iter(|| black_box(naive_closure(&set).len()))
+    });
+    // Sanity: identical results.
+    assert_eq!(
+        rel.transitive_closure().iter().collect::<BTreeSet<_>>(),
+        naive_closure(&set)
+    );
+    group.finish();
+}
+
+fn bench_native_vs_cat(c: &mut Criterion) {
+    let native = Lkmm::new();
+    let cat = linux_kernel_model();
+    let opts = EnumOptions::default();
+    let mut group = c.benchmark_group("ablation/native-vs-cat");
+    group.sample_size(10);
+    for (label, model) in
+        [("native", &native as &dyn ConsistencyModel), ("cat", &cat as &dyn ConsistencyModel)]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut allowed = 0usize;
+                for pt in library::table5() {
+                    for_each_execution(&pt.test(), &opts, &mut |x| {
+                        if model.allows(x) {
+                            allowed += 1;
+                        }
+                    })
+                    .unwrap();
+                }
+                black_box(allowed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pruning, bench_relation_repr, bench_native_vs_cat
+}
+criterion_main!(benches);

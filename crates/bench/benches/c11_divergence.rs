@@ -1,0 +1,39 @@
+//! §5.2: quantify the LKMM/C11 divergence. Re-checks the four diverging
+//! tests (Figures 4, 7, 13, 14) against both models per iteration and
+//! asserts the paper's verdicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_bench::check_expect;
+use lkmm_litmus::library;
+use lkmm_models::OriginalC11;
+use std::hint::black_box;
+
+fn bench_divergence(c: &mut Criterion) {
+    let lkmm = Lkmm::new();
+    let c11 = OriginalC11;
+    // §5.2's four Table 5 divergences plus the extended library's two
+    // (dependency ordering and A-cumulativity).
+    let diverging: Vec<_> = library::all()
+        .iter()
+        .filter(|pt| pt.c11.is_some() && pt.c11 != Some(pt.lkmm))
+        .collect();
+    assert_eq!(diverging.len(), 6, "expected the six LKMM/C11 divergences");
+    let mut group = c.benchmark_group("c11-divergence");
+    for pt in diverging {
+        group.bench_function(pt.name, |b| {
+            b.iter(|| {
+                black_box(check_expect(&lkmm, pt, pt.lkmm));
+                black_box(check_expect(&c11, pt, pt.c11.unwrap()));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_divergence
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Exhaustive operational exploration benchmarks: full interleaving
+//! coverage per architecture, and the operational-vs-axiomatic TSO
+//! state-set equivalence re-verified per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::states::collect_states;
+use lkmm_litmus::library;
+use lkmm_models::X86Tso;
+use lkmm_sim::{explore, Arch};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive/explore");
+    group.sample_size(10);
+    for arch in Arch::ALL {
+        group.bench_function(format!("{}-SB", arch.name()), |b| {
+            let t = library::by_name("SB").unwrap().test();
+            b.iter(|| black_box(explore(&t, arch, 1_000_000).unwrap().states_visited))
+        });
+    }
+    group.bench_function("Power8-WRC", |b| {
+        let t = library::by_name("WRC").unwrap().test();
+        b.iter(|| black_box(explore(&t, Arch::Power, 1_000_000).unwrap().states_visited))
+    });
+    group.finish();
+}
+
+fn bench_tso_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive/tso-equivalence");
+    group.sample_size(10);
+    for name in ["SB", "MP", "R", "2+2W"] {
+        group.bench_function(name, |b| {
+            let t = library::by_name(name).unwrap().test();
+            b.iter(|| {
+                let op = explore(&t, Arch::X86, 1_000_000).unwrap();
+                let ax: BTreeSet<String> =
+                    collect_states(&X86Tso, &t, &EnumOptions::default())
+                        .unwrap()
+                        .states
+                        .into_iter()
+                        .filter(|(_, c)| c.allowed > 0)
+                        .map(|(s, _)| s.0)
+                        .collect();
+                assert_eq!(op.outcomes, ax, "{name}");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_explore, bench_tso_equivalence
+}
+criterion_main!(benches);

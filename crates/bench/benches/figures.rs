@@ -1,0 +1,30 @@
+//! Per-figure benchmarks: each forbidden-execution figure of the paper
+//! (2, 4, 5, 6, 7, 9, 10, 11, 13, 14) is re-checked per iteration, with
+//! the verdict asserted against the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_bench::check_expect;
+use lkmm_litmus::library;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let lkmm = Lkmm::new();
+    let figures: Vec<_> = library::all().iter().filter(|pt| pt.figure.is_some()).collect();
+    assert!(figures.len() >= 10, "missing figures in the library");
+    let mut group = c.benchmark_group("figures");
+    for pt in figures {
+        let label = format!("fig{}-{}", pt.figure.unwrap(), pt.name);
+        group.bench_function(&label, |b| {
+            b.iter(|| black_box(check_expect(&lkmm, pt, pt.lkmm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The §5 "vast library" sweep: generate critical cycles, check the LKMM
+//! verdict of each, and validate simulator soundness on a sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, Verdict};
+use lkmm_generator::{cycles_up_to, default_alphabet, generate};
+use lkmm_sim::{run_test, Arch, RunConfig};
+use std::hint::black_box;
+
+fn bench_generated_sweep(c: &mut Criterion) {
+    let cycles = cycles_up_to(4, &default_alphabet());
+    let tests: Vec<_> = cycles.iter().map(|cy| generate(cy).unwrap()).collect();
+    let lkmm = Lkmm::new();
+    let opts = EnumOptions::default();
+
+    let mut group = c.benchmark_group("generated");
+    group.sample_size(10);
+    group.bench_function(format!("lkmm-sweep-{}-tests", tests.len()), |b| {
+        b.iter(|| {
+            let mut forbidden = 0usize;
+            for t in &tests {
+                if check_test(&lkmm, t, &opts).unwrap().verdict == Verdict::Forbidden {
+                    forbidden += 1;
+                }
+            }
+            black_box(forbidden)
+        })
+    });
+
+    // Simulator soundness on the forbidden subset (sampled).
+    let forbidden: Vec<_> = tests
+        .iter()
+        .filter(|t| check_test(&lkmm, t, &opts).unwrap().verdict == Verdict::Forbidden)
+        .step_by(8)
+        .collect();
+    group.bench_function(
+        format!("sim-soundness-{}-forbidden-tests", forbidden.len()),
+        |b| {
+            b.iter(|| {
+                for t in &forbidden {
+                    for arch in Arch::ALL {
+                        let stats =
+                            run_test(t, arch, &RunConfig { iterations: 50, seed: 5 }).unwrap();
+                        assert_eq!(stats.observed, 0, "{} on {}", t.name, arch.name());
+                    }
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generated_sweep
+}
+criterion_main!(benches);

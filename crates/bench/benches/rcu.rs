@@ -1,0 +1,92 @@
+//! RCU benchmarks: the axiom vs the fundamental law (Theorem 1), the
+//! Figure 15 implementation expansion (Theorem 2, Figure 16), the
+//! single-phase ablation, and the runtime urcu's grace-period cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::{enumerate, EnumOptions};
+use lkmm_exec::{check_test, Verdict};
+use lkmm_litmus::library;
+use lkmm_rcu::impl_verify::ExpandOptions;
+use lkmm_rcu::{check_equivalence, expand_rcu, satisfies_fundamental_law, Urcu};
+use std::hint::black_box;
+
+fn bench_axiom_vs_law(c: &mut Criterion) {
+    let test = library::by_name("RCU-MP").unwrap().test();
+    let execs = enumerate(&test, &EnumOptions::default()).unwrap();
+    let mut group = c.benchmark_group("rcu/theorem1");
+    group.bench_function("axiom-side", |b| {
+        b.iter(|| {
+            for x in &execs {
+                let r = lkmm::LkmmRelations::compute(x);
+                black_box(r.pb.is_acyclic() && r.rcu_path.is_irreflexive());
+            }
+        })
+    });
+    group.bench_function("law-side", |b| {
+        b.iter(|| {
+            for x in &execs {
+                black_box(satisfies_fundamental_law(x).holds());
+            }
+        })
+    });
+    group.bench_function("equivalence", |b| {
+        b.iter(|| {
+            for x in &execs {
+                assert!(check_equivalence(x).agree());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_theorem2_expansion(c: &mut Criterion) {
+    let lkmm = Lkmm::new();
+    let mut group = c.benchmark_group("rcu/theorem2");
+    group.sample_size(10);
+    for name in ["RCU-MP", "RCU-deferred-free"] {
+        let test = library::by_name(name).unwrap().test();
+        let expanded = expand_rcu(&test, &ExpandOptions::default()).unwrap();
+        group.bench_function(format!("figure15-{name}"), |b| {
+            b.iter(|| {
+                let r = check_test(&lkmm, &expanded, &EnumOptions::default()).unwrap();
+                assert_eq!(r.verdict, Verdict::Forbidden);
+                black_box(r.candidates)
+            })
+        });
+    }
+    // Ablation: a single update_counter_and_wait phase. The verdict is
+    // *reported*, not asserted — the point of the two-phase design.
+    let test = library::by_name("RCU-MP").unwrap().test();
+    let one_phase = expand_rcu(&test, &ExpandOptions { phases: 1 }).unwrap();
+    group.bench_function("figure15-RCU-MP-1phase-ablation", |b| {
+        b.iter(|| {
+            let r = check_test(&lkmm, &one_phase, &EnumOptions::default()).unwrap();
+            black_box(r.verdict)
+        })
+    });
+    group.finish();
+}
+
+fn bench_runtime_urcu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu/runtime");
+    group.bench_function("read-lock-unlock", |b| {
+        let rcu = Urcu::new(1);
+        b.iter(|| {
+            rcu.read_lock(0);
+            rcu.read_unlock(0);
+        })
+    });
+    group.bench_function("uncontended-grace-period", |b| {
+        let rcu = Urcu::new(4);
+        b.iter(|| rcu.synchronize_rcu())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_axiom_vs_law, bench_theorem2_expansion, bench_runtime_urcu
+}
+criterion_main!(benches);

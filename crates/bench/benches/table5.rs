@@ -1,0 +1,68 @@
+//! Table 5: the central evaluation artefact.
+//!
+//! Benchmarks (and asserts) the full Table 5 pipeline: the LKMM verdict
+//! of every row, the C11 verdict of every non-RCU row, and the
+//! Monte-Carlo hardware-simulator columns. `examples/table5.rs` prints
+//! the table itself; this target measures how fast it regenerates and
+//! re-asserts every verdict on each iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkmm::Lkmm;
+use lkmm_bench::check_expect;
+use lkmm_litmus::library;
+use lkmm_models::OriginalC11;
+use lkmm_sim::{run_test, Arch, RunConfig};
+use std::hint::black_box;
+
+fn bench_model_column(c: &mut Criterion) {
+    let lkmm = Lkmm::new();
+    c.bench_function("table5/model-column", |b| {
+        b.iter(|| {
+            for pt in library::table5() {
+                black_box(check_expect(&lkmm, pt, pt.lkmm));
+            }
+        })
+    });
+}
+
+fn bench_c11_column(c: &mut Criterion) {
+    let c11 = OriginalC11;
+    c.bench_function("table5/c11-column", |b| {
+        b.iter(|| {
+            for pt in library::table5() {
+                if let Some(expect) = pt.c11 {
+                    black_box(check_expect(&c11, pt, expect));
+                }
+            }
+        })
+    });
+}
+
+fn bench_hardware_columns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5/hardware");
+    group.sample_size(10);
+    for arch in Arch::ALL {
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| {
+                for pt in library::table5() {
+                    let test = pt.test();
+                    let stats = run_test(
+                        &test,
+                        arch,
+                        &RunConfig { iterations: 200, seed: 0xA5F0 },
+                    )
+                    .unwrap();
+                    black_box(stats.observed);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model_column, bench_c11_column, bench_hardware_columns
+}
+criterion_main!(benches);

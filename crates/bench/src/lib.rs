@@ -1,0 +1,27 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one artefact of the paper's evaluation
+//! (see EXPERIMENTS.md for the index) and *asserts* the expected verdicts
+//! while measuring how fast the toolkit produces them.
+
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, ConsistencyModel, Verdict};
+use lkmm_litmus::library::{Expect, PaperTest};
+
+/// Check a paper test and assert it matches the paper's expectation.
+///
+/// # Panics
+///
+/// Panics when the verdict diverges from the paper — a bench run is also
+/// a correctness run.
+pub fn check_expect(model: &dyn ConsistencyModel, pt: &PaperTest, expect: Expect) -> Verdict {
+    let verdict = check_test(model, &pt.test(), &EnumOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", pt.name))
+        .verdict;
+    let expected = match expect {
+        Expect::Allowed => Verdict::Allowed,
+        Expect::Forbidden => Verdict::Forbidden,
+    };
+    assert_eq!(verdict, expected, "{}", pt.name);
+    verdict
+}

@@ -1,0 +1,83 @@
+//! Abstract syntax of cat models.
+
+/// A complete cat model: optional name plus instructions in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    /// The leading string literal, e.g. `"Linux-kernel memory model"`.
+    pub name: Option<String>,
+    /// Instructions, evaluated top to bottom.
+    pub instrs: Vec<Instr>,
+}
+
+/// One top-level instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `let x = e [and y = f …]`, with optional parameters (functions).
+    Let { recursive: bool, bindings: Vec<Binding> },
+    /// `acyclic e as name` etc. `negated` handles `~empty`.
+    Check { kind: CheckKind, negated: bool, expr: Expr, name: Option<String>, flag: bool },
+}
+
+/// A single `name [params] = expr` binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    pub name: String,
+    /// Non-empty for function definitions (`let A-cumul(r) = …`).
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// Constraint kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    Acyclic,
+    Irreflexive,
+    Empty,
+}
+
+/// Expressions over sets and relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Identifier (predefined or `let`-bound).
+    Id(String),
+    /// The empty relation `0`.
+    Empty,
+    /// The universal set `_` (spelled `_` in cat; also usable via `M`, etc.).
+    Universe,
+    /// Function application `f(e1, …)`.
+    App(String, Vec<Expr>),
+    /// `[S]` — the identity relation on set `S`.
+    SetToId(Box<Expr>),
+    /// `e1 | e2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 ; e2`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// `e1 \ e2`.
+    Diff(Box<Expr>, Box<Expr>),
+    /// `e1 & e2`.
+    Inter(Box<Expr>, Box<Expr>),
+    /// `e1 * e2` — cartesian product of two sets.
+    Cartesian(Box<Expr>, Box<Expr>),
+    /// `~e` — complement.
+    Complement(Box<Expr>),
+    /// `e?` — reflexive closure.
+    Opt(Box<Expr>),
+    /// `e+` — transitive closure.
+    Plus(Box<Expr>),
+    /// `e*` — reflexive-transitive closure.
+    Star(Box<Expr>),
+    /// `e^-1` — inverse.
+    Inverse(Box<Expr>),
+}
+
+impl Expr {
+    /// `a | b` helper.
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// `a ; b` helper.
+    pub fn seq(a: Expr, b: Expr) -> Expr {
+        Expr::Seq(Box::new(a), Box::new(b))
+    }
+}

@@ -1,0 +1,188 @@
+//! Embedded cat models: the paper's LKMM plus SC and x86-TSO baselines.
+
+/// The Linux-kernel memory model as a cat file — a transcription of the
+/// paper's Figure 3 (axioms), Figure 8 (definitions) and Figure 12 (RCU).
+///
+/// Evaluating this file through the interpreter must agree with the native
+/// `lkmm::Lkmm` implementation on every candidate execution; the test
+/// suites of both crates enforce that.
+pub const LINUX_KERNEL_CAT: &str = r#"
+"LKMM"
+
+(* Derived communication relations -- Section 2 *)
+let fr = rf^-1 ; co
+let com = rf | co | fr
+let po-loc = po & loc
+let rfi = rf & int
+let rfe = rf & ext
+let coe = co & ext
+let fre = fr & ext
+
+(* Auxiliary relations -- Section 3.1 *)
+let rmb = (po ; [Rmb] ; po) & (R * R)
+let wmb = (po ; [Wmb] ; po) & (W * W)
+let mb = po ; [Mb] ; po
+let rb-dep = (po ; [Rb-dep] ; po) & (R * R)
+let acq-po = [Acquire] ; po
+let po-rel = po ; [Release]
+let rfi-rel-acq = [Release] ; rfi ; [Acquire]
+
+(* Figure 12: grace periods enlarge strong-fence *)
+let gp = (po ; [Sync] ; po?)
+
+(* Figure 8 *)
+let dep = addr | data
+let rwdep = (dep | ctrl) & (R * W)
+let overwrite = co | fr
+let to-w = rwdep | (overwrite & int)
+let rrdep = addr | (dep ; rfi)
+let strong-rrdep = rrdep+ & rb-dep
+let to-r = strong-rrdep | rfi-rel-acq
+let strong-fence = mb | gp
+let fence = strong-fence | po-rel | wmb | rmb | acq-po
+let ppo = rrdep* ; (to-r | to-w | fence)
+let A-cumul(r) = rfe? ; r
+let cumul-fence = A-cumul(strong-fence | po-rel) | wmb
+let prop = (overwrite & ext)? ; cumul-fence* ; rfe?
+let hb = ((prop \ id) & int) | ppo | rfe
+let pb = prop ; strong-fence ; hb*
+
+(* Figure 3: the core axioms *)
+acyclic po-loc | com as scpv
+empty rmw & (fre ; coe) as atomicity
+acyclic hb as happens-before
+acyclic pb as propagates-before
+
+(* Figure 12: the RCU axiom *)
+let rscs = po ; crit^-1 ; po?
+let link = hb* ; pb* ; prop
+let gp-link = gp ; link
+let rscs-link = rscs ; link
+let rec rcu-path = gp-link
+  | (rcu-path ; rcu-path)
+  | (gp-link ; rscs-link)
+  | (rscs-link ; gp-link)
+  | (gp-link ; rcu-path ; rscs-link)
+  | (rscs-link ; rcu-path ; gp-link)
+irreflexive rcu-path as rcu
+"#;
+
+/// Sequential consistency: `acyclic(po ∪ com)` (Lamport 1979, in cat).
+pub const SC_CAT: &str = r#"
+"SC"
+let fr = rf^-1 ; co
+acyclic po | rf | co | fr as sc
+"#;
+
+/// x86-TSO in the herding-cats style: program order is preserved except
+/// write-to-read; `smp_mb` maps to `mfence`. The lighter LK barriers
+/// (`smp_wmb`, `smp_rmb`, acquire/release) need no machine ordering on
+/// TSO. RCU primitives are *not* modelled here (use `lkmm-sim` for the
+/// operational grace-period semantics).
+pub const X86_TSO_CAT: &str = r#"
+"x86-TSO"
+let fr = rf^-1 ; co
+let com = rf | co | fr
+let po-loc = po & loc
+acyclic po-loc | com as scpv
+let fre = fr & ext
+let coe = co & ext
+empty rmw & (fre ; coe) as atomicity
+let ppo-tso = po \ (W * R)
+let mfence = po ; [Mb] ; po
+let implied = (po ; [domain(rmw)]) | ([range(rmw)] ; po)
+let rfe = rf & ext
+acyclic ppo-tso | mfence | implied | rfe | co | fr as tso
+"#;
+
+/// Simplified ARMv8 in cat (ordered-before style), matching
+/// `lkmm_models::Armv8`.
+pub const ARMV8_CAT: &str = r#"
+"ARMv8"
+let fr = rf^-1 ; co
+let com = rf | co | fr
+let po-loc = po & loc
+acyclic po-loc | com as internal
+let fre = fr & ext
+let coe = co & ext
+empty rmw & (fre ; coe) as atomicity
+let rfi = rf & int
+let rfe = rf & ext
+let obs = rfe | fre | coe
+let dep = addr | data
+let dob = dep | (ctrl & (R * W)) | (dep ; rfi) | ((addr ; po) & (R * W))
+let aob = rmw | ([range(rmw)] ; rfi ; [Acquire])
+let full = (po ; [Mb] ; po) | (po ; [Sync] ; po)
+let dmb-st = (po ; [Wmb] ; po) & (W * W)
+let dmb-ld = (po ; [Rmb] ; po) & (R * M)
+let bob = full | dmb-st | dmb-ld
+  | ([Acquire] ; po) | (po ; [Release]) | ([Release] ; po ; [Acquire])
+let ob = obs | dob | aob | bob
+acyclic ob as external
+"#;
+
+/// IBM Power in cat (herding-cats style), matching `lkmm_models::Power`.
+/// The `ii/ic/ci/cc` preserved-program-order families are a mutually
+/// recursive least fixpoint — exercising the interpreter's
+/// `let rec … and …`.
+pub const POWER_CAT: &str = r#"
+"Power"
+let fr = rf^-1 ; co
+let com = rf | co | fr
+let po-loc = po & loc
+acyclic po-loc | com as sc-per-location
+let rfi = rf & int
+let rfe = rf & ext
+let fre = fr & ext
+let coe = co & ext
+empty rmw & (fre ; coe) as atomicity
+
+(* ppo: Herding Cats Fig. 18 *)
+let dp = addr | data
+let rdw = po-loc & (fre ; rfe)
+let detour = po-loc & (coe ; rfe)
+let addr-po = addr ; po
+let acq-po = [Acquire] ; po
+let ii0 = dp | rdw | rfi
+let ci0 = ctrl | acq-po | detour
+let cc0 = dp | po-loc | ctrl | addr-po
+let rec ii = ii0 | ci | (ic ; ci) | (ii ; ii)
+    and ic = ii | cc | (ic ; cc) | (ii ; ic)
+    and ci = ci0 | (ci ; ii) | (cc ; ci)
+    and cc = cc0 | ci | (ci ; ic) | (cc ; cc)
+let ppo = (ii & (R * R)) | (ic & (R * W))
+
+(* fences: sync and lwsync *)
+let ffence = ((po ; [Mb] ; po) | (po ; [Sync] ; po)) & (M * M)
+let lw-raw = (po ; [Wmb] ; po) | (po ; [Rmb] ; po)
+  | (po ; [Release]) | ([Acquire] ; po)
+let lwfence = lw-raw & ((R * M) | (M * W))
+let fences = ffence | lwfence
+
+let hb = ppo | fences | rfe
+acyclic hb as no-thin-air
+let prop-base = (fences | (rfe ; fences)) ; hb*
+let prop = ((W * W) & prop-base)
+  | (com* ; prop-base* ; ffence ; hb*)
+irreflexive fre ; prop ; hb* as observation
+acyclic co | prop as propagation
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::CatModel;
+
+    #[test]
+    fn builtins_parse() {
+        for (name, src) in [
+            ("LKMM", super::LINUX_KERNEL_CAT),
+            ("SC", super::SC_CAT),
+            ("x86-TSO", super::X86_TSO_CAT),
+            ("ARMv8", super::ARMV8_CAT),
+            ("Power", super::POWER_CAT),
+        ] {
+            let m = CatModel::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(m.model_name(), Some(name));
+        }
+    }
+}

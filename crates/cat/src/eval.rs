@@ -1,0 +1,412 @@
+//! Evaluator: cat models against candidate executions.
+
+use crate::ast::{Binding, CheckKind, Expr, Instr, Model};
+use lkmm_exec::Execution;
+use lkmm_litmus::FenceKind;
+use lkmm_relation::{EventSet, Relation};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Evaluation failure (unknown identifier, type mismatch, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cat evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result of evaluating a model against one execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatOutcome {
+    /// First failed (non-flag) check, by name or kind.
+    pub failed_check: Option<String>,
+    /// Names of triggered `flag` checks (warnings, not verdicts).
+    pub flags: Vec<String>,
+}
+
+impl CatOutcome {
+    /// Whether the execution is allowed (no non-flag check failed).
+    pub fn allowed(&self) -> bool {
+        self.failed_check.is_none()
+    }
+}
+
+/// A cat runtime value.
+#[derive(Clone, Debug)]
+enum Value {
+    Set(EventSet),
+    Rel(Relation),
+    Fun(Rc<FunVal>),
+}
+
+#[derive(Debug)]
+struct FunVal {
+    params: Vec<String>,
+    body: Expr,
+    env: Env,
+}
+
+type Env = HashMap<String, Value>;
+
+/// Evaluate `model` against execution `x`.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for semantic errors; a type-correct model always
+/// evaluates.
+pub fn evaluate(model: &Model, x: &Execution) -> Result<CatOutcome, EvalError> {
+    if x.events.iter().any(|e| e.srcu().is_some()) {
+        return Err(EvalError {
+            message: "SRCU events are not exposed to cat models; use the native LKMM".into(),
+        });
+    }
+    let n = x.universe();
+    let mut env = base_env(x);
+    let mut outcome = CatOutcome { failed_check: None, flags: Vec::new() };
+    for (i, instr) in model.instrs.iter().enumerate() {
+        match instr {
+            Instr::Let { recursive: false, bindings } => {
+                // Simultaneous bindings: evaluate all in the current env.
+                let vals: Vec<(String, Value)> = bindings
+                    .iter()
+                    .map(|b| Ok((b.name.clone(), bind_value(b, &env)?)))
+                    .collect::<Result<_, EvalError>>()?;
+                env.extend(vals);
+            }
+            Instr::Let { recursive: true, bindings } => {
+                eval_rec(bindings, &mut env, n)?;
+            }
+            Instr::Check { kind, negated, expr, name, flag } => {
+                let holds = eval_check(*kind, expr, &env, n)? != *negated;
+                let label = || {
+                    name.clone()
+                        .unwrap_or_else(|| format!("{kind:?} (instruction {i})").to_lowercase())
+                };
+                if *flag {
+                    // herd semantics: a `flag` labels executions where the
+                    // condition *holds* (e.g. `flag ~empty bad as bad`
+                    // fires when `bad` is non-empty). It never forbids.
+                    if holds {
+                        outcome.flags.push(label());
+                    }
+                } else if !holds && outcome.failed_check.is_none() {
+                    outcome.failed_check = Some(label());
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn bind_value(b: &Binding, env: &Env) -> Result<Value, EvalError> {
+    if b.params.is_empty() {
+        eval_expr(&b.body, env)
+    } else {
+        Ok(Value::Fun(Rc::new(FunVal {
+            params: b.params.clone(),
+            body: b.body.clone(),
+            env: env.clone(),
+        })))
+    }
+}
+
+fn eval_rec(bindings: &[Binding], env: &mut Env, n: usize) -> Result<(), EvalError> {
+    for b in bindings {
+        if !b.params.is_empty() {
+            return Err(EvalError { message: "recursive functions are not supported".into() });
+        }
+        env.insert(b.name.clone(), Value::Rel(Relation::empty(n)));
+    }
+    // Least fixpoint by iteration; cat recursion over ∪/;/closures is
+    // monotone, so this terminates (the lattice of relations is finite).
+    let cap = n * n * bindings.len() + 2;
+    for _ in 0..cap {
+        let mut changed = false;
+        for b in bindings {
+            let new = eval_expr(&b.body, env)?;
+            let new_rel = as_rel(new, n)?;
+            let old = match env.get(&b.name) {
+                Some(Value::Rel(r)) => r.clone(),
+                _ => unreachable!("rec name bound above"),
+            };
+            if new_rel != old {
+                changed = true;
+                env.insert(b.name.clone(), Value::Rel(new_rel));
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(EvalError { message: "recursive definition did not converge (non-monotone?)".into() })
+}
+
+fn eval_check(kind: CheckKind, expr: &Expr, env: &Env, n: usize) -> Result<bool, EvalError> {
+    let v = eval_expr(expr, env)?;
+    Ok(match kind {
+        CheckKind::Acyclic => as_rel(v, n)?.is_acyclic(),
+        CheckKind::Irreflexive => as_rel(v, n)?.is_irreflexive(),
+        CheckKind::Empty => match v {
+            Value::Set(s) => s.is_empty(),
+            Value::Rel(r) => r.is_empty(),
+            Value::Fun(_) => {
+                return Err(EvalError { message: "`empty` applied to a function".into() })
+            }
+        },
+    })
+}
+
+fn as_rel(v: Value, _n: usize) -> Result<Relation, EvalError> {
+    match v {
+        Value::Rel(r) => Ok(r),
+        Value::Set(_) => Err(EvalError { message: "expected a relation, found a set".into() }),
+        Value::Fun(_) => Err(EvalError { message: "expected a relation, found a function".into() }),
+    }
+}
+
+fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
+    let err = |m: String| EvalError { message: m };
+    match e {
+        Expr::Id(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(format!("unknown identifier `{name}`"))),
+        Expr::Empty => {
+            // `0` is the empty relation; its universe is taken from `id`.
+            match env.get("id") {
+                Some(Value::Rel(id)) => Ok(Value::Rel(Relation::empty(id.universe()))),
+                _ => Err(err("internal: `id` missing from base env".into())),
+            }
+        }
+        Expr::Universe => match env.get("_UNIV") {
+            Some(v) => Ok(v.clone()),
+            _ => Err(err("internal: universe missing".into())),
+        },
+        Expr::App(name, args) => {
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval_expr(a, env)).collect::<Result<_, _>>()?;
+            match (name.as_str(), vals.as_slice()) {
+                ("domain", [Value::Rel(r)]) => Ok(Value::Set(r.domain())),
+                ("range", [Value::Rel(r)]) => Ok(Value::Set(r.range())),
+                _ => match env.get(name) {
+                    Some(Value::Fun(f)) => {
+                        if f.params.len() != args.len() {
+                            return Err(err(format!(
+                                "`{name}` expects {} argument(s), got {}",
+                                f.params.len(),
+                                args.len()
+                            )));
+                        }
+                        let mut call_env = f.env.clone();
+                        for (p, v) in f.params.iter().zip(vals) {
+                            call_env.insert(p.clone(), v);
+                        }
+                        eval_expr(&f.body, &call_env)
+                    }
+                    Some(_) => Err(err(format!("`{name}` is not a function"))),
+                    None => Err(err(format!("unknown function `{name}`"))),
+                },
+            }
+        }
+        Expr::SetToId(inner) => match eval_expr(inner, env)? {
+            Value::Set(s) => Ok(Value::Rel(s.as_identity())),
+            _ => Err(err("`[…]` expects a set".into())),
+        },
+        Expr::Union(a, b) => binop(a, b, env, "union", |x, y| match (x, y) {
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.union(&b))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.union(&b))),
+            _ => None,
+        }),
+        Expr::Inter(a, b) => binop(a, b, env, "intersection", |x, y| match (x, y) {
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.intersection(&b))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.intersection(&b))),
+            _ => None,
+        }),
+        Expr::Diff(a, b) => binop(a, b, env, "difference", |x, y| match (x, y) {
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.difference(&b))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.difference(&b))),
+            _ => None,
+        }),
+        Expr::Seq(a, b) => binop(a, b, env, "sequence", |x, y| match (x, y) {
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.seq(&b))),
+            _ => None,
+        }),
+        Expr::Cartesian(a, b) => binop(a, b, env, "cartesian product", |x, y| match (x, y) {
+            (Value::Set(a), Value::Set(b)) => Some(Value::Rel(a.cross(&b))),
+            _ => None,
+        }),
+        Expr::Complement(inner) => match eval_expr(inner, env)? {
+            Value::Set(s) => Ok(Value::Set(s.complement())),
+            Value::Rel(r) => Ok(Value::Rel(r.complement())),
+            Value::Fun(_) => Err(err("`~` applied to a function".into())),
+        },
+        Expr::Opt(inner) => unary_rel(inner, env, "?", Relation::reflexive),
+        Expr::Plus(inner) => unary_rel(inner, env, "+", Relation::transitive_closure),
+        Expr::Star(inner) => unary_rel(inner, env, "*", Relation::reflexive_transitive_closure),
+        Expr::Inverse(inner) => unary_rel(inner, env, "^-1", Relation::inverse),
+    }
+}
+
+fn binop(
+    a: &Expr,
+    b: &Expr,
+    env: &Env,
+    what: &str,
+    f: impl Fn(Value, Value) -> Option<Value>,
+) -> Result<Value, EvalError> {
+    let va = eval_expr(a, env)?;
+    let vb = eval_expr(b, env)?;
+    f(va, vb).ok_or_else(|| EvalError { message: format!("type error in {what}") })
+}
+
+fn unary_rel(
+    inner: &Expr,
+    env: &Env,
+    what: &str,
+    f: impl Fn(&Relation) -> Relation,
+) -> Result<Value, EvalError> {
+    match eval_expr(inner, env)? {
+        Value::Rel(r) => Ok(Value::Rel(f(&r))),
+        _ => Err(EvalError { message: format!("`{what}` expects a relation") }),
+    }
+}
+
+/// The identifiers herd-style models may assume, computed from the
+/// execution: base relations (`po`, `rf`, `co`, dependency relations,
+/// `loc`, `int`, `ext`, `id`, `crit`) and event sets (`R`, `W`, `M`, `F`,
+/// `IW`, `Acquire`, `Release`, and one set per fence kind).
+fn base_env(x: &Execution) -> Env {
+    let mut env = Env::new();
+    let n = x.universe();
+    let mut rel = |name: &str, r: Relation| {
+        env.insert(name.to_string(), Value::Rel(r));
+    };
+    rel("po", x.po.clone());
+    rel("addr", x.addr.clone());
+    rel("data", x.data.clone());
+    rel("ctrl", x.ctrl.clone());
+    rel("rmw", x.rmw.clone());
+    rel("rf", x.rf.clone());
+    rel("co", x.co.clone());
+    rel("loc", x.loc_rel());
+    rel("int", x.int_rel());
+    rel("ext", x.ext_rel());
+    rel("id", Relation::identity(n));
+    rel("crit", x.crit());
+    let mut set = |name: &str, s: EventSet| {
+        env.insert(name.to_string(), Value::Set(s));
+    };
+    set("R", x.reads());
+    set("W", x.writes());
+    set("M", x.mem());
+    set("IW", x.init_writes());
+    set(
+        "F",
+        x.events_where(|e| matches!(e.kind, lkmm_exec::EventKind::Fence(_))),
+    );
+    set("Acquire", x.acquires());
+    set("Release", x.releases());
+    set("Rmb", x.fences(FenceKind::Rmb));
+    set("Wmb", x.fences(FenceKind::Wmb));
+    set("Mb", x.fences(FenceKind::Mb));
+    set("Rb-dep", x.fences(FenceKind::RbDep));
+    set("Rcu-lock", x.fences(FenceKind::RcuLock));
+    set("Rcu-unlock", x.fences(FenceKind::RcuUnlock));
+    set("Sync", x.fences(FenceKind::SyncRcu));
+    set("_UNIV", EventSet::full(n));
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use lkmm_exec::enumerate::{enumerate, EnumOptions};
+    use lkmm_litmus::library;
+
+    fn execs(name: &str) -> (Vec<Execution>, lkmm_litmus::Test) {
+        let t = library::by_name(name).unwrap().test();
+        (enumerate(&t, &EnumOptions::default()).unwrap(), t)
+    }
+
+    fn sc_model() -> Model {
+        parse("\"SC\"\nlet fr = rf^-1 ; co\nacyclic po | rf | co | fr as sc").unwrap()
+    }
+
+    #[test]
+    fn sc_forbids_sb_weak_outcome() {
+        let (execs, t) = execs("SB");
+        let m = sc_model();
+        for x in &execs {
+            let out = evaluate(&m, x).unwrap();
+            if x.satisfies_prop(&t.condition.prop) {
+                assert_eq!(out.failed_check.as_deref(), Some("sc"));
+            } else {
+                assert!(out.allowed());
+            }
+        }
+    }
+
+    #[test]
+    fn rec_fixpoint_converges() {
+        // Transitive closure via recursion must equal the + operator.
+        let m = parse("let rec tc = po | (tc ; tc)\nirreflexive tc \\ po+ as equal1\nirreflexive po+ \\ tc as equal2\nempty tc \\ po+ as equal3").unwrap();
+        let (execs, _) = execs("MP");
+        for x in &execs {
+            let out = evaluate(&m, x).unwrap();
+            assert!(out.allowed(), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn flags_do_not_forbid() {
+        let m = parse("flag ~empty po as has-po").unwrap();
+        let (execs, _) = execs("SB");
+        let out = evaluate(&m, &execs[0]).unwrap();
+        assert!(out.allowed());
+        assert_eq!(out.flags, vec!["has-po"]);
+    }
+
+    #[test]
+    fn functions_apply() {
+        let m = parse(
+            "let rfe = rf & ext\nlet A-cumul(r) = rfe? ; r\nempty A-cumul(0) \\ rfe? as ok",
+        )
+        .unwrap();
+        let (execs, _) = execs("MP");
+        // A-cumul(0) = rfe? ; 0 = 0 ⊆ rfe?.
+        let out = evaluate(&m, &execs[0]).unwrap();
+        assert!(out.allowed(), "{out:?}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let m = parse("acyclic R as oops").unwrap();
+        let (execs, _) = execs("SB");
+        assert!(evaluate(&m, &execs[0]).is_err());
+        let m2 = parse("let x = R ; W\nempty x as oops").unwrap();
+        assert!(evaluate(&m2, &execs[0]).is_err());
+        let m3 = parse("empty nonsense as oops").unwrap();
+        assert!(evaluate(&m3, &execs[0]).is_err());
+    }
+
+    #[test]
+    fn cartesian_and_brackets() {
+        let m = parse(
+            "let rr = po & (R * R)\nlet viaid = [R] ; po ; [R]\n\
+             empty rr \\ viaid as same1\nempty viaid \\ rr as same2",
+        )
+        .unwrap();
+        let (execs, _) = execs("MP");
+        for x in &execs {
+            assert!(evaluate(&m, x).unwrap().allowed());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Tokeniser for the cat dialect.
+
+use std::fmt;
+
+/// A cat token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword. Identifiers may contain `-` and `.`
+    /// (`po-loc`, `rcu-path`), which is why cat has no subtraction.
+    Ident(String),
+    /// A double-quoted string (the model name).
+    Str(String),
+    /// `0` — the empty relation.
+    Zero,
+    /// Punctuation / operators.
+    Punct(&'static str),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Zero => write!(f, "`0`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset (for error messages).
+pub type Spanned = (Tok, usize);
+
+/// Tokenise cat source. OCaml-style `(* … *)` comments are skipped
+/// (nesting supported).
+///
+/// # Errors
+///
+/// Returns `(message, offset)` for unterminated strings/comments or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, (String, usize)> {
+    let b = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < b.len() {
+        let c = b[pos];
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if b[pos..].starts_with(b"(*") {
+            let start = pos;
+            let mut depth = 1;
+            pos += 2;
+            while depth > 0 {
+                if pos >= b.len() {
+                    return Err(("unterminated comment".into(), start));
+                }
+                if b[pos..].starts_with(b"(*") {
+                    depth += 1;
+                    pos += 2;
+                } else if b[pos..].starts_with(b"*)") {
+                    depth -= 1;
+                    pos += 2;
+                } else {
+                    pos += 1;
+                }
+            }
+            continue;
+        }
+        if b[pos..].starts_with(b"//") {
+            while pos < b.len() && b[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        if c == b'"' {
+            pos += 1;
+            let sstart = pos;
+            while pos < b.len() && b[pos] != b'"' {
+                pos += 1;
+            }
+            if pos >= b.len() {
+                return Err(("unterminated string".into(), start));
+            }
+            out.push((Tok::Str(src[sstart..pos].to_string()), start));
+            pos += 1;
+            continue;
+        }
+        if c == b'0' && !next_is_ident(b, pos + 1) {
+            out.push((Tok::Zero, start));
+            pos += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut end = pos;
+            while end < b.len()
+                && (b[end].is_ascii_alphanumeric()
+                    || b[end] == b'_'
+                    || b[end] == b'-'
+                    || b[end] == b'.')
+            {
+                end += 1;
+            }
+            // Trailing '-' or '.' are not part of identifiers.
+            while end > pos && (b[end - 1] == b'-' || b[end - 1] == b'.') {
+                end -= 1;
+            }
+            out.push((Tok::Ident(src[pos..end].to_string()), start));
+            pos = end;
+            continue;
+        }
+        if b[pos..].starts_with(b"^-1") {
+            out.push((Tok::Punct("^-1"), start));
+            pos += 3;
+            continue;
+        }
+        const SINGLES: &[(&[u8], &str)] = &[
+            (b"|", "|"),
+            (b";", ";"),
+            (b"\\", "\\"),
+            (b"&", "&"),
+            (b"~", "~"),
+            (b"?", "?"),
+            (b"+", "+"),
+            (b"*", "*"),
+            (b"(", "("),
+            (b")", ")"),
+            (b"[", "["),
+            (b"]", "]"),
+            (b"=", "="),
+            (b",", ","),
+        ];
+        let mut matched = false;
+        for (pat, p) in SINGLES {
+            if b[pos..].starts_with(pat) {
+                out.push((Tok::Punct(p), start));
+                pos += pat.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err((format!("unexpected character {:?}", c as char), pos));
+        }
+    }
+    out.push((Tok::Eof, b.len()));
+    Ok(out)
+}
+
+fn next_is_ident(b: &[u8], pos: usize) -> bool {
+    pos < b.len() && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_with_dashes() {
+        let toks = lex("let po-loc = po & loc").unwrap();
+        assert_eq!(toks[1].0, Tok::Ident("po-loc".into()));
+        assert_eq!(toks[2].0, Tok::Punct("="));
+    }
+
+    #[test]
+    fn inverse_operator() {
+        let toks = lex("rf^-1").unwrap();
+        assert_eq!(toks[0].0, Tok::Ident("rf".into()));
+        assert_eq!(toks[1].0, Tok::Punct("^-1"));
+    }
+
+    #[test]
+    fn nested_comments_and_strings() {
+        let toks = lex("\"model (* name *)\" (* a (* nested *) comment *) let").unwrap();
+        assert_eq!(toks[0].0, Tok::Str("model (* name *)".into()));
+        assert_eq!(toks[1].0, Tok::Ident("let".into()));
+    }
+
+    #[test]
+    fn zero_token() {
+        let toks = lex("let e = 0").unwrap();
+        assert_eq!(toks[3].0, Tok::Zero);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(lex("let x = @").is_err());
+        assert!(lex("(* unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

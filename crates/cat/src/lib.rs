@@ -1,0 +1,115 @@
+//! An interpreter for the `cat` consistency-model language.
+//!
+//! `cat` [Alglave, Cousot & Maranget 2016] is the language in which the
+//! paper's LKMM is written: models are sets of constraints (`acyclic`,
+//! `irreflexive`, `empty`) over relations built from a candidate
+//! execution's base relations with union, intersection, difference,
+//! sequence, closures, inverses and (recursive) `let` bindings.
+//!
+//! The supported dialect covers everything the paper's Figures 8 and 12
+//! need: `let`, `let rec … and …` (least fixpoints), user functions
+//! (`let A-cumul(r) = rfe? ; r`), the operators `| ; \ & ~ ? + * ^-1`,
+//! set-to-relation brackets `[S]`, cartesian product `X * Y`, and named
+//! checks (`acyclic hb as Hb`).
+//!
+//! The LKMM itself ships as an embedded cat file ([`LINUX_KERNEL_CAT`]);
+//! the test suite cross-checks the interpreted model against the native
+//! Rust implementation in the `lkmm` crate on every library test.
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm_cat::CatModel;
+//! use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+//!
+//! let sc = CatModel::parse(r#"
+//! "sequential consistency"
+//! let fr = rf^-1 ; co
+//! acyclic po | rf | co | fr as sc
+//! "#).unwrap();
+//!
+//! let sb = lkmm_litmus::library::by_name("SB").unwrap().test();
+//! let r = check_test(&sc, &sb, &EnumOptions::default()).unwrap();
+//! assert_eq!(r.verdict, Verdict::Forbidden); // SC forbids store buffering
+//! ```
+
+pub mod ast;
+pub mod builtin;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{CheckKind, Expr, Instr, Model};
+pub use builtin::LINUX_KERNEL_CAT;
+pub use eval::{CatOutcome, EvalError};
+pub use parser::CatParseError;
+
+use lkmm_exec::{ConsistencyModel, Execution};
+
+/// A parsed cat model, usable as a [`ConsistencyModel`].
+#[derive(Clone, Debug)]
+pub struct CatModel {
+    model: Model,
+}
+
+impl CatModel {
+    /// Parse a cat source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatParseError`] on syntax errors.
+    pub fn parse(src: &str) -> Result<Self, CatParseError> {
+        Ok(CatModel { model: parser::parse(src)? })
+    }
+
+    /// The model's declared name (first string literal), if any.
+    pub fn model_name(&self) -> Option<&str> {
+        self.model.name.as_deref()
+    }
+
+    /// Evaluate all checks against one candidate execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for semantic errors (unknown identifiers,
+    /// type mismatches) — a well-formed model never errors.
+    pub fn evaluate(&self, x: &Execution) -> Result<CatOutcome, EvalError> {
+        eval::evaluate(&self.model, x)
+    }
+
+    /// The parsed AST (for tooling).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+}
+
+impl ConsistencyModel for CatModel {
+    fn name(&self) -> &str {
+        self.model.name.as_deref().unwrap_or("cat")
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the model has semantic errors (caught on first use; parse
+    /// errors are already impossible here).
+    fn allows(&self, x: &Execution) -> bool {
+        self.evaluate(x).expect("cat evaluation failed").allowed()
+    }
+
+    fn explain(&self, x: &Execution) -> Option<String> {
+        self.evaluate(x)
+            .expect("cat evaluation failed")
+            .failed_check
+            .map(|c| format!("violates cat check `{c}`"))
+    }
+}
+
+/// The LKMM as an interpreted cat model (parses [`LINUX_KERNEL_CAT`]).
+///
+/// # Panics
+///
+/// Never: the embedded source is covered by tests.
+pub fn linux_kernel_model() -> CatModel {
+    CatModel::parse(LINUX_KERNEL_CAT).expect("embedded LKMM cat file parses")
+}

@@ -1,0 +1,377 @@
+//! Recursive-descent parser for the cat dialect.
+
+use crate::ast::{Binding, CheckKind, Expr, Instr, Model};
+use crate::lexer::{lex, Spanned, Tok};
+use std::fmt;
+
+/// Parse failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for CatParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cat parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CatParseError {}
+
+/// Parse a cat model source.
+///
+/// # Errors
+///
+/// Returns [`CatParseError`] for lexical or syntactic problems, including
+/// the unsupported `include` directive.
+pub fn parse(src: &str) -> Result<Model, CatParseError> {
+    let toks = lex(src).map_err(|(message, offset)| CatParseError { message, offset })?;
+    Parser { toks, pos: 0 }.parse_model()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CatParseError> {
+        Err(CatParseError { message: message.into(), offset: self.offset() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CatParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(w) if w == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CatParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn parse_model(&mut self) -> Result<Model, CatParseError> {
+        let name = if let Tok::Str(_) = self.peek() {
+            match self.bump() {
+                Tok::Str(s) => Some(s),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        };
+        let mut instrs = Vec::new();
+        while *self.peek() != Tok::Eof {
+            instrs.push(self.parse_instr()?);
+        }
+        Ok(Model { name, instrs })
+    }
+
+    fn parse_instr(&mut self) -> Result<Instr, CatParseError> {
+        if self.is_kw("include") {
+            return self.err("`include` is not supported; inline the included model");
+        }
+        if self.is_kw("let") {
+            self.bump();
+            let recursive = self.is_kw("rec") && {
+                self.bump();
+                true
+            };
+            let mut bindings = vec![self.parse_binding()?];
+            while self.is_kw("and") {
+                self.bump();
+                bindings.push(self.parse_binding()?);
+            }
+            return Ok(Instr::Let { recursive, bindings });
+        }
+        let flag = self.is_kw("flag") && {
+            self.bump();
+            true
+        };
+        let negated = self.eat_punct("~");
+        let kind = match self.peek() {
+            Tok::Ident(w) if w == "acyclic" => CheckKind::Acyclic,
+            Tok::Ident(w) if w == "irreflexive" => CheckKind::Irreflexive,
+            Tok::Ident(w) if w == "empty" => CheckKind::Empty,
+            other => return self.err(format!("expected instruction, found {other}")),
+        };
+        self.bump();
+        let expr = self.parse_expr()?;
+        let name = if self.is_kw("as") {
+            self.bump();
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(Instr::Check { kind, negated, expr, name, flag })
+    }
+
+    fn parse_binding(&mut self) -> Result<Binding, CatParseError> {
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat_punct("(") {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct("=")?;
+        let body = self.parse_expr()?;
+        Ok(Binding { name, params, body })
+    }
+
+    // Precedence, loosest first: `|`, `;`, `\`, `&`, cartesian `*`,
+    // unary `~`, postfix `? + * ^-1`.
+    fn parse_expr(&mut self) -> Result<Expr, CatParseError> {
+        let mut lhs = self.parse_seq()?;
+        while self.eat_punct("|") {
+            let rhs = self.parse_seq()?;
+            lhs = Expr::union(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_seq(&mut self) -> Result<Expr, CatParseError> {
+        let mut lhs = self.parse_diff()?;
+        while self.eat_punct(";") {
+            let rhs = self.parse_diff()?;
+            lhs = Expr::seq(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_diff(&mut self) -> Result<Expr, CatParseError> {
+        let mut lhs = self.parse_inter()?;
+        while self.eat_punct("\\") {
+            let rhs = self.parse_inter()?;
+            lhs = Expr::Diff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_inter(&mut self) -> Result<Expr, CatParseError> {
+        let mut lhs = self.parse_cartesian()?;
+        while self.eat_punct("&") {
+            let rhs = self.parse_cartesian()?;
+            lhs = Expr::Inter(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cartesian(&mut self) -> Result<Expr, CatParseError> {
+        let lhs = self.parse_unary()?;
+        // `X * Y` is cartesian product when `*` is followed by the start of
+        // an atom; otherwise `*` was already consumed as a postfix closure
+        // by parse_unary.
+        if matches!(self.peek(), Tok::Punct("*")) && self.starts_atom(self.peek2()) {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            return Ok(Expr::Cartesian(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn starts_atom(&self, t: &Tok) -> bool {
+        const KEYWORDS: &[&str] = &[
+            "let", "rec", "and", "as", "acyclic", "irreflexive", "empty", "flag", "include",
+        ];
+        match t {
+            Tok::Ident(w) => !KEYWORDS.contains(&w.as_str()),
+            Tok::Zero | Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("~") => true,
+            _ => false,
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CatParseError> {
+        if self.eat_punct("~") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Complement(Box::new(e)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CatParseError> {
+        let mut e = self.parse_atom()?;
+        loop {
+            if self.eat_punct("?") {
+                e = Expr::Opt(Box::new(e));
+            } else if self.eat_punct("+") {
+                e = Expr::Plus(Box::new(e));
+            } else if self.eat_punct("^-1") {
+                e = Expr::Inverse(Box::new(e));
+            } else if matches!(self.peek(), Tok::Punct("*")) && !self.starts_atom(self.peek2()) {
+                self.bump();
+                e = Expr::Star(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, CatParseError> {
+        match self.peek().clone() {
+            Tok::Zero => {
+                self.bump();
+                Ok(Expr::Empty)
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct("]")?;
+                Ok(Expr::SetToId(Box::new(e)))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if name == "_" {
+                    return Ok(Expr::Universe);
+                }
+                if matches!(self.peek(), Tok::Punct("(")) {
+                    self.bump();
+                    let mut args = vec![self.parse_expr()?];
+                    while self.eat_punct(",") {
+                        args.push(self.parse_expr()?);
+                    }
+                    self.expect_punct(")")?;
+                    return Ok(Expr::App(name, args));
+                }
+                Ok(Expr::Id(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_lets() {
+        let m = parse("\"demo\"\nlet fr = rf^-1 ; co\nacyclic po | fr as check1").unwrap();
+        assert_eq!(m.name.as_deref(), Some("demo"));
+        assert_eq!(m.instrs.len(), 2);
+        match &m.instrs[0] {
+            Instr::Let { recursive: false, bindings } => {
+                assert_eq!(bindings[0].name, "fr");
+                assert_eq!(
+                    bindings[0].body,
+                    Expr::seq(Expr::Inverse(Box::new(Expr::Id("rf".into()))), Expr::Id("co".into()))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_is_postfix_or_cartesian_by_lookahead() {
+        let m = parse("let a = rrdep* ; fence\nlet b = (R * R)").unwrap();
+        match &m.instrs[0] {
+            Instr::Let { bindings, .. } => {
+                assert_eq!(
+                    bindings[0].body,
+                    Expr::seq(Expr::Star(Box::new(Expr::Id("rrdep".into()))), Expr::Id("fence".into()))
+                );
+            }
+            _ => unreachable!(),
+        }
+        match &m.instrs[1] {
+            Instr::Let { bindings, .. } => {
+                assert!(matches!(bindings[0].body, Expr::Cartesian(_, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_rec_and() {
+        let m = parse("let rec p = q | (p ; p) and q = p").unwrap();
+        match &m.instrs[0] {
+            Instr::Let { recursive: true, bindings } => assert_eq!(bindings.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_functions_and_brackets() {
+        let m = parse("let A-cumul(r) = rfe? ; r\nlet mb = po ; [Mb] ; po").unwrap();
+        match &m.instrs[0] {
+            Instr::Let { bindings, .. } => {
+                assert_eq!(bindings[0].params, vec!["r"]);
+            }
+            _ => unreachable!(),
+        }
+        match &m.instrs[1] {
+            Instr::Let { bindings, .. } => {
+                // Sequence is left-associative: (po ; [Mb]) ; po.
+                let Expr::Seq(first, _) = &bindings[0].body else { panic!() };
+                let Expr::Seq(_, mid) = &**first else { panic!() };
+                assert!(matches!(**mid, Expr::SetToId(_)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_flag_checks() {
+        let m = parse("flag ~empty rmw as atomicity-warning").unwrap();
+        match &m.instrs[0] {
+            Instr::Check { kind: CheckKind::Empty, negated: true, flag: true, name, .. } => {
+                assert_eq!(name.as_deref(), Some("atomicity-warning"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_include_and_garbage() {
+        assert!(parse("include \"cos.cat\"").is_err());
+        assert!(parse("let = 3").is_err());
+        assert!(parse("acyclic").is_err());
+    }
+}

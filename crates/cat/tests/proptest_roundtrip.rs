@@ -1,0 +1,64 @@
+//! Property: any cat expression prints to a string that re-parses to the
+//! same AST (printer/parser inverse pair).
+
+use lkmm_cat::ast::{Binding, Expr, Instr, Model};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("po".to_string()),
+        Just("rf".to_string()),
+        Just("co".to_string()),
+        Just("po-loc".to_string()),
+        Just("rcu-path".to_string()),
+        Just("Rb-dep".to_string()),
+        Just("x_1".to_string()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(Expr::Id),
+        Just(Expr::Empty),
+        Just(Expr::Universe),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::union(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::seq(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Cartesian(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Complement(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Opt(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Inverse(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::SetToId(Box::new(a))),
+            (arb_ident(), proptest::collection::vec(inner, 1..3))
+                .prop_map(|(n, args)| Expr::App(n, args)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_roundtrip(body in arb_expr()) {
+        let model = Model {
+            name: Some("roundtrip".into()),
+            instrs: vec![Instr::Let {
+                recursive: false,
+                bindings: vec![Binding { name: "e".into(), params: vec![], body }],
+            }],
+        };
+        let printed = model.to_string();
+        let reparsed = lkmm_cat::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        prop_assert_eq!(model, reparsed, "{}", printed);
+    }
+}

@@ -1,0 +1,45 @@
+//! The Linux-kernel memory model (LKMM) of Alglave, Maranget, McKenney,
+//! Parri & Stern, *ASPLOS 2018* — the paper's primary contribution, as an
+//! executable Rust implementation.
+//!
+//! The model is a predicate on [candidate executions](lkmm_exec::Execution):
+//! an execution is allowed iff it satisfies the four core axioms of
+//! Figure 3 —
+//!
+//! * **Scpv** `acyclic(po-loc ∪ com)` — per-variable SC,
+//! * **At** `empty(rmw ∩ (fre ; coe))` — RMW atomicity,
+//! * **Hb** `acyclic(hb)` — happens-before,
+//! * **Pb** `acyclic(pb)` — propagates-before,
+//!
+//! plus the **RCU axiom** of Figure 12, `irreflexive(rcu-path)`, which is
+//! equivalent to the *fundamental law of RCU* (Theorem 1; see the
+//! `lkmm-rcu` crate for the law side and the equivalence harness).
+//!
+//! Every intermediate relation of Figure 8 (`ppo`, `prop`, `cumul-fence`,
+//! `hb`, `pb`, …) is exposed in [`LkmmRelations`] so violations can be
+//! explained edge by edge, exactly as the paper's §3 walkthroughs do.
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm::Lkmm;
+//! use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+//!
+//! // Figure 6: store buffering with full fences is forbidden (Pb axiom).
+//! let sb_mbs = lkmm_litmus::library::by_name("SB+mbs").unwrap().test();
+//! let result = check_test(&Lkmm::new(), &sb_mbs, &EnumOptions::default()).unwrap();
+//! assert_eq!(result.verdict, Verdict::Forbidden);
+//!
+//! // Without the fences the outcome is observable.
+//! let sb = lkmm_litmus::library::by_name("SB").unwrap().test();
+//! let result = check_test(&Lkmm::new(), &sb, &EnumOptions::default()).unwrap();
+//! assert_eq!(result.verdict, Verdict::Allowed);
+//! ```
+
+pub mod explain;
+pub mod model;
+pub mod relations;
+
+pub use explain::{explain_violation, Violation};
+pub use model::{Axiom, Lkmm};
+pub use relations::{rcu_path_fixpoint, LkmmRelations};

@@ -1,0 +1,283 @@
+//! The LKMM as a [`ConsistencyModel`]: the four core axioms of Figure 3
+//! plus the RCU axiom of Figure 12.
+
+use crate::relations::LkmmRelations;
+use lkmm_exec::{ConsistencyModel, Execution};
+use std::fmt;
+
+/// The axioms of the model (Figure 3 + Figure 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `acyclic(po-loc ∪ com)` — sequential consistency per variable.
+    Scpv,
+    /// `empty(rmw ∩ (fre ; coe))` — RMW atomicity.
+    At,
+    /// `acyclic(hb)` — happens-before.
+    Hb,
+    /// `acyclic(pb)` — propagates-before.
+    Pb,
+    /// `irreflexive(rcu-path)` — the RCU axiom.
+    Rcu,
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axiom::Scpv => "Scpv: acyclic(po-loc U com)",
+            Axiom::At => "At: empty(rmw & (fre;coe))",
+            Axiom::Hb => "Hb: acyclic(hb)",
+            Axiom::Pb => "Pb: acyclic(pb)",
+            Axiom::Rcu => "Rcu: irreflexive(rcu-path)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The Linux-kernel memory model.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm::Lkmm;
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+///
+/// let test = lkmm_litmus::library::by_name("MP+wmb+rmb").unwrap().test();
+/// let r = check_test(&Lkmm::new(), &test, &EnumOptions::default()).unwrap();
+/// assert_eq!(r.verdict, Verdict::Forbidden); // Figure 2 of the paper
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lkmm {
+    /// Skip the RCU axiom (the pure Figure 3/8 core). Used for ablation.
+    pub without_rcu: bool,
+}
+
+impl Lkmm {
+    /// The full model (core + RCU axiom).
+    pub fn new() -> Self {
+        Lkmm { without_rcu: false }
+    }
+
+    /// The Figure 3 core only, without the RCU axiom of Figure 12.
+    pub fn core_only() -> Self {
+        Lkmm { without_rcu: true }
+    }
+
+    /// The first violated axiom, checked in Figure 3 order, or `None` if
+    /// the execution is allowed.
+    pub fn violated_axiom(&self, x: &Execution) -> Option<Axiom> {
+        let r = LkmmRelations::compute(x);
+        self.violated_axiom_with(x, &r)
+    }
+
+    /// As [`Lkmm::violated_axiom`], reusing precomputed relations.
+    pub fn violated_axiom_with(&self, x: &Execution, r: &LkmmRelations) -> Option<Axiom> {
+        if !x.po_loc().union(&r.com).is_acyclic() {
+            return Some(Axiom::Scpv);
+        }
+        let fre_coe = r.fr.intersection(&x.ext_rel()).seq(&x.co.intersection(&x.ext_rel()));
+        if !x.rmw.intersection(&fre_coe).is_empty() {
+            return Some(Axiom::At);
+        }
+        if !r.hb.is_acyclic() {
+            return Some(Axiom::Hb);
+        }
+        if !r.pb.is_acyclic() {
+            return Some(Axiom::Pb);
+        }
+        if !self.without_rcu
+            && (!r.rcu_path.is_irreflexive()
+                || r.srcu_paths.iter().any(|p| !p.is_irreflexive()))
+        {
+            return Some(Axiom::Rcu);
+        }
+        None
+    }
+}
+
+impl ConsistencyModel for Lkmm {
+    fn name(&self) -> &str {
+        if self.without_rcu {
+            "LKMM-core"
+        } else {
+            "LKMM"
+        }
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        self.violated_axiom(x).is_none()
+    }
+
+    fn explain(&self, x: &Execution) -> Option<String> {
+        self.violated_axiom(x).map(|a| format!("violates {a}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{enumerate, EnumOptions};
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library::{self, Expect};
+    use lkmm_litmus::parse;
+
+    #[test]
+    fn lkmm_matches_every_paper_verdict() {
+        for pt in library::all() {
+            let t = pt.test();
+            let r = check_test(&Lkmm::new(), &t, &EnumOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", pt.name));
+            let expected = match pt.lkmm {
+                Expect::Allowed => Verdict::Allowed,
+                Expect::Forbidden => Verdict::Forbidden,
+            };
+            assert_eq!(r.verdict, expected, "{} (paper says {:?})", pt.name, pt.lkmm);
+        }
+    }
+
+    #[test]
+    fn violated_axioms_match_the_paper_walkthroughs() {
+        let axiom_of = |name: &str| {
+            let t = library::by_name(name).unwrap().test();
+            let weak = enumerate(&t, &EnumOptions::default())
+                .unwrap()
+                .into_iter()
+                .find(|x| x.satisfies_prop(&t.condition.prop))
+                .unwrap();
+            Lkmm::new().violated_axiom(&weak).unwrap()
+        };
+        assert_eq!(axiom_of("LB+ctrl+mb"), Axiom::Hb); // §3.2.4
+        assert_eq!(axiom_of("MP+wmb+rmb"), Axiom::Hb);
+        assert_eq!(axiom_of("WRC+po-rel+rmb"), Axiom::Hb); // §3.2.4
+        assert_eq!(axiom_of("SB+mbs"), Axiom::Pb); // §3.2.5
+        assert_eq!(axiom_of("PeterZ"), Axiom::Pb); // §3.2.5
+        assert_eq!(axiom_of("RCU-MP"), Axiom::Rcu); // §4.2
+        assert_eq!(axiom_of("RCU-deferred-free"), Axiom::Rcu);
+    }
+
+    #[test]
+    fn core_only_allows_rcu_patterns() {
+        let t = library::by_name("RCU-MP").unwrap().test();
+        let with = check_test(&Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        let without = check_test(&Lkmm::core_only(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(with.verdict, Verdict::Forbidden);
+        assert_eq!(without.verdict, Verdict::Allowed);
+    }
+
+    #[test]
+    fn synchronize_rcu_acts_as_strong_fence() {
+        // §4.2: gp is added to strong-fence, so synchronize_rcu can replace
+        // smp_mb — SB with synchronize_rcu on both sides is forbidden.
+        let t = parse(
+            "C SB+syncs\n{ x=0; y=0; }\n\
+             P0(int *x, int *y) { int r0; WRITE_ONCE(*x, 1); synchronize_rcu(); \
+             r0 = READ_ONCE(*y); }\n\
+             P1(int *x, int *y) { int r0; WRITE_ONCE(*y, 1); synchronize_rcu(); \
+             r0 = READ_ONCE(*x); }\n\
+             exists (0:r0=0 /\\ 1:r0=0)",
+        )
+        .unwrap();
+        let r = check_test(&Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Forbidden);
+    }
+
+    #[test]
+    fn atomicity_axiom_forbids_intervening_write() {
+        // Two competing full xchg on the same location must serialise: both
+        // cannot read the initial value.
+        let t = parse(
+            "C At\n{ x=0; }\n\
+             P0(int *x) { int r0; r0 = xchg(x, 1); }\n\
+             P1(int *x) { int r0; r0 = xchg(x, 2); }\n\
+             exists (0:r0=0 /\\ 1:r0=0)",
+        )
+        .unwrap();
+        let r = check_test(&Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Forbidden);
+        // One of them reading 0 is of course allowed.
+        let t2 = parse(
+            "C At2\n{ x=0; }\n\
+             P0(int *x) { int r0; r0 = xchg(x, 1); }\n\
+             P1(int *x) { int r0; r0 = xchg(x, 2); }\n\
+             exists (0:r0=0 /\\ 1:r0=1)",
+        )
+        .unwrap();
+        let r2 = check_test(&Lkmm::new(), &t2, &EnumOptions::default()).unwrap();
+        assert_eq!(r2.verdict, Verdict::Allowed);
+    }
+
+    #[test]
+    fn alpha_needs_rb_dep_for_read_read_dependency() {
+        // MP with address dependency but no smp_read_barrier_depends: the
+        // LKMM respects read-read address deps only with the barrier
+        // (strong-rrdep). Without it the outcome is allowed...
+        let t = library::by_name("MP+wmb+addr").unwrap().test();
+        let r = check_test(&Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Allowed);
+        // ...with rcu_dereference (which carries F[rb-dep]) it is forbidden.
+        let t2 = parse(
+            "C MP+wmb+deref\n{ x=0; y=&z; z=0; w=0; }\n\
+             P0(int *x, int **y, int *w) { WRITE_ONCE(*x, 1); smp_wmb(); \
+             WRITE_ONCE(*y, &w); }\n\
+             P1(int *x, int **y) { int *r1; int r2; int r3; \
+             r1 = rcu_dereference(*y); r2 = READ_ONCE(*r1); r3 = READ_ONCE(*x); }\n\
+             exists (1:r1=&w /\\ 1:r3=0)",
+        )
+        .unwrap();
+        let r2 = check_test(&Lkmm::new(), &t2, &EnumOptions::default()).unwrap();
+        // The rb-dep orders r1->r2 but r3 has no dependency from r1, so the
+        // outcome on r3 is still allowed...
+        assert_eq!(r2.verdict, Verdict::Allowed);
+        // ...whereas the dependent read r2 is ordered: it cannot see stale
+        // data through the new pointer.
+        let t3 = parse(
+            "C MP+wmb+deref2\n{ x=0; y=&z; z=0; w=0; }\n\
+             P0(int **y, int *w) { WRITE_ONCE(*w, 1); smp_wmb(); \
+             WRITE_ONCE(*y, &w); }\n\
+             P1(int **y) { int *r1; int r2; \
+             r1 = rcu_dereference(*y); r2 = READ_ONCE(*r1); }\n\
+             exists (1:r1=&w /\\ 1:r2=0)",
+        )
+        .unwrap();
+        let r3 = check_test(&Lkmm::new(), &t3, &EnumOptions::default()).unwrap();
+        assert_eq!(r3.verdict, Verdict::Forbidden);
+        // The plain READ_ONCE pointer chase (no rb-dep) allows it: Alpha.
+        let t4 = parse(
+            "C MP+wmb+addr3\n{ x=0; y=&z; z=0; w=0; }\n\
+             P0(int **y, int *w) { WRITE_ONCE(*w, 1); smp_wmb(); \
+             WRITE_ONCE(*y, &w); }\n\
+             P1(int **y) { int *r1; int r2; \
+             r1 = READ_ONCE(*y); r2 = READ_ONCE(*r1); }\n\
+             exists (1:r1=&w /\\ 1:r2=0)",
+        )
+        .unwrap();
+        let r4 = check_test(&Lkmm::new(), &t4, &EnumOptions::default()).unwrap();
+        assert_eq!(r4.verdict, Verdict::Allowed);
+    }
+
+    #[test]
+    fn spinlock_emulation_serialises_critical_sections() {
+        // §7: spin_lock ≙ acquire-RMW, spin_unlock ≙ store-release. The At
+        // axiom forces the two lock RMWs to serialise, so P1's critical
+        // section observes P0's writes atomically: seeing x=1 but y=0 is
+        // forbidden.
+        let src = |cond: &str| {
+            format!(
+                "C lock-atomic\n{{ s=0; x=0; y=0; }}\n\
+                 P0(spinlock_t *s, int *x, int *y) {{ spin_lock(&s); \
+                 WRITE_ONCE(*x, 1); WRITE_ONCE(*y, 1); spin_unlock(&s); }}\n\
+                 P1(spinlock_t *s, int *x, int *y) {{ int r0; int r1; spin_lock(&s); \
+                 r0 = READ_ONCE(*x); r1 = READ_ONCE(*y); spin_unlock(&s); }}\n\
+                 exists ({cond})"
+            )
+        };
+        let torn = parse(&src("1:r0=1 /\\ 1:r1=0")).unwrap();
+        let r = check_test(&Lkmm::new(), &torn, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Forbidden);
+        // Seeing both (P1 after P0) and neither (P1 before P0) are allowed.
+        for cond in ["1:r0=1 /\\ 1:r1=1", "1:r0=0 /\\ 1:r1=0"] {
+            let t = parse(&src(cond)).unwrap();
+            let r = check_test(&Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Allowed, "{cond}");
+        }
+    }
+}

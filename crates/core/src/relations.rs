@@ -1,0 +1,368 @@
+//! Every relation of Figures 8 and 12, computed from a candidate execution.
+//!
+//! The struct fields follow the paper's names (with `-` mapped to `_`).
+//! Keeping each intermediate relation inspectable makes the model easy to
+//! debug and lets tests assert the paper's walked examples edge by edge
+//! (e.g. "(a, c) ∈ cumul-fence" in Figure 5).
+
+use lkmm_exec::Execution;
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+
+/// All LKMM relations for one candidate execution.
+#[derive(Clone, Debug)]
+pub struct LkmmRelations {
+    // --- base and auxiliary ---
+    /// `fr = rf⁻¹ ; co`.
+    pub fr: Relation,
+    /// `com = rf ∪ co ∪ fr`.
+    pub com: Relation,
+    /// `po-loc`.
+    pub po_loc: Relation,
+    /// `rmb`: read pairs separated by `smp_rmb`.
+    pub rmb: Relation,
+    /// `wmb`: write pairs separated by `smp_wmb`.
+    pub wmb: Relation,
+    /// `mb`: pairs separated by `smp_mb`.
+    pub mb: Relation,
+    /// `rb-dep`: read pairs separated by `smp_read_barrier_depends`.
+    pub rb_dep: Relation,
+    /// `acq-po`: an acquire followed in program order.
+    pub acq_po: Relation,
+    /// `po-rel`: program order into a release.
+    pub po_rel: Relation,
+    /// `rfi-rel-acq`: internal reads-from of a release by an acquire.
+    pub rfi_rel_acq: Relation,
+    /// `gp`: pairs separated by (or ending at) a `synchronize_rcu`.
+    pub gp: Relation,
+    // --- Figure 8 ---
+    /// `dep = addr ∪ data`.
+    pub dep: Relation,
+    /// `rwdep = (dep ∪ ctrl) ∩ (R × W)`.
+    pub rwdep: Relation,
+    /// `overwrite = co ∪ fr`.
+    pub overwrite: Relation,
+    /// `to-w = rwdep ∪ (overwrite ∩ int)`.
+    pub to_w: Relation,
+    /// `rrdep = addr ∪ (dep ; rfi)`.
+    pub rrdep: Relation,
+    /// `strong-rrdep = rrdep⁺ ∩ rb-dep`.
+    pub strong_rrdep: Relation,
+    /// `to-r = strong-rrdep ∪ rfi-rel-acq`.
+    pub to_r: Relation,
+    /// `strong-fence = mb ∪ gp` (Figure 12 extends Figure 8's `mb`).
+    pub strong_fence: Relation,
+    /// `fence = strong-fence ∪ po-rel ∪ wmb ∪ rmb ∪ acq-po`.
+    pub fence: Relation,
+    /// `ppo = rrdep* ; (to-r ∪ to-w ∪ fence)`.
+    pub ppo: Relation,
+    /// `cumul-fence = A-cumul(strong-fence ∪ po-rel) ∪ wmb`.
+    pub cumul_fence: Relation,
+    /// `prop = (overwrite ∩ ext)? ; cumul-fence* ; rfe?`.
+    pub prop: Relation,
+    /// `hb = ((prop \ id) ∩ int) ∪ ppo ∪ rfe`.
+    pub hb: Relation,
+    /// `pb = prop ; strong-fence ; hb*`.
+    pub pb: Relation,
+    // --- Figure 12 (RCU) ---
+    /// `rscs = po ; crit⁻¹ ; po?`.
+    pub rscs: Relation,
+    /// `link = hb* ; pb* ; prop`.
+    pub link: Relation,
+    /// `gp-link = gp ; link`.
+    pub gp_link: Relation,
+    /// `rscs-link = rscs ; link`.
+    pub rscs_link: Relation,
+    /// `rcu-path`: the least fixpoint of the Figure 12 recursion.
+    pub rcu_path: Relation,
+    /// Per-SRCU-domain `rcu-path` analogues: grace periods and read-side
+    /// sections of one domain only order each other (domains are
+    /// independent). One entry per domain in `Execution::srcu_domains()`.
+    pub srcu_paths: Vec<Relation>,
+}
+
+impl LkmmRelations {
+    /// Compute every relation for `x`.
+    pub fn compute(x: &Execution) -> Self {
+        let n = x.universe();
+        let id = Relation::identity(n);
+        let int = x.int_rel();
+        let ext = x.ext_rel();
+        let reads = x.reads();
+        let writes = x.writes();
+        let rfi = x.rfi();
+        let rfe = x.rfe();
+
+        let fr = x.fr();
+        let com = x.com();
+        let po_loc = x.po_loc();
+
+        let rr = reads.cross(&reads);
+        let ww = writes.cross(&writes);
+        let rmb = x.fencerel(FenceKind::Rmb).intersection(&rr);
+        let wmb = x.fencerel(FenceKind::Wmb).intersection(&ww);
+        let mb = x.fencerel(FenceKind::Mb);
+        let rb_dep = x.fencerel(FenceKind::RbDep).intersection(&rr);
+        let acq_po = x.acquires().as_identity().seq(&x.po);
+        let po_rel = x.po.seq(&x.releases().as_identity());
+        let rfi_rel_acq = x
+            .releases()
+            .as_identity()
+            .seq(&rfi)
+            .seq(&x.acquires().as_identity());
+        let gp = x.gp();
+        // synchronize_srcu provides the same strong-fence ordering as
+        // synchronize_rcu (the kernel's documented guarantee); the real
+        // linux-kernel.cat likewise puts Sync-srcu into gp.
+        let srcu_domains = x.srcu_domains();
+        let gp_strong = srcu_domains
+            .iter()
+            .fold(gp.clone(), |acc, &d| acc.union(&x.srcu_gp(d)));
+
+        let dep = x.addr.union(&x.data);
+        let rwdep = dep.union(&x.ctrl).intersection(&reads.cross(&writes));
+        let overwrite = x.co.union(&fr);
+        let to_w = rwdep.union(&overwrite.intersection(&int));
+        let rrdep = x.addr.union(&dep.seq(&rfi));
+        let strong_rrdep = rrdep.transitive_closure().intersection(&rb_dep);
+        let to_r = strong_rrdep.union(&rfi_rel_acq);
+        let strong_fence = mb.union(&gp_strong);
+        let fence = strong_fence
+            .union(&po_rel)
+            .union(&wmb)
+            .union(&rmb)
+            .union(&acq_po);
+        let ppo = rrdep
+            .reflexive_transitive_closure()
+            .seq(&to_r.union(&to_w).union(&fence));
+        // A-cumul(r) = rfe? ; r
+        let a_cumul = |r: &Relation| rfe.reflexive().seq(r);
+        let cumul_fence = a_cumul(&strong_fence.union(&po_rel)).union(&wmb);
+        let prop = overwrite
+            .intersection(&ext)
+            .reflexive()
+            .seq(&cumul_fence.reflexive_transitive_closure())
+            .seq(&rfe.reflexive());
+        let hb = prop
+            .difference(&id)
+            .intersection(&int)
+            .union(&ppo)
+            .union(&rfe);
+        let pb = prop.seq(&strong_fence).seq(&hb.reflexive_transitive_closure());
+
+        let rscs = x.po.seq(&x.crit().inverse()).seq(&x.po.reflexive());
+        let link = hb
+            .reflexive_transitive_closure()
+            .seq(&pb.reflexive_transitive_closure())
+            .seq(&prop);
+        let gp_link = gp.seq(&link);
+        let rscs_link = rscs.seq(&link);
+        let rcu_path = rcu_path_fixpoint(&gp_link, &rscs_link);
+        let srcu_paths = srcu_domains
+            .iter()
+            .map(|&d| {
+                let sgp = x.srcu_gp(d);
+                let srscs = x.po.seq(&x.srcu_crit(d).inverse()).seq(&x.po.reflexive());
+                rcu_path_fixpoint(&sgp.seq(&link), &srscs.seq(&link))
+            })
+            .collect();
+
+        LkmmRelations {
+            fr,
+            com,
+            po_loc,
+            rmb,
+            wmb,
+            mb,
+            rb_dep,
+            acq_po,
+            po_rel,
+            rfi_rel_acq,
+            gp,
+            dep,
+            rwdep,
+            overwrite,
+            to_w,
+            rrdep,
+            strong_rrdep,
+            to_r,
+            strong_fence,
+            fence,
+            ppo,
+            cumul_fence,
+            prop,
+            hb,
+            pb,
+            rscs,
+            link,
+            gp_link,
+            rscs_link,
+            rcu_path,
+            srcu_paths,
+        }
+    }
+}
+
+/// Least fixpoint of the Figure 12 recursion:
+///
+/// ```text
+/// rec rcu-path := gp-link ∪ (rcu-path ; rcu-path)
+///               ∪ (gp-link ; rscs-link) ∪ (rscs-link ; gp-link)
+///               ∪ (gp-link ; rcu-path ; rscs-link)
+///               ∪ (rscs-link ; rcu-path ; gp-link)
+/// ```
+///
+/// `rcu-path` pairs events connected by a non-empty sequence of `gp-link`
+/// and `rscs-link` edges with at least as many grace periods as critical
+/// sections.
+pub fn rcu_path_fixpoint(gp_link: &Relation, rscs_link: &Relation) -> Relation {
+    let n = gp_link.universe();
+    let mut cur = Relation::empty(n);
+    loop {
+        let next = gp_link
+            .union(&cur.seq(&cur))
+            .union(&gp_link.seq(rscs_link))
+            .union(&rscs_link.seq(gp_link))
+            .union(&gp_link.seq(&cur).seq(rscs_link))
+            .union(&rscs_link.seq(&cur).seq(gp_link));
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{enumerate, EnumOptions};
+    use lkmm_litmus::library;
+
+    /// Find the execution of a library test satisfying its own condition
+    /// (the "weak outcome" execution shown in the paper's figure).
+    fn weak_execution(name: &str) -> Execution {
+        let t = library::by_name(name).unwrap().test();
+        enumerate(&t, &EnumOptions::default())
+            .unwrap()
+            .into_iter()
+            .find(|x| x.satisfies_prop(&t.condition.prop))
+            .unwrap_or_else(|| panic!("{name}: weak outcome not among candidates"))
+    }
+
+    #[test]
+    fn figure2_wmb_gives_prop_edge() {
+        // In Figure 2, writes a (x=1) and b (y=1) are separated by smp_wmb;
+        // (a, b) ∈ prop, and the overwritten read d links to b.
+        let x = weak_execution("MP+wmb+rmb");
+        let r = LkmmRelations::compute(&x);
+        let a = x.events.iter().find(|e| e.thread == Some(0) && e.is_write()).unwrap().id;
+        let b = x
+            .events
+            .iter()
+            .filter(|e| e.thread == Some(0) && e.is_write())
+            .nth(1)
+            .unwrap()
+            .id;
+        assert!(r.wmb.contains(a, b));
+        assert!(r.prop.contains(a, b));
+    }
+
+    #[test]
+    fn figure4_ctrl_and_mb_are_ppo() {
+        let x = weak_execution("LB+ctrl+mb");
+        let r = LkmmRelations::compute(&x);
+        // T0: read a, ctrl-dependent write b.
+        let a = x.events.iter().find(|e| e.thread == Some(0) && e.is_read()).unwrap().id;
+        let b = x.events.iter().find(|e| e.thread == Some(0) && e.is_write()).unwrap().id;
+        assert!(x.ctrl.contains(a, b));
+        assert!(r.ppo.contains(a, b));
+        // T1: read c, mb, write d.
+        let c = x.events.iter().find(|e| e.thread == Some(1) && e.is_read()).unwrap().id;
+        let d = x
+            .events
+            .iter()
+            .find(|e| e.thread == Some(1) && e.is_write() && !e.is_init())
+            .unwrap()
+            .id;
+        assert!(r.mb.contains(c, d));
+        assert!(r.ppo.contains(c, d));
+        // The full hb cycle of §3.2.4.
+        assert!(!r.hb.is_acyclic());
+    }
+
+    #[test]
+    fn figure5_release_is_a_cumulative() {
+        let x = weak_execution("WRC+po-rel+rmb");
+        let r = LkmmRelations::compute(&x);
+        // a = P0's write of x; c = P1's release write of y.
+        let a = x.events.iter().find(|e| e.thread == Some(0) && e.is_write()).unwrap().id;
+        let c = x.events.iter().find(|e| e.is_release()).unwrap().id;
+        // §3.2.3: (a, c) ∈ A-cumul(po-rel) ⊆ cumul-fence.
+        assert!(r.cumul_fence.contains(a, c));
+        assert!(!r.hb.is_acyclic());
+    }
+
+    #[test]
+    fn figure6_pb_cycle() {
+        let x = weak_execution("SB+mbs");
+        let r = LkmmRelations::compute(&x);
+        assert!(r.hb.is_acyclic(), "SB+mbs is a Pb violation, not Hb");
+        assert!(!r.pb.is_acyclic());
+    }
+
+    #[test]
+    fn figure7_peterz_pb_cycle() {
+        let x = weak_execution("PeterZ");
+        let r = LkmmRelations::compute(&x);
+        assert!(!r.pb.is_acyclic());
+    }
+
+    #[test]
+    fn figure9_rrdep_prefix_extends_ppo() {
+        let x = weak_execution("MP+wmb+addr-acq");
+        let r = LkmmRelations::compute(&x);
+        // c = read of y (pointer), d = acquire via *r1, e = read of x:
+        // (c,d) ∈ rrdep (addr), (d,e) ∈ acq-po, so (c,e) ∈ ppo.
+        let c = x
+            .events
+            .iter()
+            .find(|e| e.thread == Some(1) && e.is_read() && !e.is_acquire())
+            .unwrap()
+            .id;
+        let d = x.events.iter().find(|e| e.is_acquire()).unwrap().id;
+        let xloc = x.loc_id("x").unwrap();
+        let e = x
+            .events
+            .iter()
+            .find(|ev| ev.thread == Some(1) && ev.is_read() && ev.loc() == Some(xloc))
+            .unwrap()
+            .id;
+        assert!(r.rrdep.contains(c, d));
+        assert!(r.acq_po.contains(d, e));
+        assert!(r.ppo.contains(c, e));
+        assert!(!r.hb.is_acyclic());
+    }
+
+    #[test]
+    fn figure10_rcu_path_reflexive() {
+        let x = weak_execution("RCU-MP");
+        let r = LkmmRelations::compute(&x);
+        assert!(!r.rcu_path.is_irreflexive(), "RCU axiom must reject Figure 10");
+        // The core axioms alone do not reject it.
+        assert!(r.hb.is_acyclic());
+        assert!(r.pb.is_acyclic());
+    }
+
+    #[test]
+    fn rcu_path_fixpoint_counts_gps_vs_rscs() {
+        // Hand-built: gp-link 0→1, rscs-link 1→0. One GP, one RSCS in the
+        // cycle: rcu-path must contain (0,0) via gp-link;rscs-link.
+        let gp_link = Relation::from_pairs(2, [(0, 1)]);
+        let rscs_link = Relation::from_pairs(2, [(1, 0)]);
+        let p = rcu_path_fixpoint(&gp_link, &rscs_link);
+        assert!(p.contains(0, 0));
+        // rscs-link alone is never a path: more RSCSes than GPs.
+        let p2 = rcu_path_fixpoint(&Relation::empty(2), &rscs_link);
+        assert!(p2.is_empty());
+    }
+}

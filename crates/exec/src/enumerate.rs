@@ -1,0 +1,718 @@
+//! Exhaustive enumeration of candidate executions.
+//!
+//! Follows herd's recipe: (1) compute the set of values each location can
+//! hold (a fixpoint, since written values may be computed from read
+//! values); (2) run every thread under every read oracle drawn from those
+//! domains; (3) for every combination of thread outcomes, enumerate every
+//! reads-from assignment and every coherence order.
+
+use crate::event::{Event, EventKind, LocId, Val, WriteAnnot};
+use crate::execution::Execution;
+use crate::thread::{run_thread, ThreadOutcome, ThreadStop};
+use lkmm_litmus::ast::{InitVal, Test};
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Tuning knobs for the enumerator.
+#[derive(Clone, Debug)]
+pub struct EnumOptions {
+    /// Discard candidates violating *sequential consistency per variable*
+    /// (the `Scpv` axiom, `acyclic(po-loc ∪ com)`) during enumeration.
+    /// Every model this workspace implements includes Scpv, so pruning is
+    /// sound for them and dramatically cheaper; disable to obtain the raw
+    /// candidate set (used by the ablation bench).
+    pub prune_scpv: bool,
+    /// Hard cap on emitted executions.
+    pub max_executions: usize,
+    /// Hard cap on value-domain fixpoint rounds (the enumerator already
+    /// stops after `#reads + 1` rounds, which is sound: a realisable value
+    /// flows through at most one read event per dataflow step, and a
+    /// candidate execution has finitely many distinct reads — any value
+    /// needing a longer derivation chain cannot be matched by `rf`).
+    pub max_domain_iterations: usize,
+    /// Cap on oracle branches explored per thread.
+    pub max_oracle_branches: usize,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions {
+            prune_scpv: true,
+            max_executions: 4_000_000,
+            max_domain_iterations: 16,
+            max_oracle_branches: 200_000,
+        }
+    }
+}
+
+/// Enumeration failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnumError {
+    /// The test has no threads.
+    NoThreads,
+    /// More candidate executions than [`EnumOptions::max_executions`].
+    TooManyExecutions,
+    /// Too many oracle branches in one thread.
+    TooManyBranches,
+    /// `rcu_read_lock`/`rcu_read_unlock` are not balanced on some path.
+    UnbalancedRcu { thread: usize },
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::NoThreads => write!(f, "litmus test has no threads"),
+            EnumError::TooManyExecutions => write!(f, "too many candidate executions"),
+            EnumError::TooManyBranches => write!(f, "too many oracle branches"),
+            EnumError::UnbalancedRcu { thread } => {
+                write!(f, "unbalanced RCU critical section in thread {thread}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Enumerate all candidate executions of `test` into a vector.
+///
+/// # Errors
+///
+/// See [`EnumError`]. Litmus-scale tests enumerate in microseconds; the
+/// caps exist to keep pathological inputs from running away.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::enumerate::{enumerate, EnumOptions};
+///
+/// let test = lkmm_litmus::library::by_name("MP").unwrap().test();
+/// let execs = enumerate(&test, &EnumOptions::default()).unwrap();
+/// assert!(!execs.is_empty());
+/// ```
+pub fn enumerate(test: &Test, opts: &EnumOptions) -> Result<Vec<Execution>, EnumError> {
+    let mut out = Vec::new();
+    for_each_execution(test, opts, &mut |x| out.push(x.clone()))?;
+    Ok(out)
+}
+
+/// Streaming variant of [`enumerate`]: calls `visit` on each candidate
+/// execution without retaining them.
+///
+/// # Errors
+///
+/// See [`EnumError`].
+pub fn for_each_execution(
+    test: &Test,
+    opts: &EnumOptions,
+    visit: &mut dyn FnMut(&Execution),
+) -> Result<(), EnumError> {
+    if test.threads.is_empty() {
+        return Err(EnumError::NoThreads);
+    }
+    let locs = test.shared_locations();
+    let init_vals: Vec<Val> = locs
+        .iter()
+        .map(|name| match test.init.get(name) {
+            Some(InitVal::Int(i)) => Val::Int(*i),
+            Some(InitVal::Ptr(t)) => {
+                Val::Loc(LocId(locs.iter().position(|l| l == t).expect("ptr target exists")))
+            }
+            None => Val::Int(0),
+        })
+        .collect();
+
+    // Which threads statically write each location; a location written by
+    // no thread other than the reader has deterministic read values.
+    let writers = static_writers(test, &locs);
+
+    // --- value-domain fixpoint -------------------------------------------
+    let mut domains: Vec<BTreeSet<Val>> =
+        init_vals.iter().map(|&v| BTreeSet::from([v])).collect();
+    let mut outcomes: Vec<Vec<ThreadOutcome>> = Vec::new();
+    let stmt_count: usize = test.threads.iter().map(|t| count_stmts(&t.body)).sum();
+    let rounds = (stmt_count + 1).min(opts.max_domain_iterations.max(1));
+    for _round in 0..rounds {
+        outcomes = test
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| {
+                explore_thread(&t.body, tid, &locs, &init_vals, &writers, &domains, opts)
+            })
+            .collect::<Result<_, _>>()?;
+        let mut changed = false;
+        for outs in &outcomes {
+            for out in outs {
+                for ev in &out.events {
+                    if let EventKind::Write { loc, val, .. } = ev.kind {
+                        changed |= domains[loc.0].insert(val);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- assemble pre-executions and enumerate witnesses -----------------
+    let mut emitted = 0usize;
+    let mut combo = vec![0usize; test.threads.len()];
+    loop {
+        let chosen: Vec<&ThreadOutcome> =
+            combo.iter().enumerate().map(|(t, &i)| &outcomes[t][i]).collect();
+        let pre = build_pre_execution(&locs, &init_vals, &chosen)?;
+        enumerate_witnesses(&pre, opts, &mut emitted, visit)?;
+
+        // Advance the per-thread outcome combination (odometer).
+        let mut t = 0;
+        loop {
+            if t == combo.len() {
+                return Ok(());
+            }
+            combo[t] += 1;
+            if combo[t] < outcomes[t].len() {
+                break;
+            }
+            combo[t] = 0;
+            t += 1;
+        }
+    }
+}
+
+fn count_stmts(body: &[lkmm_litmus::Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            lkmm_litmus::Stmt::If { then_, else_, .. } => {
+                1 + count_stmts(then_) + count_stmts(else_)
+            }
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Statically determine, per location, which threads may write it. A
+/// thread containing a write through a register pointer may write any
+/// location.
+fn static_writers(test: &Test, locs: &[String]) -> Vec<BTreeSet<usize>> {
+    use lkmm_litmus::ast::{AddrExpr, Stmt};
+    let mut writers = vec![BTreeSet::new(); locs.len()];
+    fn scan(
+        stmts: &[Stmt],
+        tid: usize,
+        locs: &[String],
+        writers: &mut [BTreeSet<usize>],
+    ) {
+        let mark = |addr: &AddrExpr, locs: &[String], writers: &mut [BTreeSet<usize>]| {
+            match addr {
+                AddrExpr::Var(name) => {
+                    if let Some(i) = locs.iter().position(|l| l == name) {
+                        writers[i].insert(tid);
+                    }
+                }
+                // A pointer write may target anything.
+                AddrExpr::Reg(_) => {
+                    for w in writers.iter_mut() {
+                        w.insert(tid);
+                    }
+                }
+            }
+        };
+        for s in stmts {
+            match s {
+                Stmt::WriteOnce { addr, .. }
+                | Stmt::StoreRelease { addr, .. }
+                | Stmt::RcuAssignPointer { addr, .. }
+                | Stmt::Xchg { addr, .. }
+                | Stmt::CmpXchg { addr, .. }
+                | Stmt::AtomicOp { addr, .. }
+                | Stmt::SpinLock { addr }
+                | Stmt::SpinUnlock { addr } => mark(addr, locs, writers),
+                Stmt::If { then_, else_, .. } => {
+                    scan(then_, tid, locs, writers);
+                    scan(else_, tid, locs, writers);
+                }
+                // SRCU domain arguments are markers, not writes.
+                _ => {}
+            }
+        }
+    }
+    for (tid, t) in test.threads.iter().enumerate() {
+        scan(&t.body, tid, locs, &mut writers);
+    }
+    writers
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_thread(
+    body: &[lkmm_litmus::Stmt],
+    tid: usize,
+    locs: &[String],
+    init_vals: &[Val],
+    writers: &[BTreeSet<usize>],
+    domains: &[BTreeSet<Val>],
+    opts: &EnumOptions,
+) -> Result<Vec<ThreadOutcome>, EnumError> {
+    let mut done = Vec::new();
+    let mut stack: Vec<Vec<Val>> = vec![Vec::new()];
+    let mut branches = 0usize;
+    while let Some(oracle) = stack.pop() {
+        branches += 1;
+        if branches > opts.max_oracle_branches {
+            return Err(EnumError::TooManyBranches);
+        }
+        match run_thread(body, &oracle, locs) {
+            Ok(out) => done.push(out),
+            Err(ThreadStop::NeedValue { loc, last_local_write }) => {
+                // Determinisation of thread-local reads is justified by
+                // per-location coherence, so it only applies when Scpv
+                // pruning is on; raw mode keeps the full candidate set.
+                let local =
+                    opts.prune_scpv && writers[loc.0].iter().all(|&w| w == tid);
+                if local {
+                    // Deterministic under coherence: the read must return
+                    // this thread's latest prior write (or the initial
+                    // value).
+                    let mut next = oracle.clone();
+                    next.push(last_local_write.unwrap_or(init_vals[loc.0]));
+                    stack.push(next);
+                } else {
+                    for &v in &domains[loc.0] {
+                        let mut next = oracle.clone();
+                        next.push(v);
+                        stack.push(next);
+                    }
+                }
+            }
+            Err(ThreadStop::Stuck(_)) => {}
+        }
+    }
+    Ok(done)
+}
+
+/// Everything fixed before `rf`/`co` are chosen.
+struct PreExecution {
+    locs: Vec<String>,
+    events: Vec<Event>,
+    n_threads: usize,
+    po: Relation,
+    addr: Relation,
+    data: Relation,
+    ctrl: Relation,
+    rmw: Relation,
+    final_regs: Vec<BTreeMap<String, Val>>,
+    /// Global indices of reads, with (loc, val).
+    reads: Vec<(usize, LocId, Val)>,
+    /// Global indices of non-init writes per location.
+    writes_per_loc: Vec<Vec<usize>>,
+    /// Global index of the initialising write per location.
+    init_write: Vec<usize>,
+    po_loc: Relation,
+}
+
+fn build_pre_execution(
+    locs: &[String],
+    init_vals: &[Val],
+    chosen: &[&ThreadOutcome],
+) -> Result<PreExecution, EnumError> {
+    let n_init = locs.len();
+    let total: usize = n_init + chosen.iter().map(|o| o.events.len()).sum::<usize>();
+    let mut events = Vec::with_capacity(total);
+    for (i, &v) in init_vals.iter().enumerate() {
+        events.push(Event {
+            id: i,
+            thread: None,
+            kind: EventKind::Write {
+                loc: LocId(i),
+                val: v,
+                annot: WriteAnnot::Once,
+                is_init: true,
+            },
+        });
+    }
+    let mut po = Relation::empty(total);
+    let mut addr = Relation::empty(total);
+    let mut data = Relation::empty(total);
+    let mut ctrl = Relation::empty(total);
+    let mut rmw = Relation::empty(total);
+    let mut final_regs = Vec::with_capacity(chosen.len());
+    for (t, out) in chosen.iter().enumerate() {
+        let base = events.len();
+        // RCU and per-domain SRCU balance checks for this outcome.
+        let mut depth = 0i64;
+        let mut srcu_depth: std::collections::HashMap<crate::event::LocId, i64> =
+            std::collections::HashMap::new();
+        for ev in &out.events {
+            match ev.kind {
+                EventKind::Fence(FenceKind::RcuLock) => depth += 1,
+                EventKind::Fence(FenceKind::RcuUnlock) => depth -= 1,
+                EventKind::Srcu { kind: crate::event::SrcuKind::Lock, domain } => {
+                    *srcu_depth.entry(domain).or_insert(0) += 1;
+                }
+                EventKind::Srcu { kind: crate::event::SrcuKind::Unlock, domain } => {
+                    *srcu_depth.entry(domain).or_insert(0) -= 1;
+                }
+                _ => {}
+            }
+            if depth < 0 || srcu_depth.values().any(|&d| d < 0) {
+                return Err(EnumError::UnbalancedRcu { thread: t });
+            }
+        }
+        if depth != 0 || srcu_depth.values().any(|&d| d != 0) {
+            return Err(EnumError::UnbalancedRcu { thread: t });
+        }
+        for (i, ev) in out.events.iter().enumerate() {
+            events.push(Event { id: base + i, thread: Some(t), kind: ev.kind });
+            for j in 0..i {
+                po.insert(base + j, base + i);
+            }
+        }
+        for &(a, b) in &out.deps.addr {
+            addr.insert(base + a, base + b);
+        }
+        for &(a, b) in &out.deps.data {
+            data.insert(base + a, base + b);
+        }
+        for &(a, b) in &out.deps.ctrl {
+            ctrl.insert(base + a, base + b);
+        }
+        for &(a, b) in &out.deps.rmw {
+            rmw.insert(base + a, base + b);
+        }
+        final_regs.push(out.final_regs.clone());
+    }
+
+    let mut reads = Vec::new();
+    let mut writes_per_loc = vec![Vec::new(); locs.len()];
+    for e in &events {
+        match e.kind {
+            EventKind::Read { loc, val, .. } => reads.push((e.id, loc, val)),
+            EventKind::Write { loc, is_init: false, .. } => writes_per_loc[loc.0].push(e.id),
+            _ => {}
+        }
+    }
+    let init_write = (0..locs.len()).collect();
+
+    // po-loc for pruning.
+    let mut po_loc = Relation::empty(total);
+    for (a, b) in po.iter() {
+        if let (Some(la), Some(lb)) = (events[a].loc(), events[b].loc()) {
+            if la == lb {
+                po_loc.insert(a, b);
+            }
+        }
+    }
+
+    Ok(PreExecution {
+        locs: locs.to_vec(),
+        events,
+        n_threads: chosen.len(),
+        po,
+        addr,
+        data,
+        ctrl,
+        rmw,
+        final_regs,
+        reads,
+        writes_per_loc,
+        init_write,
+        po_loc,
+    })
+}
+
+fn enumerate_witnesses(
+    pre: &PreExecution,
+    opts: &EnumOptions,
+    emitted: &mut usize,
+    visit: &mut dyn FnMut(&Execution),
+) -> Result<(), EnumError> {
+    // Candidate rf sources per read: same location, same value.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(pre.reads.len());
+    for &(_, loc, val) in &pre.reads {
+        let mut c: Vec<usize> = Vec::new();
+        let init = pre.init_write[loc.0];
+        if pre.events[init].val() == Some(val) {
+            c.push(init);
+        }
+        for &w in &pre.writes_per_loc[loc.0] {
+            if pre.events[w].val() == Some(val) {
+                c.push(w);
+            }
+        }
+        if c.is_empty() {
+            return Ok(()); // this oracle assignment is unrealisable
+        }
+        candidates.push(c);
+    }
+
+    let mut rf_choice = vec![0usize; pre.reads.len()];
+    loop {
+        let mut rf = Relation::empty(pre.events.len());
+        for (ri, &(read_id, _, _)) in pre.reads.iter().enumerate() {
+            rf.insert(candidates[ri][rf_choice[ri]], read_id);
+        }
+        // Cheap pre-co prune: a read may not observe a po-later write.
+        let rf_ok =
+            !opts.prune_scpv || pre.po_loc.union(&rf).is_acyclic();
+        if rf_ok {
+            enumerate_co(pre, &rf, opts, emitted, visit)?;
+        }
+
+        let mut i = 0;
+        loop {
+            if i == rf_choice.len() {
+                return Ok(());
+            }
+            rf_choice[i] += 1;
+            if rf_choice[i] < candidates[i].len() {
+                break;
+            }
+            rf_choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn enumerate_co(
+    pre: &PreExecution,
+    rf: &Relation,
+    opts: &EnumOptions,
+    emitted: &mut usize,
+    visit: &mut dyn FnMut(&Execution),
+) -> Result<(), EnumError> {
+    // Per-location write permutations, enumerated recursively.
+    fn rec(
+        pre: &PreExecution,
+        rf: &Relation,
+        opts: &EnumOptions,
+        loc: usize,
+        orders: &mut Vec<Vec<usize>>,
+        emitted: &mut usize,
+        visit: &mut dyn FnMut(&Execution),
+    ) -> Result<(), EnumError> {
+        if loc == pre.locs.len() {
+            let mut co = Relation::empty(pre.events.len());
+            for (l, order) in orders.iter().enumerate() {
+                let mut prev = pre.init_write[l];
+                for &w in order {
+                    co.insert(prev, w);
+                    prev = w;
+                }
+            }
+            let co = co.transitive_closure();
+            if opts.prune_scpv {
+                let com = rf.union(&co).union(&rf.inverse().seq(&co));
+                if !pre.po_loc.union(&com).is_acyclic() {
+                    return Ok(());
+                }
+            }
+            *emitted += 1;
+            if *emitted > opts.max_executions {
+                return Err(EnumError::TooManyExecutions);
+            }
+            let x = Execution {
+                locs: pre.locs.clone(),
+                events: pre.events.clone(),
+                n_threads: pre.n_threads,
+                po: pre.po.clone(),
+                addr: pre.addr.clone(),
+                data: pre.data.clone(),
+                ctrl: pre.ctrl.clone(),
+                rmw: pre.rmw.clone(),
+                rf: rf.clone(),
+                co,
+                final_regs: pre.final_regs.clone(),
+            };
+            visit(&x);
+            return Ok(());
+        }
+        let writes = pre.writes_per_loc[loc].clone();
+        permute(writes, &mut |perm| {
+            orders.push(perm.to_vec());
+            let r = rec(pre, rf, opts, loc + 1, orders, emitted, visit);
+            orders.pop();
+            r
+        })
+    }
+    let mut orders = Vec::new();
+    rec(pre, rf, opts, 0, &mut orders, emitted, visit)
+}
+
+/// Call `f` on every permutation of `items` (simple recursive generation).
+fn permute<E>(
+    mut items: Vec<usize>,
+    f: &mut dyn FnMut(&[usize]) -> Result<(), E>,
+) -> Result<(), E> {
+    fn rec<E>(
+        items: &mut Vec<usize>,
+        k: usize,
+        f: &mut dyn FnMut(&[usize]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if k == items.len() {
+            return f(items);
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            rec(items, k + 1, f)?;
+            items.swap(k, i);
+        }
+        Ok(())
+    }
+    rec(&mut items, 0, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_litmus::library;
+    use lkmm_litmus::parse;
+
+    fn count(name: &str) -> usize {
+        let test = library::by_name(name).unwrap().test();
+        enumerate(&test, &EnumOptions::default()).unwrap().len()
+    }
+
+    #[test]
+    fn sb_has_coherent_executions() {
+        let test = library::by_name("SB").unwrap().test();
+        let execs = enumerate(&test, &EnumOptions::default()).unwrap();
+        // Each read sees 0 (init) or 1 (other thread's write): with Scpv
+        // pruning, a read of its own thread's location is impossible here
+        // (different locations), so 2 × 2 = 4 executions.
+        assert_eq!(execs.len(), 4);
+        // The SB weak outcome (both read 0) must be among them.
+        assert!(execs.iter().any(|x| x.satisfies_prop(&test.condition.prop)));
+    }
+
+    #[test]
+    fn mp_final_values_and_prop() {
+        let test = library::by_name("MP").unwrap().test();
+        let execs = enumerate(&test, &EnumOptions::default()).unwrap();
+        // All executions end with x=1, y=1 (single writer).
+        for x in &execs {
+            let f = x.final_values();
+            assert_eq!(f[&x.loc_id("x").unwrap()], Val::Int(1));
+        }
+        // The MP weak outcome exists among raw candidates.
+        assert!(execs.iter().any(|x| x.satisfies_prop(&test.condition.prop)));
+    }
+
+    #[test]
+    fn scpv_prune_removes_po_loc_violations() {
+        // A thread writing then reading the same location must read its own
+        // write or a later one — never the initial value.
+        let t = parse(
+            "C t\n{ x=0; }\n\
+             P0(int *x) { int r; WRITE_ONCE(*x, 1); r = READ_ONCE(*x); }\n\
+             exists (0:r=0)",
+        )
+        .unwrap();
+        let execs = enumerate(&t, &EnumOptions::default()).unwrap();
+        assert!(!execs.is_empty());
+        assert!(execs.iter().all(|x| !x.satisfies_prop(&t.condition.prop)));
+        // Without pruning the incoherent candidate exists.
+        let raw = enumerate(&t, &EnumOptions { prune_scpv: false, ..Default::default() })
+            .unwrap();
+        assert!(raw.iter().any(|x| x.satisfies_prop(&t.condition.prop)));
+        assert!(raw.len() > execs.len());
+    }
+
+    #[test]
+    fn control_flow_branches_enumerate_both_paths() {
+        let t = library::by_name("LB+ctrl+mb").unwrap().test();
+        let execs = enumerate(&t, &EnumOptions::default()).unwrap();
+        // Some executions take the branch (write y), some do not.
+        let with_branch = execs.iter().any(|x| {
+            x.events.iter().any(|e| {
+                e.thread == Some(0)
+                    && matches!(e.kind, EventKind::Write { is_init: false, .. })
+            })
+        });
+        let without_branch = execs.iter().any(|x| {
+            !x.events.iter().any(|e| {
+                e.thread == Some(0)
+                    && matches!(e.kind, EventKind::Write { is_init: false, .. })
+            })
+        });
+        assert!(with_branch && without_branch);
+    }
+
+    #[test]
+    fn pointer_chase_has_address_dependency() {
+        let t = library::by_name("MP+wmb+addr").unwrap().test();
+        let execs = enumerate(&t, &EnumOptions::default()).unwrap();
+        assert!(execs.iter().all(|x| !x.addr.is_empty() || x.events.len() < 8));
+        assert!(execs.iter().any(|x| x.satisfies_prop(&t.condition.prop)));
+    }
+
+    #[test]
+    fn rcu_crit_matches_lock_unlock() {
+        let t = library::by_name("RCU-MP").unwrap().test();
+        let execs = enumerate(&t, &EnumOptions::default()).unwrap();
+        let x = &execs[0];
+        let crit = x.crit();
+        assert_eq!(crit.len(), 1);
+        let (l, u) = crit.iter().next().unwrap();
+        assert!(x.events[l].is_fence(FenceKind::RcuLock));
+        assert!(x.events[u].is_fence(FenceKind::RcuUnlock));
+        assert!(x.po.contains(l, u));
+    }
+
+    #[test]
+    fn unbalanced_rcu_is_an_error() {
+        let t = parse(
+            "C t\n{ x=0; }\nP0(int *x) { rcu_read_lock(); WRITE_ONCE(*x, 1); }\nexists (x=1)",
+        )
+        .unwrap();
+        assert_eq!(
+            enumerate(&t, &EnumOptions::default()).unwrap_err(),
+            EnumError::UnbalancedRcu { thread: 0 }
+        );
+    }
+
+    #[test]
+    fn value_domain_fixpoint_propagates_computed_values() {
+        // P0 writes x+1 computed from a read of x written by P1: the value
+        // 2 must flow into x's domain so P1's read can observe it.
+        let t = parse(
+            "C t\n{ x=0; }\n\
+             P0(int *x) { int r; r = READ_ONCE(*x); WRITE_ONCE(*x, r + 1); }\n\
+             P1(int *x) { int s; s = READ_ONCE(*x); }\n\
+             exists (1:s=2)",
+        )
+        .unwrap();
+        let execs = enumerate(&t, &EnumOptions::default()).unwrap();
+        // 1:s=2 requires P0 to read 1 — but nothing writes 1 except P0
+        // itself computing 0+1. So s=2 is impossible, s=1 is possible.
+        assert!(!execs.iter().any(|x| x.satisfies_prop(&t.condition.prop)));
+        let t2 = parse(
+            "C t\n{ x=0; }\n\
+             P0(int *x) { int r; r = READ_ONCE(*x); WRITE_ONCE(*x, r + 1); }\n\
+             P1(int *x) { int s; s = READ_ONCE(*x); }\n\
+             exists (1:s=1)",
+        )
+        .unwrap();
+        let execs2 = enumerate(&t2, &EnumOptions::default()).unwrap();
+        assert!(execs2.iter().any(|x| x.satisfies_prop(&t2.condition.prop)));
+    }
+
+    #[test]
+    fn table5_tests_all_enumerate() {
+        for pt in library::table5() {
+            let t = pt.test();
+            let execs = enumerate(&t, &EnumOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", pt.name));
+            assert!(!execs.is_empty(), "{} has no executions", pt.name);
+        }
+    }
+
+    #[test]
+    fn execution_counts_are_stable() {
+        // Pin down the candidate counts so enumerator changes are noticed.
+        assert_eq!(count("SB"), 4);
+        assert_eq!(count("MP"), 4);
+        assert_eq!(count("LB"), 4);
+    }
+}

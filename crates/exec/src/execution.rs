@@ -1,0 +1,337 @@
+//! Candidate executions and their derived relations.
+
+use crate::event::{Event, EventKind, LocId, SrcuKind, Val};
+use lkmm_litmus::cond::{CondVal, Prop, StateTerm};
+use lkmm_litmus::FenceKind;
+use lkmm_relation::{EventSet, Relation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One candidate execution of a litmus test: events plus the abstract
+/// execution relations (`po`, `addr`, `data`, `ctrl`, `rmw`) and the
+/// execution witness (`rf`, `co`).
+///
+/// All the derived relations used by cat models are provided as methods
+/// (`fr`, `po_loc`, `rfe`, [`Execution::fencerel`], the RCU `crit`
+/// matching, …). Events are densely numbered: initialising writes first,
+/// then each thread's events in program order.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// Location names; `LocId(i)` names `locs[i]`.
+    pub locs: Vec<String>,
+    /// All events. `events[i].id == i`.
+    pub events: Vec<Event>,
+    /// Number of program threads.
+    pub n_threads: usize,
+    /// Program order (transitive, per thread).
+    pub po: Relation,
+    /// Address dependencies (from reads).
+    pub addr: Relation,
+    /// Data dependencies (from reads to writes).
+    pub data: Relation,
+    /// Control dependencies (from reads).
+    pub ctrl: Relation,
+    /// Read-modify-write pairing.
+    pub rmw: Relation,
+    /// Reads-from: one write per read.
+    pub rf: Relation,
+    /// Coherence order: total per location, initialising write first
+    /// (stored transitively closed).
+    pub co: Relation,
+    /// Final register values, per thread.
+    pub final_regs: Vec<BTreeMap<String, Val>>,
+}
+
+impl Execution {
+    /// Number of events (the relation universe).
+    pub fn universe(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Look up a location id by name.
+    pub fn loc_id(&self, name: &str) -> Option<LocId> {
+        self.locs.iter().position(|l| l == name).map(LocId)
+    }
+
+    /// Events selected by a predicate, as a set.
+    pub fn events_where(&self, pred: impl Fn(&Event) -> bool) -> EventSet {
+        EventSet::from_iter(
+            self.universe(),
+            self.events.iter().filter(|e| pred(e)).map(|e| e.id),
+        )
+    }
+
+    /// All reads (`R`).
+    pub fn reads(&self) -> EventSet {
+        self.events_where(Event::is_read)
+    }
+
+    /// All writes including initialising writes (`W`).
+    pub fn writes(&self) -> EventSet {
+        self.events_where(Event::is_write)
+    }
+
+    /// The initialising writes (`IW`).
+    pub fn init_writes(&self) -> EventSet {
+        self.events_where(Event::is_init)
+    }
+
+    /// All memory accesses (`M = R ∪ W`).
+    pub fn mem(&self) -> EventSet {
+        self.events_where(Event::is_mem)
+    }
+
+    /// Fences of one kind.
+    pub fn fences(&self, kind: FenceKind) -> EventSet {
+        self.events_where(|e| e.is_fence(kind))
+    }
+
+    /// Acquire reads.
+    pub fn acquires(&self) -> EventSet {
+        self.events_where(Event::is_acquire)
+    }
+
+    /// Release writes.
+    pub fn releases(&self) -> EventSet {
+        self.events_where(Event::is_release)
+    }
+
+    /// `loc`: pairs of memory accesses to the same location.
+    pub fn loc_rel(&self) -> Relation {
+        let mut r = Relation::empty(self.universe());
+        for a in &self.events {
+            for b in &self.events {
+                if let (Some(la), Some(lb)) = (a.loc(), b.loc()) {
+                    if la == lb {
+                        r.insert(a.id, b.id);
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// `int`: pairs of events on the same thread (reflexive). Initialising
+    /// writes belong to no thread, so they are `int` only with themselves.
+    pub fn int_rel(&self) -> Relation {
+        let mut r = Relation::identity(self.universe());
+        for a in &self.events {
+            for b in &self.events {
+                if a.thread.is_some() && a.thread == b.thread {
+                    r.insert(a.id, b.id);
+                }
+            }
+        }
+        r
+    }
+
+    /// `ext = ~int`.
+    pub fn ext_rel(&self) -> Relation {
+        self.int_rel().complement()
+    }
+
+    /// From-reads: `fr = rf⁻¹ ; co`.
+    pub fn fr(&self) -> Relation {
+        self.rf.inverse().seq(&self.co)
+    }
+
+    /// Communications: `com = rf ∪ co ∪ fr`.
+    pub fn com(&self) -> Relation {
+        self.rf.union(&self.co).union(&self.fr())
+    }
+
+    /// Program order restricted to same-location accesses.
+    pub fn po_loc(&self) -> Relation {
+        self.po.intersection(&self.loc_rel())
+    }
+
+    /// Internal reads-from.
+    pub fn rfi(&self) -> Relation {
+        self.rf.intersection(&self.int_rel())
+    }
+
+    /// External reads-from.
+    pub fn rfe(&self) -> Relation {
+        self.rf.intersection(&self.ext_rel())
+    }
+
+    /// External coherence.
+    pub fn coe(&self) -> Relation {
+        self.co.intersection(&self.ext_rel())
+    }
+
+    /// External from-reads.
+    pub fn fre(&self) -> Relation {
+        self.fr().intersection(&self.ext_rel())
+    }
+
+    /// `fencerel(kind)`: pairs `(a, b)` with a fence of `kind` between them
+    /// in program order (`po ; [F kind] ; po`).
+    pub fn fencerel(&self, kind: FenceKind) -> Relation {
+        let f = self.fences(kind).as_identity();
+        self.po.seq(&f).seq(&self.po)
+    }
+
+    /// The paper's `gp` relation (Figure 12):
+    /// `(po ∩ (_ × Sync)) ; po?` — pairs separated by a `synchronize_rcu`,
+    /// or whose second element is the `synchronize_rcu` itself.
+    pub fn gp(&self) -> Relation {
+        let sync = self.fences(FenceKind::SyncRcu).as_identity();
+        self.po.seq(&sync).seq(&self.po.reflexive())
+    }
+
+    /// The `crit` relation: each *outermost* `rcu_read_lock` paired with
+    /// its matching `rcu_read_unlock` (paper §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread's RCU sections are not properly nested; the
+    /// enumerator rejects such programs first.
+    pub fn crit(&self) -> Relation {
+        let mut r = Relation::empty(self.universe());
+        for t in 0..self.n_threads {
+            let mut depth = 0usize;
+            let mut outermost: Option<usize> = None;
+            for e in self.events.iter().filter(|e| e.thread == Some(t)) {
+                if e.is_fence(FenceKind::RcuLock) {
+                    if depth == 0 {
+                        outermost = Some(e.id);
+                    }
+                    depth += 1;
+                } else if e.is_fence(FenceKind::RcuUnlock) {
+                    depth = depth.checked_sub(1).expect("unbalanced rcu_read_unlock");
+                    if depth == 0 {
+                        r.insert(outermost.take().expect("unlock without lock"), e.id);
+                    }
+                }
+            }
+            assert_eq!(depth, 0, "unclosed rcu_read_lock in thread {t}");
+        }
+        r
+    }
+
+    /// SRCU domains appearing in this execution, deduplicated.
+    pub fn srcu_domains(&self) -> Vec<LocId> {
+        let mut out: Vec<LocId> =
+            self.events.iter().filter_map(|e| e.srcu().map(|(_, d)| d)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// SRCU events of a kind within one domain.
+    pub fn srcu_events(&self, kind: SrcuKind, domain: LocId) -> EventSet {
+        self.events_where(|e| e.srcu() == Some((kind, domain)))
+    }
+
+    /// `crit` for one SRCU domain: outermost lock/unlock matching, like
+    /// [`Execution::crit`] but per domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced sections (rejected by the enumerator).
+    pub fn srcu_crit(&self, domain: LocId) -> Relation {
+        let mut r = Relation::empty(self.universe());
+        for t in 0..self.n_threads {
+            let mut depth = 0usize;
+            let mut outermost: Option<usize> = None;
+            for e in self.events.iter().filter(|e| e.thread == Some(t)) {
+                match e.srcu() {
+                    Some((SrcuKind::Lock, d)) if d == domain => {
+                        if depth == 0 {
+                            outermost = Some(e.id);
+                        }
+                        depth += 1;
+                    }
+                    Some((SrcuKind::Unlock, d)) if d == domain => {
+                        depth = depth.checked_sub(1).expect("unbalanced srcu unlock");
+                        if depth == 0 {
+                            r.insert(outermost.take().expect("lock before unlock"), e.id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "unclosed srcu_read_lock in thread {t}");
+        }
+        r
+    }
+
+    /// `gp` for one SRCU domain (`(po ∩ (_ × SyncSrcu_d)) ; po?`).
+    pub fn srcu_gp(&self, domain: LocId) -> Relation {
+        let sync = self.srcu_events(SrcuKind::Sync, domain).as_identity();
+        self.po.seq(&sync).seq(&self.po.reflexive())
+    }
+
+    /// The final value of each location: the coherence-maximal write.
+    pub fn final_values(&self) -> BTreeMap<LocId, Val> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::Write { loc, val, .. } = e.kind {
+                // co-maximal: no other write to loc is co-after e.
+                let maximal = !self.co.successors(e.id).any(|_| true);
+                if maximal {
+                    out.insert(loc, val);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate a final-state proposition against this execution.
+    pub fn satisfies_prop(&self, prop: &Prop) -> bool {
+        let finals = self.final_values();
+        let lookup = |term: &StateTerm| -> Option<CondVal> {
+            let val = match term {
+                StateTerm::Reg { thread, reg } => {
+                    *self.final_regs.get(*thread)?.get(reg)?
+                }
+                StateTerm::Loc(name) => *finals.get(&self.loc_id(name)?)?,
+            };
+            Some(match val {
+                Val::Int(i) => CondVal::Int(i),
+                Val::Loc(l) => CondVal::LocRef(self.locs[l.0].clone()),
+            })
+        };
+        prop.eval(&lookup)
+    }
+
+    /// Render the execution as a Graphviz `dot` graph (events as nodes,
+    /// `po`/`rf`/`co`/dependency edges), for debugging and documentation.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph execution {\n  rankdir=TB;\n");
+        for e in &self.events {
+            out.push_str(&format!("  e{} [label=\"{}\"];\n", e.id, e));
+        }
+        let edge_sets: [(&str, &Relation, &str); 5] = [
+            ("po", &self.po, "black"),
+            ("rf", &self.rf, "red"),
+            ("co", &self.co, "blue"),
+            ("addr", &self.addr, "darkgreen"),
+            ("ctrl", &self.ctrl, "purple"),
+        ];
+        for (name, rel, colour) in edge_sets {
+            for (a, b) in rel.iter() {
+                // Show only immediate po edges to keep graphs readable.
+                if name == "po" && self.po.successors(a).any(|m| self.po.contains(m, b)) {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  e{a} -> e{b} [label=\"{name}\", color={colour}];\n"
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "execution with {} events:", self.universe())?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        write!(f, "  rf={:?} co={:?}", self.rf, self.co)
+    }
+}

@@ -1,0 +1,161 @@
+//! The consistency-model interface and test-level verdict checking.
+
+use crate::enumerate::{for_each_execution, EnumError, EnumOptions};
+use crate::execution::Execution;
+use lkmm_litmus::ast::Test;
+use lkmm_litmus::cond::Quantifier;
+use std::fmt;
+
+/// An axiomatic consistency model: a predicate on candidate executions.
+pub trait ConsistencyModel {
+    /// Short model name, e.g. `"LKMM"`.
+    fn name(&self) -> &str;
+
+    /// Whether the model allows this candidate execution.
+    fn allows(&self, x: &Execution) -> bool;
+
+    /// A human-readable reason the execution is forbidden, if it is.
+    ///
+    /// The default implementation reports only allow/forbid.
+    fn explain(&self, x: &Execution) -> Option<String> {
+        if self.allows(x) {
+            None
+        } else {
+            Some(format!("forbidden by {}", self.name()))
+        }
+    }
+}
+
+/// Allow/Forbid verdict for a litmus test's `exists` proposition, as in
+/// Table 5 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Some model-allowed execution satisfies the proposition.
+    Allowed,
+    /// No model-allowed execution satisfies it.
+    Forbidden,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Allowed => write!(f, "Allow"),
+            Verdict::Forbidden => write!(f, "Forbid"),
+        }
+    }
+}
+
+/// Result of checking one litmus test against one model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestResult {
+    /// Whether the condition's proposition is observable in some allowed
+    /// execution (the paper's Allow/Forbid).
+    pub verdict: Verdict,
+    /// Whether the *quantified* condition holds: `exists` needs a
+    /// satisfying allowed execution, `~exists` needs none, `forall` needs
+    /// all allowed executions to satisfy the proposition.
+    pub condition_holds: bool,
+    /// Candidate executions enumerated.
+    pub candidates: usize,
+    /// Candidates allowed by the model.
+    pub allowed: usize,
+    /// Allowed candidates satisfying the proposition.
+    pub witnesses: usize,
+}
+
+/// Check `test` against `model`, enumerating all candidate executions.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`] from the enumerator.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::model::{check_test, ConsistencyModel, Verdict};
+/// use lkmm_exec::{enumerate::EnumOptions, Execution};
+///
+/// /// A model that allows everything.
+/// struct Anything;
+/// impl ConsistencyModel for Anything {
+///     fn name(&self) -> &str { "anything" }
+///     fn allows(&self, _: &Execution) -> bool { true }
+/// }
+///
+/// let test = lkmm_litmus::library::by_name("SB").unwrap().test();
+/// let r = check_test(&Anything, &test, &EnumOptions::default()).unwrap();
+/// assert_eq!(r.verdict, Verdict::Allowed); // SB is observable without axioms
+/// ```
+pub fn check_test(
+    model: &dyn ConsistencyModel,
+    test: &Test,
+    opts: &EnumOptions,
+) -> Result<TestResult, EnumError> {
+    let mut candidates = 0usize;
+    let mut allowed = 0usize;
+    let mut witnesses = 0usize;
+    let mut all_allowed_satisfy = true;
+    for_each_execution(test, opts, &mut |x| {
+        candidates += 1;
+        if model.allows(x) {
+            allowed += 1;
+            if x.satisfies_prop(&test.condition.prop) {
+                witnesses += 1;
+            } else {
+                all_allowed_satisfy = false;
+            }
+        }
+    })?;
+    let verdict = if witnesses > 0 { Verdict::Allowed } else { Verdict::Forbidden };
+    let condition_holds = match test.condition.quantifier {
+        Quantifier::Exists => witnesses > 0,
+        Quantifier::NotExists => witnesses == 0,
+        Quantifier::Forall => all_allowed_satisfy,
+    };
+    Ok(TestResult { verdict, condition_holds, candidates, allowed, witnesses })
+}
+
+/// The model with no axioms beyond coherence pruning: allows every
+/// candidate execution. Useful as a baseline and in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllowAll;
+
+impl ConsistencyModel for AllowAll {
+    fn name(&self) -> &str {
+        "allow-all"
+    }
+
+    fn allows(&self, _: &Execution) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_litmus::library;
+
+    #[test]
+    fn allow_all_observes_every_relaxed_outcome() {
+        for name in ["LB", "SB", "MP", "WRC", "RWC"] {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&AllowAll, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Allowed, "{name}");
+            assert!(r.allowed == r.candidates);
+        }
+    }
+
+    #[test]
+    fn quantifier_semantics() {
+        // `~exists` on an observable outcome does not hold.
+        let mut t = library::by_name("SB").unwrap().test();
+        t.condition.quantifier = Quantifier::NotExists;
+        let r = check_test(&AllowAll, &t, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Allowed);
+        assert!(!r.condition_holds);
+        // `forall` fails because not every execution ends in the SB state.
+        t.condition.quantifier = Quantifier::Forall;
+        let r = check_test(&AllowAll, &t, &EnumOptions::default()).unwrap();
+        assert!(!r.condition_holds);
+    }
+}

@@ -1,0 +1,150 @@
+//! Test families: "systematic variations of several tests with all
+//! combinations of fences or dependencies" (paper §5).
+//!
+//! A *family* fixes a cycle's skeleton (the external communication edges
+//! and the extremities of each internal edge) and sweeps every well-formed
+//! adornment of the internal edges — e.g. the MP family ranges over
+//! `MP+po+po`, `MP+wmb+rmb`, `MP+mb+addr`, …
+
+use crate::{generate, validate, Edge, GenError, InternalKind};
+use lkmm_litmus::ast::Test;
+
+/// All adornments to sweep over.
+pub const ALL_KINDS: [InternalKind; 11] = [
+    InternalKind::Po,
+    InternalKind::Ctrl,
+    InternalKind::Data,
+    InternalKind::Addr,
+    InternalKind::AddrRbDep,
+    InternalKind::Rmb,
+    InternalKind::Wmb,
+    InternalKind::Mb,
+    InternalKind::SyncRcu,
+    InternalKind::Release,
+    InternalKind::Acquire,
+];
+
+/// Every variation of `base` obtained by re-adorning its internal edges
+/// with all well-formed combinations (the external skeleton is kept).
+///
+/// # Errors
+///
+/// Returns [`GenError`] if the base cycle itself is invalid.
+pub fn family(base: &[Edge]) -> Result<Vec<Vec<Edge>>, GenError> {
+    validate(base)?;
+    let slots: Vec<usize> = base
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.is_external())
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Vec::new();
+    let mut current = base.to_vec();
+    fn rec(
+        slots: &[usize],
+        k: usize,
+        current: &mut Vec<Edge>,
+        out: &mut Vec<Vec<Edge>>,
+    ) {
+        if k == slots.len() {
+            if validate(current).is_ok() {
+                out.push(current.clone());
+            }
+            return;
+        }
+        let i = slots[k];
+        let Edge::Internal { src, dst, .. } = current[i] else { unreachable!() };
+        for kind in ALL_KINDS {
+            let candidate = Edge::internal(kind, src, dst);
+            if candidate.well_formed() {
+                current[i] = candidate;
+                rec(slots, k + 1, current, out);
+            }
+        }
+    }
+    rec(&slots, 0, &mut current, &mut out);
+    Ok(out)
+}
+
+/// Generate all family variations as litmus tests.
+///
+/// # Errors
+///
+/// Returns [`GenError`] if the base cycle is invalid.
+pub fn family_tests(base: &[Edge]) -> Result<Vec<Test>, GenError> {
+    Ok(family(base)?.iter().map(|c| generate(c).expect("validated")).collect())
+}
+
+/// Partial strength order on adornments: `stronger_or_equal(a, b)` means
+/// every execution ordered by `a` is ordered by `b` under the LKMM.
+/// Used by the monotonicity property tests: strengthening an internal
+/// edge can only shrink the allowed behaviours.
+pub fn stronger_or_equal(weak: InternalKind, strong: InternalKind) -> bool {
+    use InternalKind::*;
+    if weak == strong {
+        return true;
+    }
+    match (weak, strong) {
+        // Plain po is the bottom.
+        (Po, _) => true,
+        // Full and RCU fences are top (gp joins mb in strong-fence), and
+        // are interchangeable for ordering purposes.
+        (_, Mb) | (_, SyncRcu) => true,
+        // An address dependency plus rb-dep is stronger than without.
+        (Addr, AddrRbDep) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Extremity::{R, W};
+
+    fn mp_base() -> Vec<Edge> {
+        vec![
+            Edge::internal(InternalKind::Po, W, W),
+            Edge::Rfe,
+            Edge::internal(InternalKind::Po, R, R),
+            Edge::Fre,
+        ]
+    }
+
+    #[test]
+    fn mp_family_size() {
+        // W→W slot: Po, Wmb, Mb, Sync, Release = 5.
+        // R→R slot: Po, Addr, AddrRbDep, Rmb, Mb, Sync, Acquire = 7.
+        let fam = family(&mp_base()).unwrap();
+        assert_eq!(fam.len(), 5 * 7);
+        // All distinct and all generate.
+        let tests = family_tests(&mp_base()).unwrap();
+        let names: std::collections::BTreeSet<String> =
+            tests.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names.len(), tests.len());
+    }
+
+    #[test]
+    fn lb_family_size() {
+        // Two R→W slots: Po, Ctrl, Data, Addr, AddrRbDep, Mb, Sync,
+        // Release, Acquire = 9 each.
+        let base = vec![
+            Edge::internal(InternalKind::Po, R, W),
+            Edge::Rfe,
+            Edge::internal(InternalKind::Po, R, W),
+            Edge::Rfe,
+        ];
+        assert_eq!(family(&base).unwrap().len(), 81);
+    }
+
+    #[test]
+    fn strength_order_sanity() {
+        use InternalKind::*;
+        assert!(stronger_or_equal(Po, Mb));
+        assert!(stronger_or_equal(Wmb, Mb));
+        assert!(stronger_or_equal(Addr, AddrRbDep));
+        assert!(stronger_or_equal(Mb, SyncRcu));
+        assert!(!stronger_or_equal(Mb, Wmb));
+        assert!(!stronger_or_equal(Rmb, Wmb));
+        assert!(!stronger_or_equal(Ctrl, Data));
+    }
+}

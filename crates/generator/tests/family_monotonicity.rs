@@ -1,0 +1,146 @@
+//! Family sweeps (§5's "systematic variations … with all combinations of
+//! fences or dependencies") plus the key sanity law: *strengthening an
+//! adornment never allows more behaviour*.
+
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, Verdict};
+use lkmm_generator::family::{family, stronger_or_equal};
+use lkmm_generator::{generate, Edge, Extremity, InternalKind};
+use Extremity::{R, W};
+
+fn verdicts_of_family(base: &[Edge]) -> Vec<(Vec<Edge>, Verdict)> {
+    let model = Lkmm::new();
+    let opts = EnumOptions::default();
+    family(base)
+        .unwrap()
+        .into_iter()
+        .map(|cycle| {
+            let t = generate(&cycle).unwrap();
+            let v = check_test(&model, &t, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name))
+                .verdict;
+            (cycle, v)
+        })
+        .collect()
+}
+
+/// Pointwise-comparable variants must have monotone verdicts.
+fn assert_monotone(results: &[(Vec<Edge>, Verdict)]) {
+    for (a, va) in results {
+        for (b, vb) in results {
+            let pointwise_stronger = a.iter().zip(b.iter()).all(|(ea, eb)| match (ea, eb) {
+                (
+                    Edge::Internal { kind: ka, .. },
+                    Edge::Internal { kind: kb, .. },
+                ) => stronger_or_equal(*ka, *kb),
+                _ => ea == eb,
+            });
+            if pointwise_stronger && *va == Verdict::Forbidden {
+                assert_eq!(
+                    *vb,
+                    Verdict::Forbidden,
+                    "strengthening {a:?} -> {b:?} un-forbade the outcome"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mp_family_verdicts_and_monotonicity() {
+    let base = [
+        Edge::internal(InternalKind::Po, W, W),
+        Edge::Rfe,
+        Edge::internal(InternalKind::Po, R, R),
+        Edge::Fre,
+    ];
+    let results = verdicts_of_family(&base);
+    assert_eq!(results.len(), 35);
+    assert_monotone(&results);
+
+    // Spot-check the corners against the paper's discussion.
+    let verdict_of = |w: InternalKind, r: InternalKind| {
+        results
+            .iter()
+            .find(|(c, _)| {
+                matches!(c[0], Edge::Internal { kind, .. } if kind == w)
+                    && matches!(c[2], Edge::Internal { kind, .. } if kind == r)
+            })
+            .unwrap()
+            .1
+    };
+    use InternalKind::*;
+    assert_eq!(verdict_of(Po, Po), Verdict::Allowed); // MP
+    assert_eq!(verdict_of(Wmb, Rmb), Verdict::Forbidden); // Figure 2
+    assert_eq!(verdict_of(Mb, Mb), Verdict::Forbidden);
+    assert_eq!(verdict_of(Release, Acquire), Verdict::Forbidden);
+    assert_eq!(verdict_of(Wmb, Po), Verdict::Allowed); // one-sided
+    assert_eq!(verdict_of(Po, Rmb), Verdict::Allowed);
+    // Alpha: plain address dependency on the read side is not enough…
+    assert_eq!(verdict_of(Wmb, Addr), Verdict::Allowed);
+    // …but with smp_read_barrier_depends it is (strong-rrdep).
+    assert_eq!(verdict_of(Wmb, AddrRbDep), Verdict::Forbidden);
+    // synchronize_rcu as a strong fence.
+    assert_eq!(verdict_of(SyncRcu, Po), Verdict::Allowed);
+    assert_eq!(verdict_of(SyncRcu, Rmb), Verdict::Forbidden);
+}
+
+#[test]
+fn lb_family_verdicts_and_monotonicity() {
+    let base = [
+        Edge::internal(InternalKind::Po, R, W),
+        Edge::Rfe,
+        Edge::internal(InternalKind::Po, R, W),
+        Edge::Rfe,
+    ];
+    let results = verdicts_of_family(&base);
+    assert_eq!(results.len(), 81);
+    assert_monotone(&results);
+    let verdict_of = |a: InternalKind, b: InternalKind| {
+        results
+            .iter()
+            .find(|(c, _)| {
+                matches!(c[0], Edge::Internal { kind, .. } if kind == a)
+                    && matches!(c[2], Edge::Internal { kind, .. } if kind == b)
+            })
+            .unwrap()
+            .1
+    };
+    use InternalKind::*;
+    assert_eq!(verdict_of(Po, Po), Verdict::Allowed); // LB
+    // One dependency on either side suffices with anything ordering the
+    // other (the LKMM respects dependencies to writes: no thin air).
+    assert_eq!(verdict_of(Ctrl, Mb), Verdict::Forbidden); // Figure 4
+    assert_eq!(verdict_of(Data, Data), Verdict::Forbidden);
+    assert_eq!(verdict_of(Ctrl, Po), Verdict::Allowed);
+    assert_eq!(verdict_of(Po, Mb), Verdict::Allowed);
+}
+
+#[test]
+fn sb_family_needs_strong_fences_on_both_sides() {
+    let base = [
+        Edge::internal(InternalKind::Po, W, R),
+        Edge::Fre,
+        Edge::internal(InternalKind::Po, W, R),
+        Edge::Fre,
+    ];
+    let results = verdicts_of_family(&base);
+    assert_monotone(&results);
+    for (cycle, v) in &results {
+        let strong = |e: &Edge| {
+            matches!(
+                e,
+                Edge::Internal { kind: InternalKind::Mb | InternalKind::SyncRcu, .. }
+            )
+        };
+        let both_strong = strong(&cycle[0]) && strong(&cycle[2]);
+        // SB is forbidden exactly when both sides carry a strong fence —
+        // release/acquire/rmb/wmb never order a write before a later read.
+        assert_eq!(
+            *v,
+            if both_strong { Verdict::Forbidden } else { Verdict::Allowed },
+            "{cycle:?}"
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! klitmus-style host runner: execute litmus tests on *this* machine's
+//! real hardware with real threads (§5: "running litmus tests as kernel
+//! modules was done using our new klitmus tool").
+//!
+//! Where the paper's klitmus runs tests inside the kernel with kthreads,
+//! this runner uses std threads and Rust atomics with the natural mapping
+//! of LK primitives:
+//!
+//! | LK primitive           | host implementation                   |
+//! |------------------------|---------------------------------------|
+//! | `READ_ONCE`/`WRITE_ONCE` | relaxed atomic load/store           |
+//! | acquire / release      | `Ordering::Acquire` / `Release`       |
+//! | `smp_rmb` / `smp_wmb`  | `fence(Acquire)` / `fence(Release)`   |
+//! | `smp_mb`               | `fence(SeqCst)`                       |
+//! | `smp_read_barrier_depends` | no-op (the host is not an Alpha)  |
+//! | `xchg*` / `cmpxchg*`   | `swap` / `compare_exchange`           |
+//! | RCU primitives         | the real [`lkmm_rcu::Urcu`] runtime   |
+//! | `spin_lock`/`spin_unlock` | CAS-acquire loop / store-release   |
+//!
+//! Every iteration lines the threads up on a barrier, runs the bodies
+//! concurrently, and records the final state. The key soundness check —
+//! mirrored from Table 5 — is that no LKMM-forbidden outcome is ever
+//! observed on real silicon.
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm_klitmus::{run_on_host, HostConfig};
+//!
+//! let sb = lkmm_litmus::library::by_name("SB+mbs").unwrap().test();
+//! let stats = run_on_host(&sb, &HostConfig { iterations: 1_000 }).unwrap();
+//! assert_eq!(stats.observed, 0); // fenced store buffering never shows
+//! ```
+
+use lkmm_litmus::ast::{AddrExpr, BinOp, Expr, FenceKind, InitVal, RmwOrder, Stmt, Test};
+use lkmm_litmus::cond::{CondVal, StateTerm};
+use lkmm_rcu::Urcu;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicI64, Ordering};
+use std::sync::Barrier;
+
+/// Host-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    /// Number of iterations.
+    pub iterations: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig { iterations: 100_000 }
+    }
+}
+
+/// Aggregated host-run results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostStats {
+    /// Iterations whose final state satisfied the condition proposition.
+    pub observed: u64,
+    /// Total iterations.
+    pub total: u64,
+    /// Histogram over final states of the condition's terms.
+    pub histogram: BTreeMap<String, u64>,
+}
+
+/// Host-run failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostError {
+    /// `__assume` has no operational meaning.
+    Unsupported(&'static str),
+    /// A register was read before being written (program bug).
+    UninitialisedRegister(String),
+    /// An integer was dereferenced (program bug).
+    BadPointer,
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Unsupported(w) => write!(f, "unsupported on host: {w}"),
+            HostError::UninitialisedRegister(r) => write!(f, "uninitialised register {r}"),
+            HostError::BadPointer => write!(f, "dereferenced a non-pointer value"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Pointers are encoded as negative integers so that plain `AtomicI64`
+/// cells can hold both (litmus tests only use small non-negative data
+/// values).
+fn encode_loc(i: usize) -> i64 {
+    -(i as i64) - 1
+}
+
+fn decode_loc(v: i64) -> Option<usize> {
+    (v < 0).then(|| (-v - 1) as usize)
+}
+
+/// Run `test` on the host.
+///
+/// # Errors
+///
+/// See [`HostError`].
+pub fn run_on_host(test: &Test, config: &HostConfig) -> Result<HostStats, HostError> {
+    let locs = test.shared_locations();
+    let init: Vec<i64> = locs
+        .iter()
+        .map(|name| match test.init.get(name) {
+            Some(InitVal::Int(i)) => *i,
+            Some(InitVal::Ptr(t)) => {
+                encode_loc(locs.iter().position(|l| l == t).expect("ptr target"))
+            }
+            None => 0,
+        })
+        .collect();
+    let mem: Vec<AtomicI64> = init.iter().map(|&v| AtomicI64::new(v)).collect();
+    let n_threads = test.threads.len();
+    let rcu = Urcu::new(n_threads);
+    // One independent RCU domain per location doubles as the SRCU
+    // implementation (srcu ≙ per-domain userspace RCU).
+    let srcu: Vec<Urcu> = (0..locs.len()).map(|_| Urcu::new(n_threads)).collect();
+    let start = Barrier::new(n_threads);
+    let finish = Barrier::new(n_threads);
+
+    let mut stats =
+        HostStats { observed: 0, total: config.iterations, histogram: BTreeMap::new() };
+    let terms: Vec<&StateTerm> = test.condition.prop.terms();
+
+    // Reject unsupported constructs up front.
+    fn check(stmts: &[Stmt]) -> Result<(), HostError> {
+        for s in stmts {
+            match s {
+                Stmt::Assume(_) => return Err(HostError::Unsupported("__assume")),
+                Stmt::If { then_, else_, .. } => {
+                    check(then_)?;
+                    check(else_)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    for t in &test.threads {
+        check(&t.body)?;
+    }
+
+    /// Per-worker result: final registers per iteration, plus (thread 0
+    /// only) the memory snapshot per iteration.
+    type WorkerOut = (Vec<BTreeMap<String, i64>>, Vec<Vec<i64>>);
+
+    std::thread::scope(|scope| -> Result<(), HostError> {
+        let mut handles = Vec::new();
+        for (tid, thread) in test.threads.iter().enumerate() {
+            let mem = &mem;
+            let locs = &locs;
+            let rcu = &rcu;
+            let srcu = &srcu;
+            let start = &start;
+            let finish = &finish;
+            let init = &init;
+            handles.push(scope.spawn(move || -> Result<WorkerOut, HostError> {
+                let mut finals = Vec::with_capacity(config.iterations as usize);
+                let mut snapshots = Vec::new();
+                for _ in 0..config.iterations {
+                    // Thread 0 resets memory before releasing the pack;
+                    // everyone else is parked on the start barrier.
+                    if tid == 0 {
+                        for (cell, &v) in mem.iter().zip(init) {
+                            cell.store(v, Ordering::Relaxed);
+                        }
+                    }
+                    start.wait();
+                    let mut interp = Interp {
+                        tid,
+                        mem,
+                        locs,
+                        rcu,
+                        srcu,
+                        regs: HashMap::new(),
+                    };
+                    interp.run(&thread.body)?;
+                    finals.push(interp.regs.into_iter().collect());
+                    finish.wait();
+                    // All bodies are done; snapshot the final memory
+                    // before the next iteration's reset.
+                    if tid == 0 {
+                        snapshots
+                            .push(mem.iter().map(|c| c.load(Ordering::Relaxed)).collect());
+                    }
+                }
+                Ok((finals, snapshots))
+            }));
+        }
+        let joined: Vec<WorkerOut> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<_, _>>()?;
+        let snapshots = joined[0].1.clone();
+        let per_thread: Vec<Vec<BTreeMap<String, i64>>> =
+            joined.into_iter().map(|(f, _)| f).collect();
+
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            let lookup = |term: &StateTerm| -> Option<CondVal> {
+                let v = match term {
+                    StateTerm::Reg { thread, reg } => {
+                        *per_thread.get(*thread)?.get(i)?.get(reg)?
+                    }
+                    StateTerm::Loc(name) => {
+                        let idx = locs.iter().position(|l| l == name)?;
+                        snapshot[idx]
+                    }
+                };
+                Some(match decode_loc(v) {
+                    Some(l) => CondVal::LocRef(locs[l].clone()),
+                    None => CondVal::Int(v),
+                })
+            };
+            if test.condition.prop.eval(&lookup) {
+                stats.observed += 1;
+            }
+            let key = terms
+                .iter()
+                .map(|t| {
+                    let v = lookup(t)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "?".to_string());
+                    format!("{t}={v}")
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            *stats.histogram.entry(key).or_insert(0) += 1;
+        }
+        Ok(())
+    })?;
+    Ok(stats)
+}
+
+struct Interp<'a> {
+    tid: usize,
+    mem: &'a [AtomicI64],
+    locs: &'a [String],
+    rcu: &'a Urcu,
+    srcu: &'a [Urcu],
+    regs: HashMap<String, i64>,
+}
+
+impl Interp<'_> {
+    fn run(&mut self, body: &[Stmt]) -> Result<(), HostError> {
+        for stmt in body {
+            self.step(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn addr(&self, a: &AddrExpr) -> Result<usize, HostError> {
+        match a {
+            AddrExpr::Var(name) => self
+                .locs
+                .iter()
+                .position(|l| l == name)
+                .ok_or(HostError::BadPointer),
+            AddrExpr::Reg(r) => {
+                let v = *self
+                    .regs
+                    .get(r)
+                    .ok_or_else(|| HostError::UninitialisedRegister(r.clone()))?;
+                decode_loc(v).ok_or(HostError::BadPointer)
+            }
+        }
+    }
+
+    fn eval(&self, e: &Expr) -> Result<i64, HostError> {
+        Ok(match e {
+            Expr::Const(c) => *c,
+            Expr::Reg(r) => *self
+                .regs
+                .get(r)
+                .ok_or_else(|| HostError::UninitialisedRegister(r.clone()))?,
+            Expr::LocRef(name) => encode_loc(
+                self.locs.iter().position(|l| l == name).ok_or(HostError::BadPointer)?,
+            ),
+            Expr::Not(inner) => i64::from(self.eval(inner)? == 0),
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Xor => x ^ y,
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Eq => i64::from(x == y),
+                    BinOp::Ne => i64::from(x != y),
+                    BinOp::Lt => i64::from(x < y),
+                    BinOp::Le => i64::from(x <= y),
+                    BinOp::Gt => i64::from(x > y),
+                    BinOp::Ge => i64::from(x >= y),
+                }
+            }
+        })
+    }
+
+    fn step(&mut self, stmt: &Stmt) -> Result<(), HostError> {
+        match stmt {
+            Stmt::ReadOnce { dst, addr } | Stmt::RcuDereference { dst, addr } => {
+                let l = self.addr(addr)?;
+                let v = self.mem[l].load(Ordering::Relaxed);
+                self.regs.insert(dst.clone(), v);
+            }
+            Stmt::LoadAcquire { dst, addr } => {
+                let l = self.addr(addr)?;
+                let v = self.mem[l].load(Ordering::Acquire);
+                self.regs.insert(dst.clone(), v);
+            }
+            Stmt::WriteOnce { addr, value } => {
+                let l = self.addr(addr)?;
+                let v = self.eval(value)?;
+                self.mem[l].store(v, Ordering::Relaxed);
+            }
+            Stmt::StoreRelease { addr, value } | Stmt::RcuAssignPointer { addr, value } => {
+                let l = self.addr(addr)?;
+                let v = self.eval(value)?;
+                self.mem[l].store(v, Ordering::Release);
+            }
+            Stmt::Fence(kind) => match kind {
+                FenceKind::Rmb => fence(Ordering::Acquire),
+                FenceKind::Wmb => fence(Ordering::Release),
+                FenceKind::Mb => fence(Ordering::SeqCst),
+                FenceKind::RbDep => {} // not an Alpha
+                FenceKind::RcuLock => self.rcu.read_lock(self.tid),
+                FenceKind::RcuUnlock => self.rcu.read_unlock(self.tid),
+                FenceKind::SyncRcu => self.rcu.synchronize_rcu(),
+            },
+            Stmt::Xchg { order, dst, addr, value } => {
+                let l = self.addr(addr)?;
+                let v = self.eval(value)?;
+                let old = match order {
+                    RmwOrder::Relaxed => self.mem[l].swap(v, Ordering::Relaxed),
+                    RmwOrder::Acquire => self.mem[l].swap(v, Ordering::Acquire),
+                    RmwOrder::Release => self.mem[l].swap(v, Ordering::Release),
+                    RmwOrder::Full => self.mem[l].swap(v, Ordering::SeqCst),
+                };
+                self.regs.insert(dst.clone(), old);
+            }
+            Stmt::CmpXchg { order, dst, addr, expected, new } => {
+                let l = self.addr(addr)?;
+                let exp = self.eval(expected)?;
+                let newv = self.eval(new)?;
+                let (success, failure) = match order {
+                    RmwOrder::Relaxed => (Ordering::Relaxed, Ordering::Relaxed),
+                    RmwOrder::Acquire => (Ordering::Acquire, Ordering::Acquire),
+                    RmwOrder::Release => (Ordering::Release, Ordering::Relaxed),
+                    RmwOrder::Full => (Ordering::SeqCst, Ordering::SeqCst),
+                };
+                let old = match self.mem[l].compare_exchange(exp, newv, success, failure) {
+                    Ok(o) | Err(o) => o,
+                };
+                self.regs.insert(dst.clone(), old);
+            }
+            Stmt::Assign { dst, value } => {
+                let v = self.eval(value)?;
+                self.regs.insert(dst.clone(), v);
+            }
+            Stmt::AtomicOp { order, dst, addr, op, operand } => {
+                use lkmm_litmus::ast::AtomicDst;
+                let l = self.addr(addr)?;
+                let operand = self.eval(operand)?;
+                let ordering = match order {
+                    RmwOrder::Relaxed => Ordering::Relaxed,
+                    RmwOrder::Acquire => Ordering::Acquire,
+                    RmwOrder::Release => Ordering::Release,
+                    RmwOrder::Full => Ordering::SeqCst,
+                };
+                let old = match op {
+                    BinOp::Add => self.mem[l].fetch_add(operand, ordering),
+                    BinOp::Sub => self.mem[l].fetch_sub(operand, ordering),
+                    BinOp::And => self.mem[l].fetch_and(operand, ordering),
+                    BinOp::Or => self.mem[l].fetch_or(operand, ordering),
+                    BinOp::Xor => self.mem[l].fetch_xor(operand, ordering),
+                    _ => self.mem[l].fetch_add(operand, ordering),
+                };
+                if let Some((d, kind)) = dst {
+                    let v = match (kind, op) {
+                        (AtomicDst::Old, _) => old,
+                        (AtomicDst::New, BinOp::Add) => old.wrapping_add(operand),
+                        (AtomicDst::New, BinOp::Sub) => old.wrapping_sub(operand),
+                        (AtomicDst::New, BinOp::And) => old & operand,
+                        (AtomicDst::New, BinOp::Or) => old | operand,
+                        (AtomicDst::New, BinOp::Xor) => old ^ operand,
+                        (AtomicDst::New, _) => old,
+                    };
+                    self.regs.insert(d.clone(), v);
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if self.eval(cond)? != 0 {
+                    self.run(then_)?;
+                } else {
+                    self.run(else_)?;
+                }
+            }
+            Stmt::SrcuReadLock { domain } => {
+                let d = self.addr(domain)?;
+                self.srcu[d].read_lock(self.tid);
+            }
+            Stmt::SrcuReadUnlock { domain } => {
+                let d = self.addr(domain)?;
+                self.srcu[d].read_unlock(self.tid);
+            }
+            Stmt::SynchronizeSrcu { domain } => {
+                let d = self.addr(domain)?;
+                self.srcu[d].synchronize_rcu();
+            }
+            Stmt::SpinLock { addr } => {
+                let l = self.addr(addr)?;
+                while self.mem[l]
+                    .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    std::hint::spin_loop();
+                }
+            }
+            Stmt::SpinUnlock { addr } => {
+                let l = self.addr(addr)?;
+                self.mem[l].store(0, Ordering::Release);
+            }
+            Stmt::Assume(_) => return Err(HostError::Unsupported("__assume")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_litmus::library;
+
+    fn run(name: &str, iters: u64) -> HostStats {
+        let t = library::by_name(name).unwrap().test();
+        run_on_host(&t, &HostConfig { iterations: iters }).unwrap()
+    }
+
+    #[test]
+    fn fenced_idioms_never_observed_on_host() {
+        // Table 5 soundness on real silicon: LKMM-forbidden outcomes must
+        // not appear, whatever the host architecture.
+        for name in ["SB+mbs", "MP+wmb+rmb", "WRC+po-rel+rmb", "LB+ctrl+mb", "RWC+mbs"] {
+            let stats = run(name, 20_000);
+            assert_eq!(stats.observed, 0, "{name} observed on the host!");
+        }
+    }
+
+    #[test]
+    fn rcu_guarantee_holds_on_host() {
+        // Runs the real Urcu runtime under the litmus harness.
+        for name in ["RCU-MP", "RCU-deferred-free"] {
+            let stats = run(name, 3_000);
+            assert_eq!(stats.observed, 0, "{name} observed on the host!");
+        }
+    }
+
+    #[test]
+    fn histogram_accounts_for_all_iterations() {
+        let stats = run("MP", 5_000);
+        assert_eq!(stats.histogram.values().sum::<u64>(), 5_000);
+        assert_eq!(stats.total, 5_000);
+    }
+
+    #[test]
+    fn strong_outcomes_appear() {
+        // The non-weak outcomes of MP (e.g. r0=1, r1=1 or r0=0) dominate.
+        let stats = run("MP", 5_000);
+        assert!(stats.histogram.len() >= 2, "{:?}", stats.histogram);
+    }
+
+    #[test]
+    fn pointer_tests_run() {
+        let stats = run("MP+wmb+addr-acq", 5_000);
+        assert_eq!(stats.observed, 0, "acquire-protected pointer chase broke");
+    }
+
+    #[test]
+    fn rejects_assume() {
+        let t = lkmm_litmus::parse(
+            "C a\n{ x=0; }\nP0(int *x) { int r; r = READ_ONCE(*x); __assume(r == 0); }\n\
+             exists (x=0)",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_on_host(&t, &HostConfig { iterations: 1 }),
+            Err(HostError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Litmus tests in the Linux-kernel flavoured C dialect.
+//!
+//! A *litmus test* is a small concurrent program plus a question about its
+//! final state: `exists (1:r0=1 /\ 1:r1=0)` asks whether any execution ends
+//! with those register values. The ASPLOS'18 LKMM paper expresses its whole
+//! evaluation (Table 5 and every figure) as such tests, written in a subset
+//! of C extended with kernel primitives (`READ_ONCE`, `smp_mb()`,
+//! `rcu_read_lock()`, …).
+//!
+//! This crate provides:
+//!
+//! * an [AST](ast) for the dialect ([`Test`], [`Stmt`], [`Expr`], …),
+//! * a [`parser`] for the standard `C`-litmus file format,
+//! * the [final-condition language](cond) (`exists` / `~exists` / `forall`),
+//! * a pretty-printer ([`Test::to_litmus_string`]) emitting the same format,
+//! * and the paper's [named test library](library) (Figures 1–14 and every
+//!   Table 5 row).
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm_litmus::parse;
+//!
+//! let test = parse(r#"
+//! C MP
+//! { x=0; y=0; }
+//! P0(int *x, int *y) { WRITE_ONCE(*x, 1); smp_wmb(); WRITE_ONCE(*y, 1); }
+//! P1(int *x, int *y) {
+//!     int r0; int r1;
+//!     r0 = READ_ONCE(*y);
+//!     smp_rmb();
+//!     r1 = READ_ONCE(*x);
+//! }
+//! exists (1:r0=1 /\ 1:r1=0)
+//! "#).unwrap();
+//! assert_eq!(test.name, "MP");
+//! assert_eq!(test.threads.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod cond;
+pub mod library;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{AddrExpr, Expr, FenceKind, RmwOrder, Stmt, Test, Thread};
+pub use cond::{Condition, Prop, Quantifier, StateTerm};
+pub use parser::{parse, ParseError};
+pub use validate::{validate, ValidationError};

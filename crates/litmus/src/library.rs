@@ -1,0 +1,983 @@
+//! The paper's named litmus tests (every Table 5 row and every figure).
+//!
+//! Each entry carries the litmus source plus the paper's expected verdicts,
+//! so model implementations can be validated table-driven. Figure 7's
+//! PeterZ test is reconstructed from the paper's §3.2.3/§3.2.5 description
+//! (b from-reads c, release d read by e, f from-reads a, strong fences a→b
+// and e→f) — the W+RWC shape.
+
+use crate::ast::Test;
+use crate::parser::parse;
+
+/// A verdict expectation from the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Expect {
+    /// The model allows the condition to be observed.
+    Allowed,
+    /// The model forbids it.
+    Forbidden,
+}
+
+/// A named test together with the paper's expected verdicts.
+#[derive(Clone, Debug)]
+pub struct PaperTest {
+    /// Test name as it appears in the paper.
+    pub name: &'static str,
+    /// Litmus source (LK C dialect).
+    pub source: &'static str,
+    /// Expected LKMM verdict (the "Model" column of Table 5).
+    pub lkmm: Expect,
+    /// Expected verdict under the original C11 model with the \[68\] mapping;
+    /// `None` for RCU tests (C11 has no RCU — "–" in Table 5).
+    pub c11: Option<Expect>,
+    /// Whether this row appears in Table 5.
+    pub in_table5: bool,
+    /// Figure number in the paper, if the test is a figure.
+    pub figure: Option<&'static str>,
+}
+
+impl PaperTest {
+    /// Parse the embedded source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to parse (a bug in this crate,
+    /// covered by tests).
+    pub fn test(&self) -> Test {
+        parse(self.source).unwrap_or_else(|e| panic!("library test {}: {e}", self.name))
+    }
+}
+
+/// Look a paper test up by name.
+pub fn by_name(name: &str) -> Option<&'static PaperTest> {
+    ALL.iter().find(|t| t.name == name)
+}
+
+/// All paper tests, in Table 5 order followed by the non-table figures.
+pub fn all() -> &'static [PaperTest] {
+    ALL
+}
+
+/// Only the Table 5 rows, in the paper's row order.
+pub fn table5() -> impl Iterator<Item = &'static PaperTest> {
+    ALL.iter().filter(|t| t.in_table5)
+}
+
+static ALL: &[PaperTest] = &[
+    PaperTest {
+        name: "LB",
+        source: r#"
+C LB
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 1:r0=1)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "LB+ctrl+mb",
+        source: r#"
+C LB+ctrl+mb
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    if (r0 == 1) {
+        WRITE_ONCE(*y, 1);
+    }
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    smp_mb();
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 1:r0=1)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: Some("4"),
+    },
+    PaperTest {
+        name: "WRC",
+        source: r#"
+C WRC
+{ x=0; y=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    WRITE_ONCE(*y, 1);
+}
+P2(int *x, int *y)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*y);
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "WRC+wmb+acq",
+        source: r#"
+C WRC+wmb+acq
+{ x=0; y=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    smp_wmb();
+    WRITE_ONCE(*y, 1);
+}
+P2(int *x, int *y)
+{
+    int r1;
+    int r2;
+    r1 = smp_load_acquire(y);
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Forbidden),
+        in_table5: true,
+        figure: Some("14"),
+    },
+    PaperTest {
+        name: "WRC+po-rel+rmb",
+        source: r#"
+C WRC+po-rel+rmb
+{ x=0; y=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    smp_store_release(y, 1);
+}
+P2(int *x, int *y)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*y);
+    smp_rmb();
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: true,
+        figure: Some("5"),
+    },
+    PaperTest {
+        name: "SB",
+        source: r#"
+C SB
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*x, 1);
+    r0 = READ_ONCE(*y);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*y, 1);
+    r0 = READ_ONCE(*x);
+}
+exists (0:r0=0 /\ 1:r0=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "SB+mbs",
+        source: r#"
+C SB+mbs
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    r0 = READ_ONCE(*y);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*y, 1);
+    smp_mb();
+    r0 = READ_ONCE(*x);
+}
+exists (0:r0=0 /\ 1:r0=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: true,
+        figure: Some("6"),
+    },
+    PaperTest {
+        name: "MP",
+        source: r#"
+C MP
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    int r1;
+    r0 = READ_ONCE(*y);
+    r1 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "MP+wmb+rmb",
+        source: r#"
+C MP+wmb+rmb
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_wmb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*y);
+    smp_rmb();
+    r2 = READ_ONCE(*x);
+}
+exists (1:r1=1 /\ 1:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: true,
+        figure: Some("2"),
+    },
+    PaperTest {
+        name: "PeterZ-No-Synchro",
+        source: r#"
+C PeterZ-No-Synchro
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*x, 1);
+    r0 = READ_ONCE(*y);
+}
+P1(int *y, int *z)
+{
+    WRITE_ONCE(*y, 1);
+    WRITE_ONCE(*z, 1);
+}
+P2(int *x, int *z)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*z);
+    r2 = READ_ONCE(*x);
+}
+exists (0:r0=0 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "PeterZ",
+        source: r#"
+C PeterZ
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    r0 = READ_ONCE(*y);
+}
+P1(int *y, int *z)
+{
+    WRITE_ONCE(*y, 1);
+    smp_store_release(z, 1);
+}
+P2(int *x, int *z)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*z);
+    smp_mb();
+    r2 = READ_ONCE(*x);
+}
+exists (0:r0=0 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: Some("7"),
+    },
+    PaperTest {
+        name: "RCU-deferred-free",
+        source: r#"
+C RCU-deferred-free
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r1;
+    int r2;
+    rcu_read_lock();
+    r1 = READ_ONCE(*y);
+    r2 = READ_ONCE(*x);
+    rcu_read_unlock();
+}
+P1(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    synchronize_rcu();
+    WRITE_ONCE(*y, 1);
+}
+exists (0:r1=1 /\ 0:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: true,
+        figure: Some("11"),
+    },
+    PaperTest {
+        name: "RCU-MP",
+        source: r#"
+C RCU-MP
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r1;
+    int r2;
+    rcu_read_lock();
+    r1 = READ_ONCE(*x);
+    r2 = READ_ONCE(*y);
+    rcu_read_unlock();
+}
+P1(int *x, int *y)
+{
+    WRITE_ONCE(*y, 1);
+    synchronize_rcu();
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r1=1 /\ 0:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: true,
+        figure: Some("10"),
+    },
+    PaperTest {
+        name: "RWC",
+        source: r#"
+C RWC
+{ x=0; y=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    int r1;
+    r0 = READ_ONCE(*x);
+    r1 = READ_ONCE(*y);
+}
+P2(int *x, int *y)
+{
+    int r2;
+    WRITE_ONCE(*y, 1);
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: None,
+    },
+    PaperTest {
+        name: "RWC+mbs",
+        source: r#"
+C RWC+mbs
+{ x=0; y=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    int r1;
+    r0 = READ_ONCE(*x);
+    smp_mb();
+    r1 = READ_ONCE(*y);
+}
+P2(int *x, int *y)
+{
+    int r2;
+    WRITE_ONCE(*y, 1);
+    smp_mb();
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Allowed),
+        in_table5: true,
+        figure: Some("13"),
+    },
+    // ----- Figures that are not Table 5 rows, plus figure siblings -----
+    PaperTest {
+        name: "LB+ctrl",
+        source: r#"
+C LB+ctrl
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    if (r0 == 1) {
+        WRITE_ONCE(*y, 1);
+    }
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 1:r0=1)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "LB+mb",
+        source: r#"
+C LB+mb
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    smp_mb();
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 1:r0=1)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "MP+wmb+addr-acq",
+        source: r#"
+C MP+wmb+addr-acq
+{ x=0; y=&z; z=0; w=0; }
+P0(int *x, int **y, int *w)
+{
+    WRITE_ONCE(*x, 1);
+    smp_wmb();
+    WRITE_ONCE(*y, &w);
+}
+P1(int *x, int **y)
+{
+    int *r1;
+    int r2;
+    int r3;
+    r1 = READ_ONCE(*y);
+    r2 = smp_load_acquire(r1);
+    r3 = READ_ONCE(*x);
+}
+exists (1:r1=&w /\ 1:r3=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: false,
+        figure: Some("9"),
+    },
+    PaperTest {
+        name: "S",
+        source: r#"
+C S
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 2);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*x, 1);
+}
+exists (1:r0=1 /\ x=2)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "S+wmb+data",
+        source: r#"
+C S+wmb+data
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 2);
+    smp_wmb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*x, r0 ^ r0 ^ 1);
+}
+exists (1:r0=1 /\ x=2)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "R",
+        source: r#"
+C R
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*y, 2);
+    r0 = READ_ONCE(*x);
+}
+exists (y=2 /\ 1:r0=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "R+mbs",
+        source: r#"
+C R+mbs
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    WRITE_ONCE(*y, 2);
+    smp_mb();
+    r0 = READ_ONCE(*x);
+}
+exists (y=2 /\ 1:r0=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "2+2W",
+        source: r#"
+C 2+2W
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    WRITE_ONCE(*y, 2);
+}
+P1(int *x, int *y)
+{
+    WRITE_ONCE(*y, 1);
+    WRITE_ONCE(*x, 2);
+}
+exists (x=1 /\ y=1)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "LB+datas",
+        source: r#"
+C LB+datas
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*x);
+    WRITE_ONCE(*y, 1 + (r0 ^ r0));
+}
+P1(int *x, int *y)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*x, 1 + (r0 ^ r0));
+}
+exists (0:r0=1 /\ 1:r0=1)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "MP+po-rel+acq",
+        source: r#"
+C MP+po-rel+acq
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_store_release(y, 1);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    int r1;
+    r0 = smp_load_acquire(y);
+    r1 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "SB+rel+acq",
+        source: r#"
+C SB+rel+acq
+{ x=0; y=0; }
+P0(int *x, int *y)
+{
+    int r0;
+    smp_store_release(x, 1);
+    r0 = smp_load_acquire(y);
+}
+P1(int *x, int *y)
+{
+    int r0;
+    smp_store_release(y, 1);
+    r0 = smp_load_acquire(x);
+}
+exists (0:r0=0 /\ 1:r0=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "ISA2",
+        source: r#"
+C ISA2
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    WRITE_ONCE(*y, 1);
+}
+P1(int *y, int *z)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    WRITE_ONCE(*z, 1);
+}
+P2(int *x, int *z)
+{
+    int r1;
+    int r2;
+    r1 = READ_ONCE(*z);
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "ISA2+po-rel+po-rel+acq",
+        source: r#"
+C ISA2+po-rel+po-rel+acq
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_store_release(y, 1);
+}
+P1(int *y, int *z)
+{
+    int r0;
+    r0 = READ_ONCE(*y);
+    smp_store_release(z, 1);
+}
+P2(int *x, int *z)
+{
+    int r1;
+    int r2;
+    r1 = smp_load_acquire(z);
+    r2 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r1=1 /\ 2:r2=0)
+"#,
+        lkmm: Expect::Forbidden,
+        // C11's release chain breaks at P1's *relaxed* read (no acquire,
+        // no acquire fence): no synchronises-with from P0, so C11 allows
+        // what the LKMM's A-cumulativity forbids.
+        c11: Some(Expect::Allowed),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "Z6.0+mb+po-rel+acq",
+        source: r#"
+C Z6.0+mb+po-rel+acq
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *y, int *z)
+{
+    WRITE_ONCE(*y, 2);
+    smp_store_release(z, 1);
+}
+P2(int *x, int *z)
+{
+    int r0;
+    r0 = smp_load_acquire(z);
+    WRITE_ONCE(*x, 2);
+}
+exists (y=2 /\ 2:r0=1 /\ x=1)
+"#,
+        lkmm: Expect::Allowed,
+        c11: None,
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "Z6.0+mbs",
+        source: r#"
+C Z6.0+mbs
+{ x=0; y=0; z=0; }
+P0(int *x, int *y)
+{
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *y, int *z)
+{
+    WRITE_ONCE(*y, 2);
+    smp_mb();
+    WRITE_ONCE(*z, 1);
+}
+P2(int *x, int *z)
+{
+    int r0;
+    r0 = READ_ONCE(*z);
+    smp_mb();
+    WRITE_ONCE(*x, 2);
+}
+exists (y=2 /\ 2:r0=1 /\ x=1)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: None,
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "CoWW",
+        source: r#"
+C CoWW
+{ x=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+    WRITE_ONCE(*x, 2);
+}
+exists (x=1)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "CoRR",
+        source: r#"
+C CoRR
+{ x=0; }
+P0(int *x)
+{
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x)
+{
+    int r0;
+    int r1;
+    r0 = READ_ONCE(*x);
+    r1 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0)
+"#,
+        lkmm: Expect::Forbidden,
+        c11: Some(Expect::Forbidden),
+        in_table5: false,
+        figure: None,
+    },
+    PaperTest {
+        name: "MP+wmb+addr",
+        source: r#"
+C MP+wmb+addr
+{ x=0; y=&z; z=0; w=0; }
+P0(int *x, int **y, int *w)
+{
+    WRITE_ONCE(*x, 1);
+    smp_wmb();
+    WRITE_ONCE(*y, &w);
+}
+P1(int *x, int **y)
+{
+    int *r1;
+    int r2;
+    int r3;
+    r1 = READ_ONCE(*y);
+    r2 = READ_ONCE(*r1);
+    r3 = READ_ONCE(*x);
+}
+exists (1:r1=&w /\ 1:r3=0)
+"#,
+        lkmm: Expect::Allowed,
+        c11: None,
+        in_table5: false,
+        figure: None,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_test_parses() {
+        for t in all() {
+            let parsed = t.test();
+            assert_eq!(parsed.name, t.name, "embedded name mismatch");
+            assert!(!parsed.threads.is_empty());
+        }
+    }
+
+    #[test]
+    fn table5_has_fifteen_rows() {
+        assert_eq!(table5().count(), 15);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("SB+mbs").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn rcu_tests_have_no_c11_verdict() {
+        for t in all().iter().filter(|t| t.name.starts_with("RCU")) {
+            assert!(t.c11.is_none());
+        }
+    }
+
+    #[test]
+    fn library_round_trips_through_printer() {
+        for t in all() {
+            let parsed = t.test();
+            let reparsed = crate::parse(&parsed.to_litmus_string())
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert_eq!(parsed, reparsed, "{}", t.name);
+        }
+    }
+}

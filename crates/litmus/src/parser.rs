@@ -1,0 +1,884 @@
+//! Parser for the `C`-litmus file format used by herd7/klitmus.
+//!
+//! The accepted grammar covers the subset of C that the LKMM paper models:
+//! ONCE accesses, acquire/release, fences, RCU primitives, the xchg/cmpxchg
+//! families, register arithmetic, pointers (`p = &x;` initialisers,
+//! `*r1` dereferences) and `if`/`else`. See [`parse`].
+
+use crate::ast::*;
+use crate::cond::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error produced when a litmus file cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input near which the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a litmus test from its `C` source format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem found.
+///
+/// # Examples
+///
+/// ```
+/// let t = lkmm_litmus::parse(
+///     "C SB\n{ x=0; y=0; }\n\
+///      P0(int *x, int *y) { WRITE_ONCE(*x, 1); int r0; r0 = READ_ONCE(*y); }\n\
+///      P1(int *x, int *y) { WRITE_ONCE(*y, 1); int r0; r0 = READ_ONCE(*x); }\n\
+///      exists (0:r0=0 /\\ 1:r0=0)",
+/// ).unwrap();
+/// assert_eq!(t.name, "SB");
+/// ```
+pub fn parse(src: &str) -> Result<Test, ParseError> {
+    Parser::new(src).parse_test()
+}
+
+fn atomic_binop(name: &str) -> crate::ast::BinOp {
+    use crate::ast::BinOp;
+    match name {
+        n if n.starts_with("atomic_sub") => BinOp::Sub,
+        n if n.starts_with("atomic_and") => BinOp::And,
+        n if n.starts_with("atomic_or") => BinOp::Or,
+        n if n.starts_with("atomic_xor") => BinOp::Xor,
+        _ => BinOp::Add,
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else if self.src[self.pos..].starts_with(b"/*") {
+                self.pos += 2;
+                while self.pos < self.src.len() && !self.src[self.pos..].starts_with(b"*/") {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize), ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((Tok::Eof, start));
+        }
+        let c = self.src[self.pos];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut end = self.pos;
+            while end < self.src.len()
+                && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+            {
+                end += 1;
+            }
+            let word = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+            self.pos = end;
+            return Ok((Tok::Ident(word), start));
+        }
+        if c.is_ascii_digit() {
+            let mut end = self.pos;
+            while end < self.src.len() && self.src[end].is_ascii_digit() {
+                end += 1;
+            }
+            let n: i64 = std::str::from_utf8(&self.src[self.pos..end])
+                .unwrap()
+                .parse()
+                .map_err(|_| ParseError { message: "integer overflow".into(), offset: start })?;
+            self.pos = end;
+            return Ok((Tok::Num(n), start));
+        }
+        // Multi-character punctuation first.
+        const MULTI: &[&str] = &["==", "!=", "<=", ">=", "/\\", "\\/", "&&", "||", "->"];
+        for m in MULTI {
+            if self.src[self.pos..].starts_with(m.as_bytes()) {
+                self.pos += m.len();
+                return Ok((Tok::Punct(m), start));
+            }
+        }
+        const SINGLE: &[&str] = &[
+            "{", "}", "(", ")", ";", ",", "=", "*", "&", ":", "<", ">", "!", "^", "|", "+", "-",
+            "~", "[", "]", ".",
+        ];
+        for s in SINGLE {
+            if self.src[self.pos..].starts_with(s.as_bytes()) {
+                self.pos += 1;
+                return Ok((Tok::Punct(s), start));
+            }
+        }
+        Err(ParseError {
+            message: format!("unexpected character {:?}", c as char),
+            offset: start,
+        })
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    offset: usize,
+    /// Shared locations (thread parameters + init keys) — used to decide
+    /// whether `*name` dereferences a location or a register.
+    shared: BTreeSet<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let mut p = Parser {
+            lexer: Lexer::new(src),
+            tok: Tok::Eof,
+            offset: 0,
+            shared: BTreeSet::new(),
+        };
+        p.bump().expect("first token");
+        p
+    }
+
+    fn bump(&mut self) -> Result<(), ParseError> {
+        let (tok, offset) = self.lexer.next()?;
+        self.tok = tok;
+        self.offset = offset;
+        Ok(())
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.offset })
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if matches!(&self.tok, Tok::Punct(q) if *q == p) {
+            self.bump()
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.tok))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<bool, ParseError> {
+        if matches!(&self.tok, Tok::Punct(q) if *q == p) {
+            self.bump()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(s) => {
+                self.bump()?;
+                Ok(s)
+            }
+            other => {
+                self.tok = other;
+                self.err(format!("expected identifier, found {:?}", self.tok))
+            }
+        }
+    }
+
+    fn parse_test(&mut self) -> Result<Test, ParseError> {
+        // Header: `C <name>` where <name> may contain +, -, etc. The name
+        // runs to the end of the header token sequence; we re-lex it
+        // loosely: accept idents/nums/punct until we hit `{` or `P`.
+        let lang = self.expect_ident()?;
+        if lang != "C" {
+            return self.err(format!("expected litmus dialect `C`, found `{lang}`"));
+        }
+        let mut name = String::new();
+        let is_thread_header = |w: &str| {
+            w.len() >= 2 && w.starts_with('P') && w[1..].chars().all(|c| c.is_ascii_digit())
+        };
+        loop {
+            match &self.tok {
+                Tok::Punct("{") => break,
+                Tok::Ident(w) if is_thread_header(w) && !name.is_empty() => break,
+                Tok::Ident(w) => {
+                    name.push_str(w);
+                    self.bump()?;
+                }
+                Tok::Num(n) => {
+                    name.push_str(&n.to_string());
+                    self.bump()?;
+                }
+                Tok::Punct(p @ ("+" | "-" | "*" | ".")) => {
+                    name.push_str(p);
+                    self.bump()?;
+                }
+                _ => break,
+            }
+        }
+        if name.is_empty() {
+            return self.err("missing test name");
+        }
+        let mut test = Test::new(name);
+
+        // Init block.
+        if self.eat_punct("{")? {
+            while !self.eat_punct("}")? {
+                // Forms: `x=0;`  `p=&x;`  `int x = 0;`
+                let mut ident = self.expect_ident()?;
+                if ident == "int" {
+                    // optional `*`
+                    let _ = self.eat_punct("*")?;
+                    ident = self.expect_ident()?;
+                }
+                self.expect_punct("=")?;
+                if self.eat_punct("&")? {
+                    let target = self.expect_ident()?;
+                    test.init.insert(ident.clone(), InitVal::Ptr(target.clone()));
+                    self.shared.insert(target);
+                } else {
+                    let v = self.parse_signed_int()?;
+                    test.init.insert(ident.clone(), InitVal::Int(v));
+                }
+                self.shared.insert(ident);
+                self.expect_punct(";")?;
+            }
+        }
+
+        // Threads.
+        while let Tok::Ident(w) = &self.tok {
+            if !w.starts_with('P') || !w[1..].chars().all(|c| c.is_ascii_digit()) || w.len() < 2 {
+                break;
+            }
+            let index: usize = w[1..].parse().unwrap();
+            if index != test.threads.len() {
+                return self.err(format!(
+                    "thread P{index} out of order (expected P{})",
+                    test.threads.len()
+                ));
+            }
+            self.bump()?;
+            self.expect_punct("(")?;
+            // Parameters: `int *x, int *y` or `spinlock_t *s`.
+            if !self.eat_punct(")")? {
+                loop {
+                    let _ty = self.expect_ident()?;
+                    while self.eat_punct("*")? {}
+                    let pname = self.expect_ident()?;
+                    self.shared.insert(pname);
+                    if self.eat_punct(")")? {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            self.expect_punct("{")?;
+            let body = self.parse_block()?;
+            test.threads.push(Thread::new(body));
+        }
+        if test.threads.is_empty() {
+            return self.err("litmus test has no threads");
+        }
+
+        // Optional `locations [...]` clause (ignored: we always expose all).
+        if matches!(&self.tok, Tok::Ident(w) if w == "locations") {
+            self.bump()?;
+            self.expect_punct("[")?;
+            while !self.eat_punct("]")? {
+                self.bump()?;
+            }
+        }
+
+        // Condition.
+        test.condition = self.parse_condition()?;
+        Ok(test)
+    }
+
+    fn parse_signed_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_punct("-")?;
+        match self.tok {
+            Tok::Num(n) => {
+                self.bump()?;
+                Ok(if neg { -n } else { n })
+            }
+            _ => self.err("expected integer"),
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        while !self.eat_punct("}")? {
+            if let Some(s) = self.parse_stmt()? {
+                body.push(s);
+            }
+        }
+        Ok(body)
+    }
+
+    /// Parse one statement; returns `None` for pure declarations.
+    fn parse_stmt(&mut self) -> Result<Option<Stmt>, ParseError> {
+        let word = match &self.tok {
+            Tok::Ident(w) => w.clone(),
+            _ => return self.err(format!("expected statement, found {:?}", self.tok)),
+        };
+        match word.as_str() {
+            "int" | "unsigned" | "long" => {
+                // Declaration: `int r0;` / `int *r1;` — registers are
+                // implicit, so just skip to the `;`.
+                self.bump()?;
+                while !self.eat_punct(";")? {
+                    self.bump()?;
+                }
+                Ok(None)
+            }
+            "if" => {
+                self.bump()?;
+                self.expect_punct("(")?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct("{")?;
+                let then_ = self.parse_block()?;
+                let else_ = if matches!(&self.tok, Tok::Ident(w) if w == "else") {
+                    self.bump()?;
+                    self.expect_punct("{")?;
+                    self.parse_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Some(Stmt::If { cond, then_, else_ }))
+            }
+            "WRITE_ONCE" => {
+                self.bump()?;
+                let (addr, value) = self.parse_addr_value_args()?;
+                self.expect_punct(";")?;
+                Ok(Some(Stmt::WriteOnce { addr, value }))
+            }
+            "smp_store_release" => {
+                self.bump()?;
+                let (addr, value) = self.parse_addr_value_args()?;
+                self.expect_punct(";")?;
+                Ok(Some(Stmt::StoreRelease { addr, value }))
+            }
+            "rcu_assign_pointer" => {
+                self.bump()?;
+                let (addr, value) = self.parse_addr_value_args()?;
+                self.expect_punct(";")?;
+                Ok(Some(Stmt::RcuAssignPointer { addr, value }))
+            }
+            "smp_rmb" | "smp_wmb" | "smp_mb" | "smp_read_barrier_depends" | "rcu_read_lock"
+            | "rcu_read_unlock" | "synchronize_rcu" => {
+                self.bump()?;
+                self.expect_punct("(")?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                let kind = match word.as_str() {
+                    "smp_rmb" => FenceKind::Rmb,
+                    "smp_wmb" => FenceKind::Wmb,
+                    "smp_mb" => FenceKind::Mb,
+                    "smp_read_barrier_depends" => FenceKind::RbDep,
+                    "rcu_read_lock" => FenceKind::RcuLock,
+                    "rcu_read_unlock" => FenceKind::RcuUnlock,
+                    _ => FenceKind::SyncRcu,
+                };
+                Ok(Some(Stmt::Fence(kind)))
+            }
+            "__assume" => {
+                self.bump()?;
+                self.expect_punct("(")?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Some(Stmt::Assume(cond)))
+            }
+            "atomic_add" | "atomic_sub" | "atomic_and" | "atomic_or" | "atomic_xor" => {
+                let op = atomic_binop(&word);
+                self.bump()?;
+                self.expect_punct("(")?;
+                let operand = self.parse_expr()?;
+                self.expect_punct(",")?;
+                let addr = self.parse_addr_arg()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                // Void atomic RMWs provide no ordering ([69]).
+                Ok(Some(Stmt::AtomicOp {
+                    order: RmwOrder::Relaxed,
+                    dst: None,
+                    addr,
+                    op,
+                    operand,
+                }))
+            }
+            "spin_lock" | "spin_unlock" => {
+                self.bump()?;
+                self.expect_punct("(")?;
+                let addr = self.parse_addr_arg()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Some(if word == "spin_lock" {
+                    Stmt::SpinLock { addr }
+                } else {
+                    Stmt::SpinUnlock { addr }
+                }))
+            }
+            "srcu_read_lock" | "srcu_read_unlock" | "synchronize_srcu" => {
+                self.bump()?;
+                self.expect_punct("(")?;
+                let domain = self.parse_addr_arg()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Some(match word.as_str() {
+                    "srcu_read_lock" => Stmt::SrcuReadLock { domain },
+                    "srcu_read_unlock" => Stmt::SrcuReadUnlock { domain },
+                    _ => Stmt::SynchronizeSrcu { domain },
+                }))
+            }
+            _ => {
+                // `reg = <rhs>;`
+                let dst = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let stmt = self.parse_assignment_rhs(dst)?;
+                self.expect_punct(";")?;
+                Ok(Some(stmt))
+            }
+        }
+    }
+
+    fn parse_assignment_rhs(&mut self, dst: String) -> Result<Stmt, ParseError> {
+        if let Tok::Ident(f) = &self.tok {
+            let f = f.clone();
+            let rmw_order = |name: &str| match name {
+                s if s.ends_with("_relaxed") => RmwOrder::Relaxed,
+                s if s.ends_with("_acquire") => RmwOrder::Acquire,
+                s if s.ends_with("_release") => RmwOrder::Release,
+                _ => RmwOrder::Full,
+            };
+            match f.as_str() {
+                "READ_ONCE" | "smp_load_acquire" | "rcu_dereference" => {
+                    self.bump()?;
+                    self.expect_punct("(")?;
+                    let addr = self.parse_addr_arg()?;
+                    self.expect_punct(")")?;
+                    return Ok(match f.as_str() {
+                        "READ_ONCE" => Stmt::ReadOnce { dst, addr },
+                        "smp_load_acquire" => Stmt::LoadAcquire { dst, addr },
+                        _ => Stmt::RcuDereference { dst, addr },
+                    });
+                }
+                "xchg" | "xchg_relaxed" | "xchg_acquire" | "xchg_release" => {
+                    self.bump()?;
+                    self.expect_punct("(")?;
+                    let addr = self.parse_addr_arg()?;
+                    self.expect_punct(",")?;
+                    let value = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Stmt::Xchg { order: rmw_order(&f), dst, addr, value });
+                }
+                "cmpxchg" | "cmpxchg_relaxed" | "cmpxchg_acquire" | "cmpxchg_release" => {
+                    self.bump()?;
+                    self.expect_punct("(")?;
+                    let addr = self.parse_addr_arg()?;
+                    self.expect_punct(",")?;
+                    let expected = self.parse_expr()?;
+                    self.expect_punct(",")?;
+                    let new = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Stmt::CmpXchg { order: rmw_order(&f), dst, addr, expected, new });
+                }
+                name if name.starts_with("atomic_")
+                    && (name.contains("_return") || name.starts_with("atomic_fetch_")) =>
+                {
+                    self.bump()?;
+                    return self.parse_atomic_rmw(dst, &f);
+                }
+                _ => {}
+            }
+        }
+        let value = self.parse_expr()?;
+        Ok(Stmt::Assign { dst, value })
+    }
+
+    fn parse_atomic_rmw(&mut self, dst: String, f: &str) -> Result<Stmt, ParseError> {
+        use crate::ast::AtomicDst;
+        let order = match f {
+            s if s.ends_with("_relaxed") => RmwOrder::Relaxed,
+            s if s.ends_with("_acquire") => RmwOrder::Acquire,
+            s if s.ends_with("_release") => RmwOrder::Release,
+            _ => RmwOrder::Full,
+        };
+        let base = f
+            .trim_end_matches("_relaxed")
+            .trim_end_matches("_acquire")
+            .trim_end_matches("_release");
+        let (kind, opname) = if let Some(rest) = base.strip_prefix("atomic_fetch_") {
+            (AtomicDst::Old, rest.to_string())
+        } else {
+            // atomic_<op>_return
+            let mid = base
+                .strip_prefix("atomic_")
+                .and_then(|r| r.strip_suffix("_return"))
+                .unwrap_or("add");
+            (AtomicDst::New, mid.to_string())
+        };
+        let op = atomic_binop(&format!("atomic_{opname}"));
+        self.expect_punct("(")?;
+        let operand = self.parse_expr()?;
+        self.expect_punct(",")?;
+        let addr = self.parse_addr_arg()?;
+        self.expect_punct(")")?;
+        Ok(Stmt::AtomicOp { order, dst: Some((dst, kind)), addr, op, operand })
+    }
+
+    /// `WRITE_ONCE(*x, e)`-style `(addr, value)` argument pair.
+    fn parse_addr_value_args(&mut self) -> Result<(AddrExpr, Expr), ParseError> {
+        self.expect_punct("(")?;
+        let addr = self.parse_addr_arg()?;
+        self.expect_punct(",")?;
+        let value = self.parse_expr()?;
+        self.expect_punct(")")?;
+        Ok((addr, value))
+    }
+
+    /// An address argument: `*x`, `x`, `&x`, or `*r1`.
+    fn parse_addr_arg(&mut self) -> Result<AddrExpr, ParseError> {
+        let deref = self.eat_punct("*")?;
+        let amp = !deref && self.eat_punct("&")?;
+        let name = self.expect_ident()?;
+        if amp || self.shared.contains(&name) {
+            Ok(AddrExpr::Var(name))
+        } else if deref {
+            Ok(AddrExpr::Reg(name))
+        } else {
+            // Bare register used as pointer (e.g. `smp_load_acquire(r1)`).
+            Ok(AddrExpr::Reg(name))
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(0)
+    }
+
+    /// Precedence climbing. Levels (loosest first): `|`, `^`, `&`,
+    /// equality, relational, additive, multiplicative.
+    fn parse_bin(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul)],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_atom();
+        }
+        let mut lhs = self.parse_bin(level + 1)?;
+        'outer: loop {
+            for (sym, op) in LEVELS[level] {
+                if matches!(&self.tok, Tok::Punct(p) if p == sym) {
+                    self.bump()?;
+                    let rhs = self.parse_bin(level + 1)?;
+                    lhs = Expr::bin(*op, lhs, rhs);
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("(")? {
+            let e = self.parse_expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.eat_punct("!")? {
+            let e = self.parse_atom()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        if self.eat_punct("&")? {
+            let name = self.expect_ident()?;
+            return Ok(Expr::LocRef(name));
+        }
+        if self.eat_punct("-")? {
+            return match self.tok {
+                Tok::Num(n) => {
+                    self.bump()?;
+                    Ok(Expr::Const(-n))
+                }
+                _ => self.err("expected number after unary `-`"),
+            };
+        }
+        match &self.tok {
+            Tok::Num(n) => {
+                let n = *n;
+                self.bump()?;
+                Ok(Expr::Const(n))
+            }
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.bump()?;
+                Ok(Expr::Reg(name))
+            }
+            _ => self.err(format!("expected expression, found {:?}", self.tok)),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, ParseError> {
+        let quantifier = match &self.tok {
+            Tok::Punct("~") => {
+                self.bump()?;
+                let w = self.expect_ident()?;
+                if w != "exists" {
+                    return self.err("expected `exists` after `~`");
+                }
+                Quantifier::NotExists
+            }
+            Tok::Ident(w) if w == "exists" => {
+                self.bump()?;
+                Quantifier::Exists
+            }
+            Tok::Ident(w) if w == "forall" => {
+                self.bump()?;
+                Quantifier::Forall
+            }
+            Tok::Eof => return Ok(Condition::exists_true()),
+            _ => return self.err(format!("expected condition, found {:?}", self.tok)),
+        };
+        self.expect_punct("(")?;
+        let prop = self.parse_prop_or()?;
+        self.expect_punct(")")?;
+        Ok(Condition { quantifier, prop })
+    }
+
+    fn parse_prop_or(&mut self) -> Result<Prop, ParseError> {
+        let mut lhs = self.parse_prop_and()?;
+        while self.eat_punct("\\/")? {
+            let rhs = self.parse_prop_and()?;
+            lhs = Prop::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_prop_and(&mut self) -> Result<Prop, ParseError> {
+        let mut lhs = self.parse_prop_atom()?;
+        while self.eat_punct("/\\")? {
+            let rhs = self.parse_prop_atom()?;
+            lhs = Prop::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_prop_atom(&mut self) -> Result<Prop, ParseError> {
+        if matches!(&self.tok, Tok::Ident(w) if w == "not") {
+            self.bump()?;
+            self.expect_punct("(")?;
+            let p = self.parse_prop_or()?;
+            self.expect_punct(")")?;
+            return Ok(Prop::Not(Box::new(p)));
+        }
+        if matches!(&self.tok, Tok::Ident(w) if w == "true") {
+            self.bump()?;
+            return Ok(Prop::True);
+        }
+        if self.eat_punct("(")? {
+            let p = self.parse_prop_or()?;
+            self.expect_punct(")")?;
+            return Ok(p);
+        }
+        // `N:reg=v` or `loc=v` or `[loc]=v`.
+        let term = match &self.tok {
+            Tok::Num(n) => {
+                let thread = *n as usize;
+                self.bump()?;
+                self.expect_punct(":")?;
+                let reg = self.expect_ident()?;
+                StateTerm::Reg { thread, reg }
+            }
+            Tok::Punct("[") => {
+                self.bump()?;
+                let loc = self.expect_ident()?;
+                self.expect_punct("]")?;
+                StateTerm::Loc(loc)
+            }
+            Tok::Ident(_) => StateTerm::Loc(self.expect_ident()?),
+            _ => return self.err(format!("expected state term, found {:?}", self.tok)),
+        };
+        self.expect_punct("=")?;
+        let val = if self.eat_punct("&")? {
+            CondVal::LocRef(self.expect_ident()?)
+        } else {
+            CondVal::Int(self.parse_signed_int()?)
+        };
+        Ok(Prop::Eq(term, val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP: &str = r#"
+C MP+wmb+rmb
+
+// Figure 1 of the paper
+{
+x=0;
+y=0;
+}
+
+P0(int *x, int *y)
+{
+	WRITE_ONCE(*x, 1);
+	smp_wmb();
+	WRITE_ONCE(*y, 1);
+}
+
+P1(int *x, int *y)
+{
+	int r1;
+	int r2;
+
+	r1 = READ_ONCE(*y);
+	smp_rmb();
+	r2 = READ_ONCE(*x);
+}
+
+exists (1:r1=1 /\ 1:r2=0)
+"#;
+
+    #[test]
+    fn parses_mp() {
+        let t = parse(MP).unwrap();
+        assert_eq!(t.name, "MP+wmb+rmb");
+        assert_eq!(t.threads.len(), 2);
+        assert_eq!(t.threads[0].body.len(), 3);
+        assert_eq!(t.threads[0].body[1], Stmt::Fence(FenceKind::Wmb));
+        assert_eq!(t.condition.quantifier, Quantifier::Exists);
+        assert_eq!(t.condition.prop.terms().len(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_pretty_printer() {
+        let t = parse(MP).unwrap();
+        let again = parse(&t.to_litmus_string()).unwrap();
+        assert_eq!(t, again);
+    }
+
+    #[test]
+    fn parses_pointers_and_rcu() {
+        let t = parse(
+            "C deref\n{ p=&x; x=0; }\n\
+             P0(int **p, int *x, int *y) { rcu_read_lock(); int r1; int r2; \
+               r1 = rcu_dereference(*p); r2 = READ_ONCE(*r1); rcu_read_unlock(); }\n\
+             P1(int **p, int *x, int *y) { WRITE_ONCE(*x, 1); rcu_assign_pointer(*p, &y); \
+               synchronize_rcu(); }\n\
+             exists (0:r2=0 /\\ p=&y)",
+        )
+        .unwrap();
+        assert_eq!(t.init["p"], InitVal::Ptr("x".into()));
+        assert!(matches!(t.threads[0].body[1], Stmt::RcuDereference { .. }));
+        assert!(matches!(t.threads[0].body[2], Stmt::ReadOnce { ref addr, .. }
+            if *addr == AddrExpr::Reg("r1".into())));
+        assert!(matches!(t.threads[1].body[1], Stmt::RcuAssignPointer { .. }));
+        assert!(matches!(t.threads[1].body[2], Stmt::Fence(FenceKind::SyncRcu)));
+    }
+
+    #[test]
+    fn parses_if_with_ctrl_dep() {
+        let t = parse(
+            "C LB+ctrl\n{ x=0; y=0; }\n\
+             P0(int *x, int *y) { int r0; r0 = READ_ONCE(*x); if (r0 == 1) { WRITE_ONCE(*y, 1); } }\n\
+             P1(int *x, int *y) { int r0; r0 = READ_ONCE(*y); WRITE_ONCE(*x, 1); }\n\
+             exists (0:r0=1 /\\ 1:r0=1)",
+        )
+        .unwrap();
+        match &t.threads[0].body[1] {
+            Stmt::If { cond, then_, else_ } => {
+                assert_eq!(cond.regs(), vec!["r0"]);
+                assert_eq!(then_.len(), 1);
+                assert!(else_.is_empty());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_xchg_family() {
+        let t = parse(
+            "C x\n{ x=0; }\n\
+             P0(int *x) { int r0; r0 = xchg_acquire(x, 2); }\n\
+             P1(int *x) { int r1; r1 = cmpxchg(x, 0, 3); }\n\
+             exists (0:r0=3 /\\ 1:r1=2)",
+        )
+        .unwrap();
+        assert!(matches!(t.threads[0].body[0], Stmt::Xchg { order: RmwOrder::Acquire, .. }));
+        assert!(matches!(t.threads[1].body[0], Stmt::CmpXchg { order: RmwOrder::Full, .. }));
+    }
+
+    #[test]
+    fn parses_not_exists_and_locations() {
+        let t = parse(
+            "C n\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\n\
+             locations [x;]\n~exists (x=0)",
+        )
+        .unwrap();
+        assert_eq!(t.condition.quantifier, Quantifier::NotExists);
+    }
+
+    #[test]
+    fn parses_spinlock_emulation() {
+        let t = parse(
+            "C lock\n{ s=0; x=0; }\n\
+             P0(spinlock_t *s, int *x) { spin_lock(&s); WRITE_ONCE(*x, 1); spin_unlock(&s); }\n\
+             exists (x=1)",
+        )
+        .unwrap();
+        assert!(matches!(t.threads[0].body[0], Stmt::SpinLock { .. }));
+        assert!(matches!(t.threads[0].body[2], Stmt::SpinUnlock { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("X foo").is_err());
+        assert!(parse("C t\n{ x=0; }").is_err()); // no threads
+        assert!(parse("C t\n{ x=0 }\nP0(int *x){}").is_err()); // missing `;`
+    }
+
+    #[test]
+    fn rejects_out_of_order_threads() {
+        let err = parse("C t\n{ x=0; }\nP1(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)")
+            .unwrap_err();
+        assert!(err.message.contains("out of order"), "{err}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Semantic validation of litmus tests, beyond what the parser enforces.
+
+use crate::ast::{AddrExpr, Expr, FenceKind, Stmt, Test};
+use crate::cond::StateTerm;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A semantic problem in a litmus test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A register is read before any assignment on some path.
+    UninitialisedRegister { thread: usize, reg: String },
+    /// `rcu_read_lock`/`rcu_read_unlock` are unbalanced on some path.
+    UnbalancedRcu { thread: usize },
+    /// The condition mentions a thread that does not exist.
+    UnknownThread { thread: usize },
+    /// The condition mentions a register never assigned in its thread.
+    UnknownRegister { thread: usize, reg: String },
+    /// The condition mentions an unknown shared location.
+    UnknownLocation(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UninitialisedRegister { thread, reg } => {
+                write!(f, "P{thread}: register {reg} read before assignment")
+            }
+            ValidationError::UnbalancedRcu { thread } => {
+                write!(f, "P{thread}: unbalanced RCU critical section")
+            }
+            ValidationError::UnknownThread { thread } => {
+                write!(f, "condition references missing thread P{thread}")
+            }
+            ValidationError::UnknownRegister { thread, reg } => {
+                write!(f, "condition references unassigned register {thread}:{reg}")
+            }
+            ValidationError::UnknownLocation(l) => {
+                write!(f, "condition references unknown location {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a test; returns all problems found.
+///
+/// # Examples
+///
+/// ```
+/// let t = lkmm_litmus::parse(
+///     "C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (0:r9=1)",
+/// ).unwrap();
+/// let errors = lkmm_litmus::validate(&t);
+/// assert_eq!(errors.len(), 1); // r9 is never assigned
+/// ```
+pub fn validate(test: &Test) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut assigned_per_thread: Vec<BTreeSet<String>> = Vec::new();
+    for (tid, thread) in test.threads.iter().enumerate() {
+        let mut assigned = BTreeSet::new();
+        let mut depth = 0i64;
+        check_block(&thread.body, tid, &mut assigned, &mut depth, &mut errors);
+        if depth != 0 {
+            errors.push(ValidationError::UnbalancedRcu { thread: tid });
+        }
+        assigned_per_thread.push(assigned);
+    }
+    let locations = test.shared_locations();
+    for term in test.condition.prop.terms() {
+        match term {
+            StateTerm::Reg { thread, reg } => match assigned_per_thread.get(*thread) {
+                None => errors.push(ValidationError::UnknownThread { thread: *thread }),
+                Some(assigned) => {
+                    if !assigned.contains(reg) {
+                        errors.push(ValidationError::UnknownRegister {
+                            thread: *thread,
+                            reg: reg.clone(),
+                        });
+                    }
+                }
+            },
+            StateTerm::Loc(name) => {
+                if !locations.contains(name) {
+                    errors.push(ValidationError::UnknownLocation(name.clone()));
+                }
+            }
+        }
+    }
+    errors.sort_by_key(|e| format!("{e:?}"));
+    errors.dedup();
+    errors
+}
+
+fn check_expr(
+    e: &Expr,
+    tid: usize,
+    assigned: &BTreeSet<String>,
+    errors: &mut Vec<ValidationError>,
+) {
+    for reg in e.regs() {
+        if !assigned.contains(reg) {
+            errors.push(ValidationError::UninitialisedRegister {
+                thread: tid,
+                reg: reg.to_string(),
+            });
+        }
+    }
+}
+
+fn check_addr(
+    a: &AddrExpr,
+    tid: usize,
+    assigned: &BTreeSet<String>,
+    errors: &mut Vec<ValidationError>,
+) {
+    if let AddrExpr::Reg(r) = a {
+        if !assigned.contains(r) {
+            errors.push(ValidationError::UninitialisedRegister {
+                thread: tid,
+                reg: r.clone(),
+            });
+        }
+    }
+}
+
+fn check_block(
+    body: &[Stmt],
+    tid: usize,
+    assigned: &mut BTreeSet<String>,
+    depth: &mut i64,
+    errors: &mut Vec<ValidationError>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::ReadOnce { dst, addr }
+            | Stmt::LoadAcquire { dst, addr }
+            | Stmt::RcuDereference { dst, addr } => {
+                check_addr(addr, tid, assigned, errors);
+                assigned.insert(dst.clone());
+            }
+            Stmt::WriteOnce { addr, value }
+            | Stmt::StoreRelease { addr, value }
+            | Stmt::RcuAssignPointer { addr, value } => {
+                check_addr(addr, tid, assigned, errors);
+                check_expr(value, tid, assigned, errors);
+            }
+            Stmt::Xchg { dst, addr, value, .. } => {
+                check_addr(addr, tid, assigned, errors);
+                check_expr(value, tid, assigned, errors);
+                assigned.insert(dst.clone());
+            }
+            Stmt::CmpXchg { dst, addr, expected, new, .. } => {
+                check_addr(addr, tid, assigned, errors);
+                check_expr(expected, tid, assigned, errors);
+                check_expr(new, tid, assigned, errors);
+                assigned.insert(dst.clone());
+            }
+            Stmt::Assign { dst, value } => {
+                check_expr(value, tid, assigned, errors);
+                assigned.insert(dst.clone());
+            }
+            Stmt::AtomicOp { dst, addr, operand, .. } => {
+                check_addr(addr, tid, assigned, errors);
+                check_expr(operand, tid, assigned, errors);
+                if let Some((d, _)) = dst {
+                    assigned.insert(d.clone());
+                }
+            }
+            Stmt::Assume(cond) => check_expr(cond, tid, assigned, errors),
+            Stmt::Fence(FenceKind::RcuLock) => *depth += 1,
+            Stmt::Fence(FenceKind::RcuUnlock) => {
+                *depth -= 1;
+                if *depth < 0 {
+                    errors.push(ValidationError::UnbalancedRcu { thread: tid });
+                    *depth = 0;
+                }
+            }
+            Stmt::Fence(_) | Stmt::SpinLock { .. } | Stmt::SpinUnlock { .. } => {}
+            Stmt::SrcuReadLock { domain }
+            | Stmt::SrcuReadUnlock { domain }
+            | Stmt::SynchronizeSrcu { domain } => {
+                check_addr(domain, tid, assigned, errors);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                check_expr(cond, tid, assigned, errors);
+                // A register assigned on only one branch counts as
+                // assigned afterwards only if assigned on both.
+                let mut a1 = assigned.clone();
+                let mut a2 = assigned.clone();
+                check_block(then_, tid, &mut a1, depth, errors);
+                check_block(else_, tid, &mut a2, depth, errors);
+                *assigned = a1.intersection(&a2).cloned().collect();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn clean_tests_validate() {
+        for pt in crate::library::all() {
+            let errors = validate(&pt.test());
+            assert!(errors.is_empty(), "{}: {errors:?}", pt.name);
+        }
+    }
+
+    #[test]
+    fn detects_uninitialised_register() {
+        let t = parse(
+            "C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, r0); }\nexists (x=0)",
+        )
+        .unwrap();
+        assert!(matches!(
+            validate(&t)[0],
+            ValidationError::UninitialisedRegister { thread: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_condition_problems() {
+        let t = parse(
+            "C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\n\
+             exists (3:r0=1 /\\ 0:r9=0 /\\ zz=1)",
+        )
+        .unwrap();
+        let errors = validate(&t);
+        assert!(errors.contains(&ValidationError::UnknownThread { thread: 3 }));
+        assert!(errors
+            .contains(&ValidationError::UnknownRegister { thread: 0, reg: "r9".into() }));
+        assert!(errors.contains(&ValidationError::UnknownLocation("zz".into())));
+    }
+
+    #[test]
+    fn detects_unbalanced_rcu() {
+        let t = parse(
+            "C t\n{ x=0; }\nP0(int *x) { rcu_read_lock(); WRITE_ONCE(*x, 1); }\nexists (x=1)",
+        )
+        .unwrap();
+        assert_eq!(validate(&t), vec![ValidationError::UnbalancedRcu { thread: 0 }]);
+        let t2 = parse(
+            "C t\n{ x=0; }\nP0(int *x) { rcu_read_unlock(); }\nexists (x=0)",
+        )
+        .unwrap();
+        assert_eq!(validate(&t2), vec![ValidationError::UnbalancedRcu { thread: 0 }]);
+    }
+
+    #[test]
+    fn branch_only_assignment_is_not_definite() {
+        let t = parse(
+            "C t\n{ x=0; y=0; }\nP0(int *x, int *y) { int r0; int r1; \
+             r0 = READ_ONCE(*x); if (r0 == 1) { r1 = READ_ONCE(*y); } \
+             WRITE_ONCE(*y, r1); }\nexists (x=0)",
+        )
+        .unwrap();
+        assert!(matches!(
+            validate(&t)[0],
+            ValidationError::UninitialisedRegister { thread: 0, .. }
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property: randomly built litmus tests print to source that re-parses
+//! to the same AST.
+
+use lkmm_litmus::ast::{AddrExpr, AtomicDst, BinOp, Expr, FenceKind, InitVal, RmwOrder, Stmt, Test, Thread};
+use lkmm_litmus::cond::{CondVal, Condition, Prop, Quantifier, StateTerm};
+use proptest::prelude::*;
+
+fn arb_loc() -> impl Strategy<Value = String> {
+    prop_oneof![Just("x".to_string()), Just("y".to_string()), Just("z".to_string())]
+}
+
+fn arb_reg() -> impl Strategy<Value = String> {
+    (0..4usize).prop_map(|i| format!("r{i}"))
+}
+
+fn arb_order() -> impl Strategy<Value = RmwOrder> {
+    prop_oneof![
+        Just(RmwOrder::Relaxed),
+        Just(RmwOrder::Acquire),
+        Just(RmwOrder::Release),
+        Just(RmwOrder::Full),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..5).prop_map(Expr::Const),
+        arb_reg().prop_map(Expr::Reg),
+        arb_loc().prop_map(Expr::LocRef),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Xor),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let atomic_binop = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ];
+    let leaf = prop_oneof![
+        (arb_reg(), arb_loc()).prop_map(|(dst, l)| Stmt::ReadOnce {
+            dst,
+            addr: AddrExpr::Var(l),
+        }),
+        (arb_loc(), arb_expr()).prop_map(|(l, value)| Stmt::WriteOnce {
+            addr: AddrExpr::Var(l),
+            value,
+        }),
+        (arb_reg(), arb_loc()).prop_map(|(dst, l)| Stmt::LoadAcquire {
+            dst,
+            addr: AddrExpr::Var(l),
+        }),
+        (arb_loc(), arb_expr()).prop_map(|(l, value)| Stmt::StoreRelease {
+            addr: AddrExpr::Var(l),
+            value,
+        }),
+        prop_oneof![
+            Just(FenceKind::Rmb),
+            Just(FenceKind::Wmb),
+            Just(FenceKind::Mb),
+            Just(FenceKind::RbDep),
+            Just(FenceKind::SyncRcu),
+        ]
+        .prop_map(Stmt::Fence),
+        (arb_order(), arb_reg(), arb_loc(), arb_expr()).prop_map(|(order, dst, l, value)| {
+            Stmt::Xchg { order, dst, addr: AddrExpr::Var(l), value }
+        }),
+        (arb_order(), arb_reg(), arb_loc(), arb_expr(), arb_expr()).prop_map(
+            |(order, dst, l, expected, new)| Stmt::CmpXchg {
+                order,
+                dst,
+                addr: AddrExpr::Var(l),
+                expected,
+                new,
+            }
+        ),
+        (
+            arb_order(),
+            proptest::option::of((arb_reg(), prop_oneof![Just(AtomicDst::Old), Just(AtomicDst::New)])),
+            arb_loc(),
+            atomic_binop,
+            arb_expr()
+        )
+            .prop_map(|(order, dst, l, op, operand)| {
+                // Void forms are always relaxed (the printer emits
+                // `atomic_add(i, v)` with no ordering suffix).
+                let order = if dst.is_none() { RmwOrder::Relaxed } else { order };
+                Stmt::AtomicOp { order, dst, addr: AddrExpr::Var(l), op, operand }
+            }),
+        (arb_reg(), arb_expr()).prop_map(|(dst, value)| Stmt::Assign { dst, value }),
+        arb_expr().prop_map(Stmt::Assume),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        (arb_expr(), proptest::collection::vec(inner.clone(), 0..3),
+         proptest::collection::vec(inner, 0..2))
+            .prop_map(|(cond, then_, else_)| Stmt::If { cond, then_, else_ })
+    })
+}
+
+fn arb_test() -> impl Strategy<Value = Test> {
+    (
+        proptest::collection::vec(proptest::collection::vec(arb_stmt(), 1..5), 1..3),
+        proptest::collection::vec((arb_loc(), 0i64..3), 0..3),
+    )
+        .prop_map(|(threads, inits)| {
+            let mut t = Test::new("proptest");
+            for (l, v) in inits {
+                t.init.insert(l, InitVal::Int(v));
+            }
+            t.threads = threads.into_iter().map(Thread::new).collect();
+            t.condition = Condition {
+                quantifier: Quantifier::Exists,
+                prop: Prop::Eq(StateTerm::Loc("x".into()), CondVal::Int(1)),
+            };
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(test in arb_test()) {
+        let printed = test.to_litmus_string();
+        let reparsed = lkmm_litmus::parse(&printed)
+            .unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        prop_assert_eq!(test, reparsed, "{}", printed);
+    }
+}

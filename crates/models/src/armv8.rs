@@ -1,0 +1,184 @@
+//! ARMv8 AArch64 axiomatic model (simplified from ARM's released cat
+//! model — the one the paper §1.2 says made the earlier academic models
+//! obsolete and drove a LKMM revision).
+//!
+//! The model is built around *ordered-before* (`ob`): external
+//! observations (`obs`), dependency-ordered-before (`dob`),
+//! atomic-ordered-before (`aob`) and barrier-ordered-before (`bob`),
+//! required to be acyclic, plus internal per-location coherence and RMW
+//! atomicity.
+//!
+//! The LK barrier mapping on AArch64: `smp_mb` → `dmb ish` (full),
+//! `smp_wmb` → `dmb ishst`, `smp_rmb` → `dmb ishld`,
+//! `smp_load_acquire` → `LDAR` (acquire, `A`), `smp_store_release` →
+//! `STLR` (release, `L`). Dependencies are respected in hardware —
+//! including read-read address dependencies, which is why
+//! `smp_read_barrier_depends` is a no-op here (only Alpha needs it).
+//!
+//! `synchronize_rcu` has no hardware meaning; like [`crate::X86Tso`],
+//! this model conservatively treats it as a full barrier and RCU litmus
+//! tests should use `lkmm-sim`'s operational grace periods instead.
+
+use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+
+/// The simplified ARMv8 axiomatic model.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+/// use lkmm_models::Armv8;
+///
+/// // WRC is observable on ARMv8 (Table 5: 13k/5.2G) via load-load
+/// // reordering, even though the architecture is multi-copy atomic.
+/// let wrc = lkmm_litmus::library::by_name("WRC").unwrap().test();
+/// assert_eq!(check_test(&Armv8, &wrc, &EnumOptions::default()).unwrap().verdict,
+///            Verdict::Allowed);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Armv8;
+
+impl Armv8 {
+    /// The `ob` (ordered-before) relation whose acyclicity is the
+    /// external-visibility requirement.
+    pub fn ob(x: &Execution) -> Relation {
+        let po = &x.po;
+        let r = x.reads();
+        let w = x.writes();
+        let m = x.mem();
+        let rfi = x.rfi();
+
+        // obs: external observations.
+        let obs = x.rfe().union(&x.fre()).union(&x.coe());
+
+        // dob: dependency-ordered-before. ARMv8 respects address, data
+        // and control(-to-write) dependencies, dependency-into-rfi
+        // forwarding, and address-dependency-then-po to a write.
+        let dep = x.addr.union(&x.data);
+        let ctrl_w = x.ctrl.intersection(&r.cross(&w));
+        let dob = dep
+            .union(&ctrl_w)
+            .union(&dep.seq(&rfi))
+            .union(&x.addr.seq(po).intersection(&r.cross(&w)));
+
+        // aob: atomic-ordered-before.
+        let rmw_w = x.rmw.range().as_identity();
+        let acq = x.acquires().as_identity();
+        let aob = x.rmw.union(&rmw_w.seq(&rfi).seq(&acq));
+
+        // bob: barrier-ordered-before.
+        let full = x
+            .fencerel(FenceKind::Mb)
+            .union(&x.fencerel(FenceKind::SyncRcu))
+            .intersection(&m.cross(&m));
+        let dmb_st =
+            x.fencerel(FenceKind::Wmb).intersection(&w.cross(&w));
+        let dmb_ld =
+            x.fencerel(FenceKind::Rmb).intersection(&r.cross(&m));
+        let rel = x.releases().as_identity();
+        let bob = full
+            .union(&dmb_st)
+            .union(&dmb_ld)
+            .union(&acq.seq(po)) // [A]; po
+            .union(&po.seq(&rel)) // po; [L]
+            .union(&rel.seq(po).seq(&acq)); // [L]; po; [A]
+
+        obs.union(&dob).union(&aob).union(&bob)
+    }
+}
+
+impl ConsistencyModel for Armv8 {
+    fn name(&self) -> &str {
+        "ARMv8"
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        // Internal visibility: per-location coherence.
+        if !x.po_loc().union(&x.com()).is_acyclic() {
+            return false;
+        }
+        // Atomicity.
+        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
+            return false;
+        }
+        // External visibility.
+        Self::ob(x).is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn table5_armv8_shape() {
+        // Observed on ARMv8 in Table 5: WRC (13k), SB (2.4G), MP (104M),
+        // PeterZ-No-Synchro (3.6M), RWC (94M). Never observed (and
+        // forbidden by the architecture): every fenced/dep-ordered row.
+        let expect_allowed = ["WRC", "SB", "MP", "PeterZ-No-Synchro", "RWC", "LB"];
+        let expect_forbidden = [
+            "LB+ctrl+mb",
+            "WRC+po-rel+rmb",
+            "SB+mbs",
+            "MP+wmb+rmb",
+            "PeterZ",
+            "RWC+mbs",
+            "MP+po-rel+acq",
+            "ISA2+po-rel+po-rel+acq",
+            "LB+datas",
+        ];
+        for name in expect_allowed {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&Armv8, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Allowed, "{name}");
+        }
+        for name in expect_forbidden {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&Armv8, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Forbidden, "{name}");
+        }
+    }
+
+    #[test]
+    fn armv8_respects_plain_address_dependencies() {
+        // Unlike the LKMM (which must accommodate Alpha), ARMv8 orders
+        // read-read address dependencies without any barrier: a reader
+        // chasing a freshly published pointer cannot see stale data.
+        let t = lkmm_litmus::parse(
+            r"C MP+wmb+addr-chase
+{ w=0; y=&z; z=0; }
+P0(int *w, int **y) { WRITE_ONCE(*w, 1); smp_wmb(); WRITE_ONCE(*y, &w); }
+P1(int **y) { int *r1; int r2; r1 = READ_ONCE(*y); r2 = READ_ONCE(*r1); }
+exists (1:r1=&w /\ 1:r2=0)",
+        )
+        .unwrap();
+        let r = check_test(&Armv8, &t, &EnumOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Forbidden);
+        // The LKMM allows it without smp_read_barrier_depends — ARMv8 is
+        // strictly stronger here (the Alpha accommodation, §3.2.2).
+        let l = check_test(&lkmm::Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(l.verdict, Verdict::Allowed);
+    }
+
+    #[test]
+    fn armv8_sits_between_sc_and_lkmm() {
+        let model = lkmm::Lkmm::new();
+        for pt in library::all().iter().filter(|p| !p.name.starts_with("RCU")) {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                if crate::Sc.allows(x) {
+                    assert!(Armv8.allows(x), "{}: SC ⊄ ARMv8", pt.name);
+                }
+                if Armv8.allows(x) {
+                    assert!(model.allows(x), "{}: ARMv8 ⊄ LKMM\n{x}", pt.name);
+                }
+            })
+            .unwrap();
+        }
+    }
+}

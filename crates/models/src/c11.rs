@@ -1,0 +1,213 @@
+//! Original C11 (C++11 §29.3, before the SC-fence strengthening of
+//! Batty et al. \[15\]), under the LK→C11 mapping of P0124 \[68\].
+
+use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_litmus::{ast::Stmt, FenceKind, Test};
+use lkmm_relation::Relation;
+
+/// The original C11 model.
+///
+/// Under the \[68\] mapping, LK events are reinterpreted as: ONCE →
+/// relaxed, acquire/release → acquire/release, `smp_rmb` → acquire fence,
+/// `smp_wmb` → release fence, `smp_mb` → `seq_cst` fence; dependencies
+/// carry no ordering. A `seq_cst` fence is also an acquire and a release
+/// fence.
+///
+/// Axioms:
+///
+/// * **Coherence** (RC11 formulation): `irreflexive(hb ; eco?)` with
+///   `hb = (po ∪ sw)⁺` and `eco = (rf ∪ co ∪ fr)⁺`;
+/// * **Atomicity**: `empty(rmw ∩ (fre ; coe))`;
+/// * **SC fences** (the *original*, weak rules): there must exist a total
+///   order `S` over `seq_cst` fences, consistent with `hb`, such that the
+///   fence/read rule (C++11 29.3p6) and fence/write rule (29.3p7) hold.
+///   Because the rules only constrain *pairs of fences*, the existential
+///   reduces to an acyclicity check on a constraint digraph.
+///
+/// Simplifications (documented in DESIGN.md): release sequences are
+/// truncated at the head (no RMW chains in the mapped tests), `seq_cst`
+/// *atomics* never arise from the mapping (rules 29.3p3–p5 are vacuous),
+/// and consume is not modelled (`smp_read_barrier_depends` maps to
+/// nothing). RCU has no C11 counterpart ("–" in Table 5); see
+/// [`OriginalC11::supports`].
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+/// use lkmm_models::OriginalC11;
+///
+/// // Figure 13: the LKMM forbids RWC+mbs, original C11 allows it.
+/// let t = lkmm_litmus::library::by_name("RWC+mbs").unwrap().test();
+/// let r = check_test(&OriginalC11, &t, &EnumOptions::default()).unwrap();
+/// assert_eq!(r.verdict, Verdict::Allowed);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OriginalC11;
+
+impl OriginalC11 {
+    /// Whether the mapping covers this test: C11 has no RCU primitives.
+    pub fn supports(test: &Test) -> bool {
+        fn no_rcu(stmts: &[Stmt]) -> bool {
+            stmts.iter().all(|s| match s {
+                Stmt::Fence(
+                    FenceKind::RcuLock | FenceKind::RcuUnlock | FenceKind::SyncRcu,
+                ) => false,
+                Stmt::If { then_, else_, .. } => no_rcu(then_) && no_rcu(else_),
+                _ => true,
+            })
+        }
+        test.threads.iter().all(|t| no_rcu(&t.body))
+    }
+
+    /// The synchronizes-with relation (C++11 29.3p2 and 29.8p2-4).
+    pub fn sw(x: &Execution) -> Relation {
+        let rel_store = x.releases().as_identity();
+        let acq_load = x.acquires().as_identity();
+        // seq_cst fences are both release and acquire fences.
+        let sc_fence = x.fences(FenceKind::Mb);
+        let rel_fence = x.fences(FenceKind::Wmb).union(&sc_fence).as_identity();
+        let acq_fence = x.fences(FenceKind::Rmb).union(&sc_fence).as_identity();
+        let w = x.writes().as_identity();
+        let r = x.reads().as_identity();
+        let rf = &x.rf;
+        let po = &x.po;
+        // (1) release store read by acquire load.
+        let direct = rel_store.seq(rf).seq(&acq_load);
+        // (2) release fence ; store, read by acquire load.
+        let fence_store = rel_fence.seq(po).seq(&w).seq(rf).seq(&acq_load);
+        // (3) release store read by a load ; acquire fence.
+        let load_fence = rel_store.seq(rf).seq(&r).seq(po).seq(&acq_fence);
+        // (4) release fence ; store … load ; acquire fence.
+        let fence_fence = rel_fence.seq(po).seq(&w).seq(rf).seq(&r).seq(po).seq(&acq_fence);
+        direct.union(&fence_store).union(&load_fence).union(&fence_fence)
+    }
+
+    /// `hb = (po ∪ sw)⁺`.
+    pub fn hb(x: &Execution) -> Relation {
+        x.po.union(&Self::sw(x)).transitive_closure()
+    }
+
+    /// Whether a total order `S` over `seq_cst` fences exists satisfying
+    /// the original fence rules, given `hb`.
+    fn sc_order_exists(x: &Execution, hb: &Relation) -> bool {
+        let fences: Vec<usize> = x
+            .events
+            .iter()
+            .filter(|e| e.is_fence(FenceKind::Mb) || e.is_fence(FenceKind::SyncRcu))
+            .map(|e| e.id)
+            .collect();
+        if fences.len() < 2 {
+            return true;
+        }
+        let fr = x.fr();
+        let bad = fr.union(&x.co); // (B, A): B observes co-before A
+        // must_precede(a, b): a must come before b in S.
+        let mut must = Relation::empty(x.universe());
+        for &a in &fences {
+            for &b in &fences {
+                if a == b {
+                    continue;
+                }
+                if hb.contains(a, b) {
+                    must.insert(a, b);
+                }
+                // conflict(b, a): some write A po-before b, some access B
+                // po-after a, with (B, A) ∈ fr ∪ co. Then ¬(b <S a), i.e.
+                // a must precede b.
+                let conflict = bad.iter().any(|(obs, wr)| {
+                    x.events[wr].is_write() && x.po.contains(wr, b) && x.po.contains(a, obs)
+                });
+                if conflict {
+                    must.insert(a, b);
+                }
+            }
+        }
+        must.is_acyclic()
+    }
+}
+
+impl ConsistencyModel for OriginalC11 {
+    fn name(&self) -> &str {
+        "C11"
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        let hb = Self::hb(x);
+        // Coherence: irreflexive(hb ; eco?).
+        let eco = x.com().transitive_closure();
+        if !hb.seq(&eco.reflexive()).is_irreflexive() {
+            return false;
+        }
+        // Atomicity.
+        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
+            return false;
+        }
+        Self::sc_order_exists(x, &hb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::EnumOptions;
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library::{self, Expect};
+
+    #[test]
+    fn c11_matches_every_table5_verdict() {
+        for pt in library::all() {
+            let Some(expect) = pt.c11 else { continue };
+            let t = pt.test();
+            assert!(OriginalC11::supports(&t), "{}", pt.name);
+            let r = check_test(&OriginalC11, &t, &EnumOptions::default()).unwrap();
+            let expected = match expect {
+                Expect::Allowed => Verdict::Allowed,
+                Expect::Forbidden => Verdict::Forbidden,
+            };
+            assert_eq!(r.verdict, expected, "{} (paper C11 column)", pt.name);
+        }
+    }
+
+    #[test]
+    fn rcu_tests_are_unsupported() {
+        for name in ["RCU-MP", "RCU-deferred-free"] {
+            let t = library::by_name(name).unwrap().test();
+            assert!(!OriginalC11::supports(&t));
+        }
+    }
+
+    #[test]
+    fn divergence_set_matches_section_5_2() {
+        // The paper highlights exactly these LKMM/C11 divergences among
+        // the Table 5 rows (§5.2).
+        let diverging: Vec<&str> = library::table5()
+            .filter(|pt| pt.c11.is_some() && pt.c11 != Some(pt.lkmm))
+            .map(|pt| pt.name)
+            .collect();
+        assert_eq!(
+            diverging,
+            vec!["LB+ctrl+mb", "WRC+wmb+acq", "PeterZ", "RWC+mbs"],
+        );
+        // The extended library adds two more: dependency-based ordering
+        // (out-of-thin-air) and A-cumulativity, both absent from C11.
+        let extended: Vec<&str> = library::all()
+            .iter()
+            .filter(|pt| !pt.in_table5 && pt.c11.is_some() && pt.c11 != Some(pt.lkmm))
+            .map(|pt| pt.name)
+            .collect();
+        assert_eq!(extended, vec!["LB+datas", "ISA2+po-rel+po-rel+acq"]);
+    }
+
+    #[test]
+    fn sw_exists_only_with_synchronisation() {
+        use lkmm_exec::enumerate::enumerate;
+        let t = library::by_name("MP").unwrap().test();
+        for x in enumerate(&t, &EnumOptions::default()).unwrap() {
+            assert!(OriginalC11::sw(&x).is_empty(), "relaxed MP has no sw");
+        }
+        let t2 = library::by_name("WRC+po-rel+rmb").unwrap().test();
+        let execs = enumerate(&t2, &EnumOptions::default()).unwrap();
+        assert!(execs.iter().any(|x| !OriginalC11::sw(x).is_empty()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Comparison consistency models: SC, x86-TSO, ARMv8, Power and original C11.
+//!
+//! The paper's Table 5 compares the LKMM verdict with the C11 verdict
+//! obtained through the LK→C11 primitive mapping of P0124 \[68\]:
+//!
+//! | LK primitive            | C11                                  |
+//! |-------------------------|--------------------------------------|
+//! | `READ_ONCE`             | relaxed load                         |
+//! | `WRITE_ONCE`            | relaxed store                        |
+//! | `smp_load_acquire`      | acquire load                         |
+//! | `smp_store_release`     | release store                        |
+//! | `smp_rmb`               | `atomic_thread_fence(acquire)`       |
+//! | `smp_wmb`               | `atomic_thread_fence(release)`       |
+//! | `smp_mb`                | `atomic_thread_fence(seq_cst)`       |
+//! | dependencies            | *nothing* (C11 has no dependencies)  |
+//! | RCU primitives          | *no equivalent* ("–" in Table 5)     |
+//!
+//! [`OriginalC11`] implements the *pre-strengthening* C11 of C++11 §29.3,
+//! in which a `seq_cst` fence does **not** restore sequential consistency
+//! (the paper's Figure 13 discussion): the SC axiom is an existential
+//! search for a total order `S` over `seq_cst` fences satisfying the
+//! fence/read and fence/write rules. That is exactly what makes
+//! `RWC+mbs` and `PeterZ` *allowed* under C11 while the LKMM forbids
+//! them, and `SB+mbs` forbidden under both.
+
+pub mod armv8;
+pub mod c11;
+pub mod power;
+pub mod sc;
+pub mod tso;
+
+pub use armv8::Armv8;
+pub use c11::OriginalC11;
+pub use power::Power;
+pub use sc::Sc;
+pub use tso::X86Tso;

@@ -1,0 +1,254 @@
+//! IBM Power axiomatic model in the "herding cats" style \[12\] — the
+//! formalisation lineage the paper's LKMM grew out of (§1.2: "we
+//! axiomatised models of IBM Power \[74, 75\] in cat; we modified this
+//! formalisation…").
+//!
+//! Power is the weakest machine the kernel targets: out-of-order,
+//! non-multi-copy-atomic, with the `lwsync`/`sync` fence pair. The model
+//! has five axioms:
+//!
+//! * **SC per location**: `acyclic(po-loc ∪ com)`;
+//! * **atomicity**: `empty(rmw ∩ (fre ; coe))`;
+//! * **no thin air**: `acyclic(hb)` with `hb = ppo ∪ fences ∪ rfe`;
+//! * **observation**: `irreflexive(fre ; prop ; hb*)`;
+//! * **propagation**: `acyclic(co ∪ prop)`;
+//!
+//! where `ppo` is the preserved-program-order fixpoint over the
+//! `ii/ic/ci/cc` families (Herding Cats, Fig. 18) and `prop` captures the
+//! cumulativity of `lwsync`/`sync`.
+//!
+//! LK mapping on Power: `smp_mb` → `sync`; `smp_wmb`/`smp_rmb` →
+//! `lwsync`; `smp_store_release` → `lwsync; st`; `smp_load_acquire` →
+//! `ld; lwsync`-strength ordering. `synchronize_rcu` is treated as
+//! `sync` (conservative; grace periods live in `lkmm-sim`).
+
+use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+
+/// The Power axiomatic model.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+/// use lkmm_models::Power;
+///
+/// // WRC without barriers is the signature non-multi-copy-atomic
+/// // behaviour: Power allows it (Table 5: 741k observations).
+/// let wrc = lkmm_litmus::library::by_name("WRC").unwrap().test();
+/// assert_eq!(check_test(&Power, &wrc, &EnumOptions::default()).unwrap().verdict,
+///            Verdict::Allowed);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Power;
+
+/// The relations the axioms constrain.
+pub struct PowerRelations {
+    pub ppo: Relation,
+    pub fences: Relation,
+    pub hb: Relation,
+    pub prop: Relation,
+}
+
+impl Power {
+    /// Compute `ppo`, the fence relations, `hb` and `prop`.
+    pub fn relations(x: &Execution) -> PowerRelations {
+        let n = x.universe();
+        let r = x.reads();
+        let w = x.writes();
+        let m = x.mem();
+        let po = &x.po;
+        let po_loc = x.po_loc();
+        let rfi = x.rfi();
+        let rfe = x.rfe();
+        let fre = x.fre();
+        let coe = x.coe();
+
+        // --- ppo fixpoint (Herding Cats, Fig. 18) ---
+        let dp = x.addr.union(&x.data);
+        let rdw = po_loc.intersection(&fre.seq(&rfe));
+        let detour = po_loc.intersection(&coe.seq(&rfe));
+        let addr_po = x.addr.seq(po);
+
+        let ii0 = dp.union(&rdw).union(&rfi);
+        let ic0 = Relation::empty(n);
+        // On Power, acquire loads compile to ld;ctrl;isync (or stronger):
+        // model the acquire ordering as ctrl+isync from the acquire read.
+        let acq_po = x.acquires().as_identity().seq(po);
+        let ci0 = x.ctrl.union(&acq_po).union(&detour);
+        let cc0 = dp.union(&po_loc).union(&x.ctrl).union(&addr_po);
+
+        let mut ii = ii0.clone();
+        let mut ic = ic0.clone();
+        let mut ci = ci0.clone();
+        let mut cc = cc0.clone();
+        loop {
+            let nii = ii0
+                .union(&ci)
+                .union(&ic.seq(&ci))
+                .union(&ii.seq(&ii));
+            let nic = ic0
+                .union(&ii)
+                .union(&cc)
+                .union(&ic.seq(&cc))
+                .union(&ii.seq(&ic));
+            let nci = ci0.union(&ci.seq(&ii)).union(&cc.seq(&ci));
+            let ncc = cc0
+                .union(&ci)
+                .union(&ci.seq(&ic))
+                .union(&cc.seq(&cc));
+            if nii == ii && nic == ic && nci == ci && ncc == cc {
+                break;
+            }
+            ii = nii;
+            ic = nic;
+            ci = nci;
+            cc = ncc;
+        }
+        let ppo = ii
+            .intersection(&r.cross(&r))
+            .union(&ic.intersection(&r.cross(&w)));
+
+        // --- fences ---
+        // sync: smp_mb (and synchronize_rcu, conservatively).
+        let ffence = x
+            .fencerel(FenceKind::Mb)
+            .union(&x.fencerel(FenceKind::SyncRcu))
+            .intersection(&m.cross(&m));
+        // lwsync: smp_wmb, smp_rmb, and the release-store / acquire-load
+        // mappings; lwsync does not order W→R.
+        let lw_raw = x
+            .fencerel(FenceKind::Wmb)
+            .union(&x.fencerel(FenceKind::Rmb))
+            .union(&po.seq(&x.releases().as_identity()))
+            .union(&x.acquires().as_identity().seq(po));
+        let no_wr = r.cross(&m).union(&m.cross(&w));
+        let lwfence = lw_raw.intersection(&no_wr);
+        let fences = ffence.union(&lwfence);
+
+        // --- hb, prop ---
+        let hb = ppo.union(&fences).union(&rfe);
+        let hb_star = hb.reflexive_transitive_closure();
+        let prop_base = fences.union(&rfe.seq(&fences)).seq(&hb_star);
+        let com_star = x.com().reflexive_transitive_closure();
+        let prop = w
+            .cross(&w)
+            .intersection(&prop_base)
+            .union(
+                &com_star
+                    .seq(&prop_base.reflexive_transitive_closure())
+                    .seq(&ffence)
+                    .seq(&hb_star),
+            );
+        PowerRelations { ppo, fences, hb, prop }
+    }
+}
+
+impl ConsistencyModel for Power {
+    fn name(&self) -> &str {
+        "Power"
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        if !x.po_loc().union(&x.com()).is_acyclic() {
+            return false;
+        }
+        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
+            return false;
+        }
+        let r = Self::relations(x);
+        if !r.hb.is_acyclic() {
+            return false;
+        }
+        // Observation.
+        let hb_star = r.hb.reflexive_transitive_closure();
+        if !x.fre().seq(&r.prop).seq(&hb_star).is_irreflexive() {
+            return false;
+        }
+        // Propagation.
+        x.co.union(&r.prop).is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn table5_power_shape() {
+        // Observed on Power8 in Table 5: WRC (741k), SB (4.4G), MP (57M),
+        // PeterZ-No-Synchro (26M), RWC (88M). The fenced rows are
+        // architecturally forbidden.
+        let expect_allowed =
+            ["WRC", "SB", "MP", "PeterZ-No-Synchro", "RWC", "LB", "2+2W", "S", "R"];
+        let expect_forbidden = [
+            "LB+ctrl+mb",
+            "WRC+po-rel+rmb",
+            "SB+mbs",
+            "MP+wmb+rmb",
+            "PeterZ",
+            "RWC+mbs",
+            "MP+po-rel+acq",
+            "LB+datas",
+            "R+mbs",
+            "Z6.0+mbs",
+        ];
+        for name in expect_allowed {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&Power, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Allowed, "{name}");
+        }
+        for name in expect_forbidden {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&Power, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Forbidden, "{name}");
+        }
+    }
+
+    #[test]
+    fn power_allows_non_mca_wrc_but_cumulativity_forbids_the_fenced_one() {
+        // WRC+wmb+acq: lwsync on the middle thread is A-cumulative on
+        // Power — the famous reason LKMM's wmb is *weaker* than lwsync.
+        // Power forbids it; the LKMM allows it (Figure 14).
+        let t = library::by_name("WRC+wmb+acq").unwrap().test();
+        let p = check_test(&Power, &t, &EnumOptions::default()).unwrap();
+        assert_eq!(p.verdict, Verdict::Forbidden, "lwsync is A-cumulative");
+        let l = check_test(&lkmm::Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(l.verdict, Verdict::Allowed, "LKMM wmb is not");
+    }
+
+    #[test]
+    fn power_sits_between_sc_and_lkmm() {
+        let model = lkmm::Lkmm::new();
+        for pt in library::all().iter().filter(|p| !p.name.starts_with("RCU")) {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                if crate::Sc.allows(x) {
+                    assert!(Power.allows(x), "{}: SC ⊄ Power", pt.name);
+                }
+                if Power.allows(x) {
+                    assert!(model.allows(x), "{}: Power ⊄ LKMM\n{x}", pt.name);
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn z6_cumulativity_subtlety() {
+        // Z6.0+mb+po-rel+acq: Power's lwsync-based release is
+        // B-cumulative, so the PROPAGATION axiom forbids the pattern —
+        // while the LKMM deliberately keeps release/acquire weaker than
+        // any current hardware and allows it (the real LKMM also says
+        // "Sometimes" for this shape).
+        let t = library::by_name("Z6.0+mb+po-rel+acq").unwrap().test();
+        let p = check_test(&Power, &t, &EnumOptions::default()).unwrap();
+        assert_eq!(p.verdict, Verdict::Forbidden);
+        let l = check_test(&lkmm::Lkmm::new(), &t, &EnumOptions::default()).unwrap();
+        assert_eq!(l.verdict, Verdict::Allowed);
+    }
+}

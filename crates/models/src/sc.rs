@@ -1,0 +1,63 @@
+//! Sequential consistency.
+
+use lkmm_exec::{ConsistencyModel, Execution};
+
+/// Lamport's sequential consistency: all events execute in some total
+/// order consistent with program order — axiomatically,
+/// `acyclic(po ∪ rf ∪ co ∪ fr)`.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+/// use lkmm_models::Sc;
+///
+/// let mp = lkmm_litmus::library::by_name("MP").unwrap().test();
+/// let r = check_test(&Sc, &mp, &EnumOptions::default()).unwrap();
+/// assert_eq!(r.verdict, Verdict::Forbidden); // no weak behaviour under SC
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sc;
+
+impl ConsistencyModel for Sc {
+    fn name(&self) -> &str {
+        "SC"
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        x.po.union(&x.com()).is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::EnumOptions;
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn sc_forbids_every_weak_idiom() {
+        for name in ["SB", "MP", "LB", "WRC", "RWC", "PeterZ-No-Synchro"] {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&Sc, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Forbidden, "{name}");
+            assert!(r.allowed > 0, "{name}: SC must allow some execution");
+        }
+    }
+
+    #[test]
+    fn sc_is_stricter_than_lkmm_on_candidates() {
+        use lkmm_exec::enumerate::for_each_execution;
+        let lkmm = lkmm::Lkmm::new();
+        for pt in library::all() {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                if Sc.allows(x) {
+                    assert!(lkmm.allows(x), "{}: SC-allowed but LKMM-forbidden\n{x}", pt.name);
+                }
+            })
+            .unwrap();
+        }
+    }
+}

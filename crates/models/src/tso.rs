@@ -1,0 +1,130 @@
+//! x86-TSO in the "herding cats" axiomatic style.
+
+use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+
+/// x86-TSO: program order is preserved except write→read; a full fence
+/// (`smp_mb`, mapped to `mfence`) and LOCK-prefixed RMWs restore it.
+///
+/// The LK barrier mapping on x86: `smp_mb` → `mfence`; `smp_wmb`,
+/// `smp_rmb`, acquire/release → compiler-only (TSO already orders R→R,
+/// R→W and W→W, and its stores/loads have release/acquire semantics).
+///
+/// `synchronize_rcu` is treated as a full fence — which is *weaker* than
+/// its real grace-period semantics; RCU litmus tests should be run
+/// against the operational simulator (`lkmm-sim`) instead.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::{check_test, enumerate::EnumOptions, Verdict};
+/// use lkmm_models::X86Tso;
+///
+/// // Store buffering is x86's one relaxation...
+/// let sb = lkmm_litmus::library::by_name("SB").unwrap().test();
+/// assert_eq!(check_test(&X86Tso, &sb, &EnumOptions::default()).unwrap().verdict,
+///            Verdict::Allowed);
+/// // ...and message passing is not observable.
+/// let mp = lkmm_litmus::library::by_name("MP").unwrap().test();
+/// assert_eq!(check_test(&X86Tso, &mp, &EnumOptions::default()).unwrap().verdict,
+///            Verdict::Forbidden);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct X86Tso;
+
+impl X86Tso {
+    /// The TSO global-happens-before relation whose acyclicity defines the
+    /// model (beyond per-location coherence and atomicity).
+    pub fn ghb(x: &Execution) -> Relation {
+        let w_r = x.writes().cross(&x.reads());
+        let ppo_tso = x.po.difference(&w_r);
+        let mfence = x.fencerel(FenceKind::Mb).union(&x.fencerel(FenceKind::SyncRcu));
+        // LOCK-prefixed RMWs behave like full fences around the operation.
+        let rmw_read = x.rmw.domain().as_identity();
+        let rmw_write = x.rmw.range().as_identity();
+        let implied = x.po.seq(&rmw_read).union(&rmw_write.seq(&x.po));
+        ppo_tso
+            .union(&mfence)
+            .union(&implied)
+            .union(&x.rfe())
+            .union(&x.co)
+            .union(&x.fr())
+    }
+}
+
+impl ConsistencyModel for X86Tso {
+    fn name(&self) -> &str {
+        "x86-TSO"
+    }
+
+    fn allows(&self, x: &Execution) -> bool {
+        // Per-location coherence.
+        if !x.po_loc().union(&x.com()).is_acyclic() {
+            return false;
+        }
+        // Atomicity of RMWs.
+        let fre_coe = x.fre().seq(&x.coe());
+        if !x.rmw.intersection(&fre_coe).is_empty() {
+            return false;
+        }
+        Self::ghb(x).is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+    use lkmm_exec::{check_test, Verdict};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn table5_x86_shape() {
+        // Observed on x86 in Table 5: SB (765M), PeterZ-No-Synchro (351k),
+        // RWC (5.6M). Never observed: LB, WRC, MP, and every fenced test.
+        let expect_allowed = ["SB", "PeterZ-No-Synchro", "RWC"];
+        let expect_forbidden = ["LB", "WRC", "MP", "SB+mbs", "MP+wmb+rmb", "PeterZ", "RWC+mbs"];
+        for name in expect_allowed {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&X86Tso, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Allowed, "{name}");
+        }
+        for name in expect_forbidden {
+            let t = library::by_name(name).unwrap().test();
+            let r = check_test(&X86Tso, &t, &EnumOptions::default()).unwrap();
+            assert_eq!(r.verdict, Verdict::Forbidden, "{name}");
+        }
+    }
+
+    #[test]
+    fn tso_is_stronger_than_lkmm_and_weaker_than_sc() {
+        let lkmm = lkmm::Lkmm::new();
+        let sc = crate::Sc;
+        for pt in library::all().iter().filter(|t| !t.name.starts_with("RCU")) {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                if sc.allows(x) {
+                    assert!(X86Tso.allows(x), "{}: SC ⊆ TSO violated", pt.name);
+                }
+                if X86Tso.allows(x) {
+                    assert!(lkmm.allows(x), "{}: TSO ⊆ LKMM violated\n{x}", pt.name);
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn native_tso_agrees_with_cat_tso() {
+        use lkmm_cat::CatModel;
+        let cat = CatModel::parse(lkmm_cat::builtin::X86_TSO_CAT).unwrap();
+        for pt in library::all().iter().filter(|t| !t.name.starts_with("RCU")) {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                assert_eq!(cat.allows(x), X86Tso.allows(x), "{}\n{x}", pt.name);
+            })
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Every native hardware model must agree with its cat transcription on
+//! every candidate execution — the "formal AND executable" guarantee
+//! extended from the LKMM to the whole model tower.
+
+use lkmm_cat::CatModel;
+use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+use lkmm_exec::ConsistencyModel;
+use lkmm_litmus::library;
+use lkmm_models::{Armv8, Power, X86Tso};
+
+fn check_pair(native: &dyn ConsistencyModel, cat_src: &str) {
+    let cat = CatModel::parse(cat_src).unwrap();
+    for pt in library::all().iter().filter(|p| !p.name.starts_with("RCU")) {
+        let t = pt.test();
+        for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+            assert_eq!(
+                cat.allows(x),
+                native.allows(x),
+                "{} on {}: cat/native disagree\n{x}",
+                native.name(),
+                pt.name
+            );
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn armv8_native_matches_cat() {
+    check_pair(&Armv8, lkmm_cat::builtin::ARMV8_CAT);
+}
+
+#[test]
+fn power_native_matches_cat() {
+    check_pair(&Power, lkmm_cat::builtin::POWER_CAT);
+}
+
+#[test]
+fn tso_native_matches_cat() {
+    check_pair(&X86Tso, lkmm_cat::builtin::X86_TSO_CAT);
+}

@@ -1,0 +1,79 @@
+//! The paper's central design property (§1.2, Torvalds/Molnar): the LKMM
+//! is an *envelope* over the architectures the kernel supports — every
+//! execution any hardware model allows, the LKMM allows.
+//!
+//! The hardware models themselves are pairwise incomparable (each is
+//! stronger in its own corner), which is precisely why the kernel needs
+//! its own model rather than adopting one architecture's.
+
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+use lkmm_exec::{check_test, ConsistencyModel, Verdict};
+use lkmm_generator::{cycles_up_to, default_alphabet, generate};
+use lkmm_litmus::library;
+use lkmm_models::{Armv8, Power, X86Tso};
+
+#[test]
+fn lkmm_allows_whatever_any_hardware_model_allows() {
+    let lkmm = Lkmm::new();
+    let mut candidates = 0usize;
+    for pt in library::all().iter().filter(|p| !p.name.starts_with("RCU")) {
+        let t = pt.test();
+        for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+            candidates += 1;
+            let hw_allowed = X86Tso.allows(x) || Armv8.allows(x) || Power.allows(x);
+            if hw_allowed {
+                assert!(
+                    lkmm.allows(x),
+                    "{}: a hardware model allows an execution the LKMM forbids\n{x}",
+                    pt.name
+                );
+            }
+        })
+        .unwrap();
+    }
+    assert!(candidates > 100);
+}
+
+#[test]
+fn lkmm_envelope_on_generated_cycles() {
+    let lkmm = Lkmm::new();
+    for cycle in cycles_up_to(4, &default_alphabet()) {
+        let t = generate(&cycle).unwrap();
+        for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+            let hw_allowed = X86Tso.allows(x) || Armv8.allows(x) || Power.allows(x);
+            if hw_allowed {
+                assert!(lkmm.allows(x), "{}\n{x}", t.name);
+            }
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn hardware_models_are_pairwise_incomparable() {
+    // Witnesses that no architecture model subsumes another — the reason
+    // "pick one architecture's model" does not work (§1.2).
+    let opts = EnumOptions::default();
+    let verdict = |m: &dyn ConsistencyModel, name: &str| {
+        check_test(m, &library::by_name(name).unwrap().test(), &opts).unwrap().verdict
+    };
+    // TSO ⊄ ARMv8: x86 maps acquire/release to plain accesses, so
+    // SB+rel+acq is x86-observable; ARMv8's RCsc STLR/LDAR forbid it.
+    assert_eq!(verdict(&X86Tso, "SB+rel+acq"), Verdict::Allowed);
+    assert_eq!(verdict(&Armv8, "SB+rel+acq"), Verdict::Forbidden);
+    // ARMv8 ⊄ TSO: trivially, MP is ARM-observable but TSO-forbidden.
+    assert_eq!(verdict(&Armv8, "MP"), Verdict::Allowed);
+    assert_eq!(verdict(&X86Tso, "MP"), Verdict::Forbidden);
+    // ARMv8 ⊄ Power: ARMv8's dmb.st is not A-cumulative in the WRC+wmb+acq
+    // shape; Power's lwsync is.
+    assert_eq!(verdict(&Armv8, "WRC+wmb+acq"), Verdict::Allowed);
+    assert_eq!(verdict(&Power, "WRC+wmb+acq"), Verdict::Forbidden);
+    // Power ⊄ ARMv8: Power's lwsync-based release/acquire allow SB+rel+acq.
+    assert_eq!(verdict(&Power, "SB+rel+acq"), Verdict::Allowed);
+    // And the LKMM allows all the union's behaviours.
+    let lkmm = Lkmm::new();
+    for name in ["SB+rel+acq", "MP", "WRC+wmb+acq"] {
+        assert_eq!(verdict(&lkmm, name), Verdict::Allowed, "{name}");
+    }
+}

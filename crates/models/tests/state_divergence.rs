@@ -1,0 +1,81 @@
+//! §5.2 at state granularity: for each LKMM/C11-diverging test, pin down
+//! *which* final states the two models disagree on.
+
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::states::collect_states;
+use lkmm_exec::ConsistencyModel;
+use lkmm_litmus::library;
+use lkmm_models::OriginalC11;
+use std::collections::BTreeSet;
+
+fn allowed_states(model: &dyn ConsistencyModel, test: &lkmm_litmus::Test) -> BTreeSet<String> {
+    collect_states(model, test, &EnumOptions::default())
+        .unwrap()
+        .states
+        .into_iter()
+        .filter(|(_, c)| c.allowed > 0)
+        .map(|(s, _)| s.0)
+        .collect()
+}
+
+#[test]
+fn c11_divergences_are_exactly_the_weak_states() {
+    let lkmm = Lkmm::new();
+    let c11 = OriginalC11;
+    for pt in library::all() {
+        let Some(c11_expect) = pt.c11 else { continue };
+        if c11_expect == pt.lkmm {
+            continue;
+        }
+        let test = pt.test();
+        let l = allowed_states(&lkmm, &test);
+        let c = allowed_states(&c11, &test);
+        let only_c11: BTreeSet<_> = c.difference(&l).collect();
+        let only_lkmm: BTreeSet<_> = l.difference(&c).collect();
+        match pt.name {
+            // LKMM forbids, C11 allows: C11 has extra (weak) states.
+            "LB+ctrl+mb" | "PeterZ" | "RWC+mbs" | "LB+datas" | "ISA2+po-rel+po-rel+acq" => {
+                assert!(!only_c11.is_empty(), "{}: expected extra C11 states", pt.name);
+                assert!(only_lkmm.is_empty(), "{}: LKMM should not allow extra", pt.name);
+            }
+            // LKMM allows, C11 forbids (no wmb equivalent): reversed.
+            "WRC+wmb+acq" => {
+                assert!(!only_lkmm.is_empty(), "{}", pt.name);
+                assert!(only_c11.is_empty(), "{}", pt.name);
+            }
+            other => panic!("unexpected diverging test {other}"),
+        }
+    }
+}
+
+#[test]
+fn agreeing_tests_agree_statewise_too() {
+    // Where the verdicts agree, the per-state sets may still differ in
+    // principle; on the paper's tests they in fact coincide except where
+    // dependencies are involved. Verify the verdict-level agreement is
+    // backed by the weak state's membership.
+    let lkmm = Lkmm::new();
+    let c11 = OriginalC11;
+    for pt in library::all() {
+        let Some(c11_expect) = pt.c11 else { continue };
+        if c11_expect != pt.lkmm {
+            continue;
+        }
+        let test = pt.test();
+        let l = allowed_states(&lkmm, &test);
+        let c = allowed_states(&c11, &test);
+        // The condition's weak state is in both or in neither.
+        let summary = collect_states(&lkmm, &test, &EnumOptions::default()).unwrap();
+        for (state, count) in &summary.states {
+            if count.satisfies {
+                assert_eq!(
+                    l.contains(&state.0),
+                    c.contains(&state.0),
+                    "{}: weak state membership diverges",
+                    pt.name
+                );
+            }
+        }
+    }
+}

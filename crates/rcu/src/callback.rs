@@ -1,0 +1,228 @@
+//! Asynchronous grace periods: `call_rcu` and `rcu_barrier`.
+//!
+//! The paper's §7 lists "asynchronous RCU grace period primitives,
+//! including `call_rcu` and `rcu_barrier`" as future work for the
+//! axiomatic model. At the *runtime* level they compose naturally with
+//! the Figure 15 algorithm: [`CallRcu`] runs a reclaimer thread that
+//! batches registered callbacks, waits one grace period via
+//! [`Urcu::synchronize_rcu`], and then invokes them — the deferred-free
+//! pattern of Figure 11 without blocking the updater.
+
+use crate::urcu::Urcu;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Callback = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<State>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+struct State {
+    /// Callbacks waiting for the *next* grace period.
+    pending: VecDeque<(u64, Callback)>,
+    /// Ticket counter: a callback completes once `completed >= ticket`.
+    next_ticket: u64,
+    completed: u64,
+}
+
+/// An RCU domain with asynchronous callback processing.
+///
+/// Wraps a [`Urcu`] and owns a background reclaimer thread.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_rcu::callback::CallRcu;
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let rcu = CallRcu::new(2);
+/// let freed = Arc::new(AtomicUsize::new(0));
+/// let f = freed.clone();
+/// rcu.call_rcu(move || { f.fetch_add(1, Ordering::SeqCst); });
+/// rcu.rcu_barrier(); // waits for the callback to have run
+/// assert_eq!(freed.load(Ordering::SeqCst), 1);
+/// ```
+pub struct CallRcu {
+    rcu: Arc<Urcu>,
+    shared: Arc<Shared>,
+    reclaimer: Option<JoinHandle<()>>,
+}
+
+impl CallRcu {
+    /// A new domain for `max_threads` reader threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is 0.
+    pub fn new(max_threads: usize) -> Self {
+        let rcu = Arc::new(Urcu::new(max_threads));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                pending: VecDeque::new(),
+                next_ticket: 0,
+                completed: 0,
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let reclaimer = {
+            let rcu = rcu.clone();
+            let shared = shared.clone();
+            std::thread::spawn(move || reclaimer_loop(&rcu, &shared))
+        };
+        CallRcu { rcu, shared, reclaimer: Some(reclaimer) }
+    }
+
+    /// The underlying synchronous RCU domain (for readers and for
+    /// synchronous grace periods).
+    pub fn domain(&self) -> &Urcu {
+        &self.rcu
+    }
+
+    /// Register `callback` to run after a subsequent grace period — every
+    /// read-side critical section active *now* will have ended before it
+    /// runs. Never blocks.
+    pub fn call_rcu(&self, callback: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        q.pending.push_back((ticket, Box::new(callback)));
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    /// Wait until every callback registered *before* this call has run
+    /// (the kernel's `rcu_barrier`).
+    pub fn rcu_barrier(&self) {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let target = q.next_ticket;
+        while q.completed < target {
+            q = self.shared.cv.wait(q).expect("queue poisoned");
+        }
+    }
+}
+
+impl Drop for CallRcu {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.reclaimer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reclaimer_loop(rcu: &Urcu, shared: &Shared) {
+    loop {
+        // Take the current batch.
+        let batch: Vec<(u64, Callback)> = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            while q.pending.is_empty() {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+            q.pending.drain(..).collect()
+        };
+        // One grace period covers the whole batch: every RSCS that could
+        // observe the about-to-be-retired data has ended afterwards.
+        rcu.synchronize_rcu();
+        let mut max_ticket = 0;
+        for (ticket, cb) in batch {
+            cb();
+            max_ticket = max_ticket.max(ticket + 1);
+        }
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        q.completed = q.completed.max(max_ticket);
+        drop(q);
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn callbacks_run_after_barrier() {
+        let rcu = CallRcu::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = counter.clone();
+            rcu.call_rcu(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        rcu.rcu_barrier();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn barrier_with_no_callbacks_returns() {
+        let rcu = CallRcu::new(1);
+        rcu.rcu_barrier();
+    }
+
+    #[test]
+    fn drop_joins_reclaimer_without_running_pending() {
+        // Dropping with an empty queue terminates cleanly.
+        let rcu = CallRcu::new(2);
+        rcu.call_rcu(|| {});
+        rcu.rcu_barrier();
+        drop(rcu);
+    }
+
+    /// The deferred-free pattern of Figure 11, asynchronous edition:
+    /// readers never observe poisoned slots even though the updater never
+    /// blocks for a grace period itself.
+    #[test]
+    fn asynchronous_deferred_free_guarantee() {
+        const READERS: usize = 2;
+        const POISON: usize = usize::MAX;
+        let rcu = Arc::new(CallRcu::new(READERS));
+        let slots: Arc<[AtomicUsize; 2]> =
+            Arc::new([AtomicUsize::new(1), AtomicUsize::new(POISON)]);
+        let current = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for tid in 0..READERS {
+            let (rcu, slots, current, stop) =
+                (rcu.clone(), slots.clone(), current.clone(), stop.clone());
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let _g = rcu.domain().read_guard(tid);
+                    let idx = current.load(Ordering::Relaxed);
+                    let v = slots[idx].load(Ordering::Relaxed);
+                    assert_ne!(v, POISON, "reader observed an async-freed object");
+                }
+            }));
+        }
+
+        for gen in 2..80usize {
+            let old = current.load(Ordering::Relaxed);
+            // The *new* slot must be safe to reuse: wait for previous
+            // deferred frees to that slot before recycling it.
+            rcu.rcu_barrier();
+            slots[1 - old].store(gen, Ordering::Relaxed);
+            current.store(1 - old, Ordering::Relaxed);
+            let slots2 = slots.clone();
+            rcu.call_rcu(move || {
+                slots2[old].store(POISON, Ordering::Relaxed);
+            });
+        }
+        rcu.rcu_barrier();
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

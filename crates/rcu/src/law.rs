@@ -1,0 +1,194 @@
+//! The fundamental law of RCU (§4.1): existential search over "precedes"
+//! functions.
+
+use lkmm::LkmmRelations;
+use lkmm_exec::Execution;
+use lkmm_litmus::FenceKind;
+use lkmm_relation::Relation;
+
+/// Which side a precedes function picks for one (RSCS, GP) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precedes {
+    /// `F(RSCS, GP) = RSCS`: the critical section precedes the grace
+    /// period.
+    Rscs,
+    /// `F(RSCS, GP) = GP`: the grace period precedes the critical section.
+    Gp,
+}
+
+/// The result of the law check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LawOutcome {
+    /// A witness precedes function (one entry per (RSCS, GP) pair, in
+    /// `(rscs_index, gp_index)` row-major order), if the law holds.
+    pub witness: Option<Vec<Precedes>>,
+    /// Number of (RSCS, GP) pairs.
+    pub pairs: usize,
+}
+
+impl LawOutcome {
+    /// Whether the execution satisfies the fundamental law.
+    pub fn holds(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// `rcu-fence(F)` for a single (RSCS, GP) choice (§4.1):
+///
+/// * RSCS precedes GP: `(e1, u) ∈ po` and `e2 = s ∨ (s, e2) ∈ po`;
+/// * GP precedes RSCS: `(e1, s) ∈ po` and `e2 = l ∨ (l, e2) ∈ po`.
+fn rcu_fence_pair(
+    x: &Execution,
+    lock: usize,
+    unlock: usize,
+    sync: usize,
+    choice: Precedes,
+) -> Relation {
+    let n = x.universe();
+    let mut r = Relation::empty(n);
+    let (before_of, anchor) = match choice {
+        Precedes::Rscs => (unlock, sync),
+        Precedes::Gp => (sync, lock),
+    };
+    let firsts: Vec<usize> = (0..n).filter(|&e| x.po.contains(e, before_of)).collect();
+    let seconds: Vec<usize> =
+        (0..n).filter(|&e| e == anchor || x.po.contains(anchor, e)).collect();
+    for &a in &firsts {
+        for &b in &seconds {
+            r.insert(a, b);
+        }
+    }
+    r
+}
+
+/// Check the fundamental law: does a precedes function `F` exist such that
+/// `pb(F) = prop ; (strong-fence ∪ rcu-fence(F)) ; hb*` is acyclic?
+///
+/// `strong-fence` here is the Figure 12 version (`mb ∪ gp`), matching the
+/// Theorem 1 statement (equivalence with the Pb *and* RCU axioms).
+///
+/// The search is exhaustive over the `2^(|RSCS|·|GP|)` assignments —
+/// litmus-scale executions have at most a handful of pairs.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::enumerate::{enumerate, EnumOptions};
+/// use lkmm_rcu::satisfies_fundamental_law;
+///
+/// let t = lkmm_litmus::library::by_name("RCU-MP").unwrap().test();
+/// let weak = enumerate(&t, &EnumOptions::default()).unwrap()
+///     .into_iter()
+///     .find(|x| x.satisfies_prop(&t.condition.prop))
+///     .unwrap();
+/// assert!(!satisfies_fundamental_law(&weak).holds()); // Figure 10
+/// ```
+pub fn satisfies_fundamental_law(x: &Execution) -> LawOutcome {
+    let r = LkmmRelations::compute(x);
+    satisfies_fundamental_law_with(x, &r)
+}
+
+/// As [`satisfies_fundamental_law`], reusing precomputed relations.
+pub fn satisfies_fundamental_law_with(x: &Execution, r: &LkmmRelations) -> LawOutcome {
+    use lkmm_exec::SrcuKind;
+    // (lock, unlock, sync) triples: the RCU domain plus one set per SRCU
+    // domain — sections only pair with grace periods of their own domain.
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new();
+    let crit: Vec<(usize, usize)> = x.crit().iter().collect();
+    let gps: Vec<usize> =
+        x.events.iter().filter(|e| e.is_fence(FenceKind::SyncRcu)).map(|e| e.id).collect();
+    pairs.extend(crit.iter().flat_map(|&(l, u)| gps.iter().map(move |&s| (l, u, s))));
+    for d in x.srcu_domains() {
+        let crit_d: Vec<(usize, usize)> = x.srcu_crit(d).iter().collect();
+        let gps_d: Vec<usize> = x.srcu_events(SrcuKind::Sync, d).iter().collect();
+        pairs.extend(
+            crit_d.iter().flat_map(|&(l, u)| gps_d.iter().map(move |&s| (l, u, s))),
+        );
+    }
+    let hb_star = r.hb.reflexive_transitive_closure();
+
+    let assignments = 1usize << pairs.len();
+    for mask in 0..assignments {
+        let choices: Vec<Precedes> = (0..pairs.len())
+            .map(|i| if mask & (1 << i) != 0 { Precedes::Rscs } else { Precedes::Gp })
+            .collect();
+        let mut rcu_fence = Relation::empty(x.universe());
+        for (i, &(l, u, s)) in pairs.iter().enumerate() {
+            rcu_fence = rcu_fence.union(&rcu_fence_pair(x, l, u, s, choices[i]));
+        }
+        let pb_f = r.prop.seq(&r.strong_fence.union(&rcu_fence)).seq(&hb_star);
+        if pb_f.is_acyclic() {
+            return LawOutcome { witness: Some(choices), pairs: pairs.len() };
+        }
+    }
+    LawOutcome { witness: None, pairs: pairs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{enumerate, EnumOptions};
+    use lkmm_litmus::library;
+
+    fn executions(name: &str) -> (Vec<Execution>, lkmm_litmus::Test) {
+        let t = library::by_name(name).unwrap().test();
+        (enumerate(&t, &EnumOptions::default()).unwrap(), t)
+    }
+
+    #[test]
+    fn law_rejects_figure10_and_figure11_weak_outcomes() {
+        for name in ["RCU-MP", "RCU-deferred-free"] {
+            let (execs, t) = executions(name);
+            let mut weak_seen = 0;
+            for x in &execs {
+                let out = satisfies_fundamental_law(x);
+                if x.satisfies_prop(&t.condition.prop) {
+                    weak_seen += 1;
+                    assert!(!out.holds(), "{name}: law must reject the weak outcome");
+                }
+            }
+            assert!(weak_seen > 0, "{name}: weak outcome missing");
+        }
+    }
+
+    #[test]
+    fn law_accepts_strong_outcomes_with_witness() {
+        let (execs, t) = executions("RCU-MP");
+        let mut accepted = 0;
+        for x in &execs {
+            if !x.satisfies_prop(&t.condition.prop) {
+                let out = satisfies_fundamental_law(x);
+                if out.holds() {
+                    accepted += 1;
+                    assert_eq!(out.pairs, 1, "one RSCS × one GP");
+                    assert_eq!(out.witness.as_ref().unwrap().len(), 1);
+                }
+            }
+        }
+        assert!(accepted > 0, "some strong outcome must satisfy the law");
+    }
+
+    #[test]
+    fn law_is_trivial_without_rcu() {
+        // With no RSCS and no GP the law degenerates to the Pb axiom.
+        let (execs, _) = executions("SB+mbs");
+        for x in &execs {
+            let out = satisfies_fundamental_law(x);
+            assert_eq!(out.pairs, 0);
+            let r = LkmmRelations::compute(x);
+            assert_eq!(out.holds(), r.pb.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn both_precedes_choices_fail_on_figure10() {
+        // §4.1 walks through both cases for Figure 10: each produces a
+        // pb(F) cycle. Verify by checking the law outcome has no witness
+        // despite 2 assignments being tried.
+        let (execs, t) = executions("RCU-MP");
+        let weak = execs.iter().find(|x| x.satisfies_prop(&t.condition.prop)).unwrap();
+        let out = satisfies_fundamental_law(weak);
+        assert_eq!(out.pairs, 1);
+        assert!(out.witness.is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Read-Copy-Update: the fundamental law, the RCU axiom, their
+//! equivalence (Theorem 1), and the Figure 15 implementation (Theorem 2).
+//!
+//! The paper formalises RCU twice:
+//!
+//! * **The fundamental law** (§4.1): *read-side critical sections cannot
+//!   span grace periods*. Formally, there must exist a "precedes" function
+//!   `F` choosing, for every (RSCS, GP) pair, which one precedes the
+//!   other, such that the enlarged `pb(F)` relation is acyclic
+//!   ([`law::satisfies_fundamental_law`]).
+//! * **The RCU axiom** (§4.2, Figure 12): `rcu-path` — sequences of
+//!   grace-period and critical-section links with at least as many GPs as
+//!   RSCSes — must be irreflexive (computed in `lkmm::LkmmRelations`).
+//!
+//! **Theorem 1** states the two are equivalent (given the Pb axiom);
+//! [`theorem1::check_equivalence`] verifies this on every candidate
+//! execution it is given, and the test suite runs it across the whole
+//! litmus library.
+//!
+//! [`callback`] extends the runtime with the asynchronous primitives the
+//! paper's §7 leaves as future work (`call_rcu`, `rcu_barrier`).
+//!
+//! **Theorem 2** states that the userspace RCU implementation of
+//! Figure 15 satisfies the law: [`impl_verify::expand_rcu`] substitutes
+//! the implementation into a litmus test (grace-period wait loops modelled
+//! by their final iteration via `__assume`), and the test suite checks
+//! that the expanded programs forbid exactly what the abstract RCU
+//! primitives forbid. [`urcu`] is the same algorithm as a *runtime*
+//! library on real threads, stress-tested for the grace-period guarantee.
+
+pub mod callback;
+pub mod impl_verify;
+pub mod law;
+pub mod theorem1;
+pub mod urcu;
+
+pub use callback::CallRcu;
+pub use impl_verify::{expand_rcu, ExpandError};
+pub use law::{satisfies_fundamental_law, LawOutcome};
+pub use theorem1::check_equivalence;
+pub use urcu::Urcu;

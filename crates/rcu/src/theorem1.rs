@@ -1,0 +1,115 @@
+//! Theorem 1 (RCU guarantee): the RCU axiom is equivalent to the
+//! fundamental law.
+//!
+//! The paper proves that a candidate execution satisfies the Pb and RCU
+//! axioms iff it satisfies the fundamental law. We verify this
+//! *empirically*: [`check_equivalence`] decides both sides independently
+//! on a given execution and reports any disagreement; the test suite runs
+//! it across every candidate execution of the litmus library (and the
+//! generator fuzzes it further).
+
+use crate::law::satisfies_fundamental_law_with;
+use lkmm::LkmmRelations;
+use lkmm_exec::Execution;
+
+/// The two sides of Theorem 1 for one execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Equivalence {
+    /// `acyclic(pb) ∧ irreflexive(rcu-path)` — the axioms side.
+    pub axioms: bool,
+    /// `∃F. acyclic(pb(F))` — the fundamental-law side.
+    pub law: bool,
+}
+
+impl Equivalence {
+    /// Whether the two formalisations agree, as Theorem 1 guarantees.
+    pub fn agree(&self) -> bool {
+        self.axioms == self.law
+    }
+}
+
+/// Evaluate both sides of Theorem 1 on one candidate execution.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::enumerate::{enumerate, EnumOptions};
+/// use lkmm_rcu::check_equivalence;
+///
+/// let t = lkmm_litmus::library::by_name("RCU-deferred-free").unwrap().test();
+/// for x in enumerate(&t, &EnumOptions::default()).unwrap() {
+///     assert!(check_equivalence(&x).agree());
+/// }
+/// ```
+pub fn check_equivalence(x: &Execution) -> Equivalence {
+    let r = LkmmRelations::compute(x);
+    let axioms = r.pb.is_acyclic()
+        && r.rcu_path.is_irreflexive()
+        && r.srcu_paths.iter().all(|p| p.is_irreflexive());
+    let law = satisfies_fundamental_law_with(x, &r).holds();
+    Equivalence { axioms, law }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::enumerate::{for_each_execution, EnumOptions};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn theorem1_holds_on_every_library_candidate() {
+        let mut checked = 0usize;
+        for pt in library::all() {
+            let t = pt.test();
+            for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+                let eq = check_equivalence(x);
+                assert!(
+                    eq.agree(),
+                    "{}: axioms={} law={}\n{x}",
+                    pt.name,
+                    eq.axioms,
+                    eq.law
+                );
+                checked += 1;
+            })
+            .unwrap();
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn theorem1_holds_on_raw_candidates_of_rcu_tests() {
+        let opts = EnumOptions { prune_scpv: false, ..Default::default() };
+        for name in ["RCU-MP", "RCU-deferred-free"] {
+            let t = library::by_name(name).unwrap().test();
+            for_each_execution(&t, &opts, &mut |x| {
+                assert!(check_equivalence(x).agree(), "{name}\n{x}");
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn theorem1_on_multi_gp_multi_rscs() {
+        // Two RSCSes and two GPs: 16 precedes functions, recursion depth
+        // in rcu-path > 1.
+        let t = lkmm_litmus::parse(
+            "C rcu-2x2\n{ a=0; b=0; c=0; d=0; }\n\
+             P0(int *a, int *b, int *c, int *d) { int r0; int r1; \
+               rcu_read_lock(); r0 = READ_ONCE(*a); r1 = READ_ONCE(*b); rcu_read_unlock(); \
+               rcu_read_lock(); WRITE_ONCE(*c, 1); rcu_read_unlock(); }\n\
+             P1(int *a, int *b, int *c, int *d) { int r2; \
+               WRITE_ONCE(*b, 1); synchronize_rcu(); WRITE_ONCE(*a, 1); \
+               r2 = READ_ONCE(*c); synchronize_rcu(); WRITE_ONCE(*d, 1); }\n\
+             exists (0:r0=1 /\\ 0:r1=0)",
+        )
+        .unwrap();
+        let mut checked = 0usize;
+        for_each_execution(&t, &EnumOptions::default(), &mut |x| {
+            assert!(check_equivalence(x).agree(), "{x}");
+            checked += 1;
+        })
+        .unwrap();
+        assert!(checked > 0);
+    }
+}

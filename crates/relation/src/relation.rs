@@ -1,0 +1,476 @@
+//! Binary relations over a fixed universe of events.
+
+use crate::{iter_bits, word_and_bit, words_for, EventSet};
+use std::fmt;
+
+/// A binary relation over a universe of `n` events, stored as a bitset
+/// adjacency matrix (`rows[i]` is the successor set of event `i`).
+///
+/// All the operators used by cat models are provided: union, intersection,
+/// difference, complement, inverse, relational sequence, reflexive /
+/// transitive / reflexive-transitive closures, restriction by domain/range
+/// sets, and the acyclicity / irreflexivity / emptiness checks that form
+/// model axioms.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_relation::Relation;
+///
+/// let r = Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert!(r.transitive_closure().contains(0, 3));
+/// assert!(r.is_acyclic());
+/// assert!(!r.union(&Relation::from_pairs(4, [(3, 0)])).is_acyclic());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    n: usize,
+    row_words: usize,
+    rows: Vec<u64>,
+}
+
+impl Relation {
+    /// The empty relation over `n` events.
+    pub fn empty(n: usize) -> Self {
+        let row_words = words_for(n);
+        Relation { n, row_words, rows: vec![0; row_words * n] }
+    }
+
+    /// The identity relation `{(e, e)}` over `n` events.
+    pub fn identity(n: usize) -> Self {
+        let mut r = Self::empty(n);
+        for i in 0..n {
+            r.insert(i, i);
+        }
+        r
+    }
+
+    /// The full relation `n × n`.
+    pub fn full(n: usize) -> Self {
+        EventSet::full(n).cross(&EventSet::full(n))
+    }
+
+    /// Build a relation from `(from, to)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut r = Self::empty(n);
+        for (a, b) in pairs {
+            r.insert(a, b);
+        }
+        r
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Add the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= universe()` or `b >= universe()`.
+    pub fn insert(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe {}", self.n);
+        let (w, bit) = word_and_bit(b);
+        self.rows[a * self.row_words + w] |= bit;
+    }
+
+    /// Remove the pair `(a, b)` if present.
+    pub fn remove(&mut self, a: usize, b: usize) {
+        if a < self.n && b < self.n {
+            let (w, bit) = word_and_bit(b);
+            self.rows[a * self.row_words + w] &= !bit;
+        }
+    }
+
+    /// Whether `(a, b)` is in the relation.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        if a >= self.n || b >= self.n {
+            return false;
+        }
+        let (w, bit) = word_and_bit(b);
+        self.rows[a * self.row_words + w] & bit != 0
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate all pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |a| self.successors(a).map(move |b| (a, b)))
+    }
+
+    /// Iterate the successors of `a`.
+    pub fn successors(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        iter_bits(self.row(a), self.n)
+    }
+
+    fn row(&self, a: usize) -> &[u64] {
+        &self.rows[a * self.row_words..(a + 1) * self.row_words]
+    }
+
+    /// Union of two relations.
+    pub fn union(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Intersection of two relations.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Complement with respect to `n × n`.
+    pub fn complement(&self) -> Relation {
+        let mut out = self.clone();
+        for w in &mut out.rows {
+            *w = !*w;
+        }
+        out.mask_tails();
+        out
+    }
+
+    /// Inverse relation `r⁻¹ = {(b, a) | (a, b) ∈ r}`.
+    pub fn inverse(&self) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, b) in self.iter() {
+            out.insert(b, a);
+        }
+        out
+    }
+
+    /// Relational sequence `self ; other`.
+    ///
+    /// `(a, c)` is in the result iff there is `b` with `(a, b) ∈ self` and
+    /// `(b, c) ∈ other`.
+    pub fn seq(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut out = Relation::empty(self.n);
+        for a in 0..self.n {
+            let out_row = {
+                let mut acc = vec![0u64; self.row_words];
+                for b in self.successors(a) {
+                    for (w, &word) in other.row(b).iter().enumerate() {
+                        acc[w] |= word;
+                    }
+                }
+                acc
+            };
+            out.rows[a * self.row_words..(a + 1) * self.row_words].copy_from_slice(&out_row);
+        }
+        out
+    }
+
+    /// Reflexive closure `r?`.
+    pub fn reflexive(&self) -> Relation {
+        self.union(&Relation::identity(self.n))
+    }
+
+    /// Transitive closure `r⁺` (Floyd–Warshall over bitset rows).
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        for k in 0..self.n {
+            let row_k = out.row(k).to_vec();
+            for a in 0..self.n {
+                if out.contains(a, k) {
+                    let base = a * self.row_words;
+                    for (w, &word) in row_k.iter().enumerate() {
+                        out.rows[base + w] |= word;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure `r*`.
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        self.transitive_closure().reflexive()
+    }
+
+    /// Restrict the domain to `s`: `[s] ; r`.
+    pub fn restrict_domain(&self, s: &EventSet) -> Relation {
+        assert_eq!(self.n, s.universe(), "universe mismatch");
+        let mut out = self.clone();
+        for a in 0..self.n {
+            if !s.contains(a) {
+                let base = a * self.row_words;
+                out.rows[base..base + self.row_words].fill(0);
+            }
+        }
+        out
+    }
+
+    /// Restrict the range to `s`: `r ; [s]`.
+    pub fn restrict_range(&self, s: &EventSet) -> Relation {
+        assert_eq!(self.n, s.universe(), "universe mismatch");
+        let mut out = self.clone();
+        for a in 0..self.n {
+            let base = a * self.row_words;
+            for (w, &mask) in s.words().iter().enumerate() {
+                out.rows[base + w] &= mask;
+            }
+        }
+        out
+    }
+
+    /// The set of events with at least one successor.
+    pub fn domain(&self) -> EventSet {
+        EventSet::from_iter(self.n, (0..self.n).filter(|&a| self.successors(a).next().is_some()))
+    }
+
+    /// The set of events with at least one predecessor.
+    pub fn range(&self) -> EventSet {
+        let mut acc = vec![0u64; self.row_words];
+        for a in 0..self.n {
+            for (w, &word) in self.row(a).iter().enumerate() {
+                acc[w] |= word;
+            }
+        }
+        EventSet::from_iter(self.n, iter_bits(&acc, self.n))
+    }
+
+    /// Whether the relation contains no pair `(e, e)`.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.contains(i, i))
+    }
+
+    /// Whether the relation is acyclic (its transitive closure is
+    /// irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        // DFS three-colour cycle detection: cheaper than full closure.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.n];
+        // Iterative DFS with explicit stack of (node, successor iterator position).
+        for start in 0..self.n {
+            if colour[start] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, Vec<usize>, usize)> =
+                vec![(start, self.successors(start).collect(), 0)];
+            colour[start] = Colour::Grey;
+            while let Some((node, succs, idx)) = stack.last_mut() {
+                if *idx < succs.len() {
+                    let next = succs[*idx];
+                    *idx += 1;
+                    match colour[next] {
+                        Colour::Grey => return false,
+                        Colour::White => {
+                            colour[next] = Colour::Grey;
+                            let nsuccs: Vec<usize> = self.successors(next).collect();
+                            stack.push((next, nsuccs, 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[*node] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Find one cycle, as a sequence of events `e0 → e1 → … → e0`, if any.
+    ///
+    /// Useful for explaining *why* a model forbids an execution.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // DFS with an explicit path stack: a back-edge to a node on the
+        // current path closes a cycle; return the stack suffix from it.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.n];
+        for start in 0..self.n {
+            if colour[start] != Colour::White {
+                continue;
+            }
+            let mut path: Vec<usize> = vec![start];
+            let mut iters: Vec<Vec<usize>> = vec![self.successors(start).collect()];
+            let mut pos: Vec<usize> = vec![0];
+            colour[start] = Colour::Grey;
+            while let Some(&node) = path.last() {
+                let top = path.len() - 1;
+                if pos[top] < iters[top].len() {
+                    let next = iters[top][pos[top]];
+                    pos[top] += 1;
+                    match colour[next] {
+                        Colour::Grey => {
+                            let from = path.iter().position(|&p| p == next).expect("grey on path");
+                            return Some(path[from..].to_vec());
+                        }
+                        Colour::White => {
+                            colour[next] = Colour::Grey;
+                            path.push(next);
+                            iters.push(self.successors(next).collect());
+                            pos.push(0);
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[node] = Colour::Black;
+                    path.pop();
+                    iters.pop();
+                    pos.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Cartesian product of two event sets as a relation.
+    pub fn cross_sets(a: &EventSet, b: &EventSet) -> Relation {
+        a.cross(b)
+    }
+
+    fn zip(&self, other: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let rows = self.rows.iter().zip(&other.rows).map(|(&a, &b)| f(a, b)).collect();
+        let mut r = Relation { n: self.n, row_words: self.row_words, rows };
+        r.mask_tails();
+        r
+    }
+
+    fn mask_tails(&mut self) {
+        let rem = self.n % crate::WORD_BITS;
+        if rem != 0 && self.row_words > 0 {
+            let mask = (1u64 << rem) - 1;
+            for a in 0..self.n {
+                self.rows[a * self.row_words + self.row_words - 1] &= mask;
+            }
+        }
+    }
+}
+
+impl EventSet {
+    /// Cartesian product `self × other` as a relation.
+    pub fn cross(&self, other: &EventSet) -> Relation {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        let mut r = Relation::empty(self.universe());
+        for a in self.iter() {
+            for b in other.iter() {
+                r.insert(a, b);
+            }
+        }
+        r
+    }
+
+    /// The identity relation restricted to this set: `[S]`.
+    pub fn as_identity(&self) -> Relation {
+        let mut r = Relation::empty(self.universe());
+        for a in self.iter() {
+            r.insert(a, a);
+        }
+        r
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut r = Relation::empty(70);
+        r.insert(0, 69);
+        r.insert(69, 0);
+        assert!(r.contains(0, 69) && r.contains(69, 0) && !r.contains(0, 0));
+        assert_eq!(r.len(), 2);
+        r.remove(0, 69);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn seq_composes() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+        let s = Relation::from_pairs(4, [(1, 3), (2, 3)]);
+        let rs = r.seq(&s);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn closure_and_acyclicity() {
+        let chain = Relation::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let tc = chain.transitive_closure();
+        assert!(tc.contains(0, 4));
+        assert!(chain.is_acyclic());
+        let cyc = chain.union(&Relation::from_pairs(5, [(4, 0)]));
+        assert!(!cyc.is_acyclic());
+        assert!(!cyc.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn find_cycle_returns_valid_cycle() {
+        let r = Relation::from_pairs(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let cycle = r.find_cycle().unwrap();
+        assert!(cycle.len() >= 2);
+        for w in cycle.windows(2) {
+            assert!(r.contains(w[0], w[1]));
+        }
+        assert!(r.contains(*cycle.last().unwrap(), cycle[0]));
+        assert!(Relation::from_pairs(6, [(0, 1)]).find_cycle().is_none());
+    }
+
+    #[test]
+    fn inverse_and_identity() {
+        let r = Relation::from_pairs(3, [(0, 2)]);
+        assert!(r.inverse().contains(2, 0));
+        let id = Relation::identity(3);
+        assert_eq!(r.seq(&id), r);
+        assert_eq!(id.seq(&r), r);
+    }
+
+    #[test]
+    fn restriction_and_domain_range() {
+        let r = Relation::from_pairs(4, [(0, 1), (2, 3)]);
+        let evens = EventSet::from_iter(4, [0, 2]);
+        assert_eq!(r.restrict_domain(&evens), r);
+        assert_eq!(r.restrict_range(&evens).len(), 0);
+        assert_eq!(r.domain(), evens);
+        assert_eq!(r.range(), EventSet::from_iter(4, [1, 3]));
+    }
+
+    #[test]
+    fn cross_and_set_identity() {
+        let a = EventSet::from_iter(4, [0, 1]);
+        let b = EventSet::from_iter(4, [3]);
+        let r = a.cross(&b);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 3), (1, 3)]);
+        assert_eq!(a.as_identity().len(), 2);
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let r = Relation::empty(3);
+        assert_eq!(r.complement().len(), 9);
+    }
+}

@@ -1,0 +1,217 @@
+//! Sets of events over a fixed universe.
+
+use crate::{iter_bits, word_and_bit, words_for};
+use std::fmt;
+
+/// A set of events drawn from a universe of `n` events.
+///
+/// Backed by a bitmask; all operations are word-parallel. Sets from different
+/// universes must not be mixed (checked by `debug_assert`/panic).
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_relation::EventSet;
+///
+/// let a = EventSet::from_iter(8, [0, 2, 4]);
+/// let b = EventSet::from_iter(8, [2, 3]);
+/// assert_eq!(a.intersection(&b), EventSet::from_iter(8, [2]));
+/// assert_eq!(a.union(&b).len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct EventSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl EventSet {
+    /// The empty set over a universe of `n` events.
+    pub fn empty(n: usize) -> Self {
+        EventSet { n, words: vec![0; words_for(n)] }
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Build a set from an iterator of event indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`.
+    pub fn from_iter(n: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(n);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size this set was created with.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Insert event `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe()`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.n, "event {i} out of universe {}", self.n);
+        let (w, b) = word_and_bit(i);
+        self.words[w] |= b;
+    }
+
+    /// Remove event `i` if present.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.n {
+            let (w, b) = word_and_bit(i);
+            self.words[w] &= !b;
+        }
+    }
+
+    /// Whether event `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.n {
+            return false;
+        }
+        let (w, b) = word_and_bit(i);
+        self.words[w] & b != 0
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_bits(&self.words, self.n)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &EventSet) -> EventSet {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Complement with respect to the universe.
+    pub fn complement(&self) -> EventSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &EventSet) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    fn zip(&self, other: &EventSet, f: impl Fn(u64, u64) -> u64) -> EventSet {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let mut s = EventSet { n: self.n, words };
+        s.mask_tail();
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.n % crate::WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for EventSet {
+    /// Collects into a set whose universe is `MAX_EVENTS`; prefer
+    /// [`EventSet::from_iter`] with an explicit universe when sizes matter.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        EventSet::from_iter(crate::MAX_EVENTS, iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = EventSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = EventSet::full(10);
+        assert_eq!(f.len(), 10);
+        assert!(e.is_subset(&f));
+        assert_eq!(f.complement(), e);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = EventSet::empty(70);
+        s.insert(0);
+        s.insert(65);
+        assert!(s.contains(0) && s.contains(65) && !s.contains(64));
+        s.remove(65);
+        assert!(!s.contains(65));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = EventSet::from_iter(8, [0, 1, 2]);
+        let b = EventSet::from_iter(8, [2, 3]);
+        assert_eq!(a.union(&b), EventSet::from_iter(8, [0, 1, 2, 3]));
+        assert_eq!(a.intersection(&b), EventSet::from_iter(8, [2]));
+        assert_eq!(a.difference(&b), EventSet::from_iter(8, [0, 1]));
+        assert_eq!(b.complement(), EventSet::from_iter(8, [0, 1, 4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = EventSet::from_iter(100, [99, 3, 64]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        EventSet::empty(4).insert(4);
+    }
+}

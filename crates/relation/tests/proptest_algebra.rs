@@ -1,0 +1,131 @@
+//! Property-based tests: the relation algebra must satisfy the laws the
+//! cat language relies on.
+
+use lkmm_relation::{EventSet, Relation};
+use proptest::prelude::*;
+
+const N: usize = 10;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..N, 0..N), 0..25)
+        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+}
+
+fn arb_set() -> impl Strategy<Value = EventSet> {
+    proptest::collection::vec(0..N, 0..N).prop_map(|xs| EventSet::from_iter(N, xs))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn seq_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.seq(&b).seq(&c), a.seq(&b.seq(&c)));
+    }
+
+    #[test]
+    fn seq_distributes_over_union(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.seq(&b.union(&c)), a.seq(&b).union(&a.seq(&c)));
+        prop_assert_eq!(b.union(&c).seq(&a), b.seq(&a).union(&c.seq(&a)));
+    }
+
+    #[test]
+    fn identity_is_seq_neutral(a in arb_relation()) {
+        let id = Relation::identity(N);
+        prop_assert_eq!(a.seq(&id), a.clone());
+        prop_assert_eq!(id.seq(&a), a);
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_antidistributes(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.inverse().inverse(), a.clone());
+        prop_assert_eq!(a.seq(&b).inverse(), b.inverse().seq(&a.inverse()));
+    }
+
+    #[test]
+    fn transitive_closure_is_a_closure(a in arb_relation()) {
+        let tc = a.transitive_closure();
+        // Contains the original, transitive, idempotent.
+        prop_assert!(a.difference(&tc).is_empty());
+        prop_assert_eq!(tc.seq(&tc).difference(&tc).len(), 0);
+        prop_assert_eq!(tc.transitive_closure(), tc);
+    }
+
+    #[test]
+    fn closure_matches_iterated_sequence(a in arb_relation()) {
+        // r+ = r ∪ r;r ∪ r;r;r ∪ … (fixpoint).
+        let mut acc = a.clone();
+        loop {
+            let next = acc.union(&acc.seq(&a));
+            if next == acc { break; }
+            acc = next;
+        }
+        prop_assert_eq!(acc, a.transitive_closure());
+    }
+
+    #[test]
+    fn acyclicity_agrees_with_closure_irreflexivity(a in arb_relation()) {
+        prop_assert_eq!(a.is_acyclic(), a.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn find_cycle_is_consistent_with_acyclicity(a in arb_relation()) {
+        match a.find_cycle() {
+            None => prop_assert!(a.is_acyclic()),
+            Some(cycle) => {
+                prop_assert!(!a.is_acyclic());
+                prop_assert!(!cycle.is_empty());
+                for w in cycle.windows(2) {
+                    prop_assert!(a.contains(w[0], w[1]));
+                }
+                prop_assert!(a.contains(*cycle.last().unwrap(), cycle[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_for_relations(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+    }
+
+    #[test]
+    fn restriction_equals_identity_composition(a in arb_relation(), s in arb_set(), t in arb_set()) {
+        prop_assert_eq!(a.restrict_domain(&s), s.as_identity().seq(&a));
+        prop_assert_eq!(a.restrict_range(&t), a.seq(&t.as_identity()));
+    }
+
+    #[test]
+    fn domain_range_of_cross(s in arb_set(), t in arb_set()) {
+        let r = s.cross(&t);
+        if !t.is_empty() {
+            prop_assert_eq!(r.domain(), s.clone());
+        }
+        if !s.is_empty() {
+            prop_assert_eq!(r.range(), t);
+        }
+    }
+
+    #[test]
+    fn set_algebra_laws(s in arb_set(), t in arb_set()) {
+        prop_assert_eq!(s.union(&t), t.union(&s));
+        prop_assert_eq!(s.difference(&t), s.intersection(&t.complement()));
+        prop_assert!(s.intersection(&t).is_subset(&s));
+        prop_assert!(s.is_subset(&s.union(&t)));
+        prop_assert_eq!(s.complement().complement(), s);
+    }
+
+    #[test]
+    fn reflexive_closures_compose(a in arb_relation()) {
+        // r* = (r?)⁺ = (r⁺)?
+        let star = a.reflexive_transitive_closure();
+        prop_assert_eq!(a.reflexive().transitive_closure(), star.clone());
+        prop_assert_eq!(a.transitive_closure().reflexive(), star);
+    }
+}

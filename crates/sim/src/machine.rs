@@ -1,0 +1,1188 @@
+//! The parametric operational machine.
+//!
+//! One machine skeleton covers all four architectures:
+//!
+//! * threads *issue* statements in program order (no branch speculation —
+//!   control dependencies stall issue until the branch inputs are ready);
+//! * issued operations sit in a bounded window and *perform* out of order,
+//!   subject to per-architecture readiness rules (same-location program
+//!   order, dependencies, fences, acquire/release);
+//! * on x86 the window is in-order and stores retire into a FIFO *store
+//!   buffer* drained asynchronously (TSO);
+//! * on Power a performed store is appended to its location's coherence
+//!   list and *propagates* to each other thread at an independent random
+//!   time, subject to cumulativity constraints carried as per-write
+//!   dependency sets (release: everything observed; after `smp_wmb`: own
+//!   earlier stores).
+//!
+//! Registers are SSA-renamed at issue so reused register names never
+//! alias across loop-free program order.
+
+use lkmm_exec::{LocId, Val};
+use lkmm_litmus::ast::{AddrExpr, BinOp, Expr, FenceKind, RmwOrder, Stmt, Test};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simulated architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// In-order + FIFO store buffer (TSO).
+    X86,
+    /// Out-of-order, multi-copy atomic, native acquire/release.
+    Armv8,
+    /// Out-of-order, multi-copy atomic, acquire/release via full `dmb`.
+    Armv7,
+    /// Out-of-order, non-multi-copy-atomic store propagation.
+    Power,
+    /// DEC Alpha: like Power, but with banked caches — a load may return
+    /// a *stale* coherence version unless `smp_read_barrier_depends` (or
+    /// a stronger barrier) has synchronised the banks. The only machine
+    /// on which a dependent read can bypass its producer's ordering
+    /// (§3.2.2: the reason `strong-rrdep` needs the barrier).
+    Alpha,
+}
+
+impl Arch {
+    /// The paper's Table 5 testbeds, in column order.
+    pub const ALL: [Arch; 4] = [Arch::Power, Arch::Armv8, Arch::Armv7, Arch::X86];
+
+    /// All simulated architectures including Alpha.
+    pub const ALL_WITH_ALPHA: [Arch; 5] =
+        [Arch::Power, Arch::Armv8, Arch::Armv7, Arch::X86, Arch::Alpha];
+
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::X86 => "X86",
+            Arch::Armv8 => "ARMv8",
+            Arch::Armv7 => "ARMv7",
+            Arch::Power => "Power8",
+            Arch::Alpha => "Alpha",
+        }
+    }
+
+    fn in_order(self) -> bool {
+        self == Arch::X86
+    }
+
+    fn store_buffer(self) -> bool {
+        self == Arch::X86
+    }
+
+    fn multi_copy_atomic(self) -> bool {
+        !matches!(self, Arch::Power | Arch::Alpha)
+    }
+
+    fn stale_dependent_reads(self) -> bool {
+        self == Arch::Alpha
+    }
+
+    /// ARMv7 maps acquire/release to `dmb`-based full fences (§3.2.2).
+    fn full_barrier_acq_rel(self) -> bool {
+        self == Arch::Armv7
+    }
+}
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// `__assume` is an axiomatic-modelling construct; the operational
+    /// machine does not support it.
+    Unsupported(&'static str),
+    /// No action is enabled but threads are unfinished (e.g. a grace
+    /// period waiting on a never-closed critical section).
+    Deadlock,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Unsupported(what) => write!(f, "unsupported in simulation: {what}"),
+            MachineError::Deadlock => write!(f, "simulation deadlock"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// In-window operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Load { dst: String, loc: usize, acquire: bool },
+    Store { loc: usize, value: Expr, release: bool },
+    /// Atomic read-modify-write. `expected` of `Some` makes it a
+    /// compare-and-swap whose success is decided at perform time;
+    /// `must_succeed` additionally delays scheduling until it would
+    /// succeed (spin_lock: spin until the lock is free).
+    Rmw {
+        dst: String,
+        loc: usize,
+        value: Expr,
+        expected: Option<Expr>,
+        acquire: bool,
+        release: bool,
+        must_succeed: bool,
+        /// Arithmetic RMW: final value = old `op` eval(value); `dst_new`
+        /// selects whether `dst` receives the new value instead of the old.
+        compute: Option<BinOp>,
+        dst_new: bool,
+    },
+    Fence(SimFence),
+    RcuLock,
+    RcuUnlock,
+    /// SRCU section markers for one domain (a location index).
+    SrcuLock { domain: usize },
+    SrcuUnlock { domain: usize },
+    /// Grace-period wait; `domain` of `None` is RCU, `Some(d)` is the
+    /// SRCU domain `d`. The epoch snapshot is taken when the op reaches
+    /// the head of the window.
+    GpWait { domain: Option<usize>, snapshot: Option<Vec<u64>> },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimFence {
+    Rmb,
+    Wmb,
+    Mb,
+    /// Alpha bank synchronisation (`smp_read_barrier_depends`).
+    RbDep,
+}
+
+#[derive(Clone, Debug)]
+struct WindowEntry {
+    op: Op,
+    performed: bool,
+}
+
+/// One coherence-ordered write version (Power memory system).
+#[derive(Clone, Debug)]
+struct Version {
+    val: Val,
+    /// Visibility prerequisites: `(loc, pos)` pairs that must already be
+    /// visible to a thread before this version may propagate to it.
+    deps: Vec<(usize, usize)>,
+}
+
+#[derive(Clone)]
+struct ThreadState<'a> {
+    /// Statement cursor: stack of (block, next index).
+    frames: Vec<(&'a [Stmt], usize)>,
+    window: Vec<WindowEntry>,
+    /// SSA register values (filled at perform).
+    regs: HashMap<String, Val>,
+    /// Source register name → current SSA name.
+    rename: HashMap<String, String>,
+    ssa_counter: usize,
+    /// x86 store buffer: FIFO of (loc, val).
+    buffer: Vec<(usize, Val)>,
+    /// Own latest committed coherence position per location (Power).
+    own_latest: HashMap<usize, usize>,
+    /// Coherence positions snapshotted at the last `smp_wmb` (Power).
+    wmb_snapshot: Vec<(usize, usize)>,
+    /// Alpha: per-location lower bound on the version a load may return
+    /// (raised by own accesses and by `smp_read_barrier_depends`/`smp_mb`;
+    /// staleness below the *view* is otherwise allowed — banked caches).
+    read_floor: Vec<usize>,
+}
+
+impl<'a> ThreadState<'a> {
+    fn done(&self) -> bool {
+        self.frames.is_empty() && self.window.iter().all(|e| e.performed)
+    }
+}
+
+/// The whole machine for one run.
+#[derive(Clone)]
+pub(crate) struct Machine<'a> {
+    arch: Arch,
+    locs: Vec<String>,
+    threads: Vec<ThreadState<'a>>,
+    /// MCA global memory.
+    mem: Vec<Val>,
+    /// Power: coherence version lists per location (index 0 = initial).
+    versions: Vec<Vec<Version>>,
+    /// Power: per thread, per location, visible version index.
+    view: Vec<Vec<usize>>,
+    /// RCU bookkeeping.
+    nesting: Vec<u64>,
+    lock_epoch: Vec<u64>,
+    /// Per-thread, per-SRCU-domain nesting and epochs.
+    srcu_nesting: Vec<HashMap<usize, u64>>,
+    srcu_epoch: Vec<HashMap<usize, u64>>,
+    window_cap: usize,
+}
+
+/// An enabled scheduler action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Action {
+    Issue(usize),
+    /// Perform window op `1` of thread `0`; on Alpha, loads carry the
+    /// coherence version the (possibly stale) bank returns.
+    Perform(usize, usize, Option<usize>),
+    Drain(usize),
+    Propagate { dst: usize, loc: usize },
+}
+
+impl<'a> Machine<'a> {
+    pub(crate) fn new(
+        test: &'a Test,
+        locs: &[String],
+        init: &[Val],
+        arch: Arch,
+    ) -> Machine<'a> {
+        let n = test.threads.len();
+        Machine {
+            arch,
+            locs: locs.to_vec(),
+            threads: test
+                .threads
+                .iter()
+                .map(|t| ThreadState {
+                    frames: vec![(t.body.as_slice(), 0)],
+                    window: Vec::new(),
+                    regs: HashMap::new(),
+                    rename: HashMap::new(),
+                    ssa_counter: 0,
+                    buffer: Vec::new(),
+                    own_latest: HashMap::new(),
+                    wmb_snapshot: Vec::new(),
+                    read_floor: vec![0; init.len()],
+                })
+                .collect(),
+            mem: init.to_vec(),
+            versions: init.iter().map(|&v| vec![Version { val: v, deps: Vec::new() }]).collect(),
+            view: vec![vec![0; init.len()]; n],
+            nesting: vec![0; n],
+            lock_epoch: vec![0; n],
+            srcu_nesting: vec![HashMap::new(); n],
+            srcu_epoch: vec![HashMap::new(); n],
+            window_cap: if arch == Arch::Armv7 { 4 } else { 8 },
+        }
+    }
+
+    /// Run to completion under the given RNG.
+    pub(crate) fn run(&mut self, rng: &mut StdRng) -> Result<(), MachineError> {
+        loop {
+            let actions = self.enabled_actions();
+            if actions.is_empty() {
+                if self.threads.iter().all(|t| t.done())
+                    && self.threads.iter().all(|t| t.buffer.is_empty())
+                {
+                    return Ok(());
+                }
+                return Err(MachineError::Deadlock);
+            }
+            let a = actions[rng.gen_range(0..actions.len())];
+            self.execute(a)?;
+        }
+    }
+
+    /// Final value of each location.
+    pub(crate) fn final_memory(&self) -> Vec<Val> {
+        if self.arch.multi_copy_atomic() {
+            self.mem.clone()
+        } else {
+            self.versions.iter().map(|v| v.last().unwrap().val).collect()
+        }
+    }
+
+    /// Final value of a source-level register in a thread.
+    pub(crate) fn final_reg(&self, thread: usize, reg: &str) -> Option<Val> {
+        let t = &self.threads[thread];
+        let ssa = t.rename.get(reg)?;
+        t.regs.get(ssa).copied()
+    }
+
+    pub(crate) fn enabled_actions(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        for tid in 0..self.threads.len() {
+            if self.can_issue(tid) {
+                out.push(Action::Issue(tid));
+            }
+            for i in 0..self.threads[tid].window.len() {
+                if !self.threads[tid].window[i].performed && self.op_ready(tid, i) {
+                    match &self.threads[tid].window[i].op {
+                        Op::Load { loc, .. } if self.arch.stale_dependent_reads() => {
+                            // Each coherent-but-possibly-stale bank version
+                            // is a distinct schedule.
+                            let floor = self.threads[tid].read_floor[*loc];
+                            for v in floor..=self.view[tid][*loc] {
+                                out.push(Action::Perform(tid, i, Some(v)));
+                            }
+                        }
+                        _ => out.push(Action::Perform(tid, i, None)),
+                    }
+                    if self.arch.in_order() {
+                        break; // only the oldest ready op on x86
+                    }
+                }
+            }
+            if self.arch.store_buffer() && !self.threads[tid].buffer.is_empty() {
+                out.push(Action::Drain(tid));
+            }
+        }
+        if !self.arch.multi_copy_atomic() {
+            for dst in 0..self.threads.len() {
+                for loc in 0..self.locs.len() {
+                    if self.can_propagate(dst, loc) {
+                        out.push(Action::Propagate { dst, loc });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn execute(&mut self, a: Action) -> Result<(), MachineError> {
+        match a {
+            Action::Issue(t) => self.issue(t),
+            Action::Perform(t, i, stale) => {
+                self.perform(t, i, stale);
+                // Trim performed prefix to bound the window scan.
+                while self.threads[t]
+                    .window
+                    .first()
+                    .is_some_and(|e| e.performed)
+                {
+                    self.threads[t].window.remove(0);
+                }
+                Ok(())
+            }
+            Action::Drain(t) => {
+                let (loc, val) = self.threads[t].buffer.remove(0);
+                self.mem[loc] = val;
+                Ok(())
+            }
+            Action::Propagate { dst, loc } => {
+                self.view[dst][loc] += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn can_propagate(&self, dst: usize, loc: usize) -> bool {
+        let cur = self.view[dst][loc];
+        let Some(next) = self.versions[loc].get(cur + 1) else { return false };
+        next.deps.iter().all(|&(l, p)| self.view[dst][l] >= p)
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn next_stmt(&self, tid: usize) -> Option<&'a Stmt> {
+        let t = &self.threads[tid];
+        let &(block, idx) = t.frames.last()?;
+        block.get(idx)
+    }
+
+    /// Resolve a source expression to SSA names at issue time.
+    fn resolve_expr(&self, tid: usize, e: &Expr) -> Expr {
+        match e {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::LocRef(n) => Expr::LocRef(n.clone()),
+            Expr::Reg(r) => {
+                let t = &self.threads[tid];
+                Expr::Reg(t.rename.get(r).cloned().unwrap_or_else(|| r.clone()))
+            }
+            Expr::Bin(op, a, b) => Expr::bin(
+                *op,
+                self.resolve_expr(tid, a),
+                self.resolve_expr(tid, b),
+            ),
+            Expr::Not(inner) => Expr::Not(Box::new(self.resolve_expr(tid, inner))),
+        }
+    }
+
+    /// Evaluate a (resolved) expression; `None` while inputs are pending.
+    fn eval_expr(&self, tid: usize, e: &Expr) -> Option<Val> {
+        let regs = &self.threads[tid].regs;
+        Some(match e {
+            Expr::Const(c) => Val::Int(*c),
+            Expr::LocRef(n) => Val::Loc(LocId(self.locs.iter().position(|l| l == n)?)),
+            Expr::Reg(r) => *regs.get(r)?,
+            Expr::Not(inner) => Val::Int(i64::from(!self.eval_expr(tid, inner)?.truthy())),
+            Expr::Bin(op, a, b) => {
+                let va = self.eval_expr(tid, a)?;
+                let vb = self.eval_expr(tid, b)?;
+                match op {
+                    BinOp::Eq => Val::Int(i64::from(va == vb)),
+                    BinOp::Ne => Val::Int(i64::from(va != vb)),
+                    BinOp::Add if matches!((va, vb), (Val::Loc(_), Val::Int(0))) => va,
+                    BinOp::Add if matches!((va, vb), (Val::Int(0), Val::Loc(_))) => vb,
+                    _ => {
+                        let (x, y) = (va.as_int()?, vb.as_int()?);
+                        Val::Int(match op {
+                            BinOp::Add => x.wrapping_add(y),
+                            BinOp::Sub => x.wrapping_sub(y),
+                            BinOp::Mul => x.wrapping_mul(y),
+                            BinOp::Xor => x ^ y,
+                            BinOp::And => x & y,
+                            BinOp::Or => x | y,
+                            BinOp::Lt => i64::from(x < y),
+                            BinOp::Le => i64::from(x <= y),
+                            BinOp::Gt => i64::from(x > y),
+                            BinOp::Ge => i64::from(x >= y),
+                            BinOp::Eq | BinOp::Ne => unreachable!(),
+                        })
+                    }
+                }
+            }
+        })
+    }
+
+    /// Resolve a memory address; `None` while the pointer is pending.
+    fn resolve_addr(&self, tid: usize, a: &AddrExpr) -> Option<usize> {
+        match a {
+            AddrExpr::Var(name) => self.locs.iter().position(|l| l == name),
+            AddrExpr::Reg(r) => {
+                let t = &self.threads[tid];
+                let ssa = t.rename.get(r)?;
+                match t.regs.get(ssa)? {
+                    Val::Loc(l) => Some(l.0),
+                    Val::Int(_) => None,
+                }
+            }
+        }
+    }
+
+    fn fresh_ssa(&mut self, tid: usize, reg: &str) -> String {
+        let t = &mut self.threads[tid];
+        let name = format!("{reg}@{}", t.ssa_counter);
+        t.ssa_counter += 1;
+        t.rename.insert(reg.to_string(), name.clone());
+        name
+    }
+
+    fn can_issue(&mut self, tid: usize) -> bool {
+        if self.threads[tid].window.len() >= self.window_cap {
+            return false;
+        }
+        // Pop exhausted frames.
+        while let Some(&(block, idx)) = self.threads[tid].frames.last() {
+            if idx >= block.len() {
+                self.threads[tid].frames.pop();
+            } else {
+                break;
+            }
+        }
+        let Some(stmt) = self.next_stmt(tid) else { return false };
+        match stmt {
+            Stmt::ReadOnce { addr, .. }
+            | Stmt::LoadAcquire { addr, .. }
+            | Stmt::RcuDereference { addr, .. } => self.resolve_addr(tid, addr).is_some(),
+            Stmt::WriteOnce { addr, .. }
+            | Stmt::StoreRelease { addr, .. }
+            | Stmt::RcuAssignPointer { addr, .. }
+            | Stmt::Xchg { addr, .. }
+            | Stmt::CmpXchg { addr, .. }
+            | Stmt::AtomicOp { addr, .. }
+            | Stmt::SpinLock { addr }
+            | Stmt::SpinUnlock { addr } => self.resolve_addr(tid, addr).is_some(),
+            Stmt::SrcuReadLock { domain }
+            | Stmt::SrcuReadUnlock { domain }
+            | Stmt::SynchronizeSrcu { domain } => self.resolve_addr(tid, domain).is_some(),
+            Stmt::If { cond, .. } => {
+                let resolved = self.resolve_expr(tid, cond);
+                self.eval_expr(tid, &resolved).is_some()
+            }
+            Stmt::Assign { value, .. } => {
+                let resolved = self.resolve_expr(tid, value);
+                self.eval_expr(tid, &resolved).is_some()
+            }
+            Stmt::Fence(_) | Stmt::Assume(_) => true,
+        }
+    }
+
+    fn push_op(&mut self, tid: usize, op: Op) {
+        self.threads[tid].window.push(WindowEntry { op, performed: false });
+    }
+
+    fn advance(&mut self, tid: usize) {
+        if let Some(frame) = self.threads[tid].frames.last_mut() {
+            frame.1 += 1;
+        }
+    }
+
+    fn issue(&mut self, tid: usize) -> Result<(), MachineError> {
+        let stmt = self.next_stmt(tid).expect("can_issue checked");
+        self.advance(tid);
+        match stmt {
+            Stmt::ReadOnce { dst, addr }
+            | Stmt::LoadAcquire { dst, addr }
+            | Stmt::RcuDereference { dst, addr } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                let acquire = matches!(stmt, Stmt::LoadAcquire { .. });
+                let ssa = self.fresh_ssa(tid, dst);
+                self.push_op(tid, Op::Load { dst: ssa, loc, acquire });
+                // Table 4: rcu_dereference carries the Alpha read barrier.
+                if matches!(stmt, Stmt::RcuDereference { .. })
+                    && self.arch.stale_dependent_reads()
+                {
+                    self.push_op(tid, Op::Fence(SimFence::RbDep));
+                }
+            }
+            Stmt::WriteOnce { addr, value }
+            | Stmt::StoreRelease { addr, value }
+            | Stmt::RcuAssignPointer { addr, value } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                let release = !matches!(stmt, Stmt::WriteOnce { .. });
+                let value = self.resolve_expr(tid, value);
+                self.push_op(tid, Op::Store { loc, value, release });
+            }
+            Stmt::Fence(kind) => match kind {
+                FenceKind::Rmb => self.push_op(tid, Op::Fence(SimFence::Rmb)),
+                FenceKind::Wmb => self.push_op(tid, Op::Fence(SimFence::Wmb)),
+                FenceKind::Mb => self.push_op(tid, Op::Fence(SimFence::Mb)),
+                FenceKind::RbDep => {
+                    if self.arch.stale_dependent_reads() {
+                        self.push_op(tid, Op::Fence(SimFence::RbDep));
+                    }
+                    // A no-op on every other architecture (§3.2.2).
+                }
+                FenceKind::RcuLock => self.push_op(tid, Op::RcuLock),
+                FenceKind::RcuUnlock => self.push_op(tid, Op::RcuUnlock),
+                FenceKind::SyncRcu => {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                    self.push_op(tid, Op::GpWait { domain: None, snapshot: None });
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+            },
+            Stmt::Xchg { order, dst, addr, value } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                let value = self.resolve_expr(tid, value);
+                let (acquire, release, full) = rmw_flags(*order);
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+                let ssa = self.fresh_ssa(tid, dst);
+                self.push_op(tid, Op::Rmw {
+                    dst: ssa,
+                    loc,
+                    value,
+                    expected: None,
+                    acquire,
+                    release,
+                    must_succeed: false,
+                    compute: None,
+                    dst_new: false,
+                });
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+            }
+            Stmt::CmpXchg { order, dst, addr, expected, new } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                let expected = self.resolve_expr(tid, expected);
+                let new = self.resolve_expr(tid, new);
+                let (acquire, release, full) = rmw_flags(*order);
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+                let ssa = self.fresh_ssa(tid, dst);
+                self.push_op(tid, Op::Rmw {
+                    dst: ssa,
+                    loc,
+                    value: new,
+                    expected: Some(expected),
+                    acquire,
+                    release,
+                    must_succeed: false,
+                    compute: None,
+                    dst_new: false,
+                });
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+            }
+            Stmt::SrcuReadLock { domain } | Stmt::SrcuReadUnlock { domain } => {
+                let d = self.resolve_addr(tid, domain).unwrap();
+                if matches!(stmt, Stmt::SrcuReadLock { .. }) {
+                    self.push_op(tid, Op::SrcuLock { domain: d });
+                } else {
+                    self.push_op(tid, Op::SrcuUnlock { domain: d });
+                }
+            }
+            Stmt::SynchronizeSrcu { domain } => {
+                let d = self.resolve_addr(tid, domain).unwrap();
+                self.push_op(tid, Op::Fence(SimFence::Mb));
+                self.push_op(tid, Op::GpWait { domain: Some(d), snapshot: None });
+                self.push_op(tid, Op::Fence(SimFence::Mb));
+            }
+            Stmt::AtomicOp { order, dst, addr, op, operand } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                let operand = self.resolve_expr(tid, operand);
+                let (acquire, release, full) = rmw_flags(*order);
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+                let (ssa, dst_new) = match dst {
+                    Some((d, kind)) => (
+                        self.fresh_ssa(tid, d),
+                        *kind == lkmm_litmus::ast::AtomicDst::New,
+                    ),
+                    None => (self.fresh_ssa(tid, &format!("__void{loc}")), false),
+                };
+                self.push_op(tid, Op::Rmw {
+                    dst: ssa,
+                    loc,
+                    value: operand,
+                    expected: None,
+                    acquire,
+                    release,
+                    must_succeed: false,
+                    compute: Some(*op),
+                    dst_new,
+                });
+                if full {
+                    self.push_op(tid, Op::Fence(SimFence::Mb));
+                }
+            }
+            Stmt::SpinLock { addr } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                // Acquire-RMW spinning until it reads 0; modelled by a
+                // cmpxchg_acquire(0 → 1) that is only ready when the lock
+                // word is free (see op_ready).
+                let ssa = self.fresh_ssa(tid, &format!("__lock{loc}"));
+                self.push_op(tid, Op::Rmw {
+                    dst: ssa,
+                    loc,
+                    value: Expr::Const(1),
+                    expected: Some(Expr::Const(0)),
+                    acquire: true,
+                    release: false,
+                    must_succeed: true,
+                    compute: None,
+                    dst_new: false,
+                });
+            }
+            Stmt::SpinUnlock { addr } => {
+                let loc = self.resolve_addr(tid, addr).unwrap();
+                self.push_op(tid, Op::Store { loc, value: Expr::Const(0), release: true });
+            }
+            Stmt::Assign { dst, value } => {
+                let resolved = self.resolve_expr(tid, value);
+                let v = self.eval_expr(tid, &resolved).expect("can_issue checked");
+                let ssa = self.fresh_ssa(tid, dst);
+                self.threads[tid].regs.insert(ssa, v);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let resolved = self.resolve_expr(tid, cond);
+                let c = self.eval_expr(tid, &resolved).expect("can_issue checked");
+                let branch = if c.truthy() { then_ } else { else_ };
+                self.threads[tid].frames.push((branch.as_slice(), 0));
+            }
+            Stmt::Assume(_) => return Err(MachineError::Unsupported("__assume")),
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Perform
+    // ------------------------------------------------------------------
+
+    fn op_loc(op: &Op) -> Option<usize> {
+        match op {
+            Op::Load { loc, .. } | Op::Store { loc, .. } | Op::Rmw { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// Is every write this thread has observed visible to all threads?
+    /// (Power `sync` condition; trivially true on MCA machines.)
+    fn fully_propagated(&self, tid: usize) -> bool {
+        if self.arch.multi_copy_atomic() {
+            return true;
+        }
+        (0..self.locs.len()).all(|loc| {
+            let mine = self.view[tid][loc];
+            (0..self.threads.len()).all(|t| self.view[t][loc] >= mine)
+        })
+    }
+
+    fn op_ready(&self, tid: usize, i: usize) -> bool {
+        let t = &self.threads[tid];
+        let entry = &t.window[i];
+        let earlier = &t.window[..i];
+        let all_earlier_done = earlier.iter().all(|e| e.performed);
+        if self.arch.in_order() && !all_earlier_done {
+            return false;
+        }
+        // Full barriers (and RCU markers) block everything after them.
+        // On Power, smp_wmb/smp_rmb are both lwsync, which orders all
+        // local pairs except store→load visibility — so they block too.
+        let blocked_by_barrier = earlier.iter().any(|e| {
+            !e.performed
+                && match e.op {
+                    Op::Fence(SimFence::Mb)
+                    | Op::GpWait { .. }
+                    | Op::RcuLock
+                    | Op::RcuUnlock
+                    | Op::SrcuLock { .. }
+                    | Op::SrcuUnlock { .. } => true,
+                    Op::Fence(SimFence::Wmb | SimFence::Rmb) => self.arch == Arch::Power,
+                    _ => false,
+                }
+        });
+        if blocked_by_barrier {
+            return false;
+        }
+        // Earlier unperformed acquire loads block everything after.
+        let blocked_by_acquire = earlier.iter().any(|e| {
+            !e.performed
+                && match &e.op {
+                    Op::Load { acquire, .. } | Op::Rmw { acquire, .. } => *acquire,
+                    _ => false,
+                }
+        });
+        if blocked_by_acquire {
+            return false;
+        }
+        // ARMv7: acquire/release are dmb-based — a pending *release* also
+        // blocks later ops (dmb ; str orders both directions).
+        if self.arch.full_barrier_acq_rel() {
+            let blocked = earlier.iter().any(|e| {
+                !e.performed
+                    && match &e.op {
+                        Op::Store { release, .. } | Op::Rmw { release, .. } => *release,
+                        _ => false,
+                    }
+            });
+            if blocked {
+                return false;
+            }
+        }
+        // Same-location program order.
+        if let Some(loc) = Self::op_loc(&entry.op) {
+            if earlier.iter().any(|e| !e.performed && Self::op_loc(&e.op) == Some(loc)) {
+                return false;
+            }
+        }
+        // Stores are irrevocable: they retire only after program-order-
+        // earlier loads have completed (no store speculation). This is why
+        // none of the paper's machines ever exhibited LB (§5.1).
+        if matches!(entry.op, Op::Store { .. } | Op::Rmw { .. }) {
+            let pending_load = earlier
+                .iter()
+                .any(|e| !e.performed && matches!(e.op, Op::Load { .. } | Op::Rmw { .. }));
+            if pending_load {
+                return false;
+            }
+        }
+        match &entry.op {
+            Op::Load { acquire, .. } => {
+                // Loads wait for earlier unperformed Rmb/rb-dep fences.
+                if earlier.iter().any(|e| {
+                    !e.performed
+                        && matches!(e.op, Op::Fence(SimFence::Rmb | SimFence::RbDep))
+                }) {
+                    return false;
+                }
+                // ARMv8's release/acquire are RCsc: LDAR waits for every
+                // earlier STLR ([L]; po; [A] in bob). Power's
+                // lwsync-based mapping has no such ordering.
+                if *acquire && self.arch != Arch::Power {
+                    let pending_release = earlier.iter().any(|e| {
+                        !e.performed
+                            && matches!(
+                                e.op,
+                                Op::Store { release: true, .. }
+                                    | Op::Rmw { release: true, .. }
+                            )
+                    });
+                    if pending_release {
+                        return false;
+                    }
+                }
+                true
+            }
+            Op::Store { value, release, .. } => {
+                if self.eval_expr(tid, value).is_none() {
+                    return false;
+                }
+                if *release && !all_earlier_done {
+                    return false;
+                }
+                // Stores wait for earlier unperformed Wmb fences.
+                !earlier.iter().any(|e| {
+                    !e.performed && matches!(e.op, Op::Fence(SimFence::Wmb))
+                })
+            }
+            Op::Rmw { value, expected, release, loc, must_succeed, .. } => {
+                if self.eval_expr(tid, value).is_none() {
+                    return false;
+                }
+                if let Some(exp) = expected {
+                    let Some(e) = self.eval_expr(tid, exp) else { return false };
+                    // spin_lock: only schedulable once the lock word's
+                    // globally-latest value lets the acquisition succeed.
+                    if *must_succeed && self.rmw_current(tid, *loc) != e {
+                        return false;
+                    }
+                }
+                if *release && !all_earlier_done {
+                    return false;
+                }
+                // RMWs act on the coherence point: on Power they wait
+                // until the location is fully propagated to this thread.
+                if !self.arch.multi_copy_atomic()
+                    && self.view[tid][*loc] != self.versions[*loc].len() - 1
+                {
+                    return false;
+                }
+                !earlier.iter().any(|e| {
+                    !e.performed && matches!(e.op, Op::Fence(SimFence::Wmb | SimFence::Rmb))
+                })
+            }
+            Op::Fence(SimFence::RbDep) => earlier
+                .iter()
+                .all(|e| e.performed || !matches!(e.op, Op::Load { .. } | Op::Rmw { .. })),
+            Op::Fence(SimFence::Rmb) => {
+                if self.arch == Arch::Power {
+                    all_earlier_done // lwsync
+                } else {
+                    earlier.iter().all(|e| {
+                        e.performed || !matches!(e.op, Op::Load { .. } | Op::Rmw { .. })
+                    })
+                }
+            }
+            Op::Fence(SimFence::Wmb) => {
+                if self.arch == Arch::Power {
+                    all_earlier_done // lwsync
+                } else {
+                    earlier.iter().all(|e| {
+                        e.performed || !matches!(e.op, Op::Store { .. } | Op::Rmw { .. })
+                    })
+                }
+            }
+            Op::Fence(SimFence::Mb) => {
+                if !all_earlier_done {
+                    return false;
+                }
+                if self.arch.store_buffer() && !t.buffer.is_empty() {
+                    return false;
+                }
+                self.fully_propagated(tid)
+            }
+            Op::RcuLock | Op::RcuUnlock | Op::SrcuLock { .. } | Op::SrcuUnlock { .. } => {
+                all_earlier_done
+            }
+            Op::GpWait { domain, snapshot } => {
+                if !all_earlier_done {
+                    return false;
+                }
+                match snapshot {
+                    // First evaluation: becomes schedulable to take the
+                    // snapshot (perform() handles both steps).
+                    None => true,
+                    Some(snap) => (0..self.threads.len()).all(|t2| match domain {
+                        None => self.nesting[t2] == 0 || self.lock_epoch[t2] > snap[t2],
+                        Some(d) => {
+                            let nest =
+                                self.srcu_nesting[t2].get(d).copied().unwrap_or(0);
+                            let epoch = self.srcu_epoch[t2].get(d).copied().unwrap_or(0);
+                            nest == 0 || epoch > snap[t2]
+                        }
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The value an RMW would read: the coherence-globally-latest value
+    /// (accounting for this thread's own buffered stores on x86).
+    fn rmw_current(&self, tid: usize, loc: usize) -> Val {
+        if self.arch.store_buffer() {
+            if let Some(&(_, v)) =
+                self.threads[tid].buffer.iter().rev().find(|&&(l, _)| l == loc)
+            {
+                return v;
+            }
+            return self.mem[loc];
+        }
+        if self.arch.multi_copy_atomic() {
+            self.mem[loc]
+        } else {
+            self.versions[loc].last().unwrap().val
+        }
+    }
+
+    /// The latest coherent value of `loc` visible to `tid`.
+    fn coherent_latest(&self, tid: usize, loc: usize) -> Option<Val> {
+        if self.arch.store_buffer() {
+            // Own buffer first (store forwarding), then memory.
+            if let Some(&(_, v)) =
+                self.threads[tid].buffer.iter().rev().find(|&&(l, _)| l == loc)
+            {
+                return Some(v);
+            }
+            return Some(self.mem[loc]);
+        }
+        if self.arch.multi_copy_atomic() {
+            Some(self.mem[loc])
+        } else {
+            Some(self.versions[loc][self.view[tid][loc]].val)
+        }
+    }
+
+    fn commit_store(&mut self, tid: usize, loc: usize, val: Val, release: bool) {
+        if self.arch.store_buffer() {
+            self.threads[tid].buffer.push((loc, val));
+            return;
+        }
+        if self.arch.multi_copy_atomic() {
+            self.mem[loc] = val;
+            return;
+        }
+        // Power: append a coherence version with cumulativity deps.
+        let deps = if release {
+            // A-cumulative: everything this thread has observed.
+            (0..self.locs.len())
+                .filter(|&l| self.view[tid][l] > 0)
+                .map(|l| (l, self.view[tid][l]))
+                .collect()
+        } else {
+            self.threads[tid].wmb_snapshot.clone()
+        };
+        self.versions[loc].push(Version { val, deps });
+        let pos = self.versions[loc].len() - 1;
+        self.view[tid][loc] = pos;
+        self.threads[tid].own_latest.insert(loc, pos);
+        self.threads[tid].read_floor[loc] = pos;
+    }
+
+    fn perform(&mut self, tid: usize, i: usize, stale: Option<usize>) {
+        let op = self.threads[tid].window[i].op.clone();
+        match op {
+            Op::Load { dst, loc, acquire } => {
+                let v = match stale {
+                    Some(pos) => {
+                        // CoRR: later reads may not go further back.
+                        self.threads[tid].read_floor[loc] = pos;
+                        self.versions[loc][pos].val
+                    }
+                    None => self.coherent_latest(tid, loc).expect("readiness checked"),
+                };
+                // Alpha: smp_load_acquire is ld;mb — the mb syncs banks.
+                if acquire && self.arch.stale_dependent_reads() {
+                    let view = self.view[tid].clone();
+                    self.threads[tid].read_floor = view;
+                }
+                self.threads[tid].regs.insert(dst, v);
+            }
+            Op::Store { loc, value, release } => {
+                let v = self.eval_expr(tid, &value).expect("readiness checked");
+                self.commit_store(tid, loc, v, release);
+            }
+            Op::Rmw { dst, loc, value, expected, compute, dst_new, .. } => {
+                // Atomic at the coherence point: read the globally latest
+                // value and (conditionally) write in one step. On x86 a
+                // LOCK'd operation drains the store buffer first.
+                if self.arch.store_buffer() {
+                    let pending: Vec<(usize, Val)> =
+                        self.threads[tid].buffer.drain(..).collect();
+                    for (l, bv) in pending {
+                        self.mem[l] = bv;
+                    }
+                }
+                let cur = if self.arch.multi_copy_atomic() {
+                    self.mem[loc]
+                } else {
+                    self.versions[loc].last().unwrap().val
+                };
+                let succeed = match &expected {
+                    None => true,
+                    Some(e) => self.eval_expr(tid, e).expect("readiness checked") == cur,
+                };
+                if succeed {
+                    let operand = self.eval_expr(tid, &value).expect("readiness checked");
+                    let v = match compute {
+                        None => operand,
+                        Some(op) => {
+                            let (x, y) = (
+                                cur.as_int().expect("atomic arithmetic on pointer"),
+                                operand.as_int().expect("atomic operand must be int"),
+                            );
+                            Val::Int(match op {
+                                BinOp::Add => x.wrapping_add(y),
+                                BinOp::Sub => x.wrapping_sub(y),
+                                BinOp::And => x & y,
+                                BinOp::Or => x | y,
+                                BinOp::Xor => x ^ y,
+                                _ => x,
+                            })
+                        }
+                    };
+                    self.threads[tid].regs.insert(dst, if dst_new { v } else { cur });
+                    if self.arch.multi_copy_atomic() {
+                        self.mem[loc] = v;
+                    } else {
+                        // Fully-propagated precondition makes this the
+                        // coherence-latest position.
+                        let deps: Vec<(usize, usize)> = (0..self.locs.len())
+                            .filter(|&l| self.view[tid][l] > 0)
+                            .map(|l| (l, self.view[tid][l]))
+                            .collect();
+                        self.versions[loc].push(Version { val: v, deps });
+                        let pos = self.versions[loc].len() - 1;
+                        self.view[tid][loc] = pos;
+                        self.threads[tid].own_latest.insert(loc, pos);
+                    }
+                }
+            }
+            Op::Fence(SimFence::Wmb) => {
+                // On Power, smp_wmb is lwsync, which is A-cumulative:
+                // later stores may not propagate to a thread before
+                // everything this thread has *observed* (its own stores
+                // and any foreign stores it has read) is visible there.
+                let snap: Vec<(usize, usize)> = (0..self.locs.len())
+                    .filter(|&l| self.view[tid][l] > 0)
+                    .map(|l| (l, self.view[tid][l]))
+                    .collect();
+                self.threads[tid].wmb_snapshot = snap;
+            }
+            Op::Fence(SimFence::RbDep) => {
+                // Bank sync: subsequent loads see at least the current view.
+                let view = self.view[tid].clone();
+                self.threads[tid].read_floor = view;
+            }
+            Op::Fence(SimFence::Rmb) if self.arch == Arch::Power => {
+                // lwsync: same cumulativity as the Wmb case.
+                let snap: Vec<(usize, usize)> = (0..self.locs.len())
+                    .filter(|&l| self.view[tid][l] > 0)
+                    .map(|l| (l, self.view[tid][l]))
+                    .collect();
+                self.threads[tid].wmb_snapshot = snap;
+            }
+            Op::Fence(SimFence::Mb | SimFence::Rmb) if self.arch.stale_dependent_reads() => {
+                // Alpha mb/rmb also synchronise the banks.
+                let view = self.view[tid].clone();
+                self.threads[tid].read_floor = view;
+            }
+            Op::Fence(_) => {}
+            Op::RcuLock => {
+                self.nesting[tid] += 1;
+                self.lock_epoch[tid] += 1;
+                // On Alpha, participating in the grace-period protocol
+                // implies a bank synchronisation (the quiescent-state
+                // machinery executes full barriers on every CPU).
+                if self.arch.stale_dependent_reads() {
+                    let view = self.view[tid].clone();
+                    self.threads[tid].read_floor = view;
+                }
+            }
+            Op::RcuUnlock => {
+                self.nesting[tid] = self.nesting[tid].saturating_sub(1);
+                if self.arch.stale_dependent_reads() {
+                    let view = self.view[tid].clone();
+                    self.threads[tid].read_floor = view;
+                }
+            }
+            Op::SrcuLock { domain } => {
+                *self.srcu_nesting[tid].entry(domain).or_insert(0) += 1;
+                *self.srcu_epoch[tid].entry(domain).or_insert(0) += 1;
+                if self.arch.stale_dependent_reads() {
+                    let view = self.view[tid].clone();
+                    self.threads[tid].read_floor = view;
+                }
+            }
+            Op::SrcuUnlock { domain } => {
+                let n = self.srcu_nesting[tid].entry(domain).or_insert(0);
+                *n = n.saturating_sub(1);
+                if self.arch.stale_dependent_reads() {
+                    let view = self.view[tid].clone();
+                    self.threads[tid].read_floor = view;
+                }
+            }
+            Op::GpWait { domain, snapshot } => {
+                if snapshot.is_none() {
+                    // First scheduling: take the epoch snapshot; the wait
+                    // itself happens via op_ready on later turns.
+                    let snap: Vec<u64> = match domain {
+                        None => self.lock_epoch.clone(),
+                        Some(d) => (0..self.threads.len())
+                            .map(|t2| self.srcu_epoch[t2].get(&d).copied().unwrap_or(0))
+                            .collect(),
+                    };
+                    if let Op::GpWait { snapshot, .. } = &mut self.threads[tid].window[i].op
+                    {
+                        *snapshot = Some(snap);
+                    }
+                    return; // not performed yet
+                }
+            }
+        }
+        self.threads[tid].window[i].performed = true;
+    }
+}
+
+impl Machine<'_> {
+    /// Whether every thread has finished and all buffers drained.
+    pub(crate) fn finished(&self) -> bool {
+        self.threads.iter().all(|t| t.done() && t.buffer.is_empty())
+    }
+
+    /// A canonical fingerprint of the whole machine state, used by the
+    /// exhaustive explorer's memoisation. Two states with equal
+    /// fingerprints have identical future behaviour.
+    pub(crate) fn fingerprint(&self) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write;
+        let mut out = String::new();
+        for t in &self.threads {
+            let frames: Vec<(usize, usize)> =
+                t.frames.iter().map(|&(b, i)| (b.as_ptr() as usize, i)).collect();
+            let regs: BTreeMap<&String, &Val> = t.regs.iter().collect();
+            let own: BTreeMap<&usize, &usize> = t.own_latest.iter().collect();
+            let _ = write!(
+                out,
+                "T{{f:{frames:?} w:{:?} r:{regs:?} b:{:?} o:{own:?} s:{:?}}}",
+                t.window, t.buffer, t.wmb_snapshot
+            );
+        }
+        type SortedCounters<'a> = Vec<(&'a usize, &'a u64)>;
+        let srcu: Vec<(SortedCounters, SortedCounters)> = self
+            .srcu_nesting
+            .iter()
+            .zip(&self.srcu_epoch)
+            .map(|(n, e)| {
+                let mut nv: Vec<_> = n.iter().collect();
+                nv.sort();
+                let mut ev: Vec<_> = e.iter().collect();
+                ev.sort();
+                (nv, ev)
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "M{{m:{:?} v:{:?} vw:{:?} n:{:?} e:{:?} s:{srcu:?}}}",
+            self.mem, self.versions, self.view, self.nesting, self.lock_epoch
+        );
+        out
+    }
+}
+
+fn rmw_flags(order: RmwOrder) -> (bool, bool, bool) {
+    match order {
+        RmwOrder::Relaxed => (false, false, false),
+        RmwOrder::Acquire => (true, false, false),
+        RmwOrder::Release => (false, true, false),
+        RmwOrder::Full => (false, false, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_properties() {
+        assert!(Arch::X86.in_order() && Arch::X86.store_buffer());
+        assert!(!Arch::Power.multi_copy_atomic());
+        assert!(Arch::Armv8.multi_copy_atomic());
+        assert!(Arch::Armv7.full_barrier_acq_rel());
+        assert_eq!(Arch::Power.name(), "Power8");
+    }
+}

@@ -1,0 +1,68 @@
+//! The Alpha story (§3.2.2): `smp_read_barrier_depends` exists solely
+//! because Alpha's banked caches let a *dependent* read return stale
+//! data. The Alpha machine is the only one that exhibits
+//! `MP+wmb+addr` — and the barrier (or `rcu_dereference`) repairs it.
+
+use lkmm_sim::{explore, run_test, Arch, RunConfig};
+
+const MP_WMB_ADDR: &str = r"C MP+wmb+addr-chase
+{ w=0; y=&z; z=0; }
+P0(int *w, int **y) { WRITE_ONCE(*w, 1); smp_wmb(); WRITE_ONCE(*y, &w); }
+P1(int **y) { int *r1; int r2; r1 = READ_ONCE(*y); r2 = READ_ONCE(*r1); }
+exists (1:r1=&w /\ 1:r2=0)";
+
+const MP_WMB_DEREF: &str = r"C MP+wmb+deref-chase
+{ w=0; y=&z; z=0; }
+P0(int *w, int **y) { WRITE_ONCE(*w, 1); smp_wmb(); WRITE_ONCE(*y, &w); }
+P1(int **y) { int *r1; int r2; r1 = rcu_dereference(*y); r2 = READ_ONCE(*r1); }
+exists (1:r1=&w /\ 1:r2=0)";
+
+#[test]
+fn stale_dependent_read_only_on_alpha() {
+    let test = lkmm_litmus::parse(MP_WMB_ADDR).unwrap();
+    // Exhaustively: reachable on Alpha, unreachable everywhere else.
+    let alpha = explore(&test, Arch::Alpha, 2_000_000).unwrap();
+    assert!(alpha.observable, "Alpha must read stale data through the pointer");
+    for arch in Arch::ALL {
+        let other = explore(&test, arch, 2_000_000).unwrap();
+        assert!(!other.observable, "{} respects address dependencies", arch.name());
+    }
+}
+
+#[test]
+fn rcu_dereference_repairs_alpha() {
+    let test = lkmm_litmus::parse(MP_WMB_DEREF).unwrap();
+    let alpha = explore(&test, Arch::Alpha, 2_000_000).unwrap();
+    assert!(
+        !alpha.observable,
+        "rcu_dereference carries smp_read_barrier_depends (Table 4)"
+    );
+}
+
+#[test]
+fn alpha_is_sound_wrt_lkmm() {
+    // The LKMM was weakened (strong-rrdep) exactly to cover Alpha: the
+    // machine must stay inside the model on the whole library.
+    use lkmm_exec::enumerate::EnumOptions;
+    use lkmm_exec::{check_test, Verdict};
+    let model = lkmm::Lkmm::new();
+    for pt in lkmm_litmus::library::all() {
+        let test = pt.test();
+        let verdict = check_test(&model, &test, &EnumOptions::default()).unwrap().verdict;
+        if verdict == Verdict::Forbidden {
+            let stats =
+                run_test(&test, Arch::Alpha, &RunConfig { iterations: 2_000, seed: 31 })
+                    .unwrap();
+            assert_eq!(stats.observed, 0, "{} observed on Alpha", pt.name);
+        }
+    }
+}
+
+#[test]
+fn alpha_coherence_still_holds() {
+    // Staleness never violates per-location coherence: CoRR stays
+    // unobservable even on Alpha.
+    let test = lkmm_litmus::library::by_name("CoRR").unwrap().test();
+    let r = explore(&test, Arch::Alpha, 1_000_000).unwrap();
+    assert!(!r.observable, "two same-location reads went backwards");
+}

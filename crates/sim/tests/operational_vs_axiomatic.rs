@@ -1,0 +1,163 @@
+//! Empirical Owens-style equivalence: the exhaustive store-buffer machine
+//! and the axiomatic x86-TSO model must agree *exactly* on the reachable
+//! final states of every (non-RCU) library test — operational soundness
+//! and completeness, not just sampled soundness.
+
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::states::collect_states;
+use lkmm_models::X86Tso;
+use lkmm_sim::{explore, Arch};
+use lkmm_litmus::library;
+use std::collections::BTreeSet;
+
+fn axiomatic_states(test: &lkmm_litmus::Test) -> BTreeSet<String> {
+    collect_states(&X86Tso, test, &EnumOptions::default())
+        .unwrap()
+        .states
+        .into_iter()
+        .filter(|(_, c)| c.allowed > 0)
+        .map(|(s, _)| s.0)
+        .collect()
+}
+
+#[test]
+fn x86_operational_equals_axiomatic_tso_statewise() {
+    for pt in library::all() {
+        if pt.name.starts_with("RCU") {
+            continue; // the axiomatic TSO model does not know grace periods
+        }
+        let test = pt.test();
+        let operational = explore(&test, Arch::X86, 4_000_000).unwrap();
+        assert!(!operational.truncated, "{}", pt.name);
+        let axiomatic = axiomatic_states(&test);
+        assert_eq!(
+            operational.outcomes, axiomatic,
+            "{}: operational x86 and axiomatic TSO disagree",
+            pt.name
+        );
+    }
+}
+
+#[test]
+fn arm_operational_within_axiomatic_armv8() {
+    // The ARM machine is pipeline-realistic (no store speculation), so it
+    // is *stronger* than the architecture: every operationally reachable
+    // state must be allowed by the axiomatic ARMv8 model.
+    use lkmm_models::Armv8;
+    for pt in library::all() {
+        if pt.name.starts_with("RCU") {
+            continue;
+        }
+        let test = pt.test();
+        let op = explore(&test, Arch::Armv8, 4_000_000).unwrap();
+        if op.truncated {
+            continue;
+        }
+        let ax: BTreeSet<String> = collect_states(&Armv8, &test, &EnumOptions::default())
+            .unwrap()
+            .states
+            .into_iter()
+            .filter(|(_, c)| c.allowed > 0)
+            .map(|(s, _)| s.0)
+            .collect();
+        assert!(
+            op.outcomes.is_subset(&ax),
+            "{}: ARM operational reaches {:?} beyond axiomatic ARMv8",
+            pt.name,
+            op.outcomes.difference(&ax).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn power_operational_within_axiomatic_power() {
+    // The non-multi-copy-atomic machine must stay within the herding-cats
+    // Power model (it is stronger: no store speculation).
+    use lkmm_models::Power;
+    for pt in library::all() {
+        if pt.name.starts_with("RCU") {
+            continue;
+        }
+        let test = pt.test();
+        let op = explore(&test, Arch::Power, 4_000_000).unwrap();
+        if op.truncated {
+            continue;
+        }
+        let ax: BTreeSet<String> = collect_states(&Power, &test, &EnumOptions::default())
+            .unwrap()
+            .states
+            .into_iter()
+            .filter(|(_, c)| c.allowed > 0)
+            .map(|(s, _)| s.0)
+            .collect();
+        assert!(
+            op.outcomes.is_subset(&ax),
+            "{}: Power operational reaches {:?} beyond axiomatic Power",
+            pt.name,
+            op.outcomes.difference(&ax).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn weak_machines_reach_at_least_the_tso_states() {
+    // ARM and Power are weaker than TSO: everything TSO reaches, they
+    // reach (on these fence-free tests).
+    for name in ["SB", "MP", "LB", "WRC", "RWC", "S", "R", "2+2W"] {
+        let test = library::by_name(name).unwrap().test();
+        let tso = explore(&test, Arch::X86, 4_000_000).unwrap();
+        for arch in [Arch::Armv8, Arch::Power] {
+            let weak = explore(&test, arch, 4_000_000).unwrap();
+            assert!(
+                tso.outcomes.is_subset(&weak.outcomes),
+                "{name}: {} missing TSO-reachable states: {:?}",
+                arch.name(),
+                tso.outcomes.difference(&weak.outcomes).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_observability_is_within_lkmm() {
+    // Exact version of Table 5 soundness: the full reachable state set of
+    // each simulator is a subset of the LKMM-allowed state set.
+    use lkmm::Lkmm;
+    for pt in library::all() {
+        let test = pt.test();
+        let lkmm_states: BTreeSet<String> =
+            collect_states(&Lkmm::new(), &test, &EnumOptions::default())
+                .unwrap()
+                .states
+                .into_iter()
+                .filter(|(_, c)| c.allowed > 0)
+                .map(|(s, _)| s.0)
+                .collect();
+        for arch in Arch::ALL {
+            let op = explore(&test, arch, 4_000_000).unwrap();
+            if op.truncated {
+                continue;
+            }
+            assert!(
+                op.outcomes.is_subset(&lkmm_states),
+                "{} on {}: operational states {:?} ⊄ LKMM states {:?}",
+                pt.name,
+                arch.name(),
+                op.outcomes.difference(&lkmm_states).collect::<Vec<_>>(),
+                lkmm_states
+            );
+        }
+    }
+}
+
+/// The Monte-Carlo runner is deterministic in its seed.
+#[test]
+fn runner_is_deterministic_per_seed() {
+    use lkmm_sim::{run_test, RunConfig};
+    let t = library::by_name("SB").unwrap().test();
+    let a = run_test(&t, Arch::Power, &RunConfig { iterations: 500, seed: 42 }).unwrap();
+    let b = run_test(&t, Arch::Power, &RunConfig { iterations: 500, seed: 42 }).unwrap();
+    assert_eq!(a, b);
+    let c = run_test(&t, Arch::Power, &RunConfig { iterations: 500, seed: 43 }).unwrap();
+    assert_eq!(c.total, 500); // different seed may differ in counts
+}

@@ -1,0 +1,50 @@
+//! Run the paper's litmus tests on *this machine* with real threads —
+//! the klitmus experiment, minus the kernel module.
+//!
+//! ```sh
+//! cargo run --release --example klitmus_host [iterations]
+//! ```
+//!
+//! On an x86 host expect `SB`, `RWC` and `PeterZ-No-Synchro` to show
+//! their weak outcomes (store buffering) and everything else to read 0;
+//! on an ARM host, `MP`, `WRC` and friends can light up too. Forbidden
+//! rows must stay at 0 — that is the Table 5 soundness claim.
+
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, Verdict};
+use lkmm_klitmus::{run_on_host, HostConfig};
+use lkmm_litmus::library;
+
+fn main() {
+    let iterations: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let model = Lkmm::new();
+    let opts = EnumOptions::default();
+
+    println!("{:<26} {:>8} {:>16}   histogram", "Test", "Model", "host observed");
+    println!("{}", "-".repeat(100));
+    for pt in library::table5() {
+        let test = pt.test();
+        let verdict = check_test(&model, &test, &opts).unwrap().verdict;
+        let stats = run_on_host(&test, &HostConfig { iterations }).expect("host run");
+        let top: Vec<String> = stats
+            .histogram
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .take(3)
+            .collect();
+        println!(
+            "{:<26} {:>8} {:>10}/{:<6} {}",
+            pt.name,
+            verdict.to_string(),
+            stats.observed,
+            stats.total,
+            top.join("; ")
+        );
+        if verdict == Verdict::Forbidden {
+            assert_eq!(stats.observed, 0, "{}: forbidden outcome on real hardware!", pt.name);
+        }
+    }
+    println!("\nAll LKMM-forbidden outcomes: 0 observations on this host.");
+}

@@ -1,0 +1,65 @@
+//! The model tower: verdicts of every implemented consistency model on
+//! every library test — SC at the top, the hardware models in the middle
+//! (pairwise incomparable), the LKMM as their envelope, and original C11
+//! off to the side.
+//!
+//! ```sh
+//! cargo run --release --example model_tower
+//! ```
+
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, ConsistencyModel, Verdict};
+use lkmm_litmus::library;
+use lkmm_models::{Armv8, OriginalC11, Power, Sc, X86Tso};
+
+fn main() {
+    let lkmm = lkmm::Lkmm::new();
+    let models: Vec<(&str, &dyn ConsistencyModel)> = vec![
+        ("SC", &Sc),
+        ("x86-TSO", &X86Tso),
+        ("ARMv8", &Armv8),
+        ("Power", &Power),
+        ("LKMM", &lkmm),
+        ("C11", &OriginalC11),
+    ];
+    let opts = EnumOptions::default();
+
+    print!("{:<26}", "Test");
+    for (name, _) in &models {
+        print!(" {name:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(26 + 9 * models.len()));
+
+    let mut envelope_violations = 0;
+    for pt in library::all() {
+        let test = pt.test();
+        print!("{:<26}", pt.name);
+        let mut verdicts = Vec::new();
+        for (name, model) in &models {
+            // C11 and the hardware models do not understand RCU grace
+            // periods; print "-" as the paper does.
+            let rcu_test = pt.name.starts_with("RCU");
+            if rcu_test && *name != "LKMM" && *name != "SC" {
+                print!(" {:>8}", "-");
+                verdicts.push(None);
+                continue;
+            }
+            let v = check_test(*model, &test, &opts).unwrap().verdict;
+            print!(" {:>8}", v.to_string());
+            verdicts.push(Some((*name, v)));
+        }
+        println!();
+        // Envelope check: if any hardware model allows, the LKMM allows.
+        let lkmm_v = verdicts[4].map(|(_, v)| v);
+        for hw in [1usize, 2, 3] {
+            if let (Some((_, Verdict::Allowed)), Some(Verdict::Forbidden)) =
+                (verdicts[hw], lkmm_v)
+            {
+                envelope_violations += 1;
+            }
+        }
+    }
+    println!("\nenvelope violations (hardware allows, LKMM forbids): {envelope_violations}");
+    assert_eq!(envelope_violations, 0);
+}

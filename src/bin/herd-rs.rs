@@ -1,0 +1,108 @@
+//! `herd-rs` — check a litmus test against a consistency model.
+//!
+//! ```text
+//! herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--dot] FILE.litmus
+//! herd-rs --library            # run every built-in paper test
+//! ```
+
+use linux_kernel_memory_model::{Herd, ModelChoice};
+use lkmm_exec::enumerate::{enumerate, EnumOptions};
+use lkmm_exec::states::collect_states;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut model = ModelChoice::Lkmm;
+    let mut file: Option<String> = None;
+    let mut run_library = false;
+    let mut dot = false;
+    let mut states = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" | "-m" => {
+                let Some(name) = it.next() else {
+                    eprintln!("--model needs an argument");
+                    return ExitCode::FAILURE;
+                };
+                match ModelChoice::parse_name(name) {
+                    Some(m) => model = m,
+                    None => {
+                        eprintln!("unknown model `{name}` (lkmm, lkmm-cat, sc, tso, armv8, power, c11)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--library" | "-l" => run_library = true,
+            "--dot" => dot = true,
+            "--states" | "-s" => states = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--dot] [--states] FILE.litmus\n\
+                     \x20      herd-rs --library"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+
+    let herd = Herd::new(model);
+    if run_library {
+        for pt in lkmm_litmus::library::all() {
+            match herd.check(&pt.test()) {
+                Ok(report) => println!(
+                    "{:26} {:8} (candidates={}, allowed={}, witnesses={})",
+                    pt.name,
+                    report.result.verdict.to_string(),
+                    report.result.candidates,
+                    report.result.allowed,
+                    report.result.witnesses
+                ),
+                Err(e) => eprintln!("{}: {e}", pt.name),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(path) = file else {
+        eprintln!("no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match herd.check_source(&source) {
+        Ok(report) => {
+            println!("{report}");
+            if states {
+                if let Ok(test) = lkmm_litmus::parse(&source) {
+                    match collect_states(model.model().as_ref(), &test, &EnumOptions::default()) {
+                        Ok(summary) => println!("\n{summary}"),
+                        Err(e) => eprintln!("states: {e}"),
+                    }
+                }
+            }
+            if dot {
+                if let Ok(test) = lkmm_litmus::parse(&source) {
+                    if let Ok(execs) = enumerate(&test, &EnumOptions::default()) {
+                        if let Some(x) =
+                            execs.iter().find(|x| x.satisfies_prop(&test.condition.prop))
+                        {
+                            println!("\n// witness candidate execution\n{}", x.to_dot());
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

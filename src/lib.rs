@@ -1,0 +1,256 @@
+//! # linux-kernel-memory-model
+//!
+//! A from-scratch Rust reproduction of *"Frightening Small Children and
+//! Disconcerting Grown-ups: Concurrency in the Linux Kernel"* (Alglave,
+//! Maranget, McKenney, Parri, Stern — ASPLOS 2018): the Linux-kernel
+//! memory model (LKMM) as an executable artifact, together with every
+//! substrate the paper's evaluation depends on.
+//!
+//! The individual crates:
+//!
+//! * [`relation`] — bitset relation algebra over events;
+//! * [`litmus`] — the LK litmus dialect: AST, parser, printer, and the
+//!   paper's named test library;
+//! * [`exec`] — candidate-execution semantics and exhaustive enumeration;
+//! * [`cat`] — an interpreter for the cat modelling language, with the
+//!   LKMM embedded as a cat file;
+//! * [`model`] (crate `lkmm`) — the native LKMM: Figure 3/8 axioms plus
+//!   the Figure 12 RCU axiom, with every intermediate relation exposed;
+//! * [`models`] — comparison models: SC, x86-TSO, original C11;
+//! * [`rcu`] — the fundamental law, Theorem 1 equivalence checking, the
+//!   Figure 15 implementation (axiomatic expansion and a real threaded
+//!   runtime);
+//! * [`sim`] — operational hardware simulators (x86 / ARMv8 / ARMv7 /
+//!   Power8) standing in for the paper's testbeds;
+//! * [`generator`] — diy-style critical-cycle test generation;
+//! * [`klitmus`] — a host runner on real threads and atomics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use linux_kernel_memory_model::{Herd, ModelChoice};
+//!
+//! let herd = Herd::new(ModelChoice::Lkmm);
+//! let report = herd.check_source(r#"
+//! C MP+wmb+rmb
+//! { x=0; y=0; }
+//! P0(int *x, int *y) { WRITE_ONCE(*x, 1); smp_wmb(); WRITE_ONCE(*y, 1); }
+//! P1(int *x, int *y) {
+//!     int r0; int r1;
+//!     r0 = READ_ONCE(*y); smp_rmb(); r1 = READ_ONCE(*x);
+//! }
+//! exists (1:r0=1 /\ 1:r1=0)
+//! "#).unwrap();
+//! assert!(!report.allowed()); // Figure 2: forbidden
+//! ```
+
+pub use lkmm as model;
+pub use lkmm_cat as cat;
+pub use lkmm_exec as exec;
+pub use lkmm_generator as generator;
+pub use lkmm_klitmus as klitmus;
+pub use lkmm_litmus as litmus;
+pub use lkmm_models as models;
+pub use lkmm_rcu as rcu;
+pub use lkmm_relation as relation;
+pub use lkmm_sim as sim;
+
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, ConsistencyModel, EnumError, TestResult, Verdict};
+use lkmm_litmus::{parse, ParseError, Test};
+use std::fmt;
+
+/// Which consistency model to check against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelChoice {
+    /// The native LKMM (core + RCU axioms).
+    Lkmm,
+    /// The LKMM interpreted from its embedded cat file.
+    LkmmCat,
+    /// Sequential consistency.
+    Sc,
+    /// x86-TSO.
+    Tso,
+    /// Simplified ARMv8 (ordered-before style).
+    Armv8,
+    /// IBM Power (herding-cats style).
+    Power,
+    /// Original C11 under the P0124 mapping.
+    C11,
+}
+
+impl ModelChoice {
+    /// Instantiate the model.
+    pub fn model(self) -> Box<dyn ConsistencyModel> {
+        match self {
+            ModelChoice::Lkmm => Box::new(lkmm::Lkmm::new()),
+            ModelChoice::LkmmCat => Box::new(lkmm_cat::linux_kernel_model()),
+            ModelChoice::Sc => Box::new(lkmm_models::Sc),
+            ModelChoice::Tso => Box::new(lkmm_models::X86Tso),
+            ModelChoice::Armv8 => Box::new(lkmm_models::Armv8),
+            ModelChoice::Power => Box::new(lkmm_models::Power),
+            ModelChoice::C11 => Box::new(lkmm_models::OriginalC11),
+        }
+    }
+
+    /// Parse a command-line name (`lkmm`, `lkmm-cat`, `sc`, `tso`, `armv8`, `power`, `c11`).
+    pub fn parse_name(name: &str) -> Option<ModelChoice> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "lkmm" => ModelChoice::Lkmm,
+            "lkmm-cat" | "cat" => ModelChoice::LkmmCat,
+            "sc" => ModelChoice::Sc,
+            "tso" | "x86" | "x86-tso" => ModelChoice::Tso,
+            "armv8" | "arm" | "aarch64" => ModelChoice::Armv8,
+            "power" | "ppc" | "power8" => ModelChoice::Power,
+            "c11" => ModelChoice::C11,
+            _ => return None,
+        })
+    }
+}
+
+/// High-level checker: the herd7 work-flow in one object.
+pub struct Herd {
+    model: Box<dyn ConsistencyModel>,
+    options: EnumOptions,
+}
+
+/// Everything [`Herd::check`] reports about one test.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The checked test's name.
+    pub test_name: String,
+    /// The model's name.
+    pub model_name: String,
+    /// Raw verdict data.
+    pub result: TestResult,
+}
+
+impl Report {
+    /// Whether the condition's outcome is observable under the model
+    /// (the paper's Allow).
+    pub fn allowed(&self) -> bool {
+        self.result.verdict == Verdict::Allowed
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Test {} ({})", self.test_name, self.model_name)?;
+        writeln!(
+            f,
+            "  candidates={} allowed={} witnesses={}",
+            self.result.candidates, self.result.allowed, self.result.witnesses
+        )?;
+        write!(
+            f,
+            "  verdict: {} (condition {})",
+            self.result.verdict,
+            if self.result.condition_holds { "holds" } else { "does not hold" }
+        )
+    }
+}
+
+/// Errors from the high-level API.
+#[derive(Debug)]
+pub enum HerdError {
+    /// Litmus parse failure.
+    Parse(ParseError),
+    /// Enumeration failure.
+    Enumerate(EnumError),
+}
+
+impl fmt::Display for HerdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HerdError::Parse(e) => write!(f, "{e}"),
+            HerdError::Enumerate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HerdError {}
+
+impl From<ParseError> for HerdError {
+    fn from(e: ParseError) -> Self {
+        HerdError::Parse(e)
+    }
+}
+
+impl From<EnumError> for HerdError {
+    fn from(e: EnumError) -> Self {
+        HerdError::Enumerate(e)
+    }
+}
+
+impl Herd {
+    /// A checker for the chosen model with default enumeration options.
+    pub fn new(choice: ModelChoice) -> Self {
+        Herd { model: choice.model(), options: EnumOptions::default() }
+    }
+
+    /// Override the enumeration options.
+    pub fn with_options(mut self, options: EnumOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Check a parsed test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors.
+    pub fn check(&self, test: &Test) -> Result<Report, HerdError> {
+        let result = check_test(self.model.as_ref(), test, &self.options)?;
+        Ok(Report {
+            test_name: test.name.clone(),
+            model_name: self.model.name().to_string(),
+            result,
+        })
+    }
+
+    /// Parse and check litmus source.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse or enumeration errors.
+    pub fn check_source(&self, source: &str) -> Result<Report, HerdError> {
+        let test = parse(source)?;
+        self.check(&test)
+    }
+
+    /// herd-style final-state histogram for a test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors.
+    pub fn states(&self, test: &Test) -> Result<lkmm_exec::StateSummary, HerdError> {
+        Ok(lkmm_exec::collect_states(self.model.as_ref(), test, &self.options)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn herd_checks_library_tests() {
+        let herd = Herd::new(ModelChoice::Lkmm);
+        let t = lkmm_litmus::library::by_name("SB+mbs").unwrap().test();
+        let report = herd.check(&t).unwrap();
+        assert!(!report.allowed());
+        assert!(report.to_string().contains("Forbid"));
+    }
+
+    #[test]
+    fn model_choice_parsing() {
+        assert_eq!(ModelChoice::parse_name("LKMM"), Some(ModelChoice::Lkmm));
+        assert_eq!(ModelChoice::parse_name("x86"), Some(ModelChoice::Tso));
+        assert_eq!(ModelChoice::parse_name("bogus"), None);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let herd = Herd::new(ModelChoice::Sc);
+        assert!(matches!(herd.check_source("not litmus"), Err(HerdError::Parse(_))));
+    }
+}
