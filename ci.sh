@@ -1,0 +1,25 @@
+#!/bin/sh
+# Offline-safe CI: tier-1 build + tests, then the library cross-checks
+# that guard the parallel pipeline. No network, no extra dependencies.
+set -eu
+
+echo "== tier-1: release build =="
+cargo build --workspace --release
+
+echo "== tier-1: test suite =="
+cargo test --workspace --quiet
+
+echo "== pipeline cross-check: library verdicts at jobs 1/2/8 =="
+cargo test --release --test pipeline --quiet
+
+echo "== herd-rs --library is job-count invariant =="
+BIN=target/release/herd-rs
+cargo build --release --bin herd-rs
+"$BIN" --library --jobs 1 > /tmp/lkmm-library-j1.out
+"$BIN" --library --jobs 4 > /tmp/lkmm-library-j4.out
+"$BIN" --library           > /tmp/lkmm-library-auto.out
+cmp /tmp/lkmm-library-j1.out /tmp/lkmm-library-j4.out
+cmp /tmp/lkmm-library-j1.out /tmp/lkmm-library-auto.out
+rm -f /tmp/lkmm-library-j1.out /tmp/lkmm-library-j4.out /tmp/lkmm-library-auto.out
+
+echo "== ci.sh: all green =="

@@ -1,0 +1,230 @@
+//! Sequential-vs-parallel throughput micro-bench for the check pipeline.
+//!
+//! Dependency-free (no criterion): times `check_test` against
+//! `check_test_pipelined` at several job counts over three workloads —
+//! the paper's Table 5 litmus library under the native LKMM, a generated
+//! MP-family sweep, and a model-eval-heavy stress workload under the
+//! interpreted cat LKMM — then writes `BENCH_PIPELINE.json` in the
+//! working directory and prints a summary table.
+//!
+//! ```text
+//! cargo run --release -p lkmm-bench --bin sweep [-- --iters N]
+//! ```
+//!
+//! Verdicts are asserted identical across all configurations while
+//! timing, so a bench run doubles as a cross-check.
+//!
+//! Reading the numbers: the pipeline's producer (candidate enumeration)
+//! is serial, so speedup is bounded by the model-evaluation share of each
+//! test (Amdahl), and each check pays a worker spawn/join. The library
+//! tests have single-digit candidate counts, so they measure that fixed
+//! overhead; the stress workload is where a multi-core machine shows the
+//! scaling (interpreted model ≈ 50 µs/candidate dwarfs the per-candidate
+//! enumeration cost). On a single-hardware-thread host every speedup
+//! clamps to ≈1×; the JSON records `hardware_threads` so results are
+//! interpretable.
+
+use lkmm::Lkmm;
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, check_test_pipelined, effective_jobs, PipelineOptions, TestResult};
+use lkmm_litmus::ast::Test;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+enum BenchModel {
+    NativeLkmm,
+    CatLkmm,
+}
+
+struct Workload {
+    name: &'static str,
+    model: BenchModel,
+    tests: Vec<Test>,
+}
+
+/// A wide single-location test: `threads` writers × `reads` reads each,
+/// giving a combinatorial rf/co space with cheap per-candidate
+/// enumeration — the shape where the worker pool pays off.
+fn stress_test(threads: usize, reads: usize) -> Test {
+    let mut src = format!("C stress-{threads}w{reads}r\n{{ x=0; }}\n");
+    for i in 0..threads {
+        let mut decls = String::new();
+        let mut body = format!("WRITE_ONCE(*x, {}); ", i + 1);
+        for r in 0..reads {
+            decls.push_str(&format!("int r{r}; "));
+            body.push_str(&format!("r{r} = READ_ONCE(*x); "));
+        }
+        src.push_str(&format!("P{i}(int *x) {{ {decls}{body}}}\n"));
+    }
+    src.push_str("exists (0:r0=1)\n");
+    lkmm_litmus::parse(&src).expect("stress test parses")
+}
+
+struct Measurement {
+    workload: &'static str,
+    config: String,
+    jobs: usize,
+    seconds: f64,
+    candidates: usize,
+}
+
+fn workloads() -> Vec<Workload> {
+    let library: Vec<Test> =
+        lkmm_litmus::library::all().iter().map(lkmm_litmus::library::PaperTest::test).collect();
+    let mp = [
+        lkmm_generator::Edge::internal(
+            lkmm_generator::InternalKind::Po,
+            lkmm_generator::Extremity::W,
+            lkmm_generator::Extremity::W,
+        ),
+        lkmm_generator::Edge::Rfe,
+        lkmm_generator::Edge::internal(
+            lkmm_generator::InternalKind::Po,
+            lkmm_generator::Extremity::R,
+            lkmm_generator::Extremity::R,
+        ),
+        lkmm_generator::Edge::Fre,
+    ];
+    let family = lkmm_generator::family::family_tests(&mp).expect("MP base is valid");
+    vec![
+        Workload { name: "table5-library", model: BenchModel::NativeLkmm, tests: library },
+        Workload { name: "mp-family-sweep", model: BenchModel::NativeLkmm, tests: family },
+        Workload {
+            name: "stress-cat",
+            model: BenchModel::CatLkmm,
+            tests: vec![stress_test(3, 1), stress_test(3, 2), stress_test(2, 2)],
+        },
+    ]
+}
+
+fn run_config(
+    model: &BenchModel,
+    tests: &[Test],
+    opts: &EnumOptions,
+    pipe: Option<&PipelineOptions>,
+    iters: usize,
+) -> (f64, usize, Vec<TestResult>) {
+    let native;
+    let cat;
+    let model: &dyn lkmm_exec::ConsistencyModel = match model {
+        BenchModel::NativeLkmm => {
+            native = Lkmm::new();
+            &native
+        }
+        BenchModel::CatLkmm => {
+            cat = lkmm_cat::linux_kernel_model();
+            &cat
+        }
+    };
+    // Warm-up pass (also captures the reference results).
+    let results: Vec<TestResult> = tests
+        .iter()
+        .map(|t| match pipe {
+            None => check_test(model, t, opts).expect("enumeration"),
+            Some(p) => check_test_pipelined(model, t, opts, p).expect("enumeration"),
+        })
+        .collect();
+    let candidates: usize = results.iter().map(|r| r.candidates).sum();
+    let start = Instant::now();
+    for _ in 0..iters {
+        for t in tests {
+            let r = match pipe {
+                None => check_test(model, t, opts).expect("enumeration"),
+                Some(p) => check_test_pipelined(model, t, opts, p).expect("enumeration"),
+            };
+            std::hint::black_box(r);
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64() / iters as f64;
+    (seconds, candidates, results)
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: sweep [--iters N]   (timed repetitions per config, default 3)");
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let opts = EnumOptions::default();
+    let hw = effective_jobs(0);
+    let job_counts: Vec<usize> = {
+        let mut v = vec![1, 2, 4];
+        if !v.contains(&hw) {
+            v.push(hw);
+        }
+        v.retain(|&j| j <= hw.max(4));
+        v
+    };
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for w in workloads() {
+        let (seq_s, candidates, seq_results) = run_config(&w.model, &w.tests, &opts, None, iters);
+        measurements.push(Measurement {
+            workload: w.name,
+            config: "sequential".to_string(),
+            jobs: 1,
+            seconds: seq_s,
+            candidates,
+        });
+        for &jobs in &job_counts {
+            let pipe = PipelineOptions { jobs, ..Default::default() };
+            let (s, c, results) = run_config(&w.model, &w.tests, &opts, Some(&pipe), iters);
+            assert_eq!(c, candidates, "{}: candidate count drifted at jobs={jobs}", w.name);
+            assert_eq!(results, seq_results, "{}: results drifted at jobs={jobs}", w.name);
+            measurements.push(Measurement {
+                workload: w.name,
+                config: format!("pipeline-j{jobs}"),
+                jobs,
+                seconds: s,
+                candidates,
+            });
+        }
+    }
+
+    // Human-readable table.
+    println!("{:18} {:14} {:>10} {:>14} {:>9}", "workload", "config", "secs", "cands/sec", "speedup");
+    let mut json_entries = String::new();
+    for m in &measurements {
+        let baseline = measurements
+            .iter()
+            .find(|b| b.workload == m.workload && b.config == "sequential")
+            .expect("sequential baseline exists");
+        let speedup = baseline.seconds / m.seconds;
+        let throughput = m.candidates as f64 / m.seconds;
+        println!(
+            "{:18} {:14} {:>10.4} {:>14.0} {:>8.2}x",
+            m.workload, m.config, m.seconds, throughput, speedup
+        );
+        if !json_entries.is_empty() {
+            json_entries.push_str(",\n");
+        }
+        write!(
+            json_entries,
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"jobs\": {}, \
+             \"seconds\": {:.6}, \"candidates\": {}, \"candidates_per_sec\": {:.1}, \
+             \"speedup_vs_sequential\": {:.3}}}",
+            m.workload, m.config, m.jobs, m.seconds, m.candidates, throughput, speedup
+        )
+        .expect("write to string");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline-sweep\",\n  \"model\": \"LKMM\",\n  \
+         \"hardware_threads\": {hw},\n  \"iters\": {iters},\n  \"measurements\": [\n{json_entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_PIPELINE.json", &json).expect("write BENCH_PIPELINE.json");
+    println!("\nwrote BENCH_PIPELINE.json");
+}

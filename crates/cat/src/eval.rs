@@ -7,6 +7,7 @@ use lkmm_relation::{EventSet, Relation};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Evaluation failure (unknown identifier, type mismatch, …).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,11 +40,36 @@ impl CatOutcome {
 }
 
 /// A cat runtime value.
+///
+/// Sets and relations are behind `Arc`s so that (a) cloning an
+/// environment — which happens once per candidate when a [`CatSession`]
+/// reuses its cached static environment — bumps reference counts instead
+/// of copying bitsets, and (b) operators can mutate uniquely-owned
+/// intermediate results in place (`Arc::try_unwrap` copy-on-write), which
+/// turns the allocation-heavy union chains of `let rec` fixpoints into
+/// in-place bit-ors.
 #[derive(Clone, Debug)]
 enum Value {
-    Set(EventSet),
-    Rel(Relation),
+    Set(Arc<EventSet>),
+    Rel(Arc<Relation>),
     Fun(Rc<FunVal>),
+}
+
+/// Copy-on-write binary relation operator: mutate in place when the
+/// left operand is uniquely owned, allocate otherwise.
+fn cow_rel(
+    a: Arc<Relation>,
+    b: &Relation,
+    in_place: impl FnOnce(&mut Relation, &Relation),
+    alloc: impl FnOnce(&Relation, &Relation) -> Relation,
+) -> Arc<Relation> {
+    match Arc::try_unwrap(a) {
+        Ok(mut r) => {
+            in_place(&mut r, b);
+            Arc::new(r)
+        }
+        Err(a) => Arc::new(alloc(&a, b)),
+    }
 }
 
 #[derive(Debug)]
@@ -62,13 +88,13 @@ type Env = HashMap<String, Value>;
 /// Returns [`EvalError`] for semantic errors; a type-correct model always
 /// evaluates.
 pub fn evaluate(model: &Model, x: &Execution) -> Result<CatOutcome, EvalError> {
-    if x.events.iter().any(|e| e.srcu().is_some()) {
-        return Err(EvalError {
-            message: "SRCU events are not exposed to cat models; use the native LKMM".into(),
-        });
-    }
-    let n = x.universe();
-    let mut env = base_env(x);
+    let mut env = static_env(x)?;
+    insert_witness(&mut env, x);
+    evaluate_with_env(model, x.universe(), env)
+}
+
+/// Run a model's instructions against a pre-built base environment.
+fn evaluate_with_env(model: &Model, n: usize, mut env: Env) -> Result<CatOutcome, EvalError> {
     let mut outcome = CatOutcome { failed_check: None, flags: Vec::new() };
     for (i, instr) in model.instrs.iter().enumerate() {
         match instr {
@@ -122,7 +148,7 @@ fn eval_rec(bindings: &[Binding], env: &mut Env, n: usize) -> Result<(), EvalErr
         if !b.params.is_empty() {
             return Err(EvalError { message: "recursive functions are not supported".into() });
         }
-        env.insert(b.name.clone(), Value::Rel(Relation::empty(n)));
+        env.insert(b.name.clone(), Value::Rel(Arc::new(Relation::empty(n))));
     }
     // Least fixpoint by iteration; cat recursion over ∪/;/closures is
     // monotone, so this terminates (the lattice of relations is finite).
@@ -133,10 +159,10 @@ fn eval_rec(bindings: &[Binding], env: &mut Env, n: usize) -> Result<(), EvalErr
             let new = eval_expr(&b.body, env)?;
             let new_rel = as_rel(new, n)?;
             let old = match env.get(&b.name) {
-                Some(Value::Rel(r)) => r.clone(),
+                Some(Value::Rel(r)) => Arc::clone(r),
                 _ => unreachable!("rec name bound above"),
             };
-            if new_rel != old {
+            if *new_rel != *old {
                 changed = true;
                 env.insert(b.name.clone(), Value::Rel(new_rel));
             }
@@ -163,7 +189,7 @@ fn eval_check(kind: CheckKind, expr: &Expr, env: &Env, n: usize) -> Result<bool,
     })
 }
 
-fn as_rel(v: Value, _n: usize) -> Result<Relation, EvalError> {
+fn as_rel(v: Value, _n: usize) -> Result<Arc<Relation>, EvalError> {
     match v {
         Value::Rel(r) => Ok(r),
         Value::Set(_) => Err(EvalError { message: "expected a relation, found a set".into() }),
@@ -181,7 +207,7 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
         Expr::Empty => {
             // `0` is the empty relation; its universe is taken from `id`.
             match env.get("id") {
-                Some(Value::Rel(id)) => Ok(Value::Rel(Relation::empty(id.universe()))),
+                Some(Value::Rel(id)) => Ok(Value::Rel(Arc::new(Relation::empty(id.universe())))),
                 _ => Err(err("internal: `id` missing from base env".into())),
             }
         }
@@ -193,8 +219,8 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
             let vals: Vec<Value> =
                 args.iter().map(|a| eval_expr(a, env)).collect::<Result<_, _>>()?;
             match (name.as_str(), vals.as_slice()) {
-                ("domain", [Value::Rel(r)]) => Ok(Value::Set(r.domain())),
-                ("range", [Value::Rel(r)]) => Ok(Value::Set(r.range())),
+                ("domain", [Value::Rel(r)]) => Ok(Value::Set(Arc::new(r.domain()))),
+                ("range", [Value::Rel(r)]) => Ok(Value::Set(Arc::new(r.range()))),
                 _ => match env.get(name) {
                     Some(Value::Fun(f)) => {
                         if f.params.len() != args.len() {
@@ -216,39 +242,65 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
             }
         }
         Expr::SetToId(inner) => match eval_expr(inner, env)? {
-            Value::Set(s) => Ok(Value::Rel(s.as_identity())),
+            Value::Set(s) => Ok(Value::Rel(Arc::new(s.as_identity()))),
             _ => Err(err("`[…]` expects a set".into())),
         },
         Expr::Union(a, b) => binop(a, b, env, "union", |x, y| match (x, y) {
-            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.union(&b))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.union(&b))),
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.union(&b)))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
+                a,
+                &b,
+                Relation::union_in_place,
+                Relation::union,
+            ))),
             _ => None,
         }),
         Expr::Inter(a, b) => binop(a, b, env, "intersection", |x, y| match (x, y) {
-            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.intersection(&b))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.intersection(&b))),
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.intersection(&b)))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
+                a,
+                &b,
+                Relation::intersection_in_place,
+                Relation::intersection,
+            ))),
             _ => None,
         }),
         Expr::Diff(a, b) => binop(a, b, env, "difference", |x, y| match (x, y) {
-            (Value::Set(a), Value::Set(b)) => Some(Value::Set(a.difference(&b))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.difference(&b))),
+            (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.difference(&b)))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
+                a,
+                &b,
+                Relation::difference_in_place,
+                Relation::difference,
+            ))),
             _ => None,
         }),
         Expr::Seq(a, b) => binop(a, b, env, "sequence", |x, y| match (x, y) {
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(a.seq(&b))),
+            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(Arc::new(a.seq(&b)))),
             _ => None,
         }),
         Expr::Cartesian(a, b) => binop(a, b, env, "cartesian product", |x, y| match (x, y) {
-            (Value::Set(a), Value::Set(b)) => Some(Value::Rel(a.cross(&b))),
+            (Value::Set(a), Value::Set(b)) => Some(Value::Rel(Arc::new(a.cross(&b)))),
             _ => None,
         }),
         Expr::Complement(inner) => match eval_expr(inner, env)? {
-            Value::Set(s) => Ok(Value::Set(s.complement())),
-            Value::Rel(r) => Ok(Value::Rel(r.complement())),
+            Value::Set(s) => Ok(Value::Set(Arc::new(s.complement()))),
+            Value::Rel(r) => Ok(Value::Rel(Arc::new(r.complement()))),
             Value::Fun(_) => Err(err("`~` applied to a function".into())),
         },
         Expr::Opt(inner) => unary_rel(inner, env, "?", Relation::reflexive),
-        Expr::Plus(inner) => unary_rel(inner, env, "+", Relation::transitive_closure),
+        Expr::Plus(inner) => match eval_expr(inner, env)? {
+            // `+` is the fixpoint workhorse: close in place when the
+            // operand is an intermediate we uniquely own.
+            Value::Rel(r) => Ok(Value::Rel(match Arc::try_unwrap(r) {
+                Ok(mut r) => {
+                    r.transitive_close();
+                    Arc::new(r)
+                }
+                Err(r) => Arc::new(r.transitive_closure()),
+            })),
+            _ => Err(err("`+` expects a relation".into())),
+        },
         Expr::Star(inner) => unary_rel(inner, env, "*", Relation::reflexive_transitive_closure),
         Expr::Inverse(inner) => unary_rel(inner, env, "^-1", Relation::inverse),
     }
@@ -273,35 +325,42 @@ fn unary_rel(
     f: impl Fn(&Relation) -> Relation,
 ) -> Result<Value, EvalError> {
     match eval_expr(inner, env)? {
-        Value::Rel(r) => Ok(Value::Rel(f(&r))),
+        Value::Rel(r) => Ok(Value::Rel(Arc::new(f(&r)))),
         _ => Err(EvalError { message: format!("`{what}` expects a relation") }),
     }
 }
 
-/// The identifiers herd-style models may assume, computed from the
-/// execution: base relations (`po`, `rf`, `co`, dependency relations,
-/// `loc`, `int`, `ext`, `id`, `crit`) and event sets (`R`, `W`, `M`, `F`,
-/// `IW`, `Acquire`, `Release`, and one set per fence kind).
-fn base_env(x: &Execution) -> Env {
+/// The witness-independent identifiers herd-style models may assume:
+/// base relations (`po`, dependency relations, `loc`, `int`, `ext`,
+/// `id`, `crit`) and event sets (`R`, `W`, `M`, `F`, `IW`, `Acquire`,
+/// `Release`, one set per fence kind). Everything here is a function of
+/// the candidate's shared pre-execution, so a [`CatSession`] computes it
+/// once per thread-outcome combination and reuses it across all the
+/// `rf`/`co` witnesses — the `rf`/`co` entries themselves are added per
+/// candidate by [`insert_witness`].
+fn static_env(x: &Execution) -> Result<Env, EvalError> {
+    if x.events.iter().any(|e| e.srcu().is_some()) {
+        return Err(EvalError {
+            message: "SRCU events are not exposed to cat models; use the native LKMM".into(),
+        });
+    }
     let mut env = Env::new();
     let n = x.universe();
     let mut rel = |name: &str, r: Relation| {
-        env.insert(name.to_string(), Value::Rel(r));
+        env.insert(name.to_string(), Value::Rel(Arc::new(r)));
     };
-    rel("po", x.po.clone());
-    rel("addr", x.addr.clone());
-    rel("data", x.data.clone());
-    rel("ctrl", x.ctrl.clone());
-    rel("rmw", x.rmw.clone());
-    rel("rf", x.rf.clone());
-    rel("co", x.co.clone());
+    rel("po", (*x.po).clone());
+    rel("addr", (*x.addr).clone());
+    rel("data", (*x.data).clone());
+    rel("ctrl", (*x.ctrl).clone());
+    rel("rmw", (*x.rmw).clone());
     rel("loc", x.loc_rel());
     rel("int", x.int_rel());
     rel("ext", x.ext_rel());
     rel("id", Relation::identity(n));
     rel("crit", x.crit());
     let mut set = |name: &str, s: EventSet| {
-        env.insert(name.to_string(), Value::Set(s));
+        env.insert(name.to_string(), Value::Set(Arc::new(s)));
     };
     set("R", x.reads());
     set("W", x.writes());
@@ -321,7 +380,54 @@ fn base_env(x: &Execution) -> Env {
     set("Rcu-unlock", x.fences(FenceKind::RcuUnlock));
     set("Sync", x.fences(FenceKind::SyncRcu));
     set("_UNIV", EventSet::full(n));
-    env
+    Ok(env)
+}
+
+/// Add the execution witness (`rf`, `co`) to a base environment.
+fn insert_witness(env: &mut Env, x: &Execution) {
+    env.insert("rf".to_string(), Value::Rel(Arc::new(x.rf.clone())));
+    env.insert("co".to_string(), Value::Rel(Arc::new(x.co.clone())));
+}
+
+/// A stateful evaluation handle for checking many candidates of the same
+/// litmus test: the witness-independent part of the base environment
+/// ([`static_env`]) is cached and keyed on the identity of the shared
+/// pre-execution (`Arc::ptr_eq` on `x.events`). Holding a clone of the
+/// `Arc` keeps the allocation alive, so the pointer identity cannot be
+/// recycled while the cache entry exists.
+///
+/// One session serves one thread; the parallel pipeline opens a session
+/// per worker.
+pub struct CatSession<'a> {
+    model: &'a Model,
+    cache: Option<(Arc<Vec<lkmm_exec::Event>>, Env)>,
+}
+
+impl<'a> CatSession<'a> {
+    /// A session evaluating `model`.
+    pub fn new(model: &'a Model) -> Self {
+        CatSession { model, cache: None }
+    }
+
+    /// Evaluate all checks against one candidate execution, reusing the
+    /// cached static environment when `x` comes from the same
+    /// pre-execution as the previous candidate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`].
+    pub fn evaluate(&mut self, x: &Execution) -> Result<CatOutcome, EvalError> {
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|(events, _)| Arc::ptr_eq(events, &x.events));
+        if !hit {
+            self.cache = Some((Arc::clone(&x.events), static_env(x)?));
+        }
+        let mut env = self.cache.as_ref().expect("cache filled above").1.clone();
+        insert_witness(&mut env, x);
+        evaluate_with_env(self.model, x.universe(), env)
+    }
 }
 
 #[cfg(test)]

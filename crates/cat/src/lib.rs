@@ -42,10 +42,10 @@ pub mod printer;
 
 pub use ast::{CheckKind, Expr, Instr, Model};
 pub use builtin::LINUX_KERNEL_CAT;
-pub use eval::{CatOutcome, EvalError};
+pub use eval::{CatOutcome, CatSession, EvalError};
 pub use parser::CatParseError;
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, Execution, ModelSession};
 
 /// A parsed cat model, usable as a [`ConsistencyModel`].
 #[derive(Clone, Debug)]
@@ -102,6 +102,20 @@ impl ConsistencyModel for CatModel {
             .expect("cat evaluation failed")
             .failed_check
             .map(|c| format!("violates cat check `{c}`"))
+    }
+
+    fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
+        Some(Box::new(CatSession::new(&self.model)))
+    }
+}
+
+impl ModelSession for CatSession<'_> {
+    /// # Panics
+    ///
+    /// Panics if the model has semantic errors, like
+    /// [`ConsistencyModel::allows`] on [`CatModel`].
+    fn allows(&mut self, x: &Execution) -> bool {
+        self.evaluate(x).expect("cat evaluation failed").allowed()
     }
 }
 

@@ -41,5 +41,5 @@ pub mod model;
 pub mod relations;
 
 pub use explain::{explain_violation, Violation};
-pub use model::{Axiom, Lkmm};
-pub use relations::{rcu_path_fixpoint, LkmmRelations};
+pub use model::{Axiom, Lkmm, LkmmSession};
+pub use relations::{rcu_path_fixpoint, LkmmRelations, LkmmStatics};

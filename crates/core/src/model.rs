@@ -1,9 +1,10 @@
 //! The LKMM as a [`ConsistencyModel`]: the four core axioms of Figure 3
 //! plus the RCU axiom of Figure 12.
 
-use crate::relations::LkmmRelations;
-use lkmm_exec::{ConsistencyModel, Execution};
+use crate::relations::{LkmmRelations, LkmmStatics};
+use lkmm_exec::{ConsistencyModel, Event, Execution, ModelSession};
 use std::fmt;
+use std::sync::Arc;
 
 /// The axioms of the model (Figure 3 + Figure 12).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,10 +72,10 @@ impl Lkmm {
 
     /// As [`Lkmm::violated_axiom`], reusing precomputed relations.
     pub fn violated_axiom_with(&self, x: &Execution, r: &LkmmRelations) -> Option<Axiom> {
-        if !x.po_loc().union(&r.com).is_acyclic() {
+        if !r.po_loc.union(&r.com).is_acyclic() {
             return Some(Axiom::Scpv);
         }
-        let fre_coe = r.fr.intersection(&x.ext_rel()).seq(&x.co.intersection(&x.ext_rel()));
+        let fre_coe = r.fr.intersection(&r.ext).seq(&x.co.intersection(&r.ext));
         if !x.rmw.intersection(&fre_coe).is_empty() {
             return Some(Axiom::At);
         }
@@ -109,6 +110,35 @@ impl ConsistencyModel for Lkmm {
 
     fn explain(&self, x: &Execution) -> Option<String> {
         self.violated_axiom(x).map(|a| format!("violates {a}"))
+    }
+
+    fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
+        Some(Box::new(LkmmSession { model: *self, cache: None }))
+    }
+}
+
+/// A stateful checking session for the native LKMM: caches the
+/// witness-independent [`LkmmStatics`] across the candidates of one
+/// pre-execution, keyed on the identity of the shared event list. The
+/// held `Arc` keeps the allocation alive, so pointer identity cannot be
+/// recycled while the cache entry exists.
+pub struct LkmmSession {
+    model: Lkmm,
+    cache: Option<(Arc<Vec<Event>>, LkmmStatics)>,
+}
+
+impl ModelSession for LkmmSession {
+    fn allows(&mut self, x: &Execution) -> bool {
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|(events, _)| Arc::ptr_eq(events, &x.events));
+        if !hit {
+            self.cache = Some((Arc::clone(&x.events), LkmmStatics::compute(x)));
+        }
+        let statics = &self.cache.as_ref().expect("cache filled above").1;
+        let r = LkmmRelations::compute_with(x, statics);
+        self.model.violated_axiom_with(x, &r).is_none()
     }
 }
 

@@ -7,7 +7,143 @@
 
 use lkmm_exec::Execution;
 use lkmm_litmus::FenceKind;
-use lkmm_relation::Relation;
+use lkmm_relation::{EventSet, Relation};
+
+/// The relations of Figures 8 and 12 that do not depend on the
+/// execution witness (`rf`/`co`): fence relations, dependency
+/// skeletons, RCU grace-period/read-side-section shapes, and the
+/// auxiliary `int`/`ext`/`id` relations and `R`/`W` sets.
+///
+/// All candidates sharing one pre-execution (thread-outcome combination)
+/// have identical statics, so sessions compute this once per
+/// pre-execution — keyed on `Arc::ptr_eq` of `Execution::events` — and
+/// reuse it for every witness. This removes the `O(n²)` `int`/`loc`
+/// rebuilds and the fence `po;[F];po` sequences from the per-candidate
+/// hot loop.
+#[derive(Clone, Debug)]
+pub struct LkmmStatics {
+    /// `id`.
+    pub id: Relation,
+    /// `int`: same-thread pairs.
+    pub int: Relation,
+    /// `ext = ~int`.
+    pub ext: Relation,
+    /// `R`.
+    pub reads: EventSet,
+    /// `W`.
+    pub writes: EventSet,
+    /// `po-loc`.
+    pub po_loc: Relation,
+    /// `rmb`.
+    pub rmb: Relation,
+    /// `wmb`.
+    pub wmb: Relation,
+    /// `mb`.
+    pub mb: Relation,
+    /// `rb-dep`.
+    pub rb_dep: Relation,
+    /// `[Acquire]`.
+    pub acquires_id: Relation,
+    /// `[Release]`.
+    pub releases_id: Relation,
+    /// `acq-po`.
+    pub acq_po: Relation,
+    /// `po-rel`.
+    pub po_rel: Relation,
+    /// `gp`.
+    pub gp: Relation,
+    /// `gp` extended with every SRCU domain's grace periods.
+    pub gp_strong: Relation,
+    /// `dep = addr ∪ data`.
+    pub dep: Relation,
+    /// `rwdep = (dep ∪ ctrl) ∩ (R × W)`.
+    pub rwdep: Relation,
+    /// `strong-fence = mb ∪ gp`.
+    pub strong_fence: Relation,
+    /// `fence`.
+    pub fence: Relation,
+    /// `rscs = po ; crit⁻¹ ; po?`.
+    pub rscs: Relation,
+    /// Per-SRCU-domain `(gp_d, rscs_d)` pairs.
+    pub srcu: Vec<(Relation, Relation)>,
+}
+
+impl LkmmStatics {
+    /// Compute the witness-independent relations for `x`'s
+    /// pre-execution.
+    pub fn compute(x: &Execution) -> Self {
+        let n = x.universe();
+        let id = Relation::identity(n);
+        let int = x.int_rel();
+        let ext = int.complement();
+        let reads = x.reads();
+        let writes = x.writes();
+        let po_loc = x.po_loc();
+
+        let rr = reads.cross(&reads);
+        let ww = writes.cross(&writes);
+        let rmb = x.fencerel(FenceKind::Rmb).intersection(&rr);
+        let wmb = x.fencerel(FenceKind::Wmb).intersection(&ww);
+        let mb = x.fencerel(FenceKind::Mb);
+        let rb_dep = x.fencerel(FenceKind::RbDep).intersection(&rr);
+        let acquires_id = x.acquires().as_identity();
+        let releases_id = x.releases().as_identity();
+        let acq_po = acquires_id.seq(&x.po);
+        let po_rel = x.po.seq(&releases_id);
+        let gp = x.gp();
+        // synchronize_srcu provides the same strong-fence ordering as
+        // synchronize_rcu (the kernel's documented guarantee); the real
+        // linux-kernel.cat likewise puts Sync-srcu into gp.
+        let srcu_domains = x.srcu_domains();
+        let gp_strong = srcu_domains.iter().fold(gp.clone(), |mut acc, &d| {
+            acc.union_in_place(&x.srcu_gp(d));
+            acc
+        });
+
+        let dep = x.addr.union(&x.data);
+        let rwdep = dep.union(&x.ctrl).intersection(&reads.cross(&writes));
+        let strong_fence = mb.union(&gp_strong);
+        let mut fence = strong_fence.union(&po_rel);
+        fence.union_in_place(&wmb);
+        fence.union_in_place(&rmb);
+        fence.union_in_place(&acq_po);
+
+        let rscs = x.po.seq(&x.crit().inverse()).seq(&x.po.reflexive());
+        let srcu = srcu_domains
+            .iter()
+            .map(|&d| {
+                let sgp = x.srcu_gp(d);
+                let srscs = x.po.seq(&x.srcu_crit(d).inverse()).seq(&x.po.reflexive());
+                (sgp, srscs)
+            })
+            .collect();
+
+        LkmmStatics {
+            id,
+            int,
+            ext,
+            reads,
+            writes,
+            po_loc,
+            rmb,
+            wmb,
+            mb,
+            rb_dep,
+            acquires_id,
+            releases_id,
+            acq_po,
+            po_rel,
+            gp,
+            gp_strong,
+            dep,
+            rwdep,
+            strong_fence,
+            fence,
+            rscs,
+            srcu,
+        }
+    }
+}
 
 /// All LKMM relations for one candidate execution.
 #[derive(Clone, Debug)]
@@ -17,6 +153,8 @@ pub struct LkmmRelations {
     pub fr: Relation,
     /// `com = rf ∪ co ∪ fr`.
     pub com: Relation,
+    /// `ext = ~int` (auxiliary, reused by the `At` axiom check).
+    pub ext: Relation,
     /// `po-loc`.
     pub po_loc: Relation,
     /// `rmb`: read pairs separated by `smp_rmb`.
@@ -84,116 +222,85 @@ pub struct LkmmRelations {
 impl LkmmRelations {
     /// Compute every relation for `x`.
     pub fn compute(x: &Execution) -> Self {
-        let n = x.universe();
-        let id = Relation::identity(n);
-        let int = x.int_rel();
-        let ext = x.ext_rel();
-        let reads = x.reads();
-        let writes = x.writes();
-        let rfi = x.rfi();
-        let rfe = x.rfe();
+        Self::compute_with(x, &LkmmStatics::compute(x))
+    }
+
+    /// As [`LkmmRelations::compute`], reusing precomputed
+    /// witness-independent relations (see [`LkmmStatics`]). Only the
+    /// `rf`/`co`-dependent relations are recomputed here.
+    pub fn compute_with(x: &Execution, s: &LkmmStatics) -> Self {
+        let rfi = x.rf.intersection(&s.int);
+        let rfe = x.rf.intersection(&s.ext);
 
         let fr = x.fr();
-        let com = x.com();
-        let po_loc = x.po_loc();
+        let mut com = x.rf.union(&x.co);
+        com.union_in_place(&fr);
 
-        let rr = reads.cross(&reads);
-        let ww = writes.cross(&writes);
-        let rmb = x.fencerel(FenceKind::Rmb).intersection(&rr);
-        let wmb = x.fencerel(FenceKind::Wmb).intersection(&ww);
-        let mb = x.fencerel(FenceKind::Mb);
-        let rb_dep = x.fencerel(FenceKind::RbDep).intersection(&rr);
-        let acq_po = x.acquires().as_identity().seq(&x.po);
-        let po_rel = x.po.seq(&x.releases().as_identity());
-        let rfi_rel_acq = x
-            .releases()
-            .as_identity()
-            .seq(&rfi)
-            .seq(&x.acquires().as_identity());
-        let gp = x.gp();
-        // synchronize_srcu provides the same strong-fence ordering as
-        // synchronize_rcu (the kernel's documented guarantee); the real
-        // linux-kernel.cat likewise puts Sync-srcu into gp.
-        let srcu_domains = x.srcu_domains();
-        let gp_strong = srcu_domains
-            .iter()
-            .fold(gp.clone(), |acc, &d| acc.union(&x.srcu_gp(d)));
+        let rfi_rel_acq = s.releases_id.seq(&rfi).seq(&s.acquires_id);
 
-        let dep = x.addr.union(&x.data);
-        let rwdep = dep.union(&x.ctrl).intersection(&reads.cross(&writes));
         let overwrite = x.co.union(&fr);
-        let to_w = rwdep.union(&overwrite.intersection(&int));
-        let rrdep = x.addr.union(&dep.seq(&rfi));
-        let strong_rrdep = rrdep.transitive_closure().intersection(&rb_dep);
+        let to_w = s.rwdep.union(&overwrite.intersection(&s.int));
+        let rrdep = x.addr.union(&s.dep.seq(&rfi));
+        let strong_rrdep = rrdep.transitive_closure().intersection(&s.rb_dep);
         let to_r = strong_rrdep.union(&rfi_rel_acq);
-        let strong_fence = mb.union(&gp_strong);
-        let fence = strong_fence
-            .union(&po_rel)
-            .union(&wmb)
-            .union(&rmb)
-            .union(&acq_po);
-        let ppo = rrdep
-            .reflexive_transitive_closure()
-            .seq(&to_r.union(&to_w).union(&fence));
+        let mut ppo_target = to_r.union(&to_w);
+        ppo_target.union_in_place(&s.fence);
+        let ppo = rrdep.reflexive_transitive_closure().seq(&ppo_target);
         // A-cumul(r) = rfe? ; r
         let a_cumul = |r: &Relation| rfe.reflexive().seq(r);
-        let cumul_fence = a_cumul(&strong_fence.union(&po_rel)).union(&wmb);
+        let cumul_fence = a_cumul(&s.strong_fence.union(&s.po_rel)).union(&s.wmb);
         let prop = overwrite
-            .intersection(&ext)
+            .intersection(&s.ext)
             .reflexive()
             .seq(&cumul_fence.reflexive_transitive_closure())
             .seq(&rfe.reflexive());
-        let hb = prop
-            .difference(&id)
-            .intersection(&int)
-            .union(&ppo)
-            .union(&rfe);
-        let pb = prop.seq(&strong_fence).seq(&hb.reflexive_transitive_closure());
+        let mut hb = prop.difference(&s.id);
+        hb.intersection_in_place(&s.int);
+        hb.union_in_place(&ppo);
+        hb.union_in_place(&rfe);
+        let pb = prop.seq(&s.strong_fence).seq(&hb.reflexive_transitive_closure());
 
-        let rscs = x.po.seq(&x.crit().inverse()).seq(&x.po.reflexive());
         let link = hb
             .reflexive_transitive_closure()
             .seq(&pb.reflexive_transitive_closure())
             .seq(&prop);
-        let gp_link = gp.seq(&link);
-        let rscs_link = rscs.seq(&link);
+        let gp_link = s.gp.seq(&link);
+        let rscs_link = s.rscs.seq(&link);
         let rcu_path = rcu_path_fixpoint(&gp_link, &rscs_link);
-        let srcu_paths = srcu_domains
+        let srcu_paths = s
+            .srcu
             .iter()
-            .map(|&d| {
-                let sgp = x.srcu_gp(d);
-                let srscs = x.po.seq(&x.srcu_crit(d).inverse()).seq(&x.po.reflexive());
-                rcu_path_fixpoint(&sgp.seq(&link), &srscs.seq(&link))
-            })
+            .map(|(sgp, srscs)| rcu_path_fixpoint(&sgp.seq(&link), &srscs.seq(&link)))
             .collect();
 
         LkmmRelations {
             fr,
             com,
-            po_loc,
-            rmb,
-            wmb,
-            mb,
-            rb_dep,
-            acq_po,
-            po_rel,
+            ext: s.ext.clone(),
+            po_loc: s.po_loc.clone(),
+            rmb: s.rmb.clone(),
+            wmb: s.wmb.clone(),
+            mb: s.mb.clone(),
+            rb_dep: s.rb_dep.clone(),
+            acq_po: s.acq_po.clone(),
+            po_rel: s.po_rel.clone(),
             rfi_rel_acq,
-            gp,
-            dep,
-            rwdep,
+            gp: s.gp.clone(),
+            dep: s.dep.clone(),
+            rwdep: s.rwdep.clone(),
             overwrite,
             to_w,
             rrdep,
             strong_rrdep,
             to_r,
-            strong_fence,
-            fence,
+            strong_fence: s.strong_fence.clone(),
+            fence: s.fence.clone(),
             ppo,
             cumul_fence,
             prop,
             hb,
             pb,
-            rscs,
+            rscs: s.rscs.clone(),
             link,
             gp_link,
             rscs_link,
@@ -217,14 +324,23 @@ impl LkmmRelations {
 /// sections.
 pub fn rcu_path_fixpoint(gp_link: &Relation, rscs_link: &Relation) -> Relation {
     let n = gp_link.universe();
+    // The first two union operands are loop-invariant; the loop body
+    // accumulates into one buffer with in-place unions and reuses two
+    // scratch relations for the three-way sequences.
+    let base = gp_link.union(&gp_link.seq(rscs_link)).union(&rscs_link.seq(gp_link));
     let mut cur = Relation::empty(n);
+    let mut scratch = Relation::empty(n);
+    let mut scratch2 = Relation::empty(n);
     loop {
-        let next = gp_link
-            .union(&cur.seq(&cur))
-            .union(&gp_link.seq(rscs_link))
-            .union(&rscs_link.seq(gp_link))
-            .union(&gp_link.seq(&cur).seq(rscs_link))
-            .union(&rscs_link.seq(&cur).seq(gp_link));
+        let mut next = base.clone();
+        cur.seq_into(&cur, &mut scratch);
+        next.union_in_place(&scratch);
+        gp_link.seq_into(&cur, &mut scratch);
+        scratch.seq_into(rscs_link, &mut scratch2);
+        next.union_in_place(&scratch2);
+        rscs_link.seq_into(&cur, &mut scratch);
+        scratch.seq_into(gp_link, &mut scratch2);
+        next.union_in_place(&scratch2);
         if next == cur {
             return cur;
         }

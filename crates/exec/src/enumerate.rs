@@ -14,6 +14,8 @@ use lkmm_litmus::FenceKind;
 use lkmm_relation::Relation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Tuning knobs for the enumerator.
 #[derive(Clone, Debug)]
@@ -93,7 +95,10 @@ impl std::error::Error for EnumError {}
 /// ```
 pub fn enumerate(test: &Test, opts: &EnumOptions) -> Result<Vec<Execution>, EnumError> {
     let mut out = Vec::new();
-    for_each_execution(test, opts, &mut |x| out.push(x.clone()))?;
+    let _ = try_for_each_execution(test, opts, &mut |x| {
+        out.push(x);
+        ControlFlow::Continue(())
+    })?;
     Ok(out)
 }
 
@@ -108,6 +113,31 @@ pub fn for_each_execution(
     opts: &EnumOptions,
     visit: &mut dyn FnMut(&Execution),
 ) -> Result<(), EnumError> {
+    try_for_each_execution(test, opts, &mut |x| {
+        visit(&x);
+        ControlFlow::Continue(())
+    })
+    .map(drop)
+}
+
+/// Abortable streaming enumeration: each candidate is passed to `visit`
+/// *by value* (candidates share their pre-witness structure behind `Arc`s,
+/// so this is cheap), and the visitor may stop the enumeration early by
+/// returning [`ControlFlow::Break`]. This is the primitive the parallel
+/// check pipeline feeds from — both the move (no clone per candidate) and
+/// the abort (early-exit once a verdict is decided) matter there.
+///
+/// Returns [`ControlFlow::Break`] if the visitor stopped the run, and
+/// [`ControlFlow::Continue`] if the candidate space was exhausted.
+///
+/// # Errors
+///
+/// See [`EnumError`].
+pub fn try_for_each_execution(
+    test: &Test,
+    opts: &EnumOptions,
+    visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
+) -> Result<ControlFlow<()>, EnumError> {
     if test.threads.is_empty() {
         return Err(EnumError::NoThreads);
     }
@@ -164,13 +194,15 @@ pub fn for_each_execution(
         let chosen: Vec<&ThreadOutcome> =
             combo.iter().enumerate().map(|(t, &i)| &outcomes[t][i]).collect();
         let pre = build_pre_execution(&locs, &init_vals, &chosen)?;
-        enumerate_witnesses(&pre, opts, &mut emitted, visit)?;
+        if enumerate_witnesses(&pre, opts, &mut emitted, visit)?.is_break() {
+            return Ok(ControlFlow::Break(()));
+        }
 
         // Advance the per-thread outcome combination (odometer).
         let mut t = 0;
         loop {
             if t == combo.len() {
-                return Ok(());
+                return Ok(ControlFlow::Continue(()));
             }
             combo[t] += 1;
             if combo[t] < outcomes[t].len() {
@@ -292,17 +324,19 @@ fn explore_thread(
     Ok(done)
 }
 
-/// Everything fixed before `rf`/`co` are chosen.
+/// Everything fixed before `rf`/`co` are chosen. The shared parts are
+/// already behind `Arc`s so every candidate built from this pre-execution
+/// clones reference counts, not data.
 struct PreExecution {
-    locs: Vec<String>,
-    events: Vec<Event>,
+    locs: Arc<Vec<String>>,
+    events: Arc<Vec<Event>>,
     n_threads: usize,
-    po: Relation,
-    addr: Relation,
-    data: Relation,
-    ctrl: Relation,
-    rmw: Relation,
-    final_regs: Vec<BTreeMap<String, Val>>,
+    po: Arc<Relation>,
+    addr: Arc<Relation>,
+    data: Arc<Relation>,
+    ctrl: Arc<Relation>,
+    rmw: Arc<Relation>,
+    final_regs: Arc<Vec<BTreeMap<String, Val>>>,
     /// Global indices of reads, with (loc, val).
     reads: Vec<(usize, LocId, Val)>,
     /// Global indices of non-init writes per location.
@@ -406,15 +440,15 @@ fn build_pre_execution(
     }
 
     Ok(PreExecution {
-        locs: locs.to_vec(),
-        events,
+        locs: Arc::new(locs.to_vec()),
+        events: Arc::new(events),
         n_threads: chosen.len(),
-        po,
-        addr,
-        data,
-        ctrl,
-        rmw,
-        final_regs,
+        po: Arc::new(po),
+        addr: Arc::new(addr),
+        data: Arc::new(data),
+        ctrl: Arc::new(ctrl),
+        rmw: Arc::new(rmw),
+        final_regs: Arc::new(final_regs),
         reads,
         writes_per_loc,
         init_write,
@@ -426,8 +460,8 @@ fn enumerate_witnesses(
     pre: &PreExecution,
     opts: &EnumOptions,
     emitted: &mut usize,
-    visit: &mut dyn FnMut(&Execution),
-) -> Result<(), EnumError> {
+    visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
+) -> Result<ControlFlow<()>, EnumError> {
     // Candidate rf sources per read: same location, same value.
     let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(pre.reads.len());
     for &(_, loc, val) in &pre.reads {
@@ -442,7 +476,8 @@ fn enumerate_witnesses(
             }
         }
         if c.is_empty() {
-            return Ok(()); // this oracle assignment is unrealisable
+            // This oracle assignment is unrealisable.
+            return Ok(ControlFlow::Continue(()));
         }
         candidates.push(c);
     }
@@ -456,14 +491,14 @@ fn enumerate_witnesses(
         // Cheap pre-co prune: a read may not observe a po-later write.
         let rf_ok =
             !opts.prune_scpv || pre.po_loc.union(&rf).is_acyclic();
-        if rf_ok {
-            enumerate_co(pre, &rf, opts, emitted, visit)?;
+        if rf_ok && enumerate_co(pre, &rf, opts, emitted, visit)?.is_break() {
+            return Ok(ControlFlow::Break(()));
         }
 
         let mut i = 0;
         loop {
             if i == rf_choice.len() {
-                return Ok(());
+                return Ok(ControlFlow::Continue(()));
             }
             rf_choice[i] += 1;
             if rf_choice[i] < candidates[i].len() {
@@ -480,9 +515,10 @@ fn enumerate_co(
     rf: &Relation,
     opts: &EnumOptions,
     emitted: &mut usize,
-    visit: &mut dyn FnMut(&Execution),
-) -> Result<(), EnumError> {
+    visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
+) -> Result<ControlFlow<()>, EnumError> {
     // Per-location write permutations, enumerated recursively.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         pre: &PreExecution,
         rf: &Relation,
@@ -490,8 +526,8 @@ fn enumerate_co(
         loc: usize,
         orders: &mut Vec<Vec<usize>>,
         emitted: &mut usize,
-        visit: &mut dyn FnMut(&Execution),
-    ) -> Result<(), EnumError> {
+        visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
+    ) -> Result<ControlFlow<()>, EnumError> {
         if loc == pre.locs.len() {
             let mut co = Relation::empty(pre.events.len());
             for (l, order) in orders.iter().enumerate() {
@@ -501,11 +537,16 @@ fn enumerate_co(
                     prev = w;
                 }
             }
-            let co = co.transitive_closure();
+            co.transitive_close();
             if opts.prune_scpv {
-                let com = rf.union(&co).union(&rf.inverse().seq(&co));
-                if !pre.po_loc.union(&com).is_acyclic() {
-                    return Ok(());
+                // acyclic(po-loc ∪ rf ∪ co ∪ fr), built with in-place
+                // unions on top of fr = rf⁻¹ ; co.
+                let mut com = rf.inverse().seq(&co);
+                com.union_in_place(rf);
+                com.union_in_place(&co);
+                com.union_in_place(&pre.po_loc);
+                if !com.is_acyclic() {
+                    return Ok(ControlFlow::Continue(()));
                 }
             }
             *emitted += 1;
@@ -513,20 +554,19 @@ fn enumerate_co(
                 return Err(EnumError::TooManyExecutions);
             }
             let x = Execution {
-                locs: pre.locs.clone(),
-                events: pre.events.clone(),
+                locs: Arc::clone(&pre.locs),
+                events: Arc::clone(&pre.events),
                 n_threads: pre.n_threads,
-                po: pre.po.clone(),
-                addr: pre.addr.clone(),
-                data: pre.data.clone(),
-                ctrl: pre.ctrl.clone(),
-                rmw: pre.rmw.clone(),
+                po: Arc::clone(&pre.po),
+                addr: Arc::clone(&pre.addr),
+                data: Arc::clone(&pre.data),
+                ctrl: Arc::clone(&pre.ctrl),
+                rmw: Arc::clone(&pre.rmw),
                 rf: rf.clone(),
                 co,
-                final_regs: pre.final_regs.clone(),
+                final_regs: Arc::clone(&pre.final_regs),
             };
-            visit(&x);
-            return Ok(());
+            return Ok(visit(x));
         }
         let writes = pre.writes_per_loc[loc].clone();
         permute(writes, &mut |perm| {
@@ -540,25 +580,29 @@ fn enumerate_co(
     rec(pre, rf, opts, 0, &mut orders, emitted, visit)
 }
 
-/// Call `f` on every permutation of `items` (simple recursive generation).
+/// Call `f` on every permutation of `items` (simple recursive generation),
+/// stopping early if `f` breaks.
 fn permute<E>(
     mut items: Vec<usize>,
-    f: &mut dyn FnMut(&[usize]) -> Result<(), E>,
-) -> Result<(), E> {
+    f: &mut dyn FnMut(&[usize]) -> Result<ControlFlow<()>, E>,
+) -> Result<ControlFlow<()>, E> {
     fn rec<E>(
         items: &mut Vec<usize>,
         k: usize,
-        f: &mut dyn FnMut(&[usize]) -> Result<(), E>,
-    ) -> Result<(), E> {
+        f: &mut dyn FnMut(&[usize]) -> Result<ControlFlow<()>, E>,
+    ) -> Result<ControlFlow<()>, E> {
         if k == items.len() {
             return f(items);
         }
         for i in k..items.len() {
             items.swap(k, i);
-            rec(items, k + 1, f)?;
+            let flow = rec(items, k + 1, f)?;
             items.swap(k, i);
+            if flow.is_break() {
+                return Ok(ControlFlow::Break(()));
+            }
         }
-        Ok(())
+        Ok(ControlFlow::Continue(()))
     }
     rec(&mut items, 0, f)
 }

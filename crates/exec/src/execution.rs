@@ -6,6 +6,7 @@ use lkmm_litmus::FenceKind;
 use lkmm_relation::{EventSet, Relation};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// One candidate execution of a litmus test: events plus the abstract
 /// execution relations (`po`, `addr`, `data`, `ctrl`, `rmw`) and the
@@ -15,31 +16,39 @@ use std::fmt;
 /// (`fr`, `po_loc`, `rfe`, [`Execution::fencerel`], the RCU `crit`
 /// matching, …). Events are densely numbered: initialising writes first,
 /// then each thread's events in program order.
+///
+/// The pre-witness part (everything except `rf`/`co`) is shared between
+/// the many candidates of one thread-outcome combination behind `Arc`s:
+/// cloning a candidate — and sending it to a pipeline worker — copies two
+/// bitset relations and a handful of reference counts, not the whole
+/// event structure. The shared `events` allocation also gives model
+/// implementations a stable identity (`Arc::as_ptr`) to key per-test
+/// caches on.
 #[derive(Clone, Debug)]
 pub struct Execution {
     /// Location names; `LocId(i)` names `locs[i]`.
-    pub locs: Vec<String>,
+    pub locs: Arc<Vec<String>>,
     /// All events. `events[i].id == i`.
-    pub events: Vec<Event>,
+    pub events: Arc<Vec<Event>>,
     /// Number of program threads.
     pub n_threads: usize,
     /// Program order (transitive, per thread).
-    pub po: Relation,
+    pub po: Arc<Relation>,
     /// Address dependencies (from reads).
-    pub addr: Relation,
+    pub addr: Arc<Relation>,
     /// Data dependencies (from reads to writes).
-    pub data: Relation,
+    pub data: Arc<Relation>,
     /// Control dependencies (from reads).
-    pub ctrl: Relation,
+    pub ctrl: Arc<Relation>,
     /// Read-modify-write pairing.
-    pub rmw: Relation,
+    pub rmw: Arc<Relation>,
     /// Reads-from: one write per read.
     pub rf: Relation,
     /// Coherence order: total per location, initialising write first
     /// (stored transitively closed).
     pub co: Relation,
     /// Final register values, per thread.
-    pub final_regs: Vec<BTreeMap<String, Val>>,
+    pub final_regs: Arc<Vec<BTreeMap<String, Val>>>,
 }
 
 impl Execution {
@@ -99,8 +108,8 @@ impl Execution {
     /// `loc`: pairs of memory accesses to the same location.
     pub fn loc_rel(&self) -> Relation {
         let mut r = Relation::empty(self.universe());
-        for a in &self.events {
-            for b in &self.events {
+        for a in self.events.iter() {
+            for b in self.events.iter() {
                 if let (Some(la), Some(lb)) = (a.loc(), b.loc()) {
                     if la == lb {
                         r.insert(a.id, b.id);
@@ -115,8 +124,8 @@ impl Execution {
     /// writes belong to no thread, so they are `int` only with themselves.
     pub fn int_rel(&self) -> Relation {
         let mut r = Relation::identity(self.universe());
-        for a in &self.events {
-            for b in &self.events {
+        for a in self.events.iter() {
+            for b in self.events.iter() {
                 if a.thread.is_some() && a.thread == b.thread {
                     r.insert(a.id, b.id);
                 }
@@ -266,7 +275,7 @@ impl Execution {
     /// The final value of each location: the coherence-maximal write.
     pub fn final_values(&self) -> BTreeMap<LocId, Val> {
         let mut out = BTreeMap::new();
-        for e in &self.events {
+        for e in self.events.iter() {
             if let EventKind::Write { loc, val, .. } = e.kind {
                 // co-maximal: no other write to loc is co-after e.
                 let maximal = !self.co.successors(e.id).any(|_| true);
@@ -300,7 +309,7 @@ impl Execution {
     /// `po`/`rf`/`co`/dependency edges), for debugging and documentation.
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph execution {\n  rankdir=TB;\n");
-        for e in &self.events {
+        for e in self.events.iter() {
             out.push_str(&format!("  e{} [label=\"{}\"];\n", e.id, e));
         }
         let edge_sets: [(&str, &Relation, &str); 5] = [
@@ -329,7 +338,7 @@ impl Execution {
 impl fmt::Display for Execution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "execution with {} events:", self.universe())?;
-        for e in &self.events {
+        for e in self.events.iter() {
             writeln!(f, "  {e}")?;
         }
         write!(f, "  rf={:?} co={:?}", self.rf, self.co)

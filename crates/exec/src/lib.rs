@@ -32,13 +32,15 @@
 
 pub mod enumerate;
 pub mod model;
+pub mod pipeline;
 pub mod states;
 pub mod event;
 pub mod execution;
 pub mod thread;
 
-pub use enumerate::{enumerate, EnumError, EnumOptions};
+pub use enumerate::{enumerate, for_each_execution, try_for_each_execution, EnumError, EnumOptions};
 pub use event::{Event, EventKind, LocId, ReadAnnot, SrcuKind, Val, WriteAnnot};
 pub use execution::Execution;
-pub use model::{check_test, ConsistencyModel, TestResult, Verdict};
+pub use model::{check_test, open_session, ConsistencyModel, ModelSession, TestResult, Verdict};
+pub use pipeline::{check_test_pipelined, effective_jobs, PipelineOptions};
 pub use states::{collect_states, StateSummary};

@@ -7,7 +7,11 @@ use lkmm_litmus::cond::Quantifier;
 use std::fmt;
 
 /// An axiomatic consistency model: a predicate on candidate executions.
-pub trait ConsistencyModel {
+///
+/// Models are required to be [`Sync`] so one model instance can be shared
+/// by the parallel check pipeline's workers. Every model in this
+/// workspace is a plain immutable struct, so the bound costs nothing.
+pub trait ConsistencyModel: Sync {
     /// Short model name, e.g. `"LKMM"`.
     fn name(&self) -> &str;
 
@@ -23,6 +27,43 @@ pub trait ConsistencyModel {
         } else {
             Some(format!("forbidden by {}", self.name()))
         }
+    }
+
+    /// Open a stateful per-worker evaluation session, if the model has
+    /// one. Sessions may carry mutable caches keyed on the candidate's
+    /// shared pre-execution (e.g. the cat interpreter's static
+    /// environment), which a `&self` [`ConsistencyModel::allows`] cannot.
+    ///
+    /// Callers should go through [`open_session`], which falls back to a
+    /// stateless pass-through for models that return `None` here.
+    fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
+        None
+    }
+}
+
+/// A stateful evaluation handle used by one checking thread. Unlike
+/// [`ConsistencyModel::allows`], [`ModelSession::allows`] takes `&mut
+/// self`, so implementations can cache work shared by the candidates of
+/// one litmus test (static event sets, compiled environments, …) without
+/// interior mutability. Sessions are cheap to create: the pipeline opens
+/// one per worker.
+pub trait ModelSession {
+    /// Whether the model allows this candidate execution.
+    fn allows(&mut self, x: &Execution) -> bool;
+}
+
+/// Open an evaluation session for `model`: its own caching session if it
+/// provides one, otherwise a stateless adapter over
+/// [`ConsistencyModel::allows`].
+pub fn open_session(model: &dyn ConsistencyModel) -> Box<dyn ModelSession + '_> {
+    model.session().unwrap_or_else(|| Box::new(StatelessSession(model)))
+}
+
+struct StatelessSession<'a>(&'a dyn ConsistencyModel);
+
+impl ModelSession for StatelessSession<'_> {
+    fn allows(&mut self, x: &Execution) -> bool {
+        self.0.allows(x)
     }
 }
 
@@ -91,13 +132,14 @@ pub fn check_test(
     test: &Test,
     opts: &EnumOptions,
 ) -> Result<TestResult, EnumError> {
+    let mut session = open_session(model);
     let mut candidates = 0usize;
     let mut allowed = 0usize;
     let mut witnesses = 0usize;
     let mut all_allowed_satisfy = true;
     for_each_execution(test, opts, &mut |x| {
         candidates += 1;
-        if model.allows(x) {
+        if session.allows(x) {
             allowed += 1;
             if x.satisfies_prop(&test.condition.prop) {
                 witnesses += 1;

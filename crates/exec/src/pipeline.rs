@@ -1,0 +1,338 @@
+//! Parallel streaming candidate-execution checking.
+//!
+//! [`check_test`](crate::model::check_test) enumerates and checks on one
+//! thread. This module fans the same candidate stream out to a pool of
+//! worker threads: the enumerator (running on the calling thread) pushes
+//! owned [`Execution`]s into bounded per-worker queues round-robin, each
+//! worker evaluates the model through its own [`ModelSession`] (so
+//! per-test caches work without sharing), and the per-worker tallies are
+//! merged with `+`/`&&` — commutative, associative folds — so verdicts
+//! and counts are **bit-identical** to the sequential path no matter how
+//! the OS schedules the workers.
+//!
+//! The pool is hand-rolled on `std::thread::scope` + `std::sync::mpsc`:
+//! this workspace builds with zero external dependencies.
+//!
+//! Early exit (off by default) stops the pipeline as soon as the
+//! quantified verdict is decided — for `exists`/`~exists` at the first
+//! witness, for `forall` once both a witness and a non-satisfying allowed
+//! candidate have been seen. The verdict and `condition_holds` are
+//! guaranteed to match a full run; the `candidates`/`allowed`/`witnesses`
+//! counts are then lower bounds, which is why the flag exists instead of
+//! being always-on.
+
+use crate::enumerate::{try_for_each_execution, EnumError, EnumOptions};
+use crate::execution::Execution;
+use crate::model::{open_session, ConsistencyModel, TestResult, Verdict};
+use lkmm_litmus::ast::Test;
+use lkmm_litmus::cond::Quantifier;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Tuning knobs for the parallel check pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Worker threads. `0` means one per available hardware thread
+    /// (see [`effective_jobs`]); `1` checks on the calling thread with
+    /// no queues or workers.
+    pub jobs: usize,
+    /// Stop enumerating once the quantified verdict is decided. Verdict
+    /// and `condition_holds` still match a full run exactly; the counts
+    /// become lower bounds.
+    pub early_exit: bool,
+    /// Bound of each worker's candidate queue. Backpressure keeps the
+    /// enumerator from materialising the candidate space when workers
+    /// fall behind.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { jobs: 0, early_exit: false, queue_depth: 256 }
+    }
+}
+
+/// Resolve a `--jobs` value: `0` becomes the available parallelism
+/// (falling back to 1 if the platform cannot report it).
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// One worker's (or the sequential loop's) running totals. Merging two
+/// tallies is commutative and associative, which is what makes the
+/// parallel merge deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+struct Tally {
+    candidates: usize,
+    allowed: usize,
+    witnesses: usize,
+    /// Some allowed candidate does not satisfy the proposition (decides
+    /// `forall` negatively).
+    saw_non_satisfying: bool,
+}
+
+impl Tally {
+    fn merge(self, other: Tally) -> Tally {
+        Tally {
+            candidates: self.candidates + other.candidates,
+            allowed: self.allowed + other.allowed,
+            witnesses: self.witnesses + other.witnesses,
+            saw_non_satisfying: self.saw_non_satisfying || other.saw_non_satisfying,
+        }
+    }
+
+    /// Whether the quantified verdict can no longer change, so an
+    /// early-exit run may stop.
+    fn decided(&self, quantifier: Quantifier) -> bool {
+        match quantifier {
+            // First witness decides `exists` (holds) and `~exists`
+            // (fails); the verdict is Allowed either way.
+            Quantifier::Exists | Quantifier::NotExists => self.witnesses > 0,
+            // `forall` additionally needs the non-satisfying allowed
+            // candidate that decides `condition_holds = false`. If every
+            // allowed candidate satisfies, no early exit — the full run
+            // is what proves it.
+            Quantifier::Forall => self.witnesses > 0 && self.saw_non_satisfying,
+        }
+    }
+
+    fn into_result(self, quantifier: Quantifier) -> TestResult {
+        let verdict =
+            if self.witnesses > 0 { Verdict::Allowed } else { Verdict::Forbidden };
+        let condition_holds = match quantifier {
+            Quantifier::Exists => self.witnesses > 0,
+            Quantifier::NotExists => self.witnesses == 0,
+            Quantifier::Forall => !self.saw_non_satisfying,
+        };
+        TestResult {
+            verdict,
+            condition_holds,
+            candidates: self.candidates,
+            allowed: self.allowed,
+            witnesses: self.witnesses,
+        }
+    }
+}
+
+/// Check `test` against `model` on `pipe.jobs` worker threads.
+///
+/// With `jobs <= 1` this runs on the calling thread (still honouring
+/// `early_exit`); the output is identical either way.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`] from the enumerator.
+///
+/// # Panics
+///
+/// Re-raises panics from model evaluation on worker threads (e.g. a cat
+/// model with semantic errors).
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::model::{check_test, AllowAll};
+/// use lkmm_exec::pipeline::{check_test_pipelined, PipelineOptions};
+/// use lkmm_exec::enumerate::EnumOptions;
+///
+/// let test = lkmm_litmus::library::by_name("SB").unwrap().test();
+/// let opts = EnumOptions::default();
+/// let par = check_test_pipelined(
+///     &AllowAll,
+///     &test,
+///     &opts,
+///     &PipelineOptions { jobs: 4, ..Default::default() },
+/// ).unwrap();
+/// assert_eq!(par, check_test(&AllowAll, &test, &opts).unwrap());
+/// ```
+pub fn check_test_pipelined(
+    model: &dyn ConsistencyModel,
+    test: &Test,
+    opts: &EnumOptions,
+    pipe: &PipelineOptions,
+) -> Result<TestResult, EnumError> {
+    let jobs = effective_jobs(pipe.jobs);
+    let quantifier = test.condition.quantifier;
+    if jobs <= 1 {
+        return check_sequential(model, test, opts, pipe.early_exit);
+    }
+
+    let stop = AtomicBool::new(false);
+    let (tally, enum_result) = thread::scope(|s| {
+        let mut senders = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = mpsc::sync_channel::<Execution>(pipe.queue_depth.max(1));
+            senders.push(tx);
+            let stop = &stop;
+            let early_exit = pipe.early_exit;
+            handles.push(s.spawn(move || {
+                let mut session = open_session(model);
+                let mut tally = Tally::default();
+                while let Ok(x) = rx.recv() {
+                    tally.candidates += 1;
+                    if session.allows(&x) {
+                        tally.allowed += 1;
+                        if x.satisfies_prop(&test.condition.prop) {
+                            tally.witnesses += 1;
+                        } else {
+                            tally.saw_non_satisfying = true;
+                        }
+                    }
+                    if early_exit && tally.decided(quantifier) {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                tally
+            }));
+        }
+
+        // The enumerator runs on this thread, feeding workers
+        // round-robin; the bounded channels provide backpressure.
+        let mut seq = 0usize;
+        let enum_result = try_for_each_execution(test, opts, &mut |x| {
+            if stop.load(Ordering::Relaxed) {
+                return ControlFlow::Break(());
+            }
+            let worker = seq % jobs;
+            seq += 1;
+            match senders[worker].send(x) {
+                Ok(()) => ControlFlow::Continue(()),
+                // The worker exited early; stop producing.
+                Err(mpsc::SendError(_)) => ControlFlow::Break(()),
+            }
+        });
+        drop(senders); // hang up so workers drain and exit
+
+        let mut tally = Tally::default();
+        for handle in handles {
+            match handle.join() {
+                Ok(t) => tally = tally.merge(t),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        (tally, enum_result)
+    });
+
+    let _ = enum_result?;
+    Ok(tally.into_result(quantifier))
+}
+
+/// The `jobs <= 1` path: same loop, no queues.
+fn check_sequential(
+    model: &dyn ConsistencyModel,
+    test: &Test,
+    opts: &EnumOptions,
+    early_exit: bool,
+) -> Result<TestResult, EnumError> {
+    let quantifier = test.condition.quantifier;
+    let mut session = open_session(model);
+    let mut tally = Tally::default();
+    let _ = try_for_each_execution(test, opts, &mut |x| {
+        tally.candidates += 1;
+        if session.allows(&x) {
+            tally.allowed += 1;
+            if x.satisfies_prop(&test.condition.prop) {
+                tally.witnesses += 1;
+            } else {
+                tally.saw_non_satisfying = true;
+            }
+        }
+        if early_exit && tally.decided(quantifier) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(tally.into_result(quantifier))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{check_test, AllowAll};
+    use lkmm_litmus::library;
+
+    #[test]
+    fn parallel_matches_sequential_on_allow_all() {
+        let opts = EnumOptions::default();
+        for pt in library::all() {
+            let t = pt.test();
+            let seq = check_test(&AllowAll, &t, &opts).unwrap();
+            for jobs in [1, 2, 8] {
+                let par = check_test_pipelined(
+                    &AllowAll,
+                    &t,
+                    &opts,
+                    &PipelineOptions { jobs, ..Default::default() },
+                )
+                .unwrap();
+                assert_eq!(par, seq, "{} with jobs={jobs}", pt.name);
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_preserves_verdict_and_condition() {
+        let opts = EnumOptions::default();
+        for pt in library::all() {
+            let t = pt.test();
+            let full = check_test(&AllowAll, &t, &opts).unwrap();
+            for jobs in [1, 4] {
+                let fast = check_test_pipelined(
+                    &AllowAll,
+                    &t,
+                    &opts,
+                    &PipelineOptions { jobs, early_exit: true, ..Default::default() },
+                )
+                .unwrap();
+                assert_eq!(fast.verdict, full.verdict, "{}", pt.name);
+                assert_eq!(fast.condition_holds, full.condition_holds, "{}", pt.name);
+                assert!(fast.candidates <= full.candidates, "{}", pt.name);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_queue_depth_still_completes() {
+        let t = library::by_name("SB").unwrap().test();
+        let opts = EnumOptions::default();
+        let par = check_test_pipelined(
+            &AllowAll,
+            &t,
+            &opts,
+            &PipelineOptions { jobs: 3, queue_depth: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(par, check_test(&AllowAll, &t, &opts).unwrap());
+    }
+
+    #[test]
+    fn enum_errors_propagate_through_the_pipeline() {
+        let t = lkmm_litmus::parse(
+            "C t\n{ x=0; }\nP0(int *x) { rcu_read_lock(); WRITE_ONCE(*x, 1); }\nexists (x=1)",
+        )
+        .unwrap();
+        let err = check_test_pipelined(
+            &AllowAll,
+            &t,
+            &EnumOptions::default(),
+            &PipelineOptions { jobs: 2, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumError::UnbalancedRcu { thread: 0 });
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

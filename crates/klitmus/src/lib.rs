@@ -237,6 +237,65 @@ pub fn run_on_host(test: &Test, config: &HostConfig) -> Result<HostStats, HostEr
     Ok(stats)
 }
 
+/// Run a batch of tests on the host, `jobs` tests at a time (`0` = one
+/// per available hardware thread).
+///
+/// Results come back in input order regardless of which worker ran which
+/// test. Each test still spawns its own litmus threads, so the effective
+/// thread count is `jobs × threads-per-test`; callers batching large
+/// libraries may want `jobs` below the hardware thread count.
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_klitmus::{run_many_on_host, HostConfig};
+///
+/// let tests: Vec<_> = ["SB+mbs", "MP+wmb+rmb"]
+///     .iter()
+///     .map(|n| lkmm_litmus::library::by_name(n).unwrap().test())
+///     .collect();
+/// let stats = run_many_on_host(&tests, &HostConfig { iterations: 500 }, 2);
+/// assert!(stats.iter().all(|s| s.as_ref().unwrap().observed == 0));
+/// ```
+pub fn run_many_on_host(
+    tests: &[Test],
+    config: &HostConfig,
+    jobs: usize,
+) -> Vec<Result<HostStats, HostError>> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    };
+    let jobs = jobs.min(tests.len().max(1));
+    if jobs <= 1 {
+        return tests.iter().map(|t| run_on_host(t, config)).collect();
+    }
+    let mut out: Vec<Option<Result<HostStats, HostError>>> = Vec::new();
+    out.resize_with(tests.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            handles.push(scope.spawn(move || {
+                // Strided assignment: worker w runs tests w, w+jobs, …
+                tests
+                    .iter()
+                    .enumerate()
+                    .skip(w)
+                    .step_by(jobs)
+                    .map(|(i, t)| (i, run_on_host(t, config)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("klitmus worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("every test assigned to a worker")).collect()
+}
+
 struct Interp<'a> {
     tid: usize,
     mem: &'a [AtomicI64],
@@ -479,6 +538,24 @@ mod tests {
     fn pointer_tests_run() {
         let stats = run("MP+wmb+addr-acq", 5_000);
         assert_eq!(stats.observed, 0, "acquire-protected pointer chase broke");
+    }
+
+    #[test]
+    fn run_many_matches_run_one_for_forbidden_tests() {
+        let tests: Vec<_> = ["SB+mbs", "MP+wmb+rmb", "LB+ctrl+mb"]
+            .iter()
+            .map(|n| library::by_name(n).unwrap().test())
+            .collect();
+        let config = HostConfig { iterations: 2_000 };
+        for jobs in [1, 2, 0] {
+            let many = run_many_on_host(&tests, &config, jobs);
+            assert_eq!(many.len(), tests.len());
+            for (t, r) in tests.iter().zip(&many) {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.observed, 0, "{} (jobs={jobs})", t.name);
+                assert_eq!(r.total, config.iterations);
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `smp_mb()`. Readers are wait-free; `synchronize_rcu` waits for every
 //! pre-existing read-side critical section to complete.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
 /// `GP_PHASE` bit of the grace-period counter (Figure 15, line 1).
@@ -121,7 +121,7 @@ impl Urcu {
     pub fn synchronize_rcu(&self) {
         fence(Ordering::SeqCst); // line 44
         {
-            let _gp = self.gp_lock.lock(); // line 45
+            let _gp = self.gp_lock.lock().expect("RCU grace-period lock poisoned");
             self.update_counter_and_wait(); // line 46
             self.update_counter_and_wait(); // line 47
         } // line 48

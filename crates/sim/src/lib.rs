@@ -45,6 +45,7 @@
 
 pub mod exhaustive;
 pub mod machine;
+pub mod rng;
 pub mod runner;
 
 pub use exhaustive::{explore, ExploreResult};

@@ -20,8 +20,7 @@
 
 use lkmm_exec::{LocId, Val};
 use lkmm_litmus::ast::{AddrExpr, BinOp, Expr, FenceKind, RmwOrder, Stmt, Test};
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::SplitMix64;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -263,7 +262,7 @@ impl<'a> Machine<'a> {
     }
 
     /// Run to completion under the given RNG.
-    pub(crate) fn run(&mut self, rng: &mut StdRng) -> Result<(), MachineError> {
+    pub(crate) fn run(&mut self, rng: &mut SplitMix64) -> Result<(), MachineError> {
         loop {
             let actions = self.enabled_actions();
             if actions.is_empty() {
@@ -274,7 +273,7 @@ impl<'a> Machine<'a> {
                 }
                 return Err(MachineError::Deadlock);
             }
-            let a = actions[rng.gen_range(0..actions.len())];
+            let a = actions[rng.gen_index(actions.len())];
             self.execute(a)?;
         }
     }

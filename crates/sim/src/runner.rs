@@ -4,8 +4,7 @@ use crate::machine::{Arch, Machine, MachineError};
 use lkmm_exec::{LocId, Val};
 use lkmm_litmus::ast::{InitVal, Test};
 use lkmm_litmus::cond::{CondVal, StateTerm};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 use std::collections::BTreeMap;
 
 /// Harness configuration.
@@ -86,7 +85,7 @@ pub fn run_test(test: &Test, arch: Arch, config: &RunConfig) -> Result<RunStats,
     let mut stats =
         RunStats { observed: 0, total: config.iterations, histogram: BTreeMap::new() };
     for i in 0..config.iterations {
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i));
+        let mut rng = SplitMix64::seed_from_u64(config.seed.wrapping_add(i));
         let mut m = Machine::new(test, &locs, &init, arch);
         m.run(&mut rng)?;
 

@@ -62,7 +62,7 @@ fn main() {
 
     // 4. Events render as in the paper's execution diagrams.
     println!("\nWeak-outcome candidate execution:");
-    for e in &weak.events {
+    for e in weak.events.iter() {
         println!("  {e}");
     }
 

@@ -1,9 +1,14 @@
 //! `herd-rs` — check a litmus test against a consistency model.
 //!
 //! ```text
-//! herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--dot] FILE.litmus
+//! herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--dot] FILE.litmus
 //! herd-rs --library            # run every built-in paper test
 //! ```
+//!
+//! `--jobs N` (`-j N`) checks candidate executions on `N` worker threads;
+//! the default `0` means one per available hardware thread. Output is
+//! byte-identical for every job count. `--early-exit` stops each check as
+//! soon as its verdict is decided (counts become lower bounds).
 
 use linux_kernel_memory_model::{Herd, ModelChoice};
 use lkmm_exec::enumerate::{enumerate, EnumOptions};
@@ -17,9 +22,25 @@ fn main() -> ExitCode {
     let mut run_library = false;
     let mut dot = false;
     let mut states = false;
+    let mut jobs = 0usize; // 0 = available parallelism
+    let mut early_exit = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--jobs" | "-j" => {
+                let Some(n) = it.next() else {
+                    eprintln!("--jobs needs an argument");
+                    return ExitCode::FAILURE;
+                };
+                match n.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => {
+                        eprintln!("--jobs needs a non-negative integer, got `{n}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--early-exit" => early_exit = true,
             "--model" | "-m" => {
                 let Some(name) = it.next() else {
                     eprintln!("--model needs an argument");
@@ -38,8 +59,10 @@ fn main() -> ExitCode {
             "--states" | "-s" => states = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--dot] [--states] FILE.litmus\n\
-                     \x20      herd-rs --library"
+                    "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] FILE.litmus\n\
+                     \x20      herd-rs --library\n\
+                     \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
+                     \x20 --early-exit     stop each check once its verdict is decided"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,7 +70,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let herd = Herd::new(model);
+    let herd = Herd::new(model).with_jobs(jobs).with_early_exit(early_exit);
     if run_library {
         for pt in lkmm_litmus::library::all() {
             match herd.check(&pt.test()) {

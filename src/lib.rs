@@ -56,7 +56,9 @@ pub use lkmm_relation as relation;
 pub use lkmm_sim as sim;
 
 use lkmm_exec::enumerate::EnumOptions;
-use lkmm_exec::{check_test, ConsistencyModel, EnumError, TestResult, Verdict};
+use lkmm_exec::{
+    check_test_pipelined, ConsistencyModel, EnumError, PipelineOptions, TestResult, Verdict,
+};
 use lkmm_litmus::{parse, ParseError, Test};
 use std::fmt;
 
@@ -112,6 +114,7 @@ impl ModelChoice {
 pub struct Herd {
     model: Box<dyn ConsistencyModel>,
     options: EnumOptions,
+    pipeline: PipelineOptions,
 }
 
 /// Everything [`Herd::check`] reports about one test.
@@ -183,14 +186,34 @@ impl From<EnumError> for HerdError {
 }
 
 impl Herd {
-    /// A checker for the chosen model with default enumeration options.
+    /// A checker for the chosen model with default enumeration options,
+    /// checking sequentially (`jobs = 1`).
     pub fn new(choice: ModelChoice) -> Self {
-        Herd { model: choice.model(), options: EnumOptions::default() }
+        Herd {
+            model: choice.model(),
+            options: EnumOptions::default(),
+            pipeline: PipelineOptions { jobs: 1, ..PipelineOptions::default() },
+        }
     }
 
     /// Override the enumeration options.
     pub fn with_options(mut self, options: EnumOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Check candidates on `jobs` worker threads (`0` = one per hardware
+    /// thread). Verdicts and counts are identical for every job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pipeline.jobs = jobs;
+        self
+    }
+
+    /// Stop each check as soon as the quantified verdict is decided. The
+    /// verdict and `condition_holds` are unaffected; the reported counts
+    /// become lower bounds.
+    pub fn with_early_exit(mut self, early_exit: bool) -> Self {
+        self.pipeline.early_exit = early_exit;
         self
     }
 
@@ -200,7 +223,8 @@ impl Herd {
     ///
     /// Propagates enumeration errors.
     pub fn check(&self, test: &Test) -> Result<Report, HerdError> {
-        let result = check_test(self.model.as_ref(), test, &self.options)?;
+        let result =
+            check_test_pipelined(self.model.as_ref(), test, &self.options, &self.pipeline)?;
         Ok(Report {
             test_name: test.name.clone(),
             model_name: self.model.name().to_string(),

@@ -1,0 +1,96 @@
+//! Cross-check: the parallel pipeline is observably identical to the
+//! sequential checker on the full built-in library, for every model that
+//! exercises a distinct session path (native LKMM with its statics cache,
+//! the interpreted cat LKMM with its environment cache, and a stateless
+//! comparison model).
+
+use linux_kernel_memory_model::{Herd, ModelChoice};
+use lkmm_exec::enumerate::EnumOptions;
+use lkmm_exec::{check_test, check_test_pipelined, PipelineOptions};
+use lkmm_litmus::library;
+
+fn pipeline_matches_sequential(choice: ModelChoice) {
+    let model = choice.model();
+    let opts = EnumOptions::default();
+    for pt in library::all() {
+        let t = pt.test();
+        let seq = check_test(model.as_ref(), &t, &opts).unwrap();
+        for jobs in [1, 2, 8] {
+            let par = check_test_pipelined(
+                model.as_ref(),
+                &t,
+                &opts,
+                &PipelineOptions { jobs, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(
+                par, seq,
+                "{} diverged from sequential under {:?} with jobs={jobs}",
+                pt.name, choice
+            );
+        }
+    }
+}
+
+#[test]
+fn lkmm_pipeline_matches_sequential_on_library() {
+    pipeline_matches_sequential(ModelChoice::Lkmm);
+}
+
+#[test]
+fn cat_pipeline_matches_sequential_on_library() {
+    pipeline_matches_sequential(ModelChoice::LkmmCat);
+}
+
+#[test]
+fn stateless_model_pipeline_matches_sequential_on_library() {
+    // SC has no session, so this covers the stateless fallback path.
+    pipeline_matches_sequential(ModelChoice::Sc);
+}
+
+#[test]
+fn early_exit_agrees_on_verdict_and_condition() {
+    let model = ModelChoice::Lkmm.model();
+    let opts = EnumOptions::default();
+    for pt in library::all() {
+        let t = pt.test();
+        let full = check_test(model.as_ref(), &t, &opts).unwrap();
+        for jobs in [1, 4] {
+            let fast = check_test_pipelined(
+                model.as_ref(),
+                &t,
+                &opts,
+                &PipelineOptions { jobs, early_exit: true, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(fast.verdict, full.verdict, "{} jobs={jobs}", pt.name);
+            assert_eq!(
+                fast.condition_holds, full.condition_holds,
+                "{} jobs={jobs}",
+                pt.name
+            );
+            // Early exit can only do less work, and its counts are
+            // consistent lower bounds.
+            assert!(fast.candidates <= full.candidates, "{}", pt.name);
+            assert!(fast.witnesses <= full.witnesses, "{}", pt.name);
+            assert!(fast.allowed <= full.allowed, "{}", pt.name);
+        }
+    }
+}
+
+#[test]
+fn herd_reports_are_job_count_invariant() {
+    // What `herd-rs --library` prints is a pure function of the Report
+    // fields, so equal reports mean byte-identical CLI output.
+    let base = Herd::new(ModelChoice::Lkmm).with_jobs(1);
+    for jobs in [0, 2, 8] {
+        let herd = Herd::new(ModelChoice::Lkmm).with_jobs(jobs);
+        for pt in library::all() {
+            let t = pt.test();
+            let a = base.check(&t).unwrap();
+            let b = herd.check(&t).unwrap();
+            assert_eq!(a.result, b.result, "{} jobs={jobs}", pt.name);
+            assert_eq!(a.to_string(), b.to_string(), "{} jobs={jobs}", pt.name);
+        }
+    }
+}
