@@ -20,6 +20,37 @@ cargo build --release --bin herd-rs
 "$BIN" --library           > /tmp/lkmm-library-auto.out
 cmp /tmp/lkmm-library-j1.out /tmp/lkmm-library-j4.out
 cmp /tmp/lkmm-library-j1.out /tmp/lkmm-library-auto.out
-rm -f /tmp/lkmm-library-j1.out /tmp/lkmm-library-j4.out /tmp/lkmm-library-auto.out
+
+echo "== verdict store: cold/warm library round-trip is byte-identical =="
+STORE=/tmp/lkmm-ci-store.bin
+rm -f "$STORE"
+"$BIN" --library --store "$STORE" > /tmp/lkmm-library-cold.out 2> /tmp/lkmm-store-cold.err
+"$BIN" --library --store "$STORE" > /tmp/lkmm-library-warm.out 2> /tmp/lkmm-store-warm.err
+# Store runs match each other AND the storeless output, byte for byte.
+cmp /tmp/lkmm-library-cold.out /tmp/lkmm-library-warm.out
+cmp /tmp/lkmm-library-j1.out /tmp/lkmm-library-cold.out
+# The warm pass must be pure replay: zero candidate enumerations.
+grep -q ' 0 computed, .* 0 candidates enumerated' /tmp/lkmm-store-warm.err
+
+echo "== serve mode: JSON-lines smoke test over the warm store =="
+printf '%s\n' \
+    '{"op":"check","name":"SB"}' \
+    '{"op":"check","name":"MP+wmb+rmb"}' \
+    '{"op":"batch","library":true}' \
+    '{"op":"stats"}' \
+    '{"op":"flush"}' \
+    | "$BIN" serve --store "$STORE" > /tmp/lkmm-serve.out 2> /dev/null
+test "$(wc -l < /tmp/lkmm-serve.out)" -eq 5
+grep -q '"name":"SB".*"verdict":"Allow".*"cache":"hit"' /tmp/lkmm-serve.out
+grep -q '"name":"MP+wmb+rmb".*"verdict":"Forbid".*"cache":"hit"' /tmp/lkmm-serve.out
+grep -q '"op":"batch".*"computed":0.*"candidates_enumerated":0' /tmp/lkmm-serve.out
+grep -q '"op":"stats"' /tmp/lkmm-serve.out
+if grep -q '"ok":false' /tmp/lkmm-serve.out; then
+    echo "serve smoke test produced an error response" >&2
+    exit 1
+fi
+rm -f "$STORE" /tmp/lkmm-library-j1.out /tmp/lkmm-library-j4.out /tmp/lkmm-library-auto.out \
+    /tmp/lkmm-library-cold.out /tmp/lkmm-library-warm.out \
+    /tmp/lkmm-store-cold.err /tmp/lkmm-store-warm.err /tmp/lkmm-serve.out
 
 echo "== ci.sh: all green =="

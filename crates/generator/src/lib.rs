@@ -102,6 +102,45 @@ impl Edge {
         }
     }
 
+    /// Parse one diy-style edge name as printed by [`Edge`]'s `Display`
+    /// impl: `Rfe`, `Fre`, `Coe`, or `<Kind><src><dst>` like `PodWW`,
+    /// `DpAddrRW`, `SyncRW`. Returns `None` for unknown names (including
+    /// adornment/extremity combinations that could never print, which
+    /// [`validate`] would reject as ill-formed anyway).
+    pub fn parse_name(name: &str) -> Option<Edge> {
+        match name {
+            "Rfe" => return Some(Edge::Rfe),
+            "Fre" => return Some(Edge::Fre),
+            "Coe" => return Some(Edge::Coe),
+            _ => {}
+        }
+        let (kind_name, ends) = name.split_at(name.len().checked_sub(2)?);
+        let kind = match kind_name {
+            "Pod" => InternalKind::Po,
+            "Ctrl" => InternalKind::Ctrl,
+            "DpData" => InternalKind::Data,
+            "DpAddr" => InternalKind::Addr,
+            "DpAddrRbd" => InternalKind::AddrRbDep,
+            "Rmb" => InternalKind::Rmb,
+            "Wmb" => InternalKind::Wmb,
+            "Mb" => InternalKind::Mb,
+            "Sync" => InternalKind::SyncRcu,
+            "Rel" => InternalKind::Release,
+            "Acq" => InternalKind::Acquire,
+            _ => return None,
+        };
+        let extremity = |c: char| match c {
+            'R' => Some(Extremity::R),
+            'W' => Some(Extremity::W),
+            _ => None,
+        };
+        let mut chars = ends.chars();
+        let src = extremity(chars.next()?)?;
+        let dst = extremity(chars.next()?)?;
+        let edge = Edge::internal(kind, src, dst);
+        edge.well_formed().then_some(edge)
+    }
+
     /// Whether the adornment is compatible with the extremities.
     pub fn well_formed(self) -> bool {
         match self {
@@ -156,6 +195,8 @@ pub enum GenError {
     /// Fewer than two external edges (no concurrency), or two external
     /// edges are adjacent (not a critical cycle).
     NotCritical,
+    /// [`parse_cycle`] met a name that is not a diy edge.
+    UnknownEdge(String),
 }
 
 impl fmt::Display for GenError {
@@ -163,8 +204,23 @@ impl fmt::Display for GenError {
         match self {
             GenError::IllFormed => write!(f, "ill-formed cycle"),
             GenError::NotCritical => write!(f, "not a critical cycle"),
+            GenError::UnknownEdge(name) => write!(f, "unknown edge `{name}`"),
         }
     }
+}
+
+/// Parse a whitespace-separated cycle specification, e.g.
+/// `"PodWW Rfe PodRR Fre"` (the MP shape). The inverse of printing each
+/// [`Edge`] with a space between; validity of the *cycle* (adjacency,
+/// criticality) is checked by [`validate`]/[`generate`], not here.
+///
+/// # Errors
+///
+/// [`GenError::UnknownEdge`] on the first unparseable name.
+pub fn parse_cycle(text: &str) -> Result<Vec<Edge>, GenError> {
+    text.split_whitespace()
+        .map(|name| Edge::parse_name(name).ok_or_else(|| GenError::UnknownEdge(name.to_string())))
+        .collect()
 }
 
 impl std::error::Error for GenError {}
@@ -585,6 +641,29 @@ mod tests {
         for c in &cycles {
             generate(c).unwrap_or_else(|e| panic!("{c:?}: {e}"));
         }
+    }
+
+    #[test]
+    fn edge_names_round_trip_through_parse() {
+        for edge in default_alphabet() {
+            assert_eq!(Edge::parse_name(&edge.to_string()), Some(edge));
+        }
+        assert_eq!(Edge::parse_name("Rfe"), Some(Edge::Rfe));
+        assert_eq!(Edge::parse_name("Bogus"), None);
+        assert_eq!(Edge::parse_name("RmbWW"), None, "ill-formed adornment");
+        assert_eq!(
+            parse_cycle("PodWW Rfe PodRR Fre").unwrap(),
+            vec![
+                Edge::internal(InternalKind::Po, W, W),
+                Edge::Rfe,
+                Edge::internal(InternalKind::Po, R, R),
+                Edge::Fre,
+            ]
+        );
+        assert_eq!(
+            parse_cycle("PodWW Nope"),
+            Err(GenError::UnknownEdge("Nope".to_string()))
+        );
     }
 
     #[test]

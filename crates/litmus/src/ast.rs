@@ -321,7 +321,7 @@ pub enum Stmt {
     SpinUnlock { addr: AddrExpr },
 }
 
-fn collect_locs_stmts(stmts: &[Stmt], out: &mut Vec<String>) {
+pub(crate) fn collect_locs_stmts(stmts: &[Stmt], out: &mut Vec<String>) {
     for s in stmts {
         let mut addr = |a: &AddrExpr| {
             if let AddrExpr::Var(v) = a {
@@ -376,7 +376,7 @@ fn collect_locs_expr(e: &Expr, out: &mut Vec<String>) {
     }
 }
 
-fn collect_regs_stmts<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a str>) {
+pub(crate) fn collect_regs_stmts<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a str>) {
     for s in stmts {
         match s {
             Stmt::ReadOnce { dst, addr }
@@ -472,7 +472,7 @@ fn fmt_expr(e: &Expr) -> String {
     }
 }
 
-fn fmt_stmt(s: &Stmt, depth: usize, out: &mut String) {
+pub(crate) fn fmt_stmt(s: &Stmt, depth: usize, out: &mut String) {
     let tab = "\t".repeat(depth);
     match s {
         Stmt::ReadOnce { dst, addr } => {

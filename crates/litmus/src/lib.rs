@@ -41,6 +41,7 @@ pub mod ast;
 pub mod cond;
 pub mod library;
 pub mod parser;
+pub mod rename;
 pub mod validate;
 
 pub use ast::{AddrExpr, Expr, FenceKind, RmwOrder, Stmt, Test, Thread};

@@ -1,0 +1,346 @@
+//! Batch checking through the verdict store.
+//!
+//! [`BatchChecker`] is the paper's §5 workflow as a service: ingest a
+//! corpus (the built-in library, parsed files, or a generator sweep),
+//! deduplicate isomorphic tests by canonical hash, answer what the store
+//! already knows, schedule only the misses across the parallel pipeline,
+//! and write the new verdicts back. Re-checking a corpus after a model
+//! tweak *with a bumped salt* recomputes everything; re-checking without
+//! one is pure cache replay — zero candidate enumerations.
+
+use crate::canon::cache_key;
+use crate::store::VerdictStore;
+use lkmm_exec::{
+    check_test_pipelined, ConsistencyModel, EnumError, EnumOptions, PipelineOptions, TestResult,
+};
+use lkmm_generator::family::family_tests;
+use lkmm_generator::{Edge, GenError};
+use lkmm_litmus::ast::Test;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::time::Instant;
+
+/// Where one test's result came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Answered from the store without enumerating anything.
+    Hit,
+    /// Enumerated and checked in this batch, then stored.
+    Computed,
+    /// Shared the canonical key of an earlier test in the same batch.
+    Deduped,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Provenance::Hit => "hit",
+            Provenance::Computed => "computed",
+            Provenance::Deduped => "deduped",
+        })
+    }
+}
+
+/// One checked corpus member.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The test's (original, pre-canonicalization) name.
+    pub name: String,
+    /// Content-addressed cache key.
+    pub key: u128,
+    /// The verdict data — identical whether computed or replayed.
+    pub result: TestResult,
+    /// How it was answered.
+    pub provenance: Provenance,
+}
+
+/// Aggregate observability for one [`BatchChecker::check_corpus`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-test outcomes, in corpus order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Store hits.
+    pub hits: usize,
+    /// Tests actually enumerated and checked.
+    pub computed: usize,
+    /// In-batch duplicates of an earlier canonical key.
+    pub deduped: usize,
+    /// Candidate executions enumerated for the whole batch (0 on a fully
+    /// warm cache).
+    pub candidates_enumerated: usize,
+    /// Wall-clock for the batch, in microseconds.
+    pub micros: u128,
+}
+
+/// Batch checking failure.
+#[derive(Debug)]
+pub enum BatchError {
+    /// A test failed to enumerate (named).
+    Enumerate(String, EnumError),
+    /// The store could not be written.
+    Io(io::Error),
+    /// Generator ingestion was handed an invalid cycle.
+    Generate(GenError),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Enumerate(name, e) => write!(f, "{name}: {e}"),
+            BatchError::Io(e) => write!(f, "verdict store: {e}"),
+            BatchError::Generate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<io::Error> for BatchError {
+    fn from(e: io::Error) -> Self {
+        BatchError::Io(e)
+    }
+}
+
+impl From<GenError> for BatchError {
+    fn from(e: GenError) -> Self {
+        BatchError::Generate(e)
+    }
+}
+
+/// A memoizing checker: one model, one store, one version salt.
+pub struct BatchChecker<'m> {
+    model: &'m dyn ConsistencyModel,
+    store: VerdictStore,
+    salt: String,
+    enum_opts: EnumOptions,
+    pipe: PipelineOptions,
+    session_hits: usize,
+    session_computed: usize,
+}
+
+impl<'m> BatchChecker<'m> {
+    /// A checker writing through `store`. `salt` versions the cache: it
+    /// should name the model/interpreter revision (bump it when checking
+    /// semantics change and old entries silently stop matching). The
+    /// enumerator options are folded into every key, since they can
+    /// change counts.
+    pub fn new(model: &'m dyn ConsistencyModel, store: VerdictStore, salt: &str) -> Self {
+        BatchChecker {
+            model,
+            store,
+            salt: salt.to_string(),
+            enum_opts: EnumOptions::default(),
+            pipe: PipelineOptions { jobs: 0, ..PipelineOptions::default() },
+            session_hits: 0,
+            session_computed: 0,
+        }
+    }
+
+    /// Override the enumeration options (folded into cache keys).
+    pub fn with_options(mut self, opts: EnumOptions) -> Self {
+        self.enum_opts = opts;
+        self
+    }
+
+    /// Check misses on `jobs` pipeline workers (`0` = one per hardware
+    /// thread). Job count never affects results, so it is *not* part of
+    /// the cache key. Early exit is deliberately unsupported here: its
+    /// lower-bound counts must never be cached as exact.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pipe.jobs = jobs;
+        self
+    }
+
+    /// The cache key this checker derives for `test`.
+    pub fn key_of(&self, test: &Test) -> u128 {
+        // EnumOptions influence candidate counts (caps, Scpv pruning),
+        // so two configurations must never share an entry.
+        let salt = format!("{}|{:?}", self.salt, self.enum_opts);
+        cache_key(test, self.model.name(), &salt)
+    }
+
+    /// Check one test, answering from the store when possible.
+    ///
+    /// # Errors
+    ///
+    /// Enumeration or store-append failure.
+    pub fn check_one(&mut self, test: &Test) -> Result<BatchOutcome, BatchError> {
+        let key = self.key_of(test);
+        if let Some(result) = self.store.get(key) {
+            self.session_hits += 1;
+            return Ok(BatchOutcome {
+                name: test.name.clone(),
+                key,
+                result: result.clone(),
+                provenance: Provenance::Hit,
+            });
+        }
+        let result = check_test_pipelined(self.model, test, &self.enum_opts, &self.pipe)
+            .map_err(|e| BatchError::Enumerate(test.name.clone(), e))?;
+        self.store.put(key, result.clone())?;
+        self.session_computed += 1;
+        Ok(BatchOutcome { name: test.name.clone(), key, result, provenance: Provenance::Computed })
+    }
+
+    /// Check a corpus: dedupe by canonical key, replay hits, compute
+    /// misses, write back, and sync the store once at the end.
+    ///
+    /// # Errors
+    ///
+    /// Enumeration or store failure (the store keeps everything computed
+    /// before the failing test).
+    pub fn check_corpus(&mut self, tests: &[Test]) -> Result<BatchReport, BatchError> {
+        let start = Instant::now();
+        let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(tests.len());
+        let mut seen: HashMap<u128, usize> = HashMap::new();
+        let mut hits = 0;
+        let mut computed = 0;
+        let mut deduped = 0;
+        let mut candidates_enumerated = 0;
+        for test in tests {
+            let key = self.key_of(test);
+            if let Some(&first) = seen.get(&key) {
+                deduped += 1;
+                outcomes.push(BatchOutcome {
+                    name: test.name.clone(),
+                    key,
+                    result: outcomes[first].result.clone(),
+                    provenance: Provenance::Deduped,
+                });
+                continue;
+            }
+            let outcome = self.check_one(test)?;
+            match outcome.provenance {
+                Provenance::Hit => hits += 1,
+                Provenance::Computed => {
+                    computed += 1;
+                    candidates_enumerated += outcome.result.candidates;
+                }
+                Provenance::Deduped => unreachable!("check_one never dedupes"),
+            }
+            seen.insert(key, outcomes.len());
+            outcomes.push(outcome);
+        }
+        self.store.flush()?;
+        Ok(BatchReport {
+            outcomes,
+            hits,
+            computed,
+            deduped,
+            candidates_enumerated,
+            micros: start.elapsed().as_micros(),
+        })
+    }
+
+    /// Check every test of the built-in paper library.
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchChecker::check_corpus`].
+    pub fn check_library(&mut self) -> Result<BatchReport, BatchError> {
+        let tests: Vec<Test> =
+            lkmm_litmus::library::all().iter().map(lkmm_litmus::library::PaperTest::test).collect();
+        self.check_corpus(&tests)
+    }
+
+    /// Generator ingestion: check every well-formed variation of `base`
+    /// (see [`lkmm_generator::family`]) through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Invalid base cycle, enumeration, or store failure.
+    pub fn check_family(&mut self, base: &[Edge]) -> Result<BatchReport, BatchError> {
+        let tests = family_tests(base)?;
+        self.check_corpus(&tests)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &VerdictStore {
+        &self.store
+    }
+
+    /// Store hits answered since construction.
+    pub fn session_hits(&self) -> usize {
+        self.session_hits
+    }
+
+    /// Tests computed (not replayed) since construction.
+    pub fn session_computed(&self) -> usize {
+        self.session_computed
+    }
+
+    /// Sync the store to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.store.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_exec::model::AllowAll;
+    use lkmm_litmus::parse;
+
+    #[test]
+    fn second_corpus_pass_is_all_hits_with_zero_enumerations() {
+        let tests: Vec<Test> =
+            lkmm_litmus::library::all().iter().take(6).map(|pt| pt.test()).collect();
+        let mut checker = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "test-salt");
+        let cold = checker.check_corpus(&tests).unwrap();
+        assert_eq!(cold.computed, tests.len());
+        assert!(cold.candidates_enumerated > 0);
+
+        let warm = checker.check_corpus(&tests).unwrap();
+        assert_eq!(warm.hits, tests.len());
+        assert_eq!(warm.computed, 0);
+        assert_eq!(warm.candidates_enumerated, 0);
+        for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(c.result, w.result);
+            assert_eq!(c.key, w.key);
+        }
+    }
+
+    #[test]
+    fn isomorphic_corpus_members_dedupe() {
+        let a = parse("C a\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        let b = parse("C b\n{ y=0; }\nP0(int *y) { WRITE_ONCE(*y, 1); }\nexists (y=1)").unwrap();
+        let mut checker = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s");
+        let report = checker.check_corpus(&[a, b]).unwrap();
+        assert_eq!(report.computed, 1);
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.outcomes[0].result, report.outcomes[1].result);
+        assert_eq!(report.outcomes[1].provenance, Provenance::Deduped);
+    }
+
+    #[test]
+    fn family_ingestion_runs_through_the_cache() {
+        use lkmm_generator::{Extremity::{R, W}, InternalKind};
+        let mp = [
+            Edge::internal(InternalKind::Po, W, W),
+            Edge::Rfe,
+            Edge::internal(InternalKind::Po, R, R),
+            Edge::Fre,
+        ];
+        let mut checker = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s");
+        let cold = checker.check_family(&mp).unwrap();
+        assert_eq!(cold.outcomes.len(), 35);
+        let warm = checker.check_family(&mp).unwrap();
+        assert_eq!(warm.computed, 0);
+        assert_eq!(warm.hits + warm.deduped, 35);
+    }
+
+    #[test]
+    fn different_salts_do_not_share_entries() {
+        let t = parse("C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        let mut one = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "v1");
+        let key_v1 = one.key_of(&t);
+        let mut two = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "v2");
+        assert_ne!(key_v1, two.key_of(&t));
+        let _ = (one.check_one(&t).unwrap(), two.check_one(&t).unwrap());
+    }
+}

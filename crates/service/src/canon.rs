@@ -1,0 +1,444 @@
+//! Canonical form and content-addressed cache keys for litmus tests.
+//!
+//! Generator output (and humans) produce *isomorphic* tests that differ
+//! only in inessential presentation: location and register names, thread
+//! order, `/\`-operand order, explicit-vs-implicit zero initialisation.
+//! A verdict cache keyed on raw source would miss all of them. This
+//! module computes a deterministic canonical [`Test`] such that any two
+//! tests related by those transformations map to the same value, and a
+//! 128-bit content hash of its rendering ([`cache_key`]) usable as a
+//! store key.
+//!
+//! The canonical form (in application order):
+//!
+//! 1. **Init normalisation** — every location referenced by a thread
+//!    body, the condition, or reachable through pointer initialisers gets
+//!    an explicit init entry (absent ⇒ `0`); locations referenced nowhere
+//!    are dropped (they generate no events and no condition mentions
+//!    them).
+//! 2. **Thread ordering** — threads sort by a name-blind structural
+//!    fingerprint (body rendered with first-occurrence placeholder names
+//!    plus init values), tie-broken by each thread's footprint in the
+//!    condition; the sort is stable, and condition thread indices are
+//!    remapped.
+//! 3. **Alpha-renaming** — locations become `x0, x1, …` in order of first
+//!    appearance (sorted-body traversal, then condition, then pointer
+//!    targets); registers become `r0, r1, …` per thread (body traversal,
+//!    then condition).
+//! 4. **Condition normalisation** — `/\` and `\/` chains are flattened,
+//!    operands normalised recursively, sorted, and deduplicated (both
+//!    connectives are commutative, associative, and idempotent over
+//!    final-state propositions); double negation is removed; the test
+//!    name is replaced by a fixed marker.
+//!
+//! Soundness: the cache only ever *merges* tests whose canonical forms
+//! are equal, every step above preserves check semantics (the LKMM and
+//! all comparison models are thread-symmetric and name-blind), and the
+//! checked test is always the original — so a merged entry serves the
+//! exact `TestResult` either member would have computed. Missing an
+//! isomorphic pair (the renaming is first-occurrence greedy, not a
+//! minimal graph canonisation) costs a cache miss, never a wrong answer.
+
+use crate::hash::Fnv128;
+use lkmm_litmus::ast::{InitVal, Test, Thread};
+use lkmm_litmus::cond::{CondVal, Condition, Prop, StateTerm};
+use lkmm_litmus::rename::{
+    body_to_string, permute_threads, rename_stmts, rename_test, thread_locations,
+    thread_registers,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bump when the canonical form or key derivation changes: stored keys
+/// from older revisions then never match, so stale verdicts are invisible
+/// rather than wrong.
+pub const CANON_REVISION: u32 = 1;
+
+/// The name given to every canonical test (original names are
+/// presentation, not semantics).
+pub const CANON_NAME: &str = "canonical";
+
+/// Compute the canonical form of `test`.
+pub fn canonicalize(test: &Test) -> Test {
+    // 1. Init normalisation over the referenced-location set.
+    let referenced = referenced_locations(test);
+    let init: BTreeMap<String, InitVal> = referenced
+        .iter()
+        .map(|l| (l.clone(), test.init.get(l).cloned().unwrap_or(InitVal::Int(0))))
+        .collect();
+    let base = Test {
+        name: test.name.clone(),
+        init,
+        threads: test.threads.clone(),
+        condition: test.condition.clone(),
+    };
+
+    // 2. Thread ordering by (structural fingerprint, condition footprint).
+    let keys: Vec<(String, String)> = base
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (thread_fingerprint(t, &base.init), cond_signature(i, t, &base.condition.prop))
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..base.threads.len()).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let permuted = permute_threads(&base, &order);
+
+    // 3. Alpha-renaming: locations globally, registers per thread.
+    let mut loc_order: Vec<String> = Vec::new();
+    for t in &permuted.threads {
+        for l in thread_locations(t) {
+            push_unique(&mut loc_order, l);
+        }
+    }
+    for l in prop_locations(&permuted.condition.prop) {
+        push_unique(&mut loc_order, l);
+    }
+    let mut i = 0;
+    while i < loc_order.len() {
+        if let Some(InitVal::Ptr(target)) = permuted.init.get(&loc_order[i]) {
+            push_unique(&mut loc_order, target.clone());
+        }
+        i += 1;
+    }
+    let loc_map: BTreeMap<String, String> =
+        loc_order.iter().enumerate().map(|(i, l)| (l.clone(), format!("x{i}"))).collect();
+
+    let mut reg_maps: Vec<BTreeMap<String, String>> = Vec::new();
+    for (ti, t) in permuted.threads.iter().enumerate() {
+        let mut reg_order = thread_registers(t);
+        for r in prop_thread_regs(&permuted.condition.prop, ti) {
+            push_unique(&mut reg_order, r);
+        }
+        reg_maps
+            .push(reg_order.iter().enumerate().map(|(i, r)| (r.clone(), format!("r{i}"))).collect());
+    }
+    let renamed = rename_test(&permuted, &loc_map, &reg_maps);
+
+    // 4. Condition normalisation.
+    let condition = Condition {
+        quantifier: renamed.condition.quantifier,
+        prop: normalize_prop(&renamed.condition.prop),
+    };
+    Test { name: CANON_NAME.to_string(), init: renamed.init, threads: renamed.threads, condition }
+}
+
+/// The canonical form rendered as litmus source — the exact byte string
+/// the cache key hashes.
+pub fn canonical_text(test: &Test) -> String {
+    canonicalize(test).to_litmus_string()
+}
+
+/// 128-bit content-addressed cache key: hash of the canonical text,
+/// salted with the model name (one store may hold many models' verdicts)
+/// and a caller-supplied version salt (bump it when model or interpreter
+/// semantics change, and old entries silently stop matching).
+pub fn cache_key(test: &Test, model_name: &str, salt: &str) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(b"lkmm-verdict-key");
+    h.write(&[0]);
+    h.write(model_name.as_bytes());
+    h.write(&[0]);
+    h.write(salt.as_bytes());
+    h.write(&[0]);
+    h.write(&CANON_REVISION.to_le_bytes());
+    h.write(&[0]);
+    h.write(canonical_text(test).as_bytes());
+    h.finish()
+}
+
+fn push_unique(order: &mut Vec<String>, name: String) {
+    if !order.contains(&name) {
+        order.push(name);
+    }
+}
+
+/// Locations that can influence the check: referenced by a body or the
+/// condition, or reachable from such a location through pointer inits.
+fn referenced_locations(test: &Test) -> BTreeSet<String> {
+    let mut set: BTreeSet<String> = BTreeSet::new();
+    for t in &test.threads {
+        set.extend(thread_locations(t));
+    }
+    set.extend(prop_locations(&test.condition.prop));
+    loop {
+        let mut added = Vec::new();
+        for (k, v) in &test.init {
+            if set.contains(k) {
+                if let InitVal::Ptr(target) = v {
+                    if !set.contains(target) {
+                        added.push(target.clone());
+                    }
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        set.extend(added);
+    }
+    set
+}
+
+/// Name-blind structural fingerprint of one thread: the body rendered
+/// with thread-local first-occurrence placeholders (`L0, L1, …` for
+/// locations, `G0, G1, …` for registers — distinct prefixes so `*L0`
+/// and `*G0` stay distinguishable), followed by each location's init
+/// value. Invariant under renaming and thread permutation.
+fn thread_fingerprint(thread: &Thread, init: &BTreeMap<String, InitVal>) -> String {
+    let locs = thread_locations(thread);
+    let regs = thread_registers(thread);
+    let loc_map: BTreeMap<String, String> =
+        locs.iter().enumerate().map(|(i, l)| (l.clone(), format!("L{i}"))).collect();
+    let reg_map: BTreeMap<String, String> =
+        regs.iter().enumerate().map(|(i, r)| (r.clone(), format!("G{i}"))).collect();
+    let mut sig = body_to_string(&rename_stmts(&thread.body, &loc_map, &reg_map));
+    for (i, l) in locs.iter().enumerate() {
+        match init.get(l) {
+            None | Some(InitVal::Int(0)) => sig.push_str(&format!("|L{i}=0")),
+            Some(InitVal::Int(v)) => sig.push_str(&format!("|L{i}={v}")),
+            // The target's identity is resolved by the global renaming;
+            // for *ordering* a pointer marker suffices.
+            Some(InitVal::Ptr(_)) => sig.push_str(&format!("|L{i}=&")),
+        }
+    }
+    sig
+}
+
+/// How the condition constrains thread `ti`, rename-invariantly: for
+/// each `ti:reg = value` term in traversal order, the register's
+/// first-occurrence index in the thread body (`?` if the register never
+/// appears there) and the compared value.
+fn cond_signature(ti: usize, thread: &Thread, prop: &Prop) -> String {
+    let body_regs = thread_registers(thread);
+    let mut sig = String::new();
+    walk_cond_signature(ti, &body_regs, prop, &mut sig);
+    sig
+}
+
+fn walk_cond_signature(ti: usize, body_regs: &[String], prop: &Prop, sig: &mut String) {
+    match prop {
+        Prop::True => {}
+        Prop::Eq(StateTerm::Reg { thread, reg }, val) if *thread == ti => {
+            match body_regs.iter().position(|r| r == reg) {
+                Some(i) => sig.push_str(&format!("G{i}")),
+                None => sig.push('?'),
+            }
+            match val {
+                CondVal::Int(v) => sig.push_str(&format!("={v};")),
+                CondVal::LocRef(_) => sig.push_str("=&;"),
+            }
+        }
+        Prop::Eq(..) => {}
+        Prop::And(a, b) | Prop::Or(a, b) => {
+            walk_cond_signature(ti, body_regs, a, sig);
+            walk_cond_signature(ti, body_regs, b, sig);
+        }
+        Prop::Not(inner) => walk_cond_signature(ti, body_regs, inner, sig),
+    }
+}
+
+/// Locations mentioned by the condition (as final-state terms or `&loc`
+/// comparison values), in traversal order.
+fn prop_locations(prop: &Prop) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_prop_locations(prop, &mut out);
+    out
+}
+
+fn walk_prop_locations(prop: &Prop, out: &mut Vec<String>) {
+    match prop {
+        Prop::True => {}
+        Prop::Eq(term, val) => {
+            if let StateTerm::Loc(l) = term {
+                out.push(l.clone());
+            }
+            if let CondVal::LocRef(l) = val {
+                out.push(l.clone());
+            }
+        }
+        Prop::And(a, b) | Prop::Or(a, b) => {
+            walk_prop_locations(a, out);
+            walk_prop_locations(b, out);
+        }
+        Prop::Not(inner) => walk_prop_locations(inner, out),
+    }
+}
+
+/// Registers of thread `ti` mentioned by the condition, in traversal
+/// order.
+fn prop_thread_regs(prop: &Prop, ti: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_prop_thread_regs(prop, ti, &mut out);
+    out
+}
+
+fn walk_prop_thread_regs(prop: &Prop, ti: usize, out: &mut Vec<String>) {
+    match prop {
+        Prop::True => {}
+        Prop::Eq(StateTerm::Reg { thread, reg }, _) if *thread == ti => out.push(reg.clone()),
+        Prop::Eq(..) => {}
+        Prop::And(a, b) | Prop::Or(a, b) => {
+            walk_prop_thread_regs(a, ti, out);
+            walk_prop_thread_regs(b, ti, out);
+        }
+        Prop::Not(inner) => walk_prop_thread_regs(inner, ti, out),
+    }
+}
+
+/// Flatten, sort, and deduplicate `/\` and `\/` chains; drop `true` from
+/// conjunctions; collapse double negation.
+fn normalize_prop(prop: &Prop) -> Prop {
+    match prop {
+        Prop::True | Prop::Eq(..) => prop.clone(),
+        Prop::Not(inner) => match normalize_prop(inner) {
+            Prop::Not(doubled) => *doubled,
+            p => Prop::Not(Box::new(p)),
+        },
+        Prop::And(..) => normalize_chain(prop, true),
+        Prop::Or(..) => normalize_chain(prop, false),
+    }
+}
+
+fn normalize_chain(prop: &Prop, is_and: bool) -> Prop {
+    let mut operands = Vec::new();
+    flatten_chain(prop, is_and, &mut operands);
+    if is_and {
+        operands.retain(|p| !matches!(p, Prop::True));
+    }
+    operands.sort_by_key(Prop::to_string);
+    operands.dedup();
+    let mut it = operands.into_iter();
+    let Some(first) = it.next() else {
+        // An all-`true` conjunction.
+        return Prop::True;
+    };
+    it.fold(first, |acc, p| {
+        if is_and {
+            Prop::And(Box::new(acc), Box::new(p))
+        } else {
+            Prop::Or(Box::new(acc), Box::new(p))
+        }
+    })
+}
+
+fn flatten_chain(prop: &Prop, is_and: bool, out: &mut Vec<Prop>) {
+    match (prop, is_and) {
+        (Prop::And(a, b), true) | (Prop::Or(a, b), false) => {
+            flatten_chain(a, is_and, out);
+            flatten_chain(b, is_and, out);
+        }
+        _ => out.push(normalize_prop(prop)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkmm_litmus::parse;
+
+    const MP: &str = r#"
+C MP
+{ x=0; y=0; }
+P0(int *x, int *y) { WRITE_ONCE(*x, 1); smp_wmb(); WRITE_ONCE(*y, 1); }
+P1(int *x, int *y) {
+    int r0; int r1;
+    r0 = READ_ONCE(*y); smp_rmb(); r1 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 1:r1=0)
+"#;
+
+    /// MP with renamed everything, the threads swapped, and the
+    /// condition conjuncts flipped — isomorphic to `MP`.
+    const MP_SCRAMBLED: &str = r#"
+C MP-scrambled
+{ alpha=0; beta=0; }
+P0(int *alpha, int *beta) {
+    int s9; int s2;
+    s9 = READ_ONCE(*beta); smp_rmb(); s2 = READ_ONCE(*alpha);
+}
+P1(int *alpha, int *beta) { WRITE_ONCE(*alpha, 1); smp_wmb(); WRITE_ONCE(*beta, 1); }
+exists (0:s2=0 /\ 0:s9=1)
+"#;
+
+    #[test]
+    fn isomorphic_tests_share_a_key() {
+        let a = parse(MP).unwrap();
+        let b = parse(MP_SCRAMBLED).unwrap();
+        assert_eq!(canonical_text(&a), canonical_text(&b));
+        assert_eq!(cache_key(&a, "LKMM", "v1"), cache_key(&b, "LKMM", "v1"));
+    }
+
+    #[test]
+    fn key_separates_models_and_salts() {
+        let a = parse(MP).unwrap();
+        assert_ne!(cache_key(&a, "LKMM", "v1"), cache_key(&a, "SC", "v1"));
+        assert_ne!(cache_key(&a, "LKMM", "v1"), cache_key(&a, "LKMM", "v2"));
+    }
+
+    #[test]
+    fn mutants_get_distinct_keys() {
+        let a = parse(MP).unwrap();
+        // Different compared value.
+        let b = parse(&MP.replace("1:r1=0", "1:r1=1")).unwrap();
+        // Different fence.
+        let c = parse(&MP.replace("smp_wmb", "smp_mb")).unwrap();
+        // Different quantifier.
+        let d = parse(&MP.replace("exists", "~exists")).unwrap();
+        let k = |t: &Test| cache_key(t, "LKMM", "v1");
+        assert_ne!(k(&a), k(&b));
+        assert_ne!(k(&a), k(&c));
+        assert_ne!(k(&a), k(&d));
+        assert_ne!(k(&b), k(&c));
+    }
+
+    #[test]
+    fn implicit_and_explicit_zero_init_are_identified() {
+        let a = parse("C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        let b = parse("C t\n{ }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        assert_eq!(canonical_text(&a), canonical_text(&b));
+    }
+
+    #[test]
+    fn unreferenced_zero_location_is_dropped() {
+        let a = parse("C t\n{ x=0; junk=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)")
+            .unwrap();
+        let b = parse("C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        assert_eq!(canonical_text(&a), canonical_text(&b));
+    }
+
+    #[test]
+    fn condition_only_location_is_kept() {
+        let a = parse("C t\n{ x=7; }\nP0(int *y) { WRITE_ONCE(*y, 1); }\nexists (x=7)").unwrap();
+        let b = parse("C t\n{ }\nP0(int *y) { WRITE_ONCE(*y, 1); }\nexists (x=7)").unwrap();
+        assert_ne!(canonical_text(&a), canonical_text(&b));
+    }
+
+    #[test]
+    fn canonical_text_is_reparseable_and_idempotent() {
+        for pt in lkmm_litmus::library::all() {
+            let t = pt.test();
+            let canon = canonicalize(&t);
+            let reparsed = parse(&canon.to_litmus_string())
+                .unwrap_or_else(|e| panic!("{}: canonical form must reparse: {e}", pt.name));
+            assert_eq!(reparsed, canon, "{}: reparse changed the canonical form", pt.name);
+            assert_eq!(
+                canonicalize(&canon),
+                canon,
+                "{}: canonicalization must be idempotent",
+                pt.name
+            );
+        }
+    }
+
+    #[test]
+    fn pointer_init_targets_survive() {
+        let src = "C t\n{ p=&x; x=2; }\nP0(int *p) { int r0; r0 = READ_ONCE(*p); }\nexists (0:r0=2)";
+        let t = parse(src).unwrap();
+        let canon = canonicalize(&t);
+        // Both p and its target must be present under canonical names.
+        assert_eq!(canon.init.len(), 2);
+        assert!(canon.init.values().any(|v| matches!(v, InitVal::Ptr(_))));
+    }
+}

@@ -1,0 +1,309 @@
+//! JSON-lines request/response serving.
+//!
+//! One request per input line, one response object per output line —
+//! the classic long-running-daemon shape (`herd-rs serve` wires this to
+//! stdin/stdout). Requests:
+//!
+//! ```text
+//! {"op":"check","source":"C t\n…"}          check litmus source
+//! {"op":"check","name":"SB+mbs"}            check a built-in library test
+//! {"op":"batch","sources":["…","…"]}        check many (deduped) at once
+//! {"op":"batch","names":["SB","MP"]}        … by library name
+//! {"op":"batch","library":true}             … the whole paper library
+//! {"op":"batch","family":"PodWW Rfe PodRR Fre"}   … a generator sweep
+//! {"op":"stats"}                            store/session counters
+//! {"op":"flush"}                            fsync the store
+//! ```
+//!
+//! Every response carries `"ok"` plus per-request observability: cache
+//! provenance (`hit`/`computed`/`deduped`), in-batch dedup counts,
+//! candidates enumerated, and wall-clock micros. Malformed input yields
+//! `{"ok":false,"error":…}` and the loop continues — one bad request
+//! must not take the daemon down.
+
+use crate::batch::{BatchChecker, BatchOutcome, BatchReport};
+use crate::json::Json;
+use lkmm_litmus::ast::Test;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+/// Counters for one [`serve`] session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (including errors).
+    pub requests: usize,
+    /// Requests answered with `"ok":false`.
+    pub errors: usize,
+}
+
+/// Run the request loop until end-of-input, answering through `checker`.
+/// The store is synced on every `flush` request and once at exit.
+///
+/// # Errors
+///
+/// Only transport failures (reading `input`, writing `output`) abort the
+/// loop; per-request failures become `"ok":false` responses.
+pub fn serve(
+    checker: &mut BatchChecker<'_>,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = answer(checker, &line);
+        summary.requests += 1;
+        if response.get("ok") != Some(&Json::Bool(true)) {
+            summary.errors += 1;
+        }
+        writeln!(output, "{response}")?;
+        output.flush()?;
+    }
+    checker.flush()?;
+    Ok(summary)
+}
+
+/// Answer one request line (exposed for tests and non-stdio embeddings).
+pub fn answer(checker: &mut BatchChecker<'_>, line: &str) -> Json {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("bad request: {e}")),
+    };
+    match request.get("op").and_then(Json::as_str) {
+        Some("check") => op_check(checker, &request),
+        Some("batch") => op_batch(checker, &request),
+        Some("stats") => op_stats(checker),
+        Some("flush") => op_flush(checker),
+        Some(other) => error_response(&format!("unknown op `{other}` (check, batch, stats, flush)")),
+        None => error_response("missing string field `op`"),
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn library_test(name: &str) -> Result<Test, String> {
+    lkmm_litmus::library::by_name(name)
+        .map(|pt| pt.test())
+        .ok_or_else(|| format!("no library test named `{name}`"))
+}
+
+fn parse_source(source: &str) -> Result<Test, String> {
+    lkmm_litmus::parse(source).map_err(|e| format!("parse error: {e}"))
+}
+
+fn op_check(checker: &mut BatchChecker<'_>, request: &Json) -> Json {
+    let test = match (
+        request.get("source").and_then(Json::as_str),
+        request.get("name").and_then(Json::as_str),
+    ) {
+        (Some(source), None) => parse_source(source),
+        (None, Some(name)) => library_test(name),
+        _ => Err("`check` needs exactly one of `source` or `name`".to_string()),
+    };
+    let test = match test {
+        Ok(t) => t,
+        Err(e) => return error_response(&e),
+    };
+    let start = Instant::now();
+    match checker.check_one(&test) {
+        Ok(outcome) => {
+            let mut fields = vec![("ok", Json::Bool(true)), ("op", Json::str("check"))];
+            fields.extend(outcome_fields(&outcome));
+            fields.push(("micros", Json::num(start.elapsed().as_micros() as u64)));
+            Json::obj(fields)
+        }
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+fn op_batch(checker: &mut BatchChecker<'_>, request: &Json) -> Json {
+    let report = match gather_batch(request) {
+        Ok(tests) => match checker.check_corpus(&tests) {
+            Ok(report) => report,
+            Err(e) => return error_response(&e.to_string()),
+        },
+        Err(e) => return error_response(&e),
+    };
+    batch_response(&report)
+}
+
+/// Resolve a batch request's corpus. The four sources compose: one
+/// request may mix `sources`, `names`, `library`, and `family`.
+fn gather_batch(request: &Json) -> Result<Vec<Test>, String> {
+    let mut tests = Vec::new();
+    let mut any_field = false;
+    if let Some(sources) = request.get("sources") {
+        any_field = true;
+        let items = sources.as_arr().ok_or("`sources` must be an array of strings")?;
+        for item in items {
+            let src = item.as_str().ok_or("`sources` must be an array of strings")?;
+            tests.push(parse_source(src)?);
+        }
+    }
+    if let Some(names) = request.get("names") {
+        any_field = true;
+        let items = names.as_arr().ok_or("`names` must be an array of strings")?;
+        for item in items {
+            let name = item.as_str().ok_or("`names` must be an array of strings")?;
+            tests.push(library_test(name)?);
+        }
+    }
+    if request.get("library").and_then(Json::as_bool) == Some(true) {
+        any_field = true;
+        tests.extend(lkmm_litmus::library::all().iter().map(|pt| pt.test()));
+    }
+    if let Some(family) = request.get("family") {
+        any_field = true;
+        let spec = family.as_str().ok_or("`family` must be a cycle string like \"PodWW Rfe PodRR Fre\"")?;
+        let base = lkmm_generator::parse_cycle(spec).map_err(|e| e.to_string())?;
+        tests.extend(
+            lkmm_generator::family::family_tests(&base).map_err(|e| e.to_string())?,
+        );
+    }
+    if !any_field {
+        return Err("`batch` needs `sources`, `names`, `library`, or `family`".to_string());
+    }
+    Ok(tests)
+}
+
+fn outcome_fields(outcome: &BatchOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("name", Json::str(&outcome.name)),
+        ("key", Json::str(format!("{:032x}", outcome.key))),
+        ("verdict", Json::str(outcome.result.verdict.to_string())),
+        ("condition_holds", Json::Bool(outcome.result.condition_holds)),
+        ("candidates", Json::num(outcome.result.candidates as u64)),
+        ("allowed", Json::num(outcome.result.allowed as u64)),
+        ("witnesses", Json::num(outcome.result.witnesses as u64)),
+        ("cache", Json::str(outcome.provenance.to_string())),
+    ]
+}
+
+fn batch_response(report: &BatchReport) -> Json {
+    let results: Vec<Json> =
+        report.outcomes.iter().map(|o| Json::Obj(
+            outcome_fields(o).into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        )).collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("batch")),
+        ("count", Json::num(report.outcomes.len() as u64)),
+        ("hits", Json::num(report.hits as u64)),
+        ("computed", Json::num(report.computed as u64)),
+        ("deduped", Json::num(report.deduped as u64)),
+        ("candidates_enumerated", Json::num(report.candidates_enumerated as u64)),
+        ("micros", Json::num(report.micros as u64)),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+fn op_stats(checker: &BatchChecker<'_>) -> Json {
+    let store = checker.store();
+    let recovery = store.recovery();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("stats")),
+        ("entries", Json::num(store.len() as u64)),
+        ("appended", Json::num(store.appended() as u64)),
+        ("session_hits", Json::num(checker.session_hits() as u64)),
+        ("session_computed", Json::num(checker.session_computed() as u64)),
+        ("recovered_records", Json::num(recovery.records as u64)),
+        ("recovery_truncated_bytes", Json::num(recovery.truncated_bytes)),
+        (
+            "path",
+            match store.path() {
+                Some(p) => Json::str(p.display().to_string()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn op_flush(checker: &mut BatchChecker<'_>) -> Json {
+    match checker.flush() {
+        Ok(()) => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("flush")),
+            ("entries", Json::num(checker.store().len() as u64)),
+        ]),
+        Err(e) => error_response(&format!("flush: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VerdictStore;
+    use lkmm_exec::model::AllowAll;
+
+    fn checker() -> BatchChecker<'static> {
+        BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "test")
+    }
+
+    #[test]
+    fn check_by_name_then_hits_on_repeat() {
+        let mut c = checker();
+        let first = answer(&mut c, r#"{"op":"check","name":"SB"}"#);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cache").and_then(Json::as_str), Some("computed"));
+        let second = answer(&mut c, r#"{"op":"check","name":"SB"}"#);
+        assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(first.get("verdict"), second.get("verdict"));
+        assert_eq!(first.get("candidates"), second.get("candidates"));
+    }
+
+    #[test]
+    fn malformed_lines_do_not_stop_the_loop() {
+        let mut c = checker();
+        let input = "not json\n{\"op\":\"nope\"}\n\n{\"op\":\"stats\"}\n";
+        let mut out = Vec::new();
+        let summary = serve(&mut c, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary, ServeSummary { requests: 3, errors: 2 });
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[2].contains("\"op\":\"stats\""));
+    }
+
+    #[test]
+    fn batch_mixes_sources_and_dedupes() {
+        let mut c = checker();
+        let line = r#"{"op":"batch","names":["SB","SB"],"family":"PodWW Rfe PodRR Fre"}"#;
+        let response = answer(&mut c, line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("count").and_then(Json::as_u64), Some(2 + 35));
+        assert!(response.get("deduped").and_then(Json::as_u64).unwrap() >= 1);
+        let results = response.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 37);
+    }
+
+    #[test]
+    fn check_requires_exactly_one_input() {
+        let mut c = checker();
+        let both = answer(&mut c, r#"{"op":"check","name":"SB","source":"C t\n"}"#);
+        assert_eq!(both.get("ok"), Some(&Json::Bool(false)));
+        let neither = answer(&mut c, r#"{"op":"check"}"#);
+        assert_eq!(neither.get("ok"), Some(&Json::Bool(false)));
+        let unknown = answer(&mut c, r#"{"op":"check","name":"NOPE"}"#);
+        assert!(unknown.get("error").and_then(Json::as_str).unwrap().contains("NOPE"));
+    }
+
+    #[test]
+    fn stats_reflect_session_activity() {
+        let mut c = checker();
+        let _ = answer(&mut c, r#"{"op":"check","name":"SB"}"#);
+        let _ = answer(&mut c, r#"{"op":"check","name":"SB"}"#);
+        let stats = answer(&mut c, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("session_computed").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("session_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("path"), Some(&Json::Null));
+        let flush = answer(&mut c, r#"{"op":"flush"}"#);
+        assert_eq!(flush.get("ok"), Some(&Json::Bool(true)));
+    }
+}

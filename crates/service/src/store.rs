@@ -1,0 +1,384 @@
+//! Persistent verdict store: an append-only, checksummed binary log with
+//! an in-memory index.
+//!
+//! ## Log format
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "LKMMVS01"                     (8 bytes)
+//! record := len:u32le checksum:u64le payload
+//! payload := key:u128le verdict:u8 condition_holds:u8
+//!            candidates:u64le allowed:u64le witnesses:u64le
+//! ```
+//!
+//! `len` is the payload length (42 today; readers accept longer payloads
+//! whose prefix parses, so fields can be appended later), `checksum` is
+//! FNV-1a-64 of the payload. Each record is appended with a single
+//! `write_all`; durability is a [`VerdictStore::flush`] (`fsync`) away.
+//!
+//! ## Crash safety & recovery
+//!
+//! A crash can only truncate or tear the *last* record (appends never
+//! rewrite earlier bytes). On open, the log is scanned from the start;
+//! at the first frame that is short, oversized, or fails its checksum,
+//! the file is truncated back to the end of the last good record and the
+//! valid prefix is kept. A file whose magic is wrong is treated as
+//! empty (quarantined to `<path>.corrupt` rather than deleted). Within
+//! the valid prefix, later records win — re-checking a test after a
+//! semantic change appends rather than rewrites.
+
+use crate::hash::fnv64;
+use lkmm_exec::{TestResult, Verdict};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"LKMMVS01";
+const PAYLOAD_LEN: usize = 16 + 1 + 1 + 8 + 8 + 8;
+/// Guard against a corrupt length field making the scanner skip the rest
+/// of the file: no legitimate payload is remotely this large.
+const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+/// What [`VerdictStore::open`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records recovered into the index.
+    pub records: usize,
+    /// Bytes discarded past the last valid record (0 on a clean log).
+    pub truncated_bytes: u64,
+    /// Whether the magic was wrong and the old file was quarantined.
+    pub quarantined: bool,
+}
+
+/// Append-only on-disk verdict cache with an in-memory index.
+///
+/// All lookups hit the index; the file is only read at open and only
+/// appended afterwards. An in-memory store (no backing file) supports
+/// the same API for tests and ephemeral servers.
+pub struct VerdictStore {
+    index: HashMap<u128, TestResult>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+    recovery: RecoveryReport,
+    appended: usize,
+}
+
+impl VerdictStore {
+    /// Open (creating if absent) the store at `path`, recovering the
+    /// valid prefix of the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening, reading, or truncating the file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<VerdictStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut recovery = RecoveryReport::default();
+        let mut index = HashMap::new();
+        let mut good_end: u64;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            good_end = MAGIC.len() as u64;
+        } else if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            // Not our file (or a torn first write): quarantine and start
+            // fresh rather than silently destroying whatever it was.
+            drop(file);
+            let quarantine = path.with_extension("corrupt");
+            std::fs::rename(&path, &quarantine)?;
+            file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+            file.write_all(MAGIC)?;
+            good_end = MAGIC.len() as u64;
+            recovery.quarantined = true;
+        } else {
+            let mut at = MAGIC.len();
+            good_end = at as u64;
+            while let Some((payload, next)) = next_frame(&bytes, at) {
+                match parse_payload(payload) {
+                    Some((key, result)) => {
+                        index.insert(key, result);
+                        recovery.records += 1;
+                        at = next;
+                        good_end = at as u64;
+                    }
+                    None => break,
+                }
+            }
+            recovery.truncated_bytes = bytes.len() as u64 - good_end;
+            if recovery.truncated_bytes > 0 {
+                file.set_len(good_end)?;
+            }
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+        Ok(VerdictStore { index, file: Some(file), path: Some(path), recovery, appended: 0 })
+    }
+
+    /// A store with no backing file: same semantics, nothing persists.
+    pub fn in_memory() -> VerdictStore {
+        VerdictStore {
+            index: HashMap::new(),
+            file: None,
+            path: None,
+            recovery: RecoveryReport::default(),
+            appended: 0,
+        }
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// What recovery found at open time.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Records appended since open.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Cached result for `key`.
+    pub fn get(&self, key: u128) -> Option<&TestResult> {
+        self.index.get(&key)
+    }
+
+    /// Insert `result` under `key`, appending to the log. A no-op if an
+    /// identical entry is already present; a differing entry for the same
+    /// key (e.g. after a model change without a salt bump) is overwritten
+    /// in the index and appended, so replay keeps the newer verdict.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to the log.
+    pub fn put(&mut self, key: u128, result: TestResult) -> io::Result<bool> {
+        if self.index.get(&key) == Some(&result) {
+            return Ok(false);
+        }
+        if let Some(file) = &mut self.file {
+            let payload = encode_payload(key, &result);
+            let mut record = Vec::with_capacity(12 + payload.len());
+            record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            record.extend_from_slice(&fnv64(&payload).to_le_bytes());
+            record.extend_from_slice(&payload);
+            // One write_all per record: a crash mid-append leaves a torn
+            // tail that recovery truncates, never a bad earlier record.
+            file.write_all(&record)?;
+        }
+        self.index.insert(key, result);
+        self.appended += 1;
+        Ok(true)
+    }
+
+    /// Force appended records to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(file) = &mut self.file {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+fn next_frame(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let header = bytes.get(at..at + 12)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if len > MAX_PAYLOAD_LEN {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let payload = bytes.get(at + 12..at + 12 + len as usize)?;
+    if fnv64(payload) != checksum {
+        return None;
+    }
+    Some((payload, at + 12 + len as usize))
+}
+
+fn encode_payload(key: u128, r: &TestResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PAYLOAD_LEN);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.push(match r.verdict {
+        Verdict::Forbidden => 0,
+        Verdict::Allowed => 1,
+    });
+    out.push(u8::from(r.condition_holds));
+    out.extend_from_slice(&(r.candidates as u64).to_le_bytes());
+    out.extend_from_slice(&(r.allowed as u64).to_le_bytes());
+    out.extend_from_slice(&(r.witnesses as u64).to_le_bytes());
+    out
+}
+
+fn parse_payload(payload: &[u8]) -> Option<(u128, TestResult)> {
+    if payload.len() < PAYLOAD_LEN {
+        return None;
+    }
+    let key = u128::from_le_bytes(payload[0..16].try_into().unwrap());
+    let verdict = match payload[16] {
+        0 => Verdict::Forbidden,
+        1 => Verdict::Allowed,
+        _ => return None,
+    };
+    let condition_holds = match payload[17] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().unwrap());
+    let result = TestResult {
+        verdict,
+        condition_holds,
+        candidates: u64_at(18) as usize,
+        allowed: u64_at(26) as usize,
+        witnesses: u64_at(34) as usize,
+    };
+    Some((key, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> TestResult {
+        TestResult {
+            verdict: if i % 2 == 0 { Verdict::Allowed } else { Verdict::Forbidden },
+            condition_holds: i % 3 == 0,
+            candidates: 10 + i,
+            allowed: 5 + i,
+            witnesses: i,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lkmm-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let mut s = VerdictStore::open(&path).unwrap();
+            for i in 0..10 {
+                assert!(s.put(i as u128 * 7, sample(i)).unwrap());
+            }
+            // Identical re-put is a no-op.
+            assert!(!s.put(0, sample(0)).unwrap());
+            s.flush().unwrap();
+        }
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.recovery(), RecoveryReport { records: 10, ..Default::default() });
+        for i in 0..10 {
+            assert_eq!(s.get(i as u128 * 7), Some(&sample(i)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_kept() {
+        let path = temp_path("torn");
+        {
+            let mut s = VerdictStore::open(&path).unwrap();
+            for i in 0..5 {
+                s.put(i as u128, sample(i)).unwrap();
+            }
+        }
+        // Chop the file mid-way through the last record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(s.recovery().truncated_bytes > 0);
+        for i in 0..4 {
+            assert_eq!(s.get(i as u128), Some(&sample(i)));
+        }
+        // The truncation is durable: a third open sees a clean log.
+        drop(s);
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.recovery().truncated_bytes, 0);
+        assert_eq!(s.len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_there() {
+        let path = temp_path("corrupt");
+        {
+            let mut s = VerdictStore::open(&path).unwrap();
+            for i in 0..5 {
+                s.put(i as u128, sample(i)).unwrap();
+            }
+        }
+        // Flip one payload byte in the third record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record = 12 + PAYLOAD_LEN;
+        let offset = 8 + 2 * record + 12 + 3;
+        bytes[offset] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.len(), 2, "records before the corruption survive");
+        assert!(s.recovery().truncated_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_quarantines() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"definitely not a verdict store").unwrap();
+        let s = VerdictStore::open(&path).unwrap();
+        assert!(s.recovery().quarantined);
+        assert_eq!(s.len(), 0);
+        assert!(path.with_extension("corrupt").exists());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(path.with_extension("corrupt")).unwrap();
+    }
+
+    #[test]
+    fn later_records_win_on_replay() {
+        let path = temp_path("lastwins");
+        {
+            let mut s = VerdictStore::open(&path).unwrap();
+            s.put(42, sample(0)).unwrap();
+            s.put(42, sample(1)).unwrap();
+        }
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(42), Some(&sample(1)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_has_same_semantics() {
+        let mut s = VerdictStore::in_memory();
+        assert!(s.is_empty());
+        assert!(s.put(1, sample(1)).unwrap());
+        assert!(!s.put(1, sample(1)).unwrap());
+        assert_eq!(s.get(1), Some(&sample(1)));
+        s.flush().unwrap();
+        assert!(s.path().is_none());
+    }
+}

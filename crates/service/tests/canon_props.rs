@@ -1,0 +1,173 @@
+//! Property-style tests for the canonicalization layer, run over the
+//! whole built-in paper library as the corpus. Dependency-free: instead
+//! of random generation, the "properties" quantify over every library
+//! test × a deterministic set of isomorphisms (thread rotations and
+//! reversals, location renames, register renames) and semantic mutants
+//! (quantifier flips, negated conditions, changed init values).
+
+use lkmm_litmus::ast::{InitVal, Test};
+use lkmm_litmus::cond::{Condition, Prop, Quantifier};
+use lkmm_litmus::rename::{
+    permute_threads, rename_test, thread_locations, thread_registers,
+};
+use lkmm_service::canon::{cache_key, canonical_text, canonicalize};
+use std::collections::BTreeMap;
+
+const MODEL: &str = "lkmm";
+const SALT: &str = "props";
+
+fn key(test: &Test) -> u128 {
+    cache_key(test, MODEL, SALT)
+}
+
+fn library() -> Vec<(&'static str, Test)> {
+    lkmm_litmus::library::all().iter().map(|pt| (pt.name, pt.test())).collect()
+}
+
+/// Every global location and per-thread register, renamed with an ugly
+/// prefix that sorts differently from the original names.
+fn scrambled_names(test: &Test) -> Test {
+    let mut locs: BTreeMap<String, String> = BTreeMap::new();
+    for loc in test.init.keys() {
+        locs.insert(loc.clone(), format!("zz_{loc}_q"));
+    }
+    for thread in &test.threads {
+        for loc in thread_locations(thread) {
+            locs.entry(loc.clone()).or_insert_with(|| format!("zz_{loc}_q"));
+        }
+    }
+    let regs: Vec<BTreeMap<String, String>> = test
+        .threads
+        .iter()
+        .map(|t| {
+            thread_registers(t)
+                .into_iter()
+                .map(|r| {
+                    let to = format!("aa{r}");
+                    (r, to)
+                })
+                .collect()
+        })
+        .collect();
+    rename_test(test, &locs, &regs)
+}
+
+fn rotations(n: usize) -> Vec<Vec<usize>> {
+    let mut orders = Vec::new();
+    for shift in 0..n {
+        orders.push((0..n).map(|i| (i + shift) % n).collect());
+    }
+    orders.push((0..n).rev().collect());
+    orders
+}
+
+#[test]
+fn isomorphic_variants_hash_identically_across_the_library() {
+    for (name, test) in library() {
+        let original = key(&test);
+        let renamed = scrambled_names(&test);
+        assert_eq!(
+            key(&renamed),
+            original,
+            "{name}: location/register rename changed the cache key"
+        );
+        for order in rotations(test.threads.len()) {
+            let permuted = permute_threads(&test, &order);
+            assert_eq!(
+                key(&permuted),
+                original,
+                "{name}: thread order {order:?} changed the cache key"
+            );
+            // Rename and permutation composed, in both orders.
+            assert_eq!(key(&scrambled_names(&permuted)), original, "{name}: {order:?}∘rename");
+            assert_eq!(key(&permute_threads(&renamed, &order)), original, "{name}: rename∘{order:?}");
+        }
+    }
+}
+
+#[test]
+fn semantic_mutants_change_the_key() {
+    for (name, test) in library() {
+        let original = key(&test);
+
+        let mut flipped = test.clone();
+        flipped.condition = Condition {
+            quantifier: match test.condition.quantifier {
+                Quantifier::Exists => Quantifier::Forall,
+                _ => Quantifier::Exists,
+            },
+            prop: test.condition.prop.clone(),
+        };
+        assert_ne!(key(&flipped), original, "{name}: quantifier flip kept the key");
+
+        let mut negated = test.clone();
+        negated.condition = Condition {
+            quantifier: test.condition.quantifier,
+            prop: Prop::Not(Box::new(test.condition.prop.clone())),
+        };
+        assert_ne!(key(&negated), original, "{name}: negated condition kept the key");
+
+        if let Some((loc, InitVal::Int(v))) =
+            test.init.iter().find_map(|(l, v)| match v {
+                InitVal::Int(i) => Some((l.clone(), InitVal::Int(*i))),
+                InitVal::Ptr(_) => None,
+            })
+        {
+            let mut reinit = test.clone();
+            reinit.init.insert(loc.clone(), InitVal::Int(v + 41));
+            assert_ne!(key(&reinit), original, "{name}: init change of `{loc}` kept the key");
+        }
+    }
+}
+
+#[test]
+fn different_models_and_salts_never_share_keys() {
+    for (name, test) in library() {
+        assert_ne!(
+            cache_key(&test, "lkmm", SALT),
+            cache_key(&test, "sc", SALT),
+            "{name}: models share a key"
+        );
+        assert_ne!(
+            cache_key(&test, MODEL, "v1"),
+            cache_key(&test, MODEL, "v2"),
+            "{name}: salts share a key"
+        );
+    }
+}
+
+#[test]
+fn canonicalization_is_idempotent_and_reparseable() {
+    for (name, test) in library() {
+        let canon = canonicalize(&test);
+        let twice = canonicalize(&canon);
+        assert_eq!(
+            canon.to_litmus_string(),
+            twice.to_litmus_string(),
+            "{name}: canonicalization is not idempotent"
+        );
+        let reparsed = lkmm_litmus::parse(&canonical_text(&test))
+            .unwrap_or_else(|e| panic!("{name}: canonical text does not reparse: {e}"));
+        assert_eq!(key(&reparsed), key(&test), "{name}: reparsed canonical text changed the key");
+    }
+}
+
+/// The load-bearing soundness property: canonicalization is a semantics-
+/// preserving transformation, so checking the canonical form against the
+/// real LKMM gives the same verdict *and the same counts* as the
+/// original. (The cache only ever checks originals, but this is what
+/// justifies sharing one entry between tests with equal canonical forms.)
+#[test]
+fn canonicalization_preserves_lkmm_verdicts_across_the_library() {
+    use lkmm_exec::{check_test, EnumOptions};
+    let model = lkmm::Lkmm::new();
+    let opts = EnumOptions::default();
+    for (name, test) in library() {
+        let original = check_test(&model, &test, &opts)
+            .unwrap_or_else(|e| panic!("{name}: original failed to enumerate: {e}"));
+        let canon = canonicalize(&test);
+        let canonical = check_test(&model, &canon, &opts)
+            .unwrap_or_else(|e| panic!("{name}: canonical form failed to enumerate: {e}"));
+        assert_eq!(original, canonical, "{name}: canonical form changed the LKMM result");
+    }
+}

@@ -1,131 +1,290 @@
-//! `herd-rs` — check a litmus test against a consistency model.
+//! `herd-rs` — check litmus tests against a consistency model.
 //!
 //! ```text
-//! herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--dot] FILE.litmus
-//! herd-rs --library            # run every built-in paper test
+//! herd-rs [OPTIONS] FILE.litmus     # check one test
+//! herd-rs [OPTIONS] --library      # run every built-in paper test
+//! herd-rs [OPTIONS] serve          # JSON-lines service on stdin/stdout
 //! ```
 //!
 //! `--jobs N` (`-j N`) checks candidate executions on `N` worker threads;
 //! the default `0` means one per available hardware thread. Output is
 //! byte-identical for every job count. `--early-exit` stops each check as
 //! soon as its verdict is decided (counts become lower bounds).
+//!
+//! `--store PATH` routes checking through the persistent verdict store:
+//! results already cached are replayed without enumerating anything, and
+//! stdout stays byte-identical to a storeless run (cache observability
+//! goes to stderr). `--salt STR` versions the cache keys — bump it when
+//! checking semantics change. `--early-exit` is rejected alongside
+//! `--store`, since its lower-bound counts must never be cached as exact.
 
-use linux_kernel_memory_model::{Herd, ModelChoice};
+use linux_kernel_memory_model::service::{serve, BatchChecker, VerdictStore};
+use linux_kernel_memory_model::{Herd, ModelChoice, Report};
 use lkmm_exec::enumerate::{enumerate, EnumOptions};
 use lkmm_exec::states::collect_states;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut model = ModelChoice::Lkmm;
-    let mut file: Option<String> = None;
-    let mut run_library = false;
-    let mut dot = false;
-    let mut states = false;
-    let mut jobs = 0usize; // 0 = available parallelism
-    let mut early_exit = false;
+const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] FILE.litmus\n\
+     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] --library\n\
+     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] serve\n\
+     \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
+     \x20 --early-exit     stop each check once its verdict is decided (not with --store)\n\
+     \x20 --store PATH     answer from / append to a persistent verdict store\n\
+     \x20 --salt STR       version salt folded into every cache key\n\
+     \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)";
+
+struct Cli {
+    model: ModelChoice,
+    file: Option<String>,
+    serve_mode: bool,
+    run_library: bool,
+    dot: bool,
+    states: bool,
+    jobs: usize,
+    early_exit: bool,
+    store: Option<String>,
+    salt: String,
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("herd-rs: {message} (try --help)");
+    ExitCode::FAILURE
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        model: ModelChoice::Lkmm,
+        file: None,
+        serve_mode: false,
+        run_library: false,
+        dot: false,
+        states: false,
+        jobs: 0, // 0 = available parallelism
+        early_exit: false,
+        store: None,
+        salt: String::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jobs" | "-j" => {
-                let Some(n) = it.next() else {
-                    eprintln!("--jobs needs an argument");
-                    return ExitCode::FAILURE;
-                };
-                match n.parse::<usize>() {
-                    Ok(n) => jobs = n,
-                    Err(_) => {
-                        eprintln!("--jobs needs a non-negative integer, got `{n}`");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let n = it.next().ok_or("--jobs needs an argument")?;
+                cli.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs needs a non-negative integer, got `{n}`"))?;
             }
-            "--early-exit" => early_exit = true,
+            "--early-exit" => cli.early_exit = true,
             "--model" | "-m" => {
-                let Some(name) = it.next() else {
-                    eprintln!("--model needs an argument");
-                    return ExitCode::FAILURE;
-                };
-                match ModelChoice::parse_name(name) {
-                    Some(m) => model = m,
-                    None => {
-                        eprintln!("unknown model `{name}` (lkmm, lkmm-cat, sc, tso, armv8, power, c11)");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let name = it.next().ok_or("--model needs an argument")?;
+                cli.model = ModelChoice::parse_name(name).ok_or_else(|| {
+                    format!("unknown model `{name}` (lkmm, lkmm-cat, sc, tso, armv8, power, c11)")
+                })?;
             }
-            "--library" | "-l" => run_library = true,
-            "--dot" => dot = true,
-            "--states" | "-s" => states = true,
+            "--store" => {
+                let path = it.next().ok_or("--store needs a path argument")?;
+                cli.store = Some(path.clone());
+            }
+            "--salt" => {
+                let salt = it.next().ok_or("--salt needs an argument")?;
+                cli.salt = salt.clone();
+            }
+            "--library" | "-l" => cli.run_library = true,
+            "--dot" => cli.dot = true,
+            "--states" | "-s" => cli.states = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] FILE.litmus\n\
-                     \x20      herd-rs --library\n\
-                     \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
-                     \x20 --early-exit     stop each check once its verdict is decided"
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            "serve" if !cli.serve_mode && cli.file.is_none() => cli.serve_mode = true,
+            other => {
+                if cli.serve_mode {
+                    return Err(format!("unexpected argument `{other}` after `serve`"));
+                }
+                if let Some(first) = &cli.file {
+                    return Err(format!("unexpected second input file `{other}` (after `{first}`)"));
+                }
+                cli.file = Some(other.to_string());
+            }
+        }
+    }
+    if cli.serve_mode && (cli.run_library || cli.dot || cli.states || cli.early_exit) {
+        return Err("`serve` takes only --model, --jobs, --store, and --salt".to_string());
+    }
+    if cli.run_library && cli.file.is_some() {
+        return Err("--library does not take an input file".to_string());
+    }
+    if cli.store.is_some() && cli.early_exit {
+        return Err(
+            "--early-exit cannot be combined with --store (its counts are lower bounds and \
+             must not be cached as exact)"
+                .to_string(),
+        );
+    }
+    Ok(Some(cli))
+}
+
+/// Open the store named by `--store` (or an in-memory one for `serve`
+/// without persistence), reporting recovery events on stderr.
+fn open_store(path: Option<&str>) -> Result<VerdictStore, String> {
+    let Some(path) = path else {
+        return Ok(VerdictStore::in_memory());
+    };
+    let store = VerdictStore::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let recovery = store.recovery();
+    if recovery.quarantined {
+        eprintln!("herd-rs: store {path}: unrecognized contents quarantined to {path}.corrupt");
+    } else if recovery.truncated_bytes > 0 {
+        eprintln!(
+            "herd-rs: store {path}: recovered {} records, dropped {} trailing bytes",
+            recovery.records, recovery.truncated_bytes
+        );
+    }
+    Ok(store)
+}
+
+fn library_line(name: &str, result: &lkmm_exec::TestResult) -> String {
+    format!(
+        "{:26} {:8} (candidates={}, allowed={}, witnesses={})",
+        name,
+        result.verdict.to_string(),
+        result.candidates,
+        result.allowed,
+        result.witnesses
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => return fail(&e),
+    };
+
+    if cli.serve_mode {
+        let model = cli.model.model();
+        let store = match open_store(cli.store.as_deref()) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match serve(&mut checker, stdin.lock(), stdout.lock()) {
+            Ok(summary) => {
+                eprintln!(
+                    "herd-rs serve: {} requests ({} errors), {} computed, {} cache hits",
+                    summary.requests,
+                    summary.errors,
+                    checker.session_computed(),
+                    checker.session_hits()
                 );
-                return ExitCode::SUCCESS;
+                ExitCode::SUCCESS
             }
-            other => file = Some(other.to_string()),
-        }
+            Err(e) => fail(&format!("serve: {e}")),
+        };
     }
 
-    let herd = Herd::new(model).with_jobs(jobs).with_early_exit(early_exit);
-    if run_library {
-        for pt in lkmm_litmus::library::all() {
-            match herd.check(&pt.test()) {
-                Ok(report) => println!(
-                    "{:26} {:8} (candidates={}, allowed={}, witnesses={})",
-                    pt.name,
-                    report.result.verdict.to_string(),
-                    report.result.candidates,
-                    report.result.allowed,
-                    report.result.witnesses
-                ),
-                Err(e) => eprintln!("{}: {e}", pt.name),
-            }
-        }
-        return ExitCode::SUCCESS;
+    if cli.run_library {
+        return if let Some(store_path) = cli.store.as_deref() {
+            library_via_store(&cli, store_path)
+        } else {
+            library_plain(&cli)
+        };
     }
 
-    let Some(path) = file else {
-        eprintln!("no input file (try --help)");
-        return ExitCode::FAILURE;
+    let Some(path) = cli.file.clone() else {
+        return fail("no input file");
     };
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let test = match lkmm_litmus::parse(&source) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+
+    let report = if let Some(store_path) = cli.store.as_deref() {
+        let model = cli.model.model();
+        let store = match open_store(Some(store_path)) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
+        let outcome = match checker.check_one(&test) {
+            Ok(o) => o,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        if let Err(e) = checker.flush() {
+            return fail(&format!("{store_path}: {e}"));
+        }
+        eprintln!("herd-rs: store {store_path}: {}", outcome.provenance);
+        Report {
+            test_name: test.name.clone(),
+            model_name: model.name().to_string(),
+            result: outcome.result,
+        }
+    } else {
+        let herd = Herd::new(cli.model).with_jobs(cli.jobs).with_early_exit(cli.early_exit);
+        match herd.check(&test) {
+            Ok(report) => report,
+            Err(e) => return fail(&format!("{path}: {e}")),
         }
     };
-    match herd.check_source(&source) {
-        Ok(report) => {
-            println!("{report}");
-            if states {
-                if let Ok(test) = lkmm_litmus::parse(&source) {
-                    match collect_states(model.model().as_ref(), &test, &EnumOptions::default()) {
-                        Ok(summary) => println!("\n{summary}"),
-                        Err(e) => eprintln!("states: {e}"),
-                    }
-                }
-            }
-            if dot {
-                if let Ok(test) = lkmm_litmus::parse(&source) {
-                    if let Ok(execs) = enumerate(&test, &EnumOptions::default()) {
-                        if let Some(x) =
-                            execs.iter().find(|x| x.satisfies_prop(&test.condition.prop))
-                        {
-                            println!("\n// witness candidate execution\n{}", x.to_dot());
-                        }
-                    }
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            ExitCode::FAILURE
+
+    println!("{report}");
+    if cli.states {
+        match collect_states(cli.model.model().as_ref(), &test, &EnumOptions::default()) {
+            Ok(summary) => println!("\n{summary}"),
+            Err(e) => eprintln!("states: {e}"),
         }
     }
+    if cli.dot {
+        if let Ok(execs) = enumerate(&test, &EnumOptions::default()) {
+            if let Some(x) = execs.iter().find(|x| x.satisfies_prop(&test.condition.prop)) {
+                println!("\n// witness candidate execution\n{}", x.to_dot());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn library_plain(cli: &Cli) -> ExitCode {
+    let herd = Herd::new(cli.model).with_jobs(cli.jobs).with_early_exit(cli.early_exit);
+    for pt in lkmm_litmus::library::all() {
+        match herd.check(&pt.test()) {
+            Ok(report) => println!("{}", library_line(pt.name, &report.result)),
+            Err(e) => eprintln!("{}: {e}", pt.name),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--library --store`: identical stdout to [`library_plain`], with cache
+/// observability on stderr. A fully warm store answers the whole library
+/// without enumerating a single candidate execution.
+fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
+    let model = cli.model.model();
+    let store = match open_store(Some(store_path)) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
+    let report = match checker.check_library() {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    debug_assert_eq!(report.outcomes.len(), lkmm_litmus::library::all().len());
+    for outcome in &report.outcomes {
+        println!("{}", library_line(&outcome.name, &outcome.result));
+    }
+    eprintln!(
+        "herd-rs: store {store_path}: {} hits, {} computed, {} deduped, {} candidates enumerated, {} us",
+        report.hits, report.computed, report.deduped, report.candidates_enumerated, report.micros
+    );
+    ExitCode::SUCCESS
 }

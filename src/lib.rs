@@ -23,7 +23,10 @@
 //! * [`sim`] — operational hardware simulators (x86 / ARMv8 / ARMv7 /
 //!   Power8) standing in for the paper's testbeds;
 //! * [`generator`] — diy-style critical-cycle test generation;
-//! * [`klitmus`] — a host runner on real threads and atomics.
+//! * [`klitmus`] — a host runner on real threads and atomics;
+//! * [`service`] — content-addressed verdict store, batch checking
+//!   through the cache, and the JSON-lines serve mode behind
+//!   `herd-rs serve`.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use lkmm_litmus as litmus;
 pub use lkmm_models as models;
 pub use lkmm_rcu as rcu;
 pub use lkmm_relation as relation;
+pub use lkmm_service as service;
 pub use lkmm_sim as sim;
 
 use lkmm_exec::enumerate::EnumOptions;
