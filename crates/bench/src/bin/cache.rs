@@ -63,7 +63,7 @@ fn run_store_pass(
     let start = Instant::now();
     let report = checker.check_corpus(tests).expect("corpus checks");
     let seconds = start.elapsed().as_secs_f64();
-    let results = report.outcomes.iter().map(|o| o.result.clone()).collect();
+    let results = report.outcomes.iter().map(|o| o.result().expect("unbudgeted check completes").clone()).collect();
     (seconds, report.candidates_enumerated, report.hits, report.deduped, results)
 }
 
@@ -74,7 +74,13 @@ fn bench_workload(w: &Workload, iters: usize, store_path: &Path) -> Vec<Measurem
     let model = Lkmm::new();
     let herd_results: Vec<TestResult> = {
         let mut checker = BatchChecker::new(&model, VerdictStore::in_memory(), "bench");
-        checker.check_corpus(&w.tests).unwrap().outcomes.iter().map(|o| o.result.clone()).collect()
+        checker
+            .check_corpus(&w.tests)
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|o| o.result().expect("unbudgeted check completes").clone())
+            .collect()
     };
     let start = Instant::now();
     for _ in 0..iters {

@@ -1,6 +1,7 @@
 //! Evaluator: cat models against candidate executions.
 
 use crate::ast::{Binding, CheckKind, Expr, Instr, Model};
+use lkmm_core::budget::StepFuel;
 use lkmm_exec::Execution;
 use lkmm_litmus::FenceKind;
 use lkmm_relation::{EventSet, Relation};
@@ -9,10 +10,28 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
+/// Sentinel message distinguishing fuel exhaustion from genuine semantic
+/// errors; see [`EvalError::is_fuel_exhausted`].
+const FUEL_EXHAUSTED: &str = "evaluation-step budget exhausted";
+
 /// Evaluation failure (unknown identifier, type mismatch, …).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EvalError {
     pub message: String,
+}
+
+impl EvalError {
+    /// The error reported when an installed [`StepFuel`] tank runs dry
+    /// mid-evaluation.
+    pub fn fuel_exhausted() -> EvalError {
+        EvalError { message: FUEL_EXHAUSTED.into() }
+    }
+
+    /// Whether this error is fuel exhaustion (a budget stop) rather than
+    /// a semantic error in the model.
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.message == FUEL_EXHAUSTED
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -90,13 +109,26 @@ type Env = HashMap<String, Value>;
 pub fn evaluate(model: &Model, x: &Execution) -> Result<CatOutcome, EvalError> {
     let mut env = static_env(x)?;
     insert_witness(&mut env, x);
-    evaluate_with_env(model, x.universe(), env)
+    evaluate_with_env(model, x.universe(), env, None)
 }
 
 /// Run a model's instructions against a pre-built base environment.
-fn evaluate_with_env(model: &Model, n: usize, mut env: Env) -> Result<CatOutcome, EvalError> {
+/// When `fuel` is supplied, one unit is burned per instruction and per
+/// fixpoint-round binding, and exhaustion surfaces as
+/// [`EvalError::fuel_exhausted`].
+fn evaluate_with_env(
+    model: &Model,
+    n: usize,
+    mut env: Env,
+    fuel: Option<&StepFuel>,
+) -> Result<CatOutcome, EvalError> {
     let mut outcome = CatOutcome { failed_check: None, flags: Vec::new() };
     for (i, instr) in model.instrs.iter().enumerate() {
+        if let Some(f) = fuel {
+            if !f.consume(1) {
+                return Err(EvalError::fuel_exhausted());
+            }
+        }
         match instr {
             Instr::Let { recursive: false, bindings } => {
                 // Simultaneous bindings: evaluate all in the current env.
@@ -107,7 +139,7 @@ fn evaluate_with_env(model: &Model, n: usize, mut env: Env) -> Result<CatOutcome
                 env.extend(vals);
             }
             Instr::Let { recursive: true, bindings } => {
-                eval_rec(bindings, &mut env, n)?;
+                eval_rec(bindings, &mut env, n, fuel)?;
             }
             Instr::Check { kind, negated, expr, name, flag } => {
                 let holds = eval_check(*kind, expr, &env, n)? != *negated;
@@ -143,7 +175,12 @@ fn bind_value(b: &Binding, env: &Env) -> Result<Value, EvalError> {
     }
 }
 
-fn eval_rec(bindings: &[Binding], env: &mut Env, n: usize) -> Result<(), EvalError> {
+fn eval_rec(
+    bindings: &[Binding],
+    env: &mut Env,
+    n: usize,
+    fuel: Option<&StepFuel>,
+) -> Result<(), EvalError> {
     for b in bindings {
         if !b.params.is_empty() {
             return Err(EvalError { message: "recursive functions are not supported".into() });
@@ -154,6 +191,13 @@ fn eval_rec(bindings: &[Binding], env: &mut Env, n: usize) -> Result<(), EvalErr
     // monotone, so this terminates (the lattice of relations is finite).
     let cap = n * n * bindings.len() + 2;
     for _ in 0..cap {
+        // The fixpoint is where evaluation cost is super-linear, so this
+        // is the loop a step budget must bound.
+        if let Some(f) = fuel {
+            if !f.consume(bindings.len() as u64) {
+                return Err(EvalError::fuel_exhausted());
+            }
+        }
         let mut changed = false;
         for b in bindings {
             let new = eval_expr(&b.body, env)?;
@@ -401,12 +445,19 @@ fn insert_witness(env: &mut Env, x: &Execution) {
 pub struct CatSession<'a> {
     model: &'a Model,
     cache: Option<(Arc<Vec<lkmm_exec::Event>>, Env)>,
+    fuel: Option<Arc<StepFuel>>,
 }
 
 impl<'a> CatSession<'a> {
     /// A session evaluating `model`.
     pub fn new(model: &'a Model) -> Self {
-        CatSession { model, cache: None }
+        CatSession { model, cache: None, fuel: None }
+    }
+
+    /// Meter every subsequent evaluation against `fuel` (shared with the
+    /// other workers of a governed check).
+    pub fn set_fuel(&mut self, fuel: Arc<StepFuel>) {
+        self.fuel = Some(fuel);
     }
 
     /// Evaluate all checks against one candidate execution, reusing the
@@ -415,7 +466,8 @@ impl<'a> CatSession<'a> {
     ///
     /// # Errors
     ///
-    /// Same as [`evaluate`].
+    /// Same as [`evaluate`]; with fuel installed, additionally
+    /// [`EvalError::fuel_exhausted`].
     pub fn evaluate(&mut self, x: &Execution) -> Result<CatOutcome, EvalError> {
         let hit = self
             .cache
@@ -426,7 +478,7 @@ impl<'a> CatSession<'a> {
         }
         let mut env = self.cache.as_ref().expect("cache filled above").1.clone();
         insert_witness(&mut env, x);
-        evaluate_with_env(self.model, x.universe(), env)
+        evaluate_with_env(self.model, x.universe(), env, self.fuel.as_deref())
     }
 }
 

@@ -117,6 +117,21 @@ impl ModelSession for CatSession<'_> {
     fn allows(&mut self, x: &Execution) -> bool {
         self.evaluate(x).expect("cat evaluation failed").allowed()
     }
+
+    /// Fuel exhaustion becomes a clean [`EvalStop`]; genuine semantic
+    /// errors still panic (contained by the pipeline's per-candidate
+    /// `catch_unwind` in governed runs).
+    fn try_allows(&mut self, x: &Execution) -> Result<bool, lkmm_exec::EvalStop> {
+        match self.evaluate(x) {
+            Ok(outcome) => Ok(outcome.allowed()),
+            Err(e) if e.is_fuel_exhausted() => Err(lkmm_exec::EvalStop),
+            Err(e) => panic!("cat evaluation failed: {e}"),
+        }
+    }
+
+    fn install_step_fuel(&mut self, fuel: std::sync::Arc<lkmm_core::budget::StepFuel>) {
+        self.set_fuel(fuel);
+    }
 }
 
 /// The LKMM as an interpreted cat model (parses [`LINUX_KERNEL_CAT`]).

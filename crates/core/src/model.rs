@@ -113,7 +113,7 @@ impl ConsistencyModel for Lkmm {
     }
 
     fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
-        Some(Box::new(LkmmSession { model: *self, cache: None }))
+        Some(Box::new(LkmmSession { model: *self, cache: None, fuel: None }))
     }
 }
 
@@ -125,6 +125,7 @@ impl ConsistencyModel for Lkmm {
 pub struct LkmmSession {
     model: Lkmm,
     cache: Option<(Arc<Vec<Event>>, LkmmStatics)>,
+    fuel: Option<Arc<lkmm_core::budget::StepFuel>>,
 }
 
 impl ModelSession for LkmmSession {
@@ -139,6 +140,22 @@ impl ModelSession for LkmmSession {
         let statics = &self.cache.as_ref().expect("cache filled above").1;
         let r = LkmmRelations::compute_with(x, statics);
         self.model.violated_axiom_with(x, &r).is_none()
+    }
+
+    /// The native axioms are evaluated by closed-form relation algebra
+    /// (no open-ended fixpoints), so the step cost of one candidate is
+    /// charged as `1 + |events|` units against the shared tank.
+    fn try_allows(&mut self, x: &Execution) -> Result<bool, lkmm_exec::EvalStop> {
+        if let Some(fuel) = &self.fuel {
+            if !fuel.consume(1 + x.universe() as u64) {
+                return Err(lkmm_exec::EvalStop);
+            }
+        }
+        Ok(self.allows(x))
+    }
+
+    fn install_step_fuel(&mut self, fuel: Arc<lkmm_core::budget::StepFuel>) {
+        self.fuel = Some(fuel);
     }
 }
 

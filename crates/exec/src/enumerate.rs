@@ -9,6 +9,8 @@
 use crate::event::{Event, EventKind, LocId, Val, WriteAnnot};
 use crate::execution::Execution;
 use crate::thread::{run_thread, ThreadOutcome, ThreadStop};
+use lkmm_core::budget::{Budget, BudgetKind, Meter};
+use lkmm_core::faultpoint;
 use lkmm_litmus::ast::{InitVal, Test};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::Relation;
@@ -18,7 +20,7 @@ use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// Tuning knobs for the enumerator.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EnumOptions {
     /// Discard candidates violating *sequential consistency per variable*
     /// (the `Scpv` axiom, `acyclic(po-loc ∪ com)`) during enumeration.
@@ -36,6 +38,15 @@ pub struct EnumOptions {
     pub max_domain_iterations: usize,
     /// Cap on oracle branches explored per thread.
     pub max_oracle_branches: usize,
+    /// Resource budget governing this enumeration (and, through the
+    /// pipeline, the model evaluation fed from it). Unlimited by default.
+    ///
+    /// Unlike the caps above — which are semantic knobs changing *which*
+    /// error a pathological test reports — a budget never changes any
+    /// completed verdict, only whether the check runs to completion. It
+    /// is therefore excluded from the [`fmt::Debug`] form, which the
+    /// verdict store folds into cache keys.
+    pub budget: Budget,
 }
 
 impl Default for EnumOptions {
@@ -45,7 +56,24 @@ impl Default for EnumOptions {
             max_executions: 4_000_000,
             max_domain_iterations: 16,
             max_oracle_branches: 200_000,
+            budget: Budget::default(),
         }
+    }
+}
+
+/// Manual impl printing exactly the pre-budget derived form. The verdict
+/// store salts cache keys with `{:?}` of these options; keeping the
+/// budget out of it (a) preserves every existing store byte-for-byte and
+/// (b) is semantically right — budgets cannot change a completed
+/// verdict, and inconclusive results are never cached.
+impl fmt::Debug for EnumOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnumOptions")
+            .field("prune_scpv", &self.prune_scpv)
+            .field("max_executions", &self.max_executions)
+            .field("max_domain_iterations", &self.max_domain_iterations)
+            .field("max_oracle_branches", &self.max_oracle_branches)
+            .finish()
     }
 }
 
@@ -60,6 +88,8 @@ pub enum EnumError {
     TooManyBranches,
     /// `rcu_read_lock`/`rcu_read_unlock` are not balanced on some path.
     UnbalancedRcu { thread: usize },
+    /// The [`EnumOptions::budget`] ran out mid-enumeration.
+    BudgetExceeded(BudgetKind),
 }
 
 impl fmt::Display for EnumError {
@@ -71,6 +101,7 @@ impl fmt::Display for EnumError {
             EnumError::UnbalancedRcu { thread } => {
                 write!(f, "unbalanced RCU critical section in thread {thread}")
             }
+            EnumError::BudgetExceeded(kind) => write!(f, "{kind}"),
         }
     }
 }
@@ -141,6 +172,7 @@ pub fn try_for_each_execution(
     if test.threads.is_empty() {
         return Err(EnumError::NoThreads);
     }
+    let mut meter = opts.budget.meter();
     let locs = test.shared_locations();
     let init_vals: Vec<Val> = locs
         .iter()
@@ -164,12 +196,13 @@ pub fn try_for_each_execution(
     let stmt_count: usize = test.threads.iter().map(|t| count_stmts(&t.body)).sum();
     let rounds = (stmt_count + 1).min(opts.max_domain_iterations.max(1));
     for _round in 0..rounds {
+        meter.poll_now().map_err(EnumError::BudgetExceeded)?;
         outcomes = test
             .threads
             .iter()
             .enumerate()
             .map(|(tid, t)| {
-                explore_thread(&t.body, tid, &locs, &init_vals, &writers, &domains, opts)
+                explore_thread(&t.body, tid, &locs, &init_vals, &writers, &domains, opts, &mut meter)
             })
             .collect::<Result<_, _>>()?;
         let mut changed = false;
@@ -191,10 +224,11 @@ pub fn try_for_each_execution(
     let mut emitted = 0usize;
     let mut combo = vec![0usize; test.threads.len()];
     loop {
+        meter.poll_now().map_err(EnumError::BudgetExceeded)?;
         let chosen: Vec<&ThreadOutcome> =
             combo.iter().enumerate().map(|(t, &i)| &outcomes[t][i]).collect();
         let pre = build_pre_execution(&locs, &init_vals, &chosen)?;
-        if enumerate_witnesses(&pre, opts, &mut emitted, visit)?.is_break() {
+        if enumerate_witnesses(&pre, opts, &mut emitted, &mut meter, visit)?.is_break() {
             return Ok(ControlFlow::Break(()));
         }
 
@@ -286,6 +320,7 @@ fn explore_thread(
     writers: &[BTreeSet<usize>],
     domains: &[BTreeSet<Val>],
     opts: &EnumOptions,
+    meter: &mut Meter,
 ) -> Result<Vec<ThreadOutcome>, EnumError> {
     let mut done = Vec::new();
     let mut stack: Vec<Vec<Val>> = vec![Vec::new()];
@@ -295,6 +330,7 @@ fn explore_thread(
         if branches > opts.max_oracle_branches {
             return Err(EnumError::TooManyBranches);
         }
+        meter.poll().map_err(EnumError::BudgetExceeded)?;
         match run_thread(body, &oracle, locs) {
             Ok(out) => done.push(out),
             Err(ThreadStop::NeedValue { loc, last_local_write }) => {
@@ -460,6 +496,7 @@ fn enumerate_witnesses(
     pre: &PreExecution,
     opts: &EnumOptions,
     emitted: &mut usize,
+    meter: &mut Meter,
     visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
 ) -> Result<ControlFlow<()>, EnumError> {
     // Candidate rf sources per read: same location, same value.
@@ -484,6 +521,7 @@ fn enumerate_witnesses(
 
     let mut rf_choice = vec![0usize; pre.reads.len()];
     loop {
+        meter.poll().map_err(EnumError::BudgetExceeded)?;
         let mut rf = Relation::empty(pre.events.len());
         for (ri, &(read_id, _, _)) in pre.reads.iter().enumerate() {
             rf.insert(candidates[ri][rf_choice[ri]], read_id);
@@ -491,7 +529,7 @@ fn enumerate_witnesses(
         // Cheap pre-co prune: a read may not observe a po-later write.
         let rf_ok =
             !opts.prune_scpv || pre.po_loc.union(&rf).is_acyclic();
-        if rf_ok && enumerate_co(pre, &rf, opts, emitted, visit)?.is_break() {
+        if rf_ok && enumerate_co(pre, &rf, opts, emitted, meter, visit)?.is_break() {
             return Ok(ControlFlow::Break(()));
         }
 
@@ -515,6 +553,7 @@ fn enumerate_co(
     rf: &Relation,
     opts: &EnumOptions,
     emitted: &mut usize,
+    meter: &mut Meter,
     visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
 ) -> Result<ControlFlow<()>, EnumError> {
     // Per-location write permutations, enumerated recursively.
@@ -526,9 +565,11 @@ fn enumerate_co(
         loc: usize,
         orders: &mut Vec<Vec<usize>>,
         emitted: &mut usize,
+        meter: &mut Meter,
         visit: &mut dyn FnMut(Execution) -> ControlFlow<()>,
     ) -> Result<ControlFlow<()>, EnumError> {
         if loc == pre.locs.len() {
+            meter.poll().map_err(EnumError::BudgetExceeded)?;
             let mut co = Relation::empty(pre.events.len());
             for (l, order) in orders.iter().enumerate() {
                 let mut prev = pre.init_write[l];
@@ -553,6 +594,10 @@ fn enumerate_co(
             if *emitted > opts.max_executions {
                 return Err(EnumError::TooManyExecutions);
             }
+            if faultpoint::should_fail("enum.budget") {
+                return Err(EnumError::BudgetExceeded(BudgetKind::Candidates));
+            }
+            meter.spend_candidate().map_err(EnumError::BudgetExceeded)?;
             let x = Execution {
                 locs: Arc::clone(&pre.locs),
                 events: Arc::clone(&pre.events),
@@ -571,13 +616,13 @@ fn enumerate_co(
         let writes = pre.writes_per_loc[loc].clone();
         permute(writes, &mut |perm| {
             orders.push(perm.to_vec());
-            let r = rec(pre, rf, opts, loc + 1, orders, emitted, visit);
+            let r = rec(pre, rf, opts, loc + 1, orders, emitted, meter, visit);
             orders.pop();
             r
         })
     }
     let mut orders = Vec::new();
-    rec(pre, rf, opts, 0, &mut orders, emitted, visit)
+    rec(pre, rf, opts, 0, &mut orders, emitted, meter, visit)
 }
 
 /// Call `f` on every permutation of `items` (simple recursive generation),

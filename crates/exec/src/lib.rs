@@ -41,6 +41,12 @@ pub mod thread;
 pub use enumerate::{enumerate, for_each_execution, try_for_each_execution, EnumError, EnumOptions};
 pub use event::{Event, EventKind, LocId, ReadAnnot, SrcuKind, Val, WriteAnnot};
 pub use execution::Execution;
-pub use model::{check_test, open_session, ConsistencyModel, ModelSession, TestResult, Verdict};
-pub use pipeline::{check_test_pipelined, effective_jobs, PipelineOptions};
+pub use lkmm_core::budget::{Budget, BudgetKind, CancelToken, StepFuel};
+pub use model::{
+    check_test, open_session, ConsistencyModel, EvalStop, ModelSession, TestResult, Verdict,
+};
+pub use pipeline::{
+    check_test_governed, check_test_pipelined, effective_jobs, CheckOutcome, InconclusiveReason,
+    PipelineOptions, Tally, MAX_JOBS,
+};
 pub use states::{collect_states, StateSummary};

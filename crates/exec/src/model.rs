@@ -2,9 +2,11 @@
 
 use crate::enumerate::{for_each_execution, EnumError, EnumOptions};
 use crate::execution::Execution;
+use lkmm_core::budget::StepFuel;
 use lkmm_litmus::ast::Test;
 use lkmm_litmus::cond::Quantifier;
 use std::fmt;
+use std::sync::Arc;
 
 /// An axiomatic consistency model: a predicate on candidate executions.
 ///
@@ -41,6 +43,12 @@ pub trait ConsistencyModel: Sync {
     }
 }
 
+/// Model evaluation stopped because its step fuel ran out. Not an
+/// evaluation *error*: the model is fine, the budget is spent. See
+/// [`ModelSession::try_allows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalStop;
+
 /// A stateful evaluation handle used by one checking thread. Unlike
 /// [`ConsistencyModel::allows`], [`ModelSession::allows`] takes `&mut
 /// self`, so implementations can cache work shared by the candidates of
@@ -50,6 +58,20 @@ pub trait ConsistencyModel: Sync {
 pub trait ModelSession {
     /// Whether the model allows this candidate execution.
     fn allows(&mut self, x: &Execution) -> bool;
+
+    /// Budget-aware variant of [`ModelSession::allows`]: returns
+    /// `Err(EvalStop)` when the session's installed [`StepFuel`] runs
+    /// dry mid-evaluation. The default ignores fuel entirely, which is
+    /// correct for models whose per-candidate cost is trivially bounded.
+    fn try_allows(&mut self, x: &Execution) -> Result<bool, EvalStop> {
+        Ok(self.allows(x))
+    }
+
+    /// Hand the session a shared evaluation-step fuel tank. Sessions
+    /// that meter their work (the cat interpreter, the native LKMM)
+    /// consume from it inside [`ModelSession::try_allows`]; the default
+    /// discards it.
+    fn install_step_fuel(&mut self, _fuel: Arc<StepFuel>) {}
 }
 
 /// Open an evaluation session for `model`: its own caching session if it

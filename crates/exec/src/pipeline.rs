@@ -20,23 +20,50 @@
 //! guaranteed to match a full run; the `candidates`/`allowed`/`witnesses`
 //! counts are then lower bounds, which is why the flag exists instead of
 //! being always-on.
+//!
+//! # Resource governance
+//!
+//! [`check_test_governed`] is the budget-aware entry point: it honours
+//! the [`Budget`](lkmm_core::budget::Budget) in
+//! [`EnumOptions::budget`] and always returns a structured
+//! [`CheckOutcome`] — either `Complete` (exactly what the ungoverned
+//! path computes) or `Inconclusive` with the reason and the partial
+//! [`Tally`] accumulated before the stop. It never hangs and never
+//! aborts the process: every worker evaluates each candidate inside
+//! `catch_unwind`, so a panicking model (or an armed `worker.panic`
+//! fault point) poisons only that one check.
+//!
+//! With an unlimited budget the governed and legacy paths run the exact
+//! same loops and produce identical tallies; the only difference is the
+//! wrapper type.
 
 use crate::enumerate::{try_for_each_execution, EnumError, EnumOptions};
 use crate::execution::Execution;
-use crate::model::{open_session, ConsistencyModel, TestResult, Verdict};
+use crate::model::{open_session, ConsistencyModel, EvalStop, TestResult, Verdict};
+use lkmm_core::budget::{Budget, BudgetKind};
+use lkmm_core::faultpoint;
 use lkmm_litmus::ast::Test;
 use lkmm_litmus::cond::Quantifier;
+use std::any::Any;
+use std::fmt;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread;
+
+/// Hard ceiling on worker threads. Litmus-scale candidate streams cannot
+/// keep more workers than this busy, and each worker costs a stack plus
+/// a bounded queue; values beyond the cap are almost certainly typos
+/// (`--jobs 10000`), which the CLI rejects and [`effective_jobs`] clamps.
+pub const MAX_JOBS: usize = 512;
 
 /// Tuning knobs for the parallel check pipeline.
 #[derive(Clone, Debug)]
 pub struct PipelineOptions {
     /// Worker threads. `0` means one per available hardware thread
     /// (see [`effective_jobs`]); `1` checks on the calling thread with
-    /// no queues or workers.
+    /// no queues or workers. Values above [`MAX_JOBS`] are clamped.
     pub jobs: usize,
     /// Stop enumerating once the quantified verdict is decided. Verdict
     /// and `condition_holds` still match a full run exactly; the counts
@@ -44,7 +71,7 @@ pub struct PipelineOptions {
     pub early_exit: bool,
     /// Bound of each worker's candidate queue. Backpressure keeps the
     /// enumerator from materialising the candidate space when workers
-    /// fall behind.
+    /// fall behind. Clamped to ≥ 1.
     pub queue_depth: usize,
 }
 
@@ -55,26 +82,32 @@ impl Default for PipelineOptions {
 }
 
 /// Resolve a `--jobs` value: `0` becomes the available parallelism
-/// (falling back to 1 if the platform cannot report it).
+/// (falling back to 1 if the platform cannot report it); anything above
+/// [`MAX_JOBS`] is clamped to it.
 pub fn effective_jobs(jobs: usize) -> usize {
-    if jobs == 0 {
+    let jobs = if jobs == 0 {
         thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         jobs
-    }
+    };
+    jobs.min(MAX_JOBS)
 }
 
 /// One worker's (or the sequential loop's) running totals. Merging two
 /// tallies is commutative and associative, which is what makes the
-/// parallel merge deterministic.
-#[derive(Clone, Copy, Debug, Default)]
-struct Tally {
-    candidates: usize,
-    allowed: usize,
-    witnesses: usize,
+/// parallel merge deterministic. Public so `Inconclusive` outcomes can
+/// report exactly how far a check got before its budget ran out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Candidate executions fully evaluated.
+    pub candidates: usize,
+    /// Candidates allowed by the model.
+    pub allowed: usize,
+    /// Allowed candidates satisfying the proposition.
+    pub witnesses: usize,
     /// Some allowed candidate does not satisfy the proposition (decides
     /// `forall` negatively).
-    saw_non_satisfying: bool,
+    pub saw_non_satisfying: bool,
 }
 
 impl Tally {
@@ -120,14 +153,276 @@ impl Tally {
     }
 }
 
+/// Why a governed check could not run to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InconclusiveReason {
+    /// A budget axis (candidates, eval steps, wall clock, cancellation)
+    /// ran out.
+    BudgetExceeded(BudgetKind),
+    /// Model evaluation panicked on some candidate (contained by the
+    /// worker's `catch_unwind`; the process keeps running).
+    WorkerPanicked,
+    /// The enumerator failed (no threads, unbalanced RCU, hard caps).
+    Enum(EnumError),
+}
+
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InconclusiveReason::BudgetExceeded(kind) => write!(f, "{kind}"),
+            InconclusiveReason::WorkerPanicked => write!(f, "model evaluation panicked"),
+            InconclusiveReason::Enum(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The structured result of a governed check: either the complete
+/// verdict, or a typed reason it stopped plus the partial tally. A
+/// governed check never hangs and never aborts the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The check ran to completion; identical to what the ungoverned
+    /// pipeline computes.
+    Complete(TestResult),
+    /// The check stopped early. `partial` holds the tallies over every
+    /// candidate fully evaluated before the stop — with a candidate
+    /// budget these are exact and deterministic at any job count,
+    /// because the single-threaded enumerator is what trips the fuel.
+    Inconclusive {
+        /// Why the check stopped.
+        reason: InconclusiveReason,
+        /// Counts accumulated before the stop.
+        partial: Tally,
+    },
+}
+
+impl CheckOutcome {
+    /// The completed result, if the check finished.
+    pub fn result(&self) -> Option<&TestResult> {
+        match self {
+            CheckOutcome::Complete(r) => Some(r),
+            CheckOutcome::Inconclusive { .. } => None,
+        }
+    }
+
+    /// Whether the check ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, CheckOutcome::Complete(_))
+    }
+}
+
+/// Why a worker (or the sequential loop) stopped before its queue
+/// drained. Distinct from enumerator errors, which arrive through
+/// `enum_result`.
+enum WorkerStop {
+    /// Model evaluation panicked; the payload is kept so the legacy API
+    /// can `resume_unwind` it unchanged.
+    Panicked(Box<dyn Any + Send>),
+    /// The shared [`StepFuel`](lkmm_core::budget::StepFuel) ran dry.
+    EvalFuel,
+    /// The worker's deadline/cancellation poll tripped.
+    Budget(BudgetKind),
+}
+
+impl WorkerStop {
+    /// Panics outrank budget stops when several workers stop for
+    /// different reasons: a panic is a bug signal, fuel is bookkeeping.
+    fn rank(&self) -> u8 {
+        match self {
+            WorkerStop::Panicked(_) => 2,
+            WorkerStop::EvalFuel => 1,
+            WorkerStop::Budget(_) => 0,
+        }
+    }
+}
+
+/// Everything one engine run produces, before API-specific mapping.
+struct RawCheck {
+    tally: Tally,
+    stop: Option<WorkerStop>,
+    enum_result: Result<ControlFlow<()>, EnumError>,
+}
+
+/// The engine behind both public entry points: enumerate on the calling
+/// thread, evaluate on `jobs` workers (inline when `jobs <= 1`), each
+/// candidate inside `catch_unwind`, budgets polled everywhere.
+fn run_check(
+    model: &dyn ConsistencyModel,
+    test: &Test,
+    opts: &EnumOptions,
+    pipe: &PipelineOptions,
+) -> RawCheck {
+    let jobs = effective_jobs(pipe.jobs);
+    let quantifier = test.condition.quantifier;
+    let fuel = opts.budget.step_fuel();
+    // Workers poll only the clock and the cancel token; candidate fuel
+    // is spent exclusively by the single-threaded enumerator, which is
+    // what makes candidate-budget partial tallies exact at any job
+    // count. Pin the time limit to an absolute deadline once, here, so
+    // every worker measures from the same instant.
+    let worker_budget =
+        Budget { max_candidates: None, max_eval_steps: None, ..opts.budget.clone() };
+    let worker_meter = worker_budget.meter();
+
+    if jobs <= 1 {
+        let mut session = open_session(model);
+        if let Some(f) = &fuel {
+            session.install_step_fuel(f.clone());
+        }
+        let mut meter = worker_meter;
+        let mut tally = Tally::default();
+        let mut stop_reason = None;
+        let enum_result = try_for_each_execution(test, opts, &mut |x| {
+            if let Err(kind) = meter.poll() {
+                stop_reason = Some(WorkerStop::Budget(kind));
+                return ControlFlow::Break(());
+            }
+            let evaluated = catch_unwind(AssertUnwindSafe(|| {
+                faultpoint::maybe_panic("worker.panic");
+                let allows = session.try_allows(&x)?;
+                Ok((allows, allows && x.satisfies_prop(&test.condition.prop)))
+            }));
+            match evaluated {
+                Ok(Ok((allows, satisfies))) => {
+                    tally.candidates += 1;
+                    if allows {
+                        tally.allowed += 1;
+                        if satisfies {
+                            tally.witnesses += 1;
+                        } else {
+                            tally.saw_non_satisfying = true;
+                        }
+                    }
+                }
+                Ok(Err(EvalStop)) => {
+                    stop_reason = Some(WorkerStop::EvalFuel);
+                    return ControlFlow::Break(());
+                }
+                Err(payload) => {
+                    stop_reason = Some(WorkerStop::Panicked(payload));
+                    return ControlFlow::Break(());
+                }
+            }
+            if pipe.early_exit && tally.decided(quantifier) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        return RawCheck { tally, stop: stop_reason, enum_result };
+    }
+
+    let stop = AtomicBool::new(false);
+    thread::scope(|s| {
+        let mut senders = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = mpsc::sync_channel::<Execution>(pipe.queue_depth.max(1));
+            senders.push(tx);
+            let stop = &stop;
+            let early_exit = pipe.early_exit;
+            let fuel = fuel.clone();
+            let mut meter = worker_meter.clone();
+            handles.push(s.spawn(move || {
+                let mut session = open_session(model);
+                if let Some(f) = fuel {
+                    session.install_step_fuel(f);
+                }
+                let mut tally = Tally::default();
+                let mut stop_reason = None;
+                while let Ok(x) = rx.recv() {
+                    if let Err(kind) = meter.poll() {
+                        stop.store(true, Ordering::Relaxed);
+                        stop_reason = Some(WorkerStop::Budget(kind));
+                        break;
+                    }
+                    let evaluated = catch_unwind(AssertUnwindSafe(|| {
+                        faultpoint::maybe_panic("worker.panic");
+                        let allows = session.try_allows(&x)?;
+                        Ok((allows, allows && x.satisfies_prop(&test.condition.prop)))
+                    }));
+                    match evaluated {
+                        Ok(Ok((allows, satisfies))) => {
+                            tally.candidates += 1;
+                            if allows {
+                                tally.allowed += 1;
+                                if satisfies {
+                                    tally.witnesses += 1;
+                                } else {
+                                    tally.saw_non_satisfying = true;
+                                }
+                            }
+                        }
+                        Ok(Err(EvalStop)) => {
+                            stop.store(true, Ordering::Relaxed);
+                            stop_reason = Some(WorkerStop::EvalFuel);
+                            break;
+                        }
+                        Err(payload) => {
+                            stop.store(true, Ordering::Relaxed);
+                            stop_reason = Some(WorkerStop::Panicked(payload));
+                            break;
+                        }
+                    }
+                    if early_exit && tally.decided(quantifier) {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                (tally, stop_reason)
+            }));
+        }
+
+        // The enumerator runs on this thread, feeding workers
+        // round-robin; the bounded channels provide backpressure.
+        let mut seq = 0usize;
+        let enum_result = try_for_each_execution(test, opts, &mut |x| {
+            if stop.load(Ordering::Relaxed) {
+                return ControlFlow::Break(());
+            }
+            let worker = seq % jobs;
+            seq += 1;
+            match senders[worker].send(x) {
+                Ok(()) => ControlFlow::Continue(()),
+                // The worker exited early; stop producing.
+                Err(mpsc::SendError(_)) => ControlFlow::Break(()),
+            }
+        });
+        drop(senders); // hang up so workers drain and exit
+
+        let mut tally = Tally::default();
+        let mut stop_reason: Option<WorkerStop> = None;
+        for handle in handles {
+            // Workers cannot panic out of their own body: evaluation is
+            // wrapped in catch_unwind and everything else is queue
+            // plumbing. A join error here would be a harness bug.
+            let (t, reason) = handle.join().expect("pipeline worker harness panicked");
+            tally = tally.merge(t);
+            if let Some(r) = reason {
+                if stop_reason.as_ref().is_none_or(|cur| r.rank() > cur.rank()) {
+                    stop_reason = Some(r);
+                }
+            }
+        }
+        RawCheck { tally, stop: stop_reason, enum_result }
+    })
+}
+
 /// Check `test` against `model` on `pipe.jobs` worker threads.
 ///
 /// With `jobs <= 1` this runs on the calling thread (still honouring
 /// `early_exit`); the output is identical either way.
 ///
+/// This is the legacy strict interface: budget trips surface as
+/// [`EnumError::BudgetExceeded`] and worker panics are re-raised. Use
+/// [`check_test_governed`] to get partial tallies and panic containment
+/// instead.
+///
 /// # Errors
 ///
-/// Propagates [`EnumError`] from the enumerator.
+/// Propagates [`EnumError`] from the enumerator, and reports budget
+/// exhaustion (if [`EnumOptions::budget`] is bounded) as
+/// [`EnumError::BudgetExceeded`].
 ///
 /// # Panics
 ///
@@ -157,101 +452,94 @@ pub fn check_test_pipelined(
     opts: &EnumOptions,
     pipe: &PipelineOptions,
 ) -> Result<TestResult, EnumError> {
-    let jobs = effective_jobs(pipe.jobs);
     let quantifier = test.condition.quantifier;
-    if jobs <= 1 {
-        return check_sequential(model, test, opts, pipe.early_exit);
+    let raw = run_check(model, test, opts, pipe);
+    match raw.stop {
+        Some(WorkerStop::Panicked(payload)) => std::panic::resume_unwind(payload),
+        Some(WorkerStop::EvalFuel) => {
+            return Err(EnumError::BudgetExceeded(BudgetKind::EvalSteps))
+        }
+        Some(WorkerStop::Budget(kind)) => return Err(EnumError::BudgetExceeded(kind)),
+        None => {}
     }
-
-    let stop = AtomicBool::new(false);
-    let (tally, enum_result) = thread::scope(|s| {
-        let mut senders = Vec::with_capacity(jobs);
-        let mut handles = Vec::with_capacity(jobs);
-        for _ in 0..jobs {
-            let (tx, rx) = mpsc::sync_channel::<Execution>(pipe.queue_depth.max(1));
-            senders.push(tx);
-            let stop = &stop;
-            let early_exit = pipe.early_exit;
-            handles.push(s.spawn(move || {
-                let mut session = open_session(model);
-                let mut tally = Tally::default();
-                while let Ok(x) = rx.recv() {
-                    tally.candidates += 1;
-                    if session.allows(&x) {
-                        tally.allowed += 1;
-                        if x.satisfies_prop(&test.condition.prop) {
-                            tally.witnesses += 1;
-                        } else {
-                            tally.saw_non_satisfying = true;
-                        }
-                    }
-                    if early_exit && tally.decided(quantifier) {
-                        stop.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-                tally
-            }));
-        }
-
-        // The enumerator runs on this thread, feeding workers
-        // round-robin; the bounded channels provide backpressure.
-        let mut seq = 0usize;
-        let enum_result = try_for_each_execution(test, opts, &mut |x| {
-            if stop.load(Ordering::Relaxed) {
-                return ControlFlow::Break(());
-            }
-            let worker = seq % jobs;
-            seq += 1;
-            match senders[worker].send(x) {
-                Ok(()) => ControlFlow::Continue(()),
-                // The worker exited early; stop producing.
-                Err(mpsc::SendError(_)) => ControlFlow::Break(()),
-            }
-        });
-        drop(senders); // hang up so workers drain and exit
-
-        let mut tally = Tally::default();
-        for handle in handles {
-            match handle.join() {
-                Ok(t) => tally = tally.merge(t),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
-        }
-        (tally, enum_result)
-    });
-
-    let _ = enum_result?;
-    Ok(tally.into_result(quantifier))
+    let _ = raw.enum_result?;
+    Ok(raw.tally.into_result(quantifier))
 }
 
-/// The `jobs <= 1` path: same loop, no queues.
-fn check_sequential(
+/// Budget-aware, panic-containing check. Always returns — never hangs
+/// (budgets are polled in the enumerator and every worker loop) and
+/// never aborts the process (each candidate evaluation runs inside
+/// `catch_unwind`).
+///
+/// With an unlimited budget and a well-behaved model this is exactly
+/// [`check_test_pipelined`] wrapped in [`CheckOutcome::Complete`].
+///
+/// # Examples
+///
+/// ```
+/// use lkmm_exec::model::AllowAll;
+/// use lkmm_exec::pipeline::{check_test_governed, CheckOutcome, PipelineOptions};
+/// use lkmm_exec::enumerate::EnumOptions;
+/// use lkmm_core::budget::Budget;
+///
+/// let test = lkmm_litmus::library::by_name("SB").unwrap().test();
+/// // Generous budget: completes with the exact result.
+/// let opts = EnumOptions {
+///     budget: Budget::default().with_max_candidates(1_000_000),
+///     ..EnumOptions::default()
+/// };
+/// let outcome =
+///     check_test_governed(&AllowAll, &test, &opts, &PipelineOptions::default());
+/// assert!(outcome.is_complete());
+///
+/// // One candidate of fuel: inconclusive, with an exact partial tally.
+/// let opts = EnumOptions {
+///     budget: Budget::default().with_max_candidates(1),
+///     ..EnumOptions::default()
+/// };
+/// let outcome =
+///     check_test_governed(&AllowAll, &test, &opts, &PipelineOptions::default());
+/// match outcome {
+///     CheckOutcome::Inconclusive { partial, .. } => assert_eq!(partial.candidates, 1),
+///     CheckOutcome::Complete(_) => unreachable!("SB has more than one candidate"),
+/// }
+/// ```
+pub fn check_test_governed(
     model: &dyn ConsistencyModel,
     test: &Test,
     opts: &EnumOptions,
-    early_exit: bool,
-) -> Result<TestResult, EnumError> {
+    pipe: &PipelineOptions,
+) -> CheckOutcome {
     let quantifier = test.condition.quantifier;
-    let mut session = open_session(model);
-    let mut tally = Tally::default();
-    let _ = try_for_each_execution(test, opts, &mut |x| {
-        tally.candidates += 1;
-        if session.allows(&x) {
-            tally.allowed += 1;
-            if x.satisfies_prop(&test.condition.prop) {
-                tally.witnesses += 1;
-            } else {
-                tally.saw_non_satisfying = true;
-            }
-        }
-        if early_exit && tally.decided(quantifier) {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    })?;
-    Ok(tally.into_result(quantifier))
+    let raw = run_check(model, test, opts, pipe);
+    if let Some(WorkerStop::Panicked(_)) = &raw.stop {
+        return CheckOutcome::Inconclusive {
+            reason: InconclusiveReason::WorkerPanicked,
+            partial: raw.tally,
+        };
+    }
+    match raw.enum_result {
+        Err(EnumError::BudgetExceeded(kind)) => CheckOutcome::Inconclusive {
+            reason: InconclusiveReason::BudgetExceeded(kind),
+            partial: raw.tally,
+        },
+        Err(e) => CheckOutcome::Inconclusive {
+            reason: InconclusiveReason::Enum(e),
+            partial: raw.tally,
+        },
+        Ok(_) => match raw.stop {
+            Some(WorkerStop::EvalFuel) => CheckOutcome::Inconclusive {
+                reason: InconclusiveReason::BudgetExceeded(BudgetKind::EvalSteps),
+                partial: raw.tally,
+            },
+            Some(WorkerStop::Budget(kind)) => CheckOutcome::Inconclusive {
+                reason: InconclusiveReason::BudgetExceeded(kind),
+                partial: raw.tally,
+            },
+            Some(WorkerStop::Panicked(_)) => unreachable!("handled above"),
+            None => CheckOutcome::Complete(raw.tally.into_result(quantifier)),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -331,8 +619,44 @@ mod tests {
     }
 
     #[test]
-    fn effective_jobs_resolves_zero() {
+    fn governed_wraps_enum_errors() {
+        let t = lkmm_litmus::parse(
+            "C t\n{ x=0; }\nP0(int *x) { rcu_read_lock(); WRITE_ONCE(*x, 1); }\nexists (x=1)",
+        )
+        .unwrap();
+        let outcome = check_test_governed(
+            &AllowAll,
+            &t,
+            &EnumOptions::default(),
+            &PipelineOptions::default(),
+        );
+        assert_eq!(
+            outcome,
+            CheckOutcome::Inconclusive {
+                reason: InconclusiveReason::Enum(EnumError::UnbalancedRcu { thread: 0 }),
+                partial: Tally::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_and_clamps() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+        assert_eq!(effective_jobs(MAX_JOBS + 1), MAX_JOBS);
+        assert_eq!(effective_jobs(usize::MAX), MAX_JOBS);
+    }
+
+    #[test]
+    fn debug_format_of_enum_options_is_key_stable() {
+        // The verdict store folds `{:?}` of EnumOptions into cache keys;
+        // this string must never change for default options, or every
+        // existing store goes cold. The budget field is deliberately
+        // excluded.
+        assert_eq!(
+            format!("{:?}", EnumOptions::default()),
+            "EnumOptions { prune_scpv: true, max_executions: 4000000, \
+             max_domain_iterations: 16, max_oracle_branches: 200000 }"
+        );
     }
 }

@@ -45,7 +45,7 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(t.name, "SB");
 /// ```
 pub fn parse(src: &str) -> Result<Test, ParseError> {
-    Parser::new(src).parse_test()
+    Parser::new(src)?.parse_test()
 }
 
 fn atomic_binop(name: &str) -> crate::ast::BinOp {
@@ -153,6 +153,14 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Parsing is recursive over nested blocks, parenthesised expressions,
+/// and condition propositions, so nesting is capped: hostile input like
+/// `((((…` must produce a parse error, not a stack overflow (which
+/// `catch_unwind` cannot contain). The cap is small enough that the
+/// recursion fits comfortably in a 2 MiB test-thread stack even with
+/// debug-sized frames; real litmus tests nest a handful of levels.
+const MAX_NEST_DEPTH: usize = 64;
+
 struct Parser<'a> {
     lexer: Lexer<'a>,
     tok: Tok,
@@ -160,18 +168,23 @@ struct Parser<'a> {
     /// Shared locations (thread parameters + init keys) — used to decide
     /// whether `*name` dereferences a location or a register.
     shared: BTreeSet<String>,
+    /// Current recursion depth across blocks/expressions/propositions.
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
         let mut p = Parser {
             lexer: Lexer::new(src),
             tok: Tok::Eof,
             offset: 0,
             shared: BTreeSet::new(),
+            depth: 0,
         };
-        p.bump().expect("first token");
-        p
+        // A lex error on the very first token (e.g. a NUL byte at offset
+        // 0) is a parse error like any other, not a panic.
+        p.bump()?;
+        Ok(p)
     }
 
     fn bump(&mut self) -> Result<(), ParseError> {
@@ -336,13 +349,26 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.enter_nested()?;
         let mut body = Vec::new();
         while !self.eat_punct("}")? {
             if let Some(s) = self.parse_stmt()? {
                 body.push(s);
             }
         }
+        self.depth -= 1;
         Ok(body)
+    }
+
+    /// Depth guard for every recursive production. The counter is only
+    /// decremented on success; an error aborts the whole parse, so a
+    /// stale count can never be observed.
+    fn enter_nested(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return self.err("nesting too deep");
+        }
+        Ok(())
     }
 
     /// Parse one statement; returns `None` for pure declarations.
@@ -584,7 +610,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_bin(0)
+        self.enter_nested()?;
+        let e = self.parse_bin(0)?;
+        self.depth -= 1;
+        Ok(e)
     }
 
     /// Precedence climbing. Levels (loosest first): `|`, `^`, `&`,
@@ -623,7 +652,9 @@ impl<'a> Parser<'a> {
             return Ok(e);
         }
         if self.eat_punct("!")? {
+            self.enter_nested()?;
             let e = self.parse_atom()?;
+            self.depth -= 1;
             return Ok(Expr::Not(Box::new(e)));
         }
         if self.eat_punct("&")? {
@@ -682,11 +713,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_prop_or(&mut self) -> Result<Prop, ParseError> {
+        self.enter_nested()?;
         let mut lhs = self.parse_prop_and()?;
         while self.eat_punct("\\/")? {
             let rhs = self.parse_prop_and()?;
             lhs = Prop::Or(Box::new(lhs), Box::new(rhs));
         }
+        self.depth -= 1;
         Ok(lhs)
     }
 
@@ -880,5 +913,35 @@ exists (1:r1=1 /\ 1:r2=0)
         let err = parse("C t\n{ x=0; }\nP1(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)")
             .unwrap_err();
         assert!(err.message.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Deeply nested condition parentheses.
+        let deep_cond = format!(
+            "C t\n{{ x=0; }}\nP0(int *x) {{ WRITE_ONCE(*x, 1); }}\nexists ({}x=1{})",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(deep_cond.contains("exists"));
+        let err = parse(&deep_cond).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+
+        // Deeply nested if blocks.
+        let deep_if = format!(
+            "C t\n{{ x=0; }}\nP0(int *x) {{ {}WRITE_ONCE(*x, 1);{} }}\nexists (x=1)",
+            "if (1) { ".repeat(100_000),
+            " }".repeat(100_000)
+        );
+        let err = parse(&deep_if).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+
+        // Well under the cap still parses.
+        let ok = format!(
+            "C t\n{{ x=0; }}\nP0(int *x) {{ WRITE_ONCE(*x, 1); }}\nexists ({}x=1{})",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        assert!(parse(&ok).is_ok());
     }
 }

@@ -1,0 +1,232 @@
+//! Zero-dependency fault injection.
+//!
+//! A *fault point* is a named site in production code where a test run
+//! can force a failure: an I/O error in the verdict store, a panic in a
+//! pipeline worker, a budget trip in the enumerator. Sites are plain
+//! `&'static str` names; the convention is `layer.event`
+//! (`store.flush`, `worker.panic`, `enum.budget`).
+//!
+//! Without the `fault-injection` cargo feature (the default) every
+//! function here is a `const`-foldable no-op — the harness costs
+//! nothing and cannot fire in production builds. With the feature on,
+//! sites stay inert until *armed*, either
+//!
+//! * by the environment: `LKMM_FAULTPOINTS="store.flush,worker.panic=3"`
+//!   — a bare name fires on every hit, `name=N` fires only on the Nth
+//!   hit of that site (1-based); or
+//! * programmatically in tests via [`arm`], which holds a global lock
+//!   for its guard's lifetime (serialising fault tests against each
+//!   other) and disarms its sites on drop.
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fast-path gate: false ⇒ nothing is armed anywhere, skip the map.
+    static ANY: AtomicBool = AtomicBool::new(false);
+    static STATE: OnceLock<Mutex<Config>> = OnceLock::new();
+    /// Serialises [`arm`]-based tests; env-var arming does not take it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[derive(Clone, Copy)]
+    enum Trigger {
+        Always,
+        /// Fire on the Nth hit (1-based) of the site, then disarm.
+        OnHit(u64),
+    }
+
+    #[derive(Default)]
+    struct Config {
+        sites: HashMap<String, Trigger>,
+        hits: HashMap<String, u64>,
+    }
+
+    fn state() -> &'static Mutex<Config> {
+        STATE.get_or_init(|| {
+            let mut config = Config::default();
+            if let Ok(spec) = std::env::var("LKMM_FAULTPOINTS") {
+                parse_spec_into(&spec, &mut config);
+            }
+            if !config.sites.is_empty() {
+                ANY.store(true, Ordering::SeqCst);
+            }
+            Mutex::new(config)
+        })
+    }
+
+    fn parse_spec_into(spec: &str, config: &mut Config) {
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, trigger) = match part.split_once('=') {
+                Some((name, n)) => match n.trim().parse::<u64>() {
+                    Ok(n) if n >= 1 => (name.trim(), Trigger::OnHit(n)),
+                    _ => continue, // malformed count: ignore, stay safe
+                },
+                None => (part, Trigger::Always),
+            };
+            config.sites.insert(name.to_string(), trigger);
+        }
+    }
+
+    /// Whether `site` should fail right now. Counts a hit against the
+    /// site whenever *any* site is armed.
+    pub fn should_fail(site: &str) -> bool {
+        if !ANY.load(Ordering::Relaxed) {
+            // Force env parsing on first call even when nothing is
+            // armed yet, so ANY reflects LKMM_FAULTPOINTS.
+            if STATE.get().is_none() {
+                state();
+                if !ANY.load(Ordering::Relaxed) {
+                    return false;
+                }
+            } else {
+                return false;
+            }
+        }
+        let mut config = state().lock().unwrap();
+        let Some(&trigger) = config.sites.get(site) else {
+            return false;
+        };
+        let hits = config.hits.entry(site.to_string()).or_insert(0);
+        *hits += 1;
+        match trigger {
+            Trigger::Always => true,
+            Trigger::OnHit(n) => {
+                if *hits == n {
+                    config.sites.remove(site);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Panic (with a recognisable payload) if `site` is armed.
+    pub fn maybe_panic(site: &str) {
+        if should_fail(site) {
+            panic!("faultpoint: injected panic at `{site}`");
+        }
+    }
+
+    /// Return an injected `io::Error` if `site` is armed.
+    pub fn inject_io(site: &str) -> std::io::Result<()> {
+        if should_fail(site) {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                format!("faultpoint: injected I/O error at `{site}`"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Guard returned by [`arm`]; disarms its sites (and resets their
+    /// hit counters) when dropped.
+    pub struct ArmGuard {
+        names: Vec<String>,
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            let mut config = state().lock().unwrap();
+            for name in &self.names {
+                config.sites.remove(name);
+                config.hits.remove(name);
+            }
+            if config.sites.is_empty() {
+                ANY.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Arm sites from a spec string (same grammar as the env variable)
+    /// for the lifetime of the returned guard. Takes a global test
+    /// lock, so concurrent `#[test]`s using `arm` serialise instead of
+    /// seeing each other's faults.
+    pub fn arm(spec: &str) -> ArmGuard {
+        let serial = TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut staged = Config::default();
+        parse_spec_into(spec, &mut staged);
+        let names: Vec<String> = staged.sites.keys().cloned().collect();
+        let mut config = state().lock().unwrap();
+        for (name, trigger) in staged.sites {
+            config.hits.remove(&name);
+            config.sites.insert(name, trigger);
+        }
+        if !config.sites.is_empty() {
+            ANY.store(true, Ordering::SeqCst);
+        }
+        drop(config);
+        ArmGuard { names, _serial: serial }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use enabled::{arm, inject_io, maybe_panic, should_fail, ArmGuard};
+
+#[cfg(not(feature = "fault-injection"))]
+mod disabled {
+    /// Always `false` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn should_fail(_site: &str) -> bool {
+        false
+    }
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn maybe_panic(_site: &str) {}
+
+    /// Always `Ok(())` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn inject_io(_site: &str) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+pub use disabled::{inject_io, maybe_panic, should_fail};
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_never_fire() {
+        assert!(!should_fail("no.such.site"));
+        maybe_panic("no.such.site");
+        inject_io("no.such.site").unwrap();
+    }
+
+    #[test]
+    fn arm_always_fires_until_dropped() {
+        let guard = arm("test.alpha");
+        assert!(should_fail("test.alpha"));
+        assert!(should_fail("test.alpha"));
+        assert!(!should_fail("test.other"));
+        drop(guard);
+        assert!(!should_fail("test.alpha"));
+    }
+
+    #[test]
+    fn arm_nth_hit_fires_exactly_once() {
+        let _guard = arm("test.beta=3");
+        assert!(!should_fail("test.beta"));
+        assert!(!should_fail("test.beta"));
+        assert!(should_fail("test.beta"));
+        assert!(!should_fail("test.beta"));
+    }
+
+    #[test]
+    fn injected_io_error_is_labelled() {
+        let _guard = arm("test.gamma");
+        let err = inject_io("test.gamma").unwrap_err();
+        assert!(err.to_string().contains("test.gamma"));
+    }
+}

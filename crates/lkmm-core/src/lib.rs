@@ -1,0 +1,19 @@
+//! # lkmm-core
+//!
+//! Dependency-free runtime substrate shared by every layer of the LKMM
+//! toolkit. Two concerns live here, both deliberately below the litmus /
+//! execution / model crates so that any of them can use the machinery
+//! without dependency cycles:
+//!
+//! * [`budget`] — resource governance: candidate-count fuel, evaluation
+//!   step fuel for `cat` fixpoints, wall-clock deadlines, and shared
+//!   cancellation tokens, with a strided [`budget::Meter`] cheap enough
+//!   to poll from the innermost enumeration loops;
+//! * [`faultpoint`] — a zero-dependency fault-injection harness. Sites
+//!   are named strings compiled out entirely unless the
+//!   `fault-injection` cargo feature is on, and even then inert until
+//!   armed through the `LKMM_FAULTPOINTS` environment variable or the
+//!   [`faultpoint::arm`] test guard.
+
+pub mod budget;
+pub mod faultpoint;

@@ -7,11 +7,20 @@
 //! and write the new verdicts back. Re-checking a corpus after a model
 //! tweak *with a bumped salt* recomputes everything; re-checking without
 //! one is pure cache replay — zero candidate enumerations.
+//!
+//! Checks run through the governed pipeline: a [`Budget`] installed with
+//! [`BatchChecker::set_budget`] bounds each check, and checks that do
+//! not complete surface as [`CheckOutcome::Inconclusive`] per-test
+//! outcomes instead of failing the batch. Inconclusive verdicts are
+//! **never written to the store** — they describe the budget, not the
+//! test, so a retry with a bigger budget must see a miss, not a poisoned
+//! hit.
 
 use crate::canon::cache_key;
 use crate::store::VerdictStore;
+use lkmm_core::budget::Budget;
 use lkmm_exec::{
-    check_test_pipelined, ConsistencyModel, EnumError, EnumOptions, PipelineOptions, TestResult,
+    check_test_governed, CheckOutcome, ConsistencyModel, EnumOptions, PipelineOptions, TestResult,
 };
 use lkmm_generator::family::family_tests;
 use lkmm_generator::{Edge, GenError};
@@ -49,10 +58,19 @@ pub struct BatchOutcome {
     pub name: String,
     /// Content-addressed cache key.
     pub key: u128,
-    /// The verdict data — identical whether computed or replayed.
-    pub result: TestResult,
+    /// The structured outcome. Store hits and deduped replays are always
+    /// `Complete` (inconclusive outcomes are never cached); computed
+    /// outcomes are `Inconclusive` when the budget ran out.
+    pub outcome: CheckOutcome,
     /// How it was answered.
     pub provenance: Provenance,
+}
+
+impl BatchOutcome {
+    /// The completed verdict data, if the check finished.
+    pub fn result(&self) -> Option<&TestResult> {
+        self.outcome.result()
+    }
 }
 
 /// Aggregate observability for one [`BatchChecker::check_corpus`] call.
@@ -62,22 +80,24 @@ pub struct BatchReport {
     pub outcomes: Vec<BatchOutcome>,
     /// Store hits.
     pub hits: usize,
-    /// Tests actually enumerated and checked.
+    /// Tests actually enumerated and checked to completion.
     pub computed: usize,
     /// In-batch duplicates of an earlier canonical key.
     pub deduped: usize,
+    /// Tests whose check stopped early on a budget/fault (not stored).
+    pub inconclusive: usize,
     /// Candidate executions enumerated for the whole batch (0 on a fully
-    /// warm cache).
+    /// warm cache), including those of inconclusive partial runs.
     pub candidates_enumerated: usize,
     /// Wall-clock for the batch, in microseconds.
     pub micros: u128,
 }
 
-/// Batch checking failure.
+/// Batch checking failure. Enumeration and budget problems are *not*
+/// errors here — they surface as per-test [`CheckOutcome::Inconclusive`]
+/// outcomes, so one pathological corpus member cannot fail the batch.
 #[derive(Debug)]
 pub enum BatchError {
-    /// A test failed to enumerate (named).
-    Enumerate(String, EnumError),
     /// The store could not be written.
     Io(io::Error),
     /// Generator ingestion was handed an invalid cycle.
@@ -87,7 +107,6 @@ pub enum BatchError {
 impl fmt::Display for BatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BatchError::Enumerate(name, e) => write!(f, "{name}: {e}"),
             BatchError::Io(e) => write!(f, "verdict store: {e}"),
             BatchError::Generate(e) => write!(f, "{e}"),
         }
@@ -117,6 +136,7 @@ pub struct BatchChecker<'m> {
     pipe: PipelineOptions,
     session_hits: usize,
     session_computed: usize,
+    session_inconclusive: usize,
 }
 
 impl<'m> BatchChecker<'m> {
@@ -134,10 +154,12 @@ impl<'m> BatchChecker<'m> {
             pipe: PipelineOptions { jobs: 0, ..PipelineOptions::default() },
             session_hits: 0,
             session_computed: 0,
+            session_inconclusive: 0,
         }
     }
 
-    /// Override the enumeration options (folded into cache keys).
+    /// Override the enumeration options (folded into cache keys, except
+    /// the budget — see [`BatchChecker::set_budget`]).
     pub fn with_options(mut self, opts: EnumOptions) -> Self {
         self.enum_opts = opts;
         self
@@ -152,19 +174,50 @@ impl<'m> BatchChecker<'m> {
         self
     }
 
+    /// Bound each worker's candidate queue (clamped to ≥ 1 downstream).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.pipe.queue_depth = depth;
+        self
+    }
+
+    /// Builder form of [`BatchChecker::set_budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// Bound every subsequent check by `budget`. The budget is *not*
+    /// part of the cache key: it cannot change a completed verdict, and
+    /// inconclusive outcomes are never stored, so entries computed under
+    /// any budget are interchangeable.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.enum_opts.budget = budget;
+    }
+
+    /// Set (or clear) an absolute deadline on the current budget. The
+    /// serve loop uses this to give each request its own deadline
+    /// without rebuilding the checker.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.enum_opts.budget.deadline = deadline;
+    }
+
     /// The cache key this checker derives for `test`.
     pub fn key_of(&self, test: &Test) -> u128 {
         // EnumOptions influence candidate counts (caps, Scpv pruning),
-        // so two configurations must never share an entry.
+        // so two configurations must never share an entry. The Debug
+        // form deliberately excludes the budget.
         let salt = format!("{}|{:?}", self.salt, self.enum_opts);
         cache_key(test, self.model.name(), &salt)
     }
 
-    /// Check one test, answering from the store when possible.
+    /// Check one test, answering from the store when possible. A check
+    /// stopped by its budget (or a contained worker panic) returns an
+    /// `Inconclusive` outcome and stores nothing, so retrying with a
+    /// bigger budget recomputes it.
     ///
     /// # Errors
     ///
-    /// Enumeration or store-append failure.
+    /// Store-append failure only.
     pub fn check_one(&mut self, test: &Test) -> Result<BatchOutcome, BatchError> {
         let key = self.key_of(test);
         if let Some(result) = self.store.get(key) {
@@ -172,32 +225,54 @@ impl<'m> BatchChecker<'m> {
             return Ok(BatchOutcome {
                 name: test.name.clone(),
                 key,
-                result: result.clone(),
+                outcome: CheckOutcome::Complete(result.clone()),
                 provenance: Provenance::Hit,
             });
         }
-        let result = check_test_pipelined(self.model, test, &self.enum_opts, &self.pipe)
-            .map_err(|e| BatchError::Enumerate(test.name.clone(), e))?;
-        self.store.put(key, result.clone())?;
-        self.session_computed += 1;
-        Ok(BatchOutcome { name: test.name.clone(), key, result, provenance: Provenance::Computed })
+        let outcome = check_test_governed(self.model, test, &self.enum_opts, &self.pipe);
+        match &outcome {
+            CheckOutcome::Complete(result) => {
+                self.store.put(key, result.clone())?;
+                self.session_computed += 1;
+            }
+            CheckOutcome::Inconclusive { .. } => {
+                self.session_inconclusive += 1;
+            }
+        }
+        Ok(BatchOutcome { name: test.name.clone(), key, outcome, provenance: Provenance::Computed })
     }
 
     /// Check a corpus: dedupe by canonical key, replay hits, compute
     /// misses, write back, and sync the store once at the end.
     ///
+    /// The budget's `deadline`/`cancel` axes also govern the corpus
+    /// *between* tests: once tripped, every remaining test is reported
+    /// `Inconclusive` without being checked (outcomes keep corpus order
+    /// and length). The relative `time_limit` axis stays per-check.
+    ///
     /// # Errors
     ///
-    /// Enumeration or store failure (the store keeps everything computed
-    /// before the failing test).
+    /// Store failure (the store keeps everything computed before the
+    /// failing test).
     pub fn check_corpus(&mut self, tests: &[Test]) -> Result<BatchReport, BatchError> {
+        use lkmm_exec::{InconclusiveReason, Tally};
         let start = Instant::now();
         let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(tests.len());
         let mut seen: HashMap<u128, usize> = HashMap::new();
         let mut hits = 0;
         let mut computed = 0;
         let mut deduped = 0;
+        let mut inconclusive = 0;
         let mut candidates_enumerated = 0;
+        // Corpus-level governor: absolute deadline and cancellation only.
+        // Candidate/step fuel and the relative time limit are per-check.
+        let mut corpus_meter = Budget {
+            max_candidates: None,
+            max_eval_steps: None,
+            time_limit: None,
+            ..self.enum_opts.budget.clone()
+        }
+        .meter();
         for test in tests {
             let key = self.key_of(test);
             if let Some(&first) = seen.get(&key) {
@@ -205,21 +280,45 @@ impl<'m> BatchChecker<'m> {
                 outcomes.push(BatchOutcome {
                     name: test.name.clone(),
                     key,
-                    result: outcomes[first].result.clone(),
+                    outcome: outcomes[first].outcome.clone(),
                     provenance: Provenance::Deduped,
                 });
                 continue;
             }
-            let outcome = self.check_one(test)?;
-            match outcome.provenance {
-                Provenance::Hit => hits += 1,
-                Provenance::Computed => {
-                    computed += 1;
-                    candidates_enumerated += outcome.result.candidates;
-                }
-                Provenance::Deduped => unreachable!("check_one never dedupes"),
+            if let Err(kind) = corpus_meter.poll_now() {
+                inconclusive += 1;
+                self.session_inconclusive += 1;
+                outcomes.push(BatchOutcome {
+                    name: test.name.clone(),
+                    key,
+                    outcome: CheckOutcome::Inconclusive {
+                        reason: InconclusiveReason::BudgetExceeded(kind),
+                        partial: Tally::default(),
+                    },
+                    provenance: Provenance::Computed,
+                });
+                continue;
             }
-            seen.insert(key, outcomes.len());
+            let outcome = self.check_one(test)?;
+            match (&outcome.provenance, &outcome.outcome) {
+                (Provenance::Hit, _) => {
+                    hits += 1;
+                    seen.insert(key, outcomes.len());
+                }
+                (Provenance::Computed, CheckOutcome::Complete(result)) => {
+                    computed += 1;
+                    candidates_enumerated += result.candidates;
+                    // Only conclusive outcomes join the dedupe map: a
+                    // later isomorph of an inconclusive test deserves
+                    // its own attempt, not a replay of a budget trip.
+                    seen.insert(key, outcomes.len());
+                }
+                (Provenance::Computed, CheckOutcome::Inconclusive { partial, .. }) => {
+                    inconclusive += 1;
+                    candidates_enumerated += partial.candidates;
+                }
+                (Provenance::Deduped, _) => unreachable!("check_one never dedupes"),
+            }
             outcomes.push(outcome);
         }
         self.store.flush()?;
@@ -228,6 +327,7 @@ impl<'m> BatchChecker<'m> {
             hits,
             computed,
             deduped,
+            inconclusive,
             candidates_enumerated,
             micros: start.elapsed().as_micros(),
         })
@@ -249,7 +349,7 @@ impl<'m> BatchChecker<'m> {
     ///
     /// # Errors
     ///
-    /// Invalid base cycle, enumeration, or store failure.
+    /// Invalid base cycle or store failure.
     pub fn check_family(&mut self, base: &[Edge]) -> Result<BatchReport, BatchError> {
         let tests = family_tests(base)?;
         self.check_corpus(&tests)
@@ -268,6 +368,11 @@ impl<'m> BatchChecker<'m> {
     /// Tests computed (not replayed) since construction.
     pub fn session_computed(&self) -> usize {
         self.session_computed
+    }
+
+    /// Checks stopped by budgets/faults since construction (not stored).
+    pub fn session_inconclusive(&self) -> usize {
+        self.session_inconclusive
     }
 
     /// Sync the store to stable storage.
@@ -300,7 +405,8 @@ mod tests {
         assert_eq!(warm.computed, 0);
         assert_eq!(warm.candidates_enumerated, 0);
         for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
-            assert_eq!(c.result, w.result);
+            assert_eq!(c.result(), w.result());
+            assert!(c.result().is_some());
             assert_eq!(c.key, w.key);
         }
     }
@@ -313,7 +419,7 @@ mod tests {
         let report = checker.check_corpus(&[a, b]).unwrap();
         assert_eq!(report.computed, 1);
         assert_eq!(report.deduped, 1);
-        assert_eq!(report.outcomes[0].result, report.outcomes[1].result);
+        assert_eq!(report.outcomes[0].result(), report.outcomes[1].result());
         assert_eq!(report.outcomes[1].provenance, Provenance::Deduped);
     }
 
@@ -342,5 +448,36 @@ mod tests {
         let mut two = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "v2");
         assert_ne!(key_v1, two.key_of(&t));
         let _ = (one.check_one(&t).unwrap(), two.check_one(&t).unwrap());
+    }
+
+    #[test]
+    fn budget_is_not_part_of_the_cache_key() {
+        let t = parse("C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
+        let plain = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s");
+        let tight = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s")
+            .with_budget(Budget::default().with_max_candidates(1));
+        assert_eq!(plain.key_of(&t), tight.key_of(&t));
+    }
+
+    #[test]
+    fn inconclusive_is_not_cached_and_retries_recompute() {
+        let t = lkmm_litmus::library::by_name("SB").unwrap().test();
+        let mut checker = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s")
+            .with_budget(Budget::default().with_max_candidates(1));
+        let starved = checker.check_one(&t).unwrap();
+        assert!(starved.result().is_none(), "1 candidate cannot finish SB");
+        assert_eq!(checker.session_inconclusive(), 1);
+        assert_eq!(checker.store().len(), 0, "inconclusive must not be stored");
+
+        checker.set_budget(Budget::unlimited());
+        let full = checker.check_one(&t).unwrap();
+        assert_eq!(full.provenance, Provenance::Computed);
+        let result = full.result().expect("unlimited budget completes").clone();
+        assert_eq!(checker.store().len(), 1);
+
+        // And now it hits.
+        let hit = checker.check_one(&t).unwrap();
+        assert_eq!(hit.provenance, Provenance::Hit);
+        assert_eq!(hit.result(), Some(&result));
     }
 }

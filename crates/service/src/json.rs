@@ -44,7 +44,7 @@ impl Json {
     ///
     /// Returns the first syntax error with its byte offset.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), at: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), at: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -162,9 +162,15 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
+/// Parsing is recursive, so nesting depth is capped: `[[[[…` from a
+/// hostile client must produce a parse error, not a stack overflow
+/// (which `catch_unwind` cannot contain).
+const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -209,7 +215,11 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
@@ -218,7 +228,9 @@ impl Parser<'_> {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.error("expected a value")),
-        }
+        };
+        self.depth -= 1;
+        v
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
@@ -385,6 +397,16 @@ mod tests {
         assert!(Json::parse("[1,2").is_err());
         assert!(Json::parse("{} trailing").is_err());
         assert!(Json::parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("too deep"));
+        // Well under the cap still parses.
+        let ok = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod store;
 
 pub use batch::{BatchChecker, BatchError, BatchOutcome, BatchReport, Provenance};
 pub use canon::{cache_key, canonical_text, canonicalize, CANON_REVISION};
-pub use serve::{serve, ServeSummary};
+pub use serve::{serve, serve_with, ServeOptions, ServeSummary};
 pub use store::{RecoveryReport, VerdictStore};

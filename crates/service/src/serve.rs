@@ -20,12 +20,43 @@
 //! candidates enumerated, and wall-clock micros. Malformed input yields
 //! `{"ok":false,"error":…}` and the loop continues — one bad request
 //! must not take the daemon down.
+//!
+//! ## Fault isolation
+//!
+//! The loop is hardened against hostile or broken clients
+//! ([`ServeOptions`]): request lines are read through a byte cap (an
+//! oversized line is drained and answered with an error, never buffered
+//! whole), invalid UTF-8 is an error response, a panic while answering
+//! one request is contained (`catch_unwind`) and reported as an error
+//! response, and an optional per-request deadline bounds each request's
+//! checking time — an over-deadline check comes back `inconclusive`
+//! rather than wedging the daemon. Only transport failures abort.
 
 use crate::batch::{BatchChecker, BatchOutcome, BatchReport};
 use crate::json::Json;
+use lkmm_exec::CheckOutcome;
 use lkmm_litmus::ast::Test;
 use std::io::{self, BufRead, Write};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Hardening knobs for one [`serve_with`] session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Longest accepted request line, in bytes. Longer lines are drained
+    /// without being buffered and answered with an error response.
+    pub max_request_bytes: usize,
+    /// Wall-clock bound for answering one request. Installed as an
+    /// absolute deadline on the checker's budget at the start of each
+    /// request; checks that exceed it report `inconclusive`.
+    pub request_time_limit: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_request_bytes: 4 << 20, request_time_limit: None }
+    }
+}
 
 /// Counters for one [`serve`] session.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,8 +67,7 @@ pub struct ServeSummary {
     pub errors: usize,
 }
 
-/// Run the request loop until end-of-input, answering through `checker`.
-/// The store is synced on every `flush` request and once at exit.
+/// [`serve_with`] under default [`ServeOptions`].
 ///
 /// # Errors
 ///
@@ -46,15 +76,52 @@ pub struct ServeSummary {
 pub fn serve(
     checker: &mut BatchChecker<'_>,
     input: impl BufRead,
+    output: impl Write,
+) -> io::Result<ServeSummary> {
+    serve_with(checker, input, output, &ServeOptions::default())
+}
+
+/// Run the request loop until end-of-input, answering through `checker`.
+/// The store is synced on every `flush` request and once at exit.
+///
+/// # Errors
+///
+/// Only transport failures (reading `input`, writing `output`) abort the
+/// loop; per-request failures become `"ok":false` responses.
+pub fn serve_with(
+    checker: &mut BatchChecker<'_>,
+    mut input: impl BufRead,
     mut output: impl Write,
+    opts: &ServeOptions,
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let max = opts.max_request_bytes;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // Read through a cap: at most max+1 bytes are ever buffered, so
+        // a client cannot make the daemon hold an unbounded line.
+        let n = io::Read::take(&mut input, max as u64 + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
         }
-        let response = answer(checker, &line);
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        let response = if buf.len() > max {
+            // The cap truncated the line mid-way: skip its remainder.
+            drain_line(&mut input)?;
+            error_response(&format!("request line exceeds {max} bytes"))
+        } else {
+            match std::str::from_utf8(&buf) {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => answer_isolated(checker, line, opts),
+                Err(_) => error_response("request line is not valid UTF-8"),
+            }
+        };
         summary.requests += 1;
         if response.get("ok") != Some(&Json::Bool(true)) {
             summary.errors += 1;
@@ -64,6 +131,37 @@ pub fn serve(
     }
     checker.flush()?;
     Ok(summary)
+}
+
+/// Discard input up to and including the next newline (or end-of-input).
+fn drain_line(input: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                input.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                input.consume(len);
+            }
+        }
+    }
+}
+
+/// Answer one request with the session's per-request governance: the
+/// deadline is (re)armed for this request, and a panic anywhere in the
+/// handler is contained into an error response.
+fn answer_isolated(checker: &mut BatchChecker<'_>, line: &str, opts: &ServeOptions) -> Json {
+    if let Some(limit) = opts.request_time_limit {
+        checker.set_deadline(Some(Instant::now() + limit));
+    }
+    catch_unwind(AssertUnwindSafe(|| answer(checker, line)))
+        .unwrap_or_else(|_| error_response("internal error: request handler panicked"))
 }
 
 /// Answer one request line (exposed for tests and non-stdio embeddings).
@@ -172,16 +270,30 @@ fn gather_batch(request: &Json) -> Result<Vec<Test>, String> {
 }
 
 fn outcome_fields(outcome: &BatchOutcome) -> Vec<(&'static str, Json)> {
-    vec![
+    let mut fields = vec![
         ("name", Json::str(&outcome.name)),
         ("key", Json::str(format!("{:032x}", outcome.key))),
-        ("verdict", Json::str(outcome.result.verdict.to_string())),
-        ("condition_holds", Json::Bool(outcome.result.condition_holds)),
-        ("candidates", Json::num(outcome.result.candidates as u64)),
-        ("allowed", Json::num(outcome.result.allowed as u64)),
-        ("witnesses", Json::num(outcome.result.witnesses as u64)),
-        ("cache", Json::str(outcome.provenance.to_string())),
-    ]
+    ];
+    match &outcome.outcome {
+        CheckOutcome::Complete(result) => {
+            fields.push(("verdict", Json::str(result.verdict.to_string())));
+            fields.push(("condition_holds", Json::Bool(result.condition_holds)));
+            fields.push(("candidates", Json::num(result.candidates as u64)));
+            fields.push(("allowed", Json::num(result.allowed as u64)));
+            fields.push(("witnesses", Json::num(result.witnesses as u64)));
+        }
+        // Inconclusive outcomes carry their reason plus the exact partial
+        // tallies (lower bounds) instead of a verdict.
+        CheckOutcome::Inconclusive { reason, partial } => {
+            fields.push(("inconclusive", Json::Bool(true)));
+            fields.push(("reason", Json::str(reason.to_string())));
+            fields.push(("candidates", Json::num(partial.candidates as u64)));
+            fields.push(("allowed", Json::num(partial.allowed as u64)));
+            fields.push(("witnesses", Json::num(partial.witnesses as u64)));
+        }
+    }
+    fields.push(("cache", Json::str(outcome.provenance.to_string())));
+    fields
 }
 
 fn batch_response(report: &BatchReport) -> Json {
@@ -189,39 +301,49 @@ fn batch_response(report: &BatchReport) -> Json {
         report.outcomes.iter().map(|o| Json::Obj(
             outcome_fields(o).into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         )).collect();
-    Json::obj(vec![
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("op", Json::str("batch")),
         ("count", Json::num(report.outcomes.len() as u64)),
         ("hits", Json::num(report.hits as u64)),
         ("computed", Json::num(report.computed as u64)),
         ("deduped", Json::num(report.deduped as u64)),
-        ("candidates_enumerated", Json::num(report.candidates_enumerated as u64)),
-        ("micros", Json::num(report.micros as u64)),
-        ("results", Json::Arr(results)),
-    ])
+    ];
+    // Emitted only when present, so budget-free sessions stay
+    // byte-identical to older builds.
+    if report.inconclusive > 0 {
+        fields.push(("inconclusive", Json::num(report.inconclusive as u64)));
+    }
+    fields.push(("candidates_enumerated", Json::num(report.candidates_enumerated as u64)));
+    fields.push(("micros", Json::num(report.micros as u64)));
+    fields.push(("results", Json::Arr(results)));
+    Json::obj(fields)
 }
 
 fn op_stats(checker: &BatchChecker<'_>) -> Json {
     let store = checker.store();
     let recovery = store.recovery();
-    Json::obj(vec![
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("op", Json::str("stats")),
         ("entries", Json::num(store.len() as u64)),
         ("appended", Json::num(store.appended() as u64)),
         ("session_hits", Json::num(checker.session_hits() as u64)),
         ("session_computed", Json::num(checker.session_computed() as u64)),
-        ("recovered_records", Json::num(recovery.records as u64)),
-        ("recovery_truncated_bytes", Json::num(recovery.truncated_bytes)),
-        (
-            "path",
-            match store.path() {
-                Some(p) => Json::str(p.display().to_string()),
-                None => Json::Null,
-            },
-        ),
-    ])
+    ];
+    if checker.session_inconclusive() > 0 {
+        fields.push(("session_inconclusive", Json::num(checker.session_inconclusive() as u64)));
+    }
+    fields.push(("recovered_records", Json::num(recovery.records as u64)));
+    fields.push(("recovery_truncated_bytes", Json::num(recovery.truncated_bytes)));
+    fields.push((
+        "path",
+        match store.path() {
+            Some(p) => Json::str(p.display().to_string()),
+            None => Json::Null,
+        },
+    ));
+    Json::obj(fields)
 }
 
 fn op_flush(checker: &mut BatchChecker<'_>) -> Json {
@@ -239,6 +361,7 @@ fn op_flush(checker: &mut BatchChecker<'_>) -> Json {
 mod tests {
     use super::*;
     use crate::store::VerdictStore;
+    use lkmm_core::budget::Budget;
     use lkmm_exec::model::AllowAll;
 
     fn checker() -> BatchChecker<'static> {
@@ -280,6 +403,7 @@ mod tests {
         assert!(response.get("deduped").and_then(Json::as_u64).unwrap() >= 1);
         let results = response.get("results").unwrap().as_arr().unwrap();
         assert_eq!(results.len(), 37);
+        assert_eq!(response.get("inconclusive"), None, "absent without a budget");
     }
 
     #[test]
@@ -303,7 +427,59 @@ mod tests {
         assert_eq!(stats.get("session_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("path"), Some(&Json::Null));
+        assert_eq!(stats.get("session_inconclusive"), None, "absent when zero");
         let flush = answer(&mut c, r#"{"op":"flush"}"#);
         assert_eq!(flush.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn oversized_request_lines_are_drained_not_buffered() {
+        let mut c = checker();
+        let opts = ServeOptions { max_request_bytes: 64, ..ServeOptions::default() };
+        let long = format!("{{\"op\":\"check\",\"source\":\"{}\"}}\n", "x".repeat(1000));
+        let input = format!("{long}{{\"op\":\"stats\"}}\n");
+        let mut out = Vec::new();
+        let summary = serve_with(&mut c, input.as_bytes(), &mut out, &opts).unwrap();
+        assert_eq!(summary, ServeSummary { requests: 2, errors: 1 });
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert!(lines[0].contains("exceeds 64 bytes"), "{}", lines[0]);
+        assert!(lines[1].contains("\"op\":\"stats\""), "next request still answered");
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_response_not_a_crash() {
+        let mut c = checker();
+        let mut input: Vec<u8> = vec![0xff, 0xfe, 0x80, b'\n'];
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let mut out = Vec::new();
+        let summary = serve(&mut c, &input[..], &mut out).unwrap();
+        assert_eq!(summary, ServeSummary { requests: 2, errors: 1 });
+        assert!(std::str::from_utf8(&out).unwrap().contains("not valid UTF-8"));
+    }
+
+    #[test]
+    fn starved_check_reports_inconclusive_fields() {
+        let mut c = checker().with_budget(Budget::default().with_max_candidates(1));
+        let response = answer(&mut c, r#"{"op":"check","name":"SB"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("inconclusive"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("verdict"), None, "no verdict without completion");
+        assert_eq!(
+            response.get("reason").and_then(Json::as_str),
+            Some("candidate budget exhausted")
+        );
+        assert_eq!(response.get("candidates").and_then(Json::as_u64), Some(1));
+        let stats = answer(&mut c, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("session_inconclusive").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(0), "never cached");
+    }
+
+    #[test]
+    fn batch_counts_inconclusive_when_budgeted() {
+        let mut c = checker().with_budget(Budget::default().with_max_candidates(1));
+        let response = answer(&mut c, r#"{"op":"batch","names":["SB","MP"]}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("inconclusive").and_then(Json::as_u64), Some(2));
+        assert_eq!(response.get("computed").and_then(Json::as_u64), Some(0));
     }
 }

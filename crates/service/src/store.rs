@@ -28,6 +28,7 @@
 //! semantic change appends rather than rewrites.
 
 use crate::hash::fnv64;
+use lkmm_core::faultpoint;
 use lkmm_exec::{TestResult, Verdict};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -178,6 +179,15 @@ impl VerdictStore {
             record.extend_from_slice(&payload);
             // One write_all per record: a crash mid-append leaves a torn
             // tail that recovery truncates, never a bad earlier record.
+            if faultpoint::should_fail("store.append.torn") {
+                // Simulated torn append: half the record reaches the file
+                // before the "crash" — exactly what recovery truncates.
+                file.write_all(&record[..record.len() / 2])?;
+                return Err(io::Error::new(
+                    io::ErrorKind::Other,
+                    "faultpoint: injected I/O error at `store.append.torn`",
+                ));
+            }
             file.write_all(&record)?;
         }
         self.index.insert(key, result);
@@ -192,6 +202,7 @@ impl VerdictStore {
     /// I/O errors from the sync.
     pub fn flush(&mut self) -> io::Result<()> {
         if let Some(file) = &mut self.file {
+            faultpoint::inject_io("store.flush")?;
             file.sync_data()?;
         }
         Ok(())

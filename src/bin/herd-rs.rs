@@ -17,21 +17,54 @@
 //! goes to stderr). `--salt STR` versions the cache keys — bump it when
 //! checking semantics change. `--early-exit` is rejected alongside
 //! `--store`, since its lower-bound counts must never be cached as exact.
+//!
+//! `--budget-candidates N`, `--budget-steps N`, and `--budget-ms N`
+//! bound each check; a check that exceeds its budget reports a
+//! structured *inconclusive* outcome (with exact partial tallies)
+//! instead of hanging or dying. Inconclusive verdicts are never written
+//! to a store. In `serve` mode `--budget-ms` becomes a per-request
+//! deadline and `--max-request-bytes` caps request-line length.
+//!
+//! Exit codes: 0 success, 1 internal/transport failure, 2 usage error,
+//! 3 input-file I/O error, 4 litmus parse error, 5 store error,
+//! 6 single-test check inconclusive (budget exhausted).
 
-use linux_kernel_memory_model::service::{serve, BatchChecker, VerdictStore};
-use linux_kernel_memory_model::{Herd, ModelChoice, Report};
+use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
+use linux_kernel_memory_model::service::{BatchChecker, VerdictStore};
+use linux_kernel_memory_model::{
+    Budget, CheckOutcome, Herd, InconclusiveReason, ModelChoice, Report, Tally,
+};
 use lkmm_exec::enumerate::{enumerate, EnumOptions};
 use lkmm_exec::states::collect_states;
+use lkmm_exec::MAX_JOBS;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] FILE.litmus\n\
-     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] --library\n\
-     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] serve\n\
+const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] [BUDGET] FILE.litmus\n\
+     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] --library\n\
+     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] serve\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
+     \x20 --queue-depth N  per-worker candidate queue bound (default 256)\n\
      \x20 --early-exit     stop each check once its verdict is decided (not with --store)\n\
      \x20 --store PATH     answer from / append to a persistent verdict store\n\
      \x20 --salt STR       version salt folded into every cache key\n\
-     \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)";
+     \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)\n\
+     \x20 BUDGET options (exceeding one reports `inconclusive`, exit code 6 for single tests):\n\
+     \x20 --budget-candidates N   stop a check after N candidate executions\n\
+     \x20 --budget-steps N        stop a check after N model evaluation steps\n\
+     \x20 --budget-ms N           per-check wall-clock bound (per-request in `serve`)\n\
+     \x20 --max-request-bytes N   `serve` only: reject request lines longer than N bytes\n\
+     \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive";
+
+const EXIT_INTERNAL: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INPUT: u8 = 3;
+const EXIT_PARSE: u8 = 4;
+const EXIT_STORE: u8 = 5;
+const EXIT_INCONCLUSIVE: u8 = 6;
+
+/// Queue depths beyond this are a typo, not a tuning choice.
+const MAX_QUEUE_DEPTH: usize = 1 << 20;
 
 struct Cli {
     model: ModelChoice,
@@ -41,14 +74,31 @@ struct Cli {
     dot: bool,
     states: bool,
     jobs: usize,
+    queue_depth: Option<usize>,
     early_exit: bool,
     store: Option<String>,
     salt: String,
+    budget_candidates: Option<u64>,
+    budget_steps: Option<u64>,
+    budget_ms: Option<u64>,
+    max_request_bytes: Option<usize>,
 }
 
-fn fail(message: &str) -> ExitCode {
+fn usage_fail(message: &str) -> ExitCode {
     eprintln!("herd-rs: {message} (try --help)");
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn fail_code(code: u8, message: &str) -> ExitCode {
+    eprintln!("herd-rs: {message}");
+    ExitCode::from(code)
+}
+
+fn parse_count(flag: &str, value: &str) -> Result<u64, String> {
+    match value.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got `{value}`")),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -60,9 +110,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         dot: false,
         states: false,
         jobs: 0, // 0 = available parallelism
+        queue_depth: None,
         early_exit: false,
         store: None,
         salt: String::new(),
+        budget_candidates: None,
+        budget_steps: None,
+        budget_ms: None,
+        max_request_bytes: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +127,16 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.jobs = n
                     .parse::<usize>()
                     .map_err(|_| format!("--jobs needs a non-negative integer, got `{n}`"))?;
+                if cli.jobs > MAX_JOBS {
+                    return Err(format!("--jobs {n} exceeds the maximum of {MAX_JOBS}"));
+                }
+            }
+            "--queue-depth" => {
+                let n = it.next().ok_or("--queue-depth needs an argument")?;
+                let depth = n.parse::<usize>().ok().filter(|d| (1..=MAX_QUEUE_DEPTH).contains(d));
+                cli.queue_depth = Some(depth.ok_or_else(|| {
+                    format!("--queue-depth needs an integer in 1..={MAX_QUEUE_DEPTH}, got `{n}`")
+                })?);
             }
             "--early-exit" => cli.early_exit = true,
             "--model" | "-m" => {
@@ -87,6 +152,23 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--salt" => {
                 let salt = it.next().ok_or("--salt needs an argument")?;
                 cli.salt = salt.clone();
+            }
+            "--budget-candidates" => {
+                let n = it.next().ok_or("--budget-candidates needs an argument")?;
+                cli.budget_candidates = Some(parse_count("--budget-candidates", n)?);
+            }
+            "--budget-steps" => {
+                let n = it.next().ok_or("--budget-steps needs an argument")?;
+                cli.budget_steps = Some(parse_count("--budget-steps", n)?);
+            }
+            "--budget-ms" => {
+                let n = it.next().ok_or("--budget-ms needs an argument")?;
+                cli.budget_ms = Some(parse_count("--budget-ms", n)?);
+            }
+            "--max-request-bytes" => {
+                let n = it.next().ok_or("--max-request-bytes needs an argument")?;
+                cli.max_request_bytes =
+                    Some(parse_count("--max-request-bytes", n)? as usize);
             }
             "--library" | "-l" => cli.run_library = true,
             "--dot" => cli.dot = true,
@@ -111,7 +193,12 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         }
     }
     if cli.serve_mode && (cli.run_library || cli.dot || cli.states || cli.early_exit) {
-        return Err("`serve` takes only --model, --jobs, --store, and --salt".to_string());
+        return Err("`serve` takes only --model, --jobs, --queue-depth, --store, --salt, \
+                    --budget-*, and --max-request-bytes"
+            .to_string());
+    }
+    if cli.max_request_bytes.is_some() && !cli.serve_mode {
+        return Err("--max-request-bytes only applies to `serve`".to_string());
     }
     if cli.run_library && cli.file.is_some() {
         return Err("--library does not take an input file".to_string());
@@ -124,6 +211,26 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         );
     }
     Ok(Some(cli))
+}
+
+impl Cli {
+    /// The per-check budget the flags describe. In `serve` mode the
+    /// wall-clock axis is handled per request instead (see `main`).
+    fn budget(&self, include_time: bool) -> Budget {
+        let mut budget = Budget::default();
+        if let Some(n) = self.budget_candidates {
+            budget = budget.with_max_candidates(n);
+        }
+        if let Some(n) = self.budget_steps {
+            budget = budget.with_max_eval_steps(n);
+        }
+        if include_time {
+            if let Some(ms) = self.budget_ms {
+                budget = budget.with_time_limit(Duration::from_millis(ms));
+            }
+        }
+        budget
+    }
 }
 
 /// Open the store named by `--store` (or an in-memory one for `serve`
@@ -156,36 +263,23 @@ fn library_line(name: &str, result: &lkmm_exec::TestResult) -> String {
     )
 }
 
+fn inconclusive_line(name: &str, reason: &InconclusiveReason, partial: &Tally) -> String {
+    format!(
+        "{:26} {:8} ({reason}; partial: candidates={}, allowed={}, witnesses={})",
+        name, "Inconc", partial.candidates, partial.allowed, partial.witnesses
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(Some(cli)) => cli,
         Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => return fail(&e),
+        Err(e) => return usage_fail(&e),
     };
 
     if cli.serve_mode {
-        let model = cli.model.model();
-        let store = match open_store(cli.store.as_deref()) {
-            Ok(s) => s,
-            Err(e) => return fail(&e),
-        };
-        let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
-        let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        return match serve(&mut checker, stdin.lock(), stdout.lock()) {
-            Ok(summary) => {
-                eprintln!(
-                    "herd-rs serve: {} requests ({} errors), {} computed, {} cache hits",
-                    summary.requests,
-                    summary.errors,
-                    checker.session_computed(),
-                    checker.session_hits()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => fail(&format!("serve: {e}")),
-        };
+        return serve_mode(&cli);
     }
 
     if cli.run_library {
@@ -197,43 +291,65 @@ fn main() -> ExitCode {
     }
 
     let Some(path) = cli.file.clone() else {
-        return fail("no input file");
+        return usage_fail("no input file");
     };
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("{path}: {e}")),
+        Err(e) => return fail_code(EXIT_INPUT, &format!("{path}: {e}")),
     };
     let test = match lkmm_litmus::parse(&source) {
         Ok(t) => t,
-        Err(e) => return fail(&format!("{path}: {e}")),
+        Err(e) => return fail_code(EXIT_PARSE, &format!("{path}: {e}")),
     };
 
-    let report = if let Some(store_path) = cli.store.as_deref() {
+    let outcome = if let Some(store_path) = cli.store.as_deref() {
         let model = cli.model.model();
         let store = match open_store(Some(store_path)) {
             Ok(s) => s,
-            Err(e) => return fail(&e),
+            Err(e) => return fail_code(EXIT_STORE, &e),
         };
-        let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
+        let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
+            .with_jobs(cli.jobs)
+            .with_queue_depth(cli.queue_depth.unwrap_or(256))
+            .with_budget(cli.budget(true));
         let outcome = match checker.check_one(&test) {
             Ok(o) => o,
-            Err(e) => return fail(&format!("{path}: {e}")),
+            Err(e) => return fail_code(EXIT_STORE, &format!("{store_path}: {e}")),
         };
         if let Err(e) = checker.flush() {
-            return fail(&format!("{store_path}: {e}"));
+            return fail_code(EXIT_STORE, &format!("{store_path}: {e}"));
         }
         eprintln!("herd-rs: store {store_path}: {}", outcome.provenance);
-        Report {
-            test_name: test.name.clone(),
-            model_name: model.name().to_string(),
-            result: outcome.result,
-        }
+        GovernedOutcome { model_name: model.name().to_string(), outcome: outcome.outcome }
     } else {
-        let herd = Herd::new(cli.model).with_jobs(cli.jobs).with_early_exit(cli.early_exit);
-        match herd.check(&test) {
-            Ok(report) => report,
-            Err(e) => return fail(&format!("{path}: {e}")),
+        let mut herd = Herd::new(cli.model)
+            .with_jobs(cli.jobs)
+            .with_early_exit(cli.early_exit)
+            .with_budget(cli.budget(true));
+        if let Some(depth) = cli.queue_depth {
+            herd = herd.with_queue_depth(depth);
         }
+        let governed = herd.check_governed(&test);
+        GovernedOutcome { model_name: governed.model_name, outcome: governed.outcome }
+    };
+
+    let result = match outcome.outcome {
+        CheckOutcome::Complete(result) => result,
+        CheckOutcome::Inconclusive { reason, partial } => {
+            return fail_code(
+                EXIT_INCONCLUSIVE,
+                &format!(
+                    "{path}: inconclusive: {reason} (partial: candidates={}, allowed={}, \
+                     witnesses={})",
+                    partial.candidates, partial.allowed, partial.witnesses
+                ),
+            );
+        }
+    };
+    let report = Report {
+        test_name: test.name.clone(),
+        model_name: outcome.model_name,
+        result,
     };
 
     println!("{report}");
@@ -253,13 +369,70 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn library_plain(cli: &Cli) -> ExitCode {
-    let herd = Herd::new(cli.model).with_jobs(cli.jobs).with_early_exit(cli.early_exit);
-    for pt in lkmm_litmus::library::all() {
-        match herd.check(&pt.test()) {
-            Ok(report) => println!("{}", library_line(pt.name, &report.result)),
-            Err(e) => eprintln!("{}: {e}", pt.name),
+/// The single-file checking paths (store and storeless) converge here.
+struct GovernedOutcome {
+    model_name: String,
+    outcome: CheckOutcome,
+}
+
+fn serve_mode(cli: &Cli) -> ExitCode {
+    let model = cli.model.model();
+    let store = match open_store(cli.store.as_deref()) {
+        Ok(s) => s,
+        Err(e) => return fail_code(EXIT_STORE, &e),
+    };
+    // The wall-clock axis is per *request* in serve mode (a batch request
+    // checks many tests), so it lives in ServeOptions, not the budget.
+    let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
+        .with_jobs(cli.jobs)
+        .with_queue_depth(cli.queue_depth.unwrap_or(256))
+        .with_budget(cli.budget(false));
+    let opts = ServeOptions {
+        max_request_bytes: cli.max_request_bytes.unwrap_or(ServeOptions::default().max_request_bytes),
+        request_time_limit: cli.budget_ms.map(Duration::from_millis),
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve_with(&mut checker, stdin.lock(), stdout.lock(), &opts) {
+        Ok(summary) => {
+            let inconclusive = checker.session_inconclusive();
+            eprintln!(
+                "herd-rs serve: {} requests ({} errors), {} computed, {} cache hits{}",
+                summary.requests,
+                summary.errors,
+                checker.session_computed(),
+                checker.session_hits(),
+                if inconclusive > 0 { format!(", {inconclusive} inconclusive") } else { String::new() }
+            );
+            ExitCode::SUCCESS
         }
+        Err(e) => fail_code(EXIT_INTERNAL, &format!("serve: {e}")),
+    }
+}
+
+fn library_plain(cli: &Cli) -> ExitCode {
+    let mut herd = Herd::new(cli.model)
+        .with_jobs(cli.jobs)
+        .with_early_exit(cli.early_exit)
+        .with_budget(cli.budget(true));
+    if let Some(depth) = cli.queue_depth {
+        herd = herd.with_queue_depth(depth);
+    }
+    let mut inconclusive = 0usize;
+    for pt in lkmm_litmus::library::all() {
+        match herd.check_governed(&pt.test()).outcome {
+            CheckOutcome::Complete(result) => println!("{}", library_line(pt.name, &result)),
+            CheckOutcome::Inconclusive { reason: InconclusiveReason::Enum(e), .. } => {
+                eprintln!("{}: {e}", pt.name);
+            }
+            CheckOutcome::Inconclusive { reason, partial } => {
+                inconclusive += 1;
+                println!("{}", inconclusive_line(pt.name, &reason, &partial));
+            }
+        }
+    }
+    if inconclusive > 0 {
+        eprintln!("herd-rs: {inconclusive} tests inconclusive under the given budget");
     }
     ExitCode::SUCCESS
 }
@@ -271,20 +444,33 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
     let model = cli.model.model();
     let store = match open_store(Some(store_path)) {
         Ok(s) => s,
-        Err(e) => return fail(&e),
+        Err(e) => return fail_code(EXIT_STORE, &e),
     };
-    let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt).with_jobs(cli.jobs);
+    let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
+        .with_jobs(cli.jobs)
+        .with_queue_depth(cli.queue_depth.unwrap_or(256))
+        .with_budget(cli.budget(true));
     let report = match checker.check_library() {
         Ok(r) => r,
-        Err(e) => return fail(&e.to_string()),
+        Err(e) => return fail_code(EXIT_STORE, &e.to_string()),
     };
     debug_assert_eq!(report.outcomes.len(), lkmm_litmus::library::all().len());
     for outcome in &report.outcomes {
-        println!("{}", library_line(&outcome.name, &outcome.result));
+        match &outcome.outcome {
+            CheckOutcome::Complete(result) => println!("{}", library_line(&outcome.name, result)),
+            CheckOutcome::Inconclusive { reason, partial } => {
+                println!("{}", inconclusive_line(&outcome.name, reason, partial));
+            }
+        }
     }
     eprintln!(
-        "herd-rs: store {store_path}: {} hits, {} computed, {} deduped, {} candidates enumerated, {} us",
-        report.hits, report.computed, report.deduped, report.candidates_enumerated, report.micros
+        "herd-rs: store {store_path}: {} hits, {} computed, {} deduped, {}{} candidates enumerated, {} us",
+        report.hits,
+        report.computed,
+        report.deduped,
+        if report.inconclusive > 0 { format!("{} inconclusive, ", report.inconclusive) } else { String::new() },
+        report.candidates_enumerated,
+        report.micros
     );
     ExitCode::SUCCESS
 }

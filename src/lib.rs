@@ -59,9 +59,12 @@ pub use lkmm_relation as relation;
 pub use lkmm_service as service;
 pub use lkmm_sim as sim;
 
+pub use lkmm_exec::{Budget, BudgetKind, CancelToken, CheckOutcome, InconclusiveReason, Tally};
+
 use lkmm_exec::enumerate::EnumOptions;
 use lkmm_exec::{
-    check_test_pipelined, ConsistencyModel, EnumError, PipelineOptions, TestResult, Verdict,
+    check_test_governed, check_test_pipelined, ConsistencyModel, EnumError, PipelineOptions,
+    TestResult, Verdict,
 };
 use lkmm_litmus::{parse, ParseError, Test};
 use std::fmt;
@@ -157,6 +160,32 @@ impl fmt::Display for Report {
     }
 }
 
+/// Everything [`Herd::check_governed`] reports about one test.
+///
+/// Unlike [`Report`] this may be inconclusive: a check stopped by its
+/// [`Budget`] (or a contained worker panic) carries the stop reason and
+/// the exact partial tallies instead of a verdict.
+#[derive(Clone, Debug)]
+pub struct GovernedReport {
+    /// The checked test's name.
+    pub test_name: String,
+    /// The model's name.
+    pub model_name: String,
+    /// Verdict or structured stop reason.
+    pub outcome: CheckOutcome,
+}
+
+impl GovernedReport {
+    /// The completed [`Report`], if the check finished.
+    pub fn report(&self) -> Option<Report> {
+        self.outcome.result().map(|result| Report {
+            test_name: self.test_name.clone(),
+            model_name: self.model_name.clone(),
+            result: result.clone(),
+        })
+    }
+}
+
 /// Errors from the high-level API.
 #[derive(Debug)]
 pub enum HerdError {
@@ -221,6 +250,21 @@ impl Herd {
         self
     }
 
+    /// Bound each worker's candidate queue (clamped to ≥ 1 downstream).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.pipeline.queue_depth = depth;
+        self
+    }
+
+    /// Bound every check by `budget`. A check that exceeds it reports
+    /// [`CheckOutcome::Inconclusive`] through [`Herd::check_governed`]
+    /// (plain [`Herd::check`] surfaces it as an enumeration error). A
+    /// budget never changes a completed verdict.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
     /// Check a parsed test.
     ///
     /// # Errors
@@ -234,6 +278,20 @@ impl Herd {
             model_name: self.model.name().to_string(),
             result,
         })
+    }
+
+    /// Check a parsed test under the configured [`Budget`]. Never errors
+    /// and never panics: enumeration failures, exhausted budgets, and
+    /// panics inside model evaluation all come back as structured
+    /// [`CheckOutcome::Inconclusive`] outcomes with partial tallies.
+    pub fn check_governed(&self, test: &Test) -> GovernedReport {
+        let outcome =
+            check_test_governed(self.model.as_ref(), test, &self.options, &self.pipeline);
+        GovernedReport {
+            test_name: test.name.clone(),
+            model_name: self.model.name().to_string(),
+            outcome,
+        }
     }
 
     /// Parse and check litmus source.

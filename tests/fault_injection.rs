@@ -1,0 +1,134 @@
+//! Fault-injection integration tests (run via
+//! `cargo test --features fault-injection --test fault_injection`).
+//!
+//! Each test arms a `lkmm_core::faultpoint` site, drives the real stack
+//! through it, and checks two things: the fault surfaces as a structured
+//! outcome (never an abort), and the system recovers once the site is
+//! disarmed. `faultpoint::arm` holds a global test lock, so these tests
+//! serialise against each other instead of seeing each other's faults.
+
+#![cfg(feature = "fault-injection")]
+
+use linux_kernel_memory_model::litmus::library;
+use linux_kernel_memory_model::service::{BatchChecker, Provenance, VerdictStore};
+use linux_kernel_memory_model::{CheckOutcome, Herd, InconclusiveReason, ModelChoice};
+use lkmm_core::faultpoint;
+
+#[test]
+fn injected_worker_panic_is_contained_and_recovers() {
+    let herd = Herd::new(ModelChoice::Lkmm).with_jobs(4);
+    let test = library::by_name("SB").unwrap().test();
+
+    let guard = faultpoint::arm("worker.panic");
+    match herd.check_governed(&test).outcome {
+        CheckOutcome::Inconclusive { reason: InconclusiveReason::WorkerPanicked, .. } => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    drop(guard);
+
+    // Disarmed: the same checker object completes normally.
+    let report = herd.check_governed(&test).report().expect("disarmed check completes");
+    assert!(report.allowed(), "SB is Allowed under LKMM");
+}
+
+#[test]
+fn injected_enumerator_budget_trip_is_inconclusive() {
+    let herd = Herd::new(ModelChoice::Lkmm);
+    let test = library::by_name("MP").unwrap().test();
+
+    let guard = faultpoint::arm("enum.budget");
+    match herd.check_governed(&test).outcome {
+        CheckOutcome::Inconclusive {
+            reason:
+                InconclusiveReason::BudgetExceeded(linux_kernel_memory_model::BudgetKind::Candidates),
+            ..
+        } => {}
+        other => panic!("expected injected candidate-budget trip, got {other:?}"),
+    }
+    drop(guard);
+    assert!(herd.check_governed(&test).report().is_some());
+}
+
+#[test]
+fn torn_store_append_is_an_error_and_reopen_recovers_the_valid_prefix() {
+    let dir = std::env::temp_dir().join(format!("lkmm-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.vstore");
+    let _ = std::fs::remove_file(&path);
+
+    let model = linux_kernel_memory_model::model::Lkmm::new();
+    let sb = library::by_name("SB").unwrap().test();
+    let mp = library::by_name("MP").unwrap().test();
+
+    // One good record, then a torn append under the armed fault.
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        let mut checker = BatchChecker::new(&model, store, "fault");
+        checker.check_one(&sb).unwrap();
+        assert_eq!(checker.store().len(), 1);
+
+        let guard = faultpoint::arm("store.append.torn");
+        let err = checker.check_one(&mp).unwrap_err();
+        assert!(err.to_string().contains("store.append.torn"), "got {err}");
+        drop(guard);
+    }
+
+    // Reopen: recovery truncates the half-written record, keeps the good
+    // one, and the store accepts appends again.
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        let recovery = store.recovery();
+        assert_eq!(recovery.records, 1, "the good record survives");
+        assert!(recovery.truncated_bytes > 0, "the torn tail is truncated");
+        assert!(!recovery.quarantined);
+
+        let mut checker = BatchChecker::new(&model, store, "fault");
+        let hit = checker.check_one(&sb).unwrap();
+        assert_eq!(hit.provenance, Provenance::Hit);
+        let computed = checker.check_one(&mp).unwrap();
+        assert_eq!(computed.provenance, Provenance::Computed);
+        assert_eq!(checker.store().len(), 2);
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn injected_flush_failure_is_an_error_then_clears() {
+    let dir = std::env::temp_dir().join(format!("lkmm-fault-flush-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flush.vstore");
+    let _ = std::fs::remove_file(&path);
+
+    let mut store = VerdictStore::open(&path).unwrap();
+
+    let guard = faultpoint::arm("store.flush");
+    let err = store.flush().unwrap_err();
+    assert!(err.to_string().contains("store.flush"), "got {err}");
+    drop(guard);
+
+    store.flush().expect("disarmed flush succeeds");
+
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn nth_hit_trigger_fires_on_exactly_that_hit() {
+    // `worker.panic=2`: the first evaluated candidate passes, the second
+    // panics. The check still reports WorkerPanicked (containment), which
+    // shows the trigger grammar works end-to-end through the pipeline.
+    let herd = Herd::new(ModelChoice::Lkmm).with_jobs(1);
+    let test = library::by_name("SB").unwrap().test();
+
+    let guard = faultpoint::arm("worker.panic=2");
+    match herd.check_governed(&test).outcome {
+        CheckOutcome::Inconclusive { reason: InconclusiveReason::WorkerPanicked, partial } => {
+            assert_eq!(partial.candidates, 1, "exactly the first candidate completed");
+        }
+        other => panic!("expected WorkerPanicked on the 2nd candidate, got {other:?}"),
+    }
+    drop(guard);
+}

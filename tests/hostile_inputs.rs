@@ -1,0 +1,161 @@
+//! Hostile-input smoke tests (ISSUE satellite 3): malformed litmus and
+//! malformed serve JSON must produce structured errors, never panics,
+//! stack overflows, or unbounded buffering.
+
+use linux_kernel_memory_model::litmus::parse;
+use linux_kernel_memory_model::service::{
+    serve_with, BatchChecker, ServeOptions, VerdictStore,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Inputs the parser must reject with a structured error.
+fn certainly_invalid_litmus() -> Vec<String> {
+    let mut corpus: Vec<String> = [
+        "",
+        " ",
+        "\0\0\0\0",
+        "C",
+        "C name { x=0; } P0(int *x) {",
+        "C name { x=0; } P0(int *x) { WRITE_ONCE(*x, 1); } exists",
+        "C name { x=0; } P0(int *x) { WRITE_ONCE(*x, 1); } exists (",
+        "C name { x=0; } P0(int *x) { WRITE_ONCE(*x, 1); } exists (0:r0=",
+        "C name { x=0; } P0(int *x) { garbage tokens @@@ here; } exists (0:r0=0)",
+        "exists (0:r0=0)",
+        "{ x=0; } exists (0:r0=0)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // Pathological nesting: must be a parse error, not a stack overflow.
+    corpus.push(format!(
+        "C deep {{ x=0; }} P0(int *x) {{ }} exists ({}0:r0=0{})",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    ));
+    corpus.push(format!(
+        "C deepif {{ x=0; }} P0(int *x) {{ {} }} exists (0:r0=0)",
+        "if (1) { ".repeat(100_000)
+    ));
+    corpus.push("! ".repeat(100_000));
+    corpus
+}
+
+/// Inputs that are odd but may legally parse (lenient grammar corners);
+/// the only requirement is that the parser does not panic on them.
+fn odd_but_tolerated_litmus() -> Vec<String> {
+    vec![
+        "C name".to_string(),
+        "C name { x=0; }".to_string(),
+        "C name { x=0; } P0(int *x) { WRITE_ONCE(*x, 1); }".to_string(),
+        "C name { x=0 } P0(int *x) { } exists (0:r0=0)".to_string(),
+        "C name { x=0; } P99(int *x) { } exists (42:r7=1)".to_string(),
+        "C dup { x=0; } P0(int *x) { } P0(int *x) { } exists (0:r0=0)".to_string(),
+        format!("C long {{ x=0; }} P0(int *x) {{ {} }}", "r0 = 1; ".repeat(50_000)),
+    ]
+}
+
+#[test]
+fn malformed_litmus_errors_without_panicking() {
+    for (i, source) in certainly_invalid_litmus().into_iter().enumerate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse(&source)));
+        match outcome {
+            Ok(Err(_)) => {} // structured parse error: the contract
+            Ok(Ok(test)) => panic!("invalid[{i}] unexpectedly parsed as {:?}", test.name),
+            Err(_) => panic!("invalid[{i}] panicked the parser"),
+        }
+    }
+    for (i, source) in odd_but_tolerated_litmus().into_iter().enumerate() {
+        if catch_unwind(AssertUnwindSafe(|| parse(&source))).is_err() {
+            panic!("odd[{i}] panicked the parser");
+        }
+    }
+}
+
+fn serve_session(input: &str, opts: &ServeOptions) -> (Vec<String>, usize, usize) {
+    let model = linux_kernel_memory_model::model::Lkmm::new();
+    let mut checker = BatchChecker::new(&model, VerdictStore::in_memory(), "hostile");
+    let mut out = Vec::new();
+    let summary = serve_with(&mut checker, input.as_bytes(), &mut out, opts)
+        .expect("transport to in-memory buffers cannot fail");
+    let responses =
+        String::from_utf8(out).unwrap().lines().map(|l| l.to_string()).collect::<Vec<_>>();
+    (responses, summary.requests, summary.errors)
+}
+
+#[test]
+fn malformed_serve_requests_are_error_responses_not_crashes() {
+    let hostile_lines = [
+        "",
+        "not json at all",
+        "{",
+        "}",
+        "[]",
+        "42",
+        "null",
+        "\"just a string\"",
+        "{\"op\":\"unknown\"}",
+        "{\"op\":\"check\"}",
+        "{\"op\":\"check\",\"litmus\":42}",
+        "{\"op\":\"check\",\"litmus\":\"not litmus\"}",
+        "{\"op\":\"batch\",\"tests\":\"not an array\"}",
+        "{\"op\":\"check\",\"litmus\":\"C x\",\"extra\":{\"a\":[1,2,{\"b\":null}]}}",
+    ];
+    let input = hostile_lines.join("\n");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serve_session(&input, &ServeOptions::default())
+    }));
+    let (responses, requests, errors) = outcome.expect("serve loop must not panic");
+    // Empty lines are skipped; everything else is answered.
+    assert_eq!(responses.len(), requests);
+    assert_eq!(errors, requests, "every hostile request is an error response");
+    for r in &responses {
+        assert!(r.starts_with("{\"ok\":false"), "unexpected response {r}");
+    }
+}
+
+#[test]
+fn deeply_nested_serve_json_is_an_error_not_a_stack_overflow() {
+    let depth = 100_000;
+    let bomb = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+    let input = format!("{{\"op\":\"check\",\"litmus\":{bomb}}}\n{bomb}\n");
+    let (responses, _, errors) = serve_session(&input, &ServeOptions::default());
+    assert_eq!(errors, 2);
+    for r in &responses {
+        assert!(r.starts_with("{\"ok\":false"), "unexpected response {r}");
+    }
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_under_a_tiny_cap() {
+    let opts = ServeOptions { max_request_bytes: 64, ..ServeOptions::default() };
+    let huge = format!("{{\"op\":\"check\",\"litmus\":\"{}\"}}", "x".repeat(1 << 20));
+    let input = format!("{huge}\n{{\"op\":\"stats\"}}\n");
+    let (responses, requests, errors) = serve_session(&input, &opts);
+    // The oversized line is drained and answered; the next request on the
+    // same connection still works.
+    assert_eq!(requests, 2);
+    assert_eq!(errors, 1);
+    assert!(responses[0].starts_with("{\"ok\":false"));
+    assert!(responses[0].contains("request line exceeds"), "got {}", responses[0]);
+    assert!(responses[1].starts_with("{\"ok\":true"), "got {}", responses[1]);
+}
+
+#[test]
+fn invalid_utf8_request_is_an_error_response() {
+    let model = linux_kernel_memory_model::model::Lkmm::new();
+    let mut checker = BatchChecker::new(&model, VerdictStore::in_memory(), "hostile");
+    let mut input = b"{\"op\":\"stats\"}\n".to_vec();
+    input.extend_from_slice(&[0xff, 0xfe, 0x80, b'\n']);
+    input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+    let mut out = Vec::new();
+    let summary =
+        serve_with(&mut checker, &input[..], &mut out, &ServeOptions::default()).unwrap();
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.errors, 1);
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("{\"ok\":true"));
+    assert!(lines[1].starts_with("{\"ok\":false"));
+    assert!(lines[2].starts_with("{\"ok\":true"));
+}

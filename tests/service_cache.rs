@@ -48,7 +48,7 @@ fn warm_library_pass_is_pure_replay_with_identical_results() {
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
         assert_eq!(c.name, w.name);
         assert_eq!(c.key, w.key);
-        assert_eq!(c.result, w.result, "{}: warm result differs from cold", c.name);
+        assert_eq!(c.result(), w.result(), "{}: warm result differs from cold", c.name);
         assert_ne!(w.provenance, Provenance::Computed, "{}: warm pass recomputed", w.name);
     }
 
@@ -80,7 +80,7 @@ fn torn_tail_is_truncated_and_recomputed() {
     let warm = checker.check_library().unwrap();
     assert_eq!(warm.computed, 1, "exactly the torn record should recompute");
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
-        assert_eq!(c.result, w.result, "{}: result changed across recovery", c.name);
+        assert_eq!(c.result(), w.result(), "{}: result changed across recovery", c.name);
     }
 
     // The recomputed record was appended: a third pass is pure replay.
@@ -128,7 +128,7 @@ fn corrupt_mid_record_keeps_the_valid_prefix() {
     assert_eq!(warm.computed, cold.computed - recovered);
     assert_eq!(warm.hits + warm.deduped + warm.computed, cold.outcomes.len());
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
-        assert_eq!(c.result, w.result, "{}: result changed across recovery", c.name);
+        assert_eq!(c.result(), w.result(), "{}: result changed across recovery", c.name);
     }
 
     std::fs::remove_file(&path).unwrap();
