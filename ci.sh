@@ -87,6 +87,23 @@ grep -q 'request line exceeds' /tmp/lkmm-serve-hostile.out
 grep -q '"name":"SB".*"verdict":"Allow"' /tmp/lkmm-serve-hostile.out
 rm -f /tmp/lkmm-serve-hostile.out
 
+echo "== conformance: short campaign is clean, warm replay is byte-identical =="
+CONF_STORE=/tmp/lkmm-ci-conf-store.bin
+rm -f "$CONF_STORE"
+"$BIN" conformance --max-cycle-len 4 --sim-iterations 50 --json --store "$CONF_STORE" \
+    > /tmp/lkmm-conf-cold.json 2> /dev/null
+"$BIN" conformance --max-cycle-len 4 --sim-iterations 50 --json --store "$CONF_STORE" \
+    > /tmp/lkmm-conf-warm.json 2> /tmp/lkmm-conf-warm.err
+# The report is a pure function of the config: cold and warm runs agree
+# byte for byte, and every oracle held.
+cmp /tmp/lkmm-conf-cold.json /tmp/lkmm-conf-warm.json
+grep -q '"clean":true' /tmp/lkmm-conf-warm.json
+grep -q '"discrepancies":\[\]' /tmp/lkmm-conf-warm.json
+# The warm matrix passes are pure replay: zero candidate enumerations.
+grep -q 'lkmm: .* 0 candidates enumerated' /tmp/lkmm-conf-warm.err
+grep -q 'c11: .* 0 candidates enumerated' /tmp/lkmm-conf-warm.err
+rm -f "$CONF_STORE" /tmp/lkmm-conf-cold.json /tmp/lkmm-conf-warm.json /tmp/lkmm-conf-warm.err
+
 echo "== fault injection: armed faults are contained, disarmed builds are clean =="
 cargo test --features fault-injection --test fault_injection --quiet
 cargo build --release --features fault-injection --bin herd-rs
@@ -100,6 +117,20 @@ set -e
 test "$FAULT_STATUS" -eq 6
 grep -q 'inconclusive' /tmp/lkmm-ci-fault.err
 rm -f /tmp/lkmm-ci-fault.litmus /tmp/lkmm-ci-fault.err
+# A misjudging cat checker is caught by the conformance oracles and
+# shrunk to a minimal discriminating witness, exit code 7. Run with NO
+# store: a store would cache the poisoned verdicts.
+set +e
+LKMM_FAULTPOINTS=cat.misjudge target/release/herd-rs conformance \
+    --max-cycle-len 0 --sim-iterations 0 \
+    > /tmp/lkmm-ci-misjudge.out 2> /dev/null
+MISJUDGE_STATUS=$?
+set -e
+test "$MISJUDGE_STATUS" -eq 7
+grep -q 'DISCREPANCIES' /tmp/lkmm-ci-misjudge.out
+grep -q 'native-cat-agreement' /tmp/lkmm-ci-misjudge.out
+grep -q 'minimal witness' /tmp/lkmm-ci-misjudge.out
+rm -f /tmp/lkmm-ci-misjudge.out
 # Rebuild without the feature so later consumers get the fault-free binary.
 cargo build --release --bin herd-rs
 
@@ -111,6 +142,15 @@ BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-budget.XXXXXX)
 REPO_ROOT=$(pwd)
 cargo build --release -q -p lkmm-bench --bin budget
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/budget" --iters 10 )
+rm -rf "$BENCH_DIR"
+
+echo "== conformance bench: cold vs store-warm campaign throughput =="
+# Same isolation dance as the budget bench: the run asserts clean
+# campaigns and pure warm replay, the recorded BENCH_CONFORMANCE.json is
+# regenerated deliberately from the repo root.
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-conformance.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin conformance
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/conformance" --iters 3 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

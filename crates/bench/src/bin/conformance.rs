@@ -1,0 +1,189 @@
+//! Cold-vs-warm throughput micro-bench for the conformance engine.
+//!
+//! Dependency-free (no criterion): times a full differential campaign
+//! (library + generated cycles, all seven checkers, all oracles) in two
+//! configurations —
+//!
+//! * `cold` — a fresh on-disk verdict store: every cell of the verdict
+//!   matrix is enumerated and checked, then persisted;
+//! * `warm` — the same store reopened: every cell replays from cache and
+//!   nothing is enumerated, so the remaining time is corpus generation
+//!   plus oracle evaluation;
+//!
+//! then writes `BENCH_CONFORMANCE.json` in the working directory and
+//! prints a summary table. The simulator soundness pass is disabled
+//! while timing (simulator runs are never cached, so they would blur the
+//! cold/warm comparison). Both passes are asserted discrepancy-free and
+//! report-identical, and the warm pass is asserted to enumerate zero
+//! candidates, so a bench run doubles as a conformance check.
+//!
+//! ```text
+//! cargo run --release -p lkmm-bench --bin conformance [-- --iters N] [--max-cycle-len L]
+//! ```
+
+use lkmm_conformance::{json_report, run_campaign, CampaignConfig, CampaignReport, SimConfig};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Measurement {
+    config: &'static str,
+    seconds: f64,
+    tests: usize,
+    cells: usize,
+    candidates_enumerated: usize,
+    hits: usize,
+}
+
+fn campaign_config(max_cycle_len: usize, store_path: &Path) -> CampaignConfig {
+    CampaignConfig {
+        max_cycle_len,
+        store_path: Some(store_path.to_path_buf()),
+        sim: SimConfig { iterations: 0, ..SimConfig::default() },
+        ..CampaignConfig::default()
+    }
+}
+
+fn pass_stats(report: &CampaignReport) -> (usize, usize, usize) {
+    let cells = report.models.iter().map(|m| m.pass.checked).sum();
+    let enumerated = report.models.iter().map(|m| m.pass.candidates_enumerated).sum();
+    let hits = report.models.iter().map(|m| m.pass.hits).sum();
+    (cells, enumerated, hits)
+}
+
+/// Cells answered without touching the store: duplicates of another
+/// corpus test with the same canonical form.
+fn deduped(report: &CampaignReport) -> usize {
+    report.models.iter().map(|m| m.pass.deduped).sum()
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut max_cycle_len = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--max-cycle-len" => {
+                max_cycle_len = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-cycle-len needs a non-negative integer");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: conformance [--iters N] [--max-cycle-len L]   \
+                     (timed repetitions per config, default 3; cycle length, default 4)"
+                );
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let store_path: PathBuf = std::env::temp_dir()
+        .join(format!("lkmm-bench-conformance-{}.bin", std::process::id()));
+    let cfg = campaign_config(max_cycle_len, &store_path);
+
+    // Cold: fresh store each iteration (full enumeration + write path).
+    let mut cold_seconds = 0.0;
+    let mut cold_json = String::new();
+    let mut cold_stats = (0usize, 0usize, 0usize);
+    let mut tests = 0usize;
+    for i in 0..iters {
+        let _ = std::fs::remove_file(&store_path);
+        let start = Instant::now();
+        let report = run_campaign(&cfg).expect("cold campaign runs");
+        cold_seconds += start.elapsed().as_secs_f64();
+        assert!(report.clean(), "cold campaign found discrepancies");
+        let (cells, enumerated, hits) = pass_stats(&report);
+        assert_eq!(hits, 0, "cold pass hit a fresh store");
+        assert!(enumerated > 0, "cold pass enumerated nothing");
+        if i == 0 {
+            cold_json = json_report(&report, &cfg).to_string();
+            cold_stats = (cells, enumerated, hits);
+            tests = report.corpus_total();
+        }
+    }
+
+    // Warm: reopen the populated store each iteration (pure replay).
+    let mut warm_seconds = 0.0;
+    let mut warm_stats = (0usize, 0usize, 0usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = run_campaign(&cfg).expect("warm campaign runs");
+        warm_seconds += start.elapsed().as_secs_f64();
+        assert!(report.clean(), "warm campaign found discrepancies");
+        let (cells, enumerated, hits) = pass_stats(&report);
+        assert_eq!(enumerated, 0, "warm pass enumerated candidates");
+        // Every cell is either a store hit or an in-corpus duplicate.
+        assert_eq!(hits + deduped(&report), cells, "warm pass missed the store somewhere");
+        let warm_json = json_report(&report, &cfg).to_string();
+        assert_eq!(warm_json, cold_json, "warm report differs from cold");
+        warm_stats = (cells, enumerated, hits);
+    }
+    let _ = std::fs::remove_file(&store_path);
+
+    let measurements = [
+        Measurement {
+            config: "cold",
+            seconds: cold_seconds / iters as f64,
+            tests,
+            cells: cold_stats.0,
+            candidates_enumerated: cold_stats.1,
+            hits: cold_stats.2,
+        },
+        Measurement {
+            config: "warm",
+            seconds: warm_seconds / iters as f64,
+            tests,
+            cells: warm_stats.0,
+            candidates_enumerated: warm_stats.1,
+            hits: warm_stats.2,
+        },
+    ];
+
+    println!(
+        "{:8} {:>10} {:>12} {:>8} {:>9} {:>7} {:>9}",
+        "config", "secs", "tests/sec", "cells", "cands", "hits", "speedup"
+    );
+    let mut json_entries = String::new();
+    for m in &measurements {
+        let speedup = measurements[0].seconds / m.seconds;
+        let throughput = m.tests as f64 / m.seconds;
+        println!(
+            "{:8} {:>10.5} {:>12.0} {:>8} {:>9} {:>7} {:>8.2}x",
+            m.config, m.seconds, throughput, m.cells, m.candidates_enumerated, m.hits, speedup
+        );
+        if !json_entries.is_empty() {
+            json_entries.push_str(",\n");
+        }
+        write!(
+            json_entries,
+            "    {{\"config\": \"{}\", \"seconds\": {:.6}, \"tests\": {}, \
+             \"tests_per_sec\": {:.1}, \"matrix_cells\": {}, \"candidates_enumerated\": {}, \
+             \"hits\": {}, \"speedup_vs_cold\": {:.3}}}",
+            m.config,
+            m.seconds,
+            m.tests,
+            throughput,
+            m.cells,
+            m.candidates_enumerated,
+            m.hits,
+            speedup
+        )
+        .expect("write to string");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"conformance-campaign\",\n  \"max_cycle_len\": {max_cycle_len},\n  \
+         \"iters\": {iters},\n  \"measurements\": [\n{json_entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_CONFORMANCE.json", &json).expect("write BENCH_CONFORMANCE.json");
+    println!("\nwrote BENCH_CONFORMANCE.json");
+}

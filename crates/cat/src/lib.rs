@@ -94,7 +94,14 @@ impl ConsistencyModel for CatModel {
     /// Panics if the model has semantic errors (caught on first use; parse
     /// errors are already impossible here).
     fn allows(&self, x: &Execution) -> bool {
-        self.evaluate(x).expect("cat evaluation failed").allowed()
+        let allowed = self.evaluate(x).expect("cat evaluation failed").allowed();
+        // `cat.misjudge` deliberately inverts verdicts so the conformance
+        // oracles can be demonstrated against a broken checker.
+        if lkmm_core::faultpoint::should_fail("cat.misjudge") {
+            !allowed
+        } else {
+            allowed
+        }
     }
 
     fn explain(&self, x: &Execution) -> Option<String> {
@@ -115,17 +122,27 @@ impl ModelSession for CatSession<'_> {
     /// Panics if the model has semantic errors, like
     /// [`ConsistencyModel::allows`] on [`CatModel`].
     fn allows(&mut self, x: &Execution) -> bool {
-        self.evaluate(x).expect("cat evaluation failed").allowed()
+        let allowed = self.evaluate(x).expect("cat evaluation failed").allowed();
+        if lkmm_core::faultpoint::should_fail("cat.misjudge") {
+            !allowed
+        } else {
+            allowed
+        }
     }
 
     /// Fuel exhaustion becomes a clean [`EvalStop`]; genuine semantic
     /// errors still panic (contained by the pipeline's per-candidate
     /// `catch_unwind` in governed runs).
     fn try_allows(&mut self, x: &Execution) -> Result<bool, lkmm_exec::EvalStop> {
-        match self.evaluate(x) {
-            Ok(outcome) => Ok(outcome.allowed()),
-            Err(e) if e.is_fuel_exhausted() => Err(lkmm_exec::EvalStop),
+        let allowed = match self.evaluate(x) {
+            Ok(outcome) => outcome.allowed(),
+            Err(e) if e.is_fuel_exhausted() => return Err(lkmm_exec::EvalStop),
             Err(e) => panic!("cat evaluation failed: {e}"),
+        };
+        if lkmm_core::faultpoint::should_fail("cat.misjudge") {
+            Ok(!allowed)
+        } else {
+            Ok(allowed)
         }
     }
 

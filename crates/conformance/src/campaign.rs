@@ -1,0 +1,395 @@
+//! The campaign driver: corpus → verdict matrix → oracles → shrinker.
+//!
+//! One campaign enumerates a corpus (the paper's named library plus
+//! every diy cycle up to a configurable length), builds the verdict
+//! matrix across all checkers (incrementally, through the verdict
+//! store), evaluates every oracle on every row, runs seeded simulator
+//! soundness passes on LKMM-forbidden tests, and minimizes each
+//! discrepancy with the delta-debugging shrinker.
+//!
+//! Everything in the resulting [`CampaignReport`] is a deterministic
+//! function of the [`CampaignConfig`]: cache hit counts and wall-clock
+//! live in the per-model [`ModelPass`] observability fields, which the
+//! JSON report deliberately omits, so a warm re-run over a populated
+//! store produces a byte-identical report.
+
+use crate::matrix::{
+    build_matrix, uses_srcu, CorpusEntry, MatrixOptions, ModelId, ModelPass, ModelSet, Origin,
+};
+use crate::oracle::{check_row, recheck_violated, Discrepancy, OracleKind, OracleSummary, Recheck};
+use crate::shrink::{shrink, test_size, Shrunk};
+use lkmm_core::budget::Budget;
+use lkmm_exec::{CheckOutcome, EnumOptions, PipelineOptions, Verdict};
+use lkmm_generator::{cycles_up_to, default_alphabet, generate, GenError};
+use lkmm_service::canonical_text;
+use lkmm_sim::{run_test, Arch, RunConfig};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Simulator soundness-pass configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Iterations per (test, architecture) run; `0` disables the pass.
+    pub iterations: u64,
+    /// Base seed; each test derives its own seed from this and its
+    /// corpus position, so runs are reproducible test by test.
+    pub seed: u64,
+    /// Simulate every `stride`-th corpus test (1 = all).
+    pub stride: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { iterations: 200, seed: 7, stride: 1 }
+    }
+}
+
+/// Everything one campaign run depends on.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Generate every diy cycle up to this length (`0` = none; the
+    /// shortest critical cycle has length 4).
+    pub max_cycle_len: usize,
+    /// Include the paper's named library.
+    pub include_library: bool,
+    /// Cache version salt (each model column adds its own component).
+    pub salt: String,
+    /// Pipeline worker threads per check (0 = all hardware threads).
+    pub jobs: usize,
+    /// Per-worker candidate queue bound.
+    pub queue_depth: usize,
+    /// Per-check budget; trips surface as inconclusive cells.
+    pub budget: Budget,
+    /// Persistent verdict store; `None` runs in memory.
+    pub store_path: Option<PathBuf>,
+    /// Simulator soundness pass.
+    pub sim: SimConfig,
+    /// Minimize discrepancies with the shrinker.
+    pub shrink: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_cycle_len: 4,
+            include_library: true,
+            salt: String::new(),
+            jobs: 0,
+            queue_depth: 256,
+            budget: Budget::default(),
+            store_path: None,
+            sim: SimConfig::default(),
+            shrink: true,
+        }
+    }
+}
+
+/// One column's aggregate results.
+#[derive(Clone, Debug)]
+pub struct ModelStats {
+    pub id: ModelId,
+    pub pass: ModelPass,
+}
+
+/// One oracle's aggregate results.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleStats {
+    pub kind: OracleKind,
+    pub summary: OracleSummary,
+}
+
+/// Everything a campaign produces.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Library tests in the corpus.
+    pub corpus_library: usize,
+    /// Generated tests in the corpus.
+    pub corpus_generated: usize,
+    /// Per-model counts, in [`ModelId::ALL`] order.
+    pub models: Vec<ModelStats>,
+    /// Per-oracle counts, in [`OracleKind::ALL`] order.
+    pub oracles: Vec<OracleStats>,
+    /// Every oracle violation (shrunk when configured).
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl CampaignReport {
+    /// Total corpus size.
+    pub fn corpus_total(&self) -> usize {
+        self.corpus_library + self.corpus_generated
+    }
+
+    /// Whether every oracle held everywhere.
+    pub fn clean(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+}
+
+/// Campaign failure: corpus generation or store I/O. Checking problems
+/// (budget trips, enumeration limits) are per-cell inconclusive
+/// outcomes, never campaign errors.
+#[derive(Debug)]
+pub enum CampaignError {
+    Generate(GenError),
+    Store(io::Error),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Generate(e) => write!(f, "generator: {e}"),
+            CampaignError::Store(e) => write!(f, "verdict store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<GenError> for CampaignError {
+    fn from(e: GenError) -> Self {
+        CampaignError::Generate(e)
+    }
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Store(e)
+    }
+}
+
+/// Assemble the campaign corpus: named library first, then every
+/// generated cycle in `cycles_up_to` order — both deterministic.
+///
+/// # Errors
+///
+/// Propagates generator failures (none are expected for the default
+/// alphabet: `cycles_up_to` only yields validated cycles).
+pub fn corpus(cfg: &CampaignConfig) -> Result<Vec<CorpusEntry>, GenError> {
+    let mut out = Vec::new();
+    if cfg.include_library {
+        for pt in lkmm_litmus::library::all() {
+            out.push(CorpusEntry {
+                test: pt.test(),
+                origin: Origin::Library { lkmm: pt.lkmm, c11: pt.c11 },
+            });
+        }
+    }
+    if cfg.max_cycle_len > 0 {
+        for cycle in cycles_up_to(cfg.max_cycle_len, &default_alphabet()) {
+            out.push(CorpusEntry { test: generate(&cycle)?, origin: Origin::Generated });
+        }
+    }
+    Ok(out)
+}
+
+/// Per-test seed for the soundness pass: reproducible, distinct per
+/// corpus position, independent of which other tests are simulated.
+fn sim_seed(base: u64, corpus_index: usize) -> u64 {
+    base ^ (corpus_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run a full campaign with the standard reference checkers.
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    run_campaign_with(cfg, &ModelSet::standard())
+}
+
+/// Run a full campaign against an explicit [`ModelSet`] — the entry
+/// point for mutant-injection tests (swap one column for a broken
+/// model and watch the oracles catch it).
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_campaign_with(
+    cfg: &CampaignConfig,
+    set: &ModelSet,
+) -> Result<CampaignReport, CampaignError> {
+    let corpus = corpus(cfg)?;
+    let corpus_library = corpus.iter().filter(|e| matches!(e.origin, Origin::Library { .. })).count();
+    let corpus_generated = corpus.len() - corpus_library;
+
+    let matrix_opts = MatrixOptions {
+        salt: &cfg.salt,
+        jobs: cfg.jobs,
+        queue_depth: cfg.queue_depth,
+        budget: cfg.budget.clone(),
+        store_path: cfg.store_path.as_deref(),
+    };
+    let (matrix, passes) = build_matrix(&corpus, set, &matrix_opts)?;
+
+    // Matrix-level oracles.
+    let mut discrepancies = Vec::new();
+    let mut summaries = [OracleSummary::default(); 4];
+    for row in &matrix.rows {
+        check_row(row, &mut discrepancies, &mut summaries);
+    }
+
+    // Simulator soundness: an operational machine must never observe an
+    // outcome the LKMM forbids, so only forbidden rows need running.
+    if cfg.sim.iterations > 0 {
+        let sim_summary = &mut summaries[2];
+        let stride = cfg.sim.stride.max(1);
+        for (i, row) in matrix.rows.iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            let forbidden = matches!(
+                row.cell(ModelId::LkmmNative).and_then(CheckOutcome::result),
+                Some(r) if r.verdict == Verdict::Forbidden
+            );
+            if !forbidden {
+                continue;
+            }
+            if uses_srcu(&row.test) {
+                sim_summary.skipped += 1;
+                continue;
+            }
+            let seed = sim_seed(cfg.sim.seed, i);
+            for arch in Arch::ALL {
+                let config = RunConfig { iterations: cfg.sim.iterations, seed };
+                match run_test(&row.test, arch, &config) {
+                    Err(_) => sim_summary.skipped += 1,
+                    Ok(stats) => {
+                        sim_summary.checked += 1;
+                        if stats.observed > 0 {
+                            sim_summary.violations += 1;
+                            discrepancies.push(Discrepancy {
+                                test_name: row.test.name.clone(),
+                                oracle: OracleKind::SimSoundness,
+                                detail: format!(
+                                    "{} observed an LKMM-forbidden outcome {} times in {} runs (seed {seed})",
+                                    arch.name(),
+                                    stats.observed,
+                                    stats.total
+                                ),
+                                check: Recheck::SimObservation {
+                                    arch,
+                                    iterations: cfg.sim.iterations,
+                                    seed,
+                                },
+                                test: row.test.clone(),
+                                shrunk: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Shrink every discrepancy down to a minimal discriminating witness.
+    // Re-checks recompute from scratch through the exact failing pair —
+    // never through the store (see crate docs for why).
+    if cfg.shrink {
+        let opts = EnumOptions { budget: cfg.budget.clone(), ..EnumOptions::default() };
+        let pipe = PipelineOptions {
+            jobs: cfg.jobs,
+            queue_depth: cfg.queue_depth.max(1),
+            ..PipelineOptions::default()
+        };
+        for d in &mut discrepancies {
+            // Library C11 expectations describe the original named test
+            // only; a reduced test has no published column to compare to.
+            if matches!(d.check, Recheck::C11Expectation { .. }) {
+                continue;
+            }
+            if !recheck_violated(&d.check, &d.test, set, &opts, &pipe) {
+                // Matrix said violated, scratch recheck disagrees (e.g. a
+                // budget trip): leave unshrunk rather than minimize
+                // against an unreproducible predicate.
+                continue;
+            }
+            let mut pred = |cand: &lkmm_litmus::ast::Test| {
+                recheck_violated(&d.check, cand, set, &opts, &pipe)
+            };
+            let (minimal, attempts, accepted) = shrink(&d.test, &mut pred);
+            d.shrunk = Some(Shrunk {
+                litmus: canonical_text(&minimal),
+                size: test_size(&minimal),
+                attempts,
+                accepted,
+            });
+        }
+    }
+
+    Ok(CampaignReport {
+        corpus_library,
+        corpus_generated,
+        models: ModelId::ALL
+            .iter()
+            .zip(passes)
+            .map(|(&id, pass)| ModelStats { id, pass })
+            .collect(),
+        oracles: OracleKind::ALL
+            .iter()
+            .zip(summaries)
+            .map(|(&kind, summary)| OracleStats { kind, summary })
+            .collect(),
+        discrepancies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig {
+            max_cycle_len: 0,
+            sim: SimConfig { iterations: 0, ..SimConfig::default() },
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn library_only_campaign_is_clean() {
+        let report = run_campaign(&quick_config()).unwrap();
+        assert_eq!(report.corpus_library, lkmm_litmus::library::all().len());
+        assert_eq!(report.corpus_generated, 0);
+        assert!(report.clean(), "{:?}", report.discrepancies.iter().map(|d| &d.detail).collect::<Vec<_>>());
+        let native = &report.models[ModelId::LkmmNative.index()];
+        assert_eq!(native.pass.checked, report.corpus_total());
+        assert_eq!(native.pass.inconclusive, 0);
+        // The agreement oracle covered every row.
+        assert_eq!(report.oracles[0].summary.checked, report.corpus_total());
+        assert_eq!(report.oracles[0].summary.violations, 0);
+    }
+
+    #[test]
+    fn short_cycle_lengths_generate_nothing() {
+        // The shortest critical cycle needs 4 edges (two non-adjacent
+        // external edges), so a length-3 campaign is library-only.
+        let cfg = CampaignConfig { max_cycle_len: 3, ..quick_config() };
+        let entries = corpus(&cfg).unwrap();
+        assert!(entries.iter().all(|e| matches!(e.origin, Origin::Library { .. })));
+    }
+
+    #[test]
+    fn mutant_model_yields_shrunk_discrepancies() {
+        let mut set = ModelSet::standard();
+        set.replace(ModelId::LkmmCat, Box::new(lkmm_exec::model::AllowAll));
+        let report = run_campaign_with(&quick_config(), &set).unwrap();
+        assert!(!report.clean());
+        let d = report
+            .discrepancies
+            .iter()
+            .find(|d| d.oracle == OracleKind::NativeCatAgreement)
+            .expect("allow-all disagrees with the native LKMM somewhere");
+        let shrunk = d.shrunk.as_ref().expect("campaign shrinks by default");
+        assert!(shrunk.size <= test_size(&d.test));
+        let witness = lkmm_litmus::parse(&shrunk.litmus).expect("witness re-parses");
+        // The minimal witness still discriminates the two checkers.
+        assert!(recheck_violated(
+            &d.check,
+            &witness,
+            &set,
+            &EnumOptions::default(),
+            &PipelineOptions::default(),
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! Differential conformance engine for the LKMM reproduction.
+//!
+//! The paper validates the Linux-kernel memory model by cross-checking
+//! it against its neighbours: the hand-written cat formalisation must
+//! agree with the native implementation everywhere, hardware models
+//! must fit inside the envelope SC ⊆ x86-TSO ⊆ LKMM, the operational
+//! simulators must never exhibit an outcome the axiomatic model
+//! forbids, and the original-C11 divergences of §5.2 must all trace
+//! back to a feature C11 genuinely lacks. This crate automates that
+//! cross-checking at corpus scale:
+//!
+//! * [`matrix`] — run every test in a corpus through every checker and
+//!   collect the per-test × per-model verdict matrix, incrementally
+//!   through the content-addressed verdict store (each model column is
+//!   salted separately, so two checkers that share a display name —
+//!   native LKMM and the cat LKMM both print "LKMM" — can never replay
+//!   each other's cached verdicts).
+//! * [`oracle`] — typed invariants over matrix rows; each violation is
+//!   a structured [`Discrepancy`] carrying the exact [`Recheck`] that
+//!   failed, so it can be re-validated from scratch.
+//! * [`shrink`] — a delta-debugging minimizer (drop threads, drop
+//!   statements, flatten `if`s, drop condition conjuncts) that reduces
+//!   a discrepancy to a minimal litmus test still discriminating the
+//!   disagreeing checkers.
+//! * [`campaign`] — the driver tying the layers together, and
+//! * [`report`] — deterministic JSON plus a human summary table.
+//!
+//! Discrepancy re-checks never go through the verdict store: a
+//! discrepancy is evidence that at least one checker is wrong, and a
+//! store keyed by (test, model, salt) cannot tell a correct verdict
+//! from a cached wrong one. Shrinker predicates therefore recompute
+//! every candidate from scratch, and fault-injection campaigns must run
+//! storeless so poisoned verdicts are never persisted.
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm_conformance::campaign::{run_campaign, CampaignConfig, SimConfig};
+//!
+//! // Library-only campaign, simulators off: fast enough for a doctest.
+//! let cfg = CampaignConfig {
+//!     max_cycle_len: 0,
+//!     sim: SimConfig { iterations: 0, ..SimConfig::default() },
+//!     ..CampaignConfig::default()
+//! };
+//! let report = run_campaign(&cfg).unwrap();
+//! assert!(report.clean());
+//! assert_eq!(report.corpus_library, lkmm_litmus::library::all().len());
+//! ```
+
+pub mod campaign;
+pub mod matrix;
+pub mod oracle;
+pub mod report;
+pub mod shrink;
+
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignReport, ModelStats,
+    OracleStats, SimConfig,
+};
+pub use matrix::{
+    build_matrix, CorpusEntry, MatrixOptions, MatrixRow, ModelId, ModelPass, ModelSet, Origin,
+    VerdictMatrix,
+};
+pub use oracle::{
+    check_row, recheck_violated, Discrepancy, OracleKind, OracleSummary, Recheck, ENVELOPE_PAIRS,
+};
+pub use report::{human_table, json_report, observability_lines};
+pub use shrink::{shrink, test_size, Shrunk};

@@ -1,0 +1,252 @@
+//! Campaign report rendering: deterministic JSON and a human table.
+//!
+//! The JSON report is a pure function of the campaign configuration and
+//! the checkers' semantics: it contains no timestamps, timings, or cache
+//! hit/computed counters, so running the same campaign twice — cold and
+//! then warm over a populated verdict store — produces byte-identical
+//! bytes. CI relies on this with a plain `cmp`. Observability numbers
+//! (hits, computed, candidates enumerated) belong on stderr; see
+//! [`observability_lines`].
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::oracle::Recheck;
+use lkmm_service::json::Json;
+use std::fmt::Write as _;
+
+/// Render the deterministic JSON report.
+pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
+    let models = report
+        .models
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("model", Json::str(m.id.column())),
+                ("checked", Json::num(m.pass.checked as u64)),
+                ("allowed", Json::num(m.pass.allowed as u64)),
+                ("forbidden", Json::num(m.pass.forbidden as u64)),
+                ("inconclusive", Json::num(m.pass.inconclusive as u64)),
+                ("skipped", Json::num(m.pass.skipped as u64)),
+            ])
+        })
+        .collect();
+
+    let oracles = report
+        .oracles
+        .iter()
+        .map(|o| {
+            Json::obj(vec![
+                ("oracle", Json::str(o.kind.name())),
+                ("checked", Json::num(o.summary.checked as u64)),
+                ("violations", Json::num(o.summary.violations as u64)),
+                ("skipped", Json::num(o.summary.skipped as u64)),
+            ])
+        })
+        .collect();
+
+    let discrepancies = report
+        .discrepancies
+        .iter()
+        .map(|d| {
+            let mut fields = vec![
+                ("test", Json::str(&d.test_name)),
+                ("oracle", Json::str(d.oracle.name())),
+                ("detail", Json::str(&d.detail)),
+                ("check", recheck_json(&d.check)),
+                ("witness", Json::str(lkmm_service::canonical_text(&d.test))),
+            ];
+            if let Some(s) = &d.shrunk {
+                fields.push((
+                    "shrunk",
+                    Json::obj(vec![
+                        ("litmus", Json::str(&s.litmus)),
+                        ("size", Json::num(s.size as u64)),
+                        ("attempts", Json::num(s.attempts as u64)),
+                        ("accepted", Json::num(s.accepted as u64)),
+                    ]),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+
+    Json::obj(vec![
+        ("op", Json::str("conformance")),
+        (
+            "config",
+            Json::obj(vec![
+                ("max_cycle_len", Json::num(cfg.max_cycle_len as u64)),
+                ("library", Json::Bool(cfg.include_library)),
+                ("salt", Json::str(&cfg.salt)),
+                ("sim_iterations", Json::num(cfg.sim.iterations)),
+                ("sim_seed", Json::num(cfg.sim.seed)),
+                ("sim_stride", Json::num(cfg.sim.stride as u64)),
+                ("shrink", Json::Bool(cfg.shrink)),
+            ]),
+        ),
+        (
+            "corpus",
+            Json::obj(vec![
+                ("library", Json::num(report.corpus_library as u64)),
+                ("generated", Json::num(report.corpus_generated as u64)),
+                ("total", Json::num(report.corpus_total() as u64)),
+            ]),
+        ),
+        ("models", Json::Arr(models)),
+        ("oracles", Json::Arr(oracles)),
+        ("discrepancies", Json::Arr(discrepancies)),
+        ("clean", Json::Bool(report.clean())),
+    ])
+}
+
+fn recheck_json(check: &Recheck) -> Json {
+    match check {
+        Recheck::ResultAgreement { left, right } => Json::obj(vec![
+            ("kind", Json::str("result-agreement")),
+            ("left", Json::str(left.column())),
+            ("right", Json::str(right.column())),
+        ]),
+        Recheck::Envelope { sub, envelope } => Json::obj(vec![
+            ("kind", Json::str("envelope")),
+            ("sub", Json::str(sub.column())),
+            ("envelope", Json::str(envelope.column())),
+        ]),
+        Recheck::C11Expectation { expect } => Json::obj(vec![
+            ("kind", Json::str("c11-expectation")),
+            ("expect", Json::str(format!("{expect:?}"))),
+        ]),
+        Recheck::C11Unlicensed => Json::obj(vec![("kind", Json::str("c11-unlicensed"))]),
+        Recheck::SimObservation { arch, iterations, seed } => Json::obj(vec![
+            ("kind", Json::str("sim-observation")),
+            ("arch", Json::str(arch.name())),
+            ("iterations", Json::num(*iterations)),
+            ("seed", Json::num(*seed)),
+        ]),
+    }
+}
+
+/// Render the human-readable summary table.
+pub fn human_table(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "corpus: {} tests ({} library, {} generated)",
+        report.corpus_total(),
+        report.corpus_library,
+        report.corpus_generated
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>10} {:>13} {:>8}",
+        "model", "checked", "allowed", "forbidden", "inconclusive", "skipped"
+    );
+    for m in &report.models {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>10} {:>13} {:>8}",
+            m.id.column(),
+            m.pass.checked,
+            m.pass.allowed,
+            m.pass.forbidden,
+            m.pass.inconclusive,
+            m.pass.skipped
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>11} {:>8}",
+        "oracle", "checked", "violations", "skipped"
+    );
+    for o in &report.oracles {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>11} {:>8}",
+            o.kind.name(),
+            o.summary.checked,
+            o.summary.violations,
+            o.summary.skipped
+        );
+    }
+    let _ = writeln!(out);
+    if report.clean() {
+        let _ = writeln!(out, "no discrepancies");
+    } else {
+        let _ = writeln!(out, "{} DISCREPANCIES:", report.discrepancies.len());
+        for d in &report.discrepancies {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[{}] {}: {}", d.oracle.name(), d.test_name, d.detail);
+            if let Some(s) = &d.shrunk {
+                let _ = writeln!(
+                    out,
+                    "minimal witness (size {}, {} of {} reductions accepted):",
+                    s.size, s.accepted, s.attempts
+                );
+                for line in s.litmus.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Observability lines for stderr: everything deliberately excluded
+/// from the deterministic report.
+pub fn observability_lines(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    for m in &report.models {
+        let _ = writeln!(
+            out,
+            "{}: {} cached, {} computed, {} deduped, {} candidates enumerated",
+            m.id.column(),
+            m.pass.hits,
+            m.pass.computed,
+            m.pass.deduped,
+            m.pass.candidates_enumerated
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, SimConfig};
+
+    fn quick() -> CampaignConfig {
+        CampaignConfig {
+            max_cycle_len: 0,
+            sim: SimConfig { iterations: 0, ..SimConfig::default() },
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_parses() {
+        let cfg = quick();
+        let a = json_report(&run_campaign(&cfg).unwrap(), &cfg).to_string();
+        let b = json_report(&run_campaign(&cfg).unwrap(), &cfg).to_string();
+        assert_eq!(a, b);
+        let v = Json::parse(&a).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("conformance"));
+        assert_eq!(v.get("clean").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("discrepancies").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+        let models = v.get("models").and_then(Json::as_arr).unwrap();
+        assert_eq!(models.len(), crate::matrix::ModelId::ALL.len());
+    }
+
+    #[test]
+    fn human_table_mentions_every_column_and_oracle() {
+        let cfg = quick();
+        let table = human_table(&run_campaign(&cfg).unwrap());
+        for col in ["lkmm", "lkmm-cat", "sc", "tso", "armv8", "power", "c11"] {
+            assert!(table.contains(col), "missing column {col} in:\n{table}");
+        }
+        for oracle in ["native-cat-agreement", "envelope-ordering", "sim-soundness", "c11-divergence"]
+        {
+            assert!(table.contains(oracle), "missing oracle {oracle} in:\n{table}");
+        }
+        assert!(table.contains("no discrepancies"));
+    }
+}

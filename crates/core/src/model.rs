@@ -105,7 +105,14 @@ impl ConsistencyModel for Lkmm {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        self.violated_axiom(x).is_none()
+        let allowed = self.violated_axiom(x).is_none();
+        // `lkmm.misjudge` deliberately inverts verdicts so the conformance
+        // oracles can be demonstrated against a broken checker.
+        if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
+            !allowed
+        } else {
+            allowed
+        }
     }
 
     fn explain(&self, x: &Execution) -> Option<String> {
@@ -139,7 +146,12 @@ impl ModelSession for LkmmSession {
         }
         let statics = &self.cache.as_ref().expect("cache filled above").1;
         let r = LkmmRelations::compute_with(x, statics);
-        self.model.violated_axiom_with(x, &r).is_none()
+        let allowed = self.model.violated_axiom_with(x, &r).is_none();
+        if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
+            !allowed
+        } else {
+            allowed
+        }
     }
 
     /// The native axioms are evaluated by closed-form relation algebra

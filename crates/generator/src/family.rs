@@ -53,7 +53,14 @@ pub fn family(base: &[Edge]) -> Result<Vec<Vec<Edge>>, GenError> {
             return;
         }
         let i = slots[k];
-        let Edge::Internal { src, dst, .. } = current[i] else { unreachable!() };
+        // `slots` was built from the non-external positions of this very
+        // vector and only internal adornments are ever written back, but
+        // recurse past a surprise rather than panic: a skipped slot just
+        // keeps its existing edge.
+        let Edge::Internal { src, dst, .. } = current[i] else {
+            rec(slots, k + 1, current, out);
+            return;
+        };
         for kind in ALL_KINDS {
             let candidate = Edge::internal(kind, src, dst);
             if candidate.well_formed() {
@@ -70,9 +77,13 @@ pub fn family(base: &[Edge]) -> Result<Vec<Vec<Edge>>, GenError> {
 ///
 /// # Errors
 ///
-/// Returns [`GenError`] if the base cycle is invalid.
+/// Returns [`GenError`] if the base cycle is invalid, or if any swept
+/// variation fails to generate (every variation is re-validated before
+/// generation, so this indicates a generator bug rather than bad input —
+/// but it surfaces as an error, not a panic, since sweeps run inside
+/// long campaigns).
 pub fn family_tests(base: &[Edge]) -> Result<Vec<Test>, GenError> {
-    Ok(family(base)?.iter().map(|c| generate(c).expect("validated")).collect())
+    family(base)?.iter().map(|c| generate(c)).collect()
 }
 
 /// Partial strength order on adornments: `stronger_or_equal(a, b)` means

@@ -667,6 +667,38 @@ mod tests {
     }
 
     #[test]
+    fn whole_cycles_round_trip_through_parse_cycle() {
+        // Every enumerated cycle survives print → parse_cycle unchanged,
+        // so campaign reports can name generated tests by cycle spec.
+        for cycle in cycles_up_to(4, &default_alphabet()) {
+            let spec =
+                cycle.iter().map(Edge::to_string).collect::<Vec<_>>().join(" ");
+            assert_eq!(parse_cycle(&spec).as_deref(), Ok(&cycle[..]), "spec `{spec}`");
+        }
+        // Whitespace variations parse identically.
+        assert_eq!(
+            parse_cycle("  PodWW   Rfe\tPodRR \n Fre "),
+            parse_cycle("PodWW Rfe PodRR Fre"),
+        );
+        assert_eq!(parse_cycle(""), Ok(vec![]));
+    }
+
+    #[test]
+    fn unknown_edge_errors_name_the_offending_token() {
+        // The *first* bad token is reported, verbatim, in the message.
+        let err = parse_cycle("PodWW Frobnicate Rfe Nope").unwrap_err();
+        assert_eq!(err, GenError::UnknownEdge("Frobnicate".to_string()));
+        assert!(err.to_string().contains("`Frobnicate`"), "{err}");
+        // Near-miss spellings are rejected with their own name, not a
+        // guess: case matters and adornments must be well-formed.
+        for bad in ["podWW", "RFE", "WmbRW", "Pod"] {
+            let err = parse_cycle(bad).unwrap_err();
+            assert_eq!(err, GenError::UnknownEdge(bad.to_string()));
+            assert!(err.to_string().contains(&format!("`{bad}`")), "{err}");
+        }
+    }
+
+    #[test]
     fn canonicalisation_dedupes_rotations() {
         let cycles = cycles_up_to(4, &[Edge::Rfe, Edge::Fre, Edge::internal(InternalKind::Po, R, W), Edge::internal(InternalKind::Po, R, R), Edge::internal(InternalKind::Po, W, R), Edge::internal(InternalKind::Po, W, W)]);
         // No two cycles are rotations of each other.

@@ -60,6 +60,86 @@ impl OriginalC11 {
         test.threads.iter().all(|t| no_rcu(&t.body))
     }
 
+    /// Why this test is *licensed* to diverge from the LKMM, if it is.
+    ///
+    /// §5.2 of the paper traces every LKMM/C11 disagreement to a feature
+    /// the original C11 model genuinely lacks. This is the conformance
+    /// suite's whitelist: a test whose LKMM and C11 verdicts differ is
+    /// only acceptable when some statement exercises one of those
+    /// features. Returns the first such feature found, or `None` for
+    /// plain `READ_ONCE`/`WRITE_ONCE` programs, whose verdicts must
+    /// coincide under the \[68\] mapping.
+    ///
+    /// The licensed features:
+    ///
+    /// * **dependencies** — C11 relaxed accesses carry no address, data,
+    ///   or control ordering (the out-of-thin-air problem, §5.2):
+    ///   branches, register computation, registers feeding write values,
+    ///   register-addressed accesses, `rcu_dereference`;
+    /// * **fences** — the mapping weakens every LK fence (`smp_mb` maps
+    ///   to the original 29.3p6/p7 `seq_cst` fence rules, which only
+    ///   constrain fence pairs; `smp_rmb`/`smp_wmb` become mere
+    ///   acquire/release fences);
+    /// * **release/acquire** — C11 release sequences and sw edges are
+    ///   not A-cumulative the way LKMM propagation is;
+    /// * **RMW primitives** — mapped through the fence/ordering variants
+    ///   above, inheriting their weakness.
+    pub fn divergence_license(test: &Test) -> Option<&'static str> {
+        fn expr_has_reg(e: &lkmm_litmus::Expr) -> bool {
+            !e.regs().is_empty()
+        }
+        fn scan(stmts: &[Stmt]) -> Option<&'static str> {
+            use lkmm_litmus::AddrExpr;
+            for s in stmts {
+                let lic = match s {
+                    Stmt::If { .. } => Some("control dependency (C11 orders no dependencies)"),
+                    Stmt::Assign { .. } | Stmt::Assume(_) => {
+                        Some("register computation (dependency chain)")
+                    }
+                    Stmt::RcuDereference { .. } => {
+                        Some("rcu_dereference address dependency")
+                    }
+                    Stmt::Fence(
+                        FenceKind::Rmb | FenceKind::Wmb | FenceKind::Mb | FenceKind::RbDep
+                        | FenceKind::SyncRcu,
+                    ) => Some("fence mapped to weaker original-C11 fence"),
+                    Stmt::LoadAcquire { .. }
+                    | Stmt::StoreRelease { .. }
+                    | Stmt::RcuAssignPointer { .. } => {
+                        Some("release/acquire (C11 sw is not A-cumulative)")
+                    }
+                    Stmt::Xchg { .. }
+                    | Stmt::CmpXchg { .. }
+                    | Stmt::AtomicOp { .. }
+                    | Stmt::SpinLock { .. }
+                    | Stmt::SpinUnlock { .. } => Some("read-modify-write mapping"),
+                    _ => None,
+                };
+                if lic.is_some() {
+                    return lic;
+                }
+                // Address dependencies: any register-addressed access.
+                let addr_reg = match s {
+                    Stmt::ReadOnce { addr, .. } | Stmt::WriteOnce { addr, .. } => {
+                        matches!(addr, AddrExpr::Reg(_))
+                    }
+                    _ => false,
+                };
+                if addr_reg {
+                    return Some("address dependency (C11 orders no dependencies)");
+                }
+                // Data dependencies: a register feeding a write's value.
+                if let Stmt::WriteOnce { value, .. } = s {
+                    if expr_has_reg(value) {
+                        return Some("data dependency (C11 orders no dependencies)");
+                    }
+                }
+            }
+            None
+        }
+        test.threads.iter().find_map(|t| scan(&t.body))
+    }
+
     /// The synchronizes-with relation (C++11 29.3p2 and 29.8p2-4).
     pub fn sw(x: &Execution) -> Relation {
         let rel_store = x.releases().as_identity();
@@ -197,6 +277,32 @@ mod tests {
             .map(|pt| pt.name)
             .collect();
         assert_eq!(extended, vec!["LB+datas", "ISA2+po-rel+po-rel+acq"]);
+    }
+
+    #[test]
+    fn every_library_divergence_is_licensed() {
+        // The conformance whitelist must cover every §5.2 divergence …
+        for pt in library::all() {
+            let Some(expect) = pt.c11 else { continue };
+            if expect == pt.lkmm {
+                continue;
+            }
+            let t = pt.test();
+            assert!(
+                OriginalC11::divergence_license(&t).is_some(),
+                "{} diverges but has no license",
+                pt.name
+            );
+        }
+        // … while plain ONCE-only programs get none: the mapping keeps
+        // relaxed accesses relaxed, so their verdicts must coincide.
+        for name in ["MP", "SB", "2+2W"] {
+            let t = library::by_name(name).unwrap().test();
+            assert!(
+                OriginalC11::divergence_license(&t).is_none(),
+                "{name} should not be licensed to diverge"
+            );
+        }
     }
 
     #[test]

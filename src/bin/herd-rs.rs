@@ -4,6 +4,7 @@
 //! herd-rs [OPTIONS] FILE.litmus     # check one test
 //! herd-rs [OPTIONS] --library      # run every built-in paper test
 //! herd-rs [OPTIONS] serve          # JSON-lines service on stdin/stdout
+//! herd-rs [OPTIONS] conformance    # differential conformance campaign
 //! ```
 //!
 //! `--jobs N` (`-j N`) checks candidate executions on `N` worker threads;
@@ -25,9 +26,18 @@
 //! to a store. In `serve` mode `--budget-ms` becomes a per-request
 //! deadline and `--max-request-bytes` caps request-line length.
 //!
+//! `conformance` runs every generated cycle up to `--max-cycle-len`
+//! plus the named library through all seven checkers, evaluates the
+//! oracle invariants (native ≡ cat, SC ⊆ TSO ⊆ LKMM envelope, simulator
+//! soundness, the §5.2 C11 divergence whitelist), and shrinks each
+//! violation to a minimal discriminating litmus test. The default
+//! output is a human table; `--json` prints a deterministic JSON report
+//! (byte-identical on a warm re-run over the same `--store`).
+//!
 //! Exit codes: 0 success, 1 internal/transport failure, 2 usage error,
 //! 3 input-file I/O error, 4 litmus parse error, 5 store error,
-//! 6 single-test check inconclusive (budget exhausted).
+//! 6 single-test check inconclusive (budget exhausted), 7 conformance
+//! campaign found discrepancies.
 
 use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
 use linux_kernel_memory_model::service::{BatchChecker, VerdictStore};
@@ -43,6 +53,7 @@ use std::time::Duration;
 const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] [BUDGET] FILE.litmus\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] --library\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] serve\n\
+     \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [CONFORMANCE] conformance\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
      \x20 --queue-depth N  per-worker candidate queue bound (default 256)\n\
      \x20 --early-exit     stop each check once its verdict is decided (not with --store)\n\
@@ -54,7 +65,16 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --budget-steps N        stop a check after N model evaluation steps\n\
      \x20 --budget-ms N           per-check wall-clock bound (per-request in `serve`)\n\
      \x20 --max-request-bytes N   `serve` only: reject request lines longer than N bytes\n\
-     \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive";
+     \x20 CONFORMANCE options (a campaign runs all seven checkers; --model is rejected):\n\
+     \x20 --max-cycle-len N   generate diy cycles up to length N, 0..=6 (default 4; shortest is 4)\n\
+     \x20 --no-library        exclude the named paper library from the corpus\n\
+     \x20 --no-shrink         report discrepancies without minimizing them\n\
+     \x20 --sim-iterations N  per-arch simulator runs per forbidden test (default 200, 0 = off)\n\
+     \x20 --sim-seed N        base seed for the simulator soundness pass (default 7)\n\
+     \x20 --sim-stride N      simulate every Nth corpus test (default 1)\n\
+     \x20 --json              deterministic JSON report instead of the human table\n\
+     \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive,\n\
+     \x20             7 conformance discrepancies";
 
 const EXIT_INTERNAL: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -62,14 +82,21 @@ const EXIT_INPUT: u8 = 3;
 const EXIT_PARSE: u8 = 4;
 const EXIT_STORE: u8 = 5;
 const EXIT_INCONCLUSIVE: u8 = 6;
+const EXIT_DISCREPANCY: u8 = 7;
+
+/// Cycle lengths past this explode combinatorially; a bigger campaign
+/// should be driven through the library API, not one CLI invocation.
+const MAX_CAMPAIGN_CYCLE_LEN: usize = 6;
 
 /// Queue depths beyond this are a typo, not a tuning choice.
 const MAX_QUEUE_DEPTH: usize = 1 << 20;
 
 struct Cli {
     model: ModelChoice,
+    model_given: bool,
     file: Option<String>,
     serve_mode: bool,
+    conformance_mode: bool,
     run_library: bool,
     dot: bool,
     states: bool,
@@ -82,6 +109,14 @@ struct Cli {
     budget_steps: Option<u64>,
     budget_ms: Option<u64>,
     max_request_bytes: Option<usize>,
+    max_cycle_len: usize,
+    no_library: bool,
+    no_shrink: bool,
+    json: bool,
+    sim_iterations: u64,
+    sim_seed: u64,
+    sim_stride: usize,
+    conformance_flag_seen: bool,
 }
 
 fn usage_fail(message: &str) -> ExitCode {
@@ -104,8 +139,10 @@ fn parse_count(flag: &str, value: &str) -> Result<u64, String> {
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         model: ModelChoice::Lkmm,
+        model_given: false,
         file: None,
         serve_mode: false,
+        conformance_mode: false,
         run_library: false,
         dot: false,
         states: false,
@@ -118,6 +155,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         budget_steps: None,
         budget_ms: None,
         max_request_bytes: None,
+        max_cycle_len: 4,
+        no_library: false,
+        no_shrink: false,
+        json: false,
+        sim_iterations: 200,
+        sim_seed: 7,
+        sim_stride: 1,
+        conformance_flag_seen: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -144,6 +189,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.model = ModelChoice::parse_name(name).ok_or_else(|| {
                     format!("unknown model `{name}` (lkmm, lkmm-cat, sc, tso, armv8, power, c11)")
                 })?;
+                cli.model_given = true;
             }
             "--store" => {
                 let path = it.next().ok_or("--store needs a path argument")?;
@@ -170,6 +216,52 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.max_request_bytes =
                     Some(parse_count("--max-request-bytes", n)? as usize);
             }
+            "--max-cycle-len" => {
+                let n = it.next().ok_or("--max-cycle-len needs an argument")?;
+                let len = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|l| *l <= MAX_CAMPAIGN_CYCLE_LEN);
+                cli.max_cycle_len = len.ok_or_else(|| {
+                    format!(
+                        "--max-cycle-len needs an integer in 0..={MAX_CAMPAIGN_CYCLE_LEN}, \
+                         got `{n}` (longer campaigns explode combinatorially; drive them \
+                         through the conformance library API instead)"
+                    )
+                })?;
+                cli.conformance_flag_seen = true;
+            }
+            "--no-library" => {
+                cli.no_library = true;
+                cli.conformance_flag_seen = true;
+            }
+            "--no-shrink" => {
+                cli.no_shrink = true;
+                cli.conformance_flag_seen = true;
+            }
+            "--json" => {
+                cli.json = true;
+                cli.conformance_flag_seen = true;
+            }
+            "--sim-iterations" => {
+                let n = it.next().ok_or("--sim-iterations needs an argument")?;
+                cli.sim_iterations = n.parse::<u64>().map_err(|_| {
+                    format!("--sim-iterations needs a non-negative integer, got `{n}`")
+                })?;
+                cli.conformance_flag_seen = true;
+            }
+            "--sim-seed" => {
+                let n = it.next().ok_or("--sim-seed needs an argument")?;
+                cli.sim_seed = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--sim-seed needs a non-negative integer, got `{n}`"))?;
+                cli.conformance_flag_seen = true;
+            }
+            "--sim-stride" => {
+                let n = it.next().ok_or("--sim-stride needs an argument")?;
+                cli.sim_stride = parse_count("--sim-stride", n)? as usize;
+                cli.conformance_flag_seen = true;
+            }
             "--library" | "-l" => cli.run_library = true,
             "--dot" => cli.dot = true,
             "--states" | "-s" => cli.states = true,
@@ -180,10 +272,18 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            "serve" if !cli.serve_mode && cli.file.is_none() => cli.serve_mode = true,
+            "serve" if !cli.serve_mode && !cli.conformance_mode && cli.file.is_none() => {
+                cli.serve_mode = true;
+            }
+            "conformance" if !cli.serve_mode && !cli.conformance_mode && cli.file.is_none() => {
+                cli.conformance_mode = true;
+            }
             other => {
                 if cli.serve_mode {
                     return Err(format!("unexpected argument `{other}` after `serve`"));
+                }
+                if cli.conformance_mode {
+                    return Err(format!("unexpected argument `{other}` after `conformance`"));
                 }
                 if let Some(first) = &cli.file {
                     return Err(format!("unexpected second input file `{other}` (after `{first}`)"));
@@ -195,6 +295,18 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     if cli.serve_mode && (cli.run_library || cli.dot || cli.states || cli.early_exit) {
         return Err("`serve` takes only --model, --jobs, --queue-depth, --store, --salt, \
                     --budget-*, and --max-request-bytes"
+            .to_string());
+    }
+    if cli.conformance_mode
+        && (cli.run_library || cli.dot || cli.states || cli.early_exit || cli.model_given)
+    {
+        return Err("`conformance` runs all models over its own corpus; it takes only --jobs, \
+                    --queue-depth, --store, --salt, --budget-*, and the conformance flags"
+            .to_string());
+    }
+    if cli.conformance_flag_seen && !cli.conformance_mode {
+        return Err("--max-cycle-len/--no-library/--no-shrink/--json/--sim-* only apply to \
+                    `conformance`"
             .to_string());
     }
     if cli.max_request_bytes.is_some() && !cli.serve_mode {
@@ -280,6 +392,10 @@ fn main() -> ExitCode {
 
     if cli.serve_mode {
         return serve_mode(&cli);
+    }
+
+    if cli.conformance_mode {
+        return conformance_mode(&cli);
     }
 
     if cli.run_library {
@@ -373,6 +489,49 @@ fn main() -> ExitCode {
 struct GovernedOutcome {
     model_name: String,
     outcome: CheckOutcome,
+}
+
+/// `herd-rs conformance`: run a differential campaign and report.
+/// The report (stdout) is deterministic; cache observability goes to
+/// stderr. Exit 7 when any oracle found a discrepancy.
+fn conformance_mode(cli: &Cli) -> ExitCode {
+    use linux_kernel_memory_model::conformance::{
+        human_table, json_report, observability_lines, run_campaign, CampaignConfig,
+        CampaignError, SimConfig,
+    };
+    let cfg = CampaignConfig {
+        max_cycle_len: cli.max_cycle_len,
+        include_library: !cli.no_library,
+        salt: cli.salt.clone(),
+        jobs: cli.jobs,
+        queue_depth: cli.queue_depth.unwrap_or(256),
+        budget: cli.budget(true),
+        store_path: cli.store.as_ref().map(std::path::PathBuf::from),
+        sim: SimConfig {
+            iterations: cli.sim_iterations,
+            seed: cli.sim_seed,
+            stride: cli.sim_stride,
+        },
+        shrink: !cli.no_shrink,
+    };
+    let report = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(CampaignError::Store(e)) => {
+            return fail_code(EXIT_STORE, &format!("conformance: {e}"));
+        }
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("conformance: {e}")),
+    };
+    eprint!("{}", observability_lines(&report));
+    if cli.json {
+        println!("{}", json_report(&report, &cfg));
+    } else {
+        print!("{}", human_table(&report));
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_DISCREPANCY)
+    }
 }
 
 fn serve_mode(cli: &Cli) -> ExitCode {

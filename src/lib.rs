@@ -26,7 +26,12 @@
 //! * [`klitmus`] — a host runner on real threads and atomics;
 //! * [`service`] — content-addressed verdict store, batch checking
 //!   through the cache, and the JSON-lines serve mode behind
-//!   `herd-rs serve`.
+//!   `herd-rs serve`;
+//! * [`conformance`] — the differential conformance engine behind
+//!   `herd-rs conformance`: campaign driver, verdict matrix, oracle
+//!   invariants (native≡cat, the SC ⊆ TSO ⊆ LKMM envelope, simulator
+//!   soundness, the §5.2 C11 divergence whitelist), and a
+//!   delta-debugging discrepancy shrinker.
 //!
 //! # Quickstart
 //!
@@ -49,6 +54,7 @@
 
 pub use lkmm as model;
 pub use lkmm_cat as cat;
+pub use lkmm_conformance as conformance;
 pub use lkmm_exec as exec;
 pub use lkmm_generator as generator;
 pub use lkmm_klitmus as klitmus;
