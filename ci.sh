@@ -72,6 +72,30 @@ cmp /tmp/lkmm-library-plain.out /tmp/lkmm-library-budgeted.out
 rm -f /tmp/lkmm-ci-budget.litmus /tmp/lkmm-ci-budget.err \
     /tmp/lkmm-library-budgeted.out /tmp/lkmm-library-plain.out
 
+echo "== multi-model: one enumeration pass, byte-identical to per-model runs =="
+printf 'C ci-multi\n{ x=0; y=0; }\nP0(int *x, int *y) { WRITE_ONCE(*x, 1); int r0; r0 = READ_ONCE(*y); }\nP1(int *x, int *y) { WRITE_ONCE(*y, 1); int r0; r0 = READ_ONCE(*x); }\nexists (0:r0=0 /\\ 1:r0=0)\n' \
+    > /tmp/lkmm-ci-multi.litmus
+ALL_MODELS="lkmm lkmm-cat sc tso armv8 power c11"
+"$BIN" --models "$(echo "$ALL_MODELS" | tr ' ' ',')" /tmp/lkmm-ci-multi.litmus \
+    > /tmp/lkmm-multi.out
+for M in $ALL_MODELS; do
+    "$BIN" --model "$M" /tmp/lkmm-ci-multi.litmus
+done > /tmp/lkmm-multi-seq.out
+cmp /tmp/lkmm-multi.out /tmp/lkmm-multi-seq.out
+# The shared pass stays job-count invariant like everything else.
+"$BIN" --models lkmm,sc,c11 --jobs 1 /tmp/lkmm-ci-multi.litmus > /tmp/lkmm-multi-j1.out
+"$BIN" --models lkmm,sc,c11 --jobs 4 /tmp/lkmm-ci-multi.litmus > /tmp/lkmm-multi-j4.out
+cmp /tmp/lkmm-multi-j1.out /tmp/lkmm-multi-j4.out
+# An unknown model name is rejected at parse time: usage error, exit 2.
+set +e
+"$BIN" --models lkmm,bogus /tmp/lkmm-ci-multi.litmus > /dev/null 2> /tmp/lkmm-multi.err
+MULTI_STATUS=$?
+set -e
+test "$MULTI_STATUS" -eq 2
+grep -q 'unknown model `bogus`' /tmp/lkmm-multi.err
+rm -f /tmp/lkmm-ci-multi.litmus /tmp/lkmm-multi.out /tmp/lkmm-multi-seq.out \
+    /tmp/lkmm-multi-j1.out /tmp/lkmm-multi-j4.out /tmp/lkmm-multi.err
+
 echo "== serve hardening: hostile input, request limits, bounded wall-clock =="
 SERVE_CMD="$BIN serve --max-request-bytes 4096 --budget-ms 5000"
 if command -v timeout > /dev/null 2>&1; then
@@ -151,6 +175,15 @@ echo "== conformance bench: cold vs store-warm campaign throughput =="
 BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-conformance.XXXXXX)
 cargo build --release -q -p lkmm-bench --bin conformance
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/conformance" --iters 3 )
+rm -rf "$BENCH_DIR"
+
+echo "== multi-model bench: single enumeration vs sequential columns =="
+# The run asserts cell-identical verdicts and the >=3x enumeration
+# reduction; the recorded BENCH_MULTIMODEL.json is regenerated
+# deliberately from the repo root.
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-multimodel.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin multimodel
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/multimodel" --iters 3 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

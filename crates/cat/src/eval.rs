@@ -2,7 +2,7 @@
 
 use crate::ast::{Binding, CheckKind, Expr, Instr, Model};
 use lkmm_core::budget::StepFuel;
-use lkmm_exec::Execution;
+use lkmm_exec::{ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::{EventSet, Relation};
 use std::collections::HashMap;
@@ -107,7 +107,7 @@ type Env = HashMap<String, Value>;
 /// Returns [`EvalError`] for semantic errors; a type-correct model always
 /// evaluates.
 pub fn evaluate(model: &Model, x: &Execution) -> Result<CatOutcome, EvalError> {
-    let mut env = static_env(x)?;
+    let mut env = static_env(x, &ExecFacts::new(x))?;
     insert_witness(&mut env, x);
     evaluate_with_env(model, x.universe(), env, None)
 }
@@ -381,8 +381,10 @@ fn unary_rel(
 /// the candidate's shared pre-execution, so a [`CatSession`] computes it
 /// once per thread-outcome combination and reuses it across all the
 /// `rf`/`co` witnesses — the `rf`/`co` entries themselves are added per
-/// candidate by [`insert_witness`].
-fn static_env(x: &Execution) -> Result<Env, EvalError> {
+/// candidate by [`insert_witness`]. The derived identifiers (`loc`,
+/// `int`, `ext`, `crit` and every event set) are read off the shared
+/// facts layer rather than recomputed from scratch.
+fn static_env(x: &Execution, facts: &ExecFacts<'_>) -> Result<Env, EvalError> {
     if x.events.iter().any(|e| e.srcu().is_some()) {
         return Err(EvalError {
             message: "SRCU events are not exposed to cat models; use the native LKMM".into(),
@@ -398,31 +400,31 @@ fn static_env(x: &Execution) -> Result<Env, EvalError> {
     rel("data", (*x.data).clone());
     rel("ctrl", (*x.ctrl).clone());
     rel("rmw", (*x.rmw).clone());
-    rel("loc", x.loc_rel());
-    rel("int", x.int_rel());
-    rel("ext", x.ext_rel());
+    rel("loc", facts.loc_rel().clone());
+    rel("int", facts.int_rel().clone());
+    rel("ext", facts.ext_rel().clone());
     rel("id", Relation::identity(n));
-    rel("crit", x.crit());
+    rel("crit", facts.crit().clone());
     let mut set = |name: &str, s: EventSet| {
         env.insert(name.to_string(), Value::Set(Arc::new(s)));
     };
-    set("R", x.reads());
-    set("W", x.writes());
-    set("M", x.mem());
-    set("IW", x.init_writes());
+    set("R", facts.reads().clone());
+    set("W", facts.writes().clone());
+    set("M", facts.mem().clone());
+    set("IW", facts.init_writes().clone());
     set(
         "F",
         x.events_where(|e| matches!(e.kind, lkmm_exec::EventKind::Fence(_))),
     );
-    set("Acquire", x.acquires());
-    set("Release", x.releases());
-    set("Rmb", x.fences(FenceKind::Rmb));
-    set("Wmb", x.fences(FenceKind::Wmb));
-    set("Mb", x.fences(FenceKind::Mb));
-    set("Rb-dep", x.fences(FenceKind::RbDep));
-    set("Rcu-lock", x.fences(FenceKind::RcuLock));
-    set("Rcu-unlock", x.fences(FenceKind::RcuUnlock));
-    set("Sync", x.fences(FenceKind::SyncRcu));
+    set("Acquire", facts.acquires().clone());
+    set("Release", facts.releases().clone());
+    set("Rmb", facts.fences(FenceKind::Rmb).clone());
+    set("Wmb", facts.fences(FenceKind::Wmb).clone());
+    set("Mb", facts.fences(FenceKind::Mb).clone());
+    set("Rb-dep", facts.fences(FenceKind::RbDep).clone());
+    set("Rcu-lock", facts.fences(FenceKind::RcuLock).clone());
+    set("Rcu-unlock", facts.fences(FenceKind::RcuUnlock).clone());
+    set("Sync", facts.fences(FenceKind::SyncRcu).clone());
     set("_UNIV", EventSet::full(n));
     Ok(env)
 }
@@ -469,12 +471,23 @@ impl<'a> CatSession<'a> {
     /// Same as [`evaluate`]; with fuel installed, additionally
     /// [`EvalError::fuel_exhausted`].
     pub fn evaluate(&mut self, x: &Execution) -> Result<CatOutcome, EvalError> {
+        self.evaluate_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::evaluate`] against a pre-computed facts layer, so a cache
+    /// miss fills the static environment from already-derived relations
+    /// instead of recomputing them from the execution.
+    pub fn evaluate_with(
+        &mut self,
+        x: &Execution,
+        facts: &ExecFacts<'_>,
+    ) -> Result<CatOutcome, EvalError> {
         let hit = self
             .cache
             .as_ref()
             .is_some_and(|(events, _)| Arc::ptr_eq(events, &x.events));
         if !hit {
-            self.cache = Some((Arc::clone(&x.events), static_env(x)?));
+            self.cache = Some((Arc::clone(&x.events), static_env(x, facts)?));
         }
         let mut env = self.cache.as_ref().expect("cache filled above").1.clone();
         insert_witness(&mut env, x);

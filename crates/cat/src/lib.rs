@@ -45,7 +45,7 @@ pub use builtin::LINUX_KERNEL_CAT;
 pub use eval::{CatOutcome, CatSession, EvalError};
 pub use parser::CatParseError;
 
-use lkmm_exec::{ConsistencyModel, Execution, ModelSession};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution, ModelSession};
 
 /// A parsed cat model, usable as a [`ConsistencyModel`].
 #[derive(Clone, Debug)]
@@ -94,7 +94,14 @@ impl ConsistencyModel for CatModel {
     /// Panics if the model has semantic errors (caught on first use; parse
     /// errors are already impossible here).
     fn allows(&self, x: &Execution) -> bool {
-        let allowed = self.evaluate(x).expect("cat evaluation failed").allowed();
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let allowed = CatSession::new(&self.model)
+            .evaluate_with(x, facts)
+            .expect("cat evaluation failed")
+            .allowed();
         // `cat.misjudge` deliberately inverts verdicts so the conformance
         // oracles can be demonstrated against a broken checker.
         if lkmm_core::faultpoint::should_fail("cat.misjudge") {
@@ -122,7 +129,14 @@ impl ModelSession for CatSession<'_> {
     /// Panics if the model has semantic errors, like
     /// [`ConsistencyModel::allows`] on [`CatModel`].
     fn allows(&mut self, x: &Execution) -> bool {
-        let allowed = self.evaluate(x).expect("cat evaluation failed").allowed();
+        ModelSession::allows_with(self, x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&mut self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let allowed = self
+            .evaluate_with(x, facts)
+            .expect("cat evaluation failed")
+            .allowed();
         if lkmm_core::faultpoint::should_fail("cat.misjudge") {
             !allowed
         } else {
@@ -134,7 +148,15 @@ impl ModelSession for CatSession<'_> {
     /// errors still panic (contained by the pipeline's per-candidate
     /// `catch_unwind` in governed runs).
     fn try_allows(&mut self, x: &Execution) -> Result<bool, lkmm_exec::EvalStop> {
-        let allowed = match self.evaluate(x) {
+        self.try_allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn try_allows_with(
+        &mut self,
+        x: &Execution,
+        facts: &ExecFacts<'_>,
+    ) -> Result<bool, lkmm_exec::EvalStop> {
+        let allowed = match self.evaluate_with(x, facts) {
             Ok(outcome) => outcome.allowed(),
             Err(e) if e.is_fuel_exhausted() => return Err(lkmm_exec::EvalStop),
             Err(e) => panic!("cat evaluation failed: {e}"),

@@ -4,10 +4,13 @@
 //! LKMM formulations, the SC/TSO/ARMv8/Power comparison models, and
 //! original C11 under the P0124 mapping. A [`ModelSet`] holds the
 //! instantiated checkers (tests swap in deliberately broken mutants via
-//! [`ModelSet::replace`]); [`build_matrix`] runs the corpus through each
-//! checker via the PR-2 [`BatchChecker`], so a matrix over an on-disk
-//! store is incremental: re-running a campaign replays every cached
-//! verdict and enumerates nothing.
+//! [`ModelSet::replace`]); [`build_matrix`] runs the corpus through the
+//! single-enumeration [`MultiBatchChecker`]: each cold test is
+//! enumerated **once** and every missing column's verdict is read off
+//! that one pass via the shared execution-facts layer. Cache keys are
+//! unchanged from the per-column [`lkmm_service::BatchChecker`] era, so
+//! a matrix over an on-disk store is incremental: re-running a campaign
+//! replays every cached verdict and enumerates nothing.
 //!
 //! Not every checker covers every test: the hardware models and C11 have
 //! no RCU read-side semantics, and C11 has no RCU at all ("–" in
@@ -19,7 +22,7 @@ use lkmm_litmus::ast::{Stmt, Test};
 use lkmm_litmus::library::Expect;
 use lkmm_litmus::FenceKind;
 use lkmm_models::OriginalC11;
-use lkmm_service::{BatchChecker, VerdictStore};
+use lkmm_service::{MultiBatchChecker, MultiColumn, VerdictStore};
 use std::io;
 use std::path::Path;
 
@@ -276,10 +279,16 @@ impl Default for MatrixOptions<'_> {
 
 /// Build the verdict matrix for `corpus` under `set`.
 ///
-/// Models run sequentially, each as one [`BatchChecker`] pass over the
-/// tests it supports; every pass re-opens the store (cache keys embed
-/// the model name, so one store file holds all columns). Inconclusive
-/// outcomes occupy their cell but are never written back.
+/// All columns run through one [`MultiBatchChecker`]: per test, every
+/// column is first answered from the store, and the columns still
+/// missing share a single governed enumeration pass. Per-column cache
+/// keys are byte-identical to the old one-`BatchChecker`-per-column
+/// scheme (one salt per column: the checker folds the model's *name*
+/// into every key, but the native and cat formulations both answer to
+/// "LKMM" — without a per-column salt a warm store would replay one
+/// column's verdicts for the other, silently blinding the native≡cat
+/// oracle). Inconclusive outcomes occupy their cell but are never
+/// written back.
 ///
 /// # Errors
 ///
@@ -298,42 +307,49 @@ pub fn build_matrix(
             cells: vec![None; ModelId::ALL.len()],
         })
         .collect();
+    let tests: Vec<Test> = corpus.iter().map(|e| e.test.clone()).collect();
+    let mask: Vec<Vec<bool>> = ModelId::ALL
+        .iter()
+        .map(|&id| tests.iter().map(|t| id.supports(t)).collect())
+        .collect();
+
+    let store = match opts.store_path {
+        Some(path) => VerdictStore::open(path)?,
+        None => VerdictStore::in_memory(),
+    };
+    let columns: Vec<MultiColumn<'_>> = ModelId::ALL
+        .iter()
+        .map(|&id| MultiColumn {
+            model: set.get(id),
+            salt: format!("{}|col:{}", opts.salt, id.column()),
+        })
+        .collect();
+    let mut checker = MultiBatchChecker::new(columns, store)
+        .with_jobs(opts.jobs)
+        .with_queue_depth(opts.queue_depth)
+        .with_budget(opts.budget.clone());
+    let report = match checker.check_corpus(&tests, &mask) {
+        Ok(r) => r,
+        Err(lkmm_service::BatchError::Io(e)) => return Err(e),
+        Err(lkmm_service::BatchError::Generate(e)) => {
+            unreachable!("check_corpus does not generate: {e}")
+        }
+    };
+
     let mut passes = Vec::with_capacity(ModelId::ALL.len());
-
-    for &id in &ModelId::ALL {
-        let mut pass = ModelPass::default();
-        let supported: Vec<usize> = (0..rows.len())
-            .filter(|&i| ModelId::supports(id, &rows[i].test))
-            .collect();
-        pass.skipped = rows.len() - supported.len();
-        let tests: Vec<Test> = supported.iter().map(|&i| rows[i].test.clone()).collect();
-
-        let store = match opts.store_path {
-            Some(path) => VerdictStore::open(path)?,
-            None => VerdictStore::in_memory(),
+    for (col, &id) in report.columns.iter().zip(&ModelId::ALL) {
+        let mut pass = ModelPass {
+            hits: col.hits,
+            computed: col.computed,
+            deduped: col.deduped,
+            candidates_enumerated: col.candidates_enumerated,
+            ..ModelPass::default()
         };
-        // One salt per model column: the batch checker folds the model's
-        // *name* into every key, but the native and cat formulations both
-        // answer to "LKMM" — without a per-column salt a warm store would
-        // replay one column's verdicts for the other, silently blinding
-        // the native≡cat oracle.
-        let salt = format!("{}|col:{}", opts.salt, id.column());
-        let mut checker = BatchChecker::new(set.get(id), store, &salt)
-            .with_jobs(opts.jobs)
-            .with_queue_depth(opts.queue_depth)
-            .with_budget(opts.budget.clone());
-        let report = match checker.check_corpus(&tests) {
-            Ok(r) => r,
-            Err(lkmm_service::BatchError::Io(e)) => return Err(e),
-            Err(lkmm_service::BatchError::Generate(e)) => {
-                unreachable!("check_corpus does not generate: {e}")
-            }
-        };
-        pass.hits = report.hits;
-        pass.computed = report.computed;
-        pass.deduped = report.deduped;
-        pass.candidates_enumerated = report.candidates_enumerated;
-        for (&row_idx, outcome) in supported.iter().zip(report.outcomes) {
+        for (row_idx, outcome) in col.outcomes.iter().enumerate() {
+            let Some(outcome) = outcome else {
+                pass.skipped += 1;
+                continue;
+            };
             pass.checked += 1;
             match &outcome.outcome {
                 CheckOutcome::Complete(result) => match result.verdict {
@@ -342,7 +358,7 @@ pub fn build_matrix(
                 },
                 CheckOutcome::Inconclusive { .. } => pass.inconclusive += 1,
             }
-            rows[row_idx].cells[id.index()] = Some(outcome.outcome);
+            rows[row_idx].cells[id.index()] = Some(outcome.outcome.clone());
         }
         passes.push(pass);
     }

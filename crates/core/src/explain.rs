@@ -138,8 +138,9 @@ fn axiom_relation(x: &Execution, r: &LkmmRelations, axiom: Axiom) -> Relation {
 /// println!("{v}"); // e.g. "violates Hb: …; cycle: e5 -prop-> e7 -rmb-> e5"
 /// ```
 pub fn explain_violation(x: &Execution) -> Option<Violation> {
+    let facts = lkmm_exec::ExecFacts::new(x);
     let r = LkmmRelations::compute(x);
-    let axiom = Lkmm::new().violated_axiom_with(x, &r)?;
+    let axiom = Lkmm::new().violated_axiom_with(&r, &facts)?;
     let rel = axiom_relation(x, &r, axiom);
     let nodes = rel.find_cycle()?;
     let mut cycle = Vec::with_capacity(nodes.len());

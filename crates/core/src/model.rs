@@ -2,7 +2,7 @@
 //! plus the RCU axiom of Figure 12.
 
 use crate::relations::{LkmmRelations, LkmmStatics};
-use lkmm_exec::{ConsistencyModel, Event, Execution, ModelSession};
+use lkmm_exec::{ConsistencyModel, Event, ExecFacts, Execution, ModelSession};
 use std::fmt;
 use std::sync::Arc;
 
@@ -66,17 +66,26 @@ impl Lkmm {
     /// The first violated axiom, checked in Figure 3 order, or `None` if
     /// the execution is allowed.
     pub fn violated_axiom(&self, x: &Execution) -> Option<Axiom> {
-        let r = LkmmRelations::compute(x);
-        self.violated_axiom_with(x, &r)
+        let facts = ExecFacts::new(x);
+        let statics = LkmmStatics::compute_with_facts(x, &facts);
+        let r = LkmmRelations::compute_with_facts(x, &statics, &facts);
+        self.violated_axiom_with(&r, &facts)
     }
 
-    /// As [`Lkmm::violated_axiom`], reusing precomputed relations.
-    pub fn violated_axiom_with(&self, x: &Execution, r: &LkmmRelations) -> Option<Axiom> {
-        if !r.po_loc.union(&r.com).is_acyclic() {
+    /// As [`Lkmm::violated_axiom`], reusing precomputed relations. The
+    /// Scpv and At axioms read the shared facts layer directly — the
+    /// `acyclic(po-loc ∪ com)` and `empty(rmw ∩ (fre ; coe))` checks are
+    /// common to every hardware model, so their verdicts are memoised
+    /// once per candidate, not recomputed per model.
+    pub fn violated_axiom_with(
+        &self,
+        r: &LkmmRelations,
+        facts: &ExecFacts<'_>,
+    ) -> Option<Axiom> {
+        if !facts.sc_per_loc_ok() {
             return Some(Axiom::Scpv);
         }
-        let fre_coe = r.fr.intersection(&r.ext).seq(&x.co.intersection(&r.ext));
-        if !x.rmw.intersection(&fre_coe).is_empty() {
+        if !facts.atomicity_ok() {
             return Some(Axiom::At);
         }
         if !r.hb.is_acyclic() {
@@ -105,7 +114,13 @@ impl ConsistencyModel for Lkmm {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        let allowed = self.violated_axiom(x).is_none();
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let statics = LkmmStatics::compute_with_facts(x, facts);
+        let r = LkmmRelations::compute_with_facts(x, &statics, facts);
+        let allowed = self.violated_axiom_with(&r, facts).is_none();
         // `lkmm.misjudge` deliberately inverts verdicts so the conformance
         // oracles can be demonstrated against a broken checker.
         if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
@@ -137,16 +152,21 @@ pub struct LkmmSession {
 
 impl ModelSession for LkmmSession {
     fn allows(&mut self, x: &Execution) -> bool {
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&mut self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
         let hit = self
             .cache
             .as_ref()
             .is_some_and(|(events, _)| Arc::ptr_eq(events, &x.events));
         if !hit {
-            self.cache = Some((Arc::clone(&x.events), LkmmStatics::compute(x)));
+            self.cache =
+                Some((Arc::clone(&x.events), LkmmStatics::compute_with_facts(x, facts)));
         }
         let statics = &self.cache.as_ref().expect("cache filled above").1;
-        let r = LkmmRelations::compute_with(x, statics);
-        let allowed = self.model.violated_axiom_with(x, &r).is_none();
+        let r = LkmmRelations::compute_with_facts(x, statics, facts);
+        let allowed = self.model.violated_axiom_with(&r, facts).is_none();
         if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
             !allowed
         } else {
@@ -158,12 +178,20 @@ impl ModelSession for LkmmSession {
     /// (no open-ended fixpoints), so the step cost of one candidate is
     /// charged as `1 + |events|` units against the shared tank.
     fn try_allows(&mut self, x: &Execution) -> Result<bool, lkmm_exec::EvalStop> {
+        self.try_allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn try_allows_with(
+        &mut self,
+        x: &Execution,
+        facts: &ExecFacts<'_>,
+    ) -> Result<bool, lkmm_exec::EvalStop> {
         if let Some(fuel) = &self.fuel {
             if !fuel.consume(1 + x.universe() as u64) {
                 return Err(lkmm_exec::EvalStop);
             }
         }
-        Ok(self.allows(x))
+        Ok(self.allows_with(x, facts))
     }
 
     fn install_step_fuel(&mut self, fuel: Arc<lkmm_core::budget::StepFuel>) {

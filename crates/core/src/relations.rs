@@ -5,7 +5,7 @@
 //! debug and lets tests assert the paper's walked examples edge by edge
 //! (e.g. "(a, c) ∈ cumul-fence" in Figure 5).
 
-use lkmm_exec::Execution;
+use lkmm_exec::{ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::{EventSet, Relation};
 
@@ -72,31 +72,40 @@ impl LkmmStatics {
     /// Compute the witness-independent relations for `x`'s
     /// pre-execution.
     pub fn compute(x: &Execution) -> Self {
+        Self::compute_with_facts(x, &ExecFacts::new(x))
+    }
+
+    /// As [`LkmmStatics::compute`], cloning the shared base relations
+    /// (`int`, `ext`, `po-loc`, fence pairs, `gp`, `crit`, SRCU
+    /// structure) from a facts layer instead of recomputing them — so
+    /// several models checking the same pre-execution pay for each base
+    /// relation once.
+    pub fn compute_with_facts(x: &Execution, facts: &ExecFacts<'_>) -> Self {
         let n = x.universe();
         let id = Relation::identity(n);
-        let int = x.int_rel();
-        let ext = int.complement();
-        let reads = x.reads();
-        let writes = x.writes();
-        let po_loc = x.po_loc();
+        let int = facts.int_rel().clone();
+        let ext = facts.ext_rel().clone();
+        let reads = facts.reads().clone();
+        let writes = facts.writes().clone();
+        let po_loc = facts.po_loc().clone();
 
         let rr = reads.cross(&reads);
         let ww = writes.cross(&writes);
-        let rmb = x.fencerel(FenceKind::Rmb).intersection(&rr);
-        let wmb = x.fencerel(FenceKind::Wmb).intersection(&ww);
-        let mb = x.fencerel(FenceKind::Mb);
-        let rb_dep = x.fencerel(FenceKind::RbDep).intersection(&rr);
-        let acquires_id = x.acquires().as_identity();
-        let releases_id = x.releases().as_identity();
+        let rmb = facts.fencerel(FenceKind::Rmb).intersection(&rr);
+        let wmb = facts.fencerel(FenceKind::Wmb).intersection(&ww);
+        let mb = facts.fencerel(FenceKind::Mb).clone();
+        let rb_dep = facts.fencerel(FenceKind::RbDep).intersection(&rr);
+        let acquires_id = facts.acquires().as_identity();
+        let releases_id = facts.releases().as_identity();
         let acq_po = acquires_id.seq(&x.po);
         let po_rel = x.po.seq(&releases_id);
-        let gp = x.gp();
+        let gp = facts.gp().clone();
         // synchronize_srcu provides the same strong-fence ordering as
         // synchronize_rcu (the kernel's documented guarantee); the real
         // linux-kernel.cat likewise puts Sync-srcu into gp.
-        let srcu_domains = x.srcu_domains();
-        let gp_strong = srcu_domains.iter().fold(gp.clone(), |mut acc, &d| {
-            acc.union_in_place(&x.srcu_gp(d));
+        let srcu_facts = facts.srcu();
+        let gp_strong = srcu_facts.iter().fold(gp.clone(), |mut acc, d| {
+            acc.union_in_place(&d.gp);
             acc
         });
 
@@ -108,13 +117,12 @@ impl LkmmStatics {
         fence.union_in_place(&rmb);
         fence.union_in_place(&acq_po);
 
-        let rscs = x.po.seq(&x.crit().inverse()).seq(&x.po.reflexive());
-        let srcu = srcu_domains
+        let rscs = x.po.seq(&facts.crit().inverse()).seq(&x.po.reflexive());
+        let srcu = srcu_facts
             .iter()
-            .map(|&d| {
-                let sgp = x.srcu_gp(d);
-                let srscs = x.po.seq(&x.srcu_crit(d).inverse()).seq(&x.po.reflexive());
-                (sgp, srscs)
+            .map(|d| {
+                let srscs = x.po.seq(&d.crit.inverse()).seq(&x.po.reflexive());
+                (d.gp.clone(), srscs)
             })
             .collect();
 
@@ -229,12 +237,20 @@ impl LkmmRelations {
     /// witness-independent relations (see [`LkmmStatics`]). Only the
     /// `rf`/`co`-dependent relations are recomputed here.
     pub fn compute_with(x: &Execution, s: &LkmmStatics) -> Self {
-        let rfi = x.rf.intersection(&s.int);
-        let rfe = x.rf.intersection(&s.ext);
+        Self::compute_with_facts(x, s, &ExecFacts::new(x))
+    }
 
-        let fr = x.fr();
-        let mut com = x.rf.union(&x.co);
-        com.union_in_place(&fr);
+    /// As [`LkmmRelations::compute_with`], additionally cloning the
+    /// witness-dependent base relations (`fr`, `com`, `rfi`/`rfe`) from
+    /// a shared facts layer instead of re-deriving them from `rf`/`co` —
+    /// the per-candidate hot path when several models share one
+    /// enumeration pass.
+    pub fn compute_with_facts(x: &Execution, s: &LkmmStatics, facts: &ExecFacts<'_>) -> Self {
+        let rfi = facts.rfi().clone();
+        let rfe = facts.rfe().clone();
+
+        let fr = facts.fr().clone();
+        let com = facts.com().clone();
 
         let rfi_rel_acq = s.releases_id.seq(&rfi).seq(&s.acquires_id);
 

@@ -1,0 +1,455 @@
+//! Shared, lazily-memoised derived relations for candidate executions.
+//!
+//! Every consistency model in this workspace is a set of axioms over the
+//! same base relations: `fr`, `com`, `po-loc`, `loc`, `int`/`ext`, fence
+//! and acquire/release sets, RCU critical sections. Before this layer
+//! each checker recomputed those privately per candidate — seven models
+//! over one candidate meant seven `fr = rf⁻¹ ; co` sequences and seven
+//! `O(n²)` `loc`/`int` rebuilds. [`ExecFacts`] computes each fact at
+//! most once per candidate and lends it out by reference, so N models
+//! checking the same execution share one copy of everything.
+//!
+//! The facts split into two tiers, mirroring how executions share their
+//! pre-witness structure behind `Arc`s:
+//!
+//! * [`StaticExecFacts`] — facts that depend only on the pre-execution
+//!   (events, `po`, dependencies): `loc`, `int`/`ext`, `po-loc`, event
+//!   sets, fence relations, `gp`, `crit`, SRCU structure. All candidates
+//!   of one thread-outcome combination share these; a [`FactsCache`]
+//!   reuses them across candidates, keyed on the identity of the shared
+//!   event list (`Arc::ptr_eq`), exactly like the model sessions' own
+//!   per-pre-execution caches.
+//! * [`ExecFacts`] — the witness-dependent tier (`fr`, `com`, `rfe`,
+//!   `fre ; coe`, the shared coherence/atomicity axiom verdicts), fresh
+//!   per candidate, borrowing the static tier.
+//!
+//! Everything is single-threaded by design (`Rc` + `OnceCell`): the
+//! pipeline gives each worker its own [`FactsCache`], the same way each
+//! worker owns its model sessions.
+
+use crate::event::{Event, LocId};
+use crate::execution::Execution;
+use lkmm_litmus::FenceKind;
+use lkmm_relation::{EventSet, Relation};
+use std::cell::OnceCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Number of [`FenceKind`] variants (the per-kind fact tables are
+/// fixed-size arrays indexed by [`fence_index`]).
+const N_FENCE_KINDS: usize = 7;
+
+/// Dense index of a fence kind into the per-kind fact tables.
+fn fence_index(kind: FenceKind) -> usize {
+    match kind {
+        FenceKind::Rmb => 0,
+        FenceKind::Wmb => 1,
+        FenceKind::Mb => 2,
+        FenceKind::RbDep => 3,
+        FenceKind::RcuLock => 4,
+        FenceKind::RcuUnlock => 5,
+        FenceKind::SyncRcu => 6,
+    }
+}
+
+/// The witness-independent facts of one SRCU domain.
+#[derive(Clone, Debug)]
+pub struct SrcuDomainFacts {
+    /// The domain these facts describe.
+    pub domain: LocId,
+    /// `gp` for this domain: `(po ∩ (_ × SyncSrcu_d)) ; po?`.
+    pub gp: Relation,
+    /// Outermost lock/unlock matching for this domain.
+    pub crit: Relation,
+}
+
+/// Lazily-computed facts shared by every candidate of one pre-execution.
+///
+/// Each field is computed on first access — through an [`ExecFacts`]
+/// borrowing this tier — and memoised for every later candidate and
+/// every later model. A fresh instance knows nothing; it fills in from
+/// whichever execution first asks, which is sound because all candidates
+/// sharing it (see [`FactsCache`]) share the identical `Arc`'d
+/// pre-execution structure.
+#[derive(Debug, Default)]
+pub struct StaticExecFacts {
+    loc_rel: OnceCell<Relation>,
+    int: OnceCell<Relation>,
+    ext: OnceCell<Relation>,
+    po_loc: OnceCell<Relation>,
+    reads: OnceCell<EventSet>,
+    writes: OnceCell<EventSet>,
+    init_writes: OnceCell<EventSet>,
+    mem: OnceCell<EventSet>,
+    acquires: OnceCell<EventSet>,
+    releases: OnceCell<EventSet>,
+    fences: [OnceCell<EventSet>; N_FENCE_KINDS],
+    fencerels: [OnceCell<Relation>; N_FENCE_KINDS],
+    gp: OnceCell<Relation>,
+    crit: OnceCell<Relation>,
+    srcu: OnceCell<Vec<SrcuDomainFacts>>,
+}
+
+/// All derived relations of one candidate execution, computed at most
+/// once and borrowed by every checker.
+///
+/// Construct with [`ExecFacts::new`] for one-off use, or through a
+/// [`FactsCache`] to share the static tier across the candidates of a
+/// pre-execution. Accessors return references; nothing is recomputed on
+/// a second call, whether it comes from the same model or a different
+/// one.
+#[derive(Debug)]
+pub struct ExecFacts<'x> {
+    x: &'x Execution,
+    statics: Rc<StaticExecFacts>,
+    fr: OnceCell<Relation>,
+    com: OnceCell<Relation>,
+    rfi: OnceCell<Relation>,
+    rfe: OnceCell<Relation>,
+    coe: OnceCell<Relation>,
+    fre: OnceCell<Relation>,
+    fre_seq_coe: OnceCell<Relation>,
+    sc_per_loc_ok: OnceCell<bool>,
+    atomicity_ok: OnceCell<bool>,
+}
+
+impl<'x> ExecFacts<'x> {
+    /// Facts for `x` with a fresh static tier. Use a [`FactsCache`] when
+    /// checking many candidates of one test.
+    pub fn new(x: &'x Execution) -> Self {
+        Self::with_statics(x, Rc::new(StaticExecFacts::default()))
+    }
+
+    fn with_statics(x: &'x Execution, statics: Rc<StaticExecFacts>) -> Self {
+        ExecFacts {
+            x,
+            statics,
+            fr: OnceCell::new(),
+            com: OnceCell::new(),
+            rfi: OnceCell::new(),
+            rfe: OnceCell::new(),
+            coe: OnceCell::new(),
+            fre: OnceCell::new(),
+            fre_seq_coe: OnceCell::new(),
+            sc_per_loc_ok: OnceCell::new(),
+            atomicity_ok: OnceCell::new(),
+        }
+    }
+
+    /// The execution these facts describe.
+    pub fn execution(&self) -> &'x Execution {
+        self.x
+    }
+
+    // --- static tier: pre-execution facts ---
+
+    /// `loc`: pairs of memory accesses to the same location.
+    pub fn loc_rel(&self) -> &Relation {
+        self.statics.loc_rel.get_or_init(|| self.x.loc_rel())
+    }
+
+    /// `int`: same-thread pairs (reflexive).
+    pub fn int_rel(&self) -> &Relation {
+        self.statics.int.get_or_init(|| self.x.int_rel())
+    }
+
+    /// `ext = ~int`.
+    pub fn ext_rel(&self) -> &Relation {
+        self.statics.ext.get_or_init(|| self.int_rel().complement())
+    }
+
+    /// `po-loc`: program order restricted to same-location accesses.
+    pub fn po_loc(&self) -> &Relation {
+        self.statics.po_loc.get_or_init(|| self.x.po.intersection(self.loc_rel()))
+    }
+
+    /// All reads (`R`).
+    pub fn reads(&self) -> &EventSet {
+        self.statics.reads.get_or_init(|| self.x.reads())
+    }
+
+    /// All writes including initialising writes (`W`).
+    pub fn writes(&self) -> &EventSet {
+        self.statics.writes.get_or_init(|| self.x.writes())
+    }
+
+    /// The initialising writes (`IW`).
+    pub fn init_writes(&self) -> &EventSet {
+        self.statics.init_writes.get_or_init(|| self.x.init_writes())
+    }
+
+    /// All memory accesses (`M = R ∪ W`).
+    pub fn mem(&self) -> &EventSet {
+        self.statics.mem.get_or_init(|| self.x.mem())
+    }
+
+    /// Acquire reads.
+    pub fn acquires(&self) -> &EventSet {
+        self.statics.acquires.get_or_init(|| self.x.acquires())
+    }
+
+    /// Release writes.
+    pub fn releases(&self) -> &EventSet {
+        self.statics.releases.get_or_init(|| self.x.releases())
+    }
+
+    /// Fences of one kind.
+    pub fn fences(&self, kind: FenceKind) -> &EventSet {
+        self.statics.fences[fence_index(kind)].get_or_init(|| self.x.fences(kind))
+    }
+
+    /// `fencerel(kind) = po ; [F kind] ; po`.
+    pub fn fencerel(&self, kind: FenceKind) -> &Relation {
+        self.statics.fencerels[fence_index(kind)].get_or_init(|| {
+            let f = self.fences(kind).as_identity();
+            self.x.po.seq(&f).seq(&self.x.po)
+        })
+    }
+
+    /// The paper's `gp` relation: `(po ∩ (_ × Sync)) ; po?`.
+    pub fn gp(&self) -> &Relation {
+        self.statics.gp.get_or_init(|| {
+            let sync = self.fences(FenceKind::SyncRcu).as_identity();
+            self.x.po.seq(&sync).seq(&self.x.po.reflexive())
+        })
+    }
+
+    /// The `crit` relation: outermost RCU lock/unlock matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced RCU sections, like [`Execution::crit`]; the
+    /// enumerator rejects such programs first.
+    pub fn crit(&self) -> &Relation {
+        self.statics.crit.get_or_init(|| self.x.crit())
+    }
+
+    /// Per-domain SRCU facts, one entry per domain in
+    /// [`Execution::srcu_domains`] order. Empty for SRCU-free programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced SRCU sections, like [`Execution::srcu_crit`].
+    pub fn srcu(&self) -> &[SrcuDomainFacts] {
+        self.statics.srcu.get_or_init(|| {
+            self.x
+                .srcu_domains()
+                .into_iter()
+                .map(|domain| SrcuDomainFacts {
+                    domain,
+                    gp: self.x.srcu_gp(domain),
+                    crit: self.x.srcu_crit(domain),
+                })
+                .collect()
+        })
+    }
+
+    // --- witness tier: rf/co-dependent facts ---
+
+    /// From-reads: `fr = rf⁻¹ ; co`.
+    pub fn fr(&self) -> &Relation {
+        self.fr.get_or_init(|| self.x.rf.inverse().seq(&self.x.co))
+    }
+
+    /// Communications: `com = rf ∪ co ∪ fr`.
+    pub fn com(&self) -> &Relation {
+        self.com.get_or_init(|| {
+            let mut com = self.x.rf.union(&self.x.co);
+            com.union_in_place(self.fr());
+            com
+        })
+    }
+
+    /// Internal reads-from.
+    pub fn rfi(&self) -> &Relation {
+        self.rfi.get_or_init(|| self.x.rf.intersection(self.int_rel()))
+    }
+
+    /// External reads-from.
+    pub fn rfe(&self) -> &Relation {
+        self.rfe.get_or_init(|| self.x.rf.intersection(self.ext_rel()))
+    }
+
+    /// External coherence.
+    pub fn coe(&self) -> &Relation {
+        self.coe.get_or_init(|| self.x.co.intersection(self.ext_rel()))
+    }
+
+    /// External from-reads.
+    pub fn fre(&self) -> &Relation {
+        self.fre.get_or_init(|| self.fr().intersection(self.ext_rel()))
+    }
+
+    /// `fre ; coe` — the sequence at the heart of every model's RMW
+    /// atomicity axiom (`empty(rmw ∩ (fre ; coe))`).
+    pub fn fre_seq_coe(&self) -> &Relation {
+        self.fre_seq_coe.get_or_init(|| self.fre().seq(self.coe()))
+    }
+
+    /// Sequential consistency per variable: `acyclic(po-loc ∪ com)`.
+    /// Shared verbatim by the LKMM's Scpv axiom and the TSO / ARMv8 /
+    /// Power coherence preludes.
+    pub fn sc_per_loc_ok(&self) -> bool {
+        *self
+            .sc_per_loc_ok
+            .get_or_init(|| self.po_loc().union(self.com()).is_acyclic())
+    }
+
+    /// RMW atomicity: `empty(rmw ∩ (fre ; coe))`. Shared by every model
+    /// with an atomicity axiom.
+    pub fn atomicity_ok(&self) -> bool {
+        *self
+            .atomicity_ok
+            .get_or_init(|| self.x.rmw.intersection(self.fre_seq_coe()).is_empty())
+    }
+}
+
+/// A per-worker cache lending [`ExecFacts`] whose static tier is reused
+/// across all candidates of one pre-execution, keyed on the identity of
+/// the shared event list. The held `Arc` keeps the allocation alive, so
+/// pointer identity cannot be recycled while the entry exists — the same
+/// pattern the model sessions use for their own per-test caches.
+#[derive(Debug, Default)]
+pub struct FactsCache {
+    statics: Option<(Arc<Vec<Event>>, Rc<StaticExecFacts>)>,
+}
+
+impl FactsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FactsCache::default()
+    }
+
+    /// Facts for `x`, reusing the cached static tier when `x` shares its
+    /// pre-execution with the previous candidate.
+    pub fn facts<'x>(&mut self, x: &'x Execution) -> ExecFacts<'x> {
+        let hit = self
+            .statics
+            .as_ref()
+            .is_some_and(|(events, _)| Arc::ptr_eq(events, &x.events));
+        if !hit {
+            self.statics =
+                Some((Arc::clone(&x.events), Rc::new(StaticExecFacts::default())));
+        }
+        let statics = Rc::clone(&self.statics.as_ref().expect("cache filled above").1);
+        ExecFacts::with_statics(x, statics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate, EnumOptions};
+    use lkmm_litmus::library;
+
+    fn candidates(name: &str) -> Vec<Execution> {
+        let t = library::by_name(name).unwrap().test();
+        enumerate(&t, &EnumOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn facts_match_the_execution_methods() {
+        for name in ["SB", "MP+wmb+rmb", "RCU-MP"] {
+            for x in candidates(name) {
+                let f = ExecFacts::new(&x);
+                assert_eq!(f.loc_rel(), &x.loc_rel(), "{name}: loc");
+                assert_eq!(f.int_rel(), &x.int_rel(), "{name}: int");
+                assert_eq!(f.ext_rel(), &x.ext_rel(), "{name}: ext");
+                assert_eq!(f.po_loc(), &x.po_loc(), "{name}: po-loc");
+                assert_eq!(f.fr(), &x.fr(), "{name}: fr");
+                assert_eq!(f.com(), &x.com(), "{name}: com");
+                assert_eq!(f.rfi(), &x.rfi(), "{name}: rfi");
+                assert_eq!(f.rfe(), &x.rfe(), "{name}: rfe");
+                assert_eq!(f.coe(), &x.coe(), "{name}: coe");
+                assert_eq!(f.fre(), &x.fre(), "{name}: fre");
+                assert_eq!(f.fre_seq_coe(), &x.fre().seq(&x.coe()), "{name}");
+                assert_eq!(f.gp(), &x.gp(), "{name}: gp");
+                assert_eq!(f.crit(), &x.crit(), "{name}: crit");
+                assert_eq!(f.reads(), &x.reads(), "{name}: R");
+                assert_eq!(f.writes(), &x.writes(), "{name}: W");
+                assert_eq!(f.mem(), &x.mem(), "{name}: M");
+                assert_eq!(f.init_writes(), &x.init_writes(), "{name}: IW");
+                assert_eq!(f.acquires(), &x.acquires(), "{name}: Acquire");
+                assert_eq!(f.releases(), &x.releases(), "{name}: Release");
+                for kind in [
+                    FenceKind::Rmb,
+                    FenceKind::Wmb,
+                    FenceKind::Mb,
+                    FenceKind::RbDep,
+                    FenceKind::RcuLock,
+                    FenceKind::RcuUnlock,
+                    FenceKind::SyncRcu,
+                ] {
+                    assert_eq!(f.fences(kind), &x.fences(kind), "{name}: F[{kind:?}]");
+                    assert_eq!(f.fencerel(kind), &x.fencerel(kind), "{name}: {kind:?}");
+                }
+                assert_eq!(
+                    f.sc_per_loc_ok(),
+                    x.po_loc().union(&x.com()).is_acyclic(),
+                    "{name}: scpv"
+                );
+                assert_eq!(
+                    f.atomicity_ok(),
+                    x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty(),
+                    "{name}: at"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_shares_statics_within_a_pre_execution() {
+        let mut cache = FactsCache::new();
+        // Two writers, no reads: one pre-execution, two coherence orders.
+        let t = lkmm_litmus::parse(
+            "C coww\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\n\
+             P1(int *x) { WRITE_ONCE(*x, 2); }\nexists (x=1)",
+        )
+        .unwrap();
+        let xs = enumerate(&t, &EnumOptions::default()).unwrap();
+        // Force loc on the first candidate, then confirm the second
+        // candidate of the same pre-execution sees it pre-computed.
+        let same_pre: Vec<&Execution> = xs
+            .iter()
+            .filter(|x| Arc::ptr_eq(&x.events, &xs[0].events))
+            .collect();
+        assert!(same_pre.len() >= 2, "coww pre-execution has several witnesses");
+        {
+            let f = cache.facts(same_pre[0]);
+            let _ = f.loc_rel();
+        }
+        let statics = Rc::clone(&cache.statics.as_ref().unwrap().1);
+        assert!(statics.loc_rel.get().is_some());
+        {
+            let f = cache.facts(same_pre[1]);
+            assert!(Rc::ptr_eq(&f.statics, &statics), "static tier is shared");
+        }
+        // A different pre-execution gets a fresh tier.
+        if let Some(other) = xs.iter().find(|x| !Arc::ptr_eq(&x.events, &xs[0].events)) {
+            let f = cache.facts(other);
+            assert!(!Rc::ptr_eq(&f.statics, &statics));
+        }
+    }
+
+    #[test]
+    fn srcu_facts_cover_every_domain() {
+        let t = lkmm_litmus::parse(
+            "C srcu-facts\n{ ss=0; x=0; }\n\
+             P0(srcu_struct *ss, int *x) { int r0; srcu_read_lock(ss); \
+             r0 = READ_ONCE(*x); srcu_read_unlock(ss); }\n\
+             P1(srcu_struct *ss, int *x) { WRITE_ONCE(*x, 1); synchronize_srcu(ss); }\n\
+             exists (0:r0=0)",
+        )
+        .unwrap();
+        let xs = enumerate(&t, &EnumOptions::default()).unwrap();
+        let x = &xs[0];
+        let f = ExecFacts::new(x);
+        let domains = x.srcu_domains();
+        assert_eq!(f.srcu().len(), domains.len());
+        for (facts, &d) in f.srcu().iter().zip(&domains) {
+            assert_eq!(facts.domain, d);
+            assert_eq!(facts.gp, x.srcu_gp(d));
+            assert_eq!(facts.crit, x.srcu_crit(d));
+        }
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod enumerate;
+pub mod facts;
 pub mod model;
 pub mod pipeline;
 pub mod states;
@@ -41,12 +42,14 @@ pub mod thread;
 pub use enumerate::{enumerate, for_each_execution, try_for_each_execution, EnumError, EnumOptions};
 pub use event::{Event, EventKind, LocId, ReadAnnot, SrcuKind, Val, WriteAnnot};
 pub use execution::Execution;
+pub use facts::{ExecFacts, FactsCache, SrcuDomainFacts, StaticExecFacts};
 pub use lkmm_core::budget::{Budget, BudgetKind, CancelToken, StepFuel};
 pub use model::{
     check_test, open_session, ConsistencyModel, EvalStop, ModelSession, TestResult, Verdict,
 };
 pub use pipeline::{
-    check_test_governed, check_test_pipelined, effective_jobs, CheckOutcome, InconclusiveReason,
-    PipelineOptions, Tally, MAX_JOBS,
+    check_test_governed, check_test_multi, check_test_multi_governed, check_test_pipelined,
+    effective_jobs, CheckOutcome, InconclusiveReason, MultiCheckOutcome, PipelineOptions, Tally,
+    MAX_JOBS,
 };
 pub use states::{collect_states, StateSummary};

@@ -2,6 +2,7 @@
 
 use crate::enumerate::{for_each_execution, EnumError, EnumOptions};
 use crate::execution::Execution;
+use crate::facts::{ExecFacts, FactsCache};
 use lkmm_core::budget::StepFuel;
 use lkmm_litmus::ast::Test;
 use lkmm_litmus::cond::Quantifier;
@@ -19,6 +20,16 @@ pub trait ConsistencyModel: Sync {
 
     /// Whether the model allows this candidate execution.
     fn allows(&self, x: &Execution) -> bool;
+
+    /// As [`ConsistencyModel::allows`], reading shared derived relations
+    /// from `facts` instead of recomputing them. Models whose axioms use
+    /// the common base relations (`fr`, `com`, fence sets, …) override
+    /// this so N models checking one candidate share one copy of each;
+    /// the default ignores the facts.
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let _ = facts;
+        self.allows(x)
+    }
 
     /// A human-readable reason the execution is forbidden, if it is.
     ///
@@ -59,12 +70,32 @@ pub trait ModelSession {
     /// Whether the model allows this candidate execution.
     fn allows(&mut self, x: &Execution) -> bool;
 
+    /// As [`ModelSession::allows`], reading shared derived relations
+    /// from `facts`. The default ignores the facts.
+    fn allows_with(&mut self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let _ = facts;
+        self.allows(x)
+    }
+
     /// Budget-aware variant of [`ModelSession::allows`]: returns
     /// `Err(EvalStop)` when the session's installed [`StepFuel`] runs
     /// dry mid-evaluation. The default ignores fuel entirely, which is
     /// correct for models whose per-candidate cost is trivially bounded.
     fn try_allows(&mut self, x: &Execution) -> Result<bool, EvalStop> {
         Ok(self.allows(x))
+    }
+
+    /// Budget-aware, facts-sharing evaluation — what the pipeline calls
+    /// for every candidate. The default falls back to
+    /// [`ModelSession::try_allows`], preserving the fuel behaviour of
+    /// sessions that predate the facts layer.
+    fn try_allows_with(
+        &mut self,
+        x: &Execution,
+        facts: &ExecFacts<'_>,
+    ) -> Result<bool, EvalStop> {
+        let _ = facts;
+        self.try_allows(x)
     }
 
     /// Hand the session a shared evaluation-step fuel tank. Sessions
@@ -86,6 +117,18 @@ struct StatelessSession<'a>(&'a dyn ConsistencyModel);
 impl ModelSession for StatelessSession<'_> {
     fn allows(&mut self, x: &Execution) -> bool {
         self.0.allows(x)
+    }
+
+    fn allows_with(&mut self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        self.0.allows_with(x, facts)
+    }
+
+    fn try_allows_with(
+        &mut self,
+        x: &Execution,
+        facts: &ExecFacts<'_>,
+    ) -> Result<bool, EvalStop> {
+        Ok(self.0.allows_with(x, facts))
     }
 }
 
@@ -155,13 +198,15 @@ pub fn check_test(
     opts: &EnumOptions,
 ) -> Result<TestResult, EnumError> {
     let mut session = open_session(model);
+    let mut cache = FactsCache::new();
     let mut candidates = 0usize;
     let mut allowed = 0usize;
     let mut witnesses = 0usize;
     let mut all_allowed_satisfy = true;
     for_each_execution(test, opts, &mut |x| {
         candidates += 1;
-        if session.allows(x) {
+        let facts = cache.facts(x);
+        if session.allows_with(x, &facts) {
             allowed += 1;
             if x.satisfies_prop(&test.condition.prop) {
                 witnesses += 1;

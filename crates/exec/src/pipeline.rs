@@ -39,11 +39,12 @@
 
 use crate::enumerate::{try_for_each_execution, EnumError, EnumOptions};
 use crate::execution::Execution;
-use crate::model::{open_session, ConsistencyModel, EvalStop, TestResult, Verdict};
-use lkmm_core::budget::{Budget, BudgetKind};
+use crate::facts::FactsCache;
+use crate::model::{open_session, ConsistencyModel, EvalStop, ModelSession, TestResult, Verdict};
+use lkmm_core::budget::{Budget, BudgetKind, StepFuel};
 use lkmm_core::faultpoint;
 use lkmm_litmus::ast::Test;
-use lkmm_litmus::cond::Quantifier;
+use lkmm_litmus::cond::{Prop, Quantifier};
 use std::any::Any;
 use std::fmt;
 use std::ops::ControlFlow;
@@ -236,24 +237,107 @@ impl WorkerStop {
     }
 }
 
-/// Everything one engine run produces, before API-specific mapping.
+/// Everything one engine run produces, before API-specific mapping. One
+/// tally per model, in input order.
 struct RawCheck {
-    tally: Tally,
+    tallies: Vec<Tally>,
     stop: Option<WorkerStop>,
     enum_result: Result<ControlFlow<()>, EnumError>,
 }
 
-/// The engine behind both public entry points: enumerate on the calling
-/// thread, evaluate on `jobs` workers (inline when `jobs <= 1`), each
-/// candidate inside `catch_unwind`, budgets polled everywhere.
+/// One worker's evaluation state: a session per model, the shared-facts
+/// cache, and one tally per model. All models see the exact same
+/// candidate sequence — a candidate counts for either every tally or
+/// none (a panic or fuel stop mid-candidate discards it everywhere), so
+/// per-model partial tallies stay aligned and job-count-deterministic.
+struct WorkerState<'m> {
+    sessions: Vec<Box<dyn ModelSession + 'm>>,
+    cache: FactsCache,
+    allows: Vec<bool>,
+    tallies: Vec<Tally>,
+}
+
+impl<'m> WorkerState<'m> {
+    fn new(
+        models: &'m [&'m dyn ConsistencyModel],
+        fuel: &Option<std::sync::Arc<StepFuel>>,
+    ) -> Self {
+        let sessions = models
+            .iter()
+            .map(|m| {
+                let mut session = open_session(*m);
+                if let Some(f) = fuel {
+                    session.install_step_fuel(f.clone());
+                }
+                session
+            })
+            .collect::<Vec<_>>();
+        WorkerState {
+            allows: Vec::with_capacity(sessions.len()),
+            tallies: vec![Tally::default(); sessions.len()],
+            cache: FactsCache::new(),
+            sessions,
+        }
+    }
+
+    /// Evaluate one candidate against every model, sharing one
+    /// [`ExecFacts`](crate::facts::ExecFacts) and evaluating the
+    /// final-state proposition at most once. `Err` means the worker must
+    /// stop; the candidate is then counted nowhere.
+    fn evaluate(&mut self, x: &Execution, prop: &Prop) -> Result<(), WorkerStop> {
+        let sessions = &mut self.sessions;
+        let cache = &mut self.cache;
+        let allows = &mut self.allows;
+        let evaluated = catch_unwind(AssertUnwindSafe(|| {
+            faultpoint::maybe_panic("worker.panic");
+            allows.clear();
+            let facts = cache.facts(x);
+            for session in sessions.iter_mut() {
+                allows.push(session.try_allows_with(x, &facts)?);
+            }
+            Ok(allows.contains(&true) && x.satisfies_prop(prop))
+        }));
+        match evaluated {
+            Ok(Ok(satisfies)) => {
+                for (tally, &a) in self.tallies.iter_mut().zip(self.allows.iter()) {
+                    tally.candidates += 1;
+                    if a {
+                        tally.allowed += 1;
+                        if satisfies {
+                            tally.witnesses += 1;
+                        } else {
+                            tally.saw_non_satisfying = true;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Ok(Err(EvalStop)) => Err(WorkerStop::EvalFuel),
+            Err(payload) => Err(WorkerStop::Panicked(payload)),
+        }
+    }
+
+    /// Whether every model's quantified verdict is decided, so an
+    /// early-exit run may stop.
+    fn decided(&self, quantifier: Quantifier) -> bool {
+        self.tallies.iter().all(|t| t.decided(quantifier))
+    }
+}
+
+/// The engine behind every public entry point: enumerate on the calling
+/// thread — once, no matter how many models — evaluate on `jobs`
+/// workers (inline when `jobs <= 1`), each candidate inside
+/// `catch_unwind`, budgets polled everywhere.
 fn run_check(
-    model: &dyn ConsistencyModel,
+    models: &[&dyn ConsistencyModel],
     test: &Test,
     opts: &EnumOptions,
     pipe: &PipelineOptions,
 ) -> RawCheck {
+    assert!(!models.is_empty(), "run_check needs at least one model");
     let jobs = effective_jobs(pipe.jobs);
     let quantifier = test.condition.quantifier;
+    let prop = &test.condition.prop;
     let fuel = opts.budget.step_fuel();
     // Workers poll only the clock and the cancel token; candidate fuel
     // is spent exclusively by the single-threaded enumerator, which is
@@ -265,51 +349,25 @@ fn run_check(
     let worker_meter = worker_budget.meter();
 
     if jobs <= 1 {
-        let mut session = open_session(model);
-        if let Some(f) = &fuel {
-            session.install_step_fuel(f.clone());
-        }
+        let mut worker = WorkerState::new(models, &fuel);
         let mut meter = worker_meter;
-        let mut tally = Tally::default();
         let mut stop_reason = None;
         let enum_result = try_for_each_execution(test, opts, &mut |x| {
             if let Err(kind) = meter.poll() {
                 stop_reason = Some(WorkerStop::Budget(kind));
                 return ControlFlow::Break(());
             }
-            let evaluated = catch_unwind(AssertUnwindSafe(|| {
-                faultpoint::maybe_panic("worker.panic");
-                let allows = session.try_allows(&x)?;
-                Ok((allows, allows && x.satisfies_prop(&test.condition.prop)))
-            }));
-            match evaluated {
-                Ok(Ok((allows, satisfies))) => {
-                    tally.candidates += 1;
-                    if allows {
-                        tally.allowed += 1;
-                        if satisfies {
-                            tally.witnesses += 1;
-                        } else {
-                            tally.saw_non_satisfying = true;
-                        }
-                    }
-                }
-                Ok(Err(EvalStop)) => {
-                    stop_reason = Some(WorkerStop::EvalFuel);
-                    return ControlFlow::Break(());
-                }
-                Err(payload) => {
-                    stop_reason = Some(WorkerStop::Panicked(payload));
-                    return ControlFlow::Break(());
-                }
+            if let Err(stop) = worker.evaluate(&x, prop) {
+                stop_reason = Some(stop);
+                return ControlFlow::Break(());
             }
-            if pipe.early_exit && tally.decided(quantifier) {
+            if pipe.early_exit && worker.decided(quantifier) {
                 ControlFlow::Break(())
             } else {
                 ControlFlow::Continue(())
             }
         });
-        return RawCheck { tally, stop: stop_reason, enum_result };
+        return RawCheck { tallies: worker.tallies, stop: stop_reason, enum_result };
     }
 
     let stop = AtomicBool::new(false);
@@ -324,11 +382,7 @@ fn run_check(
             let fuel = fuel.clone();
             let mut meter = worker_meter.clone();
             handles.push(s.spawn(move || {
-                let mut session = open_session(model);
-                if let Some(f) = fuel {
-                    session.install_step_fuel(f);
-                }
-                let mut tally = Tally::default();
+                let mut worker = WorkerState::new(models, &fuel);
                 let mut stop_reason = None;
                 while let Ok(x) = rx.recv() {
                     if let Err(kind) = meter.poll() {
@@ -336,40 +390,17 @@ fn run_check(
                         stop_reason = Some(WorkerStop::Budget(kind));
                         break;
                     }
-                    let evaluated = catch_unwind(AssertUnwindSafe(|| {
-                        faultpoint::maybe_panic("worker.panic");
-                        let allows = session.try_allows(&x)?;
-                        Ok((allows, allows && x.satisfies_prop(&test.condition.prop)))
-                    }));
-                    match evaluated {
-                        Ok(Ok((allows, satisfies))) => {
-                            tally.candidates += 1;
-                            if allows {
-                                tally.allowed += 1;
-                                if satisfies {
-                                    tally.witnesses += 1;
-                                } else {
-                                    tally.saw_non_satisfying = true;
-                                }
-                            }
-                        }
-                        Ok(Err(EvalStop)) => {
-                            stop.store(true, Ordering::Relaxed);
-                            stop_reason = Some(WorkerStop::EvalFuel);
-                            break;
-                        }
-                        Err(payload) => {
-                            stop.store(true, Ordering::Relaxed);
-                            stop_reason = Some(WorkerStop::Panicked(payload));
-                            break;
-                        }
+                    if let Err(reason) = worker.evaluate(&x, prop) {
+                        stop.store(true, Ordering::Relaxed);
+                        stop_reason = Some(reason);
+                        break;
                     }
-                    if early_exit && tally.decided(quantifier) {
+                    if early_exit && worker.decided(quantifier) {
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
-                (tally, stop_reason)
+                (worker.tallies, stop_reason)
             }));
         }
 
@@ -390,21 +421,23 @@ fn run_check(
         });
         drop(senders); // hang up so workers drain and exit
 
-        let mut tally = Tally::default();
+        let mut tallies = vec![Tally::default(); models.len()];
         let mut stop_reason: Option<WorkerStop> = None;
         for handle in handles {
             // Workers cannot panic out of their own body: evaluation is
             // wrapped in catch_unwind and everything else is queue
             // plumbing. A join error here would be a harness bug.
-            let (t, reason) = handle.join().expect("pipeline worker harness panicked");
-            tally = tally.merge(t);
+            let (ts, reason) = handle.join().expect("pipeline worker harness panicked");
+            for (tally, t) in tallies.iter_mut().zip(ts) {
+                *tally = tally.merge(t);
+            }
             if let Some(r) = reason {
                 if stop_reason.as_ref().is_none_or(|cur| r.rank() > cur.rank()) {
                     stop_reason = Some(r);
                 }
             }
         }
-        RawCheck { tally, stop: stop_reason, enum_result }
+        RawCheck { tallies, stop: stop_reason, enum_result }
     })
 }
 
@@ -452,8 +485,44 @@ pub fn check_test_pipelined(
     opts: &EnumOptions,
     pipe: &PipelineOptions,
 ) -> Result<TestResult, EnumError> {
+    check_test_multi(&[model], test, opts, pipe).map(|mut results| results.remove(0))
+}
+
+/// Check `test` against N models over a **single** enumeration pass,
+/// returning one [`TestResult`] per model in input order.
+///
+/// Each worker opens one session per model and evaluates every candidate
+/// against all of them, sharing one
+/// [`ExecFacts`](crate::facts::ExecFacts) per candidate — the derived
+/// base relations (`fr`, `com`, `po-loc`, fence sets, …) are computed
+/// once, not once per model. Verdicts and counts are bit-identical to N
+/// separate [`check_test_pipelined`] runs at any job count.
+///
+/// Like the single-model legacy path this is the strict interface:
+/// budget trips surface as [`EnumError::BudgetExceeded`] and worker
+/// panics are re-raised. Use [`check_test_multi_governed`] for partial
+/// tallies and panic containment.
+///
+/// With `early_exit` the pass stops only once **every** model's verdict
+/// is decided.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`] from the enumerator, and reports budget
+/// exhaustion as [`EnumError::BudgetExceeded`].
+///
+/// # Panics
+///
+/// Re-raises panics from model evaluation, and panics if `models` is
+/// empty.
+pub fn check_test_multi(
+    models: &[&dyn ConsistencyModel],
+    test: &Test,
+    opts: &EnumOptions,
+    pipe: &PipelineOptions,
+) -> Result<Vec<TestResult>, EnumError> {
     let quantifier = test.condition.quantifier;
-    let raw = run_check(model, test, opts, pipe);
+    let raw = run_check(models, test, opts, pipe);
     match raw.stop {
         Some(WorkerStop::Panicked(payload)) => std::panic::resume_unwind(payload),
         Some(WorkerStop::EvalFuel) => {
@@ -463,7 +532,92 @@ pub fn check_test_pipelined(
         None => {}
     }
     let _ = raw.enum_result?;
-    Ok(raw.tally.into_result(quantifier))
+    Ok(raw.tallies.into_iter().map(|t| t.into_result(quantifier)).collect())
+}
+
+/// The structured result of a governed multi-model check: either one
+/// complete verdict per model, or a typed stop reason plus one partial
+/// tally per model (in input order). The candidate fuel is spent once by
+/// the enumerator — not once per model — so all partial tallies cover
+/// the exact same candidates and are job-count-deterministic, matching
+/// single-model [`CheckOutcome`] semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultiCheckOutcome {
+    /// The single enumeration pass ran to completion; one result per
+    /// model, identical to N separate ungoverned runs.
+    Complete(Vec<TestResult>),
+    /// The pass stopped early; every model's tally covers the same
+    /// candidates.
+    Inconclusive {
+        /// Why the check stopped.
+        reason: InconclusiveReason,
+        /// Per-model counts accumulated before the stop.
+        partials: Vec<Tally>,
+    },
+}
+
+impl MultiCheckOutcome {
+    /// The completed per-model results, if the check finished.
+    pub fn results(&self) -> Option<&[TestResult]> {
+        match self {
+            MultiCheckOutcome::Complete(rs) => Some(rs),
+            MultiCheckOutcome::Inconclusive { .. } => None,
+        }
+    }
+
+    /// Whether the check ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MultiCheckOutcome::Complete(_))
+    }
+}
+
+/// Budget-aware, panic-containing multi-model check over a single
+/// enumeration pass. See [`check_test_multi`] for the engine and
+/// [`check_test_governed`] for the governance semantics, which are
+/// identical — the fuel is simply shared by all N models instead of
+/// belonging to one.
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn check_test_multi_governed(
+    models: &[&dyn ConsistencyModel],
+    test: &Test,
+    opts: &EnumOptions,
+    pipe: &PipelineOptions,
+) -> MultiCheckOutcome {
+    let quantifier = test.condition.quantifier;
+    let raw = run_check(models, test, opts, pipe);
+    if let Some(WorkerStop::Panicked(_)) = &raw.stop {
+        return MultiCheckOutcome::Inconclusive {
+            reason: InconclusiveReason::WorkerPanicked,
+            partials: raw.tallies,
+        };
+    }
+    match raw.enum_result {
+        Err(EnumError::BudgetExceeded(kind)) => MultiCheckOutcome::Inconclusive {
+            reason: InconclusiveReason::BudgetExceeded(kind),
+            partials: raw.tallies,
+        },
+        Err(e) => MultiCheckOutcome::Inconclusive {
+            reason: InconclusiveReason::Enum(e),
+            partials: raw.tallies,
+        },
+        Ok(_) => match raw.stop {
+            Some(WorkerStop::EvalFuel) => MultiCheckOutcome::Inconclusive {
+                reason: InconclusiveReason::BudgetExceeded(BudgetKind::EvalSteps),
+                partials: raw.tallies,
+            },
+            Some(WorkerStop::Budget(kind)) => MultiCheckOutcome::Inconclusive {
+                reason: InconclusiveReason::BudgetExceeded(kind),
+                partials: raw.tallies,
+            },
+            Some(WorkerStop::Panicked(_)) => unreachable!("handled above"),
+            None => MultiCheckOutcome::Complete(
+                raw.tallies.into_iter().map(|t| t.into_result(quantifier)).collect(),
+            ),
+        },
+    }
 }
 
 /// Budget-aware, panic-containing check. Always returns — never hangs
@@ -510,35 +664,13 @@ pub fn check_test_governed(
     opts: &EnumOptions,
     pipe: &PipelineOptions,
 ) -> CheckOutcome {
-    let quantifier = test.condition.quantifier;
-    let raw = run_check(model, test, opts, pipe);
-    if let Some(WorkerStop::Panicked(_)) = &raw.stop {
-        return CheckOutcome::Inconclusive {
-            reason: InconclusiveReason::WorkerPanicked,
-            partial: raw.tally,
-        };
-    }
-    match raw.enum_result {
-        Err(EnumError::BudgetExceeded(kind)) => CheckOutcome::Inconclusive {
-            reason: InconclusiveReason::BudgetExceeded(kind),
-            partial: raw.tally,
-        },
-        Err(e) => CheckOutcome::Inconclusive {
-            reason: InconclusiveReason::Enum(e),
-            partial: raw.tally,
-        },
-        Ok(_) => match raw.stop {
-            Some(WorkerStop::EvalFuel) => CheckOutcome::Inconclusive {
-                reason: InconclusiveReason::BudgetExceeded(BudgetKind::EvalSteps),
-                partial: raw.tally,
-            },
-            Some(WorkerStop::Budget(kind)) => CheckOutcome::Inconclusive {
-                reason: InconclusiveReason::BudgetExceeded(kind),
-                partial: raw.tally,
-            },
-            Some(WorkerStop::Panicked(_)) => unreachable!("handled above"),
-            None => CheckOutcome::Complete(raw.tally.into_result(quantifier)),
-        },
+    match check_test_multi_governed(&[model], test, opts, pipe) {
+        MultiCheckOutcome::Complete(mut results) => {
+            CheckOutcome::Complete(results.remove(0))
+        }
+        MultiCheckOutcome::Inconclusive { reason, mut partials } => {
+            CheckOutcome::Inconclusive { reason, partial: partials.remove(0) }
+        }
     }
 }
 

@@ -19,7 +19,7 @@
 //! this model conservatively treats it as a full barrier and RCU litmus
 //! tests should use `lkmm-sim`'s operational grace periods instead.
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::Relation;
 
@@ -44,14 +44,19 @@ impl Armv8 {
     /// The `ob` (ordered-before) relation whose acyclicity is the
     /// external-visibility requirement.
     pub fn ob(x: &Execution) -> Relation {
+        Self::ob_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::ob`] against a pre-computed facts layer.
+    pub fn ob_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
         let po = &x.po;
-        let r = x.reads();
-        let w = x.writes();
-        let m = x.mem();
-        let rfi = x.rfi();
+        let r = facts.reads();
+        let w = facts.writes();
+        let m = facts.mem();
+        let rfi = facts.rfi();
 
         // obs: external observations.
-        let obs = x.rfe().union(&x.fre()).union(&x.coe());
+        let obs = facts.rfe().union(facts.fre()).union(facts.coe());
 
         // dob: dependency-ordered-before. ARMv8 respects address, data
         // and control(-to-write) dependencies, dependency-into-rfi
@@ -65,19 +70,19 @@ impl Armv8 {
 
         // aob: atomic-ordered-before.
         let rmw_w = x.rmw.range().as_identity();
-        let acq = x.acquires().as_identity();
-        let aob = x.rmw.union(&rmw_w.seq(&rfi).seq(&acq));
+        let acq = facts.acquires().as_identity();
+        let aob = x.rmw.union(&rmw_w.seq(rfi).seq(&acq));
 
         // bob: barrier-ordered-before.
-        let full = x
+        let full = facts
             .fencerel(FenceKind::Mb)
-            .union(&x.fencerel(FenceKind::SyncRcu))
-            .intersection(&m.cross(&m));
+            .union(facts.fencerel(FenceKind::SyncRcu))
+            .intersection(&m.cross(m));
         let dmb_st =
-            x.fencerel(FenceKind::Wmb).intersection(&w.cross(&w));
+            facts.fencerel(FenceKind::Wmb).intersection(&w.cross(w));
         let dmb_ld =
-            x.fencerel(FenceKind::Rmb).intersection(&r.cross(&m));
-        let rel = x.releases().as_identity();
+            facts.fencerel(FenceKind::Rmb).intersection(&r.cross(m));
+        let rel = facts.releases().as_identity();
         let bob = full
             .union(&dmb_st)
             .union(&dmb_ld)
@@ -95,16 +100,16 @@ impl ConsistencyModel for Armv8 {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        // Internal visibility: per-location coherence.
-        if !x.po_loc().union(&x.com()).is_acyclic() {
-            return false;
-        }
-        // Atomicity.
-        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        // Internal visibility (per-location coherence), then atomicity.
+        if !facts.sc_per_loc_ok() || !facts.atomicity_ok() {
             return false;
         }
         // External visibility.
-        Self::ob(x).is_acyclic()
+        Self::ob_with(x, facts).is_acyclic()
     }
 }
 

@@ -1,7 +1,7 @@
 //! Original C11 (C++11 §29.3, before the SC-fence strengthening of
 //! Batty et al. \[15\]), under the LK→C11 mapping of P0124 \[68\].
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::{ast::Stmt, FenceKind, Test};
 use lkmm_relation::Relation;
 
@@ -142,14 +142,19 @@ impl OriginalC11 {
 
     /// The synchronizes-with relation (C++11 29.3p2 and 29.8p2-4).
     pub fn sw(x: &Execution) -> Relation {
-        let rel_store = x.releases().as_identity();
-        let acq_load = x.acquires().as_identity();
+        Self::sw_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::sw`] against a pre-computed facts layer.
+    pub fn sw_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
+        let rel_store = facts.releases().as_identity();
+        let acq_load = facts.acquires().as_identity();
         // seq_cst fences are both release and acquire fences.
-        let sc_fence = x.fences(FenceKind::Mb);
-        let rel_fence = x.fences(FenceKind::Wmb).union(&sc_fence).as_identity();
-        let acq_fence = x.fences(FenceKind::Rmb).union(&sc_fence).as_identity();
-        let w = x.writes().as_identity();
-        let r = x.reads().as_identity();
+        let sc_fence = facts.fences(FenceKind::Mb);
+        let rel_fence = facts.fences(FenceKind::Wmb).union(sc_fence).as_identity();
+        let acq_fence = facts.fences(FenceKind::Rmb).union(sc_fence).as_identity();
+        let w = facts.writes().as_identity();
+        let r = facts.reads().as_identity();
         let rf = &x.rf;
         let po = &x.po;
         // (1) release store read by acquire load.
@@ -165,12 +170,17 @@ impl OriginalC11 {
 
     /// `hb = (po ∪ sw)⁺`.
     pub fn hb(x: &Execution) -> Relation {
-        x.po.union(&Self::sw(x)).transitive_closure()
+        Self::hb_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::hb`] against a pre-computed facts layer.
+    pub fn hb_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
+        x.po.union(&Self::sw_with(x, facts)).transitive_closure()
     }
 
     /// Whether a total order `S` over `seq_cst` fences exists satisfying
-    /// the original fence rules, given `hb`.
-    fn sc_order_exists(x: &Execution, hb: &Relation) -> bool {
+    /// the original fence rules, given `hb` and `fr`.
+    fn sc_order_exists(x: &Execution, hb: &Relation, fr: &Relation) -> bool {
         let fences: Vec<usize> = x
             .events
             .iter()
@@ -180,7 +190,6 @@ impl OriginalC11 {
         if fences.len() < 2 {
             return true;
         }
-        let fr = x.fr();
         let bad = fr.union(&x.co); // (B, A): B observes co-before A
         // must_precede(a, b): a must come before b in S.
         let mut must = Relation::empty(x.universe());
@@ -213,17 +222,21 @@ impl ConsistencyModel for OriginalC11 {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        let hb = Self::hb(x);
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        let hb = Self::hb_with(x, facts);
         // Coherence: irreflexive(hb ; eco?).
-        let eco = x.com().transitive_closure();
+        let eco = facts.com().transitive_closure();
         if !hb.seq(&eco.reflexive()).is_irreflexive() {
             return false;
         }
         // Atomicity.
-        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
+        if !facts.atomicity_ok() {
             return false;
         }
-        Self::sc_order_exists(x, &hb)
+        Self::sc_order_exists(x, &hb, facts.fr())
     }
 }
 

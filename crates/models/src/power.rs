@@ -22,7 +22,7 @@
 //! `ld; lwsync`-strength ordering. `synchronize_rcu` is treated as
 //! `sync` (conservative; grace periods live in `lkmm-sim`).
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::Relation;
 
@@ -54,16 +54,21 @@ pub struct PowerRelations {
 impl Power {
     /// Compute `ppo`, the fence relations, `hb` and `prop`.
     pub fn relations(x: &Execution) -> PowerRelations {
+        Self::relations_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::relations`] against a pre-computed facts layer.
+    pub fn relations_with(x: &Execution, facts: &ExecFacts<'_>) -> PowerRelations {
         let n = x.universe();
-        let r = x.reads();
-        let w = x.writes();
-        let m = x.mem();
+        let r = facts.reads();
+        let w = facts.writes();
+        let m = facts.mem();
         let po = &x.po;
-        let po_loc = x.po_loc();
-        let rfi = x.rfi();
-        let rfe = x.rfe();
-        let fre = x.fre();
-        let coe = x.coe();
+        let po_loc = facts.po_loc();
+        let rfi = facts.rfi();
+        let rfe = facts.rfe();
+        let fre = facts.fre();
+        let coe = facts.coe();
 
         // --- ppo fixpoint (Herding Cats, Fig. 18) ---
         let dp = x.addr.union(&x.data);
@@ -75,7 +80,7 @@ impl Power {
         let ic0 = Relation::empty(n);
         // On Power, acquire loads compile to ld;ctrl;isync (or stronger):
         // model the acquire ordering as ctrl+isync from the acquire read.
-        let acq_po = x.acquires().as_identity().seq(po);
+        let acq_po = facts.acquires().as_identity().seq(po);
         let ci0 = x.ctrl.union(&acq_po).union(&detour);
         let cc0 = dp.union(&po_loc).union(&x.ctrl).union(&addr_po);
 
@@ -112,28 +117,28 @@ impl Power {
 
         // --- fences ---
         // sync: smp_mb (and synchronize_rcu, conservatively).
-        let ffence = x
+        let ffence = facts
             .fencerel(FenceKind::Mb)
-            .union(&x.fencerel(FenceKind::SyncRcu))
-            .intersection(&m.cross(&m));
+            .union(facts.fencerel(FenceKind::SyncRcu))
+            .intersection(&m.cross(m));
         // lwsync: smp_wmb, smp_rmb, and the release-store / acquire-load
         // mappings; lwsync does not order W→R.
-        let lw_raw = x
+        let lw_raw = facts
             .fencerel(FenceKind::Wmb)
-            .union(&x.fencerel(FenceKind::Rmb))
-            .union(&po.seq(&x.releases().as_identity()))
-            .union(&x.acquires().as_identity().seq(po));
-        let no_wr = r.cross(&m).union(&m.cross(&w));
+            .union(facts.fencerel(FenceKind::Rmb))
+            .union(&po.seq(&facts.releases().as_identity()))
+            .union(&facts.acquires().as_identity().seq(po));
+        let no_wr = r.cross(m).union(&m.cross(w));
         let lwfence = lw_raw.intersection(&no_wr);
         let fences = ffence.union(&lwfence);
 
         // --- hb, prop ---
-        let hb = ppo.union(&fences).union(&rfe);
+        let hb = ppo.union(&fences).union(rfe);
         let hb_star = hb.reflexive_transitive_closure();
         let prop_base = fences.union(&rfe.seq(&fences)).seq(&hb_star);
-        let com_star = x.com().reflexive_transitive_closure();
+        let com_star = facts.com().reflexive_transitive_closure();
         let prop = w
-            .cross(&w)
+            .cross(w)
             .intersection(&prop_base)
             .union(
                 &com_star
@@ -151,19 +156,20 @@ impl ConsistencyModel for Power {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        if !x.po_loc().union(&x.com()).is_acyclic() {
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        if !facts.sc_per_loc_ok() || !facts.atomicity_ok() {
             return false;
         }
-        if !x.rmw.intersection(&x.fre().seq(&x.coe())).is_empty() {
-            return false;
-        }
-        let r = Self::relations(x);
+        let r = Self::relations_with(x, facts);
         if !r.hb.is_acyclic() {
             return false;
         }
         // Observation.
         let hb_star = r.hb.reflexive_transitive_closure();
-        if !x.fre().seq(&r.prop).seq(&hb_star).is_irreflexive() {
+        if !facts.fre().seq(&r.prop).seq(&hb_star).is_irreflexive() {
             return false;
         }
         // Propagation.

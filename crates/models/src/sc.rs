@@ -1,6 +1,6 @@
 //! Sequential consistency.
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 
 /// Lamport's sequential consistency: all events execute in some total
 /// order consistent with program order — axiomatically,
@@ -25,7 +25,11 @@ impl ConsistencyModel for Sc {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        x.po.union(&x.com()).is_acyclic()
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        x.po.union(facts.com()).is_acyclic()
     }
 }
 

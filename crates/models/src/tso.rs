@@ -1,6 +1,6 @@
 //! x86-TSO in the "herding cats" axiomatic style.
 
-use lkmm_exec::{ConsistencyModel, Execution};
+use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
 use lkmm_relation::Relation;
 
@@ -37,9 +37,15 @@ impl X86Tso {
     /// The TSO global-happens-before relation whose acyclicity defines the
     /// model (beyond per-location coherence and atomicity).
     pub fn ghb(x: &Execution) -> Relation {
-        let w_r = x.writes().cross(&x.reads());
+        Self::ghb_with(x, &ExecFacts::new(x))
+    }
+
+    /// [`Self::ghb`] against a pre-computed facts layer.
+    pub fn ghb_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
+        let w_r = facts.writes().cross(facts.reads());
         let ppo_tso = x.po.difference(&w_r);
-        let mfence = x.fencerel(FenceKind::Mb).union(&x.fencerel(FenceKind::SyncRcu));
+        let mfence =
+            facts.fencerel(FenceKind::Mb).union(facts.fencerel(FenceKind::SyncRcu));
         // LOCK-prefixed RMWs behave like full fences around the operation.
         let rmw_read = x.rmw.domain().as_identity();
         let rmw_write = x.rmw.range().as_identity();
@@ -47,9 +53,9 @@ impl X86Tso {
         ppo_tso
             .union(&mfence)
             .union(&implied)
-            .union(&x.rfe())
+            .union(facts.rfe())
             .union(&x.co)
-            .union(&x.fr())
+            .union(facts.fr())
     }
 }
 
@@ -59,16 +65,15 @@ impl ConsistencyModel for X86Tso {
     }
 
     fn allows(&self, x: &Execution) -> bool {
-        // Per-location coherence.
-        if !x.po_loc().union(&x.com()).is_acyclic() {
+        self.allows_with(x, &ExecFacts::new(x))
+    }
+
+    fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
+        // Per-location coherence, then atomicity of RMWs.
+        if !facts.sc_per_loc_ok() || !facts.atomicity_ok() {
             return false;
         }
-        // Atomicity of RMWs.
-        let fre_coe = x.fre().seq(&x.coe());
-        if !x.rmw.intersection(&fre_coe).is_empty() {
-            return false;
-        }
-        Self::ghb(x).is_acyclic()
+        Self::ghb_with(x, facts).is_acyclic()
     }
 }
 

@@ -30,10 +30,12 @@ pub mod batch;
 pub mod canon;
 pub mod hash;
 pub mod json;
+pub mod multi;
 pub mod serve;
 pub mod store;
 
 pub use batch::{BatchChecker, BatchError, BatchOutcome, BatchReport, Provenance};
+pub use multi::{ColumnReport, MultiBatchChecker, MultiBatchReport, MultiColumn};
 pub use canon::{cache_key, canonical_text, canonicalize, CANON_REVISION};
 pub use serve::{serve, serve_with, ServeOptions, ServeSummary};
 pub use store::{RecoveryReport, VerdictStore};

@@ -1,0 +1,483 @@
+//! Multi-model batch checking: many columns, one enumeration per test.
+//!
+//! [`MultiBatchChecker`] generalises [`crate::BatchChecker`] to N models
+//! sharing one verdict store. For each corpus member it resolves every
+//! column independently against the store (per-column cache keys are
+//! byte-identical to what N separate `BatchChecker`s would derive, so
+//! warm stores written by either path replay interchangeably), then runs
+//! **one** governed enumeration pass over just the columns that missed —
+//! the PR-1 pipeline evaluates all of them per candidate against a
+//! shared facts layer. A fully warm store enumerates nothing; a cold
+//! seven-column run enumerates each test once instead of seven times.
+//!
+//! Per-column bookkeeping (hits, computed, deduped, inconclusive,
+//! candidates) keeps the exact semantics of N sequential passes: a
+//! column's `candidates_enumerated` counts the candidates *its* verdict
+//! consumed, so per-column observability is unchanged; the shared-pass
+//! saving shows up in [`MultiBatchReport::candidates_actual`], which
+//! counts each enumeration once no matter how many columns rode on it.
+
+use crate::batch::{BatchError, BatchOutcome, Provenance};
+use crate::canon::cache_key;
+use crate::store::VerdictStore;
+use lkmm_core::budget::Budget;
+use lkmm_exec::{
+    check_test_multi_governed, CheckOutcome, ConsistencyModel, EnumOptions, InconclusiveReason,
+    MultiCheckOutcome, PipelineOptions, Tally,
+};
+use lkmm_litmus::ast::Test;
+use std::collections::HashMap;
+use std::io;
+use std::time::Instant;
+
+/// One column of a multi-model batch: a model plus its cache salt.
+pub struct MultiColumn<'m> {
+    /// The checker answering this column.
+    pub model: &'m dyn ConsistencyModel,
+    /// Version salt for this column's cache keys — the same string a
+    /// dedicated [`crate::BatchChecker`] for this column would be built
+    /// with (e.g. `"{base}|col:{name}"` in the conformance matrix).
+    pub salt: String,
+}
+
+/// Per-column results and counters, aligned to the corpus.
+#[derive(Clone, Debug)]
+pub struct ColumnReport {
+    /// One slot per corpus member; `None` where the column was masked
+    /// out (the checker does not cover the test).
+    pub outcomes: Vec<Option<BatchOutcome>>,
+    /// Store hits.
+    pub hits: usize,
+    /// Verdicts computed to completion this batch.
+    pub computed: usize,
+    /// In-batch duplicates of an earlier canonical key.
+    pub deduped: usize,
+    /// Checks stopped by the budget (not stored).
+    pub inconclusive: usize,
+    /// Candidates backing this column's computed verdicts (0 on a fully
+    /// warm store) — matches what a dedicated single-model pass reports.
+    pub candidates_enumerated: usize,
+}
+
+/// Aggregate outcome of one [`MultiBatchChecker::check_corpus`] call.
+#[derive(Clone, Debug)]
+pub struct MultiBatchReport {
+    /// One report per column, in constructor order.
+    pub columns: Vec<ColumnReport>,
+    /// Enumeration passes actually run (each serving ≥ 1 column).
+    pub enumeration_passes: usize,
+    /// Candidates actually enumerated, counted once per pass — the
+    /// denominator of the single-enumeration saving.
+    pub candidates_actual: usize,
+    /// Wall-clock for the batch, in microseconds.
+    pub micros: u128,
+}
+
+/// A memoizing multi-model checker: N columns, one store, one
+/// enumeration per cold test.
+pub struct MultiBatchChecker<'m> {
+    columns: Vec<MultiColumn<'m>>,
+    store: VerdictStore,
+    enum_opts: EnumOptions,
+    pipe: PipelineOptions,
+}
+
+impl<'m> MultiBatchChecker<'m> {
+    /// A checker for `columns` writing through `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty column set.
+    pub fn new(columns: Vec<MultiColumn<'m>>, store: VerdictStore) -> Self {
+        assert!(!columns.is_empty(), "multi-model batch needs at least one column");
+        MultiBatchChecker {
+            columns,
+            store,
+            enum_opts: EnumOptions::default(),
+            pipe: PipelineOptions { jobs: 0, ..PipelineOptions::default() },
+        }
+    }
+
+    /// Override the enumeration options (folded into cache keys, except
+    /// the budget).
+    pub fn with_options(mut self, opts: EnumOptions) -> Self {
+        self.enum_opts = opts;
+        self
+    }
+
+    /// Check misses on `jobs` pipeline workers (`0` = one per hardware
+    /// thread). Never part of cache keys.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pipe.jobs = jobs;
+        self
+    }
+
+    /// Bound each worker's candidate queue.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.pipe.queue_depth = depth;
+        self
+    }
+
+    /// Bound every subsequent check by `budget` (not part of cache keys;
+    /// inconclusive outcomes are never stored).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.enum_opts.budget = budget;
+        self
+    }
+
+    /// The cache key column `col` derives for `test` — byte-identical to
+    /// [`crate::BatchChecker::key_of`] on a checker built with the same
+    /// salt, so stores are shared freely between the two paths.
+    pub fn key_of(&self, col: usize, test: &Test) -> u128 {
+        let c = &self.columns[col];
+        let salt = format!("{}|{:?}", c.salt, self.enum_opts);
+        cache_key(test, c.model.name(), &salt)
+    }
+
+    /// Check a corpus across every column: per column, dedupe by
+    /// canonical key and replay store hits; then run one shared governed
+    /// enumeration per test over the columns still missing, write the
+    /// completed verdicts back, and sync the store once at the end.
+    ///
+    /// `mask[c][i]` gates column `c` on corpus member `i` (an unsupported
+    /// cell stays `None`). The budget's `deadline`/`cancel` axes govern
+    /// the corpus between tests exactly as in
+    /// [`crate::BatchChecker::check_corpus`].
+    ///
+    /// # Errors
+    ///
+    /// Store-append failure only.
+    pub fn check_corpus(
+        &mut self,
+        tests: &[Test],
+        mask: &[Vec<bool>],
+    ) -> Result<MultiBatchReport, BatchError> {
+        assert_eq!(mask.len(), self.columns.len(), "one mask row per column");
+        for row in mask {
+            assert_eq!(row.len(), tests.len(), "one mask slot per corpus member");
+        }
+        let start = Instant::now();
+        let ncols = self.columns.len();
+        let mut columns: Vec<ColumnReport> = (0..ncols)
+            .map(|_| ColumnReport {
+                outcomes: vec![None; tests.len()],
+                hits: 0,
+                computed: 0,
+                deduped: 0,
+                inconclusive: 0,
+                candidates_enumerated: 0,
+            })
+            .collect();
+        let mut seen: Vec<HashMap<u128, usize>> = vec![HashMap::new(); ncols];
+        let mut enumeration_passes = 0;
+        let mut candidates_actual = 0;
+        // Corpus-level governor: absolute deadline and cancellation only;
+        // candidate/step fuel and the relative time limit are per-check.
+        let mut corpus_meter = Budget {
+            max_candidates: None,
+            max_eval_steps: None,
+            time_limit: None,
+            ..self.enum_opts.budget.clone()
+        }
+        .meter();
+        for (i, test) in tests.iter().enumerate() {
+            // Resolve each column against its dedupe map and the store;
+            // whatever is left shares one enumeration pass.
+            let mut missing: Vec<usize> = Vec::new();
+            for c in 0..ncols {
+                if !mask[c][i] {
+                    continue;
+                }
+                let key = self.key_of(c, test);
+                if let Some(&first) = seen[c].get(&key) {
+                    columns[c].deduped += 1;
+                    let replay = columns[c].outcomes[first]
+                        .as_ref()
+                        .expect("dedupe map only indexes filled slots")
+                        .outcome
+                        .clone();
+                    columns[c].outcomes[i] = Some(BatchOutcome {
+                        name: test.name.clone(),
+                        key,
+                        outcome: replay,
+                        provenance: Provenance::Deduped,
+                    });
+                } else if let Some(result) = self.store.get(key) {
+                    columns[c].hits += 1;
+                    seen[c].insert(key, i);
+                    columns[c].outcomes[i] = Some(BatchOutcome {
+                        name: test.name.clone(),
+                        key,
+                        outcome: CheckOutcome::Complete(result.clone()),
+                        provenance: Provenance::Hit,
+                    });
+                } else {
+                    missing.push(c);
+                }
+            }
+            if missing.is_empty() {
+                continue;
+            }
+            if let Err(kind) = corpus_meter.poll_now() {
+                for &c in &missing {
+                    columns[c].inconclusive += 1;
+                    columns[c].outcomes[i] = Some(BatchOutcome {
+                        name: test.name.clone(),
+                        key: self.key_of(c, test),
+                        outcome: CheckOutcome::Inconclusive {
+                            reason: InconclusiveReason::BudgetExceeded(kind),
+                            partial: Tally::default(),
+                        },
+                        provenance: Provenance::Computed,
+                    });
+                }
+                continue;
+            }
+            let models: Vec<&dyn ConsistencyModel> =
+                missing.iter().map(|&c| self.columns[c].model).collect();
+            let outcome = check_test_multi_governed(&models, test, &self.enum_opts, &self.pipe);
+            enumeration_passes += 1;
+            match outcome {
+                MultiCheckOutcome::Complete(results) => {
+                    let mut counted = false;
+                    for (&c, result) in missing.iter().zip(results) {
+                        if !counted {
+                            candidates_actual += result.candidates;
+                            counted = true;
+                        }
+                        let key = self.key_of(c, test);
+                        self.store.put(key, result.clone())?;
+                        columns[c].computed += 1;
+                        columns[c].candidates_enumerated += result.candidates;
+                        seen[c].insert(key, i);
+                        columns[c].outcomes[i] = Some(BatchOutcome {
+                            name: test.name.clone(),
+                            key,
+                            outcome: CheckOutcome::Complete(result),
+                            provenance: Provenance::Computed,
+                        });
+                    }
+                }
+                MultiCheckOutcome::Inconclusive { reason, partials } => {
+                    let mut counted = false;
+                    for (&c, partial) in missing.iter().zip(partials) {
+                        if !counted {
+                            candidates_actual += partial.candidates;
+                            counted = true;
+                        }
+                        columns[c].inconclusive += 1;
+                        columns[c].candidates_enumerated += partial.candidates;
+                        // Inconclusive outcomes join neither the store
+                        // nor the dedupe map: a later isomorph deserves
+                        // its own attempt.
+                        columns[c].outcomes[i] = Some(BatchOutcome {
+                            name: test.name.clone(),
+                            key: self.key_of(c, test),
+                            outcome: CheckOutcome::Inconclusive {
+                                reason: reason.clone(),
+                                partial,
+                            },
+                            provenance: Provenance::Computed,
+                        });
+                    }
+                }
+            }
+        }
+        self.store.flush()?;
+        Ok(MultiBatchReport {
+            columns,
+            enumeration_passes,
+            candidates_actual,
+            micros: start.elapsed().as_micros(),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &VerdictStore {
+        &self.store
+    }
+
+    /// Sync the store to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.store.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchChecker;
+    use lkmm_exec::model::AllowAll;
+    use lkmm_exec::Verdict;
+
+    fn corpus(n: usize) -> Vec<Test> {
+        lkmm_litmus::library::all().iter().take(n).map(|pt| pt.test()).collect()
+    }
+
+    fn full_mask(ncols: usize, ntests: usize) -> Vec<Vec<bool>> {
+        vec![vec![true; ntests]; ncols]
+    }
+
+    #[test]
+    fn multi_keys_match_dedicated_batch_checkers() {
+        let tests = corpus(4);
+        let sc = lkmm_models::Sc;
+        let tso = lkmm_models::X86Tso;
+        let multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "v1|col:sc".into() },
+                MultiColumn { model: &tso, salt: "v1|col:tso".into() },
+            ],
+            VerdictStore::in_memory(),
+        );
+        let single_sc = BatchChecker::new(&sc, VerdictStore::in_memory(), "v1|col:sc");
+        let single_tso = BatchChecker::new(&tso, VerdictStore::in_memory(), "v1|col:tso");
+        for t in &tests {
+            assert_eq!(multi.key_of(0, t), single_sc.key_of(t));
+            assert_eq!(multi.key_of(1, t), single_tso.key_of(t));
+        }
+    }
+
+    #[test]
+    fn one_enumeration_serves_every_cold_column() {
+        let tests = corpus(5);
+        let sc = lkmm_models::Sc;
+        let tso = lkmm_models::X86Tso;
+        let armv8 = lkmm_models::Armv8;
+        let mut multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "s|col:sc".into() },
+                MultiColumn { model: &tso, salt: "s|col:tso".into() },
+                MultiColumn { model: &armv8, salt: "s|col:armv8".into() },
+            ],
+            VerdictStore::in_memory(),
+        );
+        let mask = full_mask(3, tests.len());
+        let cold = multi.check_corpus(&tests, &mask).unwrap();
+        assert_eq!(cold.enumeration_passes, tests.len());
+        // Per-column counters still report the full per-verdict cost…
+        let per_column: usize = cold.columns[0].candidates_enumerated;
+        assert!(per_column > 0);
+        assert_eq!(cold.columns[1].candidates_enumerated, per_column);
+        // …while the shared pass only paid once.
+        assert_eq!(cold.candidates_actual, per_column);
+
+        // Warm re-run: all hits, nothing enumerated.
+        let warm = multi.check_corpus(&tests, &mask).unwrap();
+        assert_eq!(warm.enumeration_passes, 0);
+        assert_eq!(warm.candidates_actual, 0);
+        for (c, w) in cold.columns.iter().zip(&warm.columns) {
+            assert_eq!(w.hits, tests.len());
+            assert_eq!(w.computed, 0);
+            for (co, wo) in c.outcomes.iter().zip(&w.outcomes) {
+                assert_eq!(
+                    co.as_ref().unwrap().outcome.result(),
+                    wo.as_ref().unwrap().outcome.result()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_match_sequential_single_model_passes() {
+        let tests = corpus(6);
+        let sc = lkmm_models::Sc;
+        let c11 = lkmm_models::OriginalC11;
+        let mut multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "q|col:sc".into() },
+                MultiColumn { model: &c11, salt: "q|col:c11".into() },
+            ],
+            VerdictStore::in_memory(),
+        );
+        let report = multi.check_corpus(&tests, &full_mask(2, tests.len())).unwrap();
+        for (c, (model, salt)) in
+            [(&sc as &dyn ConsistencyModel, "q|col:sc"), (&c11, "q|col:c11")]
+                .into_iter()
+                .enumerate()
+        {
+            let mut single = BatchChecker::new(model, VerdictStore::in_memory(), salt);
+            let seq = single.check_corpus(&tests).unwrap();
+            for (m, s) in report.columns[c].outcomes.iter().zip(&seq.outcomes) {
+                let m = m.as_ref().unwrap();
+                assert_eq!(m.key, s.key);
+                assert_eq!(m.outcome.result(), s.outcome.result());
+                assert_eq!(m.provenance, s.provenance);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_cells_stay_none_and_cost_nothing() {
+        let tests = corpus(3);
+        let sc = lkmm_models::Sc;
+        let mut multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "m|col:a".into() },
+                MultiColumn { model: &AllowAll, salt: "m|col:b".into() },
+            ],
+            VerdictStore::in_memory(),
+        );
+        let mask = vec![vec![true, true, true], vec![true, false, false]];
+        let report = multi.check_corpus(&tests, &mask).unwrap();
+        assert!(report.columns[1].outcomes[1].is_none());
+        assert!(report.columns[1].outcomes[2].is_none());
+        assert_eq!(report.columns[1].computed + report.columns[1].hits, 1);
+        assert!(report.columns[0].outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn partial_warmth_enumerates_only_for_the_cold_column() {
+        let tests = corpus(4);
+        let sc = lkmm_models::Sc;
+        let tso = lkmm_models::X86Tso;
+        let mut multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "p|col:sc".into() },
+                MultiColumn { model: &tso, salt: "p|col:tso".into() },
+            ],
+            VerdictStore::in_memory(),
+        );
+        // Warm the SC column alone by masking TSO out entirely.
+        let sc_only = vec![vec![true; tests.len()], vec![false; tests.len()]];
+        let first = multi.check_corpus(&tests, &sc_only).unwrap();
+        assert_eq!(first.enumeration_passes, tests.len());
+        // With both columns on, SC replays and the still-cold TSO column
+        // drives one fresh pass per test.
+        let second = multi.check_corpus(&tests, &full_mask(2, tests.len())).unwrap();
+        assert_eq!(second.columns[0].hits, tests.len(), "sc column replays");
+        assert_eq!(second.columns[1].computed, tests.len(), "tso column computes");
+        assert_eq!(second.enumeration_passes, tests.len(), "one pass per cold test");
+        for o in second.columns[1].outcomes.iter().flatten() {
+            assert!(matches!(
+                o.outcome.result().map(|r| r.verdict),
+                Some(Verdict::Allowed | Verdict::Forbidden)
+            ));
+        }
+    }
+
+    #[test]
+    fn budget_trip_marks_every_missing_column_inconclusive() {
+        let tests = corpus(2);
+        let sc = lkmm_models::Sc;
+        let tso = lkmm_models::X86Tso;
+        let mut multi = MultiBatchChecker::new(
+            vec![
+                MultiColumn { model: &sc, salt: "b|col:sc".into() },
+                MultiColumn { model: &tso, salt: "b|col:tso".into() },
+            ],
+            VerdictStore::in_memory(),
+        )
+        .with_budget(Budget::default().with_max_candidates(1));
+        let report = multi.check_corpus(&tests, &full_mask(2, tests.len())).unwrap();
+        for col in &report.columns {
+            assert_eq!(col.inconclusive, tests.len());
+            assert_eq!(col.computed, 0);
+        }
+        assert_eq!(multi.store().len(), 0, "inconclusive is never stored");
+    }
+}

@@ -42,7 +42,7 @@
 use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
 use linux_kernel_memory_model::service::{BatchChecker, VerdictStore};
 use linux_kernel_memory_model::{
-    Budget, CheckOutcome, Herd, InconclusiveReason, ModelChoice, Report, Tally,
+    Budget, CheckOutcome, Herd, InconclusiveReason, ModelChoice, MultiCheckOutcome, Report, Tally,
 };
 use lkmm_exec::enumerate::{enumerate, EnumOptions};
 use lkmm_exec::states::collect_states;
@@ -51,9 +51,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] [BUDGET] FILE.litmus\n\
+     \x20      herd-rs --models M1,M2,... [--jobs N] [--queue-depth N] [BUDGET] FILE.litmus\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] --library\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] serve\n\
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [CONFORMANCE] conformance\n\
+     \x20 --models M1,M2   decide several models from ONE enumeration pass per test; output is\n\
+     \x20                  byte-identical to running --model M1, --model M2, ... in sequence\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
      \x20 --queue-depth N  per-worker candidate queue bound (default 256)\n\
      \x20 --early-exit     stop each check once its verdict is decided (not with --store)\n\
@@ -94,6 +97,7 @@ const MAX_QUEUE_DEPTH: usize = 1 << 20;
 struct Cli {
     model: ModelChoice,
     model_given: bool,
+    models: Option<Vec<ModelChoice>>,
     file: Option<String>,
     serve_mode: bool,
     conformance_mode: bool,
@@ -140,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         model: ModelChoice::Lkmm,
         model_given: false,
+        models: None,
         file: None,
         serve_mode: false,
         conformance_mode: false,
@@ -190,6 +195,23 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     format!("unknown model `{name}` (lkmm, lkmm-cat, sc, tso, armv8, power, c11)")
                 })?;
                 cli.model_given = true;
+            }
+            "--models" => {
+                let list = it.next().ok_or("--models needs a comma-separated list of models")?;
+                let mut choices = Vec::new();
+                for name in list.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(format!("--models got an empty model name in `{list}`"));
+                    }
+                    choices.push(ModelChoice::parse_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown model `{name}` in --models \
+                             (lkmm, lkmm-cat, sc, tso, armv8, power, c11)"
+                        )
+                    })?);
+                }
+                cli.models = Some(choices);
             }
             "--store" => {
                 let path = it.next().ok_or("--store needs a path argument")?;
@@ -312,6 +334,24 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     if cli.max_request_bytes.is_some() && !cli.serve_mode {
         return Err("--max-request-bytes only applies to `serve`".to_string());
     }
+    if cli.models.is_some() {
+        if cli.model_given {
+            return Err("--models replaces --model; give the whole list to --models".to_string());
+        }
+        if cli.serve_mode
+            || cli.conformance_mode
+            || cli.run_library
+            || cli.dot
+            || cli.states
+            || cli.early_exit
+            || cli.store.is_some()
+        {
+            return Err("--models checks one FILE.litmus and takes only --jobs, --queue-depth, \
+                        and --budget-* (use `conformance` for store-backed multi-model \
+                        campaigns)"
+                .to_string());
+        }
+    }
     if cli.run_library && cli.file.is_some() {
         return Err("--library does not take an input file".to_string());
     }
@@ -418,6 +458,10 @@ fn main() -> ExitCode {
         Err(e) => return fail_code(EXIT_PARSE, &format!("{path}: {e}")),
     };
 
+    if let Some(models) = cli.models.as_deref() {
+        return multi_mode(&cli, models, &test, &path);
+    }
+
     let outcome = if let Some(store_path) = cli.store.as_deref() {
         let model = cli.model.model();
         let store = match open_store(Some(store_path)) {
@@ -489,6 +533,42 @@ fn main() -> ExitCode {
 struct GovernedOutcome {
     model_name: String,
     outcome: CheckOutcome,
+}
+
+/// `--models a,b,c FILE`: decide every listed model from one enumeration
+/// pass. Stdout is byte-identical to running `--model a FILE`,
+/// `--model b FILE`, ... in sequence; a budget trip makes *all* models
+/// inconclusive together (their partial tallies cover the same
+/// candidates) and exits 6.
+fn multi_mode(
+    cli: &Cli,
+    models: &[ModelChoice],
+    test: &lkmm_litmus::Test,
+    path: &str,
+) -> ExitCode {
+    let mut herd = Herd::new_multi(models).with_jobs(cli.jobs).with_budget(cli.budget(true));
+    if let Some(depth) = cli.queue_depth {
+        herd = herd.with_queue_depth(depth);
+    }
+    let governed = herd.check_multi_governed(test);
+    match &governed.outcome {
+        MultiCheckOutcome::Complete(_) => {
+            for report in governed.reports().expect("outcome is Complete") {
+                println!("{report}");
+            }
+            ExitCode::SUCCESS
+        }
+        MultiCheckOutcome::Inconclusive { reason, partials } => {
+            for (name, partial) in governed.model_names.iter().zip(partials) {
+                eprintln!(
+                    "herd-rs: {path}: {name}: inconclusive: {reason} (partial: candidates={}, \
+                     allowed={}, witnesses={})",
+                    partial.candidates, partial.allowed, partial.witnesses
+                );
+            }
+            ExitCode::from(EXIT_INCONCLUSIVE)
+        }
+    }
 }
 
 /// `herd-rs conformance`: run a differential campaign and report.
@@ -632,4 +712,61 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
         report.micros
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Cli>, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn models_list_parses_in_order() {
+        let cli = parse(&["--models", "sc,tso,c11", "t.litmus"]).unwrap().unwrap();
+        assert_eq!(
+            cli.models,
+            Some(vec![ModelChoice::Sc, ModelChoice::Tso, ModelChoice::C11])
+        );
+        assert_eq!(cli.file.as_deref(), Some("t.litmus"));
+    }
+
+    #[test]
+    fn models_accepts_aliases_and_spaces() {
+        let cli = parse(&["--models", "x86, aarch64 ,cat", "t.litmus"]).unwrap().unwrap();
+        assert_eq!(
+            cli.models,
+            Some(vec![ModelChoice::Tso, ModelChoice::Armv8, ModelChoice::LkmmCat])
+        );
+    }
+
+    #[test]
+    fn models_rejects_unknown_names_at_parse_time() {
+        let err = parse(&["--models", "sc,bogus", "t.litmus"]).err().unwrap();
+        assert!(err.contains("unknown model `bogus`"), "{err}");
+        let err = parse(&["--models", "sc,,tso", "t.litmus"]).err().unwrap();
+        assert!(err.contains("empty model name"), "{err}");
+    }
+
+    #[test]
+    fn models_rejects_incompatible_flags() {
+        assert!(parse(&["--models", "sc", "--model", "tso", "t.litmus"]).is_err());
+        assert!(parse(&["--models", "sc", "--store", "s.log", "t.litmus"]).is_err());
+        assert!(parse(&["--models", "sc", "--early-exit", "t.litmus"]).is_err());
+        assert!(parse(&["--models", "sc", "--dot", "t.litmus"]).is_err());
+        assert!(parse(&["--models", "sc", "--states", "t.litmus"]).is_err());
+        assert!(parse(&["--models", "sc", "--library"]).is_err());
+        assert!(parse(&["--models", "sc", "serve"]).is_err());
+        assert!(parse(&["--models", "sc", "conformance"]).is_err());
+    }
+
+    #[test]
+    fn models_allows_jobs_and_budgets() {
+        let cli = parse(&["--models", "lkmm,sc", "-j", "4", "--budget-candidates", "100", "t.litmus"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.budget_candidates, Some(100));
+    }
 }

@@ -65,12 +65,14 @@ pub use lkmm_relation as relation;
 pub use lkmm_service as service;
 pub use lkmm_sim as sim;
 
-pub use lkmm_exec::{Budget, BudgetKind, CancelToken, CheckOutcome, InconclusiveReason, Tally};
+pub use lkmm_exec::{
+    Budget, BudgetKind, CancelToken, CheckOutcome, InconclusiveReason, MultiCheckOutcome, Tally,
+};
 
 use lkmm_exec::enumerate::EnumOptions;
 use lkmm_exec::{
-    check_test_governed, check_test_pipelined, ConsistencyModel, EnumError, PipelineOptions,
-    TestResult, Verdict,
+    check_test_governed, check_test_multi, check_test_multi_governed, check_test_pipelined,
+    ConsistencyModel, EnumError, PipelineOptions, TestResult, Verdict,
 };
 use lkmm_litmus::{parse, ParseError, Test};
 use std::fmt;
@@ -124,8 +126,16 @@ impl ModelChoice {
 }
 
 /// High-level checker: the herd7 work-flow in one object.
+///
+/// A `Herd` can hold one model ([`Herd::new`]) or several
+/// ([`Herd::new_multi`]). With several, [`Herd::check_multi`] and
+/// [`Herd::check_multi_governed`] decide every model from **one**
+/// enumeration pass over the test's candidate executions — each
+/// candidate's derived relations are computed once into a shared facts
+/// layer and borrowed by all the checkers. The single-model methods
+/// always act on the first model.
 pub struct Herd {
-    model: Box<dyn ConsistencyModel>,
+    models: Vec<Box<dyn ConsistencyModel>>,
     options: EnumOptions,
     pipeline: PipelineOptions,
 }
@@ -192,6 +202,42 @@ impl GovernedReport {
     }
 }
 
+/// Everything [`Herd::check_multi_governed`] reports about one test.
+///
+/// One enumeration pass decided every model, so either all models get a
+/// verdict ([`MultiCheckOutcome::Complete`], in [`Herd::new_multi`]
+/// order) or none do and the partial tallies all cover the same
+/// candidate prefix.
+#[derive(Clone, Debug)]
+pub struct MultiGovernedReport {
+    /// The checked test's name.
+    pub test_name: String,
+    /// The models' names, in [`Herd::new_multi`] order.
+    pub model_names: Vec<String>,
+    /// Per-model verdicts or a shared structured stop reason.
+    pub outcome: MultiCheckOutcome,
+}
+
+impl MultiGovernedReport {
+    /// The completed per-model [`Report`]s, if the check finished.
+    pub fn reports(&self) -> Option<Vec<Report>> {
+        match &self.outcome {
+            MultiCheckOutcome::Complete(results) => Some(
+                self.model_names
+                    .iter()
+                    .zip(results)
+                    .map(|(name, result)| Report {
+                        test_name: self.test_name.clone(),
+                        model_name: name.clone(),
+                        result: result.clone(),
+                    })
+                    .collect(),
+            ),
+            MultiCheckOutcome::Inconclusive { .. } => None,
+        }
+    }
+}
+
 /// Errors from the high-level API.
 #[derive(Debug)]
 pub enum HerdError {
@@ -228,11 +274,30 @@ impl Herd {
     /// A checker for the chosen model with default enumeration options,
     /// checking sequentially (`jobs = 1`).
     pub fn new(choice: ModelChoice) -> Self {
+        Herd::new_multi(&[choice])
+    }
+
+    /// A checker deciding every chosen model from a single enumeration
+    /// pass per test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty choice list.
+    pub fn new_multi(choices: &[ModelChoice]) -> Self {
+        assert!(!choices.is_empty(), "Herd needs at least one model");
         Herd {
-            model: choice.model(),
+            models: choices.iter().map(|c| c.model()).collect(),
             options: EnumOptions::default(),
             pipeline: PipelineOptions { jobs: 1, ..PipelineOptions::default() },
         }
+    }
+
+    fn model(&self) -> &dyn ConsistencyModel {
+        self.models[0].as_ref()
+    }
+
+    fn model_refs(&self) -> Vec<&dyn ConsistencyModel> {
+        self.models.iter().map(Box::as_ref).collect()
     }
 
     /// Override the enumeration options.
@@ -277,13 +342,48 @@ impl Herd {
     ///
     /// Propagates enumeration errors.
     pub fn check(&self, test: &Test) -> Result<Report, HerdError> {
-        let result =
-            check_test_pipelined(self.model.as_ref(), test, &self.options, &self.pipeline)?;
+        let result = check_test_pipelined(self.model(), test, &self.options, &self.pipeline)?;
         Ok(Report {
             test_name: test.name.clone(),
-            model_name: self.model.name().to_string(),
+            model_name: self.model().name().to_string(),
             result,
         })
+    }
+
+    /// Check a parsed test against every configured model in one
+    /// enumeration pass. Reports come back in [`Herd::new_multi`] order
+    /// and are identical to what N separate [`Herd::check`] calls would
+    /// produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors.
+    pub fn check_multi(&self, test: &Test) -> Result<Vec<Report>, HerdError> {
+        let models = self.model_refs();
+        let results = check_test_multi(&models, test, &self.options, &self.pipeline)?;
+        Ok(models
+            .iter()
+            .zip(results)
+            .map(|(m, result)| Report {
+                test_name: test.name.clone(),
+                model_name: m.name().to_string(),
+                result,
+            })
+            .collect())
+    }
+
+    /// Check a parsed test against every configured model in one
+    /// *governed* enumeration pass. Never errors and never panics; a
+    /// budget stop yields [`MultiCheckOutcome::Inconclusive`] with one
+    /// partial tally per model, all covering the same candidates.
+    pub fn check_multi_governed(&self, test: &Test) -> MultiGovernedReport {
+        let models = self.model_refs();
+        let outcome = check_test_multi_governed(&models, test, &self.options, &self.pipeline);
+        MultiGovernedReport {
+            test_name: test.name.clone(),
+            model_names: models.iter().map(|m| m.name().to_string()).collect(),
+            outcome,
+        }
     }
 
     /// Check a parsed test under the configured [`Budget`]. Never errors
@@ -291,11 +391,10 @@ impl Herd {
     /// panics inside model evaluation all come back as structured
     /// [`CheckOutcome::Inconclusive`] outcomes with partial tallies.
     pub fn check_governed(&self, test: &Test) -> GovernedReport {
-        let outcome =
-            check_test_governed(self.model.as_ref(), test, &self.options, &self.pipeline);
+        let outcome = check_test_governed(self.model(), test, &self.options, &self.pipeline);
         GovernedReport {
             test_name: test.name.clone(),
-            model_name: self.model.name().to_string(),
+            model_name: self.model().name().to_string(),
             outcome,
         }
     }
@@ -316,7 +415,7 @@ impl Herd {
     ///
     /// Propagates enumeration errors.
     pub fn states(&self, test: &Test) -> Result<lkmm_exec::StateSummary, HerdError> {
-        Ok(lkmm_exec::collect_states(self.model.as_ref(), test, &self.options)?)
+        Ok(lkmm_exec::collect_states(self.model(), test, &self.options)?)
     }
 }
 
@@ -344,5 +443,25 @@ mod tests {
     fn parse_errors_surface() {
         let herd = Herd::new(ModelChoice::Sc);
         assert!(matches!(herd.check_source("not litmus"), Err(HerdError::Parse(_))));
+    }
+
+    #[test]
+    fn multi_check_matches_single_model_runs() {
+        let choices = [ModelChoice::Lkmm, ModelChoice::Sc, ModelChoice::Tso];
+        let herd = Herd::new_multi(&choices);
+        let t = lkmm_litmus::library::by_name("SB").unwrap().test();
+        let reports = herd.check_multi(&t).unwrap();
+        assert_eq!(reports.len(), 3);
+        for (choice, multi) in choices.iter().zip(&reports) {
+            let single = Herd::new(*choice).check(&t).unwrap();
+            assert_eq!(multi.model_name, single.model_name);
+            assert_eq!(multi.result, single.result);
+        }
+
+        let governed = herd.check_multi_governed(&t);
+        let govs = governed.reports().expect("no budget configured");
+        for (multi, gov) in reports.iter().zip(&govs) {
+            assert_eq!(multi.result, gov.result);
+        }
     }
 }
