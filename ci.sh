@@ -128,6 +128,32 @@ grep -q 'lkmm: .* 0 candidates enumerated' /tmp/lkmm-conf-warm.err
 grep -q 'c11: .* 0 candidates enumerated' /tmp/lkmm-conf-warm.err
 rm -f "$CONF_STORE" /tmp/lkmm-conf-cold.json /tmp/lkmm-conf-warm.json /tmp/lkmm-conf-warm.err
 
+echo "== enumerator pruning: pruned and naive strategies emit identical witnesses =="
+cargo test --release --test prune --quiet
+
+echo "== conformance: contended corpus with enumeration counters opted in =="
+# The contended twins (one location, colliding write values) are where
+# the pruned enumerator diverges hardest from generate-then-judge; the
+# campaign must stay clean across every model and oracle, and the
+# opted-in counters must land on stderr, not in the JSON report.
+"$BIN" conformance --max-cycle-len 4 --contended --sim-iterations 0 --no-shrink \
+    --enum-stats --json > /tmp/lkmm-conf-ctd.json 2> /tmp/lkmm-conf-ctd.err
+grep -q '"clean":true' /tmp/lkmm-conf-ctd.json
+grep -q '"contended":true' /tmp/lkmm-conf-ctd.json
+grep -q '"enumeration":' /tmp/lkmm-conf-ctd.json
+grep -q 'enumeration: .* rf prefixes pruned' /tmp/lkmm-conf-ctd.err
+rm -f /tmp/lkmm-conf-ctd.json /tmp/lkmm-conf-ctd.err
+
+echo "== conformance: cycle-length-6 campaign completes cleanly =="
+# The routine deep workload the pruned enumerator makes affordable:
+# every diy cycle up to length 6 through all seven models and the
+# oracle matrix, no sim, no shrinking.
+"$BIN" conformance --max-cycle-len 6 --sim-iterations 0 --no-shrink --json \
+    > /tmp/lkmm-conf-len6.json 2> /dev/null
+grep -q '"clean":true' /tmp/lkmm-conf-len6.json
+grep -q '"discrepancies":\[\]' /tmp/lkmm-conf-len6.json
+rm -f /tmp/lkmm-conf-len6.json
+
 echo "== fault injection: armed faults are contained, disarmed builds are clean =="
 cargo test --features fault-injection --test fault_injection --quiet
 cargo build --release --features fault-injection --bin herd-rs
@@ -184,6 +210,16 @@ echo "== multi-model bench: single enumeration vs sequential columns =="
 BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-multimodel.XXXXXX)
 cargo build --release -q -p lkmm-bench --bin multimodel
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/multimodel" --iters 3 )
+rm -rf "$BENCH_DIR"
+
+echo "== pruning bench: consistency-driven vs generate-then-judge enumeration =="
+# The run asserts identical emitted candidate counts between strategies
+# over the full contended corpus and the >=5x candidate reduction at
+# cycle length 4; the recorded BENCH_PRUNE.json (which sweeps to length
+# 6) is regenerated deliberately from the repo root.
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-prune.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin prune
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/prune" --iters 1 --max-cycle-len 5 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

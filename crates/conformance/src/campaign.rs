@@ -20,7 +20,7 @@ use crate::oracle::{check_row, recheck_violated, Discrepancy, OracleKind, Oracle
 use crate::shrink::{shrink, test_size, Shrunk};
 use lkmm_core::budget::Budget;
 use lkmm_exec::{CheckOutcome, EnumOptions, PipelineOptions, Verdict};
-use lkmm_generator::{cycles_up_to, default_alphabet, generate, GenError};
+use lkmm_generator::{cycles_up_to, default_alphabet, generate, generate_contended, GenError};
 use lkmm_service::canonical_text;
 use lkmm_sim::{run_test, Arch, RunConfig};
 use std::fmt;
@@ -51,6 +51,13 @@ pub struct CampaignConfig {
     /// Generate every diy cycle up to this length (`0` = none; the
     /// shortest critical cycle has length 4).
     pub max_cycle_len: usize,
+    /// Also generate each cycle's contended twin
+    /// ([`lkmm_generator::generate_contended`]): every event on one
+    /// location, write values colliding, the cycle repeated to a fixed
+    /// event budget. This is the coherence-heavy half of the corpus —
+    /// the tests where per-location write orders are mostly forced and
+    /// reads-from choices are mostly doomed.
+    pub contended: bool,
     /// Include the paper's named library.
     pub include_library: bool,
     /// Cache version salt (each model column adds its own component).
@@ -67,12 +74,19 @@ pub struct CampaignConfig {
     pub sim: SimConfig,
     /// Minimize discrepancies with the shrinker.
     pub shrink: bool,
+    /// Shared enumeration pruning counters for the matrix pass. `None`
+    /// (the default) records nothing; when set, the report carries a
+    /// [`CampaignReport::enumeration`] snapshot. Observability only —
+    /// counters never influence verdicts or cache keys, and a warm store
+    /// legitimately reports zeros.
+    pub enum_stats: Option<std::sync::Arc<lkmm_exec::EnumStats>>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             max_cycle_len: 4,
+            contended: false,
             include_library: true,
             salt: String::new(),
             jobs: 0,
@@ -81,6 +95,7 @@ impl Default for CampaignConfig {
             store_path: None,
             sim: SimConfig::default(),
             shrink: true,
+            enum_stats: None,
         }
     }
 }
@@ -112,6 +127,9 @@ pub struct CampaignReport {
     pub oracles: Vec<OracleStats>,
     /// Every oracle violation (shrunk when configured).
     pub discrepancies: Vec<Discrepancy>,
+    /// Enumeration pruning counters from the matrix pass; present only
+    /// when [`CampaignConfig::enum_stats`] was set.
+    pub enumeration: Option<lkmm_exec::EnumSnapshot>,
 }
 
 impl CampaignReport {
@@ -176,8 +194,17 @@ pub fn corpus(cfg: &CampaignConfig) -> Result<Vec<CorpusEntry>, GenError> {
         }
     }
     if cfg.max_cycle_len > 0 {
-        for cycle in cycles_up_to(cfg.max_cycle_len, &default_alphabet()) {
-            out.push(CorpusEntry { test: generate(&cycle)?, origin: Origin::Generated });
+        let cycles = cycles_up_to(cfg.max_cycle_len, &default_alphabet());
+        for cycle in &cycles {
+            out.push(CorpusEntry { test: generate(cycle)?, origin: Origin::Generated });
+        }
+        if cfg.contended {
+            for cycle in &cycles {
+                out.push(CorpusEntry {
+                    test: generate_contended(cycle)?,
+                    origin: Origin::Generated,
+                });
+            }
         }
     }
     Ok(out)
@@ -219,8 +246,12 @@ pub fn run_campaign_with(
         queue_depth: cfg.queue_depth,
         budget: cfg.budget.clone(),
         store_path: cfg.store_path.as_deref(),
+        enum_stats: cfg.enum_stats.clone(),
     };
     let (matrix, passes) = build_matrix(&corpus, set, &matrix_opts)?;
+    // Snapshot before the oracle/shrink phases so the counters describe
+    // exactly the matrix enumeration pass.
+    let enumeration = cfg.enum_stats.as_ref().map(|s| s.snapshot());
 
     // Matrix-level oracles.
     let mut discrepancies = Vec::new();
@@ -331,6 +362,7 @@ pub fn run_campaign_with(
             .map(|(&kind, summary)| OracleStats { kind, summary })
             .collect(),
         discrepancies,
+        enumeration,
     })
 }
 

@@ -17,7 +17,7 @@
 //! Table 5). Unsupported cells are `None` and the oracles skip them.
 
 use lkmm_core::budget::Budget;
-use lkmm_exec::{CheckOutcome, ConsistencyModel, Verdict};
+use lkmm_exec::{CheckOutcome, ConsistencyModel, EnumOptions, EnumStats, Verdict};
 use lkmm_litmus::ast::{Stmt, Test};
 use lkmm_litmus::library::Expect;
 use lkmm_litmus::FenceKind;
@@ -263,6 +263,9 @@ pub struct MatrixOptions<'a> {
     pub budget: Budget,
     /// Persistent verdict store; `None` checks in memory.
     pub store_path: Option<&'a Path>,
+    /// Shared enumeration pruning counters (observability only — like
+    /// store hits, never part of cache keys or the default report JSON).
+    pub enum_stats: Option<std::sync::Arc<EnumStats>>,
 }
 
 impl Default for MatrixOptions<'_> {
@@ -273,6 +276,7 @@ impl Default for MatrixOptions<'_> {
             queue_depth: 256,
             budget: Budget::default(),
             store_path: None,
+            enum_stats: None,
         }
     }
 }
@@ -325,6 +329,7 @@ pub fn build_matrix(
         })
         .collect();
     let mut checker = MultiBatchChecker::new(columns, store)
+        .with_options(EnumOptions { stats: opts.enum_stats.clone(), ..EnumOptions::default() })
         .with_jobs(opts.jobs)
         .with_queue_depth(opts.queue_depth)
         .with_budget(opts.budget.clone());

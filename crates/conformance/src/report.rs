@@ -69,12 +69,13 @@ pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
         })
         .collect();
 
-    Json::obj(vec![
+    let mut fields = vec![
         ("op", Json::str("conformance")),
         (
             "config",
             Json::obj(vec![
                 ("max_cycle_len", Json::num(cfg.max_cycle_len as u64)),
+                ("contended", Json::Bool(cfg.contended)),
                 ("library", Json::Bool(cfg.include_library)),
                 ("salt", Json::str(&cfg.salt)),
                 ("sim_iterations", Json::num(cfg.sim.iterations)),
@@ -95,7 +96,24 @@ pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
         ("oracles", Json::Arr(oracles)),
         ("discrepancies", Json::Arr(discrepancies)),
         ("clean", Json::Bool(report.clean())),
-    ])
+    ];
+    // Absent by default so default reports stay byte-identical across
+    // cold and warm runs; opting into counters (`--enum-stats`) opts out
+    // of that guarantee — a warm store enumerates nothing and reports
+    // zeros.
+    if let Some(e) = &report.enumeration {
+        fields.push((
+            "enumeration",
+            Json::obj(vec![
+                ("rf_prefixes_pruned", Json::num(e.rf_prefixes_pruned)),
+                ("co_pairs_saturated", Json::num(e.co_pairs_saturated)),
+                ("co_pairs_branched", Json::num(e.co_pairs_branched)),
+                ("co_leaves_tested", Json::num(e.co_leaves_tested)),
+                ("candidates_emitted", Json::num(e.candidates_emitted)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn recheck_json(check: &Recheck) -> Json {
@@ -206,6 +224,18 @@ pub fn observability_lines(report: &CampaignReport) -> String {
             m.pass.candidates_enumerated
         );
     }
+    if let Some(e) = &report.enumeration {
+        let _ = writeln!(
+            out,
+            "enumeration: {} rf prefixes pruned, {} co pairs saturated, {} branched, \
+             {} leaves tested, {} candidates emitted",
+            e.rf_prefixes_pruned,
+            e.co_pairs_saturated,
+            e.co_pairs_branched,
+            e.co_leaves_tested,
+            e.candidates_emitted
+        );
+    }
     out
 }
 
@@ -234,6 +264,28 @@ mod tests {
         assert_eq!(v.get("discrepancies").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
         let models = v.get("models").and_then(Json::as_arr).unwrap();
         assert_eq!(models.len(), crate::matrix::ModelId::ALL.len());
+    }
+
+    #[test]
+    fn enumeration_counters_are_absent_by_default_and_gated_in() {
+        // Default reports carry no counters (cold/warm `cmp` relies on
+        // that); opting in adds the section and the stderr line.
+        let cfg = quick();
+        let report = run_campaign(&cfg).unwrap();
+        assert!(report.enumeration.is_none());
+        let plain = json_report(&report, &cfg).to_string();
+        assert!(!plain.contains("enumeration"), "counters leaked into default JSON");
+        assert!(!observability_lines(&report).contains("enumeration:"));
+
+        let stats = std::sync::Arc::new(lkmm_exec::EnumStats::default());
+        let cfg2 = CampaignConfig { enum_stats: Some(std::sync::Arc::clone(&stats)), ..quick() };
+        let report2 = run_campaign(&cfg2).unwrap();
+        let snap = report2.enumeration.expect("opted-in campaign records a snapshot");
+        assert!(snap.candidates_emitted > 0, "cold matrix pass enumerates candidates");
+        let v = Json::parse(&json_report(&report2, &cfg2).to_string()).unwrap();
+        let e = v.get("enumeration").expect("opted-in JSON carries the section");
+        assert_eq!(e.get("candidates_emitted").and_then(Json::as_u64), Some(snap.candidates_emitted));
+        assert!(observability_lines(&report2).contains("enumeration:"));
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct Execution {
     /// Coherence order: total per location, initialising write first
     /// (stored transitively closed).
     pub co: Relation,
+    /// `po ∩ loc`, precomputed by the enumerator and shared (like the
+    /// other pre-witness relations) across every candidate of one
+    /// thread-outcome combination.
+    pub po_loc: Arc<Relation>,
     /// Final register values, per thread.
     pub final_regs: Arc<Vec<BTreeMap<String, Val>>>,
 }
@@ -149,9 +153,10 @@ impl Execution {
         self.rf.union(&self.co).union(&self.fr())
     }
 
-    /// Program order restricted to same-location accesses.
+    /// Program order restricted to same-location accesses (a clone of
+    /// the shared precomputed relation).
     pub fn po_loc(&self) -> Relation {
-        self.po.intersection(&self.loc_rel())
+        (*self.po_loc).clone()
     }
 
     /// Internal reads-from.

@@ -76,7 +76,7 @@ pub struct StaticExecFacts {
     loc_rel: OnceCell<Relation>,
     int: OnceCell<Relation>,
     ext: OnceCell<Relation>,
-    po_loc: OnceCell<Relation>,
+    po_loc: OnceCell<Arc<Relation>>,
     reads: OnceCell<EventSet>,
     writes: OnceCell<EventSet>,
     init_writes: OnceCell<EventSet>,
@@ -158,9 +158,10 @@ impl<'x> ExecFacts<'x> {
         self.statics.ext.get_or_init(|| self.int_rel().complement())
     }
 
-    /// `po-loc`: program order restricted to same-location accesses.
+    /// `po-loc`: program order restricted to same-location accesses
+    /// (shared with the execution's precomputed relation, not rebuilt).
     pub fn po_loc(&self) -> &Relation {
-        self.statics.po_loc.get_or_init(|| self.x.po.intersection(self.loc_rel()))
+        self.statics.po_loc.get_or_init(|| Arc::clone(&self.x.po_loc))
     }
 
     /// All reads (`R`).

@@ -39,7 +39,10 @@ pub mod event;
 pub mod execution;
 pub mod thread;
 
-pub use enumerate::{enumerate, for_each_execution, try_for_each_execution, EnumError, EnumOptions};
+pub use enumerate::{
+    enumerate, for_each_execution, try_for_each_execution, EnumError, EnumOptions, EnumSnapshot,
+    EnumStats, EnumStrategy,
+};
 pub use event::{Event, EventKind, LocId, ReadAnnot, SrcuKind, Val, WriteAnnot};
 pub use execution::Execution;
 pub use facts::{ExecFacts, FactsCache, SrcuDomainFacts, StaticExecFacts};

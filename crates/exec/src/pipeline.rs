@@ -783,12 +783,25 @@ mod tests {
     fn debug_format_of_enum_options_is_key_stable() {
         // The verdict store folds `{:?}` of EnumOptions into cache keys;
         // this string must never change for default options, or every
-        // existing store goes cold. The budget field is deliberately
-        // excluded.
+        // existing store goes cold. The budget, strategy, and stats
+        // fields are deliberately excluded.
         assert_eq!(
             format!("{:?}", EnumOptions::default()),
             "EnumOptions { prune_scpv: true, max_executions: 4000000, \
              max_domain_iterations: 16, max_oracle_branches: 200000 }"
         );
+    }
+
+    #[test]
+    fn enumeration_strategy_and_stats_do_not_perturb_the_key_form() {
+        // Stores written before the consistency-driven enumerator — or
+        // by its naive ablation twin — must replay byte-identically, so
+        // neither knob may surface in the `{:?}` cache-key form.
+        let tuned = EnumOptions {
+            strategy: crate::enumerate::EnumStrategy::Naive,
+            stats: Some(std::sync::Arc::new(crate::enumerate::EnumStats::default())),
+            ..EnumOptions::default()
+        };
+        assert_eq!(format!("{tuned:?}"), format!("{:?}", EnumOptions::default()));
     }
 }

@@ -279,9 +279,59 @@ pub fn validate(cycle: &[Edge]) -> Result<(), GenError> {
 ///
 /// See [`validate`].
 pub fn generate(cycle: &[Edge]) -> Result<Test, GenError> {
+    let n_locs = cycle.iter().filter(|e| !e.is_external()).count().max(1);
+    generate_with_locs(cycle, n_locs, "", false)
+}
+
+/// Generate the *contended* twin of a cycle's litmus test: every event
+/// targets the same shared location (the way diy reuses its bounded
+/// location pool on long cycles) and every write stores the same value,
+/// so a read no longer identifies its writer. Same threads, same
+/// adornments — but now program order is program order *to the same
+/// location* and reads-from is genuinely ambiguous, so the coherence
+/// axioms actually constrain the candidate space: most per-location
+/// write permutations are forced and most reads-from choices are doomed
+/// partway through. These are the tests where a generate-then-judge
+/// enumerator does real wasted work, which makes them both a
+/// conformance workload (uniproc/coherence corner cases) and the honest
+/// benchmark corpus for enumeration pruning.
+///
+/// Short cycles produce trivially contended twins (a 4-event cycle has
+/// at most two same-location writes), so the twin repeats the cycle's
+/// access pattern until another repetition would exceed a fixed budget
+/// of [`CONTENTION_EVENTS`] events — the same fixed-resource style as
+/// diy's bounded process/location pools. A valid cycle concatenated
+/// with itself is still a valid cycle (it closes on itself, so every
+/// adjacency including the junction was already checked), and the
+/// repetition count is derived, not configurable, so the twin is a pure
+/// function of the cycle.
+///
+/// The test is named after the repeated edge sequence with a `+ctd`
+/// suffix.
+///
+/// # Errors
+///
+/// See [`validate`].
+pub fn generate_contended(cycle: &[Edge]) -> Result<Test, GenError> {
+    if cycle.is_empty() {
+        return Err(GenError::IllFormed);
+    }
+    let reps = (CONTENTION_EVENTS / cycle.len()).max(1);
+    let repeated: Vec<Edge> = cycle.iter().copied().cycle().take(reps * cycle.len()).collect();
+    generate_with_locs(&repeated, 1, "+ctd", true)
+}
+
+/// Event budget a contended twin fills by repeating its cycle.
+pub const CONTENTION_EVENTS: usize = 8;
+
+fn generate_with_locs(
+    cycle: &[Edge],
+    n_locs: usize,
+    suffix: &str,
+    collide_values: bool,
+) -> Result<Test, GenError> {
     validate(cycle)?;
     let n = cycle.len();
-    let n_locs = cycle.iter().filter(|e| !e.is_external()).count().max(1);
 
     // Place events: external edges switch threads, internal edges switch
     // locations.
@@ -317,12 +367,14 @@ pub fn generate(cycle: &[Edge]) -> Result<Test, GenError> {
         events[0].release = true;
     }
 
-    // Values: writes to each location numbered in cycle order.
+    // Values: writes to each location numbered in cycle order — or all
+    // `1` for a contended twin, so reads cannot identify their writer
+    // and reads-from stays genuinely ambiguous.
     let mut next_value = vec![0i64; n_locs];
     for ev in events.iter_mut() {
         if ev.is_write {
             next_value[ev.loc] += 1;
-            ev.value = next_value[ev.loc];
+            ev.value = if collide_values { 1 } else { next_value[ev.loc] };
         }
     }
 
@@ -355,7 +407,8 @@ pub fn generate(cycle: &[Edge]) -> Result<Test, GenError> {
 
     // Emit threads.
     let loc_name = |l: usize| format!("x{l}");
-    let mut test = Test::new(cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("+"));
+    let name = cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("+");
+    let mut test = Test::new(format!("{name}{suffix}"));
     for l in 0..n_locs {
         test.init_int(loc_name(l), 0);
     }
@@ -452,9 +505,13 @@ pub fn generate(cycle: &[Edge]) -> Result<Test, GenError> {
             ));
         }
     }
-    for (l, &last) in next_value.iter().enumerate() {
-        if last >= 2 {
-            props.push(Prop::Eq(StateTerm::Loc(loc_name(l)), CondVal::Int(last)));
+    // Final-value pins only make sense when write values are distinct;
+    // a contended twin's writes are indistinguishable by value.
+    if !collide_values {
+        for (l, &last) in next_value.iter().enumerate() {
+            if last >= 2 {
+                props.push(Prop::Eq(StateTerm::Loc(loc_name(l)), CondVal::Int(last)));
+            }
         }
     }
     test.condition = Condition { quantifier: Quantifier::Exists, prop: Prop::all(props) };

@@ -23,9 +23,11 @@
 //! assert!(po_plus.is_acyclic());
 //! ```
 
+mod incremental;
 mod relation;
 mod set;
 
+pub use incremental::IncrementalOrder;
 pub use relation::Relation;
 pub use set::EventSet;
 

@@ -451,6 +451,47 @@ mod tests {
     }
 
     #[test]
+    fn warm_naive_store_replays_byte_identically_under_pruned_enumeration() {
+        // A store populated before the consistency-driven enumerator
+        // landed (equivalently: by the naive ablation strategy) must be
+        // pure hits for the pruned default — same keys, same outcomes,
+        // and not a byte appended to the backing file.
+        use lkmm_exec::{EnumOptions, EnumStrategy};
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("lkmm-batch-warm-replay-{}.bin", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            p
+        };
+        let tests: Vec<Test> =
+            lkmm_litmus::library::all().iter().take(8).map(|pt| pt.test()).collect();
+
+        let mut naive = BatchChecker::new(&AllowAll, VerdictStore::open(&path).unwrap(), "s")
+            .with_options(EnumOptions { strategy: EnumStrategy::Naive, ..Default::default() });
+        let naive_keys: Vec<u128> = tests.iter().map(|t| naive.key_of(t)).collect();
+        let cold = naive.check_corpus(&tests).unwrap();
+        assert!(cold.computed > 0);
+        drop(naive);
+        let bytes_cold = std::fs::read(&path).unwrap();
+
+        let mut pruned = BatchChecker::new(&AllowAll, VerdictStore::open(&path).unwrap(), "s");
+        let pruned_keys: Vec<u128> = tests.iter().map(|t| pruned.key_of(t)).collect();
+        assert_eq!(naive_keys, pruned_keys, "strategy must not perturb cache keys");
+        let warm = pruned.check_corpus(&tests).unwrap();
+        assert_eq!(warm.computed, 0);
+        assert_eq!(warm.candidates_enumerated, 0);
+        assert_eq!(warm.hits + warm.deduped, tests.len());
+        for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(c.key, w.key);
+            assert_eq!(c.result(), w.result());
+        }
+        drop(pruned);
+        let bytes_warm = std::fs::read(&path).unwrap();
+        assert_eq!(bytes_cold, bytes_warm, "warm replay must not rewrite the store");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn budget_is_not_part_of_the_cache_key() {
         let t = parse("C t\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (x=1)").unwrap();
         let plain = BatchChecker::new(&AllowAll, VerdictStore::in_memory(), "s");

@@ -62,6 +62,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --early-exit     stop each check once its verdict is decided (not with --store)\n\
      \x20 --store PATH     answer from / append to a persistent verdict store\n\
      \x20 --salt STR       version salt folded into every cache key\n\
+     \x20 --enum-stats     report enumerator pruning counters on stderr (and a JSON section in\n\
+     \x20                  `conformance --json`); with `--library --store` or `conformance`\n\
      \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)\n\
      \x20 BUDGET options (exceeding one reports `inconclusive`, exit code 6 for single tests):\n\
      \x20 --budget-candidates N   stop a check after N candidate executions\n\
@@ -70,6 +72,7 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --max-request-bytes N   `serve` only: reject request lines longer than N bytes\n\
      \x20 CONFORMANCE options (a campaign runs all seven checkers; --model is rejected):\n\
      \x20 --max-cycle-len N   generate diy cycles up to length N, 0..=6 (default 4; shortest is 4)\n\
+     \x20 --contended         add each cycle's contended twin (one location, colliding values)\n\
      \x20 --no-library        exclude the named paper library from the corpus\n\
      \x20 --no-shrink         report discrepancies without minimizing them\n\
      \x20 --sim-iterations N  per-arch simulator runs per forbidden test (default 200, 0 = off)\n\
@@ -114,12 +117,14 @@ struct Cli {
     budget_ms: Option<u64>,
     max_request_bytes: Option<usize>,
     max_cycle_len: usize,
+    contended: bool,
     no_library: bool,
     no_shrink: bool,
     json: bool,
     sim_iterations: u64,
     sim_seed: u64,
     sim_stride: usize,
+    enum_stats: bool,
     conformance_flag_seen: bool,
 }
 
@@ -161,12 +166,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         budget_ms: None,
         max_request_bytes: None,
         max_cycle_len: 4,
+        contended: false,
         no_library: false,
         no_shrink: false,
         json: false,
         sim_iterations: 200,
         sim_seed: 7,
         sim_stride: 1,
+        enum_stats: false,
         conformance_flag_seen: false,
     };
     let mut it = args.iter();
@@ -253,6 +260,10 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 })?;
                 cli.conformance_flag_seen = true;
             }
+            "--contended" => {
+                cli.contended = true;
+                cli.conformance_flag_seen = true;
+            }
             "--no-library" => {
                 cli.no_library = true;
                 cli.conformance_flag_seen = true;
@@ -284,6 +295,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.sim_stride = parse_count("--sim-stride", n)? as usize;
                 cli.conformance_flag_seen = true;
             }
+            "--enum-stats" => cli.enum_stats = true,
             "--library" | "-l" => cli.run_library = true,
             "--dot" => cli.dot = true,
             "--states" | "-s" => cli.states = true,
@@ -327,9 +339,12 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             .to_string());
     }
     if cli.conformance_flag_seen && !cli.conformance_mode {
-        return Err("--max-cycle-len/--no-library/--no-shrink/--json/--sim-* only apply to \
-                    `conformance`"
+        return Err("--max-cycle-len/--contended/--no-library/--no-shrink/--json/--sim-* only \
+                    apply to `conformance`"
             .to_string());
+    }
+    if cli.enum_stats && !(cli.conformance_mode || (cli.run_library && cli.store.is_some())) {
+        return Err("--enum-stats applies to `conformance` or `--library --store`".to_string());
     }
     if cli.max_request_bytes.is_some() && !cli.serve_mode {
         return Err("--max-request-bytes only applies to `serve`".to_string());
@@ -581,6 +596,7 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
     };
     let cfg = CampaignConfig {
         max_cycle_len: cli.max_cycle_len,
+        contended: cli.contended,
         include_library: !cli.no_library,
         salt: cli.salt.clone(),
         jobs: cli.jobs,
@@ -593,6 +609,9 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
             stride: cli.sim_stride,
         },
         shrink: !cli.no_shrink,
+        enum_stats: cli
+            .enum_stats
+            .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default())),
     };
     let report = match run_campaign(&cfg) {
         Ok(r) => r,
@@ -685,7 +704,11 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail_code(EXIT_STORE, &e),
     };
+    let stats = cli
+        .enum_stats
+        .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default()));
     let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
+        .with_options(EnumOptions { stats: stats.clone(), ..EnumOptions::default() })
         .with_jobs(cli.jobs)
         .with_queue_depth(cli.queue_depth.unwrap_or(256))
         .with_budget(cli.budget(true));
@@ -711,6 +734,18 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
         report.candidates_enumerated,
         report.micros
     );
+    if let Some(stats) = &stats {
+        let e = stats.snapshot();
+        eprintln!(
+            "herd-rs: enumeration: {} rf prefixes pruned, {} co pairs saturated, {} branched, \
+             {} leaves tested, {} candidates emitted",
+            e.rf_prefixes_pruned,
+            e.co_pairs_saturated,
+            e.co_pairs_branched,
+            e.co_leaves_tested,
+            e.candidates_emitted
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -759,6 +794,18 @@ mod tests {
         assert!(parse(&["--models", "sc", "--library"]).is_err());
         assert!(parse(&["--models", "sc", "serve"]).is_err());
         assert!(parse(&["--models", "sc", "conformance"]).is_err());
+    }
+
+    #[test]
+    fn enum_stats_needs_a_mode_that_enumerates() {
+        let cli = parse(&["--enum-stats", "conformance"]).unwrap().unwrap();
+        assert!(cli.enum_stats && cli.conformance_mode);
+        let cli = parse(&["--enum-stats", "--library", "--store", "s.log"]).unwrap().unwrap();
+        assert!(cli.enum_stats && cli.run_library);
+        // Library without a store, or a single file, has nothing to attach
+        // the counters to.
+        assert!(parse(&["--enum-stats", "--library"]).is_err());
+        assert!(parse(&["--enum-stats", "t.litmus"]).is_err());
     }
 
     #[test]
