@@ -154,6 +154,37 @@ grep -q '"clean":true' /tmp/lkmm-conf-len6.json
 grep -q '"discrepancies":\[\]' /tmp/lkmm-conf-len6.json
 rm -f /tmp/lkmm-conf-len6.json
 
+echo "== conformance --algorithms: family campaign is clean, warm replay byte-identical =="
+# The real-algorithm tier: every family at the default size through all
+# seven axiomatic columns, family safety, the simulators, real host
+# threads, and exhaustive interleaving. The JSON report is a pure
+# function of the config (host runs contribute only their violation
+# count, zero for a sound model), so cold and warm agree byte for byte.
+ALGO_STORE=/tmp/lkmm-ci-algo-store.bin
+rm -f "$ALGO_STORE"
+"$BIN" conformance --algorithms --sim-iterations 50 --json --store "$ALGO_STORE" \
+    > /tmp/lkmm-algo-cold.json 2> /dev/null
+"$BIN" conformance --algorithms --sim-iterations 50 --json --store "$ALGO_STORE" \
+    > /tmp/lkmm-algo-warm.json 2> /tmp/lkmm-algo-warm.err
+cmp /tmp/lkmm-algo-cold.json /tmp/lkmm-algo-warm.json
+grep -q '"op":"conformance-algorithms"' /tmp/lkmm-algo-warm.json
+grep -q '"clean":true' /tmp/lkmm-algo-warm.json
+grep -q '"discrepancies":\[\]' /tmp/lkmm-algo-warm.json
+grep -q '"family":"ticket"' /tmp/lkmm-algo-warm.json
+grep -q '"oracle":"interleave-agreement"' /tmp/lkmm-algo-warm.json
+# The warm matrix passes are pure replay: zero candidate enumerations.
+grep -q 'lkmm: .* 0 candidates enumerated' /tmp/lkmm-algo-warm.err
+# Family names are validated at parse time: usage error, exit 2.
+set +e
+"$BIN" conformance --algorithms --families bogus > /dev/null 2> /tmp/lkmm-algo.err
+ALGO_STATUS=$?
+set -e
+test "$ALGO_STATUS" -eq 2
+grep -q 'unknown algorithm family `bogus`' /tmp/lkmm-algo.err
+"$BIN" --list-algorithms | grep -q 'mutual exclusion'
+rm -f "$ALGO_STORE" /tmp/lkmm-algo-cold.json /tmp/lkmm-algo-warm.json \
+    /tmp/lkmm-algo-warm.err /tmp/lkmm-algo.err
+
 echo "== fault injection: armed faults are contained, disarmed builds are clean =="
 cargo test --features fault-injection --test fault_injection --quiet
 cargo build --release --features fault-injection --bin herd-rs
@@ -181,6 +212,21 @@ grep -q 'DISCREPANCIES' /tmp/lkmm-ci-misjudge.out
 grep -q 'native-cat-agreement' /tmp/lkmm-ci-misjudge.out
 grep -q 'minimal witness' /tmp/lkmm-ci-misjudge.out
 rm -f /tmp/lkmm-ci-misjudge.out
+# A weakened lock family — the safe ticket variant silently generated
+# with relaxed orderings while still claiming Forbidden — is caught by
+# the family-safety oracle and shrunk to a minimal wrong-verdict
+# witness, exit code 7. Storeless for the same poisoned-verdict reason.
+set +e
+LKMM_FAULTPOINTS=algo.weaken target/release/herd-rs conformance --algorithms \
+    --families ticket --sim-iterations 0 \
+    > /tmp/lkmm-ci-weaken.out 2> /dev/null
+WEAKEN_STATUS=$?
+set -e
+test "$WEAKEN_STATUS" -eq 7
+grep -q 'DISCREPANCIES' /tmp/lkmm-ci-weaken.out
+grep -q 'family-safety' /tmp/lkmm-ci-weaken.out
+grep -q 'minimal witness' /tmp/lkmm-ci-weaken.out
+rm -f /tmp/lkmm-ci-weaken.out
 # Rebuild without the feature so later consumers get the fault-free binary.
 cargo build --release --bin herd-rs
 
@@ -220,6 +266,15 @@ echo "== pruning bench: consistency-driven vs generate-then-judge enumeration ==
 BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-prune.XXXXXX)
 cargo build --release -q -p lkmm-bench --bin prune
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/prune" --iters 1 --max-cycle-len 5 )
+rm -rf "$BENCH_DIR"
+
+echo "== algorithms bench: cold vs store-warm family campaign =="
+# The run asserts clean campaigns, pure warm matrix replay, and
+# cold/warm report identity over the algorithm families; the recorded
+# BENCH_ALGOS.json is regenerated deliberately from the repo root.
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-algorithms.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin algorithms
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/algorithms" --iters 3 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

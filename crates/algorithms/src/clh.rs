@@ -1,0 +1,130 @@
+//! CLH queue-lock family.
+//!
+//! Each contender marks its own node busy, swaps itself into the tail
+//! with `xchg` (learning its predecessor), spins until the predecessor's
+//! node reads clear, and unlocks by clearing its own node with
+//! `smp_store_release`. Node identity is encoded in integers: 0 is the
+//! initial dummy node (born clear), node `i + 1` belongs to thread `i`.
+//! The acquisition order is pinned (thread `i` swaps out predecessor
+//! `i`), by `__assume` in the axiomatic form or by condition conjuncts
+//! in the runnable form.
+//!
+//! Safety is mutual exclusion, witnessed exactly as in the ticket
+//! family: thread 0 (first holder) must never read a later contender's
+//! critical-section marker. The fully-ordered `xchg` publishes the
+//! node-busy write before the thread is visible in the queue, and the
+//! acquire gate + release unlock order the critical sections; the
+//! relaxed twin (`xchg_relaxed`, plain gate, plain unlock) lets the
+//! successor read the predecessor's node *initial* clear value — the
+//! classic stale-unlock bug — and is Allowed.
+
+use crate::{AlgoProgram, FamilyId, FamilyParams};
+use lkmm_exec::Verdict;
+use std::fmt::Write;
+
+struct Flavor {
+    xchg: &'static str,
+    acquire_gate: bool,
+    release_unlock: bool,
+}
+
+const SAFE: Flavor = Flavor { xchg: "xchg", acquire_gate: true, release_unlock: true };
+const RELAXED: Flavor =
+    Flavor { xchg: "xchg_relaxed", acquire_gate: false, release_unlock: false };
+
+fn body(i: usize, p: &FamilyParams, f: &Flavor, assume: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    int q;");
+    let _ = writeln!(s, "    int g;");
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    int r{k};");
+    }
+    let _ = writeln!(s, "    WRITE_ONCE(*n{i}, 1);");
+    let _ = writeln!(s, "    q = {}(tail, {});", f.xchg, i + 1);
+    let pred = if i == 0 { "nd".to_string() } else { format!("n{}", i - 1) };
+    let gate =
+        if f.acquire_gate { format!("smp_load_acquire(*{pred})") } else { format!("READ_ONCE(*{pred})") };
+    let _ = writeln!(s, "    g = {gate};");
+    if assume {
+        let _ = writeln!(s, "    __assume(q == {i});");
+        let _ = writeln!(s, "    __assume(g == 0);");
+    }
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    WRITE_ONCE(*x{k}, {});", i + 1);
+        let _ = writeln!(s, "    r{k} = READ_ONCE(*x{k});");
+    }
+    if f.release_unlock {
+        let _ = writeln!(s, "    smp_store_release(n{i}, 0);");
+    } else {
+        let _ = writeln!(s, "    WRITE_ONCE(*n{i}, 0);");
+    }
+    s
+}
+
+fn condition(p: &FamilyParams, assume: bool) -> String {
+    let mut pins = Vec::new();
+    if !assume {
+        for i in 0..p.threads {
+            pins.push(format!("{i}:q={i}"));
+            pins.push(format!("{i}:g=0"));
+        }
+    }
+    let mut bad = Vec::new();
+    for j in 1..p.threads {
+        for k in 0..p.sections {
+            bad.push(format!("0:r{k}={}", j + 1));
+        }
+    }
+    if bad.is_empty() {
+        bad.push("0:r0=2".to_string());
+    }
+    let bad = bad.join(" \\/ ");
+    if pins.is_empty() {
+        format!("exists ({bad})")
+    } else {
+        format!("exists ({} /\\ ({bad}))", pins.join(" /\\ "))
+    }
+}
+
+fn source(name: &str, p: &FamilyParams, f: &Flavor, assume: bool) -> String {
+    let mut locs = vec!["tail=0".to_string(), "nd=0".to_string()];
+    let mut args = vec!["int *tail".to_string(), "int *nd".to_string()];
+    for i in 0..p.threads {
+        locs.push(format!("n{i}=0"));
+        args.push(format!("int *n{i}"));
+    }
+    for k in 0..p.sections {
+        locs.push(format!("x{k}=0"));
+        args.push(format!("int *x{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    for i in 0..p.threads {
+        let _ = writeln!(s, "P{i}({})\n{{", args.join(", "));
+        s.push_str(&body(i, p, f, assume));
+        s.push_str("}\n");
+    }
+    s.push_str(&condition(p, assume));
+    s
+}
+
+pub(crate) fn programs(p: &FamilyParams) -> Vec<AlgoProgram> {
+    let t = p.threads;
+    let s = p.sections;
+    vec![
+        AlgoProgram::new(
+            FamilyId::Clh,
+            crate::must_parse(&source(&format!("clh-t{t}-s{s}"), p, &SAFE, true)),
+            Verdict::Forbidden,
+        ),
+        AlgoProgram::new(
+            FamilyId::Clh,
+            crate::must_parse(&source(&format!("clh-run-t{t}-s{s}"), p, &SAFE, false)),
+            Verdict::Forbidden,
+        ),
+        AlgoProgram::new(
+            FamilyId::Clh,
+            crate::must_parse(&source(&format!("clh-relaxed-t{t}-s{s}"), p, &RELAXED, true)),
+            Verdict::Allowed,
+        ),
+    ]
+}

@@ -1,0 +1,183 @@
+//! Chase-Lev work-stealing deque family: the two load-bearing halves
+//! of the steal/take race, at litmus scale.
+//!
+//! **Publication** (`deque-pub`): the owner writes the buffer words and
+//! publishes them by raising `bot` with `smp_store_release`; a thief
+//! that observed `bot = 1` with `smp_load_acquire` and won the `top`
+//! `cmpxchg` owns the item, so reading a stale buffer word (`r0 = 0`)
+//! is a *lost item* — Forbidden. Strip the release/acquire pair and
+//! the thief can steal an item whose payload never arrived — Allowed.
+//!
+//! **Arbitration** (`deque-arb`): the owner's take of the last item
+//! (decrement `bot`, full fence, re-read `top`, then `cmpxchg`) races
+//! the thieves' steal `cmpxchg`. Two successful `cmpxchg`es from the
+//! same `top` value would be a *duplicated item*; RMW atomicity forbids
+//! it in every model, which makes this program a cross-layer probe of
+//! the RMW machinery itself. The broken twin replaces the thief's
+//! `cmpxchg` with a plain read + write — the same claim protocol minus
+//! atomicity — and duplication becomes reachable even under SC, which
+//! the interleaving machine confirms.
+
+use crate::interleave::{Machine, Op};
+use crate::{AlgoProgram, FamilyId, FamilyParams};
+use lkmm_exec::Verdict;
+use std::fmt::Write;
+
+/// Publication probe: owner pushes, thieves steal.
+fn pub_source(name: &str, p: &FamilyParams, ordered: bool) -> String {
+    let thieves = p.threads.saturating_sub(1);
+    let mut locs = vec!["bot=0".to_string(), "top=0".to_string()];
+    let mut args = vec!["int *bot".to_string(), "int *top".to_string()];
+    for k in 0..p.sections {
+        locs.push(format!("b{k}=0"));
+        args.push(format!("int *b{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    let _ = writeln!(s, "P0({})\n{{", args.join(", "));
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    WRITE_ONCE(*b{k}, 1);");
+    }
+    if ordered {
+        let _ = writeln!(s, "    smp_store_release(bot, 1);");
+    } else {
+        let _ = writeln!(s, "    WRITE_ONCE(*bot, 1);");
+    }
+    s.push_str("}\n");
+    for j in 1..=thieves {
+        let _ = writeln!(s, "P{j}({})\n{{", args.join(", "));
+        let _ = writeln!(s, "    int t;");
+        let _ = writeln!(s, "    int h;");
+        for k in 0..p.sections {
+            let _ = writeln!(s, "    int r{k};");
+        }
+        let _ = writeln!(s, "    int w;");
+        let _ = writeln!(s, "    t = READ_ONCE(*top);");
+        if ordered {
+            let _ = writeln!(s, "    h = smp_load_acquire(*bot);");
+        } else {
+            let _ = writeln!(s, "    h = READ_ONCE(*bot);");
+        }
+        for k in 0..p.sections {
+            let _ = writeln!(s, "    r{k} = READ_ONCE(*b{k});");
+        }
+        let _ = writeln!(s, "    w = cmpxchg(top, 0, 1);");
+        s.push_str("}\n");
+    }
+    let mut bad = Vec::new();
+    for j in 1..=thieves {
+        bad.push(format!("({j}:h=1 /\\ {j}:w=0 /\\ {j}:r0=0)"));
+    }
+    if bad.is_empty() {
+        // Owner-only size: a steal that never happened cannot lose items.
+        bad.push("(top=1)".to_string());
+    }
+    let _ = write!(s, "exists ({})", bad.join(" \\/ "));
+    s
+}
+
+/// Arbitration probe: one item, owner take vs thief steals on `top`.
+fn arb_source(name: &str, p: &FamilyParams, atomic_steal: bool) -> String {
+    let thieves = p.threads.saturating_sub(1);
+    let mut s = format!(
+        "C {name}\n{{ bot=1; top=0; }}\n\
+         P0(int *bot, int *top)\n{{\n\
+         \x20   int t2;\n\
+         \x20   int c;\n\
+         \x20   WRITE_ONCE(*bot, 0);\n\
+         \x20   smp_mb();\n\
+         \x20   t2 = READ_ONCE(*top);\n\
+         \x20   c = cmpxchg(top, 0, 1);\n\
+         }}\n"
+    );
+    for j in 1..=thieves {
+        let _ = writeln!(s, "P{j}(int *bot, int *top)\n{{");
+        let _ = writeln!(s, "    int t;");
+        let _ = writeln!(s, "    int h;");
+        let _ = writeln!(s, "    int w;");
+        let _ = writeln!(s, "    t = READ_ONCE(*top);");
+        let _ = writeln!(s, "    h = READ_ONCE(*bot);");
+        if atomic_steal {
+            let _ = writeln!(s, "    w = cmpxchg(top, 0, 1);");
+        } else {
+            let _ = writeln!(s, "    w = READ_ONCE(*top);");
+            let _ = writeln!(s, "    WRITE_ONCE(*top, 1);");
+        }
+        s.push_str("}\n");
+    }
+    // Duplication: the owner and a thief both claimed `top = 0`, or two
+    // thieves did.
+    let mut bad = Vec::new();
+    for j in 1..=thieves {
+        bad.push(format!("(0:c=0 /\\ {j}:w=0)"));
+    }
+    for j in 1..=thieves {
+        for j2 in j + 1..=thieves {
+            bad.push(format!("({j}:w=0 /\\ {j2}:w=0)"));
+        }
+    }
+    if bad.is_empty() {
+        bad.push("(0:c=1)".to_string());
+    }
+    let _ = write!(s, "exists ({})", bad.join(" \\/ "));
+    s
+}
+
+fn arb_machine(p: &FamilyParams, atomic_steal: bool) -> Machine {
+    let thieves = p.threads.saturating_sub(1);
+    // mem: [bot, top]; owner regs [t2, c]; thief regs [t, h, w]
+    let owner = vec![
+        Op::Write { loc: 0, val: 0 },
+        Op::Read { loc: 1, reg: 0 },
+        Op::Cas { loc: 1, reg: 1, expect: 0, new: 1 },
+    ];
+    let mut threads = vec![owner];
+    for _ in 0..thieves {
+        let mut thief = vec![Op::Read { loc: 1, reg: 0 }, Op::Read { loc: 0, reg: 1 }];
+        if atomic_steal {
+            thief.push(Op::Cas { loc: 1, reg: 2, expect: 0, new: 1 });
+        } else {
+            thief.push(Op::Read { loc: 1, reg: 2 });
+            thief.push(Op::Write { loc: 1, val: 1 });
+        }
+        threads.push(thief);
+    }
+    let mut bad = Vec::new();
+    for j in 1..=thieves {
+        bad.push(vec![(0, 1, 0), (j, 2, 0)]);
+    }
+    for j in 1..=thieves {
+        for j2 in j + 1..=thieves {
+            bad.push(vec![(j, 2, 0), (j2, 2, 0)]);
+        }
+    }
+    Machine { init: vec![1, 0], threads, bad }
+}
+
+pub(crate) fn programs(p: &FamilyParams) -> Vec<AlgoProgram> {
+    let t = p.threads;
+    let s = p.sections;
+    vec![
+        AlgoProgram::new(
+            FamilyId::Deque,
+            crate::must_parse(&pub_source(&format!("deque-pub-t{t}-s{s}"), p, true)),
+            Verdict::Forbidden,
+        ),
+        AlgoProgram::new(
+            FamilyId::Deque,
+            crate::must_parse(&pub_source(&format!("deque-pub-relaxed-t{t}-s{s}"), p, false)),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        ),
+        AlgoProgram::new(
+            FamilyId::Deque,
+            crate::must_parse(&arb_source(&format!("deque-arb-t{t}"), p, true)),
+            Verdict::Forbidden,
+        )
+        .with_machine(arb_machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Deque,
+            crate::must_parse(&arb_source(&format!("deque-arb-broken-t{t}"), p, false)),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        )
+        .with_machine(arb_machine(p, false)),
+    ]
+}

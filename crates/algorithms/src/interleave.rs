@@ -1,0 +1,234 @@
+//! Loom-style exhaustive interleaving of algorithm step machines.
+//!
+//! The axiomatic side of the tier asks "which outcomes does the memory
+//! model license?"; this module asks the complementary operational
+//! question under the strongest model: "is the bad state *reachable*
+//! by any sequentially-consistent interleaving?" — by exhaustively
+//! exploring every schedule of a small step machine, exactly what loom
+//! does for real Rust code. The conformance layer cross-checks the
+//! answer against the axiomatic SC verdict of the same program: for a
+//! program with a machine model, `bad_reachable ⇔ SC says Allowed`.
+//!
+//! Machines are deliberately tiny: straight-line per-thread op lists
+//! over a shared integer memory, with spin waits expressed as *guarded*
+//! ops (a thread whose guard fails is simply not runnable — the
+//! schedule-fair way to model a spin loop without unrolling it).
+//! Exploration is a DFS over runnable-thread choices with visited-state
+//! memoisation, so it terminates on cyclic state graphs and visits each
+//! (memory, pc, regs) state once.
+
+use std::collections::HashSet;
+
+/// One atomic step of a thread. Every op executes atomically with full
+/// visibility — the machine is sequentially consistent by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `regs[reg] = mem[loc]`.
+    Read { loc: usize, reg: usize },
+    /// `mem[loc] = val`.
+    Write { loc: usize, val: i64 },
+    /// `mem[loc] = regs[reg] + add` (e.g. ticket unlock: serving = my + 1).
+    WriteReg { loc: usize, reg: usize, add: i64 },
+    /// `regs[reg] = mem[loc]; mem[loc] += add` (atomic fetch-add).
+    FetchAdd { loc: usize, reg: usize, add: i64 },
+    /// `regs[reg] = mem[loc]; if old == expect { mem[loc] = new }`.
+    Cas { loc: usize, reg: usize, expect: i64, new: i64 },
+    /// Runnable only while `mem[loc] == regs[reg]` (spin on a register
+    /// value, e.g. a ticket).
+    WaitEqReg { loc: usize, reg: usize },
+    /// Runnable only while `mem[loc] == val`.
+    WaitEq { loc: usize, val: i64 },
+}
+
+/// A step machine: shared memory initial image, per-thread op lists,
+/// and the bad-state predicate in disjunctive normal form over final
+/// register values (`(thread, reg) == val` conjuncts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    pub init: Vec<i64>,
+    pub threads: Vec<Vec<Op>>,
+    pub bad: Vec<Vec<(usize, usize, i64)>>,
+}
+
+/// Exhaustive-exploration result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Explored {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Completed interleavings (every thread ran to its end).
+    pub terminals: usize,
+    /// Some terminal state satisfied the bad predicate.
+    pub bad_reachable: bool,
+    /// The state cap was hit; `bad_reachable` is then a lower bound.
+    pub truncated: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Vec<i64>,
+    pc: Vec<usize>,
+    regs: Vec<Vec<i64>>,
+}
+
+impl State {
+    fn regs_for(machine: &Machine) -> Vec<Vec<i64>> {
+        machine
+            .threads
+            .iter()
+            .map(|ops| {
+                let max = ops
+                    .iter()
+                    .map(|op| match op {
+                        Op::Read { reg, .. }
+                        | Op::WriteReg { reg, .. }
+                        | Op::FetchAdd { reg, .. }
+                        | Op::Cas { reg, .. }
+                        | Op::WaitEqReg { reg, .. } => *reg + 1,
+                        Op::Write { .. } | Op::WaitEq { .. } => 0,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                vec![0; max]
+            })
+            .collect()
+    }
+}
+
+/// Can thread `t` take a step in `s`, and what does it become?
+fn step(machine: &Machine, s: &State, t: usize) -> Option<State> {
+    let pc = s.pc[t];
+    let op = *machine.threads[t].get(pc)?;
+    match op {
+        Op::WaitEqReg { loc, reg } if s.mem[loc] != s.regs[t][reg] => return None,
+        Op::WaitEq { loc, val } if s.mem[loc] != val => return None,
+        _ => {}
+    }
+    let mut next = s.clone();
+    next.pc[t] += 1;
+    match op {
+        Op::Read { loc, reg } => next.regs[t][reg] = next.mem[loc],
+        Op::Write { loc, val } => next.mem[loc] = val,
+        Op::WriteReg { loc, reg, add } => next.mem[loc] = next.regs[t][reg] + add,
+        Op::FetchAdd { loc, reg, add } => {
+            next.regs[t][reg] = next.mem[loc];
+            next.mem[loc] += add;
+        }
+        Op::Cas { loc, reg, expect, new } => {
+            next.regs[t][reg] = next.mem[loc];
+            if next.mem[loc] == expect {
+                next.mem[loc] = new;
+            }
+        }
+        Op::WaitEqReg { .. } | Op::WaitEq { .. } => {}
+    }
+    Some(next)
+}
+
+fn is_bad(machine: &Machine, s: &State) -> bool {
+    machine
+        .bad
+        .iter()
+        .any(|conj| conj.iter().all(|&(t, r, v)| s.regs[t].get(r).copied() == Some(v)))
+}
+
+/// Explore every interleaving of `machine`, visiting at most
+/// `max_states` distinct states (0 means unbounded).
+pub fn explore(machine: &Machine, max_states: usize) -> Explored {
+    let start = State {
+        mem: machine.init.clone(),
+        pc: vec![0; machine.threads.len()],
+        regs: State::regs_for(machine),
+    };
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack = vec![start.clone()];
+    seen.insert(start);
+    let mut out =
+        Explored { states: 0, terminals: 0, bad_reachable: false, truncated: false };
+    while let Some(s) = stack.pop() {
+        out.states += 1;
+        if max_states != 0 && out.states > max_states {
+            out.truncated = true;
+            break;
+        }
+        let done = (0..machine.threads.len()).all(|t| s.pc[t] == machine.threads[t].len());
+        if done {
+            out.terminals += 1;
+            if is_bad(machine, &s) {
+                out.bad_reachable = true;
+            }
+            continue;
+        }
+        for t in 0..machine.threads.len() {
+            if let Some(next) = step(machine, &s, t) {
+                if seen.insert(next.clone()) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads racing an unguarded counter increment via separate
+    /// read/write steps lose updates; with FetchAdd they never do.
+    #[test]
+    fn lost_update_is_reachable_without_atomicity() {
+        let racy = Machine {
+            init: vec![0],
+            threads: vec![
+                vec![Op::Read { loc: 0, reg: 0 }, Op::WriteReg { loc: 0, reg: 0, add: 1 }],
+                vec![Op::Read { loc: 0, reg: 0 }, Op::WriteReg { loc: 0, reg: 0, add: 1 }],
+            ],
+            // Both threads read 0: the increments collide.
+            bad: vec![vec![(0, 0, 0), (1, 0, 0)]],
+        };
+        assert!(explore(&racy, 0).bad_reachable);
+
+        let atomic = Machine {
+            init: vec![0],
+            threads: vec![
+                vec![Op::FetchAdd { loc: 0, reg: 0, add: 1 }],
+                vec![Op::FetchAdd { loc: 0, reg: 0, add: 1 }],
+            ],
+            bad: vec![vec![(0, 0, 0), (1, 0, 0)]],
+        };
+        assert!(!explore(&atomic, 0).bad_reachable);
+    }
+
+    /// A guarded wait models a spin loop without unrolling: the waiter
+    /// only runs once the flag is set, and exploration terminates.
+    #[test]
+    fn guarded_waits_terminate_and_order() {
+        let m = Machine {
+            init: vec![0, 0],
+            threads: vec![
+                vec![Op::Write { loc: 1, val: 7 }, Op::Write { loc: 0, val: 1 }],
+                vec![Op::WaitEq { loc: 0, val: 1 }, Op::Read { loc: 1, reg: 0 }],
+            ],
+            // Waiter saw the flag but missed the data: impossible under SC.
+            bad: vec![vec![(1, 0, 0)]],
+        };
+        let r = explore(&m, 0);
+        assert!(!r.bad_reachable);
+        assert!(r.terminals >= 1);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn state_cap_reports_truncation() {
+        let m = Machine {
+            init: vec![0],
+            threads: vec![vec![Op::FetchAdd { loc: 0, reg: 0, add: 1 }; 6]; 3],
+            bad: vec![],
+        };
+        let r = explore(&m, 5);
+        assert!(r.truncated);
+        let full = explore(&m, 0);
+        assert!(!full.truncated);
+        assert!(full.states > 5);
+    }
+}

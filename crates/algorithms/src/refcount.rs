@@ -1,0 +1,217 @@
+//! `Arc`-style refcount family (clone / drop / upgrade).
+//!
+//! Thread 0 is the *user*: it writes the payload words, then drops its
+//! reference with `atomic_fetch_sub_release`. Middle threads clone
+//! (`atomic_fetch_add_relaxed` — a relaxed increment is all a clone
+//! needs, exactly as in Rust's `Arc`) and then drop both the clone and
+//! their original reference. The last thread is the *reaper*: it drops
+//! its reference and, when it observed the count at 1 (it freed the
+//! object), reads the payload back — the stand-in for the free. The
+//! safety invariant is no use-after-free: a reaper that frees must see
+//! every payload write, i.e. `d = 1 ∧ payload = 0` is Forbidden. The
+//! release on every drop plus the reaper's `smp_rmb` (the final-drop
+//! acquire ordering) carry the guarantee through the release chain of
+//! RMWs on the counter; the relaxed twin strips both and is Allowed.
+//!
+//! The `upgrade` variant models `Weak::upgrade`: a `cmpxchg` taking the
+//! count from 1 to 2 (the final loop iteration), after which the
+//! upgrader's own drop may be the freeing one. The `premature` twin is
+//! broken even under SC — the user writes the payload *after* dropping
+//! (use-after-drop), which the interleaving machine also catches.
+//!
+//! All variants are straight-line (the count observations live in the
+//! condition), so every program is runnable on the simulators and the
+//! klitmus host runner.
+
+use crate::interleave::{Machine, Op};
+use crate::{AlgoProgram, FamilyId, FamilyParams};
+use lkmm_exec::Verdict;
+use std::fmt::Write;
+
+struct Flavor {
+    sub: &'static str,
+    /// Reaper's acquire ordering before touching the freed object.
+    rmb: bool,
+}
+
+const SAFE: Flavor = Flavor { sub: "atomic_fetch_sub_release", rmb: true };
+const RELAXED: Flavor = Flavor { sub: "atomic_fetch_sub_relaxed", rmb: false };
+
+/// `premature`: the user drops before writing (use-after-drop).
+fn source(name: &str, p: &FamilyParams, f: &Flavor, premature: bool) -> String {
+    let mut locs = vec![format!("c={}", p.threads)];
+    let mut args = vec!["int *c".to_string()];
+    for k in 0..p.sections {
+        locs.push(format!("p{k}=0"));
+        args.push(format!("int *p{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    let writes = |s: &mut String| {
+        for k in 0..p.sections {
+            let _ = writeln!(s, "    WRITE_ONCE(*p{k}, 1);");
+        }
+    };
+    // Thread 0: the user.
+    let _ = writeln!(s, "P0({})\n{{", args.join(", "));
+    let _ = writeln!(s, "    int d;");
+    if premature {
+        let _ = writeln!(s, "    d = {}(1, c);", f.sub);
+        writes(&mut s);
+    } else {
+        writes(&mut s);
+        let _ = writeln!(s, "    d = {}(1, c);", f.sub);
+    }
+    s.push_str("}\n");
+    // Middle threads: clone, drop the clone, drop the original.
+    for i in 1..p.threads.saturating_sub(1) {
+        let _ = writeln!(s, "P{i}({})\n{{", args.join(", "));
+        let _ = writeln!(s, "    int a;");
+        let _ = writeln!(s, "    int d1;");
+        let _ = writeln!(s, "    int d2;");
+        let _ = writeln!(s, "    a = atomic_fetch_add_relaxed(1, c);");
+        let _ = writeln!(s, "    d1 = {}(1, c);", f.sub);
+        let _ = writeln!(s, "    d2 = {}(1, c);", f.sub);
+        s.push_str("}\n");
+    }
+    // Last thread: the reaper.
+    if p.threads > 1 {
+        let reaper = p.threads - 1;
+        let _ = writeln!(s, "P{reaper}({})\n{{", args.join(", "));
+        let _ = writeln!(s, "    int d;");
+        for k in 0..p.sections {
+            let _ = writeln!(s, "    int q{k};");
+        }
+        let _ = writeln!(s, "    d = {}(1, c);", f.sub);
+        if f.rmb {
+            let _ = writeln!(s, "    smp_rmb();");
+        }
+        for k in 0..p.sections {
+            let _ = writeln!(s, "    q{k} = READ_ONCE(*p{k});");
+        }
+        s.push_str("}\n");
+        let mut bad: Vec<String> = Vec::new();
+        for k in 0..p.sections {
+            bad.push(format!("{reaper}:q{k}=0"));
+        }
+        let _ = write!(s, "exists ({reaper}:d=1 /\\ ({}))", bad.join(" \\/ "));
+    } else {
+        // One thread: drop of the only reference; nothing can tear.
+        let _ = write!(s, "exists (0:d=0)");
+    }
+    s
+}
+
+/// `Weak::upgrade` final iteration: cmpxchg 1 → 2, then a drop that may
+/// free. Fixed two-thread shape (user + upgrader).
+fn upgrade_source(name: &str, p: &FamilyParams, f: &Flavor, cas: &str) -> String {
+    let mut locs = vec!["c=1".to_string()];
+    let mut args = vec!["int *c".to_string()];
+    for k in 0..p.sections {
+        locs.push(format!("p{k}=0"));
+        args.push(format!("int *p{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    let _ = writeln!(s, "P0({})\n{{", args.join(", "));
+    let _ = writeln!(s, "    int d;");
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    WRITE_ONCE(*p{k}, 1);");
+    }
+    let _ = writeln!(s, "    d = {}(1, c);", f.sub);
+    s.push_str("}\n");
+    let _ = writeln!(s, "P1({})\n{{", args.join(", "));
+    let _ = writeln!(s, "    int u;");
+    let _ = writeln!(s, "    int d;");
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    int q{k};");
+    }
+    let _ = writeln!(s, "    u = {cas}(c, 1, 2);");
+    let _ = writeln!(s, "    d = {}(1, c);", f.sub);
+    if f.rmb {
+        let _ = writeln!(s, "    smp_rmb();");
+    }
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    q{k} = READ_ONCE(*p{k});");
+    }
+    s.push_str("}\n");
+    let mut bad: Vec<String> = Vec::new();
+    for k in 0..p.sections {
+        bad.push(format!("1:q{k}=0"));
+    }
+    let _ = write!(s, "exists (1:u=1 /\\ 1:d=1 /\\ ({}))", bad.join(" \\/ "));
+    s
+}
+
+fn machine(p: &FamilyParams, premature: bool) -> Machine {
+    // mem: [count, payload]; user regs [d], middle [a, d1, d2],
+    // reaper [d, q].
+    let n = p.threads as i64;
+    let user = if premature {
+        vec![Op::FetchAdd { loc: 0, reg: 0, add: -1 }, Op::Write { loc: 1, val: 1 }]
+    } else {
+        vec![Op::Write { loc: 1, val: 1 }, Op::FetchAdd { loc: 0, reg: 0, add: -1 }]
+    };
+    let mut threads = vec![user];
+    for _ in 1..p.threads.saturating_sub(1) {
+        threads.push(vec![
+            Op::FetchAdd { loc: 0, reg: 0, add: 1 },
+            Op::FetchAdd { loc: 0, reg: 1, add: -1 },
+            Op::FetchAdd { loc: 0, reg: 2, add: -1 },
+        ]);
+    }
+    let mut bad = Vec::new();
+    if p.threads > 1 {
+        threads.push(vec![
+            Op::FetchAdd { loc: 0, reg: 0, add: -1 },
+            Op::Read { loc: 1, reg: 1 },
+        ]);
+        // The reaper freed (saw the count at 1) yet missed the
+        // payload write.
+        bad.push(vec![(p.threads - 1, 0, 1), (p.threads - 1, 1, 0)]);
+    }
+    Machine { init: vec![n, 0], threads, bad }
+}
+
+pub(crate) fn programs(p: &FamilyParams) -> Vec<AlgoProgram> {
+    let t = p.threads;
+    let s = p.sections;
+    vec![
+        AlgoProgram::new(
+            FamilyId::Refcount,
+            crate::must_parse(&source(&format!("refcount-t{t}-s{s}"), p, &SAFE, false)),
+            Verdict::Forbidden,
+        )
+        .with_machine(machine(p, false)),
+        AlgoProgram::new(
+            FamilyId::Refcount,
+            crate::must_parse(&source(&format!("refcount-relaxed-t{t}-s{s}"), p, &RELAXED, false)),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        )
+        .with_machine(machine(p, false)),
+        AlgoProgram::new(
+            FamilyId::Refcount,
+            crate::must_parse(&source(&format!("refcount-premature-t{t}-s{s}"), p, &SAFE, true)),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        )
+        .with_machine(machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Refcount,
+            crate::must_parse(&upgrade_source(
+                &format!("refcount-upgrade-s{s}"),
+                p,
+                &SAFE,
+                "cmpxchg",
+            )),
+            Verdict::Forbidden,
+        ),
+        AlgoProgram::new(
+            FamilyId::Refcount,
+            crate::must_parse(&upgrade_source(
+                &format!("refcount-upgrade-relaxed-s{s}"),
+                p,
+                &RELAXED,
+                "cmpxchg_relaxed",
+            )),
+            Verdict::Allowed,
+        ),
+    ]
+}

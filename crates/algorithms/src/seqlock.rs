@@ -1,0 +1,228 @@
+//! Seqlock family.
+//!
+//! The writer runs `retries` update rounds: bump the sequence counter
+//! to odd, `smp_wmb`, write every payload word, `smp_wmb`, bump back to
+//! even. Readers snapshot the counter, read the payload, re-read the
+//! counter, and *accept* only if both snapshots are equal and even.
+//!
+//! The retry loop is modelled two ways. The `__assume` form
+//! (`seqlock-retry-*`) carries `retries - 1` discarded snapshot
+//! attempts followed by the final accepted one, whose acceptance test
+//! (`s1 == s2 ∧ s1 even`) is an `__assume` — the `expand_rcu`
+//! technique. The straight-line form folds acceptance into the
+//! `exists` condition (the reader accepted at sequence 0), so the
+//! simulators and the klitmus host runner can execute it.
+//!
+//! Safety is no-torn-reads: an accepting reader must never observe
+//! mid-round payload (`r0 = 1` while accepted at 0, plus a stale last
+//! word when there are ≥ 2 payload words). Forbidden with the
+//! `smp_wmb`/`smp_rmb` pairs; Allowed with them stripped
+//! (`seqlock-relaxed`). The `nocheck` twin drops the acceptance test
+//! altogether — torn even under SC, which the interleaving machine
+//! confirms.
+
+use crate::interleave::{Machine, Op};
+use crate::{AlgoProgram, FamilyId, FamilyParams};
+use lkmm_exec::Verdict;
+use std::fmt::Write;
+
+struct Flavor {
+    wmb: bool,
+    rmb: bool,
+}
+
+const SAFE: Flavor = Flavor { wmb: true, rmb: true };
+const RELAXED: Flavor = Flavor { wmb: false, rmb: false };
+
+/// Writer body: `rounds` odd/even rounds over `words` payload words.
+fn writer(rounds: usize, words: usize, f: &Flavor) -> String {
+    let mut s = String::new();
+    for m in 0..rounds {
+        let _ = writeln!(s, "    WRITE_ONCE(*seq, {});", 2 * m + 1);
+        if f.wmb {
+            let _ = writeln!(s, "    smp_wmb();");
+        }
+        for k in 0..words {
+            let _ = writeln!(s, "    WRITE_ONCE(*d{k}, {});", m + 1);
+        }
+        if f.wmb {
+            let _ = writeln!(s, "    smp_wmb();");
+        }
+        let _ = writeln!(s, "    WRITE_ONCE(*seq, {});", 2 * m + 2);
+    }
+    s
+}
+
+/// One reader snapshot attempt with register suffix `sfx`.
+fn attempt(words: usize, f: &Flavor, sfx: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    s1{sfx} = READ_ONCE(*seq);");
+    if f.rmb {
+        let _ = writeln!(s, "    smp_rmb();");
+    }
+    for k in 0..words {
+        let _ = writeln!(s, "    r{k}{sfx} = READ_ONCE(*d{k});");
+    }
+    if f.rmb {
+        let _ = writeln!(s, "    smp_rmb();");
+    }
+    let _ = writeln!(s, "    s2{sfx} = READ_ONCE(*seq);");
+    s
+}
+
+fn attempt_decls(words: usize, sfx: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    int s1{sfx};");
+    let _ = writeln!(s, "    int s2{sfx};");
+    for k in 0..words {
+        let _ = writeln!(s, "    int r{k}{sfx};");
+    }
+    s
+}
+
+/// `assume`: model the retry loop (discarded attempts + assumed-accepted
+/// final attempt); otherwise emit a single attempt whose acceptance the
+/// condition pins at sequence 0.
+fn source(name: &str, p: &FamilyParams, words: usize, f: &Flavor, assume: bool, check: bool) -> String {
+    let mut locs = vec!["seq=0".to_string()];
+    let mut args = vec!["int *seq".to_string()];
+    for k in 0..words {
+        locs.push(format!("d{k}=0"));
+        args.push(format!("int *d{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    let _ = writeln!(s, "P0({})\n{{", args.join(", "));
+    s.push_str(&writer(p.retries, words, f));
+    s.push_str("}\n");
+    for j in 1..p.threads {
+        let _ = writeln!(s, "P{j}({})\n{{", args.join(", "));
+        if assume {
+            for a in 0..p.retries.saturating_sub(1) {
+                s.push_str(&attempt_decls(words, &format!("a{a}")));
+            }
+        }
+        s.push_str(&attempt_decls(words, ""));
+        if assume {
+            for a in 0..p.retries.saturating_sub(1) {
+                s.push_str(&attempt(words, f, &format!("a{a}")));
+            }
+        }
+        s.push_str(&attempt(words, f, ""));
+        if assume {
+            let _ = writeln!(s, "    __assume(s1 == s2);");
+            let _ = writeln!(s, "    __assume((s1 & 1) == 0);");
+        }
+        s.push_str("}\n");
+    }
+    let mut bad = Vec::new();
+    for j in 1..p.threads {
+        let mut conj = Vec::new();
+        if check {
+            conj.push(format!("{j}:s1=0"));
+            if !assume {
+                conj.push(format!("{j}:s2=0"));
+            }
+        }
+        conj.push(format!("{j}:r0=1"));
+        if words >= 2 {
+            conj.push(format!("{j}:r{}=0", words - 1));
+        }
+        bad.push(format!("({})", conj.join(" /\\ ")));
+    }
+    if bad.is_empty() {
+        // Writer-only size (threads = 1): a final odd counter would
+        // mean a round never closed; correctly Forbidden.
+        let _ = write!(s, "exists (seq=1)");
+        return s;
+    }
+    let _ = write!(s, "exists ({})", bad.join(" \\/ "));
+    s
+}
+
+fn machine(p: &FamilyParams, words: usize, check: bool) -> Machine {
+    // mem: [seq, d0..]; reader regs: [s1, r0.., s2]
+    let mut writer = Vec::new();
+    for m in 0..p.retries {
+        writer.push(Op::Write { loc: 0, val: 2 * m as i64 + 1 });
+        for k in 0..words {
+            writer.push(Op::Write { loc: k + 1, val: m as i64 + 1 });
+        }
+        writer.push(Op::Write { loc: 0, val: 2 * m as i64 + 2 });
+    }
+    let mut reader = vec![Op::Read { loc: 0, reg: 0 }];
+    for k in 0..words {
+        reader.push(Op::Read { loc: k + 1, reg: k + 1 });
+    }
+    reader.push(Op::Read { loc: 0, reg: words + 1 });
+    let mut threads = vec![writer];
+    let mut bad = Vec::new();
+    for j in 1..p.threads {
+        threads.push(reader.clone());
+        let mut conj = Vec::new();
+        if check {
+            conj.push((j, 0, 0));
+            conj.push((j, words + 1, 0));
+        }
+        conj.push((j, 1, 1));
+        if words >= 2 {
+            conj.push((j, words, 0));
+        }
+        bad.push(conj);
+    }
+    Machine { init: vec![0; words + 1], threads, bad }
+}
+
+pub(crate) fn programs(p: &FamilyParams) -> Vec<AlgoProgram> {
+    let t = p.threads;
+    let s = p.sections;
+    let r = p.retries;
+    // The nocheck twin needs ≥ 2 payload words for an SC-visible torn
+    // read (with one word there is nothing to tear between).
+    let nocheck_words = s.max(2);
+    vec![
+        AlgoProgram::new(
+            FamilyId::Seqlock,
+            crate::must_parse(&source(&format!("seqlock-t{t}-s{s}-r{r}"), p, s, &SAFE, false, true)),
+            Verdict::Forbidden,
+        )
+        .with_machine(machine(p, s, true)),
+        AlgoProgram::new(
+            FamilyId::Seqlock,
+            crate::must_parse(&source(
+                &format!("seqlock-retry-t{t}-s{s}-r{r}"),
+                p,
+                s,
+                &SAFE,
+                true,
+                true,
+            )),
+            Verdict::Forbidden,
+        ),
+        AlgoProgram::new(
+            FamilyId::Seqlock,
+            crate::must_parse(&source(
+                &format!("seqlock-relaxed-t{t}-s{s}-r{r}"),
+                p,
+                s,
+                &RELAXED,
+                false,
+                true,
+            )),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        )
+        .with_machine(machine(p, s, true)),
+        AlgoProgram::new(
+            FamilyId::Seqlock,
+            crate::must_parse(&source(
+                &format!("seqlock-nocheck-t{t}-s{s}-r{r}"),
+                p,
+                nocheck_words,
+                &SAFE,
+                false,
+                false,
+            )),
+            if t > 1 { Verdict::Allowed } else { Verdict::Forbidden },
+        )
+        .with_machine(machine(p, nocheck_words, false)),
+    ]
+}

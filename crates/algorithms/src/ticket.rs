@@ -1,0 +1,197 @@
+//! Ticket spinlock family.
+//!
+//! Each contender draws a ticket with `atomic_fetch_add`, spins until
+//! `now_serving` equals its ticket, runs the critical section, and
+//! unlocks by publishing `ticket + 1` with `smp_store_release`. The
+//! spin is modelled by its *final* iteration: the successful gate read
+//! plus an `__assume` pinning the observed value (the `expand_rcu`
+//! technique), or — in the runnable twins — the same read with the
+//! acceptance folded into the `exists` condition so the operational
+//! layers can execute the straight-line program.
+//!
+//! The safety invariant is mutual exclusion: with the acquisition order
+//! pinned (thread 0 first), thread 0 writes its marker into every
+//! critical-section word and reads it back; observing any other
+//! thread's marker means that thread's critical section intruded.
+//! The safe variant must be Forbidden; stripping the acquire gate and
+//! the release unlock (`ticket-relaxed`) leaves a load-buffering shape
+//! the LKMM allows; dropping the wait entirely (`ticket-nowait`) is
+//! broken even under SC, which the interleaving machine confirms.
+
+use crate::interleave::{Machine, Op};
+use crate::{AlgoProgram, FamilyId, FamilyParams};
+use lkmm_exec::Verdict;
+use std::fmt::Write;
+
+/// Orderings of one variant's lock operations.
+struct Flavor {
+    fetch_add: &'static str,
+    /// Gate read: acquire or plain.
+    acquire_gate: bool,
+    /// Unlock: release store or plain write.
+    release_unlock: bool,
+}
+
+const SAFE: Flavor = Flavor { fetch_add: "atomic_fetch_add", acquire_gate: true, release_unlock: true };
+const RELAXED: Flavor =
+    Flavor { fetch_add: "atomic_fetch_add_relaxed", acquire_gate: false, release_unlock: false };
+
+/// Body of contender `i`. `gate` controls whether the spin read is
+/// emitted at all; `assume` chooses `__assume` (axiomatic form) over
+/// condition-filtering (runnable form).
+fn body(i: usize, p: &FamilyParams, f: &Flavor, gate: bool, assume: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    int t;");
+    if gate {
+        let _ = writeln!(s, "    int s;");
+    }
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    int r{k};");
+    }
+    let _ = writeln!(s, "    t = {}(1, nt);", f.fetch_add);
+    if gate {
+        let gate_read =
+            if f.acquire_gate { "smp_load_acquire(*ns)" } else { "READ_ONCE(*ns)" };
+        let _ = writeln!(s, "    s = {gate_read};");
+    }
+    if assume {
+        let _ = writeln!(s, "    __assume(t == {i});");
+        if gate {
+            let _ = writeln!(s, "    __assume(s == {i});");
+        }
+    }
+    for k in 0..p.sections {
+        let _ = writeln!(s, "    WRITE_ONCE(*x{k}, {});", i + 1);
+        let _ = writeln!(s, "    r{k} = READ_ONCE(*x{k});");
+    }
+    if f.release_unlock {
+        let _ = writeln!(s, "    smp_store_release(ns, {});", i + 1);
+    } else {
+        let _ = writeln!(s, "    WRITE_ONCE(*ns, {});", i + 1);
+    }
+    s
+}
+
+/// The mutual-exclusion violation: thread 0 (pinned first holder) read
+/// some other contender's marker. In the runnable forms the pinning
+/// conjuncts (`t`/`s` observations of every thread) join the condition.
+fn condition(p: &FamilyParams, gate: bool, assume: bool) -> String {
+    let mut pins = Vec::new();
+    if !assume {
+        for i in 0..p.threads {
+            pins.push(format!("{i}:t={i}"));
+            if gate {
+                pins.push(format!("{i}:s={i}"));
+            }
+        }
+    }
+    let mut bad = Vec::new();
+    for j in 1..p.threads {
+        for k in 0..p.sections {
+            bad.push(format!("0:r{k}={}", j + 1));
+        }
+    }
+    if bad.is_empty() {
+        // Single-thread degenerate-but-valid size: ask for a marker no
+        // thread ever writes; trivially (and correctly) forbidden.
+        bad.push("0:r0=2".to_string());
+    }
+    let bad = bad.join(" \\/ ");
+    if pins.is_empty() {
+        format!("exists ({bad})")
+    } else {
+        format!("exists ({} /\\ ({bad}))", pins.join(" /\\ "))
+    }
+}
+
+fn source(name: &str, p: &FamilyParams, f: &Flavor, gate: bool, assume: bool) -> String {
+    let mut locs = vec!["nt=0".to_string(), "ns=0".to_string()];
+    let mut args = vec!["int *nt".to_string(), "int *ns".to_string()];
+    for k in 0..p.sections {
+        locs.push(format!("x{k}=0"));
+        args.push(format!("int *x{k}"));
+    }
+    let mut s = format!("C {name}\n{{ {}; }}\n", locs.join("; "));
+    for i in 0..p.threads {
+        let _ = writeln!(s, "P{i}({})\n{{", args.join(", "));
+        s.push_str(&body(i, p, f, gate, assume));
+        s.push_str("}\n");
+    }
+    s.push_str(&condition(p, gate, assume));
+    s
+}
+
+/// The SC step machine: tickets via fetch-add, guarded wait on serving,
+/// a critical-section occupancy counter observed at entry.
+fn machine(p: &FamilyParams, wait: bool) -> Machine {
+    // mem: [next, serving, cs]; regs: [ticket, entry, scratch]
+    let mut thread = vec![Op::FetchAdd { loc: 0, reg: 0, add: 1 }];
+    if wait {
+        thread.push(Op::WaitEqReg { loc: 1, reg: 0 });
+    }
+    thread.push(Op::FetchAdd { loc: 2, reg: 1, add: 1 });
+    thread.push(Op::FetchAdd { loc: 2, reg: 2, add: -1 });
+    thread.push(Op::WriteReg { loc: 1, reg: 0, add: 1 });
+    let mut bad = Vec::new();
+    for t in 0..p.threads {
+        for v in 1..p.threads as i64 {
+            bad.push(vec![(t, 1, v)]);
+        }
+    }
+    Machine { init: vec![0, 0, 0], threads: vec![thread; p.threads], bad }
+}
+
+pub(crate) fn programs(p: &FamilyParams) -> Vec<AlgoProgram> {
+    let t = p.threads;
+    let s = p.sections;
+    // Fault site: a "broken fence" mutant — when armed, the safe
+    // variant is silently generated with the relaxed orderings while
+    // still claiming Forbidden, so the family-safety oracle must catch
+    // and shrink it.
+    let safe_flavor =
+        if lkmm_core::faultpoint::should_fail("algo.weaken") { &RELAXED } else { &SAFE };
+    vec![
+        AlgoProgram::new(
+            FamilyId::Ticket,
+            crate::must_parse(&source(
+                &format!("ticket-t{t}-s{s}"),
+                p,
+                safe_flavor,
+                true,
+                true,
+            )),
+            Verdict::Forbidden,
+        )
+        .with_machine(machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Ticket,
+            crate::must_parse(&source(&format!("ticket-run-t{t}-s{s}"), p, safe_flavor, true, false)),
+            Verdict::Forbidden,
+        )
+        .with_machine(machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Ticket,
+            crate::must_parse(&source(&format!("ticket-relaxed-t{t}-s{s}"), p, &RELAXED, true, true)),
+            Verdict::Allowed,
+        )
+        .with_machine(machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Ticket,
+            crate::must_parse(&source(
+                &format!("ticket-relaxed-run-t{t}-s{s}"),
+                p,
+                &RELAXED,
+                true,
+                false,
+            )),
+            Verdict::Allowed,
+        )
+        .with_machine(machine(p, true)),
+        AlgoProgram::new(
+            FamilyId::Ticket,
+            crate::must_parse(&source(&format!("ticket-nowait-t{t}-s{s}"), p, &SAFE, false, true)),
+            Verdict::Allowed,
+        )
+        .with_machine(machine(p, false)),
+    ]
+}

@@ -255,7 +255,7 @@ pub fn run_campaign_with(
 
     // Matrix-level oracles.
     let mut discrepancies = Vec::new();
-    let mut summaries = [OracleSummary::default(); 4];
+    let mut summaries = [OracleSummary::default(); OracleKind::ALL.len()];
     for row in &matrix.rows {
         check_row(row, &mut discrepancies, &mut summaries);
     }

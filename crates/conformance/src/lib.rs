@@ -22,8 +22,12 @@
 //!   statements, flatten `if`s, drop condition conjuncts) that reduces
 //!   a discrepancy to a minimal litmus test still discriminating the
 //!   disagreeing checkers.
-//! * [`campaign`] — the driver tying the layers together, and
-//! * [`report`] — deterministic JSON plus a human summary table.
+//! * [`campaign`] — the driver tying the layers together,
+//! * [`report`] — deterministic JSON plus a human summary table, and
+//! * [`algorithms`] — the real-algorithm campaign: parameterised
+//!   litmus families (locks, refcounts, seqlock, RCU trees, deques)
+//!   held to per-family safety invariants across the axiomatic,
+//!   simulated, host-threaded, and exhaustively-interleaved layers.
 //!
 //! Discrepancy re-checks never go through the verdict store: a
 //! discrepancy is evidence that at least one checker is wrong, and a
@@ -48,12 +52,17 @@
 //! assert_eq!(report.corpus_library, lkmm_litmus::library::all().len());
 //! ```
 
+pub mod algorithms;
 pub mod campaign;
 pub mod matrix;
 pub mod oracle;
 pub mod report;
 pub mod shrink;
 
+pub use algorithms::{
+    algo_human_table, algo_json_report, algo_observability_lines, run_algo_campaign,
+    run_algo_campaign_with, AlgoConfig, AlgoReport, FamilyStats,
+};
 pub use campaign::{
     run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignReport, ModelStats,
     OracleStats, SimConfig,

@@ -187,6 +187,19 @@ pub enum Origin {
     },
     /// A diy-generated critical-cycle test.
     Generated,
+    /// An algorithm-family program ([`lkmm_algorithms`]), carrying the
+    /// family's declared LKMM expectation for the program's
+    /// safety-violation condition.
+    Algorithm {
+        /// Stable family name ([`lkmm_algorithms::FamilyId::name`]).
+        family: &'static str,
+        /// The invariant the condition encodes (mutual exclusion, no
+        /// use-after-free, …) — report text only.
+        invariant: &'static str,
+        /// Expected LKMM verdict: `Forbidden` for the correctly-ordered
+        /// variant, `Allowed` for deliberately weakened twins.
+        expect: Verdict,
+    },
 }
 
 /// One corpus member: the test plus its origin.

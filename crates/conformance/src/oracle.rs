@@ -17,6 +17,13 @@
 //!   ordering ([`OriginalC11::divergence_license`]); library rows must
 //!   additionally match the paper's published C11 column exactly.
 //!
+//! The algorithm-family campaign ([`crate::algorithms`]) adds three
+//! more: **family safety** (a family program's LKMM verdict matches its
+//! declared expectation), **host soundness** (the klitmus runner never
+//! observes an LKMM-forbidden outcome on real threads), and
+//! **interleave agreement** (exhaustive step-machine interleaving
+//! agrees with the axiomatic SC+atomicity verdict).
+//!
 //! A violation is a structured [`Discrepancy`] carrying a re-checkable
 //! [`Recheck`] predicate. Re-checks always recompute from scratch —
 //! **never through the verdict store** — so a discrepancy can never be
@@ -44,15 +51,31 @@ pub enum OracleKind {
     /// C11 may diverge from the LKMM only with a license (or exactly as
     /// the paper's C11 column says, for library rows).
     C11Divergence,
+    /// An algorithm-family program's LKMM verdict matches the family's
+    /// declared safety expectation (Forbidden for the safe variant,
+    /// Allowed for its deliberately weakened twin).
+    FamilySafety,
+    /// The klitmus host runner never observes an LKMM-forbidden
+    /// outcome on real hardware threads.
+    HostSoundness,
+    /// Loom-style exhaustive interleaving of a program's step machine
+    /// agrees with the axiomatic SC+atomicity verdict: the bad state is
+    /// reachable iff the model allows the condition.
+    InterleaveAgreement,
 }
 
 impl OracleKind {
-    /// Every oracle, in report order.
-    pub const ALL: [OracleKind; 4] = [
+    /// Every oracle, in report order. The first four are the cycle
+    /// campaign's; the last three belong to the algorithm-family
+    /// campaign and stay at zero elsewhere.
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::NativeCatAgreement,
         OracleKind::EnvelopeOrdering,
         OracleKind::SimSoundness,
         OracleKind::C11Divergence,
+        OracleKind::FamilySafety,
+        OracleKind::HostSoundness,
+        OracleKind::InterleaveAgreement,
     ];
 
     /// Stable report name.
@@ -62,7 +85,16 @@ impl OracleKind {
             OracleKind::EnvelopeOrdering => "envelope-ordering",
             OracleKind::SimSoundness => "sim-soundness",
             OracleKind::C11Divergence => "c11-divergence",
+            OracleKind::FamilySafety => "family-safety",
+            OracleKind::HostSoundness => "host-soundness",
+            OracleKind::InterleaveAgreement => "interleave-agreement",
         }
+    }
+
+    /// Position of this oracle in [`OracleKind::ALL`] (and in every
+    /// summaries array).
+    pub fn index(self) -> usize {
+        OracleKind::ALL.iter().position(|k| *k == self).expect("ALL is total")
     }
 }
 
@@ -90,6 +122,26 @@ pub enum Recheck {
     C11Unlicensed,
     /// A seeded simulator run observes an LKMM-forbidden outcome.
     SimObservation { arch: Arch, iterations: u64, seed: u64 },
+    /// An algorithm-family program's LKMM verdict differs from the
+    /// family's declared expectation. Fully re-checkable, so
+    /// family-safety discrepancies shrink to a minimal program that
+    /// still gets the wrong verdict — and when the wrong verdict is an
+    /// *Allow*, the recheck additionally demands the outcome be weak
+    /// (SC+atomicity forbids it), so the minimal witness is a genuine
+    /// weak-memory discriminator rather than the empty program.
+    FamilyExpectation { expect: Verdict },
+    /// A klitmus host run observes an outcome the LKMM forbids.
+    /// Re-checkable in principle (host scheduling is uncontrolled, so a
+    /// re-run may not reproduce the observation), but never shrunk.
+    HostObservation { iterations: u64 },
+    /// Exhaustive interleaving of the program's step machine disagrees
+    /// with the axiomatic SC+atomicity verdict. The machine travels
+    /// with the check — it is hand-built per family and cannot be
+    /// re-derived from a mutated test, so these are never shrunk.
+    InterleaveDivergence {
+        machine: lkmm_algorithms::interleave::Machine,
+        max_states: usize,
+    },
 }
 
 /// One oracle violation, with everything needed to reproduce it.
@@ -133,10 +185,12 @@ fn complete(row: &MatrixRow, id: ModelId) -> Option<&TestResult> {
     row.cell(id).and_then(CheckOutcome::result)
 }
 
-/// Evaluate the three matrix-level oracles (agreement, envelope, C11)
-/// on one row, appending any violations and updating the summaries
-/// (indexed like [`OracleKind::ALL`]). Sim soundness needs simulator
-/// runs and lives in [`crate::campaign`].
+/// Evaluate the matrix-level oracles (agreement, envelope, C11, and —
+/// on algorithm rows — family safety) on one row, appending any
+/// violations and updating the summaries (indexed like
+/// [`OracleKind::ALL`]). Sim soundness needs simulator runs and lives
+/// in [`crate::campaign`]; host soundness and interleave agreement live
+/// in [`crate::algorithms`].
 pub fn check_row(
     row: &MatrixRow,
     out: &mut Vec<Discrepancy>,
@@ -250,6 +304,30 @@ pub fn check_row(
             }
         }
     }
+
+    // Family safety: algorithm rows carry their declared LKMM
+    // expectation — the safe variant's violation condition must be
+    // Forbidden, the weakened twin's Allowed.
+    if let Origin::Algorithm { family, invariant, expect } = &row.origin {
+        let s = &mut summaries[OracleKind::FamilySafety.index()];
+        match complete(row, ModelId::LkmmNative) {
+            Some(native) => {
+                s.checked += 1;
+                if native.verdict != *expect {
+                    s.violations += 1;
+                    out.push(discrepancy(
+                        OracleKind::FamilySafety,
+                        format!(
+                            "{family}: LKMM says {}, the family expects {} ({invariant})",
+                            native.verdict, expect
+                        ),
+                        Recheck::FamilyExpectation { expect: *expect },
+                    ));
+                }
+            }
+            None => s.skipped += 1,
+        }
+    }
 }
 
 /// Whether `check` still fails on `test`, computed **from scratch** —
@@ -309,6 +387,54 @@ pub fn recheck_violated(
                 Err(_) => false,
             }
         }
+        Recheck::FamilyExpectation { expect } => match run(ModelId::LkmmNative) {
+            Some(native) => {
+                if native.verdict == *expect {
+                    return false;
+                }
+                match native.verdict {
+                    // A wrong Allow must be backed by a genuinely weak
+                    // outcome — one the SC+atomicity interleaving
+                    // reference forbids. Without this the shrinker
+                    // would collapse every wrong-Allow witness to the
+                    // trivially-allowed empty program, which
+                    // discriminates nothing.
+                    Verdict::Allowed => matches!(
+                        check_test_governed(&lkmm_algorithms::ScAtomic, test, opts, pipe),
+                        CheckOutcome::Complete(r) if r.verdict == Verdict::Forbidden
+                    ),
+                    _ => true,
+                }
+            }
+            None => false,
+        },
+        Recheck::HostObservation { iterations } => {
+            let Some(native) = run(ModelId::LkmmNative) else { return false };
+            if native.verdict != Verdict::Forbidden {
+                return false;
+            }
+            let config = lkmm_klitmus::HostConfig { iterations: *iterations };
+            match lkmm_klitmus::run_on_host(test, &config) {
+                Ok(stats) => stats.observed > 0,
+                Err(_) => false,
+            }
+        }
+        Recheck::InterleaveDivergence { machine, max_states } => {
+            // Recompute both sides from scratch: the machine re-explored,
+            // the axiomatic side re-checked under SC+atomicity (the
+            // semantics the machine implements — see
+            // [`lkmm_algorithms::ScAtomic`]).
+            let explored = lkmm_algorithms::interleave::explore(machine, *max_states);
+            if explored.truncated {
+                return false;
+            }
+            match check_test_governed(&lkmm_algorithms::ScAtomic, test, opts, pipe) {
+                CheckOutcome::Complete(result) => {
+                    explored.bad_reachable != (result.verdict == Verdict::Allowed)
+                }
+                CheckOutcome::Inconclusive { .. } => false,
+            }
+        }
     }
 }
 
@@ -335,7 +461,7 @@ mod tests {
         for name in ["MP", "SB+mbs", "RWC+mbs", "RCU-MP"] {
             let row = library_row(name);
             let mut out = Vec::new();
-            let mut summaries = [OracleSummary::default(); 4];
+            let mut summaries = [OracleSummary::default(); OracleKind::ALL.len()];
             check_row(&row, &mut out, &mut summaries);
             assert!(out.is_empty(), "{name}: {:?}", out.iter().map(|d| &d.detail).collect::<Vec<_>>());
             assert!(summaries[0].checked == 1);

@@ -116,7 +116,7 @@ pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
     Json::obj(fields)
 }
 
-fn recheck_json(check: &Recheck) -> Json {
+pub(crate) fn recheck_json(check: &Recheck) -> Json {
     match check {
         Recheck::ResultAgreement { left, right } => Json::obj(vec![
             ("kind", Json::str("result-agreement")),
@@ -138,6 +138,19 @@ fn recheck_json(check: &Recheck) -> Json {
             ("arch", Json::str(arch.name())),
             ("iterations", Json::num(*iterations)),
             ("seed", Json::num(*seed)),
+        ]),
+        Recheck::FamilyExpectation { expect } => Json::obj(vec![
+            ("kind", Json::str("family-expectation")),
+            ("expect", Json::str(format!("{expect:?}"))),
+        ]),
+        Recheck::HostObservation { iterations } => Json::obj(vec![
+            ("kind", Json::str("host-observation")),
+            ("iterations", Json::num(*iterations)),
+        ]),
+        Recheck::InterleaveDivergence { machine, max_states } => Json::obj(vec![
+            ("kind", Json::str("interleave-divergence")),
+            ("machine_threads", Json::num(machine.threads.len() as u64)),
+            ("max_states", Json::num(*max_states as u64)),
         ]),
     }
 }

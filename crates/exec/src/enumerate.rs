@@ -305,6 +305,14 @@ pub fn try_for_each_execution(
         }
     }
 
+    // A thread whose `__assume`s filter out every local outcome leaves
+    // the test with no candidate executions at all (the exists-condition
+    // is then vacuously unsatisfiable) — without this guard the odometer
+    // below would index into the empty outcome list.
+    if outcomes.iter().any(Vec::is_empty) {
+        return Ok(ControlFlow::Continue(()));
+    }
+
     // --- assemble pre-executions and enumerate witnesses -----------------
     let mut emitted = 0usize;
     let mut combo = vec![0usize; test.threads.len()];

@@ -772,6 +772,36 @@ mod tests {
     }
 
     #[test]
+    fn multi_model_pass_fills_shared_enum_stats() {
+        // The single enumeration pass behind check_test_multi feeds the
+        // counters exactly once no matter how many models ride it, and
+        // identically at any job count — campaign `--enum-stats` output
+        // stays deterministic for a fixed corpus.
+        let t = library::by_name("SB").unwrap().test();
+        let snapshot_for = |jobs: usize| {
+            let stats = std::sync::Arc::new(crate::EnumStats::default());
+            let opts = EnumOptions { stats: Some(stats.clone()), ..EnumOptions::default() };
+            let models: [&dyn ConsistencyModel; 2] = [&AllowAll, &AllowAll];
+            check_test_multi(&models, &t, &opts, &PipelineOptions { jobs, ..Default::default() })
+                .unwrap();
+            stats.snapshot()
+        };
+        let single_model = {
+            let stats = std::sync::Arc::new(crate::EnumStats::default());
+            let opts = EnumOptions { stats: Some(stats.clone()), ..EnumOptions::default() };
+            check_test(&AllowAll, &t, &opts).unwrap();
+            stats.snapshot()
+        };
+        let seq = snapshot_for(1);
+        assert!(seq.candidates_emitted > 0, "the pass must emit candidates");
+        assert_eq!(
+            seq, single_model,
+            "N models share one enumeration: counters match a single-model run"
+        );
+        assert_eq!(seq, snapshot_for(4), "counters are job-count-invariant");
+    }
+
+    #[test]
     fn effective_jobs_resolves_zero_and_clamps() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);

@@ -197,6 +197,12 @@ pub enum GenError {
     NotCritical,
     /// [`parse_cycle`] met a name that is not a diy edge.
     UnknownEdge(String),
+    /// A parameterised program family was asked for a size that cannot
+    /// produce a meaningful program (zero threads, zero critical
+    /// sections, zero retry depth). The payload names the offending
+    /// parameter; callers reject the request instead of silently
+    /// generating an empty litmus test.
+    Degenerate(&'static str),
 }
 
 impl fmt::Display for GenError {
@@ -205,6 +211,9 @@ impl fmt::Display for GenError {
             GenError::IllFormed => write!(f, "ill-formed cycle"),
             GenError::NotCritical => write!(f, "not a critical cycle"),
             GenError::UnknownEdge(name) => write!(f, "unknown edge `{name}`"),
+            GenError::Degenerate(what) => {
+                write!(f, "degenerate family parameters: {what}")
+            }
         }
     }
 }
@@ -753,6 +762,22 @@ mod tests {
             assert_eq!(err, GenError::UnknownEdge(bad.to_string()));
             assert!(err.to_string().contains(&format!("`{bad}`")), "{err}");
         }
+    }
+
+    #[test]
+    fn degenerate_parameters_carry_the_offending_knob_in_the_message() {
+        // Program families (crates/algorithms) reject zero-sized
+        // parameters with this variant; the message must name the knob
+        // so a CLI user can tell which of threads/sections/retries was
+        // wrong.
+        let err = GenError::Degenerate("threads must be at least 1");
+        assert_eq!(
+            err.to_string(),
+            "degenerate family parameters: threads must be at least 1"
+        );
+        let err = GenError::Degenerate("retry depth must be at least 1");
+        assert!(err.to_string().starts_with("degenerate family parameters:"), "{err}");
+        assert!(err.to_string().contains("retry depth"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,16 @@ use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 
 /// Lamport's sequential consistency: all events execute in some total
 /// order consistent with program order — axiomatically,
-/// `acyclic(po ∪ rf ∪ co ∪ fr)`.
+/// `acyclic(po ∪ rf ∪ co ∪ fr)` plus RMW atomicity
+/// (`empty(rmw ∩ (fre ; coe))`).
+///
+/// The atomicity conjunct is part of what "interleaving semantics"
+/// means once the language has `cmpxchg`/`atomic_fetch_add`: an RMW's
+/// read and write occupy one indivisible step of the total order, so no
+/// foreign write can fall between them. Without it SC would *allow*
+/// two CASes to both claim the same old value — an outcome no
+/// interleaving can produce — and SC would fail to be a subset of
+/// x86-TSO on RMW-bearing tests, breaking the envelope-ordering oracle.
 ///
 /// # Examples
 ///
@@ -29,7 +38,7 @@ impl ConsistencyModel for Sc {
     }
 
     fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
-        x.po.union(facts.com()).is_acyclic()
+        facts.atomicity_ok() && x.po.union(facts.com()).is_acyclic()
     }
 }
 

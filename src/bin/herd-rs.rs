@@ -34,11 +34,21 @@
 //! output is a human table; `--json` prints a deterministic JSON report
 //! (byte-identical on a warm re-run over the same `--store`).
 //!
+//! `conformance --algorithms` swaps the cycle corpus for the
+//! real-algorithm litmus families (`--list-algorithms` enumerates
+//! them): each family expands at `--algo-threads`/`--algo-sections`/
+//! `--algo-retries` into program variants held to per-family safety
+//! invariants across the axiomatic matrix, the hardware simulators,
+//! real host threads, and exhaustive interleaving of the family's step
+//! machine. `--families a,b` restricts the run; unknown names are
+//! rejected at parse time.
+//!
 //! Exit codes: 0 success, 1 internal/transport failure, 2 usage error,
 //! 3 input-file I/O error, 4 litmus parse error, 5 store error,
 //! 6 single-test check inconclusive (budget exhausted), 7 conformance
 //! campaign found discrepancies.
 
+use linux_kernel_memory_model::algorithms::FamilyId;
 use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
 use linux_kernel_memory_model::service::{BatchChecker, VerdictStore};
 use linux_kernel_memory_model::{
@@ -55,6 +65,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] --library\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] serve\n\
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [CONFORMANCE] conformance\n\
+     \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [ALGORITHMS] conformance --algorithms\n\
+     \x20      herd-rs --list-algorithms\n\
      \x20 --models M1,M2   decide several models from ONE enumeration pass per test; output is\n\
      \x20                  byte-identical to running --model M1, --model M2, ... in sequence\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
@@ -63,7 +75,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --store PATH     answer from / append to a persistent verdict store\n\
      \x20 --salt STR       version salt folded into every cache key\n\
      \x20 --enum-stats     report enumerator pruning counters on stderr (and a JSON section in\n\
-     \x20                  `conformance --json`); with `--library --store` or `conformance`\n\
+     \x20                  `conformance --json`); with `--library --store`, `--models`, or\n\
+     \x20                  `conformance`\n\
      \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)\n\
      \x20 BUDGET options (exceeding one reports `inconclusive`, exit code 6 for single tests):\n\
      \x20 --budget-candidates N   stop a check after N candidate executions\n\
@@ -77,8 +90,15 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --no-shrink         report discrepancies without minimizing them\n\
      \x20 --sim-iterations N  per-arch simulator runs per forbidden test (default 200, 0 = off)\n\
      \x20 --sim-seed N        base seed for the simulator soundness pass (default 7)\n\
-     \x20 --sim-stride N      simulate every Nth corpus test (default 1)\n\
+     \x20 --sim-stride N      simulate every Nth corpus test (default 1; not with --algorithms)\n\
      \x20 --json              deterministic JSON report instead of the human table\n\
+     \x20 ALGORITHMS options (`conformance --algorithms` checks the real-algorithm families):\n\
+     \x20 --algorithms        run the algorithm-family campaign instead of the cycle corpus\n\
+     \x20 --families F1,F2    restrict to the named families (see --list-algorithms)\n\
+     \x20 --algo-threads N    contending threads per family (default 2)\n\
+     \x20 --algo-sections N   critical sections / operations per thread (default 1)\n\
+     \x20 --algo-retries N    retry-loop depth for bounded retry loops (default 1)\n\
+     \x20 --list-algorithms   list the algorithm families (name, invariant, description)\n\
      \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive,\n\
      \x20             7 conformance discrepancies";
 
@@ -116,7 +136,7 @@ struct Cli {
     budget_steps: Option<u64>,
     budget_ms: Option<u64>,
     max_request_bytes: Option<usize>,
-    max_cycle_len: usize,
+    max_cycle_len: Option<usize>,
     contended: bool,
     no_library: bool,
     no_shrink: bool,
@@ -124,8 +144,15 @@ struct Cli {
     sim_iterations: u64,
     sim_seed: u64,
     sim_stride: usize,
+    sim_stride_given: bool,
     enum_stats: bool,
     conformance_flag_seen: bool,
+    algorithms: bool,
+    families: Vec<FamilyId>,
+    algo_threads: Option<usize>,
+    algo_sections: Option<usize>,
+    algo_retries: Option<usize>,
+    list_algorithms: bool,
 }
 
 fn usage_fail(message: &str) -> ExitCode {
@@ -165,7 +192,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         budget_steps: None,
         budget_ms: None,
         max_request_bytes: None,
-        max_cycle_len: 4,
+        max_cycle_len: None,
         contended: false,
         no_library: false,
         no_shrink: false,
@@ -173,8 +200,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         sim_iterations: 200,
         sim_seed: 7,
         sim_stride: 1,
+        sim_stride_given: false,
         enum_stats: false,
         conformance_flag_seen: false,
+        algorithms: false,
+        families: Vec::new(),
+        algo_threads: None,
+        algo_sections: None,
+        algo_retries: None,
+        list_algorithms: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -251,13 +285,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     .parse::<usize>()
                     .ok()
                     .filter(|l| *l <= MAX_CAMPAIGN_CYCLE_LEN);
-                cli.max_cycle_len = len.ok_or_else(|| {
+                cli.max_cycle_len = Some(len.ok_or_else(|| {
                     format!(
                         "--max-cycle-len needs an integer in 0..={MAX_CAMPAIGN_CYCLE_LEN}, \
                          got `{n}` (longer campaigns explode combinatorially; drive them \
                          through the conformance library API instead)"
                     )
-                })?;
+                })?);
                 cli.conformance_flag_seen = true;
             }
             "--contended" => {
@@ -293,8 +327,47 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--sim-stride" => {
                 let n = it.next().ok_or("--sim-stride needs an argument")?;
                 cli.sim_stride = parse_count("--sim-stride", n)? as usize;
+                cli.sim_stride_given = true;
                 cli.conformance_flag_seen = true;
             }
+            "--algorithms" => {
+                cli.algorithms = true;
+                cli.conformance_flag_seen = true;
+            }
+            "--families" => {
+                let list = it.next().ok_or("--families needs a comma-separated list")?;
+                for name in list.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(format!("--families got an empty family name in `{list}`"));
+                    }
+                    cli.families.push(FamilyId::parse_name(name).ok_or_else(|| {
+                        let known = FamilyId::ALL
+                            .iter()
+                            .map(|f| f.name())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("unknown algorithm family `{name}` ({known})")
+                    })?);
+                }
+                cli.conformance_flag_seen = true;
+            }
+            "--algo-threads" => {
+                let n = it.next().ok_or("--algo-threads needs an argument")?;
+                cli.algo_threads = Some(parse_count("--algo-threads", n)? as usize);
+                cli.conformance_flag_seen = true;
+            }
+            "--algo-sections" => {
+                let n = it.next().ok_or("--algo-sections needs an argument")?;
+                cli.algo_sections = Some(parse_count("--algo-sections", n)? as usize);
+                cli.conformance_flag_seen = true;
+            }
+            "--algo-retries" => {
+                let n = it.next().ok_or("--algo-retries needs an argument")?;
+                cli.algo_retries = Some(parse_count("--algo-retries", n)? as usize);
+                cli.conformance_flag_seen = true;
+            }
+            "--list-algorithms" => cli.list_algorithms = true,
             "--enum-stats" => cli.enum_stats = true,
             "--library" | "-l" => cli.run_library = true,
             "--dot" => cli.dot = true,
@@ -338,13 +411,55 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     --queue-depth, --store, --salt, --budget-*, and the conformance flags"
             .to_string());
     }
+    if cli.list_algorithms {
+        if cli.serve_mode
+            || cli.conformance_mode
+            || cli.run_library
+            || cli.file.is_some()
+            || cli.models.is_some()
+            || cli.model_given
+            || cli.conformance_flag_seen
+            || cli.enum_stats
+            || cli.store.is_some()
+        {
+            return Err("--list-algorithms takes no other options".to_string());
+        }
+        return Ok(Some(cli));
+    }
     if cli.conformance_flag_seen && !cli.conformance_mode {
-        return Err("--max-cycle-len/--contended/--no-library/--no-shrink/--json/--sim-* only \
-                    apply to `conformance`"
+        return Err("--max-cycle-len/--contended/--no-library/--no-shrink/--json/--sim-*/\
+                    --algorithms/--families/--algo-* only apply to `conformance`"
             .to_string());
     }
-    if cli.enum_stats && !(cli.conformance_mode || (cli.run_library && cli.store.is_some())) {
-        return Err("--enum-stats applies to `conformance` or `--library --store`".to_string());
+    if !cli.algorithms
+        && (!cli.families.is_empty()
+            || cli.algo_threads.is_some()
+            || cli.algo_sections.is_some()
+            || cli.algo_retries.is_some())
+    {
+        return Err("--families/--algo-threads/--algo-sections/--algo-retries only apply to \
+                    `conformance --algorithms`"
+            .to_string());
+    }
+    if cli.algorithms
+        && (cli.max_cycle_len.is_some()
+            || cli.contended
+            || cli.no_library
+            || cli.sim_stride_given)
+    {
+        return Err("--max-cycle-len/--contended/--no-library/--sim-stride describe the cycle \
+                    corpus; `--algorithms` replaces it with the family programs"
+            .to_string());
+    }
+    if cli.enum_stats
+        && !(cli.conformance_mode
+            || (cli.run_library && cli.store.is_some())
+            || cli.models.is_some())
+    {
+        return Err(
+            "--enum-stats applies to `conformance`, `--models`, or `--library --store`"
+                .to_string(),
+        );
     }
     if cli.max_request_bytes.is_some() && !cli.serve_mode {
         return Err("--max-request-bytes only applies to `serve`".to_string());
@@ -445,12 +560,16 @@ fn main() -> ExitCode {
         Err(e) => return usage_fail(&e),
     };
 
+    if cli.list_algorithms {
+        return list_algorithms_mode();
+    }
+
     if cli.serve_mode {
         return serve_mode(&cli);
     }
 
     if cli.conformance_mode {
-        return conformance_mode(&cli);
+        return if cli.algorithms { algo_conformance_mode(&cli) } else { conformance_mode(&cli) };
     }
 
     if cli.run_library {
@@ -554,14 +673,22 @@ struct GovernedOutcome {
 /// pass. Stdout is byte-identical to running `--model a FILE`,
 /// `--model b FILE`, ... in sequence; a budget trip makes *all* models
 /// inconclusive together (their partial tallies cover the same
-/// candidates) and exits 6.
+/// candidates) and exits 6. With `--enum-stats` the shared pass's
+/// pruning counters go to stderr — one set for all N models, which is
+/// the point of the single-enumeration path.
 fn multi_mode(
     cli: &Cli,
     models: &[ModelChoice],
     test: &lkmm_litmus::Test,
     path: &str,
 ) -> ExitCode {
-    let mut herd = Herd::new_multi(models).with_jobs(cli.jobs).with_budget(cli.budget(true));
+    let stats = cli
+        .enum_stats
+        .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default()));
+    let mut herd = Herd::new_multi(models)
+        .with_options(EnumOptions { stats: stats.clone(), ..EnumOptions::default() })
+        .with_jobs(cli.jobs)
+        .with_budget(cli.budget(true));
     if let Some(depth) = cli.queue_depth {
         herd = herd.with_queue_depth(depth);
     }
@@ -570,6 +697,18 @@ fn multi_mode(
         MultiCheckOutcome::Complete(_) => {
             for report in governed.reports().expect("outcome is Complete") {
                 println!("{report}");
+            }
+            if let Some(stats) = &stats {
+                let e = stats.snapshot();
+                eprintln!(
+                    "herd-rs: enumeration: {} rf prefixes pruned, {} co pairs saturated, \
+                     {} branched, {} leaves tested, {} candidates emitted",
+                    e.rf_prefixes_pruned,
+                    e.co_pairs_saturated,
+                    e.co_pairs_branched,
+                    e.co_leaves_tested,
+                    e.candidates_emitted
+                );
             }
             ExitCode::SUCCESS
         }
@@ -595,7 +734,7 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
         CampaignError, SimConfig,
     };
     let cfg = CampaignConfig {
-        max_cycle_len: cli.max_cycle_len,
+        max_cycle_len: cli.max_cycle_len.unwrap_or(4),
         contended: cli.contended,
         include_library: !cli.no_library,
         salt: cli.salt.clone(),
@@ -631,6 +770,71 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
     } else {
         ExitCode::from(EXIT_DISCREPANCY)
     }
+}
+
+/// `herd-rs conformance --algorithms`: the real-algorithm family
+/// campaign. Same output discipline as the cycle campaign: the report
+/// (stdout) is deterministic, cache observability goes to stderr, exit
+/// 7 when any per-family oracle found a discrepancy.
+fn algo_conformance_mode(cli: &Cli) -> ExitCode {
+    use linux_kernel_memory_model::algorithms::FamilyParams;
+    use linux_kernel_memory_model::conformance::{
+        algo_human_table, algo_json_report, algo_observability_lines, run_algo_campaign,
+        AlgoConfig, CampaignError, SimConfig,
+    };
+    let defaults = FamilyParams::default();
+    let cfg = AlgoConfig {
+        families: cli.families.clone(),
+        params: FamilyParams {
+            threads: cli.algo_threads.unwrap_or(defaults.threads),
+            sections: cli.algo_sections.unwrap_or(defaults.sections),
+            retries: cli.algo_retries.unwrap_or(defaults.retries),
+        },
+        salt: cli.salt.clone(),
+        jobs: cli.jobs,
+        queue_depth: cli.queue_depth.unwrap_or(256),
+        budget: cli.budget(true),
+        store_path: cli.store.as_ref().map(std::path::PathBuf::from),
+        sim: SimConfig {
+            iterations: cli.sim_iterations,
+            seed: cli.sim_seed,
+            ..SimConfig::default()
+        },
+        shrink: !cli.no_shrink,
+        enum_stats: cli
+            .enum_stats
+            .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default())),
+        ..AlgoConfig::default()
+    };
+    let report = match run_algo_campaign(&cfg) {
+        Ok(r) => r,
+        Err(CampaignError::Store(e)) => {
+            return fail_code(EXIT_STORE, &format!("conformance: {e}"));
+        }
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("conformance: {e}")),
+    };
+    eprint!("{}", algo_observability_lines(&report));
+    if cli.json {
+        println!("{}", algo_json_report(&report, &cfg));
+    } else {
+        print!("{}", algo_human_table(&report));
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_DISCREPANCY)
+    }
+}
+
+/// `herd-rs --list-algorithms`: the family catalogue, one block per
+/// family — the names `--families` accepts, each family's safety
+/// invariant, and what its programs exercise.
+fn list_algorithms_mode() -> ExitCode {
+    for family in FamilyId::ALL {
+        println!("{:<10} invariant: {}", family.name(), family.invariant());
+        println!("{:<10} {}", "", family.description());
+    }
+    ExitCode::SUCCESS
 }
 
 fn serve_mode(cli: &Cli) -> ExitCode {
@@ -802,10 +1006,79 @@ mod tests {
         assert!(cli.enum_stats && cli.conformance_mode);
         let cli = parse(&["--enum-stats", "--library", "--store", "s.log"]).unwrap().unwrap();
         assert!(cli.enum_stats && cli.run_library);
+        // The multi-model path enumerates once for all N models; its
+        // shared counters are reportable too.
+        let cli = parse(&["--enum-stats", "--models", "sc,tso", "t.litmus"]).unwrap().unwrap();
+        assert!(cli.enum_stats && cli.models.is_some());
         // Library without a store, or a single file, has nothing to attach
         // the counters to.
         assert!(parse(&["--enum-stats", "--library"]).is_err());
         assert!(parse(&["--enum-stats", "t.litmus"]).is_err());
+    }
+
+    #[test]
+    fn algorithms_campaign_flags_parse() {
+        let cli = parse(&[
+            "--algorithms",
+            "--families",
+            "ticket, deque",
+            "--algo-threads",
+            "3",
+            "--algo-sections",
+            "2",
+            "--json",
+            "conformance",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(cli.conformance_mode && cli.algorithms && cli.json);
+        assert_eq!(cli.families, vec![FamilyId::Ticket, FamilyId::Deque]);
+        assert_eq!(cli.algo_threads, Some(3));
+        assert_eq!(cli.algo_sections, Some(2));
+        assert_eq!(cli.algo_retries, None);
+    }
+
+    #[test]
+    fn unknown_family_names_fail_at_parse_time() {
+        let err = parse(&["--algorithms", "--families", "ticket,bogus", "conformance"])
+            .err()
+            .unwrap();
+        assert!(err.contains("unknown algorithm family `bogus`"), "{err}");
+        assert!(err.contains("ticket"), "error must list the known families: {err}");
+        let err = parse(&["--algorithms", "--families", "ticket,,deque", "conformance"])
+            .err()
+            .unwrap();
+        assert!(err.contains("empty family name"), "{err}");
+        // Sizes must be positive; 0 is the generator's degenerate error,
+        // not a CLI input.
+        assert!(parse(&["--algorithms", "--algo-threads", "0", "conformance"]).is_err());
+    }
+
+    #[test]
+    fn algorithms_flags_demand_the_right_mode() {
+        // --algorithms needs `conformance`.
+        assert!(parse(&["--algorithms"]).is_err());
+        // The family/size flags need --algorithms, not just `conformance`.
+        assert!(parse(&["--families", "ticket", "conformance"]).is_err());
+        assert!(parse(&["--algo-threads", "3", "conformance"]).is_err());
+        // Cycle-corpus flags contradict --algorithms.
+        assert!(parse(&["--algorithms", "--max-cycle-len", "4", "conformance"]).is_err());
+        assert!(parse(&["--algorithms", "--contended", "conformance"]).is_err());
+        assert!(parse(&["--algorithms", "--no-library", "conformance"]).is_err());
+        assert!(parse(&["--algorithms", "--sim-stride", "2", "conformance"]).is_err());
+        // Shared conformance flags still compose.
+        assert!(parse(&["--algorithms", "--no-shrink", "--enum-stats", "conformance"]).is_ok());
+        assert!(parse(&["--algorithms", "--sim-iterations", "50", "conformance"]).is_ok());
+    }
+
+    #[test]
+    fn list_algorithms_stands_alone() {
+        let cli = parse(&["--list-algorithms"]).unwrap().unwrap();
+        assert!(cli.list_algorithms);
+        assert!(parse(&["--list-algorithms", "conformance"]).is_err());
+        assert!(parse(&["--list-algorithms", "--library"]).is_err());
+        assert!(parse(&["--list-algorithms", "t.litmus"]).is_err());
+        assert!(parse(&["--list-algorithms", "--algorithms"]).is_err());
     }
 
     #[test]

@@ -31,7 +31,13 @@
 //!   `herd-rs conformance`: campaign driver, verdict matrix, oracle
 //!   invariants (native≡cat, the SC ⊆ TSO ⊆ LKMM envelope, simulator
 //!   soundness, the §5.2 C11 divergence whitelist), and a
-//!   delta-debugging discrepancy shrinker.
+//!   delta-debugging discrepancy shrinker;
+//! * [`algorithms`] — the real-algorithm verification tier behind
+//!   `herd-rs conformance --algorithms`: parameterised litmus-program
+//!   families (hierarchical RCU, Arc-style refcount, ticket/CLH locks,
+//!   seqlock, Chase-Lev deque) with per-family safety invariants,
+//!   loom-style exhaustive interleaving, and threaded reference
+//!   implementations.
 //!
 //! # Quickstart
 //!
@@ -53,6 +59,7 @@
 //! ```
 
 pub use lkmm as model;
+pub use lkmm_algorithms as algorithms;
 pub use lkmm_cat as cat;
 pub use lkmm_conformance as conformance;
 pub use lkmm_exec as exec;

@@ -84,6 +84,31 @@ fn contended_twins_match_naive_exactly() {
 }
 
 #[test]
+fn algorithm_family_programs_match_naive_exactly() {
+    // The refcount and seqlock families exercise shapes the cycle
+    // corpus never generates — atomic RMW chains ending in a
+    // final-drop acquire, and `__assume`-bounded retry loops — so they
+    // probe the pruned enumerator's forced-coherence saturation on
+    // multi-write RMW locations.
+    use linux_kernel_memory_model::algorithms::{programs, FamilyId, FamilyParams};
+    // Default size plus a deeper retry loop; three-thread expansions are
+    // left to the release-profile algorithms bench — the naive twin's
+    // permutation product makes them minutes-slow under the debug
+    // profile.
+    let sizes = [
+        FamilyParams::default(),
+        FamilyParams { retries: 2, ..FamilyParams::default() },
+    ];
+    for family in [FamilyId::Refcount, FamilyId::Seqlock] {
+        for params in &sizes {
+            for p in programs(family, params).unwrap() {
+                assert_same_witnesses(&p.test, &p.test.name);
+            }
+        }
+    }
+}
+
+#[test]
 fn raw_mode_ignores_the_strategy_knob() {
     // `prune_scpv: false` must keep the full unfiltered candidate set
     // regardless of strategy: the pruned enumerator only exists behind
