@@ -187,6 +187,7 @@ rm -f "$ALGO_STORE" /tmp/lkmm-algo-cold.json /tmp/lkmm-algo-warm.json \
 
 echo "== fault injection: armed faults are contained, disarmed builds are clean =="
 cargo test --features fault-injection --test fault_injection --quiet
+cargo test --features fault-injection --test resume --quiet
 cargo build --release --features fault-injection --bin herd-rs
 printf 'C ci-fault\n{ x=0; }\nP0(int *x) { WRITE_ONCE(*x, 1); }\nexists (0:r0=0)\n' \
     > /tmp/lkmm-ci-fault.litmus
@@ -227,8 +228,69 @@ grep -q 'DISCREPANCIES' /tmp/lkmm-ci-weaken.out
 grep -q 'family-safety' /tmp/lkmm-ci-weaken.out
 grep -q 'minimal witness' /tmp/lkmm-ci-weaken.out
 rm -f /tmp/lkmm-ci-weaken.out
+# Crash storm: kill the campaign at a unit boundary mid-run, resume from
+# the checkpoint, and the final JSON must be byte-identical to an
+# uninterrupted (storeless, checkpointless) reference run; the store the
+# crashed process left behind must scrub clean.
+CRASH_STORE=/tmp/lkmm-ci-crash-store.bin
+CRASH_CKPT=/tmp/lkmm-ci-crash.ck
+rm -f "$CRASH_STORE" "$CRASH_CKPT"
+target/release/herd-rs conformance --max-cycle-len 4 --sim-iterations 0 --no-shrink --json \
+    > /tmp/lkmm-ci-crash-ref.json 2> /dev/null
+set +e
+LKMM_FAULTPOINTS=campaign.kill=120 target/release/herd-rs conformance \
+    --max-cycle-len 4 --sim-iterations 0 --no-shrink --json \
+    --store "$CRASH_STORE" --checkpoint "$CRASH_CKPT" > /dev/null 2>&1
+KILL_STATUS=$?
+set -e
+test "$KILL_STATUS" -ge 128   # died by signal (simulated SIGKILL), not a clean exit
+target/release/herd-rs conformance --max-cycle-len 4 --sim-iterations 0 --no-shrink --json \
+    --store "$CRASH_STORE" --checkpoint "$CRASH_CKPT" --resume \
+    > /tmp/lkmm-ci-crash-resumed.json 2> /tmp/lkmm-ci-crash-resumed.err
+cmp /tmp/lkmm-ci-crash-ref.json /tmp/lkmm-ci-crash-resumed.json
+grep -q 'resumed from checkpoint at unit' /tmp/lkmm-ci-crash-resumed.err
+target/release/herd-rs store scrub "$CRASH_STORE" | grep -q ': clean'
+rm -f "$CRASH_STORE" "$CRASH_CKPT" /tmp/lkmm-ci-crash-ref.json \
+    /tmp/lkmm-ci-crash-resumed.json /tmp/lkmm-ci-crash-resumed.err
+# Graceful degradation: a unit that keeps faulting past the retry budget
+# is quarantined, not fatal — the campaign completes with a typed
+# failed_units entry, partial:true, and the distinct exit code 8.
+set +e
+LKMM_FAULTPOINTS=worker.transient=1:3 target/release/herd-rs conformance \
+    --max-cycle-len 0 --sim-iterations 0 --no-shrink --json \
+    > /tmp/lkmm-ci-degraded.json 2> /dev/null
+DEGRADED_STATUS=$?
+set -e
+test "$DEGRADED_STATUS" -eq 8
+grep -q '"partial":true' /tmp/lkmm-ci-degraded.json
+grep -q '"kind":"transient-io"' /tmp/lkmm-ci-degraded.json
+grep -q '"attempts":3' /tmp/lkmm-ci-degraded.json
+rm -f /tmp/lkmm-ci-degraded.json
 # Rebuild without the feature so later consumers get the fault-free binary.
 cargo build --release --bin herd-rs
+
+echo "== store maintenance: scrub/compact/export/merge round-trip =="
+MAINT_A=/tmp/lkmm-ci-maint-a.bin
+MAINT_B=/tmp/lkmm-ci-maint-b.bin
+MAINT_M=/tmp/lkmm-ci-maint-merged.bin
+rm -f "$MAINT_A" "$MAINT_B" "$MAINT_M"
+"$BIN" --library --store "$MAINT_A" > /tmp/lkmm-maint-cold.out 2> /dev/null
+"$BIN" store scrub "$MAINT_A" | grep -q ': clean'
+"$BIN" store compact "$MAINT_A" | grep -q 'records'
+# A compacted store still replays byte-identically, with zero enumerations.
+"$BIN" --library --store "$MAINT_A" > /tmp/lkmm-maint-warm.out 2> /tmp/lkmm-maint-warm.err
+cmp /tmp/lkmm-maint-cold.out /tmp/lkmm-maint-warm.out
+grep -q ' 0 computed, .* 0 candidates enumerated' /tmp/lkmm-maint-warm.err
+# Export copies without touching the source; merging the export into an
+# empty store reproduces every verdict.
+"$BIN" store export "$MAINT_A" "$MAINT_B" | grep -q 'records'
+"$BIN" store merge "$MAINT_M" "$MAINT_B" | grep -q 'merged'
+"$BIN" store scrub "$MAINT_M" | grep -q ': clean'
+"$BIN" --library --store "$MAINT_M" > /tmp/lkmm-maint-merged.out 2> /tmp/lkmm-maint-merged.err
+cmp /tmp/lkmm-maint-cold.out /tmp/lkmm-maint-merged.out
+grep -q ' 0 computed, .* 0 candidates enumerated' /tmp/lkmm-maint-merged.err
+rm -f "$MAINT_A" "$MAINT_B" "$MAINT_M" /tmp/lkmm-maint-cold.out /tmp/lkmm-maint-warm.out \
+    /tmp/lkmm-maint-warm.err /tmp/lkmm-maint-merged.out /tmp/lkmm-maint-merged.err
 
 echo "== budget-overhead bench: governed vs ungoverned =="
 # Run from /tmp so a noisy CI box exercises the bench (and its
@@ -275,6 +337,16 @@ echo "== algorithms bench: cold vs store-warm family campaign =="
 BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-algorithms.XXXXXX)
 cargo build --release -q -p lkmm-bench --bin algorithms
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/algorithms" --iters 3 )
+rm -rf "$BENCH_DIR"
+
+echo "== resume bench: checkpoint restart vs cold campaign =="
+# The run asserts the resumed report is byte-identical to the cold one
+# and that resuming at ~90% completion costs at most 15% of a cold
+# campaign; the recorded BENCH_RESUME.json is regenerated deliberately
+# from the repo root.
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-resume.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin resume
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/resume" --iters 3 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

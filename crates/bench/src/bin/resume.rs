@@ -1,0 +1,209 @@
+//! Checkpoint/resume overhead micro-bench for the conformance driver.
+//!
+//! Dependency-free (no criterion): times the crash-recovery story the
+//! resilience layer promises —
+//!
+//! * `cold` — a full campaign from nothing: fresh verdict store, fresh
+//!   checkpoint file, every matrix cell enumerated;
+//! * `resume` — the same campaign suspended at ~90% completion (the
+//!   deterministic `stop_after` suspend), then resumed: the completed
+//!   prefix restores from the checkpoint's aggregates (no generation,
+//!   no store replay) while only the tail is computed;
+//!
+//! then writes `BENCH_RESUME.json` in the working directory and prints
+//! a summary table. The suspended leg is setup, not measurement: only
+//! the resumed invocation is timed. The run doubles as a correctness
+//! check — the resumed report must be byte-identical to the cold one,
+//! and the resume must cost at most 15% of a cold campaign (the whole
+//! point of checkpointing is that a crash near the end is cheap).
+//!
+//! ```text
+//! cargo run --release -p lkmm-bench --bin resume [-- --iters N] [--max-cycle-len L]
+//! ```
+
+use lkmm_conformance::{
+    corpus_stream, json_report, run_campaign, CampaignConfig, CampaignError, ResilienceConfig,
+    SimConfig,
+};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Measurement {
+    config: &'static str,
+    seconds: f64,
+    tests: usize,
+    hits: usize,
+    candidates_enumerated: usize,
+}
+
+fn campaign_config(max_cycle_len: usize, store: &Path, ckpt: &Path) -> CampaignConfig {
+    CampaignConfig {
+        max_cycle_len,
+        store_path: Some(store.to_path_buf()),
+        sim: SimConfig { iterations: 0, ..SimConfig::default() },
+        resilience: ResilienceConfig {
+            checkpoint: Some(ckpt.to_path_buf()),
+            checkpoint_every: 8,
+            ..ResilienceConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut max_cycle_len = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--max-cycle-len" => {
+                max_cycle_len = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-cycle-len needs a non-negative integer");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: resume [--iters N] [--max-cycle-len L]   \
+                     (timed repetitions per config, default 3; cycle length, default 4)"
+                );
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let cold_store: PathBuf = tmp.join(format!("lkmm-bench-resume-cold-{pid}.bin"));
+    let cold_ckpt: PathBuf = tmp.join(format!("lkmm-bench-resume-cold-{pid}.ck"));
+    let part_store: PathBuf = tmp.join(format!("lkmm-bench-resume-part-{pid}.bin"));
+    let part_ckpt: PathBuf = tmp.join(format!("lkmm-bench-resume-part-{pid}.ck"));
+
+    let cold_cfg = campaign_config(max_cycle_len, &cold_store, &cold_ckpt);
+    let total = corpus_stream(&cold_cfg).total();
+    let suspend_at = (total * 9) / 10;
+    assert!(suspend_at > 0 && suspend_at < total, "corpus too small to suspend at 90%");
+
+    // Cold: everything from nothing, checkpointing all the way.
+    let mut cold_seconds = 0.0;
+    let mut cold_json = String::new();
+    let mut cold_hits = 0usize;
+    let mut cold_enumerated = 0usize;
+    for i in 0..iters {
+        let _ = std::fs::remove_file(&cold_store);
+        let _ = std::fs::remove_file(&cold_ckpt);
+        let start = Instant::now();
+        let report = run_campaign(&cold_cfg).expect("cold campaign runs");
+        cold_seconds += start.elapsed().as_secs_f64();
+        assert!(report.clean(), "cold campaign found discrepancies");
+        assert!(!report.degraded(), "cold campaign quarantined units");
+        if i == 0 {
+            cold_json = json_report(&report, &cold_cfg).to_string();
+            cold_hits = report.models.iter().map(|m| m.pass.hits).sum();
+            cold_enumerated =
+                report.models.iter().map(|m| m.pass.candidates_enumerated).sum();
+        }
+    }
+
+    // Resume: suspend at ~90% (setup, untimed), then time the resumed
+    // invocation that replays the prefix and computes the tail.
+    let mut resume_seconds = 0.0;
+    let mut resume_hits = 0usize;
+    let mut resume_enumerated = 0usize;
+    for _ in 0..iters {
+        let _ = std::fs::remove_file(&part_store);
+        let _ = std::fs::remove_file(&part_ckpt);
+        let mut suspend_cfg = campaign_config(max_cycle_len, &part_store, &part_ckpt);
+        suspend_cfg.resilience.stop_after = Some(suspend_at);
+        match run_campaign(&suspend_cfg) {
+            Err(CampaignError::Suspended { cursor, .. }) => assert_eq!(cursor, suspend_at),
+            other => panic!("expected suspension, got {other:?}"),
+        }
+
+        let mut resume_cfg = campaign_config(max_cycle_len, &part_store, &part_ckpt);
+        resume_cfg.resilience.resume = true;
+        let start = Instant::now();
+        let report = run_campaign(&resume_cfg).expect("resumed campaign runs");
+        resume_seconds += start.elapsed().as_secs_f64();
+        assert_eq!(report.resumed_at, Some(suspend_at), "resume missed the checkpoint");
+        let resume_json = json_report(&report, &resume_cfg).to_string();
+        assert_eq!(resume_json, cold_json, "resumed report differs from cold");
+        resume_hits = report.models.iter().map(|m| m.pass.hits).sum();
+        resume_enumerated =
+            report.models.iter().map(|m| m.pass.candidates_enumerated).sum();
+        assert!(resume_enumerated > 0, "the tail must compute fresh");
+        assert!(
+            resume_enumerated < cold_enumerated / 2,
+            "resume re-enumerated most of the corpus ({resume_enumerated} of {cold_enumerated})"
+        );
+    }
+    for p in [&cold_store, &cold_ckpt, &part_store, &part_ckpt] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let cold_avg = cold_seconds / iters as f64;
+    let resume_avg = resume_seconds / iters as f64;
+    let ratio = resume_avg / cold_avg;
+    assert!(
+        ratio <= 0.15,
+        "resume at {:.0}% completion cost {:.1}% of a cold campaign (budget: 15%)",
+        100.0 * suspend_at as f64 / total as f64,
+        100.0 * ratio
+    );
+
+    let measurements = [
+        Measurement {
+            config: "cold",
+            seconds: cold_avg,
+            tests: total,
+            hits: cold_hits,
+            candidates_enumerated: cold_enumerated,
+        },
+        Measurement {
+            config: "resume",
+            seconds: resume_avg,
+            tests: total,
+            hits: resume_hits,
+            candidates_enumerated: resume_enumerated,
+        },
+    ];
+
+    println!(
+        "{:8} {:>10} {:>8} {:>8} {:>9} {:>13}",
+        "config", "secs", "tests", "hits", "cands", "frac-of-cold"
+    );
+    let mut json_entries = String::new();
+    for m in &measurements {
+        let frac = m.seconds / cold_avg;
+        println!(
+            "{:8} {:>10.5} {:>8} {:>8} {:>9} {:>12.1}%",
+            m.config, m.seconds, m.tests, m.hits, m.candidates_enumerated, 100.0 * frac
+        );
+        if !json_entries.is_empty() {
+            json_entries.push_str(",\n");
+        }
+        write!(
+            json_entries,
+            "    {{\"config\": \"{}\", \"seconds\": {:.6}, \"tests\": {}, \"hits\": {}, \
+             \"candidates_enumerated\": {}, \"fraction_of_cold\": {:.4}}}",
+            m.config, m.seconds, m.tests, m.hits, m.candidates_enumerated, frac
+        )
+        .expect("write to string");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"conformance-resume\",\n  \"max_cycle_len\": {max_cycle_len},\n  \
+         \"iters\": {iters},\n  \"corpus_total\": {total},\n  \"suspended_at\": {suspend_at},\n  \
+         \"resume_budget_fraction\": 0.15,\n  \"measurements\": [\n{json_entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_RESUME.json", &json).expect("write BENCH_RESUME.json");
+    println!("\nwrote BENCH_RESUME.json");
+}

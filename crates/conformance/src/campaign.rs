@@ -13,15 +13,20 @@
 //! JSON report deliberately omits, so a warm re-run over a populated
 //! store produces a byte-identical report.
 
+use crate::checkpoint::FailedUnit;
+use crate::driver::{drive_campaign, ResilienceConfig};
 use crate::matrix::{
-    build_matrix, uses_srcu, CorpusEntry, MatrixOptions, ModelId, ModelPass, ModelSet, Origin,
+    uses_srcu, CorpusEntry, MatrixOptions, MatrixRow, ModelId, ModelPass, ModelSet, Origin,
 };
 use crate::oracle::{check_row, recheck_violated, Discrepancy, OracleKind, OracleSummary, Recheck};
 use crate::shrink::{shrink, test_size, Shrunk};
 use lkmm_core::budget::Budget;
 use lkmm_exec::{CheckOutcome, EnumOptions, PipelineOptions, Verdict};
-use lkmm_generator::{cycles_up_to, default_alphabet, generate, generate_contended, GenError};
+use lkmm_generator::{
+    cycles_up_to, default_alphabet, generate, generate_contended, Edge, GenError,
+};
 use lkmm_service::canonical_text;
+use lkmm_service::hash::fnv64;
 use lkmm_sim::{run_test, Arch, RunConfig};
 use std::fmt;
 use std::io;
@@ -80,6 +85,9 @@ pub struct CampaignConfig {
     /// counters never influence verdicts or cache keys, and a warm store
     /// legitimately reports zeros.
     pub enum_stats: Option<std::sync::Arc<lkmm_exec::EnumStats>>,
+    /// Crash-survival knobs: checkpoint/resume, per-unit retry budget,
+    /// backoff seed (see [`ResilienceConfig`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for CampaignConfig {
@@ -96,6 +104,7 @@ impl Default for CampaignConfig {
             sim: SimConfig::default(),
             shrink: true,
             enum_stats: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -130,6 +139,17 @@ pub struct CampaignReport {
     /// Enumeration pruning counters from the matrix pass; present only
     /// when [`CampaignConfig::enum_stats`] was set.
     pub enumeration: Option<lkmm_exec::EnumSnapshot>,
+    /// Units the supervisor gave up on after exhausting retries. A
+    /// non-empty list makes the report *degraded*: the matrix is
+    /// partial (quarantined rows are all-`None` and every oracle
+    /// skipped them), and the CLI exits with a distinct code.
+    pub failed_units: Vec<FailedUnit>,
+    /// `Some(cursor)` when this run resumed a checkpoint — stderr
+    /// observability only, deliberately excluded from the JSON report
+    /// (a resumed run's JSON must be byte-identical to a cold run's).
+    pub resumed_at: Option<usize>,
+    /// Checkpoint frames written this run (stderr observability only).
+    pub checkpoints_written: usize,
 }
 
 impl CampaignReport {
@@ -142,15 +162,41 @@ impl CampaignReport {
     pub fn clean(&self) -> bool {
         self.discrepancies.is_empty()
     }
+
+    /// Whether the matrix is partial because units were quarantined.
+    pub fn degraded(&self) -> bool {
+        !self.failed_units.is_empty()
+    }
 }
 
-/// Campaign failure: corpus generation or store I/O. Checking problems
-/// (budget trips, enumeration limits) are per-cell inconclusive
-/// outcomes, never campaign errors.
+/// Campaign failure: corpus generation, store/checkpoint I/O, or a
+/// refused resume. Checking problems (budget trips, enumeration
+/// limits) are per-cell inconclusive outcomes, never campaign errors;
+/// per-unit faults are retried and then quarantined, never fatal.
 #[derive(Debug)]
 pub enum CampaignError {
     Generate(GenError),
     Store(io::Error),
+    /// The verdict store is locked by another live process.
+    Locked {
+        lock: PathBuf,
+        pid: Option<u32>,
+    },
+    /// Checkpoint file I/O failed (including an injected torn frame).
+    Checkpoint(io::Error),
+    /// `--resume` found a checkpoint written under a different config;
+    /// continuing would silently mix two campaigns.
+    CheckpointMismatch {
+        expected: u64,
+        found: u64,
+    },
+    /// The deliberate clean stop from [`ResilienceConfig::stop_after`]:
+    /// the store is flushed and a final checkpoint frame records
+    /// `cursor`, so a resumed run picks up exactly here.
+    Suspended {
+        cursor: usize,
+        total: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -158,6 +204,25 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::Generate(e) => write!(f, "generator: {e}"),
             CampaignError::Store(e) => write!(f, "verdict store: {e}"),
+            CampaignError::Locked { lock, pid } => match pid {
+                Some(pid) => write!(
+                    f,
+                    "verdict store is locked by live process {pid} (lock file {})",
+                    lock.display()
+                ),
+                None => write!(f, "verdict store is locked (lock file {})", lock.display()),
+            },
+            CampaignError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            CampaignError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:016x} does not match this campaign's \
+                 config ({expected:016x}); refusing to resume"
+            ),
+            CampaignError::Suspended { cursor, total } => write!(
+                f,
+                "campaign suspended at unit {cursor}/{total} (progress checkpointed; \
+                 rerun with --resume to continue)"
+            ),
         }
     }
 }
@@ -176,44 +241,196 @@ impl From<io::Error> for CampaignError {
     }
 }
 
-/// Assemble the campaign corpus: named library first, then every
-/// generated cycle in `cycles_up_to` order — both deterministic.
+/// The lazy campaign corpus: the named library up front (already
+/// materialised — it is small), then every generated cycle in
+/// `cycles_up_to` order, each litmus test built only when the driver
+/// reaches it, then the contended twins. The order (and therefore every
+/// corpus index) is a deterministic function of the config — which is
+/// what lets a checkpoint record progress as a plain cursor.
+pub struct CorpusStream {
+    library: std::vec::IntoIter<CorpusEntry>,
+    cycles: Vec<Vec<Edge>>,
+    /// Next cycle slot: `0..cycles.len()` plain, then the contended
+    /// twins when enabled.
+    at: usize,
+    contended: bool,
+    total: usize,
+}
+
+impl CorpusStream {
+    /// Total units this stream will yield.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Advance past the first `n` units without building their tests —
+    /// the aggregate-resume fast path: a resumed campaign takes units
+    /// `0..cursor` from the checkpoint's aggregates, so their litmus
+    /// tests never need to exist in this process at all.
+    pub fn seek(&mut self, n: usize) {
+        let from_library = n.min(self.library.len());
+        if from_library > 0 {
+            // `Vec::IntoIter::nth` drops the skipped entries without
+            // generating or cloning anything.
+            let _ = self.library.nth(from_library - 1);
+        }
+        self.at += n - from_library;
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = Result<CorpusEntry, GenError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.library.next() {
+            return Some(Ok(e));
+        }
+        let n = self.cycles.len();
+        if self.at < n {
+            let r = generate(&self.cycles[self.at]);
+            self.at += 1;
+            Some(r.map(|test| CorpusEntry { test, origin: Origin::Generated }))
+        } else if self.contended && self.at < 2 * n {
+            let r = generate_contended(&self.cycles[self.at - n]);
+            self.at += 1;
+            Some(r.map(|test| CorpusEntry { test, origin: Origin::Generated }))
+        } else {
+            None
+        }
+    }
+}
+
+/// The campaign corpus as a lazy stream (see [`CorpusStream`]).
+pub fn corpus_stream(cfg: &CampaignConfig) -> CorpusStream {
+    let mut library = Vec::new();
+    if cfg.include_library {
+        for pt in lkmm_litmus::library::all() {
+            library.push(CorpusEntry {
+                test: pt.test(),
+                origin: Origin::Library { lkmm: pt.lkmm, c11: pt.c11 },
+            });
+        }
+    }
+    let cycles = if cfg.max_cycle_len > 0 {
+        cycles_up_to(cfg.max_cycle_len, &default_alphabet())
+    } else {
+        Vec::new()
+    };
+    let total = library.len() + cycles.len() * if cfg.contended { 2 } else { 1 };
+    CorpusStream {
+        library: library.into_iter(),
+        cycles,
+        at: 0,
+        contended: cfg.contended,
+        total,
+    }
+}
+
+/// Assemble the whole campaign corpus eagerly — [`corpus_stream`]
+/// collected, for callers that want the full slice.
 ///
 /// # Errors
 ///
 /// Propagates generator failures (none are expected for the default
 /// alphabet: `cycles_up_to` only yields validated cycles).
 pub fn corpus(cfg: &CampaignConfig) -> Result<Vec<CorpusEntry>, GenError> {
-    let mut out = Vec::new();
-    if cfg.include_library {
-        for pt in lkmm_litmus::library::all() {
-            out.push(CorpusEntry {
-                test: pt.test(),
-                origin: Origin::Library { lkmm: pt.lkmm, c11: pt.c11 },
-            });
-        }
+    corpus_stream(cfg).collect()
+}
+
+/// FNV-64 fingerprint over everything the deterministic report depends
+/// on: corpus shape, cache salt, fuel budgets, simulator config, shrink
+/// flag, column set. A checkpoint records this and resume refuses a
+/// mismatch. Knobs that cannot change the report — `jobs`,
+/// `queue_depth`, wall-clock limits (already nondeterministic) — are
+/// deliberately excluded, so resuming on a different machine with
+/// different parallelism is fine.
+pub fn config_fingerprint(cfg: &CampaignConfig, total_units: usize) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "ck-v1|cycle:{}|contended:{}|library:{}|salt:{}|candidates:{:?}|steps:{:?}\
+         |sim:{}:{}:{}|shrink:{}|units:{total_units}|cols:",
+        cfg.max_cycle_len,
+        cfg.contended,
+        cfg.include_library,
+        cfg.salt,
+        cfg.budget.max_candidates,
+        cfg.budget.max_eval_steps,
+        cfg.sim.iterations,
+        cfg.sim.seed,
+        cfg.sim.stride,
+        cfg.shrink,
+    );
+    for id in ModelId::ALL {
+        let _ = write!(s, "{},", id.column());
     }
-    if cfg.max_cycle_len > 0 {
-        let cycles = cycles_up_to(cfg.max_cycle_len, &default_alphabet());
-        for cycle in &cycles {
-            out.push(CorpusEntry { test: generate(cycle)?, origin: Origin::Generated });
-        }
-        if cfg.contended {
-            for cycle in &cycles {
-                out.push(CorpusEntry {
-                    test: generate_contended(cycle)?,
-                    origin: Origin::Generated,
-                });
-            }
-        }
-    }
-    Ok(out)
+    fnv64(s.as_bytes())
 }
 
 /// Per-test seed for the soundness pass: reproducible, distinct per
 /// corpus position, independent of which other tests are simulated.
 fn sim_seed(base: u64, corpus_index: usize) -> u64 {
     base ^ (corpus_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Simulator soundness for one completed row: an operational machine
+/// must never observe an outcome the LKMM forbids, so only
+/// LKMM-forbidden rows need running, and only every `stride`-th corpus
+/// index is sampled. Runs as part of the driver's per-row checks, so a
+/// checkpoint frame's aggregates already include the prefix's share of
+/// the simulator pass.
+fn sim_check_row(
+    sim: &SimConfig,
+    i: usize,
+    row: &MatrixRow,
+    discrepancies: &mut Vec<Discrepancy>,
+    summary: &mut OracleSummary,
+) {
+    if sim.iterations == 0 || i % sim.stride.max(1) != 0 {
+        return;
+    }
+    let forbidden = matches!(
+        row.cell(ModelId::LkmmNative).and_then(CheckOutcome::result),
+        Some(r) if r.verdict == Verdict::Forbidden
+    );
+    if !forbidden {
+        return;
+    }
+    if uses_srcu(&row.test) {
+        summary.skipped += 1;
+        return;
+    }
+    let seed = sim_seed(sim.seed, i);
+    for arch in Arch::ALL {
+        let config = RunConfig { iterations: sim.iterations, seed };
+        match run_test(&row.test, arch, &config) {
+            Err(_) => summary.skipped += 1,
+            Ok(stats) => {
+                summary.checked += 1;
+                if stats.observed > 0 {
+                    summary.violations += 1;
+                    discrepancies.push(Discrepancy {
+                        test_name: row.test.name.clone(),
+                        oracle: OracleKind::SimSoundness,
+                        detail: format!(
+                            "{} observed an LKMM-forbidden outcome {} times in {} runs (seed {seed})",
+                            arch.name(),
+                            stats.observed,
+                            stats.total
+                        ),
+                        check: Recheck::SimObservation {
+                            arch,
+                            iterations: sim.iterations,
+                            seed,
+                        },
+                        test: row.test.clone(),
+                        shrunk: None,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Run a full campaign with the standard reference checkers.
@@ -236,9 +453,9 @@ pub fn run_campaign_with(
     cfg: &CampaignConfig,
     set: &ModelSet,
 ) -> Result<CampaignReport, CampaignError> {
-    let corpus = corpus(cfg)?;
-    let corpus_library = corpus.iter().filter(|e| matches!(e.origin, Origin::Library { .. })).count();
-    let corpus_generated = corpus.len() - corpus_library;
+    let stream = corpus_stream(cfg);
+    let total_units = stream.total();
+    let fingerprint = config_fingerprint(cfg, total_units);
 
     let matrix_opts = MatrixOptions {
         salt: &cfg.salt,
@@ -248,70 +465,33 @@ pub fn run_campaign_with(
         store_path: cfg.store_path.as_deref(),
         enum_stats: cfg.enum_stats.clone(),
     };
-    let (matrix, passes) = build_matrix(&corpus, set, &matrix_opts)?;
-    // Snapshot before the oracle/shrink phases so the counters describe
-    // exactly the matrix enumeration pass.
+    // Rows stream through the driver, which runs the matrix-level
+    // oracles and the simulator soundness pass the moment each row's
+    // cells are complete — that per-row folding is what lets a
+    // checkpoint frame carry the campaign's whole deterministic state
+    // as aggregates, and a resume continue it as arithmetic.
+    let (core, drive) = drive_campaign(
+        stream,
+        fingerprint,
+        set,
+        &matrix_opts,
+        &cfg.resilience,
+        |i, row, discrepancies, summaries| {
+            check_row(row, discrepancies, summaries);
+            sim_check_row(&cfg.sim, i, row, discrepancies, &mut summaries[2]);
+        },
+    )?;
+    let crate::driver::CampaignCore {
+        corpus_library,
+        corpus_generated,
+        passes,
+        summaries,
+        mut discrepancies,
+    } = core;
+    // Snapshot before the shrink phase so the counters describe exactly
+    // the matrix enumeration pass (the per-row oracles and the
+    // simulator enumerate nothing; shrink re-checks do).
     let enumeration = cfg.enum_stats.as_ref().map(|s| s.snapshot());
-
-    // Matrix-level oracles.
-    let mut discrepancies = Vec::new();
-    let mut summaries = [OracleSummary::default(); OracleKind::ALL.len()];
-    for row in &matrix.rows {
-        check_row(row, &mut discrepancies, &mut summaries);
-    }
-
-    // Simulator soundness: an operational machine must never observe an
-    // outcome the LKMM forbids, so only forbidden rows need running.
-    if cfg.sim.iterations > 0 {
-        let sim_summary = &mut summaries[2];
-        let stride = cfg.sim.stride.max(1);
-        for (i, row) in matrix.rows.iter().enumerate() {
-            if i % stride != 0 {
-                continue;
-            }
-            let forbidden = matches!(
-                row.cell(ModelId::LkmmNative).and_then(CheckOutcome::result),
-                Some(r) if r.verdict == Verdict::Forbidden
-            );
-            if !forbidden {
-                continue;
-            }
-            if uses_srcu(&row.test) {
-                sim_summary.skipped += 1;
-                continue;
-            }
-            let seed = sim_seed(cfg.sim.seed, i);
-            for arch in Arch::ALL {
-                let config = RunConfig { iterations: cfg.sim.iterations, seed };
-                match run_test(&row.test, arch, &config) {
-                    Err(_) => sim_summary.skipped += 1,
-                    Ok(stats) => {
-                        sim_summary.checked += 1;
-                        if stats.observed > 0 {
-                            sim_summary.violations += 1;
-                            discrepancies.push(Discrepancy {
-                                test_name: row.test.name.clone(),
-                                oracle: OracleKind::SimSoundness,
-                                detail: format!(
-                                    "{} observed an LKMM-forbidden outcome {} times in {} runs (seed {seed})",
-                                    arch.name(),
-                                    stats.observed,
-                                    stats.total
-                                ),
-                                check: Recheck::SimObservation {
-                                    arch,
-                                    iterations: cfg.sim.iterations,
-                                    seed,
-                                },
-                                test: row.test.clone(),
-                                shrunk: None,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
 
     // Shrink every discrepancy down to a minimal discriminating witness.
     // Re-checks recompute from scratch through the exact failing pair —
@@ -363,6 +543,9 @@ pub fn run_campaign_with(
             .collect(),
         discrepancies,
         enumeration,
+        failed_units: drive.failed_units,
+        resumed_at: drive.resumed_at,
+        checkpoints_written: drive.checkpoints_written,
     })
 }
 

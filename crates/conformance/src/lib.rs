@@ -22,7 +22,13 @@
 //!   statements, flatten `if`s, drop condition conjuncts) that reduces
 //!   a discrepancy to a minimal litmus test still discriminating the
 //!   disagreeing checkers.
-//! * [`campaign`] — the driver tying the layers together,
+//! * [`campaign`] — the campaign tying the layers together,
+//! * [`driver`] — the supervised matrix driver: lazy work units,
+//!   per-unit retry with seeded backoff, quarantine of poisoned units,
+//!   and periodic checkpoints,
+//! * [`checkpoint`] — framed, checksummed campaign manifests with
+//!   latest-valid-frame-wins crash recovery and fingerprint-guarded
+//!   resume,
 //! * [`report`] — deterministic JSON plus a human summary table, and
 //! * [`algorithms`] — the real-algorithm campaign: parameterised
 //!   litmus families (locks, refcounts, seqlock, RCU trees, deques)
@@ -54,6 +60,8 @@
 
 pub mod algorithms;
 pub mod campaign;
+pub mod checkpoint;
+pub mod driver;
 pub mod matrix;
 pub mod oracle;
 pub mod report;
@@ -64,9 +72,11 @@ pub use algorithms::{
     run_algo_campaign_with, AlgoConfig, AlgoReport, FamilyStats,
 };
 pub use campaign::{
-    run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignReport, ModelStats,
-    OracleStats, SimConfig,
+    config_fingerprint, corpus_stream, run_campaign, run_campaign_with, CampaignConfig,
+    CampaignError, CampaignReport, CorpusStream, ModelStats, OracleStats, SimConfig,
 };
+pub use checkpoint::{Checkpoint, CheckpointLog, CheckpointScan, FailedUnit, FailureKind};
+pub use driver::{backoff_delay, drive_campaign, CampaignCore, DriveOutcome, ResilienceConfig};
 pub use matrix::{
     build_matrix, CorpusEntry, MatrixOptions, MatrixRow, ModelId, ModelPass, ModelSet, Origin,
     VerdictMatrix,

@@ -239,7 +239,7 @@ pub struct VerdictMatrix {
 }
 
 /// Per-model aggregate counts from one matrix build.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ModelPass {
     /// Tests this checker covered.
     pub checked: usize,

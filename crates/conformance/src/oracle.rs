@@ -162,7 +162,7 @@ pub struct Discrepancy {
 }
 
 /// Per-oracle aggregate counts for one campaign.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OracleSummary {
     /// Row-level checks evaluated.
     pub checked: usize,

@@ -95,6 +95,25 @@ pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
         ("models", Json::Arr(models)),
         ("oracles", Json::Arr(oracles)),
         ("discrepancies", Json::Arr(discrepancies)),
+        (
+            "failed_units",
+            Json::Arr(
+                report
+                    .failed_units
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("index", Json::num(f.index as u64)),
+                            ("test", Json::str(&f.test)),
+                            ("kind", Json::str(f.kind.name())),
+                            ("attempts", Json::num(u64::from(f.attempts))),
+                            ("detail", Json::str(&f.detail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("partial", Json::Bool(report.degraded())),
         ("clean", Json::Bool(report.clean())),
     ];
     // Absent by default so default reports stay byte-identical across
@@ -200,6 +219,25 @@ pub fn human_table(report: &CampaignReport) -> String {
         );
     }
     let _ = writeln!(out);
+    if report.degraded() {
+        let _ = writeln!(
+            out,
+            "PARTIAL: {} unit(s) quarantined after exhausting retries:",
+            report.failed_units.len()
+        );
+        for f in &report.failed_units {
+            let _ = writeln!(
+                out,
+                "  #{} {} [{}] after {} attempts: {}",
+                f.index,
+                f.test,
+                f.kind.name(),
+                f.attempts,
+                f.detail
+            );
+        }
+        let _ = writeln!(out);
+    }
     if report.clean() {
         let _ = writeln!(out, "no discrepancies");
     } else {
@@ -226,6 +264,12 @@ pub fn human_table(report: &CampaignReport) -> String {
 /// from the deterministic report.
 pub fn observability_lines(report: &CampaignReport) -> String {
     let mut out = String::new();
+    if let Some(cursor) = report.resumed_at {
+        let _ = writeln!(out, "resumed from checkpoint at unit {cursor}");
+    }
+    if report.checkpoints_written > 0 {
+        let _ = writeln!(out, "{} checkpoint frame(s) written", report.checkpoints_written);
+    }
     for m in &report.models {
         let _ = writeln!(
             out,

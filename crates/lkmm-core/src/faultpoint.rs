@@ -13,7 +13,9 @@
 //!
 //! * by the environment: `LKMM_FAULTPOINTS="store.flush,worker.panic=3"`
 //!   — a bare name fires on every hit, `name=N` fires only on the Nth
-//!   hit of that site (1-based); or
+//!   hit of that site (1-based), and `name=N:K` fires on hits
+//!   `N..N+K-1` then disarms (a *poisoned* site that fails K times in a
+//!   row — enough to exhaust a retry budget — then clears); or
 //! * programmatically in tests via [`arm`], which holds a global lock
 //!   for its guard's lifetime (serialising fault tests against each
 //!   other) and disarms its sites on drop.
@@ -33,8 +35,9 @@ mod enabled {
     #[derive(Clone, Copy)]
     enum Trigger {
         Always,
-        /// Fire on the Nth hit (1-based) of the site, then disarm.
-        OnHit(u64),
+        /// Fire on hits `first..first + count - 1` (1-based), then
+        /// disarm. `count == 1` is the plain `name=N` Nth-hit form.
+        OnHits { first: u64, count: u64 },
     }
 
     #[derive(Default)]
@@ -63,10 +66,18 @@ mod enabled {
                 continue;
             }
             let (name, trigger) = match part.split_once('=') {
-                Some((name, n)) => match n.trim().parse::<u64>() {
-                    Ok(n) if n >= 1 => (name.trim(), Trigger::OnHit(n)),
-                    _ => continue, // malformed count: ignore, stay safe
-                },
+                Some((name, spec)) => {
+                    let (first, count) = match spec.split_once(':') {
+                        Some((n, k)) => (n.trim().parse::<u64>(), k.trim().parse::<u64>()),
+                        None => (spec.trim().parse::<u64>(), Ok(1)),
+                    };
+                    match (first, count) {
+                        (Ok(first), Ok(count)) if first >= 1 && count >= 1 => {
+                            (name.trim(), Trigger::OnHits { first, count })
+                        }
+                        _ => continue, // malformed trigger: ignore, stay safe
+                    }
+                }
                 None => (part, Trigger::Always),
             };
             config.sites.insert(name.to_string(), trigger);
@@ -96,13 +107,12 @@ mod enabled {
         *hits += 1;
         match trigger {
             Trigger::Always => true,
-            Trigger::OnHit(n) => {
-                if *hits == n {
+            Trigger::OnHits { first, count } => {
+                let hit = *hits;
+                if hit + 1 == first + count {
                     config.sites.remove(site);
-                    true
-                } else {
-                    false
                 }
+                hit >= first && hit < first + count
             }
         }
     }
@@ -221,6 +231,25 @@ mod tests {
         assert!(!should_fail("test.beta"));
         assert!(should_fail("test.beta"));
         assert!(!should_fail("test.beta"));
+    }
+
+    #[test]
+    fn arm_hit_range_fires_k_times_then_disarms() {
+        let _guard = arm("test.delta=2:3");
+        assert!(!should_fail("test.delta"), "hit 1 is before the window");
+        assert!(should_fail("test.delta"));
+        assert!(should_fail("test.delta"));
+        assert!(should_fail("test.delta"), "hits 2..4 all fire");
+        assert!(!should_fail("test.delta"), "window exhausted, disarmed");
+        assert!(!should_fail("test.delta"));
+    }
+
+    #[test]
+    fn malformed_range_is_ignored() {
+        let _guard = arm("test.eps=0:3,test.zeta=2:0,test.eta=x:y");
+        assert!(!should_fail("test.eps"));
+        assert!(!should_fail("test.zeta"));
+        assert!(!should_fail("test.eta"));
     }
 
     #[test]

@@ -135,6 +135,14 @@ pub fn canonical_text(test: &Test) -> String {
 /// and a caller-supplied version salt (bump it when model or interpreter
 /// semantics change, and old entries silently stop matching).
 pub fn cache_key(test: &Test, model_name: &str, salt: &str) -> u128 {
+    cache_key_of_text(&canonical_text(test), model_name, salt)
+}
+
+/// [`cache_key`] with the canonicalization already done. Canonicalizing
+/// dominates key derivation; a multi-column checker canonicalizes each
+/// test once and derives every column's key from the same text — the
+/// keys are byte-identical to per-column [`cache_key`] calls.
+pub fn cache_key_of_text(canonical_text: &str, model_name: &str, salt: &str) -> u128 {
     let mut h = Fnv128::new();
     h.write(b"lkmm-verdict-key");
     h.write(&[0]);
@@ -144,7 +152,7 @@ pub fn cache_key(test: &Test, model_name: &str, salt: &str) -> u128 {
     h.write(&[0]);
     h.write(&CANON_REVISION.to_le_bytes());
     h.write(&[0]);
-    h.write(canonical_text(test).as_bytes());
+    h.write(canonical_text.as_bytes());
     h.finish()
 }
 

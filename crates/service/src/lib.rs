@@ -35,7 +35,11 @@ pub mod serve;
 pub mod store;
 
 pub use batch::{BatchChecker, BatchError, BatchOutcome, BatchReport, Provenance};
-pub use multi::{ColumnReport, MultiBatchChecker, MultiBatchReport, MultiColumn};
-pub use canon::{cache_key, canonical_text, canonicalize, CANON_REVISION};
+pub use multi::{
+    ColumnReport, CorpusRun, MultiBatchChecker, MultiBatchReport, MultiColumn, UnitFault,
+};
+pub use canon::{cache_key, cache_key_of_text, canonical_text, canonicalize, CANON_REVISION};
 pub use serve::{serve, serve_with, ServeOptions, ServeSummary};
-pub use store::{RecoveryReport, VerdictStore};
+pub use store::{
+    CompactReport, MergeReport, RecoveryReport, ScrubReport, StoreError, VerdictStore,
+};

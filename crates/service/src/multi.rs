@@ -18,9 +18,9 @@
 //! counts each enumeration once no matter how many columns rode on it.
 
 use crate::batch::{BatchError, BatchOutcome, Provenance};
-use crate::canon::cache_key;
+use crate::canon::{cache_key, cache_key_of_text, canonical_text};
 use crate::store::VerdictStore;
-use lkmm_core::budget::Budget;
+use lkmm_core::budget::{Budget, BudgetKind, Meter};
 use lkmm_exec::{
     check_test_multi_governed, CheckOutcome, ConsistencyModel, EnumOptions, InconclusiveReason,
     MultiCheckOutcome, PipelineOptions, Tally,
@@ -144,6 +144,10 @@ impl<'m> MultiBatchChecker<'m> {
     /// the corpus between tests exactly as in
     /// [`crate::BatchChecker::check_corpus`].
     ///
+    /// This is [`MultiBatchChecker::begin_corpus`] driven over the whole
+    /// slice at once; a driver that streams units (for checkpointing or
+    /// retries) uses the [`CorpusRun`] API directly.
+    ///
     /// # Errors
     ///
     /// Store-append failure only.
@@ -156,140 +160,60 @@ impl<'m> MultiBatchChecker<'m> {
         for row in mask {
             assert_eq!(row.len(), tests.len(), "one mask slot per corpus member");
         }
-        let start = Instant::now();
         let ncols = self.columns.len();
-        let mut columns: Vec<ColumnReport> = (0..ncols)
-            .map(|_| ColumnReport {
-                outcomes: vec![None; tests.len()],
-                hits: 0,
-                computed: 0,
-                deduped: 0,
-                inconclusive: 0,
-                candidates_enumerated: 0,
-            })
-            .collect();
-        let mut seen: Vec<HashMap<u128, usize>> = vec![HashMap::new(); ncols];
-        let mut enumeration_passes = 0;
-        let mut candidates_actual = 0;
+        let mut run = self.begin_corpus();
+        let mut row = vec![false; ncols];
+        for (i, test) in tests.iter().enumerate() {
+            for c in 0..ncols {
+                row[c] = mask[c][i];
+            }
+            run.check_unit(i, test, &row)?;
+        }
+        run.finish(tests.len())
+    }
+
+    /// Start a streaming corpus session: per-run dedupe maps, counters,
+    /// and corpus meter, fed one unit at a time via
+    /// [`CorpusRun::check_unit`]. The checker (and its store) is borrowed
+    /// for the run's lifetime.
+    pub fn begin_corpus(&mut self) -> CorpusRun<'_, 'm> {
+        let ncols = self.columns.len();
         // Corpus-level governor: absolute deadline and cancellation only;
         // candidate/step fuel and the relative time limit are per-check.
-        let mut corpus_meter = Budget {
+        let corpus_meter = Budget {
             max_candidates: None,
             max_eval_steps: None,
             time_limit: None,
             ..self.enum_opts.budget.clone()
         }
         .meter();
-        for (i, test) in tests.iter().enumerate() {
-            // Resolve each column against its dedupe map and the store;
-            // whatever is left shares one enumeration pass.
-            let mut missing: Vec<usize> = Vec::new();
-            for c in 0..ncols {
-                if !mask[c][i] {
-                    continue;
-                }
-                let key = self.key_of(c, test);
-                if let Some(&first) = seen[c].get(&key) {
-                    columns[c].deduped += 1;
-                    let replay = columns[c].outcomes[first]
-                        .as_ref()
-                        .expect("dedupe map only indexes filled slots")
-                        .outcome
-                        .clone();
-                    columns[c].outcomes[i] = Some(BatchOutcome {
-                        name: test.name.clone(),
-                        key,
-                        outcome: replay,
-                        provenance: Provenance::Deduped,
-                    });
-                } else if let Some(result) = self.store.get(key) {
-                    columns[c].hits += 1;
-                    seen[c].insert(key, i);
-                    columns[c].outcomes[i] = Some(BatchOutcome {
-                        name: test.name.clone(),
-                        key,
-                        outcome: CheckOutcome::Complete(result.clone()),
-                        provenance: Provenance::Hit,
-                    });
-                } else {
-                    missing.push(c);
-                }
-            }
-            if missing.is_empty() {
-                continue;
-            }
-            if let Err(kind) = corpus_meter.poll_now() {
-                for &c in &missing {
-                    columns[c].inconclusive += 1;
-                    columns[c].outcomes[i] = Some(BatchOutcome {
-                        name: test.name.clone(),
-                        key: self.key_of(c, test),
-                        outcome: CheckOutcome::Inconclusive {
-                            reason: InconclusiveReason::BudgetExceeded(kind),
-                            partial: Tally::default(),
-                        },
-                        provenance: Provenance::Computed,
-                    });
-                }
-                continue;
-            }
-            let models: Vec<&dyn ConsistencyModel> =
-                missing.iter().map(|&c| self.columns[c].model).collect();
-            let outcome = check_test_multi_governed(&models, test, &self.enum_opts, &self.pipe);
-            enumeration_passes += 1;
-            match outcome {
-                MultiCheckOutcome::Complete(results) => {
-                    let mut counted = false;
-                    for (&c, result) in missing.iter().zip(results) {
-                        if !counted {
-                            candidates_actual += result.candidates;
-                            counted = true;
-                        }
-                        let key = self.key_of(c, test);
-                        self.store.put(key, result.clone())?;
-                        columns[c].computed += 1;
-                        columns[c].candidates_enumerated += result.candidates;
-                        seen[c].insert(key, i);
-                        columns[c].outcomes[i] = Some(BatchOutcome {
-                            name: test.name.clone(),
-                            key,
-                            outcome: CheckOutcome::Complete(result),
-                            provenance: Provenance::Computed,
-                        });
-                    }
-                }
-                MultiCheckOutcome::Inconclusive { reason, partials } => {
-                    let mut counted = false;
-                    for (&c, partial) in missing.iter().zip(partials) {
-                        if !counted {
-                            candidates_actual += partial.candidates;
-                            counted = true;
-                        }
-                        columns[c].inconclusive += 1;
-                        columns[c].candidates_enumerated += partial.candidates;
-                        // Inconclusive outcomes join neither the store
-                        // nor the dedupe map: a later isomorph deserves
-                        // its own attempt.
-                        columns[c].outcomes[i] = Some(BatchOutcome {
-                            name: test.name.clone(),
-                            key: self.key_of(c, test),
-                            outcome: CheckOutcome::Inconclusive {
-                                reason: reason.clone(),
-                                partial,
-                            },
-                            provenance: Provenance::Computed,
-                        });
-                    }
-                }
-            }
+        // The per-column key salts are fixed for the whole run (the
+        // checker is exclusively borrowed); deriving them here keeps
+        // the Debug-format of the options out of the per-unit path.
+        let salts: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{}|{:?}", c.salt, self.enum_opts))
+            .collect();
+        CorpusRun {
+            columns: (0..ncols)
+                .map(|_| ColumnReport {
+                    outcomes: Vec::new(),
+                    hits: 0,
+                    computed: 0,
+                    deduped: 0,
+                    inconclusive: 0,
+                    candidates_enumerated: 0,
+                })
+                .collect(),
+            seen: vec![HashMap::new(); ncols],
+            salts,
+            enumeration_passes: 0,
+            candidates_actual: 0,
+            corpus_meter,
+            start: Instant::now(),
+            checker: self,
         }
-        self.store.flush()?;
-        Ok(MultiBatchReport {
-            columns,
-            enumeration_passes,
-            candidates_actual,
-            micros: start.elapsed().as_micros(),
-        })
     }
 
     /// The underlying store.
@@ -304,6 +228,276 @@ impl<'m> MultiBatchChecker<'m> {
     /// I/O errors from the sync.
     pub fn flush(&mut self) -> io::Result<()> {
         self.store.flush()
+    }
+}
+
+/// A streaming corpus session over a [`MultiBatchChecker`]: the caller
+/// feeds units one at a time (in any index order, normally ascending)
+/// and collects the aggregate [`MultiBatchReport`] at the end. This is
+/// what a checkpointing campaign driver runs on — it can flush the
+/// store between units, skip quarantined indices (their slots stay
+/// `None`), and *re-run* a unit whose first attempt failed partway.
+///
+/// ## Retry semantics
+///
+/// `check_unit` is safe to call again with the same index after an
+/// error or a contained panic: outcome slots are per-index and simply
+/// overwritten, columns that already completed (their verdict reached
+/// the store or the dedupe map) replay instead of recomputing, and only
+/// the columns that never finished are enumerated again. Session
+/// counters (`hits`/`computed`/`deduped`) may double-count across such
+/// a retry — they are stderr observability, deliberately excluded from
+/// deterministic reports.
+/// A retry-worthy failure recorded in a unit's cells (see
+/// [`CorpusRun::unit_fault`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitFault {
+    /// At least one cell is inconclusive because model evaluation
+    /// panicked (contained by the pipeline's per-candidate
+    /// `catch_unwind`).
+    WorkerPanicked,
+    /// At least one cell tripped the relative wall-clock limit.
+    TimedOut,
+}
+
+pub struct CorpusRun<'a, 'm> {
+    checker: &'a mut MultiBatchChecker<'m>,
+    columns: Vec<ColumnReport>,
+    seen: Vec<HashMap<u128, usize>>,
+    /// Fully-derived per-column key salts (base salt + options), fixed
+    /// for the run.
+    salts: Vec<String>,
+    enumeration_passes: usize,
+    candidates_actual: usize,
+    corpus_meter: Meter,
+    start: Instant,
+}
+
+impl CorpusRun<'_, '_> {
+    /// Check corpus member `i` across every column `mask_row` enables
+    /// (one slot per column). Outcome storage grows to cover `i`.
+    ///
+    /// # Errors
+    ///
+    /// Store-append failure only; see the retry semantics above.
+    pub fn check_unit(
+        &mut self,
+        i: usize,
+        test: &Test,
+        mask_row: &[bool],
+    ) -> Result<(), BatchError> {
+        let ncols = self.checker.columns.len();
+        assert_eq!(mask_row.len(), ncols, "one mask slot per column");
+        for col in &mut self.columns {
+            if col.outcomes.len() <= i {
+                col.outcomes.resize(i + 1, None);
+            }
+        }
+        // One canonicalization serves every column: the columns differ
+        // only in the (model, salt) folded into the hash, not in the
+        // canonical text, and canonicalizing dominates key derivation —
+        // this is what makes a store-warm replay (and a checkpoint
+        // resume) cheap.
+        let canon = canonical_text(test);
+        let keys: Vec<u128> = (0..ncols)
+            .map(|c| {
+                cache_key_of_text(&canon, self.checker.columns[c].model.name(), &self.salts[c])
+            })
+            .collect();
+        // Resolve each column against its dedupe map and the store;
+        // whatever is left shares one enumeration pass.
+        let mut missing: Vec<usize> = Vec::new();
+        for c in 0..ncols {
+            if !mask_row[c] {
+                continue;
+            }
+            let key = keys[c];
+            if let Some(&first) = self.seen[c].get(&key) {
+                self.columns[c].deduped += 1;
+                let replay = self.columns[c].outcomes[first]
+                    .as_ref()
+                    .expect("dedupe map only indexes filled slots")
+                    .outcome
+                    .clone();
+                self.columns[c].outcomes[i] = Some(BatchOutcome {
+                    name: test.name.clone(),
+                    key,
+                    outcome: replay,
+                    provenance: Provenance::Deduped,
+                });
+            } else if let Some(result) = self.checker.store.get(key) {
+                self.columns[c].hits += 1;
+                self.seen[c].insert(key, i);
+                self.columns[c].outcomes[i] = Some(BatchOutcome {
+                    name: test.name.clone(),
+                    key,
+                    outcome: CheckOutcome::Complete(result.clone()),
+                    provenance: Provenance::Hit,
+                });
+            } else {
+                missing.push(c);
+            }
+        }
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if let Err(kind) = self.corpus_meter.poll_now() {
+            for &c in &missing {
+                self.columns[c].inconclusive += 1;
+                self.columns[c].outcomes[i] = Some(BatchOutcome {
+                    name: test.name.clone(),
+                    key: keys[c],
+                    outcome: CheckOutcome::Inconclusive {
+                        reason: InconclusiveReason::BudgetExceeded(kind),
+                        partial: Tally::default(),
+                    },
+                    provenance: Provenance::Computed,
+                });
+            }
+            return Ok(());
+        }
+        let models: Vec<&dyn ConsistencyModel> =
+            missing.iter().map(|&c| self.checker.columns[c].model).collect();
+        let outcome =
+            check_test_multi_governed(&models, test, &self.checker.enum_opts, &self.checker.pipe);
+        self.enumeration_passes += 1;
+        match outcome {
+            MultiCheckOutcome::Complete(results) => {
+                let mut counted = false;
+                for (&c, result) in missing.iter().zip(results) {
+                    if !counted {
+                        self.candidates_actual += result.candidates;
+                        counted = true;
+                    }
+                    let key = keys[c];
+                    self.checker.store.put(key, result.clone())?;
+                    self.columns[c].computed += 1;
+                    self.columns[c].candidates_enumerated += result.candidates;
+                    self.seen[c].insert(key, i);
+                    self.columns[c].outcomes[i] = Some(BatchOutcome {
+                        name: test.name.clone(),
+                        key,
+                        outcome: CheckOutcome::Complete(result),
+                        provenance: Provenance::Computed,
+                    });
+                }
+            }
+            MultiCheckOutcome::Inconclusive { reason, partials } => {
+                let mut counted = false;
+                for (&c, partial) in missing.iter().zip(partials) {
+                    if !counted {
+                        self.candidates_actual += partial.candidates;
+                        counted = true;
+                    }
+                    self.columns[c].inconclusive += 1;
+                    self.columns[c].candidates_enumerated += partial.candidates;
+                    // Inconclusive outcomes join neither the store
+                    // nor the dedupe map: a later isomorph deserves
+                    // its own attempt.
+                    self.columns[c].outcomes[i] = Some(BatchOutcome {
+                        name: test.name.clone(),
+                        key: keys[c],
+                        outcome: CheckOutcome::Inconclusive { reason: reason.clone(), partial },
+                        provenance: Provenance::Computed,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Clear every outcome recorded for unit `i` (slots revert to `None`)
+    /// and drop dedupe-map entries that point at it, so later isomorphs
+    /// resolve through the store instead of replaying a wiped slot. A
+    /// supervising driver calls this before retrying a failed unit and
+    /// before quarantining one — verdicts that already reached the store
+    /// stay there (they are content-addressed and valid regardless of
+    /// which attempt produced them) and replay as hits on the retry.
+    pub fn reset_unit(&mut self, i: usize) {
+        for (c, col) in self.columns.iter_mut().enumerate() {
+            if col.outcomes.len() > i {
+                col.outcomes[i] = None;
+            }
+            self.seen[c].retain(|_, &mut first| first != i);
+        }
+    }
+
+    /// Clone unit `i`'s outcome cells, one per column (`None` for
+    /// masked or unvisited slots) — what a streaming driver feeds its
+    /// per-row oracles the moment the unit completes, instead of
+    /// waiting for the whole corpus.
+    pub fn row_cells(&self, i: usize) -> Vec<Option<CheckOutcome>> {
+        self.columns
+            .iter()
+            .map(|col| col.outcomes.get(i).and_then(Option::as_ref).map(|o| o.outcome.clone()))
+            .collect()
+    }
+
+    /// Per-column count of filled outcome slots. Deterministic for a
+    /// given set of visited units (unlike the hit/computed counters,
+    /// which may double-count across retries).
+    pub fn filled_per_column(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .map(|col| col.outcomes.iter().filter(|o| o.is_some()).count())
+            .collect()
+    }
+
+    /// Whether unit `i`'s recorded cells carry a failure a retry could
+    /// plausibly repair: a contained worker panic, or a relative
+    /// wall-clock trip (the caller decides whether its budget makes
+    /// `TimedOut` retry-worthy — an absolute corpus deadline does not).
+    /// Deterministic fuel trips (candidates, eval steps) are *not*
+    /// faults: re-running them reproduces the same inconclusive cell.
+    pub fn unit_fault(&self, i: usize) -> Option<UnitFault> {
+        let mut fault = None;
+        for col in &self.columns {
+            let Some(Some(o)) = col.outcomes.get(i) else { continue };
+            match &o.outcome {
+                CheckOutcome::Inconclusive {
+                    reason: InconclusiveReason::WorkerPanicked, ..
+                } => return Some(UnitFault::WorkerPanicked),
+                CheckOutcome::Inconclusive {
+                    reason: InconclusiveReason::BudgetExceeded(BudgetKind::WallClock),
+                    ..
+                } => fault = Some(UnitFault::TimedOut),
+                _ => {}
+            }
+        }
+        fault
+    }
+
+    /// Sync the store mid-run — what a checkpointing driver calls before
+    /// recording progress, so the checkpoint never claims verdicts that
+    /// aren't durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.checker.store.flush()
+    }
+
+    /// Close the session: pad every column to `total_units` slots
+    /// (unvisited indices stay `None`), flush the store, and return the
+    /// aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the final flush.
+    pub fn finish(mut self, total_units: usize) -> Result<MultiBatchReport, BatchError> {
+        for col in &mut self.columns {
+            if col.outcomes.len() < total_units {
+                col.outcomes.resize(total_units, None);
+            }
+        }
+        self.checker.store.flush()?;
+        Ok(MultiBatchReport {
+            columns: self.columns,
+            enumeration_passes: self.enumeration_passes,
+            candidates_actual: self.candidates_actual,
+            micros: self.start.elapsed().as_micros(),
+        })
     }
 }
 

@@ -335,7 +335,9 @@ fn op_stats(checker: &BatchChecker<'_>) -> Json {
         fields.push(("session_inconclusive", Json::num(checker.session_inconclusive() as u64)));
     }
     fields.push(("recovered_records", Json::num(recovery.records as u64)));
-    fields.push(("recovery_truncated_bytes", Json::num(recovery.truncated_bytes)));
+    fields.push(("recovery_torn_bytes", Json::num(recovery.torn_bytes)));
+    fields.push(("recovery_corrupt_frames", Json::num(recovery.corrupt_frames as u64)));
+    fields.push(("recovery_corrupt_bytes", Json::num(recovery.corrupt_bytes)));
     fields.push((
         "path",
         match store.path() {

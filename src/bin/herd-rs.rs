@@ -5,6 +5,7 @@
 //! herd-rs [OPTIONS] --library      # run every built-in paper test
 //! herd-rs [OPTIONS] serve          # JSON-lines service on stdin/stdout
 //! herd-rs [OPTIONS] conformance    # differential conformance campaign
+//! herd-rs store VERB PATH...       # maintain a verdict store offline
 //! ```
 //!
 //! `--jobs N` (`-j N`) checks candidate executions on `N` worker threads;
@@ -34,6 +35,27 @@
 //! output is a human table; `--json` prints a deterministic JSON report
 //! (byte-identical on a warm re-run over the same `--store`).
 //!
+//! A campaign survives being killed: `--checkpoint PATH` writes a
+//! framed, checksummed progress manifest every `--checkpoint-every`
+//! units (and on every clean suspend), and `--resume` continues from
+//! the latest valid frame — the final report is byte-identical to an
+//! uninterrupted run, because completed units replay as store hits.
+//! Resume refuses a checkpoint written under a different corpus/config
+//! fingerprint. Worker faults (panics, wall-clock trips, transient
+//! store I/O) are retried with seeded exponential backoff up to
+//! `--max-retries`; a unit that keeps failing is quarantined into the
+//! report's `failed_units` and the campaign completes *degraded*
+//! (exit 8) instead of dying. `--stop-after N` suspends cleanly after
+//! N units (exit 0) for tests and benchmarks.
+//!
+//! `store scrub|compact|export|merge` maintains a verdict store
+//! offline: `scrub` classifies torn-tail vs corrupt-frame damage (and
+//! heals it with `--repair`), `compact` rewrites the log one frame per
+//! distinct key via an atomic snapshot, `export` writes a compacted
+//! copy without touching the source, and `merge` folds one store into
+//! another (source wins on conflicting keys). All verbs take the
+//! store's advisory lock; a store held by a live process exits 9.
+//!
 //! `conformance --algorithms` swaps the cycle corpus for the
 //! real-algorithm litmus families (`--list-algorithms` enumerates
 //! them): each family expands at `--algo-threads`/`--algo-sections`/
@@ -46,7 +68,8 @@
 //! Exit codes: 0 success, 1 internal/transport failure, 2 usage error,
 //! 3 input-file I/O error, 4 litmus parse error, 5 store error,
 //! 6 single-test check inconclusive (budget exhausted), 7 conformance
-//! campaign found discrepancies.
+//! campaign found discrepancies, 8 campaign degraded (units quarantined
+//! after exhausting retries), 9 store locked by a live process.
 
 use linux_kernel_memory_model::algorithms::FamilyId;
 use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
@@ -67,6 +90,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [CONFORMANCE] conformance\n\
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [ALGORITHMS] conformance --algorithms\n\
      \x20      herd-rs --list-algorithms\n\
+     \x20      herd-rs store scrub [--repair] PATH | store compact PATH |\n\
+     \x20              store export SRC DST | store merge DST SRC...\n\
      \x20 --models M1,M2   decide several models from ONE enumeration pass per test; output is\n\
      \x20                  byte-identical to running --model M1, --model M2, ... in sequence\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
@@ -92,6 +117,18 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --sim-seed N        base seed for the simulator soundness pass (default 7)\n\
      \x20 --sim-stride N      simulate every Nth corpus test (default 1; not with --algorithms)\n\
      \x20 --json              deterministic JSON report instead of the human table\n\
+     \x20 --checkpoint PATH   write a crash-safe progress manifest alongside the campaign\n\
+     \x20 --checkpoint-every N  units between checkpoint frames (default 64)\n\
+     \x20 --resume            continue from the checkpoint's latest valid frame (needs\n\
+     \x20                     --checkpoint; refuses a manifest from a different config)\n\
+     \x20 --max-retries N     attempts per faulting unit before quarantine (default 2)\n\
+     \x20 --retry-base-ms N   base backoff delay between retries, 0 = none (default 25)\n\
+     \x20 --stop-after N      suspend cleanly after N units (exit 0; resume to continue)\n\
+     \x20 STORE verbs (offline maintenance; every verb takes the store's advisory lock):\n\
+     \x20 store scrub PATH    report torn/corrupt damage; with --repair, heal it in place\n\
+     \x20 store compact PATH  rewrite the log one frame per distinct key (atomic snapshot)\n\
+     \x20 store export SRC DST  write a compacted copy of SRC to DST; SRC is untouched\n\
+     \x20 store merge DST SRC...  fold each SRC into DST (source wins on conflicts)\n\
      \x20 ALGORITHMS options (`conformance --algorithms` checks the real-algorithm families):\n\
      \x20 --algorithms        run the algorithm-family campaign instead of the cycle corpus\n\
      \x20 --families F1,F2    restrict to the named families (see --list-algorithms)\n\
@@ -100,7 +137,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --algo-retries N    retry-loop depth for bounded retry loops (default 1)\n\
      \x20 --list-algorithms   list the algorithm families (name, invariant, description)\n\
      \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive,\n\
-     \x20             7 conformance discrepancies";
+     \x20             7 conformance discrepancies, 8 campaign degraded (units quarantined),\n\
+     \x20             9 store locked by a live process";
 
 const EXIT_INTERNAL: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -109,6 +147,8 @@ const EXIT_PARSE: u8 = 4;
 const EXIT_STORE: u8 = 5;
 const EXIT_INCONCLUSIVE: u8 = 6;
 const EXIT_DISCREPANCY: u8 = 7;
+const EXIT_DEGRADED: u8 = 8;
+const EXIT_LOCKED: u8 = 9;
 
 /// Cycle lengths past this explode combinatorially; a bigger campaign
 /// should be driven through the library API, not one CLI invocation.
@@ -153,6 +193,15 @@ struct Cli {
     algo_sections: Option<usize>,
     algo_retries: Option<usize>,
     list_algorithms: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
+    max_retries: Option<u32>,
+    retry_base_ms: Option<u64>,
+    stop_after: Option<usize>,
+    store_cmd: bool,
+    store_args: Vec<String>,
+    repair: bool,
 }
 
 fn usage_fail(message: &str) -> ExitCode {
@@ -209,6 +258,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         algo_sections: None,
         algo_retries: None,
         list_algorithms: false,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: false,
+        max_retries: None,
+        retry_base_ms: None,
+        stop_after: None,
+        store_cmd: false,
+        store_args: Vec::new(),
+        repair: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -330,6 +388,40 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.sim_stride_given = true;
                 cli.conformance_flag_seen = true;
             }
+            "--checkpoint" => {
+                let path = it.next().ok_or("--checkpoint needs a path argument")?;
+                cli.checkpoint = Some(path.clone());
+                cli.conformance_flag_seen = true;
+            }
+            "--checkpoint-every" => {
+                let n = it.next().ok_or("--checkpoint-every needs an argument")?;
+                cli.checkpoint_every = Some(parse_count("--checkpoint-every", n)? as usize);
+                cli.conformance_flag_seen = true;
+            }
+            "--resume" => {
+                cli.resume = true;
+                cli.conformance_flag_seen = true;
+            }
+            "--max-retries" => {
+                let n = it.next().ok_or("--max-retries needs an argument")?;
+                cli.max_retries = Some(n.parse::<u32>().map_err(|_| {
+                    format!("--max-retries needs a non-negative integer, got `{n}`")
+                })?);
+                cli.conformance_flag_seen = true;
+            }
+            "--retry-base-ms" => {
+                let n = it.next().ok_or("--retry-base-ms needs an argument")?;
+                cli.retry_base_ms = Some(n.parse::<u64>().map_err(|_| {
+                    format!("--retry-base-ms needs a non-negative integer, got `{n}`")
+                })?);
+                cli.conformance_flag_seen = true;
+            }
+            "--stop-after" => {
+                let n = it.next().ok_or("--stop-after needs an argument")?;
+                cli.stop_after = Some(parse_count("--stop-after", n)? as usize);
+                cli.conformance_flag_seen = true;
+            }
+            "--repair" => cli.repair = true,
             "--algorithms" => {
                 cli.algorithms = true;
                 cli.conformance_flag_seen = true;
@@ -379,13 +471,29 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            "serve" if !cli.serve_mode && !cli.conformance_mode && cli.file.is_none() => {
+            "serve"
+                if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
+                    && cli.file.is_none() =>
+            {
                 cli.serve_mode = true;
             }
-            "conformance" if !cli.serve_mode && !cli.conformance_mode && cli.file.is_none() => {
+            "conformance"
+                if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
+                    && cli.file.is_none() =>
+            {
                 cli.conformance_mode = true;
             }
+            "store"
+                if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
+                    && cli.file.is_none() =>
+            {
+                cli.store_cmd = true;
+            }
             other => {
+                if cli.store_cmd {
+                    cli.store_args.push(other.to_string());
+                    continue;
+                }
                 if cli.serve_mode {
                     return Err(format!("unexpected argument `{other}` after `serve`"));
                 }
@@ -414,6 +522,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     if cli.list_algorithms {
         if cli.serve_mode
             || cli.conformance_mode
+            || cli.store_cmd
             || cli.run_library
             || cli.file.is_some()
             || cli.models.is_some()
@@ -426,9 +535,57 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         }
         return Ok(Some(cli));
     }
+    if cli.store_cmd {
+        if cli.run_library
+            || cli.dot
+            || cli.states
+            || cli.early_exit
+            || cli.model_given
+            || cli.models.is_some()
+            || cli.enum_stats
+            || cli.store.is_some()
+            || cli.conformance_flag_seen
+            || cli.budget_candidates.is_some()
+            || cli.budget_steps.is_some()
+            || cli.budget_ms.is_some()
+            || cli.max_request_bytes.is_some()
+        {
+            return Err("`store` takes a verb (scrub/compact/export/merge), its path \
+                        arguments, and --repair (scrub only)"
+                .to_string());
+        }
+        if cli.store_args.is_empty() {
+            return Err("`store` needs a verb: scrub, compact, export, or merge".to_string());
+        }
+    }
+    if cli.repair
+        && !(cli.store_cmd && cli.store_args.first().map(String::as_str) == Some("scrub"))
+    {
+        return Err("--repair only applies to `store scrub`".to_string());
+    }
     if cli.conformance_flag_seen && !cli.conformance_mode {
         return Err("--max-cycle-len/--contended/--no-library/--no-shrink/--json/--sim-*/\
-                    --algorithms/--families/--algo-* only apply to `conformance`"
+                    --algorithms/--families/--algo-*/--checkpoint*/--resume/--max-retries/\
+                    --retry-base-ms/--stop-after only apply to `conformance`"
+            .to_string());
+    }
+    if cli.resume && cli.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint PATH (the manifest to resume from)".to_string());
+    }
+    if cli.checkpoint_every.is_some() && cli.checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint PATH".to_string());
+    }
+    if cli.algorithms
+        && (cli.checkpoint.is_some()
+            || cli.checkpoint_every.is_some()
+            || cli.resume
+            || cli.max_retries.is_some()
+            || cli.retry_base_ms.is_some()
+            || cli.stop_after.is_some())
+    {
+        return Err("--checkpoint/--checkpoint-every/--resume/--max-retries/--retry-base-ms/\
+                    --stop-after drive the cycle campaign; `--algorithms` runs its family \
+                    corpus in one piece"
             .to_string());
     }
     if !cli.algorithms
@@ -517,18 +674,29 @@ impl Cli {
 
 /// Open the store named by `--store` (or an in-memory one for `serve`
 /// without persistence), reporting recovery events on stderr.
-fn open_store(path: Option<&str>) -> Result<VerdictStore, String> {
+fn open_store(path: Option<&str>) -> Result<VerdictStore, (u8, String)> {
     let Some(path) = path else {
         return Ok(VerdictStore::in_memory());
     };
-    let store = VerdictStore::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let store = VerdictStore::open(path).map_err(|e| {
+        let code = match &e {
+            lkmm_service::StoreError::Locked { .. } => EXIT_LOCKED,
+            lkmm_service::StoreError::Io(_) => EXIT_STORE,
+        };
+        (code, format!("{path}: {e}"))
+    })?;
     let recovery = store.recovery();
     if recovery.quarantined {
         eprintln!("herd-rs: store {path}: unrecognized contents quarantined to {path}.corrupt");
-    } else if recovery.truncated_bytes > 0 {
+    } else if recovery.truncated_bytes() > 0 {
         eprintln!(
-            "herd-rs: store {path}: recovered {} records, dropped {} trailing bytes",
-            recovery.records, recovery.truncated_bytes
+            "herd-rs: store {path}: recovered {} records, dropped {} trailing bytes \
+             ({} torn, {} from {} corrupt frames)",
+            recovery.records,
+            recovery.truncated_bytes(),
+            recovery.torn_bytes,
+            recovery.corrupt_bytes,
+            recovery.corrupt_frames
         );
     }
     Ok(store)
@@ -568,6 +736,10 @@ fn main() -> ExitCode {
         return serve_mode(&cli);
     }
 
+    if cli.store_cmd {
+        return store_cmd_mode(&cli);
+    }
+
     if cli.conformance_mode {
         return if cli.algorithms { algo_conformance_mode(&cli) } else { conformance_mode(&cli) };
     }
@@ -600,7 +772,7 @@ fn main() -> ExitCode {
         let model = cli.model.model();
         let store = match open_store(Some(store_path)) {
             Ok(s) => s,
-            Err(e) => return fail_code(EXIT_STORE, &e),
+            Err((code, e)) => return fail_code(code, &e),
         };
         let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
             .with_jobs(cli.jobs)
@@ -731,8 +903,9 @@ fn multi_mode(
 fn conformance_mode(cli: &Cli) -> ExitCode {
     use linux_kernel_memory_model::conformance::{
         human_table, json_report, observability_lines, run_campaign, CampaignConfig,
-        CampaignError, SimConfig,
+        CampaignError, ResilienceConfig, SimConfig,
     };
+    let resilience_defaults = ResilienceConfig::default();
     let cfg = CampaignConfig {
         max_cycle_len: cli.max_cycle_len.unwrap_or(4),
         contended: cli.contended,
@@ -751,11 +924,33 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
         enum_stats: cli
             .enum_stats
             .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default())),
+        resilience: ResilienceConfig {
+            checkpoint: cli.checkpoint.as_ref().map(std::path::PathBuf::from),
+            checkpoint_every: cli.checkpoint_every.unwrap_or(resilience_defaults.checkpoint_every),
+            max_retries: cli.max_retries.unwrap_or(resilience_defaults.max_retries),
+            retry_base_ms: cli.retry_base_ms.unwrap_or(resilience_defaults.retry_base_ms),
+            resume: cli.resume,
+            stop_after: cli.stop_after,
+            ..resilience_defaults
+        },
     };
     let report = match run_campaign(&cfg) {
         Ok(r) => r,
+        Err(e @ CampaignError::Suspended { .. }) => {
+            eprintln!("herd-rs: conformance: {e}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e @ CampaignError::Locked { .. }) => {
+            return fail_code(EXIT_LOCKED, &format!("conformance: {e}"));
+        }
+        Err(e @ CampaignError::CheckpointMismatch { .. }) => {
+            return fail_code(EXIT_USAGE, &format!("conformance: {e}"));
+        }
         Err(CampaignError::Store(e)) => {
             return fail_code(EXIT_STORE, &format!("conformance: {e}"));
+        }
+        Err(CampaignError::Checkpoint(e)) => {
+            return fail_code(EXIT_STORE, &format!("conformance: checkpoint: {e}"));
         }
         Err(e) => return fail_code(EXIT_INTERNAL, &format!("conformance: {e}")),
     };
@@ -765,10 +960,12 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
     } else {
         print!("{}", human_table(&report));
     }
-    if report.clean() {
-        ExitCode::SUCCESS
-    } else {
+    if !report.clean() {
         ExitCode::from(EXIT_DISCREPANCY)
+    } else if report.degraded() {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -841,7 +1038,7 @@ fn serve_mode(cli: &Cli) -> ExitCode {
     let model = cli.model.model();
     let store = match open_store(cli.store.as_deref()) {
         Ok(s) => s,
-        Err(e) => return fail_code(EXIT_STORE, &e),
+        Err((code, e)) => return fail_code(code, &e),
     };
     // The wall-clock axis is per *request* in serve mode (a batch request
     // checks many tests), so it lives in ServeOptions, not the budget.
@@ -869,6 +1066,104 @@ fn serve_mode(cli: &Cli) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => fail_code(EXIT_INTERNAL, &format!("serve: {e}")),
+    }
+}
+
+/// `herd-rs store VERB PATH...`: offline verdict-store maintenance.
+/// Every verb takes the store's advisory lock, so it cannot race a
+/// live campaign (a held lock exits 9). `scrub` without `--repair` is
+/// a check: it exits 5 when the log has defects a repair would heal,
+/// so CI can assert a store is pristine.
+fn store_cmd_mode(cli: &Cli) -> ExitCode {
+    use lkmm_service::StoreError;
+    fn store_fail(context: &str, e: StoreError) -> ExitCode {
+        let code = match &e {
+            StoreError::Locked { .. } => EXIT_LOCKED,
+            StoreError::Io(_) => EXIT_STORE,
+        };
+        fail_code(code, &format!("store {context}: {e}"))
+    }
+    let (verb, paths) = cli.store_args.split_first().expect("parse_args requires a verb");
+    match (verb.as_str(), paths) {
+        ("scrub", [path]) => match VerdictStore::scrub(path, cli.repair) {
+            Ok(r) => {
+                if r.wrong_magic {
+                    println!("{path}: wrong magic — nothing in the file is a verdict log");
+                } else {
+                    println!(
+                        "{path}: {} records, {} distinct keys, {} superseded; \
+                         {} torn bytes, {} corrupt frames ({} bytes)",
+                        r.records,
+                        r.distinct_keys,
+                        r.superseded,
+                        r.torn_bytes,
+                        r.corrupt_frames,
+                        r.corrupt_bytes
+                    );
+                }
+                if r.repaired {
+                    println!("{path}: repaired");
+                    ExitCode::SUCCESS
+                } else if r.defects() {
+                    eprintln!("herd-rs: store scrub: {path} has defects (rerun with --repair)");
+                    ExitCode::from(EXIT_STORE)
+                } else {
+                    println!("{path}: clean");
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => store_fail("scrub", e),
+        },
+        ("compact", [path]) => match VerdictStore::compact(path) {
+            Ok(r) => {
+                println!(
+                    "{path}: {} records -> {} ({} superseded dropped, {} defect bytes); \
+                     {} bytes -> {}",
+                    r.records_in,
+                    r.records_out,
+                    r.superseded,
+                    r.defect_bytes,
+                    r.bytes_before,
+                    r.bytes_after
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => store_fail("compact", e),
+        },
+        ("export", [src, dst]) => match VerdictStore::export(src, dst) {
+            Ok(r) => {
+                println!(
+                    "{src} -> {dst}: {} records -> {} ({} superseded dropped, \
+                     {} defect bytes); {} bytes -> {}",
+                    r.records_in,
+                    r.records_out,
+                    r.superseded,
+                    r.defect_bytes,
+                    r.bytes_before,
+                    r.bytes_after
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => store_fail("export", e),
+        },
+        ("merge", [dst, sources @ ..]) if !sources.is_empty() => {
+            for src in sources {
+                match VerdictStore::merge(dst, src) {
+                    Ok(r) => println!(
+                        "{src} -> {dst}: {} source keys, {} merged, {} unchanged",
+                        r.source_keys, r.merged, r.unchanged
+                    ),
+                    Err(e) => return store_fail("merge", e),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("scrub" | "compact", _) => usage_fail(&format!("store {verb} takes exactly one PATH")),
+        ("export", _) => usage_fail("store export takes SRC and DST"),
+        ("merge", _) => usage_fail("store merge takes DST and at least one SRC"),
+        (other, _) => {
+            usage_fail(&format!("unknown store verb `{other}` (scrub, compact, export, merge)"))
+        }
     }
 }
 
@@ -906,7 +1201,7 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
     let model = cli.model.model();
     let store = match open_store(Some(store_path)) {
         Ok(s) => s,
-        Err(e) => return fail_code(EXIT_STORE, &e),
+        Err((code, e)) => return fail_code(code, &e),
     };
     let stats = cli
         .enum_stats
@@ -1079,6 +1374,65 @@ mod tests {
         assert!(parse(&["--list-algorithms", "--library"]).is_err());
         assert!(parse(&["--list-algorithms", "t.litmus"]).is_err());
         assert!(parse(&["--list-algorithms", "--algorithms"]).is_err());
+    }
+
+    #[test]
+    fn resilience_flags_parse_with_conformance() {
+        let cli = parse(&[
+            "--checkpoint",
+            "c.ck",
+            "--checkpoint-every",
+            "8",
+            "--max-retries",
+            "0",
+            "--retry-base-ms",
+            "0",
+            "--stop-after",
+            "5",
+            "--resume",
+            "conformance",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(cli.conformance_mode && cli.resume);
+        assert_eq!(cli.checkpoint.as_deref(), Some("c.ck"));
+        assert_eq!(cli.checkpoint_every, Some(8));
+        assert_eq!(cli.max_retries, Some(0));
+        assert_eq!(cli.retry_base_ms, Some(0));
+        assert_eq!(cli.stop_after, Some(5));
+    }
+
+    #[test]
+    fn resilience_flags_demand_the_right_mode() {
+        // They are conformance flags.
+        assert!(parse(&["--checkpoint", "c.ck"]).is_err());
+        assert!(parse(&["--max-retries", "1", "t.litmus"]).is_err());
+        // --resume and --checkpoint-every are meaningless without a manifest.
+        assert!(parse(&["--resume", "conformance"]).is_err());
+        assert!(parse(&["--checkpoint-every", "8", "conformance"]).is_err());
+        // The algorithm campaign runs in one piece.
+        assert!(parse(&["--algorithms", "--checkpoint", "c.ck", "conformance"]).is_err());
+        assert!(parse(&["--algorithms", "--stop-after", "3", "conformance"]).is_err());
+    }
+
+    #[test]
+    fn store_subcommand_collects_verb_and_paths() {
+        let cli = parse(&["store", "scrub", "--repair", "s.log"]).unwrap().unwrap();
+        assert!(cli.store_cmd && cli.repair);
+        assert_eq!(cli.store_args, vec!["scrub", "s.log"]);
+        let cli = parse(&["store", "merge", "dst.log", "a.log", "b.log"]).unwrap().unwrap();
+        assert_eq!(cli.store_args, vec!["merge", "dst.log", "a.log", "b.log"]);
+    }
+
+    #[test]
+    fn store_subcommand_stands_alone() {
+        assert!(parse(&["store"]).is_err());
+        assert!(parse(&["store", "scrub", "s.log", "--store", "x.log"]).is_err());
+        assert!(parse(&["store", "compact", "s.log", "--json"]).is_err());
+        assert!(parse(&["--library", "store", "scrub", "s.log"]).is_err());
+        // --repair belongs to scrub only.
+        assert!(parse(&["store", "compact", "--repair", "s.log"]).is_err());
+        assert!(parse(&["--repair", "t.litmus"]).is_err());
     }
 
     #[test]

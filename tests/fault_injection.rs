@@ -79,7 +79,7 @@ fn torn_store_append_is_an_error_and_reopen_recovers_the_valid_prefix() {
         let store = VerdictStore::open(&path).unwrap();
         let recovery = store.recovery();
         assert_eq!(recovery.records, 1, "the good record survives");
-        assert!(recovery.truncated_bytes > 0, "the torn tail is truncated");
+        assert!(recovery.truncated_bytes() > 0, "the torn tail is truncated");
         assert!(!recovery.quarantined);
 
         let mut checker = BatchChecker::new(&model, store, "fault");
@@ -112,6 +112,74 @@ fn injected_flush_failure_is_an_error_then_clears() {
 
     drop(store);
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn injected_dir_sync_failure_fails_first_flush_then_clears() {
+    // The first flush of a store's lifetime also fsyncs the parent
+    // directory (so a crash can't lose the just-created file entry);
+    // `store.append.sync` sits on exactly that path.
+    let dir = std::env::temp_dir().join(format!("lkmm-fault-dirsync-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dirsync.vstore");
+    let _ = std::fs::remove_file(&path);
+
+    let mut store = VerdictStore::open(&path).unwrap();
+
+    let guard = faultpoint::arm("store.append.sync");
+    let err = store.flush().unwrap_err();
+    assert!(err.to_string().contains("store.append.sync"), "got {err}");
+    drop(guard);
+
+    // The directory sync is retried on the next flush, not lost.
+    store.flush().expect("disarmed flush performs the deferred dir sync");
+    let guard = faultpoint::arm("store.append.sync");
+    store.flush().expect("dir already synced: the site is no longer on the path");
+    drop(guard);
+
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn crashed_compaction_leaves_the_original_log_intact() {
+    let dir = std::env::temp_dir().join(format!("lkmm-fault-compact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("compact.vstore");
+    let _ = std::fs::remove_file(&path);
+
+    let model = linux_kernel_memory_model::model::Lkmm::new();
+    let sb = library::by_name("SB").unwrap().test();
+    let mp = library::by_name("MP").unwrap().test();
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        let mut checker = BatchChecker::new(&model, store, "fault");
+        checker.check_one(&sb).unwrap();
+        checker.check_one(&mp).unwrap();
+        checker.flush().unwrap();
+    }
+    let before = std::fs::read(&path).unwrap();
+
+    // Crash mid-rewrite: the temp file is torn, the rename never runs.
+    let guard = faultpoint::arm("store.compact.crash");
+    let err = VerdictStore::compact(&path).unwrap_err();
+    assert!(err.to_string().contains("store.compact.crash"), "got {err}");
+    drop(guard);
+    assert_eq!(std::fs::read(&path).unwrap(), before, "original log untouched");
+
+    // Retried compaction truncates the stray temp file and succeeds.
+    let report = VerdictStore::compact(&path).unwrap();
+    assert_eq!(report.records_out, 2);
+    let store = VerdictStore::open(&path).unwrap();
+    assert!(store.recovery().is_clean());
+    assert_eq!(store.len(), 2);
+
+    drop(store);
+    for f in std::fs::read_dir(&dir).unwrap() {
+        let _ = std::fs::remove_file(f.unwrap().path());
+    }
     let _ = std::fs::remove_dir(&dir);
 }
 

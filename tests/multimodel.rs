@@ -107,7 +107,7 @@ fn store_backed_model_set_is_bit_identical_cold_and_warm() {
     // Warm replay from the reopened on-disk store: zero enumeration,
     // every slot answered, results identical to the cold pass.
     let store = VerdictStore::open(&path).unwrap();
-    assert_eq!(store.recovery().truncated_bytes, 0);
+    assert_eq!(store.recovery().truncated_bytes(), 0);
     let mut multi = MultiBatchChecker::new(columns(), store).with_jobs(8);
     let warm = multi.check_corpus(&tests, &mask).unwrap();
     assert_eq!(warm.enumeration_passes, 0);

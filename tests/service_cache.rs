@@ -36,7 +36,7 @@ fn warm_library_pass_is_pure_replay_with_identical_results() {
 
     // Reopen from disk: everything must replay, nothing may enumerate.
     let store = VerdictStore::open(&path).unwrap();
-    assert_eq!(store.recovery().truncated_bytes, 0);
+    assert_eq!(store.recovery().truncated_bytes(), 0);
     assert_eq!(store.len(), cold.computed);
     let mut checker = BatchChecker::new(model.as_ref(), store, "it");
     let warm = checker.check_library().unwrap();
@@ -74,7 +74,7 @@ fn torn_tail_is_truncated_and_recomputed() {
     drop(file);
 
     let store = VerdictStore::open(&path).unwrap();
-    assert!(store.recovery().truncated_bytes > 0, "torn tail went unnoticed");
+    assert!(store.recovery().truncated_bytes() > 0, "torn tail went unnoticed");
     assert_eq!(store.recovery().records, cold.computed - 1, "more than the tail was lost");
     let mut checker = BatchChecker::new(model.as_ref(), store, "it");
     let warm = checker.check_library().unwrap();
@@ -84,8 +84,10 @@ fn torn_tail_is_truncated_and_recomputed() {
     }
 
     // The recomputed record was appended: a third pass is pure replay.
+    // (The previous checker must drop first — it holds the store lock.)
+    drop(checker);
     let store = VerdictStore::open(&path).unwrap();
-    assert_eq!(store.recovery().truncated_bytes, 0);
+    assert_eq!(store.recovery().truncated_bytes(), 0);
     let mut checker = BatchChecker::new(model.as_ref(), store, "it");
     let third = checker.check_library().unwrap();
     assert_eq!(third.computed, 0);
@@ -121,7 +123,7 @@ fn corrupt_mid_record_keeps_the_valid_prefix() {
     let recovered = store.recovery().records;
     assert!(recovered > 0, "prefix before the corruption was lost");
     assert!(recovered < cold.computed, "corruption went unnoticed");
-    assert!(store.recovery().truncated_bytes > 0);
+    assert!(store.recovery().truncated_bytes() > 0);
 
     let mut checker = BatchChecker::new(model.as_ref(), store, "it");
     let warm = checker.check_library().unwrap();
