@@ -292,6 +292,78 @@ grep -q ' 0 computed, .* 0 candidates enumerated' /tmp/lkmm-maint-merged.err
 rm -f "$MAINT_A" "$MAINT_B" "$MAINT_M" /tmp/lkmm-maint-cold.out /tmp/lkmm-maint-warm.out \
     /tmp/lkmm-maint-warm.err /tmp/lkmm-maint-merged.out /tmp/lkmm-maint-merged.err
 
+echo "== verdict server: 4 concurrent clients over 4 shards match the sequential store =="
+SRV_STORE=/tmp/lkmm-ci-srv-store.bin
+SEQ_STORE=/tmp/lkmm-ci-srv-seq.bin
+rm -f "$SRV_STORE" "$SRV_STORE".shard* "$SEQ_STORE" /tmp/lkmm-ci-srv-*.out
+"$BIN" serve --listen 127.0.0.1:0 --shards 4 --store "$SRV_STORE" \
+    2> /tmp/lkmm-srv.err &
+SRV_PID=$!
+# The server announces its bound port on stderr before serving.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/lkmm-srv.err)
+    if [ -n "$PORT" ]; then break; fi
+    sleep 0.1
+done
+test -n "$PORT"
+# Four concurrent clients, each pushing the full library batch; the
+# store dedupes shared keys, so the family must end up with exactly the
+# sequential run's contents.
+CLIENT_PIDS=""
+for C in 1 2 3 4; do
+    printf '%s\n' '{"op":"batch","library":true}' \
+        | "$BIN" client --connect 127.0.0.1:"$PORT" > /tmp/lkmm-ci-srv-c$C.out &
+    CLIENT_PIDS="$CLIENT_PIDS $!"
+done
+for P in $CLIENT_PIDS; do wait "$P"; done
+for C in 1 2 3 4; do
+    grep -q '"ok":true' /tmp/lkmm-ci-srv-c$C.out
+done
+# Satellite: the server holds the shard locks for its whole lifetime, so
+# concurrent maintenance is refused with the distinct exit code 9 and a
+# message naming the holder.
+set +e
+"$BIN" store compact "$SRV_STORE" > /dev/null 2> /tmp/lkmm-ci-srv-locked.err
+LOCKED_STATUS=$?
+set -e
+test "$LOCKED_STATUS" -eq 9
+grep -q "locked by pid $SRV_PID" /tmp/lkmm-ci-srv-locked.err
+printf '%s\n' '{"op":"shutdown"}' | "$BIN" client --connect 127.0.0.1:"$PORT" > /dev/null
+wait "$SRV_PID"
+# Merged family export vs the sequential single-store pipeline: byte-identical.
+"$BIN" --library --store "$SEQ_STORE" > /dev/null 2> /dev/null
+"$BIN" store export "$SRV_STORE" /tmp/lkmm-ci-srv-family.exp | grep -q 'records'
+"$BIN" store export "$SEQ_STORE" /tmp/lkmm-ci-srv-seq.exp | grep -q 'records'
+cmp /tmp/lkmm-ci-srv-family.exp /tmp/lkmm-ci-srv-seq.exp
+# Per-shard observability: stats names every member and totals the index.
+"$BIN" store stats "$SRV_STORE" > /tmp/lkmm-ci-srv-stats.out
+grep -q 'shard 0 of 4' /tmp/lkmm-ci-srv-stats.out
+grep -q '4 shard(s),' /tmp/lkmm-ci-srv-stats.out
+# Over-quota clients get typed rejections and the distinct exit code 10.
+"$BIN" serve --listen 127.0.0.1:0 --quota-requests 1 2> /tmp/lkmm-srv-q.err &
+SRVQ_PID=$!
+QPORT=""
+for _ in $(seq 1 100); do
+    QPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/lkmm-srv-q.err)
+    if [ -n "$QPORT" ]; then break; fi
+    sleep 0.1
+done
+test -n "$QPORT"
+set +e
+printf '%s\n' '{"op":"check","name":"SB"}' '{"op":"check","name":"MP"}' \
+    | "$BIN" client --connect 127.0.0.1:"$QPORT" > /tmp/lkmm-ci-srv-quota.out
+QUOTA_STATUS=$?
+set -e
+test "$QUOTA_STATUS" -eq 10
+grep -q '"code":"over-quota"' /tmp/lkmm-ci-srv-quota.out
+printf '%s\n' '{"op":"shutdown"}' | "$BIN" client --connect 127.0.0.1:"$QPORT" > /dev/null
+wait "$SRVQ_PID"
+rm -f "$SRV_STORE" "$SRV_STORE".shard* "$SEQ_STORE" /tmp/lkmm-srv.err /tmp/lkmm-srv-q.err \
+    /tmp/lkmm-ci-srv-c1.out /tmp/lkmm-ci-srv-c2.out /tmp/lkmm-ci-srv-c3.out \
+    /tmp/lkmm-ci-srv-c4.out /tmp/lkmm-ci-srv-locked.err /tmp/lkmm-ci-srv-family.exp \
+    /tmp/lkmm-ci-srv-seq.exp /tmp/lkmm-ci-srv-stats.out /tmp/lkmm-ci-srv-quota.out
+
 echo "== budget-overhead bench: governed vs ungoverned =="
 # Run from /tmp so a noisy CI box exercises the bench (and its
 # identical-results assertions) without clobbering the recorded
@@ -347,6 +419,16 @@ echo "== resume bench: checkpoint restart vs cold campaign =="
 BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-resume.XXXXXX)
 cargo build --release -q -p lkmm-bench --bin resume
 ( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/resume" --iters 3 )
+rm -rf "$BENCH_DIR"
+
+echo "== serve bench: 4 concurrent clients, shard scaling, byte-identity =="
+# The run asserts every server round's merged export byte-identical to
+# the sequential store and that sharding never loses throughput; the
+# recorded BENCH_SERVE.json is regenerated deliberately from the repo
+# root (the scaling ceiling is host-dependent — see EXPERIMENTS.md).
+BENCH_DIR=$(mktemp -d /tmp/lkmm-bench-serve.XXXXXX)
+cargo build --release -q -p lkmm-bench --bin serve
+( cd "$BENCH_DIR" && "$REPO_ROOT/target/release/serve" --iters 2 --tests 512 )
 rm -rf "$BENCH_DIR"
 
 echo "== ci.sh: all green =="

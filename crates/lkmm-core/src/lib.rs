@@ -13,7 +13,11 @@
 //!   are named strings compiled out entirely unless the
 //!   `fault-injection` cargo feature is on, and even then inert until
 //!   armed through the `LKMM_FAULTPOINTS` environment variable or the
-//!   [`faultpoint::arm`] test guard.
+//!   [`faultpoint::arm`] test guard;
+//! * [`quota`] — per-client admission quotas for the multi-client
+//!   verdict service, reusing the budget machinery as per-request
+//!   governance with typed over-quota / overloaded rejections.
 
 pub mod budget;
 pub mod faultpoint;
+pub mod quota;

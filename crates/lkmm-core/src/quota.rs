@@ -1,0 +1,159 @@
+//! Per-client admission quotas for the multi-client verdict service.
+//!
+//! A [`ClientQuota`] is the service-side reuse of the [`crate::budget`]
+//! machinery: where a [`Budget`] governs one *check*, a quota governs one
+//! *client* — how many requests it may submit over its connection's
+//! lifetime, how many may sit queued at once, and which per-request
+//! budget (deadline, candidate fuel, step fuel) each admitted request
+//! runs under. The server consults a per-connection [`QuotaMeter`] before
+//! enqueueing work; a request over the limit is answered with a typed
+//! [`RejectKind`] instead of being silently dropped or starving others.
+//!
+//! The two rejection kinds are deliberately distinct: `OverQuota` is the
+//! *client's* fault (it exhausted its request allowance — retrying on
+//! the same connection cannot help), `Overloaded` is the *server's*
+//! state (the client's pending queue is full — backing off and retrying
+//! is reasonable). Clients surface them as distinct exit codes.
+
+use crate::budget::Budget;
+
+/// Why a request was rejected at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectKind {
+    /// The client exhausted its per-connection request allowance.
+    OverQuota,
+    /// The client's pending queue is full; retry after responses drain.
+    Overloaded,
+}
+
+impl RejectKind {
+    /// Stable machine-readable code carried in rejection responses.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectKind::OverQuota => "over-quota",
+            RejectKind::Overloaded => "overloaded",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectKind::OverQuota => "request quota exhausted for this connection",
+            RejectKind::Overloaded => "pending-request queue is full, retry later",
+        })
+    }
+}
+
+/// Service allowance for one client connection.
+#[derive(Clone, Debug)]
+pub struct ClientQuota {
+    /// Total requests the client may submit over the connection's
+    /// lifetime (`None` = unlimited).
+    pub max_requests: Option<u64>,
+    /// Requests that may sit admitted-but-unstarted at once. Submissions
+    /// past this bound are rejected `Overloaded` rather than buffered
+    /// without limit.
+    pub max_pending: usize,
+    /// Budget template each admitted request is checked under (fuel and
+    /// time axes; the server pins the relative time limit to an absolute
+    /// per-request deadline at dequeue).
+    pub budget: Budget,
+}
+
+impl Default for ClientQuota {
+    fn default() -> Self {
+        ClientQuota { max_requests: None, max_pending: 64, budget: Budget::default() }
+    }
+}
+
+impl ClientQuota {
+    /// Builder: bound lifetime requests.
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// Builder: bound the pending queue.
+    pub fn with_max_pending(mut self, n: usize) -> Self {
+        self.max_pending = n;
+        self
+    }
+
+    /// Builder: set the per-request budget template.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Per-connection odometer against a [`ClientQuota`].
+#[derive(Clone, Debug)]
+pub struct QuotaMeter {
+    max_requests: Option<u64>,
+    used: u64,
+}
+
+impl QuotaMeter {
+    /// Start metering a fresh connection under `quota`.
+    pub fn new(quota: &ClientQuota) -> QuotaMeter {
+        QuotaMeter { max_requests: quota.max_requests, used: 0 }
+    }
+
+    /// Account for one submitted request. `Err(OverQuota)` once the
+    /// allowance is spent; the meter stays tripped (rejected requests do
+    /// not burn allowance, but nothing un-trips a spent one).
+    pub fn admit(&mut self) -> Result<(), RejectKind> {
+        match self.max_requests {
+            Some(max) if self.used >= max => Err(RejectKind::OverQuota),
+            _ => {
+                self.used += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Requests admitted so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_quota_always_admits() {
+        let mut m = QuotaMeter::new(&ClientQuota::default());
+        for _ in 0..10_000 {
+            m.admit().unwrap();
+        }
+        assert_eq!(m.used(), 10_000);
+    }
+
+    #[test]
+    fn bounded_quota_trips_and_stays_tripped() {
+        let quota = ClientQuota::default().with_max_requests(2);
+        let mut m = QuotaMeter::new(&quota);
+        m.admit().unwrap();
+        m.admit().unwrap();
+        assert_eq!(m.admit(), Err(RejectKind::OverQuota));
+        assert_eq!(m.admit(), Err(RejectKind::OverQuota));
+        assert_eq!(m.used(), 2, "rejected requests never count as used");
+    }
+
+    #[test]
+    fn reject_codes_are_stable() {
+        assert_eq!(RejectKind::OverQuota.code(), "over-quota");
+        assert_eq!(RejectKind::Overloaded.code(), "overloaded");
+        assert!(RejectKind::OverQuota.to_string().contains("quota"));
+        assert!(RejectKind::Overloaded.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn zero_quota_rejects_immediately() {
+        let mut m = QuotaMeter::new(&ClientQuota::default().with_max_requests(0));
+        assert_eq!(m.admit(), Err(RejectKind::OverQuota));
+    }
+}

@@ -1,0 +1,286 @@
+//! Fair admission queue: bounded per-client backlogs, round-robin
+//! dequeue across clients.
+//!
+//! The server's workers all pull from one [`Admission`] queue. Fairness
+//! comes from two rules:
+//!
+//! * **bounded backlog** — each client may hold at most `max_pending`
+//!   admitted-but-unstarted requests; a submission past that bound is
+//!   rejected [`RejectKind::Overloaded`] instead of buffered, so one
+//!   firehose client cannot grow the queue without limit;
+//! * **one in flight per client, round-robin between them** — a client
+//!   joins the ready ring when it has work and none running, and
+//!   rejoins at the *back* when its current request finishes. With N
+//!   active clients each gets every Nth dequeue slot no matter how deep
+//!   anyone's backlog is — and responses within one connection stay in
+//!   request order for free, because no two of its requests ever run
+//!   concurrently.
+//!
+//! Closing the queue lets in-flight and already-admitted work drain:
+//! [`Admission::next`] hands out the backlog then returns `None`, and
+//! late submissions bounce with `Overloaded`.
+
+use lkmm_core::quota::RejectKind;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// One admitted request, carrying everything a worker needs to answer
+/// it: the raw line and the owning connection's reply channel (tagged
+/// with the request's per-connection sequence number so the writer can
+/// interleave worker responses with reader-side rejections in order).
+pub struct Job {
+    /// Owning connection id.
+    pub client: u64,
+    /// Per-connection response sequence number.
+    pub seq: u64,
+    /// The raw request line (validated UTF-8).
+    pub line: String,
+    /// Where the response line goes.
+    pub reply: Sender<(u64, String)>,
+}
+
+struct ClientQ {
+    pending: VecDeque<Job>,
+    in_flight: bool,
+    max_pending: usize,
+}
+
+struct State {
+    clients: HashMap<u64, ClientQ>,
+    /// Clients with pending work and nothing in flight, in dequeue
+    /// order.
+    ready: VecDeque<u64>,
+    closed: bool,
+}
+
+/// The shared worker-feeding queue. All methods are safe to call from
+/// any thread.
+pub struct Admission {
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+impl Admission {
+    /// An open queue with no clients.
+    pub fn new() -> Admission {
+        Admission {
+            state: Mutex::new(State {
+                clients: HashMap::new(),
+                ready: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A worker panic while holding the lock leaves consistent state
+        // (every mutation below is complete before unlock): keep going.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a connection before its first submission.
+    pub fn register(&self, client: u64, max_pending: usize) {
+        let mut s = self.lock();
+        s.clients.insert(
+            client,
+            ClientQ { pending: VecDeque::new(), in_flight: false, max_pending: max_pending.max(1) },
+        );
+    }
+
+    /// Drop a connection: its unstarted backlog is discarded (the reply
+    /// senders go with it, letting the connection's writer exit). A
+    /// request already running finishes; its late [`Admission::done`] is
+    /// a no-op.
+    pub fn unregister(&self, client: u64) {
+        let mut s = self.lock();
+        s.clients.remove(&client);
+        s.ready.retain(|&c| c != client);
+        // Workers draining a closed queue may have been waiting on this
+        // client's backlog: let them re-check.
+        if s.closed {
+            self.work.notify_all();
+        }
+    }
+
+    /// Queue one request for its client. Rejects `Overloaded` when the
+    /// client's backlog is full, the client is unknown (already
+    /// unregistered), or the queue is closed.
+    pub fn submit(&self, job: Job) -> Result<(), RejectKind> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(RejectKind::Overloaded);
+        }
+        let client = job.client;
+        let q = s.clients.get_mut(&client).ok_or(RejectKind::Overloaded)?;
+        if q.pending.len() >= q.max_pending {
+            return Err(RejectKind::Overloaded);
+        }
+        let was_idle = q.pending.is_empty() && !q.in_flight;
+        q.pending.push_back(job);
+        if was_idle {
+            s.ready.push_back(client);
+            self.work.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Dequeue the next request, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    /// The client is marked in flight; the worker must call
+    /// [`Admission::done`] when finished.
+    pub fn next(&self) -> Option<Job> {
+        let mut s = self.lock();
+        loop {
+            while let Some(client) = s.ready.pop_front() {
+                // The client may have unregistered after joining the
+                // ring; skip its stale entry.
+                let Some(q) = s.clients.get_mut(&client) else { continue };
+                let Some(job) = q.pending.pop_front() else { continue };
+                q.in_flight = true;
+                return Some(job);
+            }
+            // A closed queue is only exhausted once no client holds
+            // backlog: an in-flight client's remaining requests are not
+            // in the ready ring yet, and its `done` will surface them.
+            if s.closed && s.clients.values().all(|q| q.pending.is_empty()) {
+                return None;
+            }
+            s = self.work.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mark `client`'s running request finished; with backlog remaining
+    /// it rejoins the ready ring at the back (round-robin).
+    pub fn done(&self, client: u64) {
+        let mut s = self.lock();
+        if let Some(q) = s.clients.get_mut(&client) {
+            q.in_flight = false;
+            if !q.pending.is_empty() {
+                s.ready.push_back(client);
+                self.work.notify_one();
+            }
+        }
+        // Draining workers block while an in-flight client might still
+        // surface backlog; every completion re-checks that condition.
+        if s.closed {
+            self.work.notify_all();
+        }
+    }
+
+    /// Close the queue: admitted work drains, new submissions are
+    /// rejected, and idle workers wake up to exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.work.notify_all();
+    }
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Admission::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn job(client: u64, seq: u64, reply: &Sender<(u64, String)>) -> Job {
+        Job { client, seq, line: format!("line-{client}-{seq}"), reply: reply.clone() }
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let a = Admission::new();
+        let (tx, _rx) = channel();
+        a.register(1, 16);
+        a.register(2, 16);
+        // Client 1 floods first; client 2 queues two behind it.
+        for seq in 0..3 {
+            a.submit(job(1, seq, &tx)).unwrap();
+        }
+        for seq in 0..2 {
+            a.submit(job(2, seq, &tx)).unwrap();
+        }
+        let mut order = Vec::new();
+        for _ in 0..5 {
+            let j = a.next().unwrap();
+            order.push(j.client);
+            a.done(j.client);
+        }
+        assert_eq!(order, vec![1, 2, 1, 2, 1], "every client gets every other slot");
+    }
+
+    #[test]
+    fn backlog_bound_rejects_overloaded() {
+        let a = Admission::new();
+        let (tx, _rx) = channel();
+        a.register(1, 2);
+        a.submit(job(1, 0, &tx)).unwrap();
+        a.submit(job(1, 1, &tx)).unwrap();
+        assert_eq!(a.submit(job(1, 2, &tx)).unwrap_err(), RejectKind::Overloaded);
+        // Draining one admits one more.
+        let j = a.next().unwrap();
+        a.submit(job(1, 2, &tx)).unwrap();
+        a.done(j.client);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_stops() {
+        let a = Admission::new();
+        let (tx, _rx) = channel();
+        a.register(1, 16);
+        a.submit(job(1, 0, &tx)).unwrap();
+        a.submit(job(1, 1, &tx)).unwrap();
+        a.close();
+        assert_eq!(a.submit(job(1, 2, &tx)).unwrap_err(), RejectKind::Overloaded);
+        let j = a.next().unwrap();
+        assert_eq!(j.seq, 0);
+        a.done(1);
+        let j = a.next().unwrap();
+        assert_eq!(j.seq, 1);
+        a.done(1);
+        assert!(a.next().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn one_request_per_client_in_flight() {
+        let a = Admission::new();
+        let (tx, _rx) = channel();
+        a.register(1, 16);
+        a.submit(job(1, 0, &tx)).unwrap();
+        a.submit(job(1, 1, &tx)).unwrap();
+        let first = a.next().unwrap();
+        assert_eq!(first.seq, 0);
+        // Seq 1 must wait for done(): the queue is non-empty but the
+        // client is in flight, so a closed queue drains to None only
+        // after the running request finishes.
+        a.close();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| a.next());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            a.done(1);
+            let second = handle.join().unwrap().unwrap();
+            assert_eq!(second.seq, 1);
+            a.done(1);
+        });
+        assert!(a.next().is_none());
+    }
+
+    #[test]
+    fn unregister_discards_backlog() {
+        let a = Admission::new();
+        let (tx, rx) = channel();
+        a.register(1, 16);
+        a.submit(job(1, 0, &tx)).unwrap();
+        a.unregister(1);
+        drop(tx);
+        // The job's reply sender died with the backlog.
+        assert!(rx.recv().is_err());
+        a.close();
+        assert!(a.next().is_none());
+    }
+}

@@ -17,7 +17,7 @@
 //! hit.
 
 use crate::canon::cache_key;
-use crate::store::VerdictStore;
+use crate::store::{VerdictLog, VerdictStore};
 use lkmm_core::budget::Budget;
 use lkmm_exec::{
     check_test_governed, CheckOutcome, ConsistencyModel, EnumOptions, PipelineOptions, TestResult,
@@ -128,9 +128,13 @@ impl From<GenError> for BatchError {
 }
 
 /// A memoizing checker: one model, one store, one version salt.
-pub struct BatchChecker<'m> {
+///
+/// Generic over its [`VerdictLog`] backend (default: a plain owned
+/// [`VerdictStore`]), so the same checker drives the single-store CLI
+/// path and the server's shared [`crate::ShardedStore`] handle.
+pub struct BatchChecker<'m, S: VerdictLog = VerdictStore> {
     model: &'m dyn ConsistencyModel,
-    store: VerdictStore,
+    store: S,
     salt: String,
     enum_opts: EnumOptions,
     pipe: PipelineOptions,
@@ -139,13 +143,13 @@ pub struct BatchChecker<'m> {
     session_inconclusive: usize,
 }
 
-impl<'m> BatchChecker<'m> {
+impl<'m, S: VerdictLog> BatchChecker<'m, S> {
     /// A checker writing through `store`. `salt` versions the cache: it
     /// should name the model/interpreter revision (bump it when checking
     /// semantics change and old entries silently stop matching). The
     /// enumerator options are folded into every key, since they can
     /// change counts.
-    pub fn new(model: &'m dyn ConsistencyModel, store: VerdictStore, salt: &str) -> Self {
+    pub fn new(model: &'m dyn ConsistencyModel, store: S, salt: &str) -> Self {
         BatchChecker {
             model,
             store,
@@ -225,7 +229,7 @@ impl<'m> BatchChecker<'m> {
             return Ok(BatchOutcome {
                 name: test.name.clone(),
                 key,
-                outcome: CheckOutcome::Complete(result.clone()),
+                outcome: CheckOutcome::Complete(result),
                 provenance: Provenance::Hit,
             });
         }
@@ -356,7 +360,7 @@ impl<'m> BatchChecker<'m> {
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &VerdictStore {
+    pub fn store(&self) -> &S {
         &self.store
     }
 

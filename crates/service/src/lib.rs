@@ -11,7 +11,13 @@
 //!   and a caller-supplied version salt.
 //! * [`store`] — [`store::VerdictStore`], a crash-safe append-only log of
 //!   `key → verdict` records with an in-memory index. Recovery tolerates
-//!   torn or corrupt tails by truncating to the last valid record.
+//!   torn or corrupt tails by truncating to the last valid record. The
+//!   [`store::VerdictLog`] trait splits out the lookup/append/flush
+//!   surface the checkers need, so they run over any backend.
+//! * [`shard`] — [`shard::ShardedStore`], N independent logs partitioned
+//!   by key prefix behind the same [`store::VerdictLog`] API: parallel
+//!   appends without file contention, per-shard quarantine, and
+//!   threshold-triggered in-place compaction.
 //! * [`batch`] — [`batch::BatchChecker`], which dedupes a corpus by
 //!   canonical key, replays store hits, and schedules only the misses
 //!   across the parallel checking pipeline.
@@ -32,6 +38,7 @@ pub mod hash;
 pub mod json;
 pub mod multi;
 pub mod serve;
+pub mod shard;
 pub mod store;
 
 pub use batch::{BatchChecker, BatchError, BatchOutcome, BatchReport, Provenance};
@@ -40,6 +47,8 @@ pub use multi::{
 };
 pub use canon::{cache_key, cache_key_of_text, canonical_text, canonicalize, CANON_REVISION};
 pub use serve::{serve, serve_with, ServeOptions, ServeSummary};
+pub use shard::ShardedStore;
 pub use store::{
-    CompactReport, MergeReport, RecoveryReport, ScrubReport, StoreError, VerdictStore,
+    CompactReport, MergeReport, RecoveryReport, ScrubReport, ShardStats, StoreError, VerdictLog,
+    VerdictStore,
 };

@@ -19,7 +19,7 @@
 
 use crate::batch::{BatchError, BatchOutcome, Provenance};
 use crate::canon::{cache_key, cache_key_of_text, canonical_text};
-use crate::store::VerdictStore;
+use crate::store::{VerdictLog, VerdictStore};
 use lkmm_core::budget::{Budget, BudgetKind, Meter};
 use lkmm_exec::{
     check_test_multi_governed, CheckOutcome, ConsistencyModel, EnumOptions, InconclusiveReason,
@@ -74,21 +74,23 @@ pub struct MultiBatchReport {
 }
 
 /// A memoizing multi-model checker: N columns, one store, one
-/// enumeration per cold test.
-pub struct MultiBatchChecker<'m> {
+/// enumeration per cold test. Generic over its [`VerdictLog`] backend
+/// (default: a plain owned [`VerdictStore`]) like
+/// [`crate::BatchChecker`].
+pub struct MultiBatchChecker<'m, S: VerdictLog = VerdictStore> {
     columns: Vec<MultiColumn<'m>>,
-    store: VerdictStore,
+    store: S,
     enum_opts: EnumOptions,
     pipe: PipelineOptions,
 }
 
-impl<'m> MultiBatchChecker<'m> {
+impl<'m, S: VerdictLog> MultiBatchChecker<'m, S> {
     /// A checker for `columns` writing through `store`.
     ///
     /// # Panics
     ///
     /// Panics on an empty column set.
-    pub fn new(columns: Vec<MultiColumn<'m>>, store: VerdictStore) -> Self {
+    pub fn new(columns: Vec<MultiColumn<'m>>, store: S) -> Self {
         assert!(!columns.is_empty(), "multi-model batch needs at least one column");
         MultiBatchChecker {
             columns,
@@ -176,7 +178,7 @@ impl<'m> MultiBatchChecker<'m> {
     /// and corpus meter, fed one unit at a time via
     /// [`CorpusRun::check_unit`]. The checker (and its store) is borrowed
     /// for the run's lifetime.
-    pub fn begin_corpus(&mut self) -> CorpusRun<'_, 'm> {
+    pub fn begin_corpus(&mut self) -> CorpusRun<'_, 'm, S> {
         let ncols = self.columns.len();
         // Corpus-level governor: absolute deadline and cancellation only;
         // candidate/step fuel and the relative time limit are per-check.
@@ -217,7 +219,7 @@ impl<'m> MultiBatchChecker<'m> {
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &VerdictStore {
+    pub fn store(&self) -> &S {
         &self.store
     }
 
@@ -260,8 +262,8 @@ pub enum UnitFault {
     TimedOut,
 }
 
-pub struct CorpusRun<'a, 'm> {
-    checker: &'a mut MultiBatchChecker<'m>,
+pub struct CorpusRun<'a, 'm, S: VerdictLog = VerdictStore> {
+    checker: &'a mut MultiBatchChecker<'m, S>,
     columns: Vec<ColumnReport>,
     seen: Vec<HashMap<u128, usize>>,
     /// Fully-derived per-column key salts (base salt + options), fixed
@@ -273,7 +275,7 @@ pub struct CorpusRun<'a, 'm> {
     start: Instant,
 }
 
-impl CorpusRun<'_, '_> {
+impl<S: VerdictLog> CorpusRun<'_, '_, S> {
     /// Check corpus member `i` across every column `mask_row` enables
     /// (one slot per column). Outcome storage grows to cover `i`.
     ///
@@ -331,7 +333,7 @@ impl CorpusRun<'_, '_> {
                 self.columns[c].outcomes[i] = Some(BatchOutcome {
                     name: test.name.clone(),
                     key,
-                    outcome: CheckOutcome::Complete(result.clone()),
+                    outcome: CheckOutcome::Complete(result),
                     provenance: Provenance::Hit,
                 });
             } else {

@@ -34,6 +34,7 @@
 
 use crate::batch::{BatchChecker, BatchOutcome, BatchReport};
 use crate::json::Json;
+use crate::store::VerdictLog;
 use lkmm_exec::CheckOutcome;
 use lkmm_litmus::ast::Test;
 use std::io::{self, BufRead, Write};
@@ -73,8 +74,8 @@ pub struct ServeSummary {
 ///
 /// Only transport failures (reading `input`, writing `output`) abort the
 /// loop; per-request failures become `"ok":false` responses.
-pub fn serve(
-    checker: &mut BatchChecker<'_>,
+pub fn serve<S: VerdictLog>(
+    checker: &mut BatchChecker<'_, S>,
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<ServeSummary> {
@@ -88,8 +89,8 @@ pub fn serve(
 ///
 /// Only transport failures (reading `input`, writing `output`) abort the
 /// loop; per-request failures become `"ok":false` responses.
-pub fn serve_with(
-    checker: &mut BatchChecker<'_>,
+pub fn serve_with<S: VerdictLog>(
+    checker: &mut BatchChecker<'_, S>,
     mut input: impl BufRead,
     mut output: impl Write,
     opts: &ServeOptions,
@@ -156,7 +157,11 @@ fn drain_line(input: &mut impl BufRead) -> io::Result<()> {
 /// Answer one request with the session's per-request governance: the
 /// deadline is (re)armed for this request, and a panic anywhere in the
 /// handler is contained into an error response.
-fn answer_isolated(checker: &mut BatchChecker<'_>, line: &str, opts: &ServeOptions) -> Json {
+fn answer_isolated<S: VerdictLog>(
+    checker: &mut BatchChecker<'_, S>,
+    line: &str,
+    opts: &ServeOptions,
+) -> Json {
     if let Some(limit) = opts.request_time_limit {
         checker.set_deadline(Some(Instant::now() + limit));
     }
@@ -165,7 +170,7 @@ fn answer_isolated(checker: &mut BatchChecker<'_>, line: &str, opts: &ServeOptio
 }
 
 /// Answer one request line (exposed for tests and non-stdio embeddings).
-pub fn answer(checker: &mut BatchChecker<'_>, line: &str) -> Json {
+pub fn answer<S: VerdictLog>(checker: &mut BatchChecker<'_, S>, line: &str) -> Json {
     let request = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => return error_response(&format!("bad request: {e}")),
@@ -194,7 +199,7 @@ fn parse_source(source: &str) -> Result<Test, String> {
     lkmm_litmus::parse(source).map_err(|e| format!("parse error: {e}"))
 }
 
-fn op_check(checker: &mut BatchChecker<'_>, request: &Json) -> Json {
+fn op_check<S: VerdictLog>(checker: &mut BatchChecker<'_, S>, request: &Json) -> Json {
     let test = match (
         request.get("source").and_then(Json::as_str),
         request.get("name").and_then(Json::as_str),
@@ -219,7 +224,7 @@ fn op_check(checker: &mut BatchChecker<'_>, request: &Json) -> Json {
     }
 }
 
-fn op_batch(checker: &mut BatchChecker<'_>, request: &Json) -> Json {
+fn op_batch<S: VerdictLog>(checker: &mut BatchChecker<'_, S>, request: &Json) -> Json {
     let report = match gather_batch(request) {
         Ok(tests) => match checker.check_corpus(&tests) {
             Ok(report) => report,
@@ -320,7 +325,7 @@ fn batch_response(report: &BatchReport) -> Json {
     Json::obj(fields)
 }
 
-fn op_stats(checker: &BatchChecker<'_>) -> Json {
+fn op_stats<S: VerdictLog>(checker: &BatchChecker<'_, S>) -> Json {
     let store = checker.store();
     let recovery = store.recovery();
     let mut fields = vec![
@@ -345,10 +350,40 @@ fn op_stats(checker: &BatchChecker<'_>) -> Json {
             None => Json::Null,
         },
     ));
+    // Sharded backends report a per-shard breakdown; plain stores emit
+    // nothing here, keeping stdio sessions byte-identical to older
+    // builds.
+    let shards = store.shard_stats();
+    if !shards.is_empty() {
+        fields.push((
+            "shards",
+            Json::Arr(
+                shards
+                    .iter()
+                    .map(|st| {
+                        let mut f = vec![
+                            ("shard".to_string(), Json::num(st.shard as u64)),
+                            ("records".to_string(), Json::num(st.records as u64)),
+                            ("appended".to_string(), Json::num(st.appended as u64)),
+                            ("superseded".to_string(), Json::num(st.superseded as u64)),
+                        ];
+                        if st.quarantined {
+                            f.push(("quarantined".to_string(), Json::Bool(true)));
+                        }
+                        if let Some(reason) = &st.poisoned {
+                            f.push(("poisoned".to_string(), Json::str(reason)));
+                            f.push(("dropped".to_string(), Json::num(st.dropped as u64)));
+                        }
+                        Json::Obj(f)
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     Json::obj(fields)
 }
 
-fn op_flush(checker: &mut BatchChecker<'_>) -> Json {
+fn op_flush<S: VerdictLog>(checker: &mut BatchChecker<'_, S>) -> Json {
     match checker.flush() {
         Ok(()) => Json::obj(vec![
             ("ok", Json::Bool(true)),

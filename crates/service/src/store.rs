@@ -137,6 +137,10 @@ pub struct RecoveryReport {
     pub corrupt_bytes: u64,
     /// Whether the magic was wrong and the old file was quarantined.
     pub quarantined: bool,
+    /// PID recorded in a stale lockfile this open reclaimed (the holder
+    /// crashed before its `Drop` removed the lock). `None` when the lock
+    /// was free, or when the stale lockfile held no readable PID.
+    pub reclaimed_pid: Option<u32>,
 }
 
 impl RecoveryReport {
@@ -215,13 +219,17 @@ pub struct MergeReport {
 /// closes. A lockfile naming a dead PID is stale — its holder crashed —
 /// and is reclaimed. This is advisory: it serialises cooperating
 /// `herd-rs` processes, it does not stop a hostile writer.
-struct LockFile {
+pub(crate) struct LockFile {
     path: PathBuf,
+    /// PID named by a stale lockfile this acquisition reclaimed, so the
+    /// opener can tell the operator *whose* crashed lock it took over.
+    reclaimed_pid: Option<u32>,
 }
 
 impl LockFile {
-    fn acquire(store_path: &Path) -> Result<LockFile, StoreError> {
+    pub(crate) fn acquire(store_path: &Path) -> Result<LockFile, StoreError> {
         let path = sibling(store_path, ".lock");
+        let mut reclaimed_pid = None;
         for reclaim_attempted in [false, true] {
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut f) => {
@@ -229,7 +237,7 @@ impl LockFile {
                     // simply treated as stale by the next contender.
                     let _ = writeln!(f, "{}", std::process::id());
                     let _ = f.sync_data();
-                    return Ok(LockFile { path });
+                    return Ok(LockFile { path, reclaimed_pid });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     let pid = fs::read_to_string(&path)
@@ -242,6 +250,7 @@ impl LockFile {
                         None => true,
                     };
                     if stale && !reclaim_attempted {
+                        reclaimed_pid = pid;
                         let _ = fs::remove_file(&path);
                         continue;
                     }
@@ -271,7 +280,7 @@ fn pid_alive(pid: u32) -> bool {
 
 /// `<dir>/<name><suffix>` — unlike `with_extension`, never eats part of
 /// the store's own file name.
-fn sibling(path: &Path, suffix: &str) -> PathBuf {
+pub(crate) fn sibling(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
     name.push(suffix);
     path.with_file_name(name)
@@ -298,17 +307,24 @@ struct TailDefect {
 }
 
 /// Result of scanning the record area (everything after the magic).
-struct LogScan {
+pub(crate) struct LogScan {
     /// Valid records in log order (duplicates preserved).
-    records: Vec<(u128, TestResult)>,
+    pub(crate) records: Vec<(u128, TestResult)>,
     /// File offset just past the last valid record.
     good_end: u64,
     defect: TailDefect,
 }
 
+impl LogScan {
+    /// Total defective tail bytes (torn or corrupt).
+    pub(crate) fn defect_bytes(&self) -> u64 {
+        self.defect.torn_bytes + self.defect.corrupt_bytes
+    }
+}
+
 /// Scan `bytes` (the whole file, magic included — assumed already
 /// verified) and classify how the log ends.
-fn scan_records(bytes: &[u8]) -> LogScan {
+pub(crate) fn scan_records(bytes: &[u8]) -> LogScan {
     let mut records = Vec::new();
     let mut at = MAGIC.len();
     let mut defect = TailDefect::default();
@@ -359,7 +375,7 @@ fn scan_records(bytes: &[u8]) -> LogScan {
 
 /// Last-writer-wins replay into key order: deterministic content for
 /// compacted snapshots regardless of original append order.
-fn replay_sorted(records: &[(u128, TestResult)]) -> Vec<(u128, TestResult)> {
+pub(crate) fn replay_sorted(records: &[(u128, TestResult)]) -> Vec<(u128, TestResult)> {
     let mut map: HashMap<u128, TestResult> = HashMap::with_capacity(records.len());
     for (key, result) in records {
         map.insert(*key, result.clone());
@@ -382,7 +398,7 @@ fn encode_record(key: u128, r: &TestResult) -> Vec<u8> {
 /// build `<dst>.tmp`, fsync it, rename over `dst`, fsync the directory.
 /// A crash at any point leaves either the old `dst` intact (plus a
 /// stray `.tmp` the next attempt truncates) or the complete new one.
-fn write_snapshot(dst: &Path, records: &[(u128, TestResult)]) -> io::Result<u64> {
+pub(crate) fn write_snapshot(dst: &Path, records: &[(u128, TestResult)]) -> io::Result<u64> {
     let tmp = sibling(dst, ".tmp");
     let mut out = Vec::with_capacity(MAGIC.len() + records.len() * (12 + PAYLOAD_LEN));
     out.extend_from_slice(MAGIC);
@@ -408,7 +424,7 @@ fn write_snapshot(dst: &Path, records: &[(u128, TestResult)]) -> io::Result<u64>
 }
 
 /// Read a log file for maintenance, classifying its magic.
-fn read_log(path: &Path) -> io::Result<(Vec<u8>, bool)> {
+pub(crate) fn read_log(path: &Path) -> io::Result<(Vec<u8>, bool)> {
     let bytes = fs::read(path)?;
     let wrong_magic =
         !bytes.is_empty() && (bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC);
@@ -436,6 +452,9 @@ pub struct VerdictStore {
     /// Whether the parent directory has been fsynced since open (done
     /// on the first flush, so a crash can't lose the file entry).
     dir_synced: bool,
+    /// Log records whose verdict a later record for the same key has
+    /// replaced: reclaimable space a compaction would drop.
+    superseded: usize,
 }
 
 impl VerdictStore {
@@ -449,6 +468,7 @@ impl VerdictStore {
     pub fn open(path: impl AsRef<Path>) -> Result<VerdictStore, StoreError> {
         let path = path.as_ref().to_path_buf();
         let lock = LockFile::acquire(&path)?;
+        let reclaimed_pid = lock.reclaimed_pid;
         let mut file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
@@ -487,6 +507,8 @@ impl VerdictStore {
             }
         }
         file.seek(SeekFrom::Start(good_end))?;
+        recovery.reclaimed_pid = reclaimed_pid;
+        let superseded = recovery.records - index.len();
         Ok(VerdictStore {
             index,
             file: Some(file),
@@ -497,6 +519,7 @@ impl VerdictStore {
             end: good_end,
             dirty_tail: false,
             dir_synced: false,
+            superseded,
         })
     }
 
@@ -512,6 +535,7 @@ impl VerdictStore {
             end: 0,
             dirty_tail: false,
             dir_synced: false,
+            superseded: 0,
         }
     }
 
@@ -538,6 +562,12 @@ impl VerdictStore {
     /// Records appended since open.
     pub fn appended(&self) -> usize {
         self.appended
+    }
+
+    /// Log records superseded by a later write to the same key — the
+    /// space an in-place compaction would reclaim.
+    pub fn superseded(&self) -> usize {
+        self.superseded
     }
 
     /// Cached result for `key`.
@@ -596,7 +626,9 @@ impl VerdictStore {
             }
             self.end += record.len() as u64;
         }
-        self.index.insert(key, result);
+        if self.index.insert(key, result).is_some() {
+            self.superseded += 1;
+        }
         self.appended += 1;
         Ok(true)
     }
@@ -619,6 +651,50 @@ impl VerdictStore {
             }
         }
         Ok(())
+    }
+
+    /// Rewrite the backing log as a key-ordered snapshot of the live
+    /// index while the store stays open, dropping superseded frames.
+    /// Unlike the offline [`VerdictStore::compact`], this keeps the
+    /// lock and the index: a live server can reclaim space without
+    /// closing. The snapshot write is atomic (tmp + rename), so a crash
+    /// leaves either the old log or the complete new one. A no-op for
+    /// in-memory stores.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the snapshot or reopening the log.
+    pub fn compact_in_place(&mut self) -> io::Result<CompactReport> {
+        let Some(path) = self.path.clone() else {
+            return Ok(CompactReport::default());
+        };
+        // Frames currently in the log: one per live key plus one per
+        // superseded write (invariant held by `open` and `put`).
+        let records_in = self.index.len() + self.superseded;
+        let bytes_before = self.end;
+        let mut sorted: Vec<(u128, TestResult)> =
+            self.index.iter().map(|(&k, v)| (k, v.clone())).collect();
+        sorted.sort_by_key(|&(k, _)| k);
+        let bytes_after = write_snapshot(&path, &sorted)?;
+        // The rename inside `write_snapshot` unlinked the file our
+        // handle pointed at: reopen and seek to the new end.
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.seek(SeekFrom::Start(bytes_after))?;
+        self.file = Some(file);
+        self.end = bytes_after;
+        self.dirty_tail = false;
+        // `write_snapshot` fsynced the directory for the rename.
+        self.dir_synced = true;
+        let superseded = self.superseded;
+        self.superseded = 0;
+        Ok(CompactReport {
+            records_in,
+            records_out: sorted.len(),
+            superseded,
+            defect_bytes: 0,
+            bytes_before,
+            bytes_after,
+        })
     }
 
     /// Verify every frame of the log at `path` read-only; with `repair`,
@@ -764,6 +840,96 @@ impl VerdictStore {
         }
         store.flush()?;
         Ok(report)
+    }
+}
+
+/// Per-shard health line reported by sharded backends (see
+/// [`crate::shard::ShardedStore`]); a plain [`VerdictStore`] reports
+/// none.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard ordinal (0-based).
+    pub shard: usize,
+    /// Backing log path, if file-backed.
+    pub path: Option<PathBuf>,
+    /// Distinct keys in the shard's index.
+    pub records: usize,
+    /// Records appended to the shard since open.
+    pub appended: usize,
+    /// Superseded frames a compaction would drop.
+    pub superseded: usize,
+    /// Whether open-time recovery quarantined a wrong-magic log.
+    pub quarantined: bool,
+    /// Why the shard stopped accepting appends, if it has been poisoned
+    /// by an append failure (reads keep working).
+    pub poisoned: Option<String>,
+    /// Appends dropped because the shard was already poisoned.
+    pub dropped: usize,
+}
+
+/// The storage behaviour the checking layers actually need: keyed
+/// verdict lookup, append, and durability — the [`VerdictStore`] API
+/// minus maintenance statics. Splitting this out lets
+/// [`crate::BatchChecker`] and [`crate::MultiBatchChecker`] run
+/// unchanged over a plain store, a shared [`crate::ShardedStore`]
+/// handle, or anything else that can answer these six questions.
+///
+/// `get` returns an owned result (not `&TestResult`) so that
+/// lock-guarded backends can release their lock before returning.
+pub trait VerdictLog {
+    /// Cached result for `key`.
+    fn get(&self, key: u128) -> Option<TestResult>;
+    /// Insert `result` under `key`. `Ok(false)` if nothing was written
+    /// (already present, or the backend dropped it after quarantining a
+    /// failing shard).
+    fn put(&mut self, key: u128, result: TestResult) -> io::Result<bool>;
+    /// Force appended records to stable storage.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Distinct keys stored.
+    fn len(&self) -> usize;
+    /// Whether the log holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Records appended since open.
+    fn appended(&self) -> usize;
+    /// Aggregate open-time recovery findings.
+    fn recovery(&self) -> RecoveryReport;
+    /// Backing path (the base path for sharded backends), if any.
+    fn path(&self) -> Option<PathBuf>;
+    /// Per-shard breakdown; empty for unsharded backends.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        Vec::new()
+    }
+}
+
+impl VerdictLog for VerdictStore {
+    fn get(&self, key: u128) -> Option<TestResult> {
+        VerdictStore::get(self, key).cloned()
+    }
+
+    fn put(&mut self, key: u128, result: TestResult) -> io::Result<bool> {
+        VerdictStore::put(self, key, result)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        VerdictStore::flush(self)
+    }
+
+    fn len(&self) -> usize {
+        VerdictStore::len(self)
+    }
+
+    fn appended(&self) -> usize {
+        VerdictStore::appended(self)
+    }
+
+    fn recovery(&self) -> RecoveryReport {
+        VerdictStore::recovery(self)
+    }
+
+    fn path(&self) -> Option<PathBuf> {
+        VerdictStore::path(self).map(Path::to_path_buf)
     }
 }
 
@@ -968,10 +1134,51 @@ mod tests {
         std::fs::write(sibling(&path, ".lock"), format!("{}\n", u32::MAX)).unwrap();
         let s = VerdictStore::open(&path).unwrap();
         assert!(s.is_empty());
+        assert_eq!(s.recovery().reclaimed_pid, Some(u32::MAX), "reclaim names the holder PID");
         drop(s);
-        // An unreadable lockfile (holder died pre-write) is also stale.
+        // An unreadable lockfile (holder died pre-write) is also stale,
+        // but there is no PID to report.
         std::fs::write(sibling(&path, ".lock"), "").unwrap();
-        let _ = VerdictStore::open(&path).unwrap();
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.recovery().reclaimed_pid, None);
+        drop(s);
+        // A clean open reclaims nothing.
+        let s = VerdictStore::open(&path).unwrap();
+        assert_eq!(s.recovery().reclaimed_pid, None);
+        drop(s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_place_compaction_drops_superseded_frames() {
+        let path = temp_path("inplace");
+        let mut s = VerdictStore::open(&path).unwrap();
+        for key in 0..8u128 {
+            s.put(key, sample(key as usize)).unwrap();
+        }
+        // Rewrite half the keys with differing verdicts: 4 superseded
+        // frames in the log.
+        for key in 0..4u128 {
+            s.put(key, sample(key as usize + 100)).unwrap();
+        }
+        assert_eq!(s.superseded(), 4);
+        let report = s.compact_in_place().unwrap();
+        assert_eq!(report.records_in, 12);
+        assert_eq!(report.records_out, 8);
+        assert_eq!(report.superseded, 4);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(s.superseded(), 0);
+        // The store stays live: appends after compaction still work and
+        // survive reopen alongside the compacted content.
+        s.put(50, sample(50)).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = VerdictStore::open(&path).unwrap();
+        assert!(s.recovery().is_clean());
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.get(2), Some(&sample(102)));
+        assert_eq!(s.get(50), Some(&sample(50)));
+        drop(s);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,6 +4,8 @@
 //! herd-rs [OPTIONS] FILE.litmus     # check one test
 //! herd-rs [OPTIONS] --library      # run every built-in paper test
 //! herd-rs [OPTIONS] serve          # JSON-lines service on stdin/stdout
+//! herd-rs [OPTIONS] --listen ADDR serve   # multi-client TCP verdict service
+//! herd-rs client --connect ADDR    # forward stdin requests to a server
 //! herd-rs [OPTIONS] conformance    # differential conformance campaign
 //! herd-rs store VERB PATH...       # maintain a verdict store offline
 //! ```
@@ -27,6 +29,21 @@
 //! to a store. In `serve` mode `--budget-ms` becomes a per-request
 //! deadline and `--max-request-bytes` caps request-line length.
 //!
+//! `serve --listen ADDR` swaps stdin/stdout for a TCP listener feeding
+//! a bounded worker pool: `--server-workers` answer requests over a
+//! shared store partitioned into `--shards` independent logs, and each
+//! connection is governed by per-client admission control
+//! (`--quota-requests`, `--max-pending`, `--max-conns`); over-quota
+//! requests are answered with a typed rejection and the `client`
+//! subcommand maps them to exit 10 (11 for overload). The protocol,
+//! cache keys, and verdicts are identical to stdio `serve`; a 1-shard
+//! family is byte-interchangeable with the sequential `--store` log,
+//! and `store export` of an N-shard family equals the sequential
+//! export byte for byte. The server holds every shard's advisory lock
+//! for its whole lifetime, so offline `store` verbs cannot race it
+//! (they exit 9); a stale lock left by a dead process is reclaimed
+//! with a message naming the holder PID.
+//!
 //! `conformance` runs every generated cycle up to `--max-cycle-len`
 //! plus the named library through all seven checkers, evaluates the
 //! oracle invariants (native ≡ cat, SC ⊆ TSO ⊆ LKMM envelope, simulator
@@ -48,13 +65,17 @@
 //! (exit 8) instead of dying. `--stop-after N` suspends cleanly after
 //! N units (exit 0) for tests and benchmarks.
 //!
-//! `store scrub|compact|export|merge` maintains a verdict store
+//! `store scrub|compact|export|merge|stats` maintains a verdict store
 //! offline: `scrub` classifies torn-tail vs corrupt-frame damage (and
 //! heals it with `--repair`), `compact` rewrites the log one frame per
 //! distinct key via an atomic snapshot, `export` writes a compacted
-//! copy without touching the source, and `merge` folds one store into
-//! another (source wins on conflicting keys). All verbs take the
-//! store's advisory lock; a store held by a live process exits 9.
+//! copy without touching the source, `merge` folds one store into
+//! another (source wins on conflicting keys; `--shards N` promotes
+//! into an N-way family), and `stats` breaks a store down per shard
+//! (records, superseded, quarantine state, total index size). Every
+//! verb discovers sharded families on disk and walks all members. All
+//! verbs take the store's advisory lock; a store held by a live
+//! process exits 9.
 //!
 //! `conformance --algorithms` swaps the cycle corpus for the
 //! real-algorithm litmus families (`--list-algorithms` enumerates
@@ -69,29 +90,36 @@
 //! 3 input-file I/O error, 4 litmus parse error, 5 store error,
 //! 6 single-test check inconclusive (budget exhausted), 7 conformance
 //! campaign found discrepancies, 8 campaign degraded (units quarantined
-//! after exhausting retries), 9 store locked by a live process.
+//! after exhausting retries), 9 store locked by a live process,
+//! 10 request rejected over-quota (`client`), 11 server overloaded
+//! (`client`).
 
 use linux_kernel_memory_model::algorithms::FamilyId;
+use linux_kernel_memory_model::server::{serve_tcp, ServerConfig};
+use linux_kernel_memory_model::service::json::Json;
 use linux_kernel_memory_model::service::serve::{serve_with, ServeOptions};
-use linux_kernel_memory_model::service::{BatchChecker, VerdictStore};
+use linux_kernel_memory_model::service::{BatchChecker, RecoveryReport, ShardedStore, VerdictStore};
 use linux_kernel_memory_model::{
     Budget, CheckOutcome, Herd, InconclusiveReason, ModelChoice, MultiCheckOutcome, Report, Tally,
 };
+use lkmm_core::quota::ClientQuota;
 use lkmm_exec::enumerate::{enumerate, EnumOptions};
 use lkmm_exec::states::collect_states;
 use lkmm_exec::MAX_JOBS;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c11] [--jobs N] [--early-exit] [--dot] [--states] [--store PATH] [--salt STR] [BUDGET] FILE.litmus\n\
      \x20      herd-rs --models M1,M2,... [--jobs N] [--queue-depth N] [BUDGET] FILE.litmus\n\
      \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] --library\n\
-     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] serve\n\
+     \x20      herd-rs [--model M] [--jobs N] [--store PATH] [--salt STR] [BUDGET] [--max-request-bytes N] [SERVER] serve\n\
+     \x20      herd-rs client --connect ADDR\n\
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [CONFORMANCE] conformance\n\
      \x20      herd-rs [--jobs N] [--store PATH] [--salt STR] [BUDGET] [ALGORITHMS] conformance --algorithms\n\
      \x20      herd-rs --list-algorithms\n\
-     \x20      herd-rs store scrub [--repair] PATH | store compact PATH |\n\
-     \x20              store export SRC DST | store merge DST SRC...\n\
+     \x20      herd-rs store scrub [--repair] PATH | store compact PATH | store stats PATH |\n\
+     \x20              store export SRC DST | store merge [--shards N] DST SRC...\n\
      \x20 --models M1,M2   decide several models from ONE enumeration pass per test; output is\n\
      \x20                  byte-identical to running --model M1, --model M2, ... in sequence\n\
      \x20 --jobs N, -j N   worker threads (0 = all hardware threads; output is identical for any N)\n\
@@ -103,6 +131,21 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20                  `conformance --json`); with `--library --store`, `--models`, or\n\
      \x20                  `conformance`\n\
      \x20 serve            answer JSON-lines requests on stdin (check/batch/stats/flush)\n\
+     \x20 SERVER options (`serve --listen` runs the multi-client TCP verdict service):\n\
+     \x20 --listen ADDR    accept TCP clients on ADDR instead of stdin/stdout; the bound\n\
+     \x20                  address is announced on stderr (use port 0 to pick a free port)\n\
+     \x20 --shards N       partition the store into N independent logs (default 1; a 1-shard\n\
+     \x20                  store is byte-interchangeable with the plain --store log)\n\
+     \x20 --server-workers N   worker threads answering requests (default 4)\n\
+     \x20 --durable        fsync each append before acknowledging the request\n\
+     \x20 --quota-requests N   per-connection lifetime request allowance (over-quota\n\
+     \x20                  requests are rejected with a typed error; `client` exits 10)\n\
+     \x20 --max-pending N  per-connection admitted-request backlog bound (default 64;\n\
+     \x20                  past it requests bounce as overloaded; `client` exits 11)\n\
+     \x20 --max-conns N    concurrent connection cap (default 64)\n\
+     \x20 --idle-timeout-ms N  drop a connection silent mid-line this long (default 30000;\n\
+     \x20                  0 disables the slowloris defense)\n\
+     \x20 client           forward stdin request lines to --connect ADDR, print responses\n\
      \x20 BUDGET options (exceeding one reports `inconclusive`, exit code 6 for single tests):\n\
      \x20 --budget-candidates N   stop a check after N candidate executions\n\
      \x20 --budget-steps N        stop a check after N model evaluation steps\n\
@@ -124,11 +167,15 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --max-retries N     attempts per faulting unit before quarantine (default 2)\n\
      \x20 --retry-base-ms N   base backoff delay between retries, 0 = none (default 25)\n\
      \x20 --stop-after N      suspend cleanly after N units (exit 0; resume to continue)\n\
-     \x20 STORE verbs (offline maintenance; every verb takes the store's advisory lock):\n\
+     \x20 STORE verbs (offline maintenance; every verb takes the store's advisory lock\n\
+     \x20 and walks every member of a sharded family):\n\
      \x20 store scrub PATH    report torn/corrupt damage; with --repair, heal it in place\n\
      \x20 store compact PATH  rewrite the log one frame per distinct key (atomic snapshot)\n\
+     \x20 store stats PATH    per-shard record/superseded/quarantine counts and index size\n\
      \x20 store export SRC DST  write a compacted copy of SRC to DST; SRC is untouched\n\
-     \x20 store merge DST SRC...  fold each SRC into DST (source wins on conflicts)\n\
+     \x20                     (a sharded SRC merges into one key-ordered snapshot)\n\
+     \x20 store merge DST SRC...  fold each SRC into DST (source wins on conflicts);\n\
+     \x20                     --shards N promotes the sources into an N-way family\n\
      \x20 ALGORITHMS options (`conformance --algorithms` checks the real-algorithm families):\n\
      \x20 --algorithms        run the algorithm-family campaign instead of the cycle corpus\n\
      \x20 --families F1,F2    restrict to the named families (see --list-algorithms)\n\
@@ -138,7 +185,8 @@ const USAGE: &str = "usage: herd-rs [--model lkmm|lkmm-cat|sc|tso|armv8|power|c1
      \x20 --list-algorithms   list the algorithm families (name, invariant, description)\n\
      \x20 exit codes: 0 ok, 1 internal, 2 usage, 3 input I/O, 4 parse, 5 store, 6 inconclusive,\n\
      \x20             7 conformance discrepancies, 8 campaign degraded (units quarantined),\n\
-     \x20             9 store locked by a live process";
+     \x20             9 store locked by a live process, 10 request over quota (`client`),\n\
+     \x20             11 server overloaded (`client`)";
 
 const EXIT_INTERNAL: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -149,6 +197,8 @@ const EXIT_INCONCLUSIVE: u8 = 6;
 const EXIT_DISCREPANCY: u8 = 7;
 const EXIT_DEGRADED: u8 = 8;
 const EXIT_LOCKED: u8 = 9;
+const EXIT_OVER_QUOTA: u8 = 10;
+const EXIT_OVERLOADED: u8 = 11;
 
 /// Cycle lengths past this explode combinatorially; a bigger campaign
 /// should be driven through the library API, not one CLI invocation.
@@ -202,6 +252,16 @@ struct Cli {
     store_cmd: bool,
     store_args: Vec<String>,
     repair: bool,
+    listen: Option<String>,
+    shards: Option<usize>,
+    server_workers: Option<usize>,
+    durable: bool,
+    quota_requests: Option<u64>,
+    max_pending: Option<usize>,
+    max_conns: Option<usize>,
+    idle_timeout_ms: Option<u64>,
+    client_mode: bool,
+    connect: Option<String>,
 }
 
 fn usage_fail(message: &str) -> ExitCode {
@@ -267,6 +327,16 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         store_cmd: false,
         store_args: Vec::new(),
         repair: false,
+        listen: None,
+        shards: None,
+        server_workers: None,
+        durable: false,
+        quota_requests: None,
+        max_pending: None,
+        max_conns: None,
+        idle_timeout_ms: None,
+        client_mode: false,
+        connect: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -422,6 +492,45 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.conformance_flag_seen = true;
             }
             "--repair" => cli.repair = true,
+            "--listen" => {
+                let addr = it.next().ok_or("--listen needs an address argument")?;
+                cli.listen = Some(addr.clone());
+            }
+            "--shards" => {
+                let n = it.next().ok_or("--shards needs an argument")?;
+                let shards = n.parse::<usize>().ok().filter(|s| (1..=64).contains(s));
+                cli.shards = Some(
+                    shards
+                        .ok_or_else(|| format!("--shards needs an integer in 1..=64, got `{n}`"))?,
+                );
+            }
+            "--server-workers" => {
+                let n = it.next().ok_or("--server-workers needs an argument")?;
+                cli.server_workers = Some(parse_count("--server-workers", n)? as usize);
+            }
+            "--durable" => cli.durable = true,
+            "--quota-requests" => {
+                let n = it.next().ok_or("--quota-requests needs an argument")?;
+                cli.quota_requests = Some(parse_count("--quota-requests", n)?);
+            }
+            "--max-pending" => {
+                let n = it.next().ok_or("--max-pending needs an argument")?;
+                cli.max_pending = Some(parse_count("--max-pending", n)? as usize);
+            }
+            "--max-conns" => {
+                let n = it.next().ok_or("--max-conns needs an argument")?;
+                cli.max_conns = Some(parse_count("--max-conns", n)? as usize);
+            }
+            "--idle-timeout-ms" => {
+                let n = it.next().ok_or("--idle-timeout-ms needs an argument")?;
+                cli.idle_timeout_ms = Some(n.parse::<u64>().map_err(|_| {
+                    format!("--idle-timeout-ms needs a non-negative integer, got `{n}`")
+                })?);
+            }
+            "--connect" => {
+                let addr = it.next().ok_or("--connect needs an address argument")?;
+                cli.connect = Some(addr.clone());
+            }
             "--algorithms" => {
                 cli.algorithms = true;
                 cli.conformance_flag_seen = true;
@@ -473,21 +582,27 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "serve"
                 if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
-                    && cli.file.is_none() =>
+                    && !cli.client_mode && cli.file.is_none() =>
             {
                 cli.serve_mode = true;
             }
             "conformance"
                 if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
-                    && cli.file.is_none() =>
+                    && !cli.client_mode && cli.file.is_none() =>
             {
                 cli.conformance_mode = true;
             }
             "store"
                 if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
-                    && cli.file.is_none() =>
+                    && !cli.client_mode && cli.file.is_none() =>
             {
                 cli.store_cmd = true;
+            }
+            "client"
+                if !cli.serve_mode && !cli.conformance_mode && !cli.store_cmd
+                    && !cli.client_mode && cli.file.is_none() =>
+            {
+                cli.client_mode = true;
             }
             other => {
                 if cli.store_cmd {
@@ -496,6 +611,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 }
                 if cli.serve_mode {
                     return Err(format!("unexpected argument `{other}` after `serve`"));
+                }
+                if cli.client_mode {
+                    return Err(format!("unexpected argument `{other}` after `client`"));
                 }
                 if cli.conformance_mode {
                     return Err(format!("unexpected argument `{other}` after `conformance`"));
@@ -509,8 +627,55 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     }
     if cli.serve_mode && (cli.run_library || cli.dot || cli.states || cli.early_exit) {
         return Err("`serve` takes only --model, --jobs, --queue-depth, --store, --salt, \
-                    --budget-*, and --max-request-bytes"
+                    --budget-*, --max-request-bytes, and the --listen server options"
             .to_string());
+    }
+    if cli.client_mode {
+        if cli.connect.is_none() {
+            return Err("`client` needs --connect ADDR (the server to talk to)".to_string());
+        }
+        if cli.serve_mode
+            || cli.conformance_mode
+            || cli.store_cmd
+            || cli.run_library
+            || cli.file.is_some()
+            || cli.model_given
+            || cli.models.is_some()
+            || cli.store.is_some()
+            || cli.listen.is_some()
+            || cli.conformance_flag_seen
+            || cli.enum_stats
+            || cli.list_algorithms
+        {
+            return Err("`client` takes only --connect ADDR".to_string());
+        }
+        return Ok(Some(cli));
+    }
+    if cli.connect.is_some() {
+        return Err("--connect only applies to `client`".to_string());
+    }
+    if cli.listen.is_some() && !cli.serve_mode {
+        return Err("--listen only applies to `serve`".to_string());
+    }
+    if cli.listen.is_none()
+        && (cli.server_workers.is_some()
+            || cli.durable
+            || cli.quota_requests.is_some()
+            || cli.max_pending.is_some()
+            || cli.max_conns.is_some()
+            || cli.idle_timeout_ms.is_some())
+    {
+        return Err("--server-workers/--durable/--quota-requests/--max-pending/--max-conns/\
+                    --idle-timeout-ms only apply to `serve --listen`"
+            .to_string());
+    }
+    if cli.shards.is_some()
+        && !(cli.serve_mode && cli.listen.is_some())
+        && !(cli.store_cmd && cli.store_args.first().map(String::as_str) == Some("merge"))
+    {
+        return Err(
+            "--shards applies to `serve --listen` and `store merge`".to_string(),
+        );
     }
     if cli.conformance_mode
         && (cli.run_library || cli.dot || cli.states || cli.early_exit || cli.model_given)
@@ -550,12 +715,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             || cli.budget_ms.is_some()
             || cli.max_request_bytes.is_some()
         {
-            return Err("`store` takes a verb (scrub/compact/export/merge), its path \
-                        arguments, and --repair (scrub only)"
+            return Err("`store` takes a verb (scrub/compact/export/merge/stats), its path \
+                        arguments, --repair (scrub only), and --shards (merge only)"
                 .to_string());
         }
         if cli.store_args.is_empty() {
-            return Err("`store` needs a verb: scrub, compact, export, or merge".to_string());
+            return Err(
+                "`store` needs a verb: scrub, compact, export, merge, or stats".to_string()
+            );
         }
     }
     if cli.repair
@@ -685,7 +852,16 @@ fn open_store(path: Option<&str>) -> Result<VerdictStore, (u8, String)> {
         };
         (code, format!("{path}: {e}"))
     })?;
-    let recovery = store.recovery();
+    report_recovery(path, &store.recovery());
+    Ok(store)
+}
+
+/// Narrate open-time recovery events on stderr: reclaimed stale locks
+/// (naming the dead holder), quarantined contents, truncated tails.
+fn report_recovery(path: &str, recovery: &RecoveryReport) {
+    if let Some(pid) = recovery.reclaimed_pid {
+        eprintln!("herd-rs: store {path}: reclaimed stale lock held by dead process {pid}");
+    }
     if recovery.quarantined {
         eprintln!("herd-rs: store {path}: unrecognized contents quarantined to {path}.corrupt");
     } else if recovery.truncated_bytes() > 0 {
@@ -699,7 +875,6 @@ fn open_store(path: Option<&str>) -> Result<VerdictStore, (u8, String)> {
             recovery.corrupt_frames
         );
     }
-    Ok(store)
 }
 
 fn library_line(name: &str, result: &lkmm_exec::TestResult) -> String {
@@ -732,8 +907,17 @@ fn main() -> ExitCode {
         return list_algorithms_mode();
     }
 
+    if cli.client_mode {
+        let addr = cli.connect.as_deref().expect("parse_args requires --connect");
+        return client_mode(addr);
+    }
+
     if cli.serve_mode {
-        return serve_mode(&cli);
+        return if let Some(addr) = cli.listen.as_deref() {
+            serve_tcp_mode(&cli, addr)
+        } else {
+            serve_mode(&cli)
+        };
     }
 
     if cli.store_cmd {
@@ -1069,6 +1253,129 @@ fn serve_mode(cli: &Cli) -> ExitCode {
     }
 }
 
+/// `serve --listen`: the multi-client TCP verdict service. Protocol,
+/// salt, and cache keys are identical to stdio `serve`; the bound
+/// address is announced on stderr *first*, so scripts can bind port 0
+/// and discover what they got. The store holds every shard's advisory
+/// lock for the server's whole lifetime — offline `store` verbs on the
+/// same family exit 9 until shutdown.
+fn serve_tcp_mode(cli: &Cli, addr: &str) -> ExitCode {
+    let shards = cli.shards.unwrap_or(1);
+    let store = match cli.store.as_deref() {
+        Some(path) => match ShardedStore::open(path, shards) {
+            Ok(s) => {
+                report_recovery(path, &s.recovery());
+                s
+            }
+            Err(e) => {
+                let code = match &e {
+                    lkmm_service::StoreError::Locked { .. } => EXIT_LOCKED,
+                    lkmm_service::StoreError::Io(_) => EXIT_STORE,
+                };
+                return fail_code(code, &format!("{path}: {e}"));
+            }
+        },
+        None => ShardedStore::in_memory(shards),
+    };
+    let store = Arc::new(store.durable(cli.durable));
+    let defaults = ServerConfig::default();
+    let mut quota = ClientQuota::default().with_budget(cli.budget(false));
+    if let Some(n) = cli.quota_requests {
+        quota = quota.with_max_requests(n);
+    }
+    if let Some(n) = cli.max_pending {
+        quota = quota.with_max_pending(n);
+    }
+    let config = ServerConfig {
+        workers: cli.server_workers.unwrap_or(defaults.workers),
+        jobs: cli.jobs,
+        quota,
+        serve: ServeOptions {
+            max_request_bytes: cli
+                .max_request_bytes
+                .unwrap_or(ServeOptions::default().max_request_bytes),
+            request_time_limit: cli.budget_ms.map(Duration::from_millis),
+        },
+        max_conns: cli.max_conns.unwrap_or(defaults.max_conns),
+        idle_timeout: match cli.idle_timeout_ms {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.idle_timeout,
+        },
+    };
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("serve: bind {addr}: {e}")),
+    };
+    match listener.local_addr() {
+        Ok(bound) => eprintln!("herd-rs: listening on {bound}"),
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("serve: {e}")),
+    }
+    let choice = cli.model;
+    match serve_tcp(listener, &move || choice.model(), &cli.salt, store.clone(), &config) {
+        Ok(summary) => {
+            for st in store.stats() {
+                if let Some(why) = &st.poisoned {
+                    eprintln!(
+                        "herd-rs: shard {} poisoned: {why} ({} appends dropped)",
+                        st.shard, st.dropped
+                    );
+                }
+            }
+            eprintln!(
+                "herd-rs serve: {} connections, {} requests, {} over-quota, {} overloaded",
+                summary.connections, summary.requests, summary.over_quota, summary.overloaded
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_code(EXIT_INTERNAL, &format!("serve: {e}")),
+    }
+}
+
+/// `client --connect`: forward stdin request lines to a server, print
+/// its responses, and surface typed rejections in the exit code (10
+/// over-quota, 11 overloaded; the numerically worst seen wins).
+fn client_mode(addr: &str) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, TcpStream};
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("client: connect {addr}: {e}")),
+    };
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return fail_code(EXIT_INTERNAL, &format!("client: {e}")),
+    };
+    let writer = std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut out = std::io::BufWriter::new(&write_half);
+        for line in stdin.lock().lines().map_while(Result::ok) {
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                break;
+            }
+        }
+        drop(out);
+        // Half-close tells the server we are done; responses to
+        // everything already sent keep flowing back.
+        let _ = write_half.shutdown(Shutdown::Write);
+    });
+    let mut worst = 0u8;
+    for line in BufReader::new(&stream).lines().map_while(Result::ok) {
+        match Json::parse(&line).ok().as_ref().and_then(|r| r.get("code")).and_then(Json::as_str) {
+            Some("over-quota") => worst = worst.max(EXIT_OVER_QUOTA),
+            Some("overloaded") => worst = worst.max(EXIT_OVERLOADED),
+            _ => {}
+        }
+        println!("{line}");
+    }
+    let _ = writer.join();
+    if worst == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(worst)
+    }
+}
+
 /// `herd-rs store VERB PATH...`: offline verdict-store maintenance.
 /// Every verb takes the store's advisory lock, so it cannot race a
 /// live campaign (a held lock exits 9). `scrub` without `--repair` is
@@ -1076,6 +1383,7 @@ fn serve_mode(cli: &Cli) -> ExitCode {
 /// so CI can assert a store is pristine.
 fn store_cmd_mode(cli: &Cli) -> ExitCode {
     use lkmm_service::StoreError;
+    use std::path::Path;
     fn store_fail(context: &str, e: StoreError) -> ExitCode {
         let code = match &e {
             StoreError::Locked { .. } => EXIT_LOCKED,
@@ -1083,72 +1391,141 @@ fn store_cmd_mode(cli: &Cli) -> ExitCode {
         };
         fail_code(code, &format!("store {context}: {e}"))
     }
+    /// Scrub one family member; the caller folds the worst exit code.
+    fn scrub_one(path: &str, repair: bool) -> Result<u8, StoreError> {
+        let r = VerdictStore::scrub(path, repair)?;
+        if r.wrong_magic {
+            println!("{path}: wrong magic — nothing in the file is a verdict log");
+        } else {
+            println!(
+                "{path}: {} records, {} distinct keys, {} superseded; \
+                 {} torn bytes, {} corrupt frames ({} bytes)",
+                r.records,
+                r.distinct_keys,
+                r.superseded,
+                r.torn_bytes,
+                r.corrupt_frames,
+                r.corrupt_bytes
+            );
+        }
+        if r.repaired {
+            println!("{path}: repaired");
+            Ok(0)
+        } else if r.defects() {
+            eprintln!("herd-rs: store scrub: {path} has defects (rerun with --repair)");
+            Ok(EXIT_STORE)
+        } else {
+            println!("{path}: clean");
+            Ok(0)
+        }
+    }
     let (verb, paths) = cli.store_args.split_first().expect("parse_args requires a verb");
     match (verb.as_str(), paths) {
-        ("scrub", [path]) => match VerdictStore::scrub(path, cli.repair) {
-            Ok(r) => {
-                if r.wrong_magic {
-                    println!("{path}: wrong magic — nothing in the file is a verdict log");
-                } else {
-                    println!(
-                        "{path}: {} records, {} distinct keys, {} superseded; \
-                         {} torn bytes, {} corrupt frames ({} bytes)",
-                        r.records,
-                        r.distinct_keys,
+        ("scrub", [path]) => {
+            let shards = ShardedStore::discover(Path::new(path));
+            let mut worst = 0u8;
+            for member in ShardedStore::shard_paths(Path::new(path), shards) {
+                if shards > 1 && !member.exists() {
+                    continue;
+                }
+                match scrub_one(&member.display().to_string(), cli.repair) {
+                    Ok(code) => worst = worst.max(code),
+                    Err(e) => return store_fail("scrub", e),
+                }
+            }
+            ExitCode::from(worst)
+        }
+        ("compact", [path]) => {
+            let shards = ShardedStore::discover(Path::new(path));
+            for member in ShardedStore::shard_paths(Path::new(path), shards) {
+                if shards > 1 && !member.exists() {
+                    continue;
+                }
+                let member = member.display().to_string();
+                match VerdictStore::compact(&member) {
+                    Ok(r) => println!(
+                        "{member}: {} records -> {} ({} superseded dropped, {} defect bytes); \
+                         {} bytes -> {}",
+                        r.records_in,
+                        r.records_out,
                         r.superseded,
-                        r.torn_bytes,
-                        r.corrupt_frames,
-                        r.corrupt_bytes
+                        r.defect_bytes,
+                        r.bytes_before,
+                        r.bytes_after
+                    ),
+                    Err(e) => return store_fail("compact", e),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("stats", [path]) => {
+            let shards = ShardedStore::discover(Path::new(path));
+            if shards == 1 && !Path::new(path).exists() {
+                return fail_code(EXIT_STORE, &format!("store stats: {path}: no such store"));
+            }
+            let store = match ShardedStore::open(path, shards) {
+                Ok(s) => s,
+                Err(e) => return store_fail("stats", e),
+            };
+            let (mut records, mut superseded, mut quarantined) = (0usize, 0usize, 0usize);
+            for st in store.stats() {
+                records += st.records;
+                superseded += st.superseded;
+                quarantined += st.quarantined as usize;
+                let member = st
+                    .path
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| path.clone());
+                println!(
+                    "{member}: shard {} of {}: {} records, {} superseded{}",
+                    st.shard,
+                    shards,
+                    st.records,
+                    st.superseded,
+                    if st.quarantined { ", quarantined contents" } else { "" }
+                );
+            }
+            println!(
+                "{path}: {shards} shard(s), {records} distinct keys in the index, \
+                 {superseded} superseded frames, {quarantined} quarantined"
+            );
+            ExitCode::SUCCESS
+        }
+        ("export", [src, dst]) => {
+            let shards = ShardedStore::discover(Path::new(src));
+            let result = if shards > 1 {
+                ShardedStore::export_merged(src, dst)
+            } else {
+                VerdictStore::export(src, dst)
+            };
+            match result {
+                Ok(r) => {
+                    println!(
+                        "{src} -> {dst}: {} records -> {} ({} superseded dropped, \
+                         {} defect bytes); {} bytes -> {}",
+                        r.records_in,
+                        r.records_out,
+                        r.superseded,
+                        r.defect_bytes,
+                        r.bytes_before,
+                        r.bytes_after
                     );
-                }
-                if r.repaired {
-                    println!("{path}: repaired");
-                    ExitCode::SUCCESS
-                } else if r.defects() {
-                    eprintln!("herd-rs: store scrub: {path} has defects (rerun with --repair)");
-                    ExitCode::from(EXIT_STORE)
-                } else {
-                    println!("{path}: clean");
                     ExitCode::SUCCESS
                 }
+                Err(e) => store_fail("export", e),
             }
-            Err(e) => store_fail("scrub", e),
-        },
-        ("compact", [path]) => match VerdictStore::compact(path) {
-            Ok(r) => {
-                println!(
-                    "{path}: {} records -> {} ({} superseded dropped, {} defect bytes); \
-                     {} bytes -> {}",
-                    r.records_in,
-                    r.records_out,
-                    r.superseded,
-                    r.defect_bytes,
-                    r.bytes_before,
-                    r.bytes_after
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => store_fail("compact", e),
-        },
-        ("export", [src, dst]) => match VerdictStore::export(src, dst) {
-            Ok(r) => {
-                println!(
-                    "{src} -> {dst}: {} records -> {} ({} superseded dropped, \
-                     {} defect bytes); {} bytes -> {}",
-                    r.records_in,
-                    r.records_out,
-                    r.superseded,
-                    r.defect_bytes,
-                    r.bytes_before,
-                    r.bytes_after
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => store_fail("export", e),
-        },
+        }
         ("merge", [dst, sources @ ..]) if !sources.is_empty() => {
+            let shards =
+                cli.shards.unwrap_or_else(|| ShardedStore::discover(Path::new(dst)));
             for src in sources {
-                match VerdictStore::merge(dst, src) {
+                let result = if shards > 1 {
+                    ShardedStore::merge_into_shards(dst, shards, src)
+                } else {
+                    VerdictStore::merge(dst, src)
+                };
+                match result {
                     Ok(r) => println!(
                         "{src} -> {dst}: {} source keys, {} merged, {} unchanged",
                         r.source_keys, r.merged, r.unchanged
@@ -1158,12 +1535,14 @@ fn store_cmd_mode(cli: &Cli) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        ("scrub" | "compact", _) => usage_fail(&format!("store {verb} takes exactly one PATH")),
+        ("scrub" | "compact" | "stats", _) => {
+            usage_fail(&format!("store {verb} takes exactly one PATH"))
+        }
         ("export", _) => usage_fail("store export takes SRC and DST"),
         ("merge", _) => usage_fail("store merge takes DST and at least one SRC"),
-        (other, _) => {
-            usage_fail(&format!("unknown store verb `{other}` (scrub, compact, export, merge)"))
-        }
+        (other, _) => usage_fail(&format!(
+            "unknown store verb `{other}` (scrub, compact, export, merge, stats)"
+        )),
     }
 }
 
@@ -1433,6 +1812,79 @@ mod tests {
         // --repair belongs to scrub only.
         assert!(parse(&["store", "compact", "--repair", "s.log"]).is_err());
         assert!(parse(&["--repair", "t.litmus"]).is_err());
+    }
+
+    #[test]
+    fn server_flags_parse_with_serve_listen() {
+        let cli = parse(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--server-workers",
+            "8",
+            "--durable",
+            "--quota-requests",
+            "100",
+            "--max-pending",
+            "16",
+            "--max-conns",
+            "32",
+            "--idle-timeout-ms",
+            "0",
+            "serve",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(cli.serve_mode && cli.durable);
+        assert_eq!(cli.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.shards, Some(4));
+        assert_eq!(cli.server_workers, Some(8));
+        assert_eq!(cli.quota_requests, Some(100));
+        assert_eq!(cli.max_pending, Some(16));
+        assert_eq!(cli.max_conns, Some(32));
+        assert_eq!(cli.idle_timeout_ms, Some(0));
+    }
+
+    #[test]
+    fn server_flags_demand_serve_listen() {
+        // --listen needs `serve`; the server tuning flags need --listen.
+        assert!(parse(&["--listen", "127.0.0.1:0"]).is_err());
+        assert!(parse(&["--listen", "127.0.0.1:0", "t.litmus"]).is_err());
+        assert!(parse(&["--server-workers", "2", "serve"]).is_err());
+        assert!(parse(&["--durable", "serve"]).is_err());
+        assert!(parse(&["--quota-requests", "5", "serve"]).is_err());
+        assert!(parse(&["--max-conns", "2", "conformance"]).is_err());
+        // --shards belongs to `serve --listen` and `store merge` only.
+        assert!(parse(&["--shards", "4", "serve"]).is_err());
+        assert!(parse(&["--shards", "4", "t.litmus"]).is_err());
+        assert!(parse(&["store", "merge", "--shards", "4", "dst.log", "src.log"]).is_ok());
+        assert!(parse(&["store", "scrub", "--shards", "4", "s.log"]).is_err());
+        // Bounds: shards 1..=64.
+        assert!(parse(&["--shards", "0", "--listen", "x:0", "serve"]).is_err());
+        assert!(parse(&["--shards", "65", "--listen", "x:0", "serve"]).is_err());
+    }
+
+    #[test]
+    fn client_takes_only_connect() {
+        let cli = parse(&["client", "--connect", "127.0.0.1:9"]).unwrap().unwrap();
+        assert!(cli.client_mode);
+        assert_eq!(cli.connect.as_deref(), Some("127.0.0.1:9"));
+        // Flag order does not matter.
+        assert!(parse(&["--connect", "127.0.0.1:9", "client"]).is_ok());
+        assert!(parse(&["client"]).is_err(), "client needs --connect");
+        assert!(parse(&["--connect", "127.0.0.1:9"]).is_err(), "--connect needs client");
+        assert!(parse(&["client", "--connect", "a:1", "--model", "sc"]).is_err());
+        assert!(parse(&["client", "--connect", "a:1", "--store", "s.log"]).is_err());
+        assert!(parse(&["client", "--connect", "a:1", "t.litmus"]).is_err());
+        assert!(parse(&["client", "--connect", "a:1", "serve"]).is_err());
+    }
+
+    #[test]
+    fn store_stats_verb_parses() {
+        let cli = parse(&["store", "stats", "s.log"]).unwrap().unwrap();
+        assert!(cli.store_cmd);
+        assert_eq!(cli.store_args, vec!["stats", "s.log"]);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub use lkmm_litmus as litmus;
 pub use lkmm_models as models;
 pub use lkmm_rcu as rcu;
 pub use lkmm_relation as relation;
+pub use lkmm_server as server;
 pub use lkmm_service as service;
 pub use lkmm_sim as sim;
 

@@ -200,3 +200,87 @@ fn nth_hit_trigger_fires_on_exactly_that_hit() {
     }
     drop(guard);
 }
+
+// --- TCP server faultpoints (ISSUE 9 satellite 3) ---------------------
+
+mod server_faults {
+    use lkmm_core::faultpoint;
+    use linux_kernel_memory_model::exec::model::AllowAll;
+    use linux_kernel_memory_model::server::{serve_tcp, ServerConfig, ServerSummary};
+    use linux_kernel_memory_model::service::ShardedStore;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn start(
+        store: Arc<ShardedStore>,
+        workers: usize,
+    ) -> (SocketAddr, thread::JoinHandle<ServerSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServerConfig { workers, ..ServerConfig::default() };
+        let handle = thread::spawn(move || {
+            serve_tcp(listener, &|| Box::new(AllowAll), "fault-tcp", store, &config)
+                .expect("faults are contained, the server survives")
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for line in lines {
+            let _ = writeln!(stream, "{line}");
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        BufReader::new(stream).lines().map_while(Result::ok).collect()
+    }
+
+    #[test]
+    fn poisoned_shard_quarantines_without_killing_the_server() {
+        let store = Arc::new(ShardedStore::in_memory(4));
+        // The first append fails: exactly one shard poisons itself.
+        let guard = faultpoint::arm("shard.append=1");
+        let (addr, handle) = start(store.clone(), 1);
+        let responses = roundtrip(
+            addr,
+            &[r#"{"op":"batch","names":["SB","MP","LB","R","S","WRC","RWC","ISA2"]}"#],
+        );
+        assert_eq!(responses.len(), 1);
+        // Verdicts keep flowing even though one append was eaten.
+        assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+        let stats = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert!(stats[0].contains("\"poisoned\""), "stats surface the quarantine: {}", stats[0]);
+        let _ = roundtrip(addr, &[r#"{"op":"shutdown"}"#]);
+        handle.join().unwrap();
+        drop(guard);
+        let shard_stats = store.stats();
+        let poisoned: Vec<_> = shard_stats.iter().filter(|s| s.poisoned.is_some()).collect();
+        assert_eq!(poisoned.len(), 1, "exactly one shard quarantined");
+        let healthy_records: usize = shard_stats
+            .iter()
+            .filter(|s| s.poisoned.is_none())
+            .map(|s| s.records)
+            .sum();
+        assert!(healthy_records > 0, "the other shards kept appending");
+    }
+
+    #[test]
+    fn injected_accept_failure_drops_one_connection_not_the_server() {
+        let store = Arc::new(ShardedStore::in_memory(1));
+        let guard = faultpoint::arm("server.accept=1");
+        let (addr, handle) = start(store, 2);
+        // The first connection is accepted at the TCP level, then
+        // dropped by the armed faultpoint: EOF, no responses.
+        let responses = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert!(responses.is_empty(), "dropped connection answers nothing: {responses:?}");
+        // The very next connection is served normally.
+        let responses = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+        let _ = roundtrip(addr, &[r#"{"op":"shutdown"}"#]);
+        let summary = handle.join().unwrap();
+        drop(guard);
+        assert_eq!(summary.connections, 2, "only the faulted accept was lost");
+    }
+}

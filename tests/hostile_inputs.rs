@@ -159,3 +159,132 @@ fn invalid_utf8_request_is_an_error_response() {
     assert!(lines[1].starts_with("{\"ok\":false"));
     assert!(lines[2].starts_with("{\"ok\":true"));
 }
+
+// --- TCP listener hardening (ISSUE 9 satellite 3) ---------------------
+//
+// The same contracts as the stdio loop, plus the network-only attack
+// surface: a hostile connection may cost itself, never the server or
+// its other clients.
+
+mod tcp {
+    use linux_kernel_memory_model::exec::model::AllowAll;
+    use linux_kernel_memory_model::server::{serve_tcp, ServerConfig, ServerSummary};
+    use linux_kernel_memory_model::service::{ServeOptions, ShardedStore};
+    use lkmm_core::quota::ClientQuota;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn start(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<ServerSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let store = Arc::new(ShardedStore::in_memory(2));
+            serve_tcp(listener, &|| Box::new(AllowAll), "hostile-tcp", store, &config)
+                .expect("server survives hostile clients")
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for line in lines {
+            let _ = writeln!(stream, "{line}");
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        BufReader::new(stream).lines().map_while(Result::ok).collect()
+    }
+
+    fn shutdown(addr: SocketAddr) {
+        let _ = roundtrip(addr, &[r#"{"op":"shutdown"}"#]);
+    }
+
+    #[test]
+    fn oversized_tcp_line_is_rejected_and_the_connection_survives() {
+        let config = ServerConfig {
+            serve: ServeOptions { max_request_bytes: 64, ..ServeOptions::default() },
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = start(config);
+        let huge = format!("{{\"op\":\"check\",\"litmus\":\"{}\"}}", "x".repeat(1 << 20));
+        let responses = roundtrip(addr, &[&huge, r#"{"op":"stats"}"#]);
+        assert_eq!(responses.len(), 2, "oversized line answered, connection kept");
+        assert!(responses[0].contains("request line exceeds"), "{}", responses[0]);
+        assert!(responses[1].contains("\"ok\":true"), "{}", responses[1]);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mid_request_disconnect_costs_only_that_client() {
+        let (addr, handle) = start(ServerConfig::default());
+        // Half a request line, then the connection dies without a newline.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"{\"op\":\"check\",\"litm").unwrap();
+            // Drop without shutdown: the torn line dies with the socket.
+        }
+        // The server still answers the next client.
+        let responses = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slowloris_trickle_is_dropped_by_the_idle_timeout() {
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = start(config);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Trickle a request one byte at a time with gaps longer than the
+        // inter-byte timeout: the server must hang up on us.
+        let mut dropped = false;
+        for _ in 0..20 {
+            if stream.write_all(b"{").is_err() {
+                dropped = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(300));
+        }
+        if !dropped {
+            // The write side may buffer; the read side sees the close.
+            let mut buf = Vec::new();
+            let _ = stream.take(1024).read_to_end(&mut buf);
+            assert!(buf.is_empty(), "no response to an unfinished line");
+        }
+        // A well-behaved client is still served.
+        let responses = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn over_quota_tcp_client_is_rejected_with_typed_errors() {
+        let config = ServerConfig {
+            quota: ClientQuota::default().with_max_requests(1),
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = start(config);
+        let responses =
+            roundtrip(addr, &[r#"{"op":"stats"}"#, r#"{"op":"stats"}"#, r#"{"op":"stats"}"#]);
+        assert_eq!(responses.len(), 3, "rejections are answers, not hangups");
+        assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+        for r in &responses[1..] {
+            assert!(r.contains("\"code\":\"over-quota\""), "{r}");
+        }
+        // The quota is per connection, not per server.
+        let fresh = roundtrip(addr, &[r#"{"op":"stats"}"#]);
+        assert!(fresh[0].contains("\"ok\":true"), "{}", fresh[0]);
+        shutdown(addr);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.over_quota, 2);
+    }
+}
