@@ -8,11 +8,26 @@
 //! working directory and prints a summary table.
 //!
 //! ```text
-//! cargo run --release -p lkmm-bench --bin sweep [-- --iters N]
+//! cargo run --release -p lkmm-bench --bin sweep [-- --iters N] [--assert-bar X]
 //! ```
 //!
+//! `--assert-bar X` turns the run into a perf gate: after writing the
+//! JSON it fails (exit 1) if any workload's `pipeline-j2` speedup fell
+//! below `X` — CI uses `--assert-bar 1.0` to pin "two workers are never
+//! slower than sequential" now that small checks collapse inline and
+//! batches amortise the queue traffic.
+//!
 //! Verdicts are asserted identical across all configurations while
-//! timing, so a bench run doubles as a cross-check.
+//! timing, so a bench run doubles as a cross-check. The timing
+//! methodology is built for a noisy shared host: every workload pass
+//! (a few milliseconds) cycles through all configurations with a
+//! rotating start, a repetition accumulates enough cycles to span
+//! ~100ms per configuration, and the reported speedup is the **median
+//! of paired ratios** — each repetition's per-config total divided by
+//! the same repetition's sequential total. Pass-level pairing cancels
+//! host drift at every timescale coarser than one pass, instead of
+//! letting it systematically favour whichever config runs first or
+//! last.
 //!
 //! Reading the numbers: the pipeline's producer (candidate enumeration)
 //! is serial, so speedup is bounded by the model-evaluation share of each
@@ -64,7 +79,11 @@ struct Measurement {
     workload: &'static str,
     config: String,
     jobs: usize,
+    /// Median seconds per workload pass across repetitions.
     seconds: f64,
+    /// Median of the per-repetition paired ratios against sequential
+    /// (so `sequential` itself reports exactly 1.0).
+    speedup: f64,
     candidates: usize,
 }
 
@@ -97,50 +116,38 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-fn run_config(
-    model: &BenchModel,
+/// Time `passes` back-to-back runs of the workload and report the mean
+/// seconds per pass. Litmus workloads finish in single-digit
+/// milliseconds, which is below the noise floor of a shared host — the
+/// caller picks `passes` so one sample spans long enough to measure.
+fn time_config(
+    model: &dyn lkmm_exec::ConsistencyModel,
     tests: &[Test],
     opts: &EnumOptions,
     pipe: Option<&PipelineOptions>,
-    iters: usize,
-) -> (f64, usize, Vec<TestResult>) {
-    let native;
-    let cat;
-    let model: &dyn lkmm_exec::ConsistencyModel = match model {
-        BenchModel::NativeLkmm => {
-            native = Lkmm::new();
-            &native
-        }
-        BenchModel::CatLkmm => {
-            cat = lkmm_cat::linux_kernel_model();
-            &cat
-        }
-    };
-    // Warm-up pass (also captures the reference results).
-    let results: Vec<TestResult> = tests
-        .iter()
-        .map(|t| match pipe {
-            None => check_test(model, t, opts).expect("enumeration"),
-            Some(p) => check_test_pipelined(model, t, opts, p).expect("enumeration"),
-        })
-        .collect();
-    let candidates: usize = results.iter().map(|r| r.candidates).sum();
+    passes: usize,
+) -> (f64, Vec<TestResult>) {
+    let mut results = Vec::new();
     let start = Instant::now();
-    for _ in 0..iters {
-        for t in tests {
-            let r = match pipe {
+    for _ in 0..passes {
+        results = tests
+            .iter()
+            .map(|t| match pipe {
                 None => check_test(model, t, opts).expect("enumeration"),
                 Some(p) => check_test_pipelined(model, t, opts, p).expect("enumeration"),
-            };
-            std::hint::black_box(r);
-        }
+            })
+            .collect();
     }
-    let seconds = start.elapsed().as_secs_f64() / iters as f64;
-    (seconds, candidates, results)
+    (start.elapsed().as_secs_f64() / passes as f64, results)
 }
+
+/// Seconds one timed sample should span: long enough that scheduler
+/// jitter and timer granularity stop dominating sub-10ms workloads.
+const SAMPLE_TARGET_SECS: f64 = 0.1;
 
 fn main() {
     let mut iters = 3usize;
+    let mut assert_bar: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -150,8 +157,19 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--iters needs a positive integer");
             }
+            "--assert-bar" => {
+                assert_bar = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--assert-bar needs a number"),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: sweep [--iters N]   (timed repetitions per config, default 3)");
+                println!(
+                    "usage: sweep [--iters N] [--assert-bar X]\n  \
+                     --iters N       best-of repetitions per config (default 3)\n  \
+                     --assert-bar X  exit 1 if any pipeline-j2 speedup < X"
+                );
                 return;
             }
             other => panic!("unknown argument `{other}`"),
@@ -171,24 +189,80 @@ fn main() {
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for w in workloads() {
-        let (seq_s, candidates, seq_results) = run_config(&w.model, &w.tests, &opts, None, iters);
-        measurements.push(Measurement {
-            workload: w.name,
-            config: "sequential".to_string(),
-            jobs: 1,
-            seconds: seq_s,
-            candidates,
-        });
-        for &jobs in &job_counts {
-            let pipe = PipelineOptions { jobs, ..Default::default() };
-            let (s, c, results) = run_config(&w.model, &w.tests, &opts, Some(&pipe), iters);
-            assert_eq!(c, candidates, "{}: candidate count drifted at jobs={jobs}", w.name);
-            assert_eq!(results, seq_results, "{}: results drifted at jobs={jobs}", w.name);
+        let native;
+        let cat;
+        let model: &dyn lkmm_exec::ConsistencyModel = match &w.model {
+            BenchModel::NativeLkmm => {
+                native = Lkmm::new();
+                &native
+            }
+            BenchModel::CatLkmm => {
+                cat = lkmm_cat::linux_kernel_model();
+                &cat
+            }
+        };
+        let configs: Vec<(String, usize, Option<PipelineOptions>)> =
+            std::iter::once(("sequential".to_string(), 1, None))
+                .chain(job_counts.iter().map(|&jobs| {
+                    let pipe = PipelineOptions { jobs, ..Default::default() };
+                    (format!("pipeline-j{jobs}"), jobs, Some(pipe))
+                }))
+                .collect();
+        // Warm-up pass per config (also captures the reference results,
+        // cross-checks every configuration against sequential, and
+        // sizes the per-sample pass count so each timed sample spans
+        // roughly SAMPLE_TARGET_SECS).
+        let (warm_secs, seq_results) = time_config(model, &w.tests, &opts, None, 1);
+        let candidates: usize = seq_results.iter().map(|r| r.candidates).sum();
+        for (name, _, pipe) in &configs {
+            let (_, results) = time_config(model, &w.tests, &opts, pipe.as_ref(), 1);
+            assert_eq!(results, seq_results, "{}: results drifted at {name}", w.name);
+        }
+        let passes = ((SAMPLE_TARGET_SECS / warm_secs.max(1e-9)).ceil() as usize).clamp(1, 1000);
+        // Paired, pass-level interleaved repetitions: within each
+        // repetition every single workload pass (a few milliseconds)
+        // cycles through *all* configurations, rotating the starting
+        // configuration so none systematically rides the front or back
+        // of a cycle, and each configuration's speedup is the ratio
+        // against the *same repetition's* sequential total — the median
+        // of those paired ratios is reported. Fine-grained pairing
+        // cancels host drift (a noisy-neighbour VM, thermal throttling)
+        // at every timescale coarser than one pass, which best-of-N
+        // cannot: best-of picks each config's luckiest window, and luck
+        // differs.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+        for _ in 0..iters {
+            let mut totals = vec![0.0f64; configs.len()];
+            for pass in 0..passes {
+                for k in 0..configs.len() {
+                    let i = (k + pass) % configs.len();
+                    let (s, r) = time_config(model, &w.tests, &opts, configs[i].2.as_ref(), 1);
+                    std::hint::black_box(r);
+                    totals[i] += s;
+                }
+            }
+            for (sample, total) in samples.iter_mut().zip(&totals) {
+                sample.push(total / passes as f64);
+            }
+        }
+        let median = |xs: &[f64]| -> f64 {
+            let mut v = xs.to_vec();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let seq_samples = samples[0].clone();
+        for ((name, jobs, _), config_samples) in configs.iter().zip(&samples) {
+            let ratios: Vec<f64> = seq_samples
+                .iter()
+                .zip(config_samples)
+                .map(|(seq, s)| seq / s)
+                .collect();
             measurements.push(Measurement {
                 workload: w.name,
-                config: format!("pipeline-j{jobs}"),
-                jobs,
-                seconds: s,
+                config: name.clone(),
+                jobs: *jobs,
+                seconds: median(config_samples),
+                speedup: median(&ratios),
                 candidates,
             });
         }
@@ -198,11 +272,7 @@ fn main() {
     println!("{:18} {:14} {:>10} {:>14} {:>9}", "workload", "config", "secs", "cands/sec", "speedup");
     let mut json_entries = String::new();
     for m in &measurements {
-        let baseline = measurements
-            .iter()
-            .find(|b| b.workload == m.workload && b.config == "sequential")
-            .expect("sequential baseline exists");
-        let speedup = baseline.seconds / m.seconds;
+        let speedup = m.speedup;
         let throughput = m.candidates as f64 / m.seconds;
         println!(
             "{:18} {:14} {:>10.4} {:>14.0} {:>8.2}x",
@@ -227,4 +297,18 @@ fn main() {
     );
     std::fs::write("BENCH_PIPELINE.json", &json).expect("write BENCH_PIPELINE.json");
     println!("\nwrote BENCH_PIPELINE.json");
+
+    if let Some(bar) = assert_bar {
+        let mut below = Vec::new();
+        for m in measurements.iter().filter(|m| m.config == "pipeline-j2") {
+            if m.speedup < bar {
+                below.push(format!("{} ({:.3}x)", m.workload, m.speedup));
+            }
+        }
+        if !below.is_empty() {
+            eprintln!("sweep: pipeline-j2 speedup below the {bar} bar: {}", below.join(", "));
+            std::process::exit(1);
+        }
+        println!("assert-bar {bar}: every pipeline-j2 row passed");
+    }
 }

@@ -4,7 +4,9 @@ use crate::ast::{Binding, CheckKind, Expr, Instr, Model};
 use lkmm_core::budget::StepFuel;
 use lkmm_exec::{ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
-use lkmm_relation::{EventSet, Relation};
+use lkmm_relation::{
+    acquire_rel, scratch_words, with_scratch, ArenaRel, EventSet, Relation, SharedArena,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -66,28 +68,59 @@ impl CatOutcome {
 /// of copying bitsets, and (b) operators can mutate uniquely-owned
 /// intermediate results in place (`Arc::try_unwrap` copy-on-write), which
 /// turns the allocation-heavy union chains of `let rec` fixpoints into
-/// in-place bit-ors.
+/// in-place bit-ors. Relations are [`ArenaRel`] handles: when evaluation
+/// runs with a pool attached (the pipeline's per-worker arena), every
+/// intermediate that falls out of scope returns its storage for the next
+/// candidate instead of hitting the allocator.
 #[derive(Clone, Debug)]
 enum Value {
     Set(Arc<EventSet>),
-    Rel(Arc<Relation>),
+    Rel(Arc<ArenaRel>),
     Fun(Rc<FunVal>),
 }
 
+/// The optional per-worker storage pool, threaded through evaluation.
+type Pool<'p> = Option<&'p SharedArena>;
+
 /// Copy-on-write binary relation operator: mutate in place when the
-/// left operand is uniquely owned, allocate otherwise.
+/// left operand is uniquely owned, copy into pooled storage otherwise.
 fn cow_rel(
-    a: Arc<Relation>,
+    a: Arc<ArenaRel>,
     b: &Relation,
+    pool: Pool<'_>,
     in_place: impl FnOnce(&mut Relation, &Relation),
-    alloc: impl FnOnce(&Relation, &Relation) -> Relation,
-) -> Arc<Relation> {
+) -> Arc<ArenaRel> {
     match Arc::try_unwrap(a) {
         Ok(mut r) => {
             in_place(&mut r, b);
             Arc::new(r)
         }
-        Err(a) => Arc::new(alloc(&a, b)),
+        Err(a) => {
+            let mut r = acquire_rel(pool, a.universe());
+            r.copy_from(&a);
+            in_place(&mut r, b);
+            Arc::new(r)
+        }
+    }
+}
+
+/// Copy-on-write unary relation operator.
+fn cow_unary(
+    a: Arc<ArenaRel>,
+    pool: Pool<'_>,
+    in_place: impl FnOnce(&mut Relation),
+) -> Arc<ArenaRel> {
+    match Arc::try_unwrap(a) {
+        Ok(mut r) => {
+            in_place(&mut r);
+            Arc::new(r)
+        }
+        Err(a) => {
+            let mut r = acquire_rel(pool, a.universe());
+            r.copy_from(&a);
+            in_place(&mut r);
+            Arc::new(r)
+        }
     }
 }
 
@@ -107,20 +140,23 @@ type Env = HashMap<String, Value>;
 /// Returns [`EvalError`] for semantic errors; a type-correct model always
 /// evaluates.
 pub fn evaluate(model: &Model, x: &Execution) -> Result<CatOutcome, EvalError> {
-    let mut env = static_env(x, &ExecFacts::new(x))?;
-    insert_witness(&mut env, x);
-    evaluate_with_env(model, x.universe(), env, None)
+    let facts = ExecFacts::new(x);
+    let mut env = static_env(x, &facts)?;
+    insert_witness(&mut env, x, None);
+    evaluate_with_env(model, x.universe(), env, None, None)
 }
 
 /// Run a model's instructions against a pre-built base environment.
 /// When `fuel` is supplied, one unit is burned per instruction and per
 /// fixpoint-round binding, and exhaustion surfaces as
-/// [`EvalError::fuel_exhausted`].
+/// [`EvalError::fuel_exhausted`]. When `pool` is supplied, relation
+/// intermediates draw storage from it.
 fn evaluate_with_env(
     model: &Model,
     n: usize,
     mut env: Env,
     fuel: Option<&StepFuel>,
+    pool: Pool<'_>,
 ) -> Result<CatOutcome, EvalError> {
     let mut outcome = CatOutcome { failed_check: None, flags: Vec::new() };
     for (i, instr) in model.instrs.iter().enumerate() {
@@ -134,15 +170,15 @@ fn evaluate_with_env(
                 // Simultaneous bindings: evaluate all in the current env.
                 let vals: Vec<(String, Value)> = bindings
                     .iter()
-                    .map(|b| Ok((b.name.clone(), bind_value(b, &env)?)))
+                    .map(|b| Ok((b.name.clone(), bind_value(b, &env, pool)?)))
                     .collect::<Result<_, EvalError>>()?;
                 env.extend(vals);
             }
             Instr::Let { recursive: true, bindings } => {
-                eval_rec(bindings, &mut env, n, fuel)?;
+                eval_rec(bindings, &mut env, n, fuel, pool)?;
             }
             Instr::Check { kind, negated, expr, name, flag } => {
-                let holds = eval_check(*kind, expr, &env, n)? != *negated;
+                let holds = eval_check(*kind, expr, &env, n, pool)? != *negated;
                 let label = || {
                     name.clone()
                         .unwrap_or_else(|| format!("{kind:?} (instruction {i})").to_lowercase())
@@ -163,9 +199,9 @@ fn evaluate_with_env(
     Ok(outcome)
 }
 
-fn bind_value(b: &Binding, env: &Env) -> Result<Value, EvalError> {
+fn bind_value(b: &Binding, env: &Env, pool: Pool<'_>) -> Result<Value, EvalError> {
     if b.params.is_empty() {
-        eval_expr(&b.body, env)
+        eval_expr(&b.body, env, pool)
     } else {
         Ok(Value::Fun(Rc::new(FunVal {
             params: b.params.clone(),
@@ -180,12 +216,13 @@ fn eval_rec(
     env: &mut Env,
     n: usize,
     fuel: Option<&StepFuel>,
+    pool: Pool<'_>,
 ) -> Result<(), EvalError> {
     for b in bindings {
         if !b.params.is_empty() {
             return Err(EvalError { message: "recursive functions are not supported".into() });
         }
-        env.insert(b.name.clone(), Value::Rel(Arc::new(Relation::empty(n))));
+        env.insert(b.name.clone(), Value::Rel(Arc::new(acquire_rel(pool, n))));
     }
     // Least fixpoint by iteration; cat recursion over ∪/;/closures is
     // monotone, so this terminates (the lattice of relations is finite).
@@ -200,7 +237,7 @@ fn eval_rec(
         }
         let mut changed = false;
         for b in bindings {
-            let new = eval_expr(&b.body, env)?;
+            let new = eval_expr(&b.body, env, pool)?;
             let new_rel = as_rel(new, n)?;
             let old = match env.get(&b.name) {
                 Some(Value::Rel(r)) => Arc::clone(r),
@@ -218,8 +255,14 @@ fn eval_rec(
     Err(EvalError { message: "recursive definition did not converge (non-monotone?)".into() })
 }
 
-fn eval_check(kind: CheckKind, expr: &Expr, env: &Env, n: usize) -> Result<bool, EvalError> {
-    let v = eval_expr(expr, env)?;
+fn eval_check(
+    kind: CheckKind,
+    expr: &Expr,
+    env: &Env,
+    n: usize,
+    pool: Pool<'_>,
+) -> Result<bool, EvalError> {
+    let v = eval_expr(expr, env, pool)?;
     Ok(match kind {
         CheckKind::Acyclic => as_rel(v, n)?.is_acyclic(),
         CheckKind::Irreflexive => as_rel(v, n)?.is_irreflexive(),
@@ -233,7 +276,7 @@ fn eval_check(kind: CheckKind, expr: &Expr, env: &Env, n: usize) -> Result<bool,
     })
 }
 
-fn as_rel(v: Value, _n: usize) -> Result<Arc<Relation>, EvalError> {
+fn as_rel(v: Value, _n: usize) -> Result<Arc<ArenaRel>, EvalError> {
     match v {
         Value::Rel(r) => Ok(r),
         Value::Set(_) => Err(EvalError { message: "expected a relation, found a set".into() }),
@@ -241,7 +284,7 @@ fn as_rel(v: Value, _n: usize) -> Result<Arc<Relation>, EvalError> {
     }
 }
 
-fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
+fn eval_expr(e: &Expr, env: &Env, pool: Pool<'_>) -> Result<Value, EvalError> {
     let err = |m: String| EvalError { message: m };
     match e {
         Expr::Id(name) => env
@@ -251,7 +294,9 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
         Expr::Empty => {
             // `0` is the empty relation; its universe is taken from `id`.
             match env.get("id") {
-                Some(Value::Rel(id)) => Ok(Value::Rel(Arc::new(Relation::empty(id.universe())))),
+                Some(Value::Rel(id)) => {
+                    Ok(Value::Rel(Arc::new(acquire_rel(pool, id.universe()))))
+                }
                 _ => Err(err("internal: `id` missing from base env".into())),
             }
         }
@@ -261,7 +306,7 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
         },
         Expr::App(name, args) => {
             let vals: Vec<Value> =
-                args.iter().map(|a| eval_expr(a, env)).collect::<Result<_, _>>()?;
+                args.iter().map(|a| eval_expr(a, env, pool)).collect::<Result<_, _>>()?;
             match (name.as_str(), vals.as_slice()) {
                 ("domain", [Value::Rel(r)]) => Ok(Value::Set(Arc::new(r.domain()))),
                 ("range", [Value::Rel(r)]) => Ok(Value::Set(Arc::new(r.range()))),
@@ -278,75 +323,103 @@ fn eval_expr(e: &Expr, env: &Env) -> Result<Value, EvalError> {
                         for (p, v) in f.params.iter().zip(vals) {
                             call_env.insert(p.clone(), v);
                         }
-                        eval_expr(&f.body, &call_env)
+                        eval_expr(&f.body, &call_env, pool)
                     }
                     Some(_) => Err(err(format!("`{name}` is not a function"))),
                     None => Err(err(format!("unknown function `{name}`"))),
                 },
             }
         }
-        Expr::SetToId(inner) => match eval_expr(inner, env)? {
-            Value::Set(s) => Ok(Value::Rel(Arc::new(s.as_identity()))),
+        Expr::SetToId(inner) => match eval_expr(inner, env, pool)? {
+            Value::Set(s) => {
+                let mut r = acquire_rel(pool, s.universe());
+                for i in s.iter() {
+                    r.insert(i, i);
+                }
+                Ok(Value::Rel(Arc::new(r)))
+            }
             _ => Err(err("`[…]` expects a set".into())),
         },
-        Expr::Union(a, b) => binop(a, b, env, "union", |x, y| match (x, y) {
+        Expr::Union(a, b) => binop(a, b, env, pool, "union", |x, y, pool| match (x, y) {
             (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.union(&b)))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
-                a,
-                &b,
-                Relation::union_in_place,
-                Relation::union,
-            ))),
+            (Value::Rel(a), Value::Rel(b)) => {
+                Some(Value::Rel(cow_rel(a, &b, pool, Relation::union_in_place)))
+            }
             _ => None,
         }),
-        Expr::Inter(a, b) => binop(a, b, env, "intersection", |x, y| match (x, y) {
+        Expr::Inter(a, b) => binop(a, b, env, pool, "intersection", |x, y, pool| match (x, y) {
             (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.intersection(&b)))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
-                a,
-                &b,
-                Relation::intersection_in_place,
-                Relation::intersection,
-            ))),
+            (Value::Rel(a), Value::Rel(b)) => {
+                Some(Value::Rel(cow_rel(a, &b, pool, Relation::intersection_in_place)))
+            }
             _ => None,
         }),
-        Expr::Diff(a, b) => binop(a, b, env, "difference", |x, y| match (x, y) {
+        Expr::Diff(a, b) => binop(a, b, env, pool, "difference", |x, y, pool| match (x, y) {
             (Value::Set(a), Value::Set(b)) => Some(Value::Set(Arc::new(a.difference(&b)))),
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(cow_rel(
-                a,
-                &b,
-                Relation::difference_in_place,
-                Relation::difference,
-            ))),
+            (Value::Rel(a), Value::Rel(b)) => {
+                Some(Value::Rel(cow_rel(a, &b, pool, Relation::difference_in_place)))
+            }
             _ => None,
         }),
-        Expr::Seq(a, b) => binop(a, b, env, "sequence", |x, y| match (x, y) {
-            (Value::Rel(a), Value::Rel(b)) => Some(Value::Rel(Arc::new(a.seq(&b)))),
+        Expr::Seq(a, b) => binop(a, b, env, pool, "sequence", |x, y, pool| match (x, y) {
+            (Value::Rel(a), Value::Rel(b)) => {
+                let mut out = acquire_rel(pool, a.universe());
+                a.seq_into(&b, &mut out);
+                Some(Value::Rel(Arc::new(out)))
+            }
             _ => None,
         }),
-        Expr::Cartesian(a, b) => binop(a, b, env, "cartesian product", |x, y| match (x, y) {
-            (Value::Set(a), Value::Set(b)) => Some(Value::Rel(Arc::new(a.cross(&b)))),
-            _ => None,
-        }),
-        Expr::Complement(inner) => match eval_expr(inner, env)? {
+        Expr::Cartesian(a, b) => {
+            binop(a, b, env, pool, "cartesian product", |x, y, pool| match (x, y) {
+                (Value::Set(a), Value::Set(b)) => {
+                    let mut out = acquire_rel(pool, a.universe());
+                    for i in a.iter() {
+                        for j in b.iter() {
+                            out.insert(i, j);
+                        }
+                    }
+                    Some(Value::Rel(Arc::new(out)))
+                }
+                _ => None,
+            })
+        }
+        Expr::Complement(inner) => match eval_expr(inner, env, pool)? {
             Value::Set(s) => Ok(Value::Set(Arc::new(s.complement()))),
-            Value::Rel(r) => Ok(Value::Rel(Arc::new(r.complement()))),
+            Value::Rel(r) => Ok(Value::Rel(cow_unary(r, pool, Relation::complement_in_place))),
             Value::Fun(_) => Err(err("`~` applied to a function".into())),
         },
-        Expr::Opt(inner) => unary_rel(inner, env, "?", Relation::reflexive),
-        Expr::Plus(inner) => match eval_expr(inner, env)? {
+        Expr::Opt(inner) => match eval_expr(inner, env, pool)? {
+            Value::Rel(r) => Ok(Value::Rel(cow_unary(r, pool, Relation::reflexive_in_place))),
+            _ => Err(err("`?` expects a relation".into())),
+        },
+        Expr::Plus(inner) => match eval_expr(inner, env, pool)? {
             // `+` is the fixpoint workhorse: close in place when the
-            // operand is an intermediate we uniquely own.
-            Value::Rel(r) => Ok(Value::Rel(match Arc::try_unwrap(r) {
-                Ok(mut r) => {
-                    r.transitive_close();
-                    Arc::new(r)
-                }
-                Err(r) => Arc::new(r.transitive_closure()),
-            })),
+            // operand is an intermediate we uniquely own, and run the
+            // closure against a pooled scratch row either way.
+            Value::Rel(r) => Ok(Value::Rel(cow_unary(r, pool, |r| {
+                with_scratch(pool, scratch_words(r.universe()), |row| {
+                    r.transitive_close_with(row);
+                });
+            }))),
             _ => Err(err("`+` expects a relation".into())),
         },
-        Expr::Star(inner) => unary_rel(inner, env, "*", Relation::reflexive_transitive_closure),
-        Expr::Inverse(inner) => unary_rel(inner, env, "^-1", Relation::inverse),
+        Expr::Star(inner) => match eval_expr(inner, env, pool)? {
+            Value::Rel(r) => Ok(Value::Rel(cow_unary(r, pool, |r| {
+                with_scratch(pool, scratch_words(r.universe()), |row| {
+                    r.transitive_close_with(row);
+                });
+                r.reflexive_in_place();
+            }))),
+            _ => Err(err("`*` expects a relation".into())),
+        },
+        Expr::Inverse(inner) => match eval_expr(inner, env, pool)? {
+            Value::Rel(r) => {
+                let mut out = acquire_rel(pool, r.universe());
+                r.inverse_into(&mut out);
+                Ok(Value::Rel(Arc::new(out)))
+            }
+            _ => Err(err("`^-1` expects a relation".into())),
+        },
     }
 }
 
@@ -354,24 +427,13 @@ fn binop(
     a: &Expr,
     b: &Expr,
     env: &Env,
+    pool: Pool<'_>,
     what: &str,
-    f: impl Fn(Value, Value) -> Option<Value>,
+    f: impl Fn(Value, Value, Pool<'_>) -> Option<Value>,
 ) -> Result<Value, EvalError> {
-    let va = eval_expr(a, env)?;
-    let vb = eval_expr(b, env)?;
-    f(va, vb).ok_or_else(|| EvalError { message: format!("type error in {what}") })
-}
-
-fn unary_rel(
-    inner: &Expr,
-    env: &Env,
-    what: &str,
-    f: impl Fn(&Relation) -> Relation,
-) -> Result<Value, EvalError> {
-    match eval_expr(inner, env)? {
-        Value::Rel(r) => Ok(Value::Rel(Arc::new(f(&r)))),
-        _ => Err(EvalError { message: format!("`{what}` expects a relation") }),
-    }
+    let va = eval_expr(a, env, pool)?;
+    let vb = eval_expr(b, env, pool)?;
+    f(va, vb, pool).ok_or_else(|| EvalError { message: format!("type error in {what}") })
 }
 
 /// The witness-independent identifiers herd-style models may assume:
@@ -392,19 +454,22 @@ fn static_env(x: &Execution, facts: &ExecFacts<'_>) -> Result<Env, EvalError> {
     }
     let mut env = Env::new();
     let n = x.universe();
-    let mut rel = |name: &str, r: Relation| {
-        env.insert(name.to_string(), Value::Rel(Arc::new(r)));
+    let pool = facts.arena();
+    let mut rel = |name: &str, r: &Relation| {
+        let mut h = acquire_rel(pool, n);
+        h.copy_from(r);
+        env.insert(name.to_string(), Value::Rel(Arc::new(h)));
     };
-    rel("po", (*x.po).clone());
-    rel("addr", (*x.addr).clone());
-    rel("data", (*x.data).clone());
-    rel("ctrl", (*x.ctrl).clone());
-    rel("rmw", (*x.rmw).clone());
-    rel("loc", facts.loc_rel().clone());
-    rel("int", facts.int_rel().clone());
-    rel("ext", facts.ext_rel().clone());
-    rel("id", Relation::identity(n));
-    rel("crit", facts.crit().clone());
+    rel("po", &x.po);
+    rel("addr", &x.addr);
+    rel("data", &x.data);
+    rel("ctrl", &x.ctrl);
+    rel("rmw", &x.rmw);
+    rel("loc", facts.loc_rel());
+    rel("int", facts.int_rel());
+    rel("ext", facts.ext_rel());
+    rel("id", &Relation::identity(n));
+    rel("crit", facts.crit());
     let mut set = |name: &str, s: EventSet| {
         env.insert(name.to_string(), Value::Set(Arc::new(s)));
     };
@@ -429,10 +494,16 @@ fn static_env(x: &Execution, facts: &ExecFacts<'_>) -> Result<Env, EvalError> {
     Ok(env)
 }
 
-/// Add the execution witness (`rf`, `co`) to a base environment.
-fn insert_witness(env: &mut Env, x: &Execution) {
-    env.insert("rf".to_string(), Value::Rel(Arc::new(x.rf.clone())));
-    env.insert("co".to_string(), Value::Rel(Arc::new(x.co.clone())));
+/// Add the execution witness (`rf`, `co`) to a base environment,
+/// copying into pooled storage when a pool is attached.
+fn insert_witness(env: &mut Env, x: &Execution, pool: Pool<'_>) {
+    let n = x.universe();
+    let mut rf = acquire_rel(pool, n);
+    rf.copy_from(&x.rf);
+    env.insert("rf".to_string(), Value::Rel(Arc::new(rf)));
+    let mut co = acquire_rel(pool, n);
+    co.copy_from(&x.co);
+    env.insert("co".to_string(), Value::Rel(Arc::new(co)));
 }
 
 /// A stateful evaluation handle for checking many candidates of the same
@@ -490,8 +561,8 @@ impl<'a> CatSession<'a> {
             self.cache = Some((Arc::clone(&x.events), static_env(x, facts)?));
         }
         let mut env = self.cache.as_ref().expect("cache filled above").1.clone();
-        insert_witness(&mut env, x);
-        evaluate_with_env(self.model, x.universe(), env, self.fuel.as_deref())
+        insert_witness(&mut env, x, facts.arena());
+        evaluate_with_env(self.model, x.universe(), env, self.fuel.as_deref(), facts.arena())
     }
 }
 

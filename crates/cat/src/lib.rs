@@ -121,6 +121,13 @@ impl ConsistencyModel for CatModel {
     fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
         Some(Box::new(CatSession::new(&self.model)))
     }
+
+    /// Interpreting a cat model walks the AST per candidate — the most
+    /// expensive evaluator in the workspace (the stress-cat workloads),
+    /// so batches carrying a cat model stay fine-grained.
+    fn eval_cost_hint(&self) -> usize {
+        8
+    }
 }
 
 impl ModelSession for CatSession<'_> {

@@ -77,6 +77,10 @@ pub struct AlgoConfig {
     /// Shared enumeration pruning counters for the matrix pass
     /// (observability only, exactly as in the cycle campaign).
     pub enum_stats: Option<std::sync::Arc<lkmm_exec::EnumStats>>,
+    /// Shared data-plane counters (batch occupancy, arena reuse) for
+    /// the matrix pass (observability only, exactly as in the cycle
+    /// campaign).
+    pub data_plane: Option<std::sync::Arc<lkmm_exec::DataPlaneStats>>,
 }
 
 impl Default for AlgoConfig {
@@ -94,6 +98,7 @@ impl Default for AlgoConfig {
             interleave_max_states: 1_000_000,
             shrink: true,
             enum_stats: None,
+            data_plane: None,
         }
     }
 }
@@ -131,6 +136,9 @@ pub struct AlgoReport {
     /// Enumeration pruning counters from the matrix pass; present only
     /// when [`AlgoConfig::enum_stats`] was set.
     pub enumeration: Option<lkmm_exec::EnumSnapshot>,
+    /// Data-plane counters from the matrix pass; present only when
+    /// [`AlgoConfig::data_plane`] was set.
+    pub data_plane: Option<lkmm_exec::DataPlaneSnapshot>,
 }
 
 impl AlgoReport {
@@ -210,9 +218,11 @@ pub fn run_algo_campaign_with(
         budget: cfg.budget.clone(),
         store_path: cfg.store_path.as_deref(),
         enum_stats: cfg.enum_stats.clone(),
+        data_plane: cfg.data_plane.clone(),
     };
     let (matrix, passes) = build_matrix(&corpus, set, &matrix_opts)?;
     let enumeration = cfg.enum_stats.as_ref().map(|s| s.snapshot());
+    let data_plane = cfg.data_plane.as_ref().map(|s| s.snapshot());
 
     let mut discrepancies = Vec::new();
     let mut summaries = [OracleSummary::default(); OracleKind::ALL.len()];
@@ -447,6 +457,7 @@ pub fn run_algo_campaign_with(
             .collect(),
         discrepancies,
         enumeration,
+        data_plane,
     })
 }
 
@@ -564,6 +575,9 @@ pub fn algo_json_report(report: &AlgoReport, cfg: &AlgoConfig) -> Json {
             ]),
         ));
     }
+    if let Some(d) = &report.data_plane {
+        fields.push(("data_plane", crate::report::data_plane_json(d)));
+    }
     Json::obj(fields)
 }
 
@@ -669,6 +683,9 @@ pub fn algo_observability_lines(report: &AlgoReport) -> String {
             e.co_leaves_tested,
             e.candidates_emitted
         );
+    }
+    if let Some(d) = &report.data_plane {
+        let _ = writeln!(out, "{}", crate::report::data_plane_line(d));
     }
     out
 }

@@ -85,6 +85,13 @@ pub struct CampaignConfig {
     /// counters never influence verdicts or cache keys, and a warm store
     /// legitimately reports zeros.
     pub enum_stats: Option<std::sync::Arc<lkmm_exec::EnumStats>>,
+    /// Shared data-plane counters (batch occupancy, arena reuse) for
+    /// the matrix pass. Same contract as `enum_stats`: `None` (the
+    /// default) records nothing; when set, the report carries a
+    /// [`CampaignReport::data_plane`] snapshot. Observability only —
+    /// counters never influence verdicts or cache keys, and a warm
+    /// store legitimately reports zeros.
+    pub data_plane: Option<std::sync::Arc<lkmm_exec::DataPlaneStats>>,
     /// Crash-survival knobs: checkpoint/resume, per-unit retry budget,
     /// backoff seed (see [`ResilienceConfig`]).
     pub resilience: ResilienceConfig,
@@ -104,6 +111,7 @@ impl Default for CampaignConfig {
             sim: SimConfig::default(),
             shrink: true,
             enum_stats: None,
+            data_plane: None,
             resilience: ResilienceConfig::default(),
         }
     }
@@ -139,6 +147,10 @@ pub struct CampaignReport {
     /// Enumeration pruning counters from the matrix pass; present only
     /// when [`CampaignConfig::enum_stats`] was set.
     pub enumeration: Option<lkmm_exec::EnumSnapshot>,
+    /// Data-plane counters (batch occupancy, arena reuse) from the
+    /// matrix pass; present only when [`CampaignConfig::data_plane`]
+    /// was set.
+    pub data_plane: Option<lkmm_exec::DataPlaneSnapshot>,
     /// Units the supervisor gave up on after exhausting retries. A
     /// non-empty list makes the report *degraded*: the matrix is
     /// partial (quarantined rows are all-`None` and every oracle
@@ -464,6 +476,7 @@ pub fn run_campaign_with(
         budget: cfg.budget.clone(),
         store_path: cfg.store_path.as_deref(),
         enum_stats: cfg.enum_stats.clone(),
+        data_plane: cfg.data_plane.clone(),
     };
     // Rows stream through the driver, which runs the matrix-level
     // oracles and the simulator soundness pass the moment each row's
@@ -492,6 +505,7 @@ pub fn run_campaign_with(
     // the matrix enumeration pass (the per-row oracles and the
     // simulator enumerate nothing; shrink re-checks do).
     let enumeration = cfg.enum_stats.as_ref().map(|s| s.snapshot());
+    let data_plane = cfg.data_plane.as_ref().map(|s| s.snapshot());
 
     // Shrink every discrepancy down to a minimal discriminating witness.
     // Re-checks recompute from scratch through the exact failing pair —
@@ -543,6 +557,7 @@ pub fn run_campaign_with(
             .collect(),
         discrepancies,
         enumeration,
+        data_plane,
         failed_units: drive.failed_units,
         resumed_at: drive.resumed_at,
         checkpoints_written: drive.checkpoints_written,

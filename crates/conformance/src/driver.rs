@@ -331,6 +331,7 @@ pub fn drive_campaign(
         .collect();
     let mut checker = MultiBatchChecker::new(columns, store)
         .with_options(EnumOptions { stats: opts.enum_stats.clone(), ..EnumOptions::default() })
+        .with_pipeline_stats(opts.data_plane.clone())
         .with_jobs(opts.jobs)
         .with_queue_depth(opts.queue_depth)
         .with_budget(opts.budget.clone());

@@ -279,6 +279,9 @@ pub struct MatrixOptions<'a> {
     /// Shared enumeration pruning counters (observability only — like
     /// store hits, never part of cache keys or the default report JSON).
     pub enum_stats: Option<std::sync::Arc<EnumStats>>,
+    /// Shared data-plane counters (batch occupancy, arena reuse) from
+    /// the checking pipeline. Observability only, like `enum_stats`.
+    pub data_plane: Option<std::sync::Arc<lkmm_exec::DataPlaneStats>>,
 }
 
 impl Default for MatrixOptions<'_> {
@@ -290,6 +293,7 @@ impl Default for MatrixOptions<'_> {
             budget: Budget::default(),
             store_path: None,
             enum_stats: None,
+            data_plane: None,
         }
     }
 }
@@ -343,6 +347,7 @@ pub fn build_matrix(
         .collect();
     let mut checker = MultiBatchChecker::new(columns, store)
         .with_options(EnumOptions { stats: opts.enum_stats.clone(), ..EnumOptions::default() })
+        .with_pipeline_stats(opts.data_plane.clone())
         .with_jobs(opts.jobs)
         .with_queue_depth(opts.queue_depth)
         .with_budget(opts.budget.clone());

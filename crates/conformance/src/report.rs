@@ -132,7 +132,37 @@ pub fn json_report(report: &CampaignReport, cfg: &CampaignConfig) -> Json {
             ]),
         ));
     }
+    if let Some(d) = &report.data_plane {
+        fields.push(("data_plane", data_plane_json(d)));
+    }
     Json::obj(fields)
+}
+
+/// The opt-in `data_plane` JSON section (shared with the algorithm
+/// campaign's report). Absent by default for the same reason as
+/// `enumeration`: default reports must stay byte-identical between cold
+/// and warm runs, and a warm store forms no batches.
+pub(crate) fn data_plane_json(d: &lkmm_exec::DataPlaneSnapshot) -> Json {
+    Json::obj(vec![
+        ("batches_formed", Json::num(d.batches_formed)),
+        ("batch_candidates", Json::num(d.batch_candidates)),
+        ("arena_acquires", Json::num(d.arena_acquires)),
+        ("arena_reuses", Json::num(d.arena_reuses)),
+    ])
+}
+
+/// The data-plane stderr observability line (shared with the algorithm
+/// campaign's report).
+pub(crate) fn data_plane_line(d: &lkmm_exec::DataPlaneSnapshot) -> String {
+    format!(
+        "data-plane: {} batches carrying {} candidates (mean occupancy {:.1}), \
+         {} arena acquires ({} reused)",
+        d.batches_formed,
+        d.batch_candidates,
+        d.mean_batch_occupancy(),
+        d.arena_acquires,
+        d.arena_reuses
+    )
 }
 
 pub(crate) fn recheck_json(check: &Recheck) -> Json {
@@ -293,6 +323,9 @@ pub fn observability_lines(report: &CampaignReport) -> String {
             e.candidates_emitted
         );
     }
+    if let Some(d) = &report.data_plane {
+        let _ = writeln!(out, "{}", data_plane_line(d));
+    }
     out
 }
 
@@ -343,6 +376,50 @@ mod tests {
         let e = v.get("enumeration").expect("opted-in JSON carries the section");
         assert_eq!(e.get("candidates_emitted").and_then(Json::as_u64), Some(snap.candidates_emitted));
         assert!(observability_lines(&report2).contains("enumeration:"));
+    }
+
+    #[test]
+    fn data_plane_counters_are_absent_by_default_gated_in_and_job_invariant() {
+        // Same contract as the enumeration counters: default reports
+        // carry nothing (cold/warm `cmp` relies on that), opting in
+        // adds the JSON section and the stderr line.
+        let cfg = quick();
+        let report = run_campaign(&cfg).unwrap();
+        assert!(report.data_plane.is_none());
+        let plain = json_report(&report, &cfg).to_string();
+        assert!(!plain.contains("data_plane"), "counters leaked into default JSON");
+        assert!(!observability_lines(&report).contains("data-plane:"));
+
+        let campaign_at = |jobs: usize| {
+            let stats = std::sync::Arc::new(lkmm_exec::DataPlaneStats::default());
+            let cfg = CampaignConfig { jobs, data_plane: Some(stats), ..quick() };
+            let report = run_campaign(&cfg).unwrap();
+            (report, cfg)
+        };
+        let (seq, seq_cfg) = campaign_at(1);
+        let snap = seq.data_plane.expect("opted-in campaign records a snapshot");
+        assert!(snap.batches_formed > 0, "cold matrix pass forms batches");
+        assert!(snap.arena_acquires > 0, "checkers draw relations from worker arenas");
+        let v = Json::parse(&json_report(&seq, &seq_cfg).to_string()).unwrap();
+        let d = v.get("data_plane").expect("opted-in JSON carries the section");
+        assert_eq!(d.get("batches_formed").and_then(Json::as_u64), Some(snap.batches_formed));
+        assert_eq!(d.get("arena_acquires").and_then(Json::as_u64), Some(snap.arena_acquires));
+        assert!(observability_lines(&seq).contains("data-plane:"));
+
+        // batches_formed / batch_candidates are pure functions of the
+        // candidate stream, so a complete campaign reports the same
+        // numbers at any job count. arena_acquires is only *nearly*
+        // invariant (per-worker facts caches recompute shared
+        // pre-execution-tier facts when one pre-execution's batches
+        // split across workers) and arena_reuses is per-worker warm-up;
+        // neither is compared exactly.
+        for jobs in [2, 8] {
+            let (par, _) = campaign_at(jobs);
+            let p = par.data_plane.unwrap();
+            assert_eq!(p.batches_formed, snap.batches_formed, "jobs={jobs}");
+            assert_eq!(p.batch_candidates, snap.batch_candidates, "jobs={jobs}");
+            assert!(p.arena_acquires > 0, "jobs={jobs}");
+        }
     }
 
     #[test]

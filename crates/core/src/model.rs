@@ -1,8 +1,11 @@
 //! The LKMM as a [`ConsistencyModel`]: the four core axioms of Figure 3
 //! plus the RCU axiom of Figure 12.
 
-use crate::relations::{LkmmRelations, LkmmStatics};
+use crate::relations::{
+    rcu_path_irreflexive_with, FixpointScratch, LkmmRelations, LkmmStatics,
+};
 use lkmm_exec::{ConsistencyModel, Event, ExecFacts, Execution, ModelSession};
+use lkmm_relation::Relation;
 use std::fmt;
 use std::sync::Arc;
 
@@ -102,6 +105,150 @@ impl Lkmm {
         }
         None
     }
+
+    /// The hot-path axiom check: evaluates the same Figure 3/12 axioms
+    /// as [`Lkmm::violated_axiom_with`], but builds only the relations
+    /// the next axiom needs — stopping at the first violation — and
+    /// accumulates every intermediate in place into the caller-held
+    /// [`AxiomScratch`]. A checking session reuses one scratch across
+    /// all candidates, so the axiom check's steady state performs no
+    /// storage round-trips at all — cheaper than even a pool
+    /// transaction per intermediate. [`LkmmRelations`] stays the
+    /// inspectable reference; this is what checking sessions run per
+    /// candidate.
+    fn violated_axiom_pooled(
+        &self,
+        x: &Execution,
+        s: &LkmmStatics,
+        facts: &ExecFacts<'_>,
+        tmp: &mut AxiomScratch,
+    ) -> Option<Axiom> {
+        if !facts.sc_per_loc_ok() {
+            return Some(Axiom::Scpv);
+        }
+        if !facts.atomicity_ok() {
+            return Some(Axiom::At);
+        }
+        let n = x.universe();
+        let rfi = facts.rfi();
+        let rfe = facts.rfe();
+        let AxiomScratch { t, overwrite, target, rrdep, ppo, cf, prop, hb, pb, link, gp_link, rscs_link, row, fx } =
+            tmp;
+        // `seq_into` destinations are fully overwritten but must carry
+        // the candidate's shape; `copy_from` destinations reshape
+        // themselves.
+        rrdep.reset(n);
+        ppo.reset(n);
+        prop.reset(n);
+        pb.reset(n);
+        link.reset(n);
+        gp_link.reset(n);
+        rscs_link.reset(n);
+
+        // overwrite = co ∪ fr.
+        overwrite.copy_from(&x.co);
+        overwrite.union_in_place(facts.fr());
+        // The ppo target: to-r ∪ to-w ∪ fence.
+        target.copy_from(overwrite);
+        target.intersection_in_place(&s.int);
+        target.union_in_place(&s.rwdep); // to-w
+        s.dep.seq_into(rfi, rrdep);
+        rrdep.union_in_place(&x.addr);
+        t.copy_from(rrdep); // strong-rrdep = rrdep⁺ ∩ rb-dep
+        t.transitive_close_with(row);
+        t.intersection_in_place(&s.rb_dep);
+        target.union_in_place(t);
+        t.copy_from(rfi); // rfi-rel-acq = [Release] ; rfi ; [Acquire]
+        t.restrict_domain_in_place(facts.releases());
+        t.restrict_range_in_place(facts.acquires());
+        target.union_in_place(t);
+        target.union_in_place(&s.fence);
+        // ppo = rrdep* ; target.
+        rrdep.transitive_close_with(row);
+        rrdep.reflexive_in_place();
+        rrdep.seq_into(target, ppo);
+
+        // cumul-fence = (rfe? ; (strong-fence ∪ po-rel)) ∪ wmb.
+        cf.copy_from(&s.strong_fence);
+        cf.union_in_place(&s.po_rel);
+        rfe.seq_into(cf, t);
+        cf.union_in_place(t);
+        cf.union_in_place(&s.wmb);
+        // prop = (overwrite ∩ ext)? ; cumul-fence* ; rfe?.
+        cf.transitive_close_with(row);
+        cf.reflexive_in_place();
+        overwrite.intersection_in_place(&s.ext);
+        overwrite.seq_into(cf, prop);
+        prop.union_in_place(cf);
+        prop.seq_into(rfe, t);
+        prop.union_in_place(t);
+
+        // hb = ((prop \ id) ∩ int) ∪ ppo ∪ rfe.
+        hb.copy_from(prop);
+        hb.difference_in_place(&s.id);
+        hb.intersection_in_place(&s.int);
+        hb.union_in_place(ppo);
+        hb.union_in_place(rfe);
+        if !hb.is_acyclic() {
+            return Some(Axiom::Hb);
+        }
+
+        // pb = prop ; strong-fence ; hb*.
+        hb.transitive_close_with(row);
+        hb.reflexive_in_place(); // hb* from here on
+        prop.seq_into(&s.strong_fence, t);
+        t.seq_into(hb, pb);
+        if !pb.is_acyclic() {
+            return Some(Axiom::Pb);
+        }
+        if self.without_rcu {
+            return None;
+        }
+
+        // link = hb* ; pb* ; prop, then the per-domain RCU fixpoints.
+        pb.transitive_close_with(row);
+        pb.reflexive_in_place();
+        hb.seq_into(pb, t);
+        t.seq_into(prop, link);
+        s.gp.seq_into(link, gp_link);
+        s.rscs.seq_into(link, rscs_link);
+        if !rcu_path_irreflexive_with(gp_link, rscs_link, fx) {
+            return Some(Axiom::Rcu);
+        }
+        for (sgp, srscs) in &s.srcu {
+            sgp.seq_into(link, gp_link);
+            srscs.seq_into(link, rscs_link);
+            if !rcu_path_irreflexive_with(gp_link, rscs_link, fx) {
+                return Some(Axiom::Rcu);
+            }
+        }
+        None
+    }
+}
+
+/// Reusable storage for one session's axiom checks: every intermediate
+/// relation of [`Lkmm::violated_axiom_pooled`] plus the closure scratch
+/// row and the RCU fixpoint's generations. Reshaped per candidate,
+/// allocated once per session — the intermediates never escape one
+/// check, so they need none of the arena's handle bookkeeping. The
+/// shared facts tier still draws from the worker's arena (its storage
+/// must live inside each candidate's `ExecFacts`).
+#[derive(Debug, Default)]
+struct AxiomScratch {
+    t: Relation,
+    overwrite: Relation,
+    target: Relation,
+    rrdep: Relation,
+    ppo: Relation,
+    cf: Relation,
+    prop: Relation,
+    hb: Relation,
+    pb: Relation,
+    link: Relation,
+    gp_link: Relation,
+    rscs_link: Relation,
+    row: Vec<u64>,
+    fx: FixpointScratch,
 }
 
 impl ConsistencyModel for Lkmm {
@@ -119,8 +266,8 @@ impl ConsistencyModel for Lkmm {
 
     fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
         let statics = LkmmStatics::compute_with_facts(x, facts);
-        let r = LkmmRelations::compute_with_facts(x, &statics, facts);
-        let allowed = self.violated_axiom_with(&r, facts).is_none();
+        let mut tmp = AxiomScratch::default();
+        let allowed = self.violated_axiom_pooled(x, &statics, facts, &mut tmp).is_none();
         // `lkmm.misjudge` deliberately inverts verdicts so the conformance
         // oracles can be demonstrated against a broken checker.
         if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
@@ -135,19 +282,31 @@ impl ConsistencyModel for Lkmm {
     }
 
     fn session(&self) -> Option<Box<dyn ModelSession + '_>> {
-        Some(Box::new(LkmmSession { model: *self, cache: None, fuel: None }))
+        Some(Box::new(LkmmSession {
+            model: *self,
+            cache: None,
+            fuel: None,
+            tmp: AxiomScratch::default(),
+        }))
+    }
+
+    fn eval_cost_hint(&self) -> usize {
+        5
     }
 }
 
 /// A stateful checking session for the native LKMM: caches the
 /// witness-independent [`LkmmStatics`] across the candidates of one
-/// pre-execution, keyed on the identity of the shared event list. The
+/// pre-execution, keyed on the identity of the shared event list (the
 /// held `Arc` keeps the allocation alive, so pointer identity cannot be
-/// recycled while the cache entry exists.
+/// recycled while the cache entry exists), and keeps one
+/// [`AxiomScratch`] whose relations are reshaped in place candidate
+/// after candidate.
 pub struct LkmmSession {
     model: Lkmm,
     cache: Option<(Arc<Vec<Event>>, LkmmStatics)>,
     fuel: Option<Arc<lkmm_core::budget::StepFuel>>,
+    tmp: AxiomScratch,
 }
 
 impl ModelSession for LkmmSession {
@@ -165,8 +324,8 @@ impl ModelSession for LkmmSession {
                 Some((Arc::clone(&x.events), LkmmStatics::compute_with_facts(x, facts)));
         }
         let statics = &self.cache.as_ref().expect("cache filled above").1;
-        let r = LkmmRelations::compute_with_facts(x, statics, facts);
-        let allowed = self.model.violated_axiom_with(&r, facts).is_none();
+        let allowed =
+            self.model.violated_axiom_pooled(x, statics, facts, &mut self.tmp).is_none();
         if lkmm_core::faultpoint::should_fail("lkmm.misjudge") {
             !allowed
         } else {
@@ -219,6 +378,41 @@ mod tests {
             };
             assert_eq!(r.verdict, expected, "{} (paper says {:?})", pt.name, pt.lkmm);
         }
+    }
+
+    #[test]
+    fn pooled_axiom_check_matches_the_reference_relations() {
+        // The session hot path (early-exiting, arena-backed) and the
+        // inspectable LkmmRelations build must agree axiom for axiom on
+        // every candidate of every library test — with and without a
+        // pool attached.
+        let model = Lkmm::new();
+        let arena = lkmm_relation::shared_arena();
+        // One scratch across every candidate of every test, exactly as a
+        // session would reuse it — reshaping must never leak state.
+        let mut tmp = AxiomScratch::default();
+        for pt in library::all() {
+            let t = pt.test();
+            for x in enumerate(&t, &EnumOptions::default()).unwrap() {
+                let mut cache = lkmm_exec::FactsCache::with_arena(arena.clone());
+                let facts = cache.facts(&x);
+                let statics = LkmmStatics::compute_with_facts(&x, &facts);
+                let r = LkmmRelations::compute_with_facts(&x, &statics, &facts);
+                assert_eq!(
+                    model.violated_axiom_pooled(&x, &statics, &facts, &mut tmp),
+                    model.violated_axiom_with(&r, &facts),
+                    "{}", pt.name
+                );
+                let plain = ExecFacts::new(&x);
+                let statics2 = LkmmStatics::compute_with_facts(&x, &plain);
+                assert_eq!(
+                    model.violated_axiom_pooled(&x, &statics2, &plain, &mut tmp),
+                    model.violated_axiom_with(&r, &plain),
+                    "{} (no pool)", pt.name
+                );
+            }
+        }
+        assert!(arena.borrow().reuses() > 0, "the pooled path must recycle storage");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use lkmm_exec::{ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
-use lkmm_relation::{EventSet, Relation};
+use lkmm_relation::{acquire_rel, ArenaRel, EventSet, Relation, SharedArena};
 
 /// The relations of Figures 8 and 12 that do not depend on the
 /// execution witness (`rf`/`co`): fence relations, dependency
@@ -339,16 +339,83 @@ impl LkmmRelations {
 /// and `rscs-link` edges with at least as many grace periods as critical
 /// sections.
 pub fn rcu_path_fixpoint(gp_link: &Relation, rscs_link: &Relation) -> Relation {
+    rcu_path_fixpoint_with(gp_link, rscs_link, None).take()
+}
+
+/// Caller-held scratch for [`rcu_path_irreflexive_with`]: the two
+/// fixpoint generations, the loop-invariant base, and two sequence
+/// temporaries. A checking session keeps one of these alive across
+/// candidates so the RCU axiom's fixpoint performs no storage
+/// round-trips at all — not even pool transactions.
+#[derive(Debug, Default)]
+pub struct FixpointScratch {
+    scratch: Relation,
+    scratch2: Relation,
+    base: Relation,
+    cur: Relation,
+    next: Relation,
+}
+
+/// Whether the Figure 12 `rcu-path` fixpoint is irreflexive, computed
+/// entirely in `fx`'s reusable storage (reshaped, never reacquired).
+/// This is the hot-path form of [`rcu_path_fixpoint`]: per-candidate
+/// checkers only need the verdict, not the relation.
+pub fn rcu_path_irreflexive_with(
+    gp_link: &Relation,
+    rscs_link: &Relation,
+    fx: &mut FixpointScratch,
+) -> bool {
     let n = gp_link.universe();
-    // The first two union operands are loop-invariant; the loop body
-    // accumulates into one buffer with in-place unions and reuses two
-    // scratch relations for the three-way sequences.
-    let base = gp_link.union(&gp_link.seq(rscs_link)).union(&rscs_link.seq(gp_link));
-    let mut cur = Relation::empty(n);
-    let mut scratch = Relation::empty(n);
-    let mut scratch2 = Relation::empty(n);
+    let FixpointScratch { scratch, scratch2, base, cur, next } = fx;
+    scratch.reset(n);
+    scratch2.reset(n);
+    cur.reset(n);
+    // The first three union operands are loop-invariant.
+    base.copy_from(gp_link);
+    gp_link.seq_into(rscs_link, scratch);
+    base.union_in_place(scratch);
+    rscs_link.seq_into(gp_link, scratch);
+    base.union_in_place(scratch);
     loop {
-        let mut next = base.clone();
+        next.copy_from(base);
+        cur.seq_into(cur, scratch);
+        next.union_in_place(scratch);
+        gp_link.seq_into(cur, scratch);
+        scratch.seq_into(rscs_link, scratch2);
+        next.union_in_place(scratch2);
+        rscs_link.seq_into(cur, scratch);
+        scratch.seq_into(gp_link, scratch2);
+        next.union_in_place(scratch2);
+        if next == cur {
+            return cur.is_irreflexive();
+        }
+        std::mem::swap(cur, next);
+    }
+}
+
+/// [`rcu_path_fixpoint`] into storage drawn from `pool` (when present):
+/// the loop swaps two pooled generations and reuses two scratch
+/// relations for the three-way sequences, so a fixpoint round allocates
+/// nothing once the pool is warm.
+pub fn rcu_path_fixpoint_with(
+    gp_link: &Relation,
+    rscs_link: &Relation,
+    pool: Option<&SharedArena>,
+) -> ArenaRel {
+    let n = gp_link.universe();
+    // The first three union operands are loop-invariant.
+    let mut scratch = acquire_rel(pool, n);
+    let mut scratch2 = acquire_rel(pool, n);
+    let mut base = acquire_rel(pool, n);
+    base.copy_from(gp_link);
+    gp_link.seq_into(rscs_link, &mut scratch);
+    base.union_in_place(&scratch);
+    rscs_link.seq_into(gp_link, &mut scratch);
+    base.union_in_place(&scratch);
+    let mut cur = acquire_rel(pool, n);
+    let mut next = acquire_rel(pool, n);
+    loop {
+        next.copy_from(&base);
         cur.seq_into(&cur, &mut scratch);
         next.union_in_place(&scratch);
         gp_link.seq_into(&cur, &mut scratch);
@@ -360,7 +427,7 @@ pub fn rcu_path_fixpoint(gp_link: &Relation, rscs_link: &Relation) -> Relation {
         if next == cur {
             return cur;
         }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
     }
 }
 

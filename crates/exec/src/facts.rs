@@ -30,7 +30,7 @@
 use crate::event::{Event, LocId};
 use crate::execution::Execution;
 use lkmm_litmus::FenceKind;
-use lkmm_relation::{EventSet, Relation};
+use lkmm_relation::{acquire_rel, ArenaRel, EventSet, Relation, SharedArena};
 use std::cell::OnceCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -102,13 +102,14 @@ pub struct StaticExecFacts {
 pub struct ExecFacts<'x> {
     x: &'x Execution,
     statics: Rc<StaticExecFacts>,
-    fr: OnceCell<Relation>,
-    com: OnceCell<Relation>,
-    rfi: OnceCell<Relation>,
-    rfe: OnceCell<Relation>,
-    coe: OnceCell<Relation>,
-    fre: OnceCell<Relation>,
-    fre_seq_coe: OnceCell<Relation>,
+    arena: Option<SharedArena>,
+    fr: OnceCell<ArenaRel>,
+    com: OnceCell<ArenaRel>,
+    rfi: OnceCell<ArenaRel>,
+    rfe: OnceCell<ArenaRel>,
+    coe: OnceCell<ArenaRel>,
+    fre: OnceCell<ArenaRel>,
+    fre_seq_coe: OnceCell<ArenaRel>,
     sc_per_loc_ok: OnceCell<bool>,
     atomicity_ok: OnceCell<bool>,
 }
@@ -117,13 +118,18 @@ impl<'x> ExecFacts<'x> {
     /// Facts for `x` with a fresh static tier. Use a [`FactsCache`] when
     /// checking many candidates of one test.
     pub fn new(x: &'x Execution) -> Self {
-        Self::with_statics(x, Rc::new(StaticExecFacts::default()))
+        Self::with_statics(x, Rc::new(StaticExecFacts::default()), None)
     }
 
-    fn with_statics(x: &'x Execution, statics: Rc<StaticExecFacts>) -> Self {
+    fn with_statics(
+        x: &'x Execution,
+        statics: Rc<StaticExecFacts>,
+        arena: Option<SharedArena>,
+    ) -> Self {
         ExecFacts {
             x,
             statics,
+            arena,
             fr: OnceCell::new(),
             com: OnceCell::new(),
             rfi: OnceCell::new(),
@@ -139,6 +145,14 @@ impl<'x> ExecFacts<'x> {
     /// The execution these facts describe.
     pub fn execution(&self) -> &'x Execution {
         self.x
+    }
+
+    /// The arena backing the witness tier, when these facts came from a
+    /// [`FactsCache::with_arena`] cache. Checkers thread this into their
+    /// own per-candidate relation algebra so the whole evaluation of one
+    /// candidate draws from a single per-worker pool.
+    pub fn arena(&self) -> Option<&SharedArena> {
+        self.arena.as_ref()
     }
 
     // --- static tier: pre-execution facts ---
@@ -246,16 +260,31 @@ impl<'x> ExecFacts<'x> {
     }
 
     // --- witness tier: rf/co-dependent facts ---
+    //
+    // All witness facts are computed with the in-place kernel variants
+    // into arena-acquired storage, so a pooled worker derives them
+    // allocation-free in steady state; without an arena the handles are
+    // plain owned relations and the cost matches the old code.
 
     /// From-reads: `fr = rf⁻¹ ; co`.
     pub fn fr(&self) -> &Relation {
-        self.fr.get_or_init(|| self.x.rf.inverse().seq(&self.x.co))
+        self.fr.get_or_init(|| {
+            let n = self.x.rf.universe();
+            let pool = self.arena.as_ref();
+            let mut inv = acquire_rel(pool, n);
+            self.x.rf.inverse_into(&mut inv);
+            let mut fr = acquire_rel(pool, n);
+            inv.seq_into(&self.x.co, &mut fr);
+            fr
+        })
     }
 
     /// Communications: `com = rf ∪ co ∪ fr`.
     pub fn com(&self) -> &Relation {
         self.com.get_or_init(|| {
-            let mut com = self.x.rf.union(&self.x.co);
+            let mut com = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            com.copy_from(&self.x.rf);
+            com.union_in_place(&self.x.co);
             com.union_in_place(self.fr());
             com
         })
@@ -263,37 +292,64 @@ impl<'x> ExecFacts<'x> {
 
     /// Internal reads-from.
     pub fn rfi(&self) -> &Relation {
-        self.rfi.get_or_init(|| self.x.rf.intersection(self.int_rel()))
+        self.rfi.get_or_init(|| {
+            let mut rfi = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            rfi.copy_from(&self.x.rf);
+            rfi.intersection_in_place(self.int_rel());
+            rfi
+        })
     }
 
     /// External reads-from.
     pub fn rfe(&self) -> &Relation {
-        self.rfe.get_or_init(|| self.x.rf.intersection(self.ext_rel()))
+        self.rfe.get_or_init(|| {
+            let mut rfe = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            rfe.copy_from(&self.x.rf);
+            rfe.intersection_in_place(self.ext_rel());
+            rfe
+        })
     }
 
     /// External coherence.
     pub fn coe(&self) -> &Relation {
-        self.coe.get_or_init(|| self.x.co.intersection(self.ext_rel()))
+        self.coe.get_or_init(|| {
+            let mut coe = acquire_rel(self.arena.as_ref(), self.x.co.universe());
+            coe.copy_from(&self.x.co);
+            coe.intersection_in_place(self.ext_rel());
+            coe
+        })
     }
 
     /// External from-reads.
     pub fn fre(&self) -> &Relation {
-        self.fre.get_or_init(|| self.fr().intersection(self.ext_rel()))
+        self.fre.get_or_init(|| {
+            let mut fre = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            fre.copy_from(self.fr());
+            fre.intersection_in_place(self.ext_rel());
+            fre
+        })
     }
 
     /// `fre ; coe` — the sequence at the heart of every model's RMW
     /// atomicity axiom (`empty(rmw ∩ (fre ; coe))`).
     pub fn fre_seq_coe(&self) -> &Relation {
-        self.fre_seq_coe.get_or_init(|| self.fre().seq(self.coe()))
+        self.fre_seq_coe.get_or_init(|| {
+            let mut out = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            self.fre().seq_into(self.coe(), &mut out);
+            out
+        })
     }
 
     /// Sequential consistency per variable: `acyclic(po-loc ∪ com)`.
     /// Shared verbatim by the LKMM's Scpv axiom and the TSO / ARMv8 /
     /// Power coherence preludes.
     pub fn sc_per_loc_ok(&self) -> bool {
-        *self
-            .sc_per_loc_ok
-            .get_or_init(|| self.po_loc().union(self.com()).is_acyclic())
+        *self.sc_per_loc_ok.get_or_init(|| {
+            let mut u = acquire_rel(self.arena.as_ref(), self.x.rf.universe());
+            u.copy_from(self.po_loc());
+            u.union_in_place(self.com());
+            u.is_acyclic()
+        })
     }
 
     /// RMW atomicity: `empty(rmw ∩ (fre ; coe))`. Shared by every model
@@ -301,7 +357,7 @@ impl<'x> ExecFacts<'x> {
     pub fn atomicity_ok(&self) -> bool {
         *self
             .atomicity_ok
-            .get_or_init(|| self.x.rmw.intersection(self.fre_seq_coe()).is_empty())
+            .get_or_init(|| !self.x.rmw.intersects(self.fre_seq_coe()))
     }
 }
 
@@ -313,12 +369,28 @@ impl<'x> ExecFacts<'x> {
 #[derive(Debug, Default)]
 pub struct FactsCache {
     statics: Option<(Arc<Vec<Event>>, Rc<StaticExecFacts>)>,
+    arena: Option<SharedArena>,
 }
 
 impl FactsCache {
-    /// An empty cache.
+    /// An empty cache. Facts from this cache allocate their witness tier
+    /// per candidate — the simple reference behaviour used by
+    /// `check_test` and the differential oracles.
     pub fn new() -> Self {
         FactsCache::default()
+    }
+
+    /// An empty cache whose facts draw witness-tier storage from
+    /// `arena`. The pipeline gives each worker one of these so steady-
+    /// state candidate checking recycles relation storage instead of
+    /// allocating it.
+    pub fn with_arena(arena: SharedArena) -> Self {
+        FactsCache { statics: None, arena: Some(arena) }
+    }
+
+    /// The arena backing this cache's facts, if any.
+    pub fn arena(&self) -> Option<&SharedArena> {
+        self.arena.as_ref()
     }
 
     /// Facts for `x`, reusing the cached static tier when `x` shares its
@@ -333,7 +405,7 @@ impl FactsCache {
                 Some((Arc::clone(&x.events), Rc::new(StaticExecFacts::default())));
         }
         let statics = Rc::clone(&self.statics.as_ref().expect("cache filled above").1);
-        ExecFacts::with_statics(x, statics)
+        ExecFacts::with_statics(x, statics, self.arena.clone())
     }
 }
 
@@ -430,6 +502,32 @@ mod tests {
             let f = cache.facts(other);
             assert!(!Rc::ptr_eq(&f.statics, &statics));
         }
+    }
+
+    #[test]
+    fn arena_backed_facts_match_the_allocating_facts() {
+        let arena = lkmm_relation::shared_arena();
+        let mut pooled = FactsCache::with_arena(Rc::clone(&arena));
+        let mut plain = FactsCache::new();
+        for x in candidates("MP+wmb+rmb") {
+            let p = pooled.facts(&x);
+            let f = plain.facts(&x);
+            assert!(p.arena().is_some() && f.arena().is_none());
+            assert_eq!(p.fr(), f.fr());
+            assert_eq!(p.com(), f.com());
+            assert_eq!(p.rfi(), f.rfi());
+            assert_eq!(p.rfe(), f.rfe());
+            assert_eq!(p.coe(), f.coe());
+            assert_eq!(p.fre(), f.fre());
+            assert_eq!(p.fre_seq_coe(), f.fre_seq_coe());
+            assert_eq!(p.sc_per_loc_ok(), f.sc_per_loc_ok());
+            assert_eq!(p.atomicity_ok(), f.atomicity_ok());
+        }
+        assert!(arena.borrow().acquires() > 0, "pooled facts draw from the arena");
+        assert!(
+            arena.borrow().reuses() > 0,
+            "storage released by one candidate serves the next"
+        );
     }
 
     #[test]

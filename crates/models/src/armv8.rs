@@ -21,7 +21,7 @@
 
 use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
-use lkmm_relation::Relation;
+use lkmm_relation::{acquire_rel, acquire_set, ArenaRel, Relation};
 
 /// The simplified ARMv8 axiomatic model.
 ///
@@ -49,48 +49,82 @@ impl Armv8 {
 
     /// [`Self::ob`] against a pre-computed facts layer.
     pub fn ob_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
+        Self::ob_pooled(x, facts).take()
+    }
+
+    /// The `ob` computation itself, accumulated in place into storage
+    /// from the facts' arena. Every `[S] ; r ; [T]` shape is a pair of
+    /// row restrictions — word-parallel maskings — instead of
+    /// identity-relation compositions, and nothing intermediate outlives
+    /// the call.
+    fn ob_pooled(x: &Execution, facts: &ExecFacts<'_>) -> ArenaRel {
+        let pool = facts.arena();
+        let n = x.po.universe();
         let po = &x.po;
         let r = facts.reads();
         let w = facts.writes();
         let m = facts.mem();
         let rfi = facts.rfi();
+        let mut ob = acquire_rel(pool, n);
+        let mut t = acquire_rel(pool, n);
 
         // obs: external observations.
-        let obs = facts.rfe().union(facts.fre()).union(facts.coe());
+        ob.copy_from(facts.rfe());
+        ob.union_in_place(facts.fre());
+        ob.union_in_place(facts.coe());
 
         // dob: dependency-ordered-before. ARMv8 respects address, data
         // and control(-to-write) dependencies, dependency-into-rfi
         // forwarding, and address-dependency-then-po to a write.
-        let dep = x.addr.union(&x.data);
-        let ctrl_w = x.ctrl.intersection(&r.cross(&w));
-        let dob = dep
-            .union(&ctrl_w)
-            .union(&dep.seq(&rfi))
-            .union(&x.addr.seq(po).intersection(&r.cross(&w)));
+        let mut dep = acquire_rel(pool, n);
+        dep.copy_from(&x.addr);
+        dep.union_in_place(&x.data);
+        ob.union_in_place(&dep);
+        t.copy_from(&x.ctrl); // ctrl ∩ (R × W)
+        t.restrict_domain_in_place(r);
+        t.restrict_range_in_place(w);
+        ob.union_in_place(&t);
+        dep.seq_into(rfi, &mut t); // dep ; rfi
+        ob.union_in_place(&t);
+        x.addr.seq_into(po, &mut t); // (addr ; po) ∩ (R × W)
+        t.restrict_domain_in_place(r);
+        t.restrict_range_in_place(w);
+        ob.union_in_place(&t);
 
-        // aob: atomic-ordered-before.
-        let rmw_w = x.rmw.range().as_identity();
-        let acq = facts.acquires().as_identity();
-        let aob = x.rmw.union(&rmw_w.seq(rfi).seq(&acq));
+        // aob: atomic-ordered-before — rmw ∪ [ran(rmw)] ; rfi ; [A].
+        ob.union_in_place(&x.rmw);
+        let mut rmw_w = acquire_set(pool, n);
+        x.rmw.range_into(&mut rmw_w);
+        t.copy_from(rfi);
+        t.restrict_domain_in_place(&rmw_w);
+        t.restrict_range_in_place(facts.acquires());
+        ob.union_in_place(&t);
 
         // bob: barrier-ordered-before.
-        let full = facts
-            .fencerel(FenceKind::Mb)
-            .union(facts.fencerel(FenceKind::SyncRcu))
-            .intersection(&m.cross(m));
-        let dmb_st =
-            facts.fencerel(FenceKind::Wmb).intersection(&w.cross(w));
-        let dmb_ld =
-            facts.fencerel(FenceKind::Rmb).intersection(&r.cross(m));
-        let rel = facts.releases().as_identity();
-        let bob = full
-            .union(&dmb_st)
-            .union(&dmb_ld)
-            .union(&acq.seq(po)) // [A]; po
-            .union(&po.seq(&rel)) // po; [L]
-            .union(&rel.seq(po).seq(&acq)); // [L]; po; [A]
-
-        obs.union(&dob).union(&aob).union(&bob)
+        t.copy_from(facts.fencerel(FenceKind::Mb)); // full ∩ (M × M)
+        t.union_in_place(facts.fencerel(FenceKind::SyncRcu));
+        t.restrict_domain_in_place(m);
+        t.restrict_range_in_place(m);
+        ob.union_in_place(&t);
+        t.copy_from(facts.fencerel(FenceKind::Wmb)); // dmb.st ∩ (W × W)
+        t.restrict_domain_in_place(w);
+        t.restrict_range_in_place(w);
+        ob.union_in_place(&t);
+        t.copy_from(facts.fencerel(FenceKind::Rmb)); // dmb.ld ∩ (R × M)
+        t.restrict_domain_in_place(r);
+        t.restrict_range_in_place(m);
+        ob.union_in_place(&t);
+        t.copy_from(po); // [A] ; po
+        t.restrict_domain_in_place(facts.acquires());
+        ob.union_in_place(&t);
+        t.copy_from(po); // po ; [L]
+        t.restrict_range_in_place(facts.releases());
+        ob.union_in_place(&t);
+        t.copy_from(po); // [L] ; po ; [A]
+        t.restrict_domain_in_place(facts.releases());
+        t.restrict_range_in_place(facts.acquires());
+        ob.union_in_place(&t);
+        ob
     }
 }
 
@@ -109,7 +143,11 @@ impl ConsistencyModel for Armv8 {
             return false;
         }
         // External visibility.
-        Self::ob_with(x, facts).is_acyclic()
+        Self::ob_pooled(x, facts).is_acyclic()
+    }
+
+    fn eval_cost_hint(&self) -> usize {
+        3
     }
 }
 

@@ -3,7 +3,7 @@
 
 use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::{ast::Stmt, FenceKind, Test};
-use lkmm_relation::Relation;
+use lkmm_relation::{acquire_rel, acquire_set, scratch_words, with_scratch, ArenaRel, Relation};
 
 /// The original C11 model.
 ///
@@ -147,25 +147,61 @@ impl OriginalC11 {
 
     /// [`Self::sw`] against a pre-computed facts layer.
     pub fn sw_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
-        let rel_store = facts.releases().as_identity();
-        let acq_load = facts.acquires().as_identity();
-        // seq_cst fences are both release and acquire fences.
-        let sc_fence = facts.fences(FenceKind::Mb);
-        let rel_fence = facts.fences(FenceKind::Wmb).union(sc_fence).as_identity();
-        let acq_fence = facts.fences(FenceKind::Rmb).union(sc_fence).as_identity();
-        let w = facts.writes().as_identity();
-        let r = facts.reads().as_identity();
+        Self::sw_pooled(x, facts).take()
+    }
+
+    /// The `sw` computation itself, accumulated in place into storage
+    /// from the facts' arena. The p2/29.8 rules all have the shape
+    /// `[S] ; r ; [T]` (with fence prefixes/suffixes `[F] ; po ; [W]`
+    /// and `[R] ; po ; [F]`), so each is a pair of row restrictions
+    /// around at most one composition.
+    fn sw_pooled(x: &Execution, facts: &ExecFacts<'_>) -> ArenaRel {
+        let pool = facts.arena();
+        let n = x.universe();
         let rf = &x.rf;
         let po = &x.po;
-        // (1) release store read by acquire load.
-        let direct = rel_store.seq(rf).seq(&acq_load);
+        // seq_cst fences are both release and acquire fences.
+        let mut rel_fence = acquire_set(pool, n);
+        let mut acq_fence = acquire_set(pool, n);
+        let sc_fence = facts.fences(FenceKind::Mb);
+        for e in facts.fences(FenceKind::Wmb).iter().chain(sc_fence.iter()) {
+            rel_fence.insert(e);
+        }
+        for e in facts.fences(FenceKind::Rmb).iter().chain(sc_fence.iter()) {
+            acq_fence.insert(e);
+        }
+        // Fence prefix [rel_fence] ; po ; [W] and suffix [R] ; po ; [acq_fence].
+        let mut fpre = acquire_rel(pool, n);
+        fpre.copy_from(po);
+        fpre.restrict_domain_in_place(&rel_fence);
+        fpre.restrict_range_in_place(facts.writes());
+        let mut fpost = acquire_rel(pool, n);
+        fpost.copy_from(po);
+        fpost.restrict_domain_in_place(facts.reads());
+        fpost.restrict_range_in_place(&acq_fence);
+
+        let mut t = acquire_rel(pool, n);
+        let mut t2 = acquire_rel(pool, n);
+        // (1) release store read by acquire load: [L] ; rf ; [A].
+        let mut sw = acquire_rel(pool, n);
+        sw.copy_from(rf);
+        sw.restrict_domain_in_place(facts.releases());
+        sw.restrict_range_in_place(facts.acquires());
         // (2) release fence ; store, read by acquire load.
-        let fence_store = rel_fence.seq(po).seq(&w).seq(rf).seq(&acq_load);
+        fpre.seq_into(rf, &mut t);
+        t2.copy_from(&t);
+        t2.restrict_range_in_place(facts.acquires());
+        sw.union_in_place(&t2);
+        // (4) release fence ; store … load ; acquire fence (t still
+        // holds fpre ; rf).
+        t.seq_into(&fpost, &mut t2);
+        sw.union_in_place(&t2);
         // (3) release store read by a load ; acquire fence.
-        let load_fence = rel_store.seq(rf).seq(&r).seq(po).seq(&acq_fence);
-        // (4) release fence ; store … load ; acquire fence.
-        let fence_fence = rel_fence.seq(po).seq(&w).seq(rf).seq(&r).seq(po).seq(&acq_fence);
-        direct.union(&fence_store).union(&load_fence).union(&fence_fence)
+        t.copy_from(rf);
+        t.restrict_domain_in_place(facts.releases());
+        t.seq_into(&fpost, &mut t2);
+        sw.union_in_place(&t2);
+        sw
     }
 
     /// `hb = (po ∪ sw)⁺`.
@@ -175,12 +211,22 @@ impl OriginalC11 {
 
     /// [`Self::hb`] against a pre-computed facts layer.
     pub fn hb_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
-        x.po.union(&Self::sw_with(x, facts)).transitive_closure()
+        Self::hb_pooled(x, facts).take()
+    }
+
+    /// [`Self::hb_with`] into pooled storage.
+    fn hb_pooled(x: &Execution, facts: &ExecFacts<'_>) -> ArenaRel {
+        let mut hb = Self::sw_pooled(x, facts);
+        hb.union_in_place(&x.po);
+        with_scratch(facts.arena(), scratch_words(x.universe()), |row| {
+            hb.transitive_close_with(row);
+        });
+        hb
     }
 
     /// Whether a total order `S` over `seq_cst` fences exists satisfying
-    /// the original fence rules, given `hb` and `fr`.
-    fn sc_order_exists(x: &Execution, hb: &Relation, fr: &Relation) -> bool {
+    /// the original fence rules, given `hb` and the facts layer.
+    fn sc_order_exists(x: &Execution, hb: &Relation, facts: &ExecFacts<'_>) -> bool {
         let fences: Vec<usize> = x
             .events
             .iter()
@@ -190,9 +236,11 @@ impl OriginalC11 {
         if fences.len() < 2 {
             return true;
         }
-        let bad = fr.union(&x.co); // (B, A): B observes co-before A
+        // (B, A) ∈ fr ∪ co: B observes co-before A. Iterated as a chain
+        // rather than materialising the union.
+        let bad = || facts.fr().iter().chain(x.co.iter());
         // must_precede(a, b): a must come before b in S.
-        let mut must = Relation::empty(x.universe());
+        let mut must = acquire_rel(facts.arena(), x.universe());
         for &a in &fences {
             for &b in &fences {
                 if a == b {
@@ -204,7 +252,7 @@ impl OriginalC11 {
                 // conflict(b, a): some write A po-before b, some access B
                 // po-after a, with (B, A) ∈ fr ∪ co. Then ¬(b <S a), i.e.
                 // a must precede b.
-                let conflict = bad.iter().any(|(obs, wr)| {
+                let conflict = bad().any(|(obs, wr)| {
                     x.events[wr].is_write() && x.po.contains(wr, b) && x.po.contains(a, obs)
                 });
                 if conflict {
@@ -226,17 +274,33 @@ impl ConsistencyModel for OriginalC11 {
     }
 
     fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
-        let hb = Self::hb_with(x, facts);
-        // Coherence: irreflexive(hb ; eco?).
-        let eco = facts.com().transitive_closure();
-        if !hb.seq(&eco.reflexive()).is_irreflexive() {
+        let pool = facts.arena();
+        let n = x.universe();
+        let hb = Self::hb_pooled(x, facts);
+        // Coherence: irreflexive(hb ; eco?), split as irreflexive(hb)
+        // (the `?` identity part) plus irreflexive(hb ; eco).
+        if !hb.is_irreflexive() {
+            return false;
+        }
+        let mut eco = acquire_rel(pool, n);
+        eco.copy_from(facts.com());
+        with_scratch(pool, scratch_words(n), |row| {
+            eco.transitive_close_with(row);
+        });
+        let mut t = acquire_rel(pool, n);
+        hb.seq_into(&eco, &mut t);
+        if !t.is_irreflexive() {
             return false;
         }
         // Atomicity.
         if !facts.atomicity_ok() {
             return false;
         }
-        Self::sc_order_exists(x, &hb, facts.fr())
+        Self::sc_order_exists(x, &hb, facts)
+    }
+
+    fn eval_cost_hint(&self) -> usize {
+        3
     }
 }
 

@@ -24,7 +24,7 @@
 
 use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
-use lkmm_relation::Relation;
+use lkmm_relation::{acquire_rel, scratch_words, with_scratch, ArenaRel, Relation};
 
 /// The Power axiomatic model.
 ///
@@ -51,6 +51,16 @@ pub struct PowerRelations {
     pub prop: Relation,
 }
 
+/// The pooled counterpart of [`PowerRelations`], carrying `hb*` too so
+/// the OBSERVATION axiom never recomputes the closure.
+struct PowerRelationsPooled {
+    fences: ArenaRel,
+    hb: ArenaRel,
+    hb_star: ArenaRel,
+    prop: ArenaRel,
+    ppo: ArenaRel,
+}
+
 impl Power {
     /// Compute `ppo`, the fence relations, `hb` and `prop`.
     pub fn relations(x: &Execution) -> PowerRelations {
@@ -59,6 +69,21 @@ impl Power {
 
     /// [`Self::relations`] against a pre-computed facts layer.
     pub fn relations_with(x: &Execution, facts: &ExecFacts<'_>) -> PowerRelations {
+        let p = Self::relations_pooled(x, facts);
+        PowerRelations {
+            ppo: p.ppo.take(),
+            fences: p.fences.take(),
+            hb: p.hb.take(),
+            prop: p.prop.take(),
+        }
+    }
+
+    /// The relation stack, accumulated in place into storage from the
+    /// facts' arena: the `ii/ic/ci/cc` fixpoint swaps two pooled
+    /// generations instead of allocating four relations per round, and
+    /// every `[S] ; r ; [T]` shape is a pair of row restrictions.
+    fn relations_pooled(x: &Execution, facts: &ExecFacts<'_>) -> PowerRelationsPooled {
+        let pool = facts.arena();
         let n = x.universe();
         let r = facts.reads();
         let w = facts.writes();
@@ -69,84 +94,161 @@ impl Power {
         let rfe = facts.rfe();
         let fre = facts.fre();
         let coe = facts.coe();
+        let mut t = acquire_rel(pool, n);
+        let mut t2 = acquire_rel(pool, n);
 
         // --- ppo fixpoint (Herding Cats, Fig. 18) ---
-        let dp = x.addr.union(&x.data);
-        let rdw = po_loc.intersection(&fre.seq(&rfe));
-        let detour = po_loc.intersection(&coe.seq(&rfe));
-        let addr_po = x.addr.seq(po);
+        let mut dp = acquire_rel(pool, n);
+        dp.copy_from(&x.addr);
+        dp.union_in_place(&x.data);
 
-        let ii0 = dp.union(&rdw).union(&rfi);
-        let ic0 = Relation::empty(n);
+        // ii0 = dp ∪ rdw ∪ rfi, rdw = po-loc ∩ (fre ; rfe).
+        let mut ii0 = acquire_rel(pool, n);
+        fre.seq_into(rfe, &mut ii0);
+        ii0.intersection_in_place(po_loc);
+        ii0.union_in_place(&dp);
+        ii0.union_in_place(rfi);
+        // detour = po-loc ∩ (coe ; rfe).
+        let mut detour = acquire_rel(pool, n);
+        coe.seq_into(rfe, &mut detour);
+        detour.intersection_in_place(po_loc);
         // On Power, acquire loads compile to ld;ctrl;isync (or stronger):
         // model the acquire ordering as ctrl+isync from the acquire read.
-        let acq_po = facts.acquires().as_identity().seq(po);
-        let ci0 = x.ctrl.union(&acq_po).union(&detour);
-        let cc0 = dp.union(&po_loc).union(&x.ctrl).union(&addr_po);
+        // ci0 = ctrl ∪ [A] ; po ∪ detour.
+        let mut ci0 = acquire_rel(pool, n);
+        ci0.copy_from(po);
+        ci0.restrict_domain_in_place(facts.acquires());
+        ci0.union_in_place(&x.ctrl);
+        ci0.union_in_place(&detour);
+        // cc0 = dp ∪ po-loc ∪ ctrl ∪ addr ; po.
+        let mut cc0 = acquire_rel(pool, n);
+        x.addr.seq_into(po, &mut cc0);
+        cc0.union_in_place(&dp);
+        cc0.union_in_place(po_loc);
+        cc0.union_in_place(&x.ctrl);
+        // ic0 = ∅ (no separate handle needed — nic starts from ii ∪ cc).
 
-        let mut ii = ii0.clone();
-        let mut ic = ic0.clone();
-        let mut ci = ci0.clone();
-        let mut cc = cc0.clone();
+        let mut ii = acquire_rel(pool, n);
+        ii.copy_from(&ii0);
+        let mut ic = acquire_rel(pool, n);
+        let mut ci = acquire_rel(pool, n);
+        ci.copy_from(&ci0);
+        let mut cc = acquire_rel(pool, n);
+        cc.copy_from(&cc0);
+        let mut nii = acquire_rel(pool, n);
+        let mut nic = acquire_rel(pool, n);
+        let mut nci = acquire_rel(pool, n);
+        let mut ncc = acquire_rel(pool, n);
         loop {
-            let nii = ii0
-                .union(&ci)
-                .union(&ic.seq(&ci))
-                .union(&ii.seq(&ii));
-            let nic = ic0
-                .union(&ii)
-                .union(&cc)
-                .union(&ic.seq(&cc))
-                .union(&ii.seq(&ic));
-            let nci = ci0.union(&ci.seq(&ii)).union(&cc.seq(&ci));
-            let ncc = cc0
-                .union(&ci)
-                .union(&ci.seq(&ic))
-                .union(&cc.seq(&cc));
-            if nii == ii && nic == ic && nci == ci && ncc == cc {
+            nii.copy_from(&ii0);
+            nii.union_in_place(&ci);
+            ic.seq_into(&ci, &mut t);
+            nii.union_in_place(&t);
+            ii.seq_into(&ii, &mut t);
+            nii.union_in_place(&t);
+
+            nic.copy_from(&ii);
+            nic.union_in_place(&cc);
+            ic.seq_into(&cc, &mut t);
+            nic.union_in_place(&t);
+            ii.seq_into(&ic, &mut t);
+            nic.union_in_place(&t);
+
+            nci.copy_from(&ci0);
+            ci.seq_into(&ii, &mut t);
+            nci.union_in_place(&t);
+            cc.seq_into(&ci, &mut t);
+            nci.union_in_place(&t);
+
+            ncc.copy_from(&cc0);
+            ncc.union_in_place(&ci);
+            ci.seq_into(&ic, &mut t);
+            ncc.union_in_place(&t);
+            cc.seq_into(&cc, &mut t);
+            ncc.union_in_place(&t);
+
+            let fixed = nii == ii && nic == ic && nci == ci && ncc == cc;
+            std::mem::swap(&mut ii, &mut nii);
+            std::mem::swap(&mut ic, &mut nic);
+            std::mem::swap(&mut ci, &mut nci);
+            std::mem::swap(&mut cc, &mut ncc);
+            if fixed {
                 break;
             }
-            ii = nii;
-            ic = nic;
-            ci = nci;
-            cc = ncc;
         }
-        let ppo = ii
-            .intersection(&r.cross(&r))
-            .union(&ic.intersection(&r.cross(&w)));
+        // ppo = (ii ∩ R×R) ∪ (ic ∩ R×W).
+        let mut ppo = acquire_rel(pool, n);
+        ppo.copy_from(&ii);
+        ppo.restrict_domain_in_place(r);
+        ppo.restrict_range_in_place(r);
+        t.copy_from(&ic);
+        t.restrict_domain_in_place(r);
+        t.restrict_range_in_place(w);
+        ppo.union_in_place(&t);
 
         // --- fences ---
         // sync: smp_mb (and synchronize_rcu, conservatively).
-        let ffence = facts
-            .fencerel(FenceKind::Mb)
-            .union(facts.fencerel(FenceKind::SyncRcu))
-            .intersection(&m.cross(m));
+        let mut ffence = acquire_rel(pool, n);
+        ffence.copy_from(facts.fencerel(FenceKind::Mb));
+        ffence.union_in_place(facts.fencerel(FenceKind::SyncRcu));
+        ffence.restrict_domain_in_place(m);
+        ffence.restrict_range_in_place(m);
         // lwsync: smp_wmb, smp_rmb, and the release-store / acquire-load
-        // mappings; lwsync does not order W→R.
-        let lw_raw = facts
-            .fencerel(FenceKind::Wmb)
-            .union(facts.fencerel(FenceKind::Rmb))
-            .union(&po.seq(&facts.releases().as_identity()))
-            .union(&facts.acquires().as_identity().seq(po));
-        let no_wr = r.cross(m).union(&m.cross(w));
-        let lwfence = lw_raw.intersection(&no_wr);
-        let fences = ffence.union(&lwfence);
+        // mappings; lwsync does not order W→R, so keep
+        // lw ∩ (R×M ∪ M×W) = ([R] ; lw ; [M]) ∪ ([M] ; lw ; [W]).
+        t.copy_from(facts.fencerel(FenceKind::Wmb));
+        t.union_in_place(facts.fencerel(FenceKind::Rmb));
+        t2.copy_from(po); // po ; [L]
+        t2.restrict_range_in_place(facts.releases());
+        t.union_in_place(&t2);
+        t2.copy_from(po); // [A] ; po
+        t2.restrict_domain_in_place(facts.acquires());
+        t.union_in_place(&t2);
+        t2.copy_from(&t);
+        t2.restrict_domain_in_place(r);
+        t2.restrict_range_in_place(m);
+        t.restrict_domain_in_place(m);
+        t.restrict_range_in_place(w);
+        t.union_in_place(&t2);
+        let mut fences = acquire_rel(pool, n);
+        fences.copy_from(&ffence);
+        fences.union_in_place(&t);
 
         // --- hb, prop ---
-        let hb = ppo.union(&fences).union(rfe);
-        let hb_star = hb.reflexive_transitive_closure();
-        let prop_base = fences.union(&rfe.seq(&fences)).seq(&hb_star);
-        let com_star = facts.com().reflexive_transitive_closure();
-        let prop = w
-            .cross(w)
-            .intersection(&prop_base)
-            .union(
-                &com_star
-                    .seq(&prop_base.reflexive_transitive_closure())
-                    .seq(&ffence)
-                    .seq(&hb_star),
-            );
-        PowerRelations { ppo, fences, hb, prop }
+        let mut hb = acquire_rel(pool, n);
+        hb.copy_from(&ppo);
+        hb.union_in_place(&fences);
+        hb.union_in_place(rfe);
+        let mut hb_star = acquire_rel(pool, n);
+        hb_star.copy_from(&hb);
+        with_scratch(pool, scratch_words(n), |row| {
+            hb_star.transitive_close_with(row);
+            hb_star.reflexive_in_place();
+
+            // prop_base = (fences ∪ rfe ; fences) ; hb*.
+            rfe.seq_into(&fences, &mut t);
+            t.union_in_place(&fences);
+            let mut prop_base = acquire_rel(pool, n);
+            t.seq_into(&hb_star, &mut prop_base);
+
+            // prop = (W×W ∩ prop_base)
+            //      ∪ (com* ; prop_base* ; sync-fence ; hb*).
+            let mut prop = acquire_rel(pool, n);
+            prop.copy_from(&prop_base);
+            prop.restrict_domain_in_place(w);
+            prop.restrict_range_in_place(w);
+            t.copy_from(&prop_base); // prop_base*
+            t.transitive_close_with(row);
+            t.reflexive_in_place();
+            t2.copy_from(facts.com()); // com*
+            t2.transitive_close_with(row);
+            t2.reflexive_in_place();
+            t2.seq_into(&t, &mut prop_base); // com* ; prop_base*
+            prop_base.seq_into(&ffence, &mut t);
+            t.seq_into(&hb_star, &mut t2);
+            prop.union_in_place(&t2);
+            PowerRelationsPooled { fences, hb, hb_star, prop, ppo }
+        })
     }
 }
 
@@ -163,17 +265,29 @@ impl ConsistencyModel for Power {
         if !facts.sc_per_loc_ok() || !facts.atomicity_ok() {
             return false;
         }
-        let r = Self::relations_with(x, facts);
-        if !r.hb.is_acyclic() {
+        let rel = Self::relations_pooled(x, facts);
+        if !rel.hb.is_acyclic() {
             return false;
         }
-        // Observation.
-        let hb_star = r.hb.reflexive_transitive_closure();
-        if !facts.fre().seq(&r.prop).seq(&hb_star).is_irreflexive() {
+        let pool = facts.arena();
+        let n = x.universe();
+        let mut t = acquire_rel(pool, n);
+        let mut t2 = acquire_rel(pool, n);
+        // Observation: irreflexive(fre ; prop ; hb*), with hb* carried
+        // over from the relation stack instead of re-closed here.
+        facts.fre().seq_into(&rel.prop, &mut t);
+        t.seq_into(&rel.hb_star, &mut t2);
+        if !t2.is_irreflexive() {
             return false;
         }
-        // Propagation.
-        x.co.union(&r.prop).is_acyclic()
+        // Propagation: acyclic(co ∪ prop).
+        t.copy_from(&x.co);
+        t.union_in_place(&rel.prop);
+        t.is_acyclic()
+    }
+
+    fn eval_cost_hint(&self) -> usize {
+        4
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sequential consistency.
 
 use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
+use lkmm_relation::acquire_rel;
 
 /// Lamport's sequential consistency: all events execute in some total
 /// order consistent with program order — axiomatically,
@@ -38,7 +39,13 @@ impl ConsistencyModel for Sc {
     }
 
     fn allows_with(&self, x: &Execution, facts: &ExecFacts<'_>) -> bool {
-        facts.atomicity_ok() && x.po.union(facts.com()).is_acyclic()
+        if !facts.atomicity_ok() {
+            return false;
+        }
+        let mut order = acquire_rel(facts.arena(), x.po.universe());
+        order.copy_from(&x.po);
+        order.union_in_place(facts.com());
+        order.is_acyclic()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use lkmm_exec::{ConsistencyModel, ExecFacts, Execution};
 use lkmm_litmus::FenceKind;
-use lkmm_relation::Relation;
+use lkmm_relation::{acquire_rel, acquire_set, Relation};
 
 /// x86-TSO: program order is preserved except write→read; a full fence
 /// (`smp_mb`, mapped to `mfence`) and LOCK-prefixed RMWs restore it.
@@ -42,20 +42,39 @@ impl X86Tso {
 
     /// [`Self::ghb`] against a pre-computed facts layer.
     pub fn ghb_with(x: &Execution, facts: &ExecFacts<'_>) -> Relation {
-        let w_r = facts.writes().cross(facts.reads());
-        let ppo_tso = x.po.difference(&w_r);
-        let mfence =
-            facts.fencerel(FenceKind::Mb).union(facts.fencerel(FenceKind::SyncRcu));
-        // LOCK-prefixed RMWs behave like full fences around the operation.
-        let rmw_read = x.rmw.domain().as_identity();
-        let rmw_write = x.rmw.range().as_identity();
-        let implied = x.po.seq(&rmw_read).union(&rmw_write.seq(&x.po));
-        ppo_tso
-            .union(&mfence)
-            .union(&implied)
-            .union(facts.rfe())
-            .union(&x.co)
-            .union(facts.fr())
+        Self::ghb_pooled(x, facts).take()
+    }
+
+    /// The ghb computation itself. Built with the in-place kernels into
+    /// storage drawn from the facts' arena (when one is attached): `po ;
+    /// [dom(rmw)]` and `[ran(rmw)] ; po` are row maskings, not
+    /// relational compositions, and `po \ (W × R)` never materialises
+    /// the product. The pooled handle lets the hot path recycle the
+    /// storage on drop.
+    fn ghb_pooled(x: &Execution, facts: &ExecFacts<'_>) -> lkmm_relation::ArenaRel {
+        let pool = facts.arena();
+        let n = x.po.universe();
+        let mut ghb = acquire_rel(pool, n);
+        ghb.copy_from(&x.po);
+        ghb.subtract_cross(facts.writes(), facts.reads()); // ppo_tso
+        ghb.union_in_place(facts.fencerel(FenceKind::Mb));
+        ghb.union_in_place(facts.fencerel(FenceKind::SyncRcu));
+        // LOCK-prefixed RMWs behave like full fences around the
+        // operation: po ; [dom(rmw)] and [ran(rmw)] ; po.
+        let mut ends = acquire_set(pool, n);
+        let mut tmp = acquire_rel(pool, n);
+        x.rmw.domain_into(&mut ends);
+        tmp.copy_from(&x.po);
+        tmp.restrict_range_in_place(&ends);
+        ghb.union_in_place(&tmp);
+        x.rmw.range_into(&mut ends);
+        tmp.copy_from(&x.po);
+        tmp.restrict_domain_in_place(&ends);
+        ghb.union_in_place(&tmp);
+        ghb.union_in_place(facts.rfe());
+        ghb.union_in_place(&x.co);
+        ghb.union_in_place(facts.fr());
+        ghb
     }
 }
 
@@ -73,7 +92,11 @@ impl ConsistencyModel for X86Tso {
         if !facts.sc_per_loc_ok() || !facts.atomicity_ok() {
             return false;
         }
-        Self::ghb_with(x, facts).is_acyclic()
+        Self::ghb_pooled(x, facts).is_acyclic()
+    }
+
+    fn eval_cost_hint(&self) -> usize {
+        2
     }
 }
 

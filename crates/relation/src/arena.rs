@@ -1,0 +1,372 @@
+//! Reusable pools of relation/set storage for per-candidate hot loops.
+//!
+//! Checking one candidate execution derives a few dozen intermediate
+//! [`Relation`]s and [`EventSet`]s (`fr`, `com`, `ppo`, `hb`, cat
+//! fixpoint rounds, …) that all die before the next candidate arrives.
+//! Allocating and freeing each of them per candidate is where the
+//! parallel pipeline used to spend a large share of its time. A
+//! [`RelationArena`] keeps that storage alive between candidates: a
+//! worker acquires a handle, computes into it in place, and the handle
+//! returns the storage to the pool on drop — *reset, not freed*.
+//!
+//! The arena is deliberately single-threaded (`Rc<RefCell<…>>` via
+//! [`SharedArena`]): the pipeline gives each worker its own arena, the
+//! same way each worker owns its model sessions and facts cache, so
+//! there is no cross-worker synchronisation and no false sharing of
+//! pool storage between threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use lkmm_relation::{shared_arena, Relation, RelationArena};
+//!
+//! let arena = shared_arena();
+//! let po = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+//! {
+//!     let mut hb = RelationArena::acquire(&arena, 4);
+//!     hb.copy_from(&po);
+//!     hb.transitive_close();
+//!     assert!(hb.contains(0, 2));
+//! } // storage returns to the pool here
+//! let again = RelationArena::acquire(&arena, 4);
+//! assert!(again.is_empty(), "acquired relations are always reset");
+//! assert_eq!(arena.borrow().reuses(), 1);
+//! ```
+
+use crate::{words_for, EventSet, Relation};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// A single-owner handle to a [`RelationArena`], cloned into every
+/// [`ArenaRel`]/[`ArenaSet`] acquired from it so they can return their
+/// storage on drop.
+pub type SharedArena = Rc<RefCell<RelationArena>>;
+
+/// A fresh, empty, shareable arena.
+pub fn shared_arena() -> SharedArena {
+    Rc::new(RefCell::new(RelationArena::new()))
+}
+
+/// Per-worker pools of [`Relation`], [`EventSet`], and scratch-row
+/// storage, reset (not freed) between candidates.
+///
+/// The pools are universe-agnostic: returned storage is reshaped to the
+/// requested universe on the next acquire, so one arena serves a whole
+/// corpus of differently-sized tests. Acquire/reuse totals are tracked
+/// for the pipeline's opt-in `--enum-stats` report.
+#[derive(Debug, Default)]
+pub struct RelationArena {
+    rels: Vec<Relation>,
+    sets: Vec<EventSet>,
+    scratch: Vec<Vec<u64>>,
+    acquires: u64,
+    reuses: u64,
+}
+
+impl RelationArena {
+    /// An empty arena with empty pools.
+    pub fn new() -> Self {
+        RelationArena::default()
+    }
+
+    /// Acquire an empty relation over `n` events, reusing pooled storage
+    /// when available. The handle returns the storage on drop.
+    pub fn acquire(this: &SharedArena, n: usize) -> ArenaRel {
+        let rel = {
+            let mut pool = this.borrow_mut();
+            pool.acquires += 1;
+            match pool.rels.pop() {
+                Some(mut rel) => {
+                    pool.reuses += 1;
+                    rel.reset(n);
+                    rel
+                }
+                None => Relation::empty(n),
+            }
+        };
+        ArenaRel { rel, pool: Some(Rc::clone(this)) }
+    }
+
+    /// Acquire an empty event set over `n` events, reusing pooled
+    /// storage when available.
+    pub fn acquire_set(this: &SharedArena, n: usize) -> ArenaSet {
+        let set = {
+            let mut pool = this.borrow_mut();
+            pool.acquires += 1;
+            match pool.sets.pop() {
+                Some(mut set) => {
+                    pool.reuses += 1;
+                    set.reset(n);
+                    set
+                }
+                None => EventSet::empty(n),
+            }
+        };
+        ArenaSet { set, pool: Some(Rc::clone(this)) }
+    }
+
+    /// Take a zeroed scratch row of at least `words` words (used by
+    /// closure kernels); return it with
+    /// [`RelationArena::put_scratch`] when done.
+    pub fn take_scratch(&mut self, words: usize) -> Vec<u64> {
+        self.acquires += 1;
+        match self.scratch.pop() {
+            Some(mut row) => {
+                self.reuses += 1;
+                if row.len() == words {
+                    row.fill(0); // one memset; see `Relation::reset`
+                } else {
+                    row.clear();
+                    row.resize(words, 0);
+                }
+                row
+            }
+            None => vec![0; words],
+        }
+    }
+
+    /// Return a scratch row taken with [`RelationArena::take_scratch`].
+    pub fn put_scratch(&mut self, row: Vec<u64>) {
+        self.scratch.push(row);
+    }
+
+    /// Total acquisitions (relations, sets, and scratch rows) served.
+    /// This is a pure function of the evaluated candidates, so it is
+    /// job-count-invariant for a fixed candidate stream.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Acquisitions served from the pool instead of the allocator. This
+    /// depends on per-worker pool warm-up, so unlike
+    /// [`RelationArena::acquires`] it is **not** job-count-invariant.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    fn release_rel(&mut self, rel: Relation) {
+        self.rels.push(rel);
+    }
+
+    fn release_set(&mut self, set: EventSet) {
+        self.sets.push(set);
+    }
+}
+
+/// Acquire a relation from `pool` when one is available, or allocate a
+/// fresh one. Lets arena-aware code serve both the pooled pipeline path
+/// and the allocating reference path with a single code path.
+pub fn acquire_rel(pool: Option<&SharedArena>, n: usize) -> ArenaRel {
+    match pool {
+        Some(p) => RelationArena::acquire(p, n),
+        None => ArenaRel::fresh(Relation::empty(n)),
+    }
+}
+
+/// The [`EventSet`] counterpart of [`acquire_rel`].
+pub fn acquire_set(pool: Option<&SharedArena>, n: usize) -> ArenaSet {
+    match pool {
+        Some(p) => RelationArena::acquire_set(p, n),
+        None => ArenaSet::fresh(EventSet::empty(n)),
+    }
+}
+
+/// An owned [`Relation`] that may have been acquired from a
+/// [`RelationArena`]; dereferences to the relation and returns its
+/// storage to the pool when dropped.
+#[derive(Debug)]
+pub struct ArenaRel {
+    rel: Relation,
+    pool: Option<SharedArena>,
+}
+
+impl ArenaRel {
+    /// Wrap an owned relation with no backing pool: dropping it frees
+    /// the storage normally.
+    pub fn fresh(rel: Relation) -> Self {
+        ArenaRel { rel, pool: None }
+    }
+
+    /// Detach the relation from its pool and hand it to the caller.
+    /// The storage escapes the arena for good — use only at API
+    /// boundaries that must return a plain [`Relation`]; hot paths
+    /// should hold the handle and let `Drop` recycle it.
+    pub fn take(mut self) -> Relation {
+        self.pool = None;
+        std::mem::replace(&mut self.rel, Relation::empty(0))
+    }
+}
+
+impl Deref for ArenaRel {
+    type Target = Relation;
+    fn deref(&self) -> &Relation {
+        &self.rel
+    }
+}
+
+impl DerefMut for ArenaRel {
+    fn deref_mut(&mut self) -> &mut Relation {
+        &mut self.rel
+    }
+}
+
+impl PartialEq for ArenaRel {
+    fn eq(&self, other: &Self) -> bool {
+        self.rel == other.rel
+    }
+}
+
+impl Eq for ArenaRel {}
+
+impl Drop for ArenaRel {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let rel = std::mem::replace(&mut self.rel, Relation::empty(0));
+            pool.borrow_mut().release_rel(rel);
+        }
+    }
+}
+
+/// An owned [`EventSet`] counterpart of [`ArenaRel`].
+#[derive(Debug)]
+pub struct ArenaSet {
+    set: EventSet,
+    pool: Option<SharedArena>,
+}
+
+impl ArenaSet {
+    /// Wrap an owned set with no backing pool.
+    pub fn fresh(set: EventSet) -> Self {
+        ArenaSet { set, pool: None }
+    }
+
+    /// Detach the set from its pool; see [`ArenaRel::take`].
+    pub fn take(mut self) -> EventSet {
+        self.pool = None;
+        std::mem::replace(&mut self.set, EventSet::empty(0))
+    }
+}
+
+impl Deref for ArenaSet {
+    type Target = EventSet;
+    fn deref(&self) -> &EventSet {
+        &self.set
+    }
+}
+
+impl DerefMut for ArenaSet {
+    fn deref_mut(&mut self) -> &mut EventSet {
+        &mut self.set
+    }
+}
+
+impl PartialEq for ArenaSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.set == other.set
+    }
+}
+
+impl Eq for ArenaSet {}
+
+impl Drop for ArenaSet {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let set = std::mem::replace(&mut self.set, EventSet::empty(0));
+            pool.borrow_mut().release_set(set);
+        }
+    }
+}
+
+/// Run `f` with a pooled scratch row of `words` zeroed words when a
+/// pool is present, or a stack-local allocation otherwise.
+pub fn with_scratch<R>(
+    pool: Option<&SharedArena>,
+    words: usize,
+    f: impl FnOnce(&mut Vec<u64>) -> R,
+) -> R {
+    match pool {
+        Some(p) => {
+            let mut row = p.borrow_mut().take_scratch(words);
+            let out = f(&mut row);
+            p.borrow_mut().put_scratch(row);
+            out
+        }
+        None => f(&mut vec![0; words]),
+    }
+}
+
+/// Words needed for a scratch row over a universe of `n` events.
+pub fn scratch_words(n: usize) -> usize {
+    words_for(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_released_storage_across_universes() {
+        let arena = shared_arena();
+        {
+            let mut r = RelationArena::acquire(&arena, 70);
+            r.insert(0, 69);
+        }
+        let r = RelationArena::acquire(&arena, 5);
+        assert_eq!(r.universe(), 5);
+        assert!(r.is_empty(), "reused storage must be reset");
+        assert!(!r.contains(0, 69));
+        assert_eq!(arena.borrow().acquires(), 2);
+        assert_eq!(arena.borrow().reuses(), 1);
+    }
+
+    #[test]
+    fn sets_and_scratch_pool_independently() {
+        let arena = shared_arena();
+        {
+            let mut s = RelationArena::acquire_set(&arena, 10);
+            s.insert(3);
+        }
+        let s = RelationArena::acquire_set(&arena, 130);
+        assert_eq!(s.universe(), 130);
+        assert!(s.is_empty());
+
+        let row = arena.borrow_mut().take_scratch(3);
+        assert_eq!(row, vec![0; 3]);
+        arena.borrow_mut().put_scratch(row);
+        let row = arena.borrow_mut().take_scratch(5);
+        assert_eq!(row, vec![0; 5], "reused scratch is re-zeroed and resized");
+        assert_eq!(arena.borrow().reuses(), 2);
+    }
+
+    #[test]
+    fn fresh_handles_have_no_pool() {
+        let r = ArenaRel::fresh(Relation::from_pairs(3, [(0, 1)]));
+        assert!(r.contains(0, 1));
+        drop(r); // must not panic / must not touch any pool
+        let s = ArenaSet::fresh(EventSet::from_iter(3, [2]));
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    fn acquire_rel_helper_covers_both_paths() {
+        let arena = shared_arena();
+        drop(acquire_rel(Some(&arena), 4));
+        assert_eq!(arena.borrow().acquires(), 1);
+        let free = acquire_rel(None, 4);
+        assert_eq!(free.universe(), 4);
+        assert_eq!(arena.borrow().acquires(), 1, "None path never touches a pool");
+    }
+
+    #[test]
+    fn with_scratch_pools_when_possible() {
+        let arena = shared_arena();
+        let sum = with_scratch(Some(&arena), 4, |row| {
+            row[0] = 7;
+            row.iter().sum::<u64>()
+        });
+        assert_eq!(sum, 7);
+        assert_eq!(with_scratch(None, 2, |row| row.len()), 2);
+        assert_eq!(arena.borrow().acquires(), 1);
+    }
+}

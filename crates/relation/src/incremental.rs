@@ -87,8 +87,13 @@ impl IncrementalOrder {
         self.n
     }
 
-    /// Whether the edge `(a, b)` is currently present.
+    /// Whether the edge `(a, b)` is currently present. Out-of-universe
+    /// pairs are absent by definition, so this is total (queries never
+    /// panic; see the crate-level bounds policy).
     pub fn contains(&self, a: usize, b: usize) -> bool {
+        if a >= self.n || b >= self.n {
+            return false;
+        }
         let (w, bit) = word_and_bit(b);
         self.succ[a * self.row_words + w] & bit != 0
     }
@@ -104,7 +109,13 @@ impl IncrementalOrder {
     /// (including the self-loop `a == b`); returns `true` and records
     /// the insertion on the undo trail otherwise. Re-inserting a present
     /// edge always succeeds and bumps its multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= universe()` or `b >= universe()` (mutators are
+    /// strict; see the crate-level bounds policy).
     pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of universe {}", self.n);
         if a == b {
             return false;
         }
@@ -334,6 +345,21 @@ mod tests {
                 assert!(g.contains(x, y));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn add_edge_out_of_universe_panics() {
+        IncrementalOrder::new(4).add_edge(0, 4);
+    }
+
+    #[test]
+    fn contains_is_total_over_out_of_universe_queries() {
+        let mut g = IncrementalOrder::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.contains(0, 4));
+        assert!(!g.contains(4, 0));
+        assert!(!g.contains(usize::MAX, usize::MAX));
     }
 
     #[test]

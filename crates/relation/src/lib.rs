@@ -11,6 +11,21 @@
 //! (a binary relation on events). Both are sized to a *universe* of `n`
 //! events fixed at construction; operations on mismatched universes panic.
 //!
+//! Every operator bottoms out in the word-parallel slice kernels of
+//! [`kernel`]; the in-place variants (`union_in_place`, `seq_into`,
+//! `transitive_close`, …) combined with a [`RelationArena`] make
+//! per-candidate relation algebra allocation-free in steady state.
+//!
+//! # Bounds policy
+//!
+//! One rule for out-of-universe indices across [`Relation`],
+//! [`EventSet`], and [`IncrementalOrder`]: **mutators panic, queries
+//! are total**. `insert`/`remove`/`add_edge` on an index
+//! `>= universe()` is always a caller bug — silently ignoring it would
+//! hide miscomputed event indices — so mutators panic. Pure queries
+//! (`contains`) treat out-of-universe indices as simply *absent* and
+//! return `false`.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,10 +38,16 @@
 //! assert!(po_plus.is_acyclic());
 //! ```
 
+mod arena;
 mod incremental;
+pub mod kernel;
 mod relation;
 mod set;
 
+pub use arena::{
+    acquire_rel, acquire_set, scratch_words, shared_arena, with_scratch, ArenaRel, ArenaSet,
+    RelationArena, SharedArena,
+};
 pub use incremental::IncrementalOrder;
 pub use relation::Relation;
 pub use set::EventSet;

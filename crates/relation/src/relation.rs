@@ -1,6 +1,17 @@
 //! Binary relations over a fixed universe of events.
+//!
+//! # Bounds policy
+//!
+//! Every structure in this crate ([`Relation`], [`EventSet`],
+//! [`IncrementalOrder`](crate::IncrementalOrder)) follows one rule for
+//! out-of-universe indices: **mutators panic, queries are total**.
+//! `insert`/`remove` on an index `>= universe()` is always a caller bug
+//! — silently ignoring it would hide miscomputed event indices — so
+//! both panic. Pure queries (`contains`) treat out-of-universe indices
+//! as simply *absent* and return `false`, which lets callers probe
+//! speculative indices without pre-checking the universe.
 
-use crate::{iter_bits, word_and_bit, words_for, EventSet};
+use crate::{iter_bits, kernel, word_and_bit, words_for, EventSet};
 use std::fmt;
 
 /// A binary relation over a universe of `n` events, stored as a bitset
@@ -22,7 +33,10 @@ use std::fmt;
 /// assert!(r.is_acyclic());
 /// assert!(!r.union(&Relation::from_pairs(4, [(3, 0)])).is_acyclic());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// `Default` is the empty relation over the empty universe — the
+/// natural seed for reusable scratch that is [`Relation::reset`] (or
+/// [`Relation::copy_from`]) into shape before first use.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct Relation {
     n: usize,
     row_words: usize,
@@ -80,14 +94,20 @@ impl Relation {
     }
 
     /// Remove the pair `(a, b)` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= universe()` or `b >= universe()` (mutators are
+    /// strict; see the module-level bounds policy).
     pub fn remove(&mut self, a: usize, b: usize) {
-        if a < self.n && b < self.n {
-            let (w, bit) = word_and_bit(b);
-            self.rows[a * self.row_words + w] &= !bit;
-        }
+        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe {}", self.n);
+        let (w, bit) = word_and_bit(b);
+        self.rows[a * self.row_words + w] &= !bit;
     }
 
-    /// Whether `(a, b)` is in the relation.
+    /// Whether `(a, b)` is in the relation. Out-of-universe pairs are
+    /// absent by definition, so this is total (queries never panic; see
+    /// the module-level bounds policy).
     pub fn contains(&self, a: usize, b: usize) -> bool {
         if a >= self.n || b >= self.n {
             return false;
@@ -120,6 +140,36 @@ impl Relation {
         &self.rows[a * self.row_words..(a + 1) * self.row_words]
     }
 
+    /// Reshape into the empty relation over `n` events, reusing the row
+    /// storage. This is what lets a [`RelationArena`](crate::RelationArena)
+    /// recycle relations across candidates (and universes) without
+    /// round-tripping through the allocator, and what lets checking
+    /// sessions keep long-lived scratch relations that are reshaped per
+    /// candidate instead of reacquired.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.row_words = words_for(n);
+        let words = self.row_words * n;
+        // `fill` compiles to one memset over the reused buffer; the
+        // clear-then-resize shape re-grows element by element, which is
+        // measurably slower at arena-recycling rates.
+        if self.rows.len() == words {
+            self.rows.fill(0);
+        } else {
+            self.rows.clear();
+            self.rows.resize(words, 0);
+        }
+    }
+
+    /// Become a copy of `other`, reusing this relation's storage
+    /// (reshaping to `other`'s universe if needed).
+    pub fn copy_from(&mut self, other: &Relation) {
+        self.n = other.n;
+        self.row_words = other.row_words;
+        self.rows.clear();
+        self.rows.extend_from_slice(&other.rows);
+    }
+
     /// Union of two relations.
     pub fn union(&self, other: &Relation) -> Relation {
         self.zip(other, |a, b| a | b)
@@ -135,51 +185,86 @@ impl Relation {
         self.zip(other, |a, b| a & !b)
     }
 
-    /// In-place union: `self ∪= other`. Avoids allocating a result
-    /// relation in hot loops (model fixpoints, per-candidate pruning).
+    /// In-place union: `self ∪= other`, through the 4×`u64`-unrolled
+    /// [`kernel::or_assign`]. Avoids allocating a result relation in hot
+    /// loops (model fixpoints, per-candidate pruning).
     ///
     /// # Panics
     ///
     /// Panics on universe mismatch.
     pub fn union_in_place(&mut self, other: &Relation) {
-        self.zip_in_place(other, |a, b| a | b);
+        assert_eq!(self.n, other.n, "universe mismatch");
+        kernel::or_assign(&mut self.rows, &other.rows);
     }
 
-    /// In-place intersection: `self ∩= other`.
+    /// In-place intersection: `self ∩= other`, through
+    /// [`kernel::and_assign`].
     ///
     /// # Panics
     ///
     /// Panics on universe mismatch.
     pub fn intersection_in_place(&mut self, other: &Relation) {
-        self.zip_in_place(other, |a, b| a & b);
+        assert_eq!(self.n, other.n, "universe mismatch");
+        kernel::and_assign(&mut self.rows, &other.rows);
     }
 
-    /// In-place difference: `self \= other`.
+    /// In-place difference: `self \= other`, through
+    /// [`kernel::andnot_assign`].
     ///
     /// # Panics
     ///
     /// Panics on universe mismatch.
     pub fn difference_in_place(&mut self, other: &Relation) {
-        self.zip_in_place(other, |a, b| a & !b);
+        assert_eq!(self.n, other.n, "universe mismatch");
+        kernel::andnot_assign(&mut self.rows, &other.rows);
+    }
+
+    /// Whether the two relations share at least one pair, without
+    /// materialising the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn intersects(&self, other: &Relation) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        kernel::intersects(&self.rows, &other.rows)
     }
 
     /// Complement with respect to `n × n`.
     pub fn complement(&self) -> Relation {
         let mut out = self.clone();
-        for w in &mut out.rows {
+        out.complement_in_place();
+        out
+    }
+
+    /// In-place complement with respect to `n × n`.
+    pub fn complement_in_place(&mut self) {
+        for w in &mut self.rows {
             *w = !*w;
         }
-        out.mask_tails();
-        out
+        self.mask_tails();
     }
 
     /// Inverse relation `r⁻¹ = {(b, a) | (a, b) ∈ r}`.
     pub fn inverse(&self) -> Relation {
         let mut out = Relation::empty(self.n);
-        for (a, b) in self.iter() {
-            out.insert(b, a);
-        }
+        self.inverse_into(&mut out);
         out
+    }
+
+    /// Inverse writing into a caller-provided relation, reusing its
+    /// allocation (`out` is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn inverse_into(&self, out: &mut Relation) {
+        assert_eq!(self.n, out.n, "output universe mismatch");
+        out.rows.fill(0);
+        for (a, b) in self.iter() {
+            let (w, bit) = word_and_bit(a);
+            out.rows[b * out.row_words + w] |= bit;
+        }
     }
 
     /// Relational sequence `self ; other`.
@@ -206,16 +291,27 @@ impl Relation {
             let base = a * self.row_words;
             out.rows[base..base + self.row_words].fill(0);
             for b in self.successors(a) {
-                for (w, &word) in other.row(b).iter().enumerate() {
-                    out.rows[base + w] |= word;
-                }
+                kernel::or_assign(
+                    &mut out.rows[base..base + self.row_words],
+                    &other.rows[b * other.row_words..(b + 1) * other.row_words],
+                );
             }
         }
     }
 
     /// Reflexive closure `r?`.
     pub fn reflexive(&self) -> Relation {
-        self.union(&Relation::identity(self.n))
+        let mut out = self.clone();
+        out.reflexive_in_place();
+        out
+    }
+
+    /// In-place reflexive closure: add every `(e, e)` pair.
+    pub fn reflexive_in_place(&mut self) {
+        for i in 0..self.n {
+            let (w, bit) = word_and_bit(i);
+            self.rows[i * self.row_words + w] |= bit;
+        }
     }
 
     /// Transitive closure `r⁺` (Floyd–Warshall over bitset rows).
@@ -229,14 +325,21 @@ impl Relation {
     /// across Floyd–Warshall rounds instead of one allocation per pivot.
     pub fn transitive_close(&mut self) {
         let mut row_k = vec![0u64; self.row_words];
+        self.transitive_close_with(&mut row_k);
+    }
+
+    /// [`Relation::transitive_close`] with a caller-provided scratch
+    /// row, so arena-backed hot loops avoid even the single per-call
+    /// allocation. The scratch is resized as needed.
+    pub fn transitive_close_with(&mut self, row_k: &mut Vec<u64>) {
+        row_k.clear();
+        row_k.resize(self.row_words, 0);
         for k in 0..self.n {
             row_k.copy_from_slice(self.row(k));
             for a in 0..self.n {
                 if a != k && self.contains(a, k) {
                     let base = a * self.row_words;
-                    for (w, &word) in row_k.iter().enumerate() {
-                        self.rows[base + w] |= word;
-                    }
+                    kernel::or_assign(&mut self.rows[base..base + self.row_words], row_k);
                 }
             }
         }
@@ -273,20 +376,71 @@ impl Relation {
         out
     }
 
+    /// In-place [`Relation::restrict_domain`]: zero every row whose
+    /// event is outside `s`.
+    pub fn restrict_domain_in_place(&mut self, s: &EventSet) {
+        assert_eq!(self.n, s.universe(), "universe mismatch");
+        for a in 0..self.n {
+            if !s.contains(a) {
+                let base = a * self.row_words;
+                self.rows[base..base + self.row_words].fill(0);
+            }
+        }
+    }
+
+    /// In-place [`Relation::restrict_range`]: mask every row by `s`.
+    pub fn restrict_range_in_place(&mut self, s: &EventSet) {
+        assert_eq!(self.n, s.universe(), "universe mismatch");
+        for a in 0..self.n {
+            let base = a * self.row_words;
+            kernel::and_assign(&mut self.rows[base..base + self.row_words], s.words());
+        }
+    }
+
+    /// Subtract the Cartesian product `dom × ran` in place — one masked
+    /// row operation per event of `dom`, never materialising the
+    /// product relation.
+    pub fn subtract_cross(&mut self, dom: &EventSet, ran: &EventSet) {
+        assert_eq!(self.n, dom.universe(), "universe mismatch");
+        assert_eq!(self.n, ran.universe(), "universe mismatch");
+        for a in dom.iter() {
+            let base = a * self.row_words;
+            kernel::andnot_assign(&mut self.rows[base..base + self.row_words], ran.words());
+        }
+    }
+
     /// The set of events with at least one successor.
     pub fn domain(&self) -> EventSet {
-        EventSet::from_iter(self.n, (0..self.n).filter(|&a| self.successors(a).next().is_some()))
+        let mut out = EventSet::empty(self.n);
+        self.domain_into(&mut out);
+        out
+    }
+
+    /// Compute [`Relation::domain`] into `out` (reshaped to this
+    /// universe).
+    pub fn domain_into(&self, out: &mut EventSet) {
+        out.reset(self.n);
+        for a in 0..self.n {
+            if self.row(a).iter().any(|&w| w != 0) {
+                out.insert(a);
+            }
+        }
     }
 
     /// The set of events with at least one predecessor.
     pub fn range(&self) -> EventSet {
-        let mut acc = vec![0u64; self.row_words];
+        let mut out = EventSet::empty(self.n);
+        self.range_into(&mut out);
+        out
+    }
+
+    /// Compute [`Relation::range`] into `out` (reshaped to this
+    /// universe): the union of all rows, one word-parallel `or` per row.
+    pub fn range_into(&self, out: &mut EventSet) {
+        out.reset(self.n);
         for a in 0..self.n {
-            for (w, &word) in self.row(a).iter().enumerate() {
-                acc[w] |= word;
-            }
+            kernel::or_assign(out.words_mut(), self.row(a));
         }
-        EventSet::from_iter(self.n, iter_bits(&acc, self.n))
     }
 
     /// Whether the relation contains no pair `(e, e)`.
@@ -396,14 +550,6 @@ impl Relation {
         let mut r = Relation { n: self.n, row_words: self.row_words, rows };
         r.mask_tails();
         r
-    }
-
-    fn zip_in_place(&mut self, other: &Relation, f: impl Fn(u64, u64) -> u64) {
-        assert_eq!(self.n, other.n, "universe mismatch");
-        for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
-            *a = f(*a, b);
-        }
-        self.mask_tails();
     }
 
     fn mask_tails(&mut self) {
@@ -553,5 +699,87 @@ mod tests {
         tc.transitive_close();
         assert_eq!(tc, chain.transitive_closure());
         assert!(tc.contains(0, 3));
+
+        let mut inv = Relation::full(70); // inverse_into must overwrite
+        r.inverse_into(&mut inv);
+        assert_eq!(inv, r.inverse());
+
+        let mut comp = r.clone();
+        comp.complement_in_place();
+        assert_eq!(comp, r.complement());
+
+        let mut refl = r.clone();
+        refl.reflexive_in_place();
+        assert_eq!(refl, r.reflexive());
+
+        let mut scratch = Vec::new();
+        let mut tc2 = chain.clone();
+        tc2.transitive_close_with(&mut scratch);
+        assert_eq!(tc2, chain.transitive_closure());
+
+        let dom = EventSet::from_iter(70, [0, 1, 68]);
+        let ran = EventSet::from_iter(70, [2, 69]);
+        let mut rd = r.clone();
+        rd.restrict_domain_in_place(&dom);
+        assert_eq!(rd, r.restrict_domain(&dom));
+        let mut rr = r.clone();
+        rr.restrict_range_in_place(&ran);
+        assert_eq!(rr, r.restrict_range(&ran));
+        let mut sc = r.clone();
+        sc.subtract_cross(&dom, &ran);
+        assert_eq!(sc, r.difference(&dom.cross(&ran)));
+
+        let mut dset = EventSet::full(3); // *_into must reshape and overwrite
+        r.domain_into(&mut dset);
+        assert_eq!(dset, r.domain());
+        let mut rset = EventSet::full(3);
+        r.range_into(&mut rset);
+        assert_eq!(rset, r.range());
+    }
+
+    #[test]
+    fn copy_from_reshapes_and_reuses_storage() {
+        let src = Relation::from_pairs(70, [(0, 69), (5, 5)]);
+        let mut dst = Relation::full(3);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Shrinking works too, and the result behaves like a fresh clone.
+        let small = Relation::from_pairs(2, [(1, 0)]);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
+        assert_eq!(dst.universe(), 2);
+    }
+
+    #[test]
+    fn intersects_matches_materialised_intersection() {
+        let a = Relation::from_pairs(70, [(0, 69), (1, 2)]);
+        let b = Relation::from_pairs(70, [(69, 0), (1, 2)]);
+        let c = Relation::from_pairs(70, [(69, 0)]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersects(&b), !a.intersection(&b).is_empty());
+        assert_eq!(a.intersects(&c), !a.intersection(&c).is_empty());
+    }
+
+    // Bounds policy: mutators panic, queries are total.
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        Relation::empty(4).insert(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn remove_out_of_universe_panics() {
+        Relation::empty(4).remove(4, 0);
+    }
+
+    #[test]
+    fn contains_is_total_over_out_of_universe_queries() {
+        let r = Relation::from_pairs(4, [(0, 1)]);
+        assert!(!r.contains(0, 4));
+        assert!(!r.contains(4, 0));
+        assert!(!r.contains(usize::MAX, usize::MAX));
     }
 }

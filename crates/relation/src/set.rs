@@ -69,14 +69,19 @@ impl EventSet {
     }
 
     /// Remove event `i` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe()` (mutators are strict; see the
+    /// crate-level bounds policy).
     pub fn remove(&mut self, i: usize) {
-        if i < self.n {
-            let (w, b) = word_and_bit(i);
-            self.words[w] &= !b;
-        }
+        assert!(i < self.n, "event {i} out of universe {}", self.n);
+        let (w, b) = word_and_bit(i);
+        self.words[w] &= !b;
     }
 
-    /// Whether event `i` is in the set.
+    /// Whether event `i` is in the set. Out-of-universe events are
+    /// absent by definition, so this is total (queries never panic).
     pub fn contains(&self, i: usize) -> bool {
         if i >= self.n {
             return false;
@@ -151,6 +156,25 @@ impl EventSet {
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
     }
+
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Reshape into the empty set over `n` events, reusing the word
+    /// storage (see [`crate::RelationArena`]).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.n = n;
+        let words = words_for(n);
+        // One memset when the shape already matches (the common arena
+        // recycling case); see `Relation::reset`.
+        if self.words.len() == words {
+            self.words.fill(0);
+        } else {
+            self.words.clear();
+            self.words.resize(words, 0);
+        }
+    }
 }
 
 impl fmt::Debug for EventSet {
@@ -213,5 +237,18 @@ mod tests {
     #[should_panic(expected = "out of universe")]
     fn insert_out_of_universe_panics() {
         EventSet::empty(4).insert(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn remove_out_of_universe_panics() {
+        EventSet::empty(4).remove(4);
+    }
+
+    #[test]
+    fn contains_is_total_over_out_of_universe_queries() {
+        let s = EventSet::from_iter(4, [0, 3]);
+        assert!(!s.contains(4));
+        assert!(!s.contains(usize::MAX));
     }
 }

@@ -184,6 +184,18 @@ impl<'m, S: VerdictLog> BatchChecker<'m, S> {
         self
     }
 
+    /// Record batch-occupancy and arena-reuse counters into `stats`
+    /// during enumeration passes. Observability only — like job count,
+    /// never part of cache keys, and a warm store (which enumerates
+    /// nothing) legitimately leaves the counters at zero.
+    pub fn with_pipeline_stats(
+        mut self,
+        stats: Option<std::sync::Arc<lkmm_exec::DataPlaneStats>>,
+    ) -> Self {
+        self.pipe.stats = stats;
+        self
+    }
+
     /// Builder form of [`BatchChecker::set_budget`].
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.set_budget(budget);

@@ -1041,8 +1041,12 @@ fn multi_mode(
     let stats = cli
         .enum_stats
         .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default()));
+    let dp_stats = cli
+        .enum_stats
+        .then(|| std::sync::Arc::new(lkmm_exec::DataPlaneStats::default()));
     let mut herd = Herd::new_multi(models)
         .with_options(EnumOptions { stats: stats.clone(), ..EnumOptions::default() })
+        .with_pipeline_stats(dp_stats.clone())
         .with_jobs(cli.jobs)
         .with_budget(cli.budget(true));
     if let Some(depth) = cli.queue_depth {
@@ -1065,6 +1069,9 @@ fn multi_mode(
                     e.co_leaves_tested,
                     e.candidates_emitted
                 );
+            }
+            if let Some(dp) = &dp_stats {
+                eprintln!("herd-rs: {}", data_plane_line(&dp.snapshot()));
             }
             ExitCode::SUCCESS
         }
@@ -1108,6 +1115,9 @@ fn conformance_mode(cli: &Cli) -> ExitCode {
         enum_stats: cli
             .enum_stats
             .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default())),
+        data_plane: cli
+            .enum_stats
+            .then(|| std::sync::Arc::new(lkmm_exec::DataPlaneStats::default())),
         resilience: ResilienceConfig {
             checkpoint: cli.checkpoint.as_ref().map(std::path::PathBuf::from),
             checkpoint_every: cli.checkpoint_every.unwrap_or(resilience_defaults.checkpoint_every),
@@ -1185,6 +1195,9 @@ fn algo_conformance_mode(cli: &Cli) -> ExitCode {
         enum_stats: cli
             .enum_stats
             .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default())),
+        data_plane: cli
+            .enum_stats
+            .then(|| std::sync::Arc::new(lkmm_exec::DataPlaneStats::default())),
         ..AlgoConfig::default()
     };
     let report = match run_algo_campaign(&cfg) {
@@ -1585,8 +1598,12 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
     let stats = cli
         .enum_stats
         .then(|| std::sync::Arc::new(lkmm_exec::EnumStats::default()));
+    let dp_stats = cli
+        .enum_stats
+        .then(|| std::sync::Arc::new(lkmm_exec::DataPlaneStats::default()));
     let mut checker = BatchChecker::new(model.as_ref(), store, &cli.salt)
         .with_options(EnumOptions { stats: stats.clone(), ..EnumOptions::default() })
+        .with_pipeline_stats(dp_stats.clone())
         .with_jobs(cli.jobs)
         .with_queue_depth(cli.queue_depth.unwrap_or(256))
         .with_budget(cli.budget(true));
@@ -1624,7 +1641,25 @@ fn library_via_store(cli: &Cli, store_path: &str) -> ExitCode {
             e.candidates_emitted
         );
     }
+    if let Some(dp) = &dp_stats {
+        eprintln!("herd-rs: {}", data_plane_line(&dp.snapshot()));
+    }
     ExitCode::SUCCESS
+}
+
+/// The `--enum-stats` data-plane stderr line: how the batched pipeline
+/// behaved. A fully warm store forms no batches and acquires nothing —
+/// all-zero counters are the cache working as intended.
+fn data_plane_line(d: &lkmm_exec::DataPlaneSnapshot) -> String {
+    format!(
+        "data-plane: {} batches carrying {} candidates (mean occupancy {:.1}), \
+         {} arena acquires ({} reused)",
+        d.batches_formed,
+        d.batch_candidates,
+        d.mean_batch_occupancy(),
+        d.arena_acquires,
+        d.arena_reuses
+    )
 }
 
 #[cfg(test)]
